@@ -1,0 +1,58 @@
+//! Criterion micro-benchmark for Figure 4's subject: group-commit
+//! batching — committed transactions per landing-zone write as client
+//! concurrency grows. The full thread-sweep figure comes from `repro
+//! --experiment fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use socrates_common::{Lsn, PageId, PartitionId, TxnId};
+use socrates_wal::block::LogBlock;
+use socrates_wal::pipeline::{BlockSink, LogPipeline, LogPipelineConfig};
+use socrates_wal::record::{LogPayload, LogRecord};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A sink with a small fixed latency (a 50×-scaled XIO write).
+struct SleepSink;
+
+impl BlockSink for SleepSink {
+    fn harden(&self, _block: &LogBlock) -> socrates_common::Result<()> {
+        std::thread::sleep(Duration::from_micros(66));
+        Ok(())
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_threads");
+    group.sample_size(10);
+    for threads in [1usize, 4, 16] {
+        group.throughput(Throughput::Elements(threads as u64 * 50));
+        group.bench_function(format!("commits_{threads}_threads"), |b| {
+            b.iter(|| {
+                let pipeline = Arc::new(LogPipeline::new(
+                    Arc::new(SleepSink) as Arc<dyn BlockSink>,
+                    Arc::new(|_: PageId| PartitionId::new(0)),
+                    LogPipelineConfig::default(),
+                    Lsn::ZERO,
+                ));
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let pipeline = Arc::clone(&pipeline);
+                        s.spawn(move || {
+                            for _ in 0..50 {
+                                let lsn = pipeline.append(&LogRecord {
+                                    txn: TxnId::new(t as u64),
+                                    payload: LogPayload::TxnCommit { commit_ts: 1 },
+                                });
+                                pipeline.commit_wait(lsn).unwrap();
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark for Table 2's transaction path: one CDB
+//! default-mix transaction against each architecture with latency models
+//! disabled (the architectural work per transaction, without device
+//! waits). The full latency-modelled table comes from `repro --experiment
+//! table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socrates::{Socrates, SocratesConfig};
+use socrates_cdb::driver::Workload;
+use socrates_cdb::schema::{load_cdb, CdbScale};
+use socrates_cdb::workload::{CdbMix, CdbWorkload};
+use socrates_common::metrics::CpuAccountant;
+use socrates_common::rng::Rng;
+use socrates_hadr::{Hadr, HadrConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_throughput");
+    group.sample_size(20);
+    let scale = CdbScale::tiny();
+
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    load_cdb(sys.primary().unwrap().db(), scale, 1).unwrap();
+    let primary = sys.primary().unwrap();
+    let workload = CdbWorkload::new(CdbMix::Default, scale.scale_factor);
+    let cpu = CpuAccountant::new();
+    let mut rng = Rng::new(2);
+    group.bench_function("socrates_default_mix_txn", |b| {
+        b.iter(|| {
+            let _ = workload.execute_one(primary.db(), &mut rng, &cpu);
+        });
+    });
+
+    let hadr = Hadr::launch(HadrConfig::fast_test()).unwrap();
+    load_cdb(hadr.db(), scale, 1).unwrap();
+    let mut rng = Rng::new(2);
+    group.bench_function("hadr_default_mix_txn", |b| {
+        b.iter(|| {
+            let _ = workload.execute_one(hadr.db(), &mut rng, &cpu);
+        });
+    });
+    group.finish();
+    sys.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

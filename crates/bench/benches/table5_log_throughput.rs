@@ -1,0 +1,57 @@
+//! Criterion micro-benchmark for Table 5's subject: the log pipeline's
+//! append + flush path under MaxLog-sized records, and HADR's quorum sink
+//! for contrast. The MB/s table itself comes from `repro --experiment
+//! table5`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use socrates_common::{Lsn, PageId, PartitionId, TxnId};
+use socrates_storage::{Fcb, MemFcb};
+use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
+use socrates_wal::pipeline::{BlockSink, LogPipeline, LogPipelineConfig};
+use socrates_wal::record::{LogPayload, LogRecord};
+use std::sync::Arc;
+
+fn pipeline() -> (LogPipeline, Arc<LandingZone>) {
+    let lz = Arc::new(LandingZone::new(
+        vec![
+            Arc::new(MemFcb::new("r0")) as Arc<dyn Fcb>,
+            Arc::new(MemFcb::new("r1")) as Arc<dyn Fcb>,
+            Arc::new(MemFcb::new("r2")) as Arc<dyn Fcb>,
+        ],
+        LandingZoneConfig { capacity: 256 << 20, write_quorum: 2 },
+    ));
+    let p = LogPipeline::new(
+        Arc::clone(&lz) as Arc<dyn BlockSink>,
+        Arc::new(|_: PageId| PartitionId::new(0)),
+        LogPipelineConfig::default(),
+        Lsn::ZERO,
+    );
+    (p, lz)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_log_throughput");
+    group.sample_size(20);
+    let record = LogRecord {
+        txn: TxnId::new(1),
+        payload: LogPayload::PageWrite { page_id: PageId::new(3), op: vec![0xAB; 900] },
+    };
+    group.throughput(Throughput::Bytes(record.encoded_len() as u64 * 64));
+
+    let (p, lz) = pipeline();
+    group.bench_function("append_64_maxlog_records_and_flush_quorum", |b| {
+        b.iter(|| {
+            let mut last = Lsn::ZERO;
+            for _ in 0..64 {
+                last = p.append(&record);
+            }
+            p.commit_wait(last).unwrap();
+            // Stand in for XLOG's destaging: release the ring for reuse.
+            lz.truncate_to(p.hardened_lsn());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

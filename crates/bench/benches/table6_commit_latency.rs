@@ -1,0 +1,59 @@
+//! Criterion micro-benchmark for Table 6's subject: the single-commit
+//! path through the landing zone, with the device latency models scaled
+//! down 50× so a Criterion run finishes quickly while preserving the
+//! XIO:DD ratio. The calibrated-latency table comes from `repro
+//! --experiment table6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socrates_common::latency::{DeviceProfile, LatencyInjector, LatencyMode};
+use socrates_common::{Lsn, PageId, PartitionId, TxnId};
+use socrates_storage::fcb::{Fcb, LatencyFcb, MemFcb};
+use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
+use socrates_wal::pipeline::{BlockSink, LogPipeline, LogPipelineConfig};
+use socrates_wal::record::{LogPayload, LogRecord};
+use std::sync::Arc;
+
+fn pipeline_with(profile: DeviceProfile, scale: f64, seed: u64) -> LogPipeline {
+    let replicas: Vec<Arc<dyn Fcb>> = (0..3)
+        .map(|i| {
+            Arc::new(LatencyFcb::new(
+                MemFcb::new(format!("lz-{i}")),
+                LatencyInjector::new(profile.clone(), LatencyMode::Enabled { scale }, seed + i),
+                None,
+            )) as Arc<dyn Fcb>
+        })
+        .collect();
+    let lz = Arc::new(LandingZone::new(
+        replicas,
+        LandingZoneConfig { capacity: 256 << 20, write_quorum: 2 },
+    ));
+    LogPipeline::new(
+        lz as Arc<dyn BlockSink>,
+        Arc::new(|_: PageId| PartitionId::new(0)),
+        LogPipelineConfig::default(),
+        Lsn::ZERO,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_commit_latency");
+    group.sample_size(30);
+    let record = LogRecord {
+        txn: TxnId::new(1),
+        payload: LogPayload::PageWrite { page_id: PageId::new(1), op: vec![1; 120] },
+    };
+
+    for (name, profile) in [("xio", DeviceProfile::xio()), ("dd", DeviceProfile::direct_drive())] {
+        let p = pipeline_with(profile, 0.02, 11);
+        group.bench_function(format!("commit_{name}_scaled_50x"), |b| {
+            b.iter(|| {
+                let lsn = p.append(&record);
+                p.commit_wait(lsn).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark for Table 7's subject: the modelled CPU cost
+//! of driving each landing-zone service (XIO's REST calls vs DD's thin
+//! block calls). The thread-sweep table comes from `repro --experiment
+//! table7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socrates_common::latency::{DeviceProfile, LatencyInjector, LatencyMode};
+use socrates_common::metrics::CpuAccountant;
+use socrates_storage::fcb::{Fcb, LatencyFcb, MemFcb};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_lz_cpu");
+    group.sample_size(30);
+
+    for (name, profile) in [("xio", DeviceProfile::xio()), ("dd", DeviceProfile::direct_drive())] {
+        let cpu = Arc::new(CpuAccountant::new());
+        let dev = LatencyFcb::new(
+            MemFcb::new("lz"),
+            LatencyInjector::new(profile.clone(), LatencyMode::Disabled, 3),
+            Some(Arc::clone(&cpu)),
+        );
+        let block = vec![0u8; 64 << 10];
+        let mut off = 0u64;
+        group.bench_function(format!("lz_write_64k_{name}"), |b| {
+            b.iter(|| {
+                dev.write_at(off, &block).unwrap();
+                off = (off + block.len() as u64) % (64 << 20);
+            });
+        });
+        // Report the modelled driver cost alongside the wall cost.
+        println!(
+            "  [{name}] modelled driver CPU per 64 KiB write: {} µs",
+            profile.cpu.cost_us(64 << 10)
+        );
+        let _ = cpu;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

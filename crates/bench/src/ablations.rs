@@ -1,0 +1,129 @@
+//! Ablations: measure the design choices DESIGN.md calls out, one knob at
+//! a time, on otherwise-identical deployments.
+
+use crate::setup::{approx_cdb_pages, socrates_with_cdb, Effort};
+use socrates::{Socrates, SocratesConfig};
+use socrates_cdb::driver::{run, DriverConfig};
+use socrates_cdb::schema::CdbScale;
+use socrates_cdb::sut::{SocratesSut, TestSystem};
+use socrates_cdb::workload::{CdbMix, CdbWorkload};
+use socrates_common::latency::DeviceProfile;
+use socrates_common::Result;
+use socrates_rbio::lossy::LossyConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn driver(clients: usize, effort: Effort, seed: u64) -> DriverConfig {
+    DriverConfig {
+        clients,
+        duration: Duration::from_millis(effort.window_ms()),
+        warmup: Duration::from_millis(effort.window_ms() / 3),
+        seed,
+    }
+}
+
+/// Ablation A — the RBPEX tier: local hit rate with and without the SSD
+/// cache, memory tier fixed. The claim (paper §3.3): the SSD tier is what
+/// turns a small memory budget into a useful local cache.
+pub fn ablation_rbpex(effort: Effort) -> Result<Vec<(String, f64)>> {
+    let scale = CdbScale { scale_factor: effort.scale_factor() * 3, padding: 400 };
+    let db_pages = approx_cdb_pages(scale);
+    let mem = ((db_pages * 5) / 100).max(16);
+    let mut out = Vec::new();
+    for (name, rbpex) in [
+        ("memory only (5%)".to_string(), 0),
+        ("memory + RBPEX (5% + 16%)".to_string(), ((db_pages * 16) / 100).max(32)),
+    ] {
+        let sys = socrates_with_cdb(DeviceProfile::xio(), mem, rbpex, scale, 310)?;
+        let sut = SocratesSut::new(&sys)?;
+        let workload = Arc::new(
+            CdbWorkload::new(CdbMix::Default, scale.scale_factor).with_locality(0.0, 0.02),
+        );
+        let _ = run(&sut, workload, &driver(8, effort, 311));
+        out.push((name, sut.local_hit_rate()));
+        sys.shutdown();
+    }
+    Ok(out)
+}
+
+/// Ablation B — group-commit block size: sweep the pipeline's block cap
+/// and measure UpdateLite throughput and commit latency at 16 clients.
+/// The claim: larger blocks amortise the landing-zone write without
+/// hurting p50 much, until dissemination latency starts to dominate.
+pub fn ablation_block_size(effort: Effort) -> Result<Vec<(usize, f64, u64)>> {
+    let scale = CdbScale { scale_factor: 1500, padding: 120 };
+    let db_pages = approx_cdb_pages(scale);
+    let mut out = Vec::new();
+    for block_kb in [4usize, 64, 256] {
+        let mut config = SocratesConfig::realistic(320)
+            .with_secondaries(0)
+            .with_cache(db_pages * 2, db_pages * 2);
+        config.pipeline.max_block_bytes = block_kb << 10;
+        let sys = Socrates::launch(config)?;
+        let primary = sys.primary()?;
+        socrates_cdb::schema::load_cdb(primary.db(), scale, 321)?;
+        sys.fabric()
+            .wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+        let sut = SocratesSut::new(&sys)?;
+        let workload = Arc::new(CdbWorkload::new(CdbMix::UpdateLite, scale.scale_factor));
+        let report = run(&sut, workload, &driver(16, effort, 322));
+        out.push((block_kb, report.total_tps, report.commit_latency.p50_us));
+        sys.shutdown();
+    }
+    Ok(out)
+}
+
+/// Ablation C — the lossy XLOG feed: sweep the drop probability and show
+/// that throughput is unaffected while the landing-zone gap-fill picks up
+/// the slack (the design bet of §4.3: durability does not depend on the
+/// availability path).
+pub fn ablation_lossy_feed(effort: Effort) -> Result<Vec<(f64, f64, u64)>> {
+    let scale = CdbScale { scale_factor: 1500, padding: 120 };
+    let db_pages = approx_cdb_pages(scale);
+    let mut out = Vec::new();
+    for loss in [0.0f64, 0.1, 0.4] {
+        let mut config = SocratesConfig::realistic(330)
+            .with_secondaries(0)
+            .with_cache(db_pages * 2, db_pages * 2);
+        config.lossy_feed = LossyConfig::unreliable(loss, loss / 2.0, 331);
+        let sys = Socrates::launch(config)?;
+        let primary = sys.primary()?;
+        socrates_cdb::schema::load_cdb(primary.db(), scale, 332)?;
+        sys.fabric()
+            .wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+        let sut = SocratesSut::new(&sys)?;
+        let workload = Arc::new(CdbWorkload::new(CdbMix::UpdateLite, scale.scale_factor));
+        let report = run(&sut, workload, &driver(16, effort, 333));
+        let gap_fills = sys.fabric().xlog.metrics().gaps_filled_from_lz.get();
+        out.push((loss, report.total_tps, gap_fills));
+        sys.shutdown();
+    }
+    Ok(out)
+}
+
+/// Ablation D — landing-zone replication: 1/3/5 replicas (quorum
+/// majority) vs single-client commit latency. The claim: parallel quorum
+/// writes make extra replicas nearly free at the median.
+pub fn ablation_lz_replicas(effort: Effort) -> Result<Vec<(usize, u64, u64)>> {
+    let scale = CdbScale { scale_factor: 1000, padding: 120 };
+    let db_pages = approx_cdb_pages(scale);
+    let mut out = Vec::new();
+    for (replicas, quorum) in [(1usize, 1usize), (3, 2), (5, 3)] {
+        let mut config = SocratesConfig::realistic(340)
+            .with_secondaries(0)
+            .with_cache(db_pages * 2, db_pages * 2);
+        config.lz_replicas = replicas;
+        config.lz_quorum = quorum;
+        let sys = Socrates::launch(config)?;
+        let primary = sys.primary()?;
+        socrates_cdb::schema::load_cdb(primary.db(), scale, 341)?;
+        sys.fabric()
+            .wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+        let sut = SocratesSut::new(&sys)?;
+        let workload = Arc::new(CdbWorkload::new(CdbMix::UpdateLite, scale.scale_factor));
+        let report = run(&sut, workload, &driver(1, effort, 342));
+        out.push((replicas, report.commit_latency.p50_us, report.commit_latency.p99_us));
+        sys.shutdown();
+    }
+    Ok(out)
+}

@@ -1,0 +1,72 @@
+//! Microbenchmark: group-commit batching on a raw LogPipeline with a
+//! fixed-latency sink (diagnostic tool).
+
+use socrates_common::{Lsn, PageId, PartitionId, TxnId};
+use socrates_wal::block::LogBlock;
+use socrates_wal::pipeline::{BlockSink, LogPipeline, LogPipelineConfig};
+use socrates_wal::record::{LogPayload, LogRecord};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct SleepSink {
+    us: u64,
+    flushes: AtomicU64,
+    records: AtomicU64,
+}
+
+impl BlockSink for SleepSink {
+    fn harden(&self, block: &LogBlock) -> socrates_common::Result<()> {
+        std::thread::sleep(Duration::from_micros(self.us));
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.records.fetch_add(block.record_count() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+fn main() {
+    for threads in [1usize, 8, 64] {
+        let sink = Arc::new(SleepSink {
+            us: 3300,
+            flushes: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+        });
+        let pipeline = Arc::new(LogPipeline::new(
+            Arc::clone(&sink) as Arc<dyn BlockSink>,
+            Arc::new(|_: PageId| PartitionId::new(0)),
+            LogPipelineConfig::default(),
+            Lsn::ZERO,
+        ));
+        let commits = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let pipeline = Arc::clone(&pipeline);
+                let commits = Arc::clone(&commits);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let lsn = pipeline.append(&LogRecord {
+                            txn: TxnId::new(t as u64),
+                            payload: LogPayload::TxnCommit { commit_ts: 1 },
+                        });
+                        pipeline.commit_wait(lsn).unwrap();
+                        commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_secs(2));
+            stop.store(true, Ordering::SeqCst);
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "threads {threads:>3}: {:.0} commits/s, {:.0} flushes/s, {:.1} records/flush, commit p50 {}us",
+            commits.load(Ordering::Relaxed) as f64 / secs,
+            sink.flushes.load(Ordering::Relaxed) as f64 / secs,
+            sink.records.load(Ordering::Relaxed) as f64
+                / sink.flushes.load(Ordering::Relaxed).max(1) as f64,
+            pipeline.metrics().commit_latency.percentile(0.5),
+        );
+    }
+}

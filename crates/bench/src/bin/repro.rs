@@ -1,0 +1,216 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro --experiment all            # everything (the EXPERIMENTS.md run)
+//! repro --experiment table2        # one experiment
+//! repro --quick                    # short windows (CI smoke)
+//! ```
+
+use socrates_bench::{
+    ablation_block_size, ablation_lossy_feed, ablation_lz_replicas, ablation_rbpex,
+    fig4_threads, table1_goals, table2_throughput, table3_cache_hit, table4_tpce_cache,
+    table5_log_throughput, table6_commit_latency, table7_lz_cpu, Effort,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut experiment = "all".to_string();
+    let mut effort = Effort::Full;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" | "-e" => {
+                i += 1;
+                experiment = args.get(i).cloned().unwrap_or_else(|| "all".into());
+            }
+            "--quick" | "-q" => effort = Effort::Quick,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--experiment all|table1|...|table7|fig4|ablations] [--quick]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let all = experiment == "all";
+    let want = |name: &str| all || experiment == name;
+    let mut failures = 0;
+
+    macro_rules! exp {
+        ($name:expr, $body:expr) => {
+            if want($name) {
+                println!("\n=== {} ===", $name);
+                let t0 = std::time::Instant::now();
+                match $body {
+                    Ok(()) => println!("[{} done in {:.1}s]", $name, t0.elapsed().as_secs_f64()),
+                    Err(e) => {
+                        eprintln!("[{} FAILED: {e}]", $name);
+                        failures += 1;
+                    }
+                }
+            }
+        };
+    }
+
+    exp!("table1", run_table1(effort));
+    exp!("table2", run_table2(effort));
+    exp!("table3", run_table3(effort));
+    exp!("table4", run_table4(effort));
+    exp!("table5", run_table5(effort));
+    exp!("table6", run_table6(effort));
+    exp!("table7", run_table7(effort));
+    exp!("fig4", run_fig4(effort));
+    exp!("ablations", run_ablations(effort));
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn run_table1(effort: Effort) -> socrates_common::Result<()> {
+    let t = table1_goals(effort)?;
+    println!("Table 1 — Socrates goals (measured)");
+    println!("  Upsize (add capacity):");
+    for ((pages, hadr_s), (_, soc_s)) in t.hadr_seed.iter().zip(&t.socrates_upsize) {
+        println!(
+            "    {pages:>6} pages: HADR seed replica {hadr_s:>8.3}s   Socrates add page server {soc_s:>8.4}s"
+        );
+    }
+    println!("  Backup:");
+    for ((pages, hadr_s), (_, soc_s)) in t.hadr_backup.iter().zip(&t.socrates_backup) {
+        println!(
+            "    {pages:>6} pages: HADR full copy {hadr_s:>8.3}s   Socrates snapshot {soc_s:>8.4}s"
+        );
+    }
+    println!("  Recovery after crash with an unfinished long transaction:");
+    for ((hist, hadr_s), (_, soc_s)) in t.hadr_recovery.iter().zip(&t.socrates_recovery) {
+        println!(
+            "    history {hist:>6} records: HADR restart (undo) {hadr_s:>8.4}s   Socrates failover {soc_s:>8.4}s"
+        );
+    }
+    println!(
+        "  Storage copies in fast storage: HADR {:.0}x vs Socrates {:.0}x",
+        t.storage_copies.0, t.storage_copies.1
+    );
+    println!(
+        "  Commit latency p50: HADR {} µs vs Socrates(DD) {} µs",
+        t.commit_latency_us.0, t.commit_latency_us.1
+    );
+    Ok(())
+}
+
+fn run_table2(effort: Effort) -> socrates_common::Result<()> {
+    let t = table2_throughput(effort)?;
+    println!("Table 2 — CDB default mix (paper: HADR 1402 tps / 99.1%, Socrates 1335 tps / 96.4%)");
+    println!("  HADR     {}", t.hadr.summary());
+    println!("  Socrates {}", t.socrates.summary());
+    println!(
+        "  ratio socrates/hadr = {:.3} (paper: 0.952)",
+        t.socrates.total_tps / t.hadr.total_tps.max(1e-9)
+    );
+    Ok(())
+}
+
+fn run_table3(effort: Effort) -> socrates_common::Result<()> {
+    let t = table3_cache_hit(effort)?;
+    println!("Table 3 — CDB cache hit rate (paper: 52% with cache ≈ 22% of data)");
+    println!(
+        "  db {} pages, cache {}+{} pages ({:.1}% of data) → hit rate {:.1}%",
+        t.db_pages,
+        t.mem_pages,
+        t.rbpex_pages,
+        (t.mem_pages + t.rbpex_pages) as f64 / t.db_pages as f64 * 100.0,
+        t.hit_rate * 100.0
+    );
+    Ok(())
+}
+
+fn run_table4(effort: Effort) -> socrates_common::Result<()> {
+    let t = table4_tpce_cache(effort)?;
+    println!("Table 4 — TPC-E cache hit rate (paper: 32% with cache ≈ 1.3% of data)");
+    println!(
+        "  db {} pages, cache {} pages ({:.2}% of data) → hit rate {:.1}%",
+        t.db_pages,
+        t.cache_pages,
+        t.cache_pages as f64 / t.db_pages as f64 * 100.0,
+        t.hit_rate * 100.0
+    );
+    Ok(())
+}
+
+fn run_table5(effort: Effort) -> socrates_common::Result<()> {
+    let t = table5_log_throughput(effort)?;
+    println!("Table 5 — MaxLog mix log throughput (paper: HADR 56.9 MB/s / 46.2%, Socrates 89.8 MB/s / 73.2%)");
+    println!("  HADR     {}", t.hadr.summary());
+    println!("  Socrates {}", t.socrates.summary());
+    println!(
+        "  ratio socrates/hadr = {:.2} (paper: 1.58)",
+        t.socrates.log_mb_s / t.hadr.log_mb_s.max(1e-9)
+    );
+    Ok(())
+}
+
+fn run_table6(effort: Effort) -> socrates_common::Result<()> {
+    let t = table6_commit_latency(effort)?;
+    println!("Table 6 — UpdateLite commit latency, 1 client (µs)");
+    println!("         paper XIO: stdev 431 min 2518 median 3300 max 36864");
+    println!(
+        "  XIO   measured: stdev {:>5.0} min {:>5} median {:>5} max {:>6}  (n={})",
+        t.xio.stddev_us, t.xio.min_us, t.xio.p50_us, t.xio.max_us, t.xio.count
+    );
+    println!("         paper DD : stdev 167 min  484 median  800 max 39857");
+    println!(
+        "  DD    measured: stdev {:>5.0} min {:>5} median {:>5} max {:>6}  (n={})",
+        t.dd.stddev_us, t.dd.min_us, t.dd.p50_us, t.dd.max_us, t.dd.count
+    );
+    Ok(())
+}
+
+fn run_table7(effort: Effort) -> socrates_common::Result<()> {
+    let t = table7_lz_cpu(effort)?;
+    println!("Table 7 — log throughput vs CPU at matched load (paper: XIO 128thr 69MB/s 30% | DD 16thr 70MB/s 9%)");
+    println!("  XIO  {:>3} threads: {}", t.xio.0, t.xio.1.summary());
+    println!("  DD   {:>3} threads: {}", t.dd.0, t.dd.1.summary());
+    println!(
+        "  CPU ratio XIO/DD = {:.2} at log ratio {:.2} (paper: ~3.3x CPU at ~1.0x log)",
+        t.xio.1.cpu_pct / t.dd.1.cpu_pct.max(1e-9),
+        t.xio.1.log_mb_s / t.dd.1.log_mb_s.max(1e-9)
+    );
+    Ok(())
+}
+
+fn run_ablations(effort: Effort) -> socrates_common::Result<()> {
+    println!("Ablation A — RBPEX tier (cache hit rate, CDB default mix):");
+    for (name, hit) in ablation_rbpex(effort)? {
+        println!("  {name:<28} hit {:.1}%", hit * 100.0);
+    }
+    println!("Ablation B — group-commit block size (UpdateLite, 16 clients):");
+    for (kb, tps, p50) in ablation_block_size(effort)? {
+        println!("  {kb:>4} KiB blocks: {tps:>8.0} tps   commit p50 {p50:>6} µs");
+    }
+    println!("Ablation C — lossy XLOG feed (UpdateLite, 16 clients):");
+    for (loss, tps, gaps) in ablation_lossy_feed(effort)? {
+        println!("  loss {:>4.0}%: {tps:>8.0} tps   LZ gap fills {gaps}", loss * 100.0);
+    }
+    println!("Ablation D — landing-zone replicas (1 client commit latency):");
+    for (replicas, p50, p99) in ablation_lz_replicas(effort)? {
+        println!("  {replicas} replica(s): p50 {p50:>6} µs   p99 {p99:>6} µs");
+    }
+    Ok(())
+}
+
+fn run_fig4(effort: Effort) -> socrates_common::Result<()> {
+    let t = fig4_threads(effort)?;
+    println!("Figure 4 — UpdateLite throughput vs client threads");
+    println!("  threads     XIO tps      DD tps    DD/XIO");
+    for (threads, xio, dd) in &t.series {
+        println!("  {threads:>7} {xio:>11.0} {dd:>11.0} {:>9.2}", dd / xio.max(1e-9));
+    }
+    Ok(())
+}

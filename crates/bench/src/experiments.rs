@@ -1,0 +1,429 @@
+//! One function per table/figure of the paper's evaluation.
+
+use crate::setup::{approx_cdb_pages, hadr_with_cdb, socrates_with_cdb, Effort};
+use socrates::{Socrates, SocratesConfig};
+use socrates_cdb::driver::{run, DriverConfig, RunReport};
+use socrates_cdb::schema::CdbScale;
+use socrates_cdb::sut::{HadrSut, SocratesSut, TestSystem};
+use socrates_cdb::tpce::TpceWorkload;
+use socrates_cdb::workload::{CdbMix, CdbWorkload};
+use socrates_common::latency::DeviceProfile;
+use socrates_common::metrics::HistogramSnapshot;
+use socrates_common::{Lsn, Result};
+use socrates_engine::value::{ColumnType, Schema, Value};
+use socrates_hadr::{Hadr, HadrConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn driver(clients: usize, effort: Effort, seed: u64) -> DriverConfig {
+    DriverConfig {
+        clients,
+        duration: Duration::from_millis(effort.window_ms()),
+        warmup: Duration::from_millis(effort.window_ms() / 3),
+        seed,
+    }
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// Table 2 — CDB default mix, Socrates vs HADR.
+///
+/// Shape: HADR wins by a small margin (the paper: ~5%) because every HADR
+/// read hits the full local copy while Socrates pays remote I/O waits on
+/// cache misses; both CPU%% are high, HADR's a touch higher.
+#[derive(Debug)]
+pub struct Table2 {
+    /// HADR run.
+    pub hadr: RunReport,
+    /// Socrates run.
+    pub socrates: RunReport,
+}
+
+/// Run Table 2.
+pub fn table2_throughput(effort: Effort) -> Result<Table2> {
+    let scale = CdbScale { scale_factor: effort.scale_factor(), padding: 400 };
+    let clients = 16;
+
+    let hadr = hadr_with_cdb(scale, 21)?;
+    let hadr_sut = HadrSut::new(Arc::clone(&hadr), 8);
+    let workload = Arc::new(CdbWorkload::new(CdbMix::Default, scale.scale_factor));
+    let hadr_report = run(&hadr_sut, workload, &driver(clients, effort, 1));
+    drop(hadr_sut);
+    drop(hadr);
+
+    // Socrates' cache covers most of the working set — the paper's Table 2
+    // ran with warm caches — so the architectures differ only in the few
+    // percent of reads that go remote and the remote log write.
+    let db_pages = approx_cdb_pages(scale);
+    let sys = socrates_with_cdb(DeviceProfile::xio(), db_pages / 2, db_pages * 2, scale, 22)?;
+    let sut = SocratesSut::new(&sys)?;
+    let workload = Arc::new(CdbWorkload::new(CdbMix::Default, scale.scale_factor));
+    let socrates_report = run(&sut, workload, &driver(clients, effort, 2));
+    sys.shutdown();
+    Ok(Table2 { hadr: hadr_report, socrates: socrates_report })
+}
+
+// ---------------------------------------------------------------- Table 3
+
+/// Table 3 — Socrates local cache hit rate under the CDB default mix with
+/// a cache a small fraction of the database.
+///
+/// Shape: a cache of ~15–20% of the data serves ~half the reads (the
+/// paper: 52% with memory+SSD ≈ 22% of a 1 TB database).
+#[derive(Debug)]
+pub struct Table3 {
+    /// Database size in pages.
+    pub db_pages: usize,
+    /// Memory cache pages.
+    pub mem_pages: usize,
+    /// RBPEX pages.
+    pub rbpex_pages: usize,
+    /// Measured local hit rate.
+    pub hit_rate: f64,
+}
+
+/// Run Table 3.
+pub fn table3_cache_hit(effort: Effort) -> Result<Table3> {
+    let scale = CdbScale { scale_factor: effort.scale_factor() * 3, padding: 400 };
+    let db_pages = approx_cdb_pages(scale);
+    let mem_pages = ((db_pages * 5) / 100).max(16); // ~5% in memory (paper: 56GB/1TB)
+    let rbpex_pages = ((db_pages * 16) / 100).max(32); // ~16% on SSD (paper: 168GB/1TB)
+    let sys = socrates_with_cdb(DeviceProfile::xio(), mem_pages, rbpex_pages, scale, 31)?;
+    let sut = SocratesSut::new(&sys)?;
+    // CDB's default mix "randomly touches pages scattered across the
+    // entire database" — no locality beyond what re-reads give.
+    let workload =
+        Arc::new(CdbWorkload::new(CdbMix::Default, scale.scale_factor).with_locality(0.0, 0.02));
+    let _ = run(&sut, workload, &driver(8, effort, 3));
+    let hit_rate = sut.local_hit_rate();
+    sys.shutdown();
+    Ok(Table3 { db_pages, mem_pages, rbpex_pages, hit_rate })
+}
+
+// ---------------------------------------------------------------- Table 4
+
+/// Table 4 — cache hit rate under the TPC-E-like (Zipf) workload with a
+/// cache ≈ 1–2% of the database.
+///
+/// Shape: even a ~1% cache serves ~30% of reads thanks to skew (paper:
+/// 32% at 408 GB cache / 30 TB data).
+#[derive(Debug)]
+pub struct Table4 {
+    /// Database size in pages.
+    pub db_pages: usize,
+    /// Total local cache pages.
+    pub cache_pages: usize,
+    /// Measured hit rate.
+    pub hit_rate: f64,
+}
+
+/// Run Table 4.
+pub fn table4_tpce_cache(effort: Effort) -> Result<Table4> {
+    // The database must be large enough that a ~1.3% cache still exceeds
+    // the B-tree's internal working set (true at any realistic scale; at
+    // toy scales the internals would thrash the whole cache).
+    let customers: u64 = match effort {
+        Effort::Quick => 100_000,
+        Effort::Full => 200_000,
+    };
+    let padding = 230usize;
+    let db_pages = (customers as usize * (padding + 110)) / socrates_storage::page::PAGE_SIZE;
+    let cache_pages = (db_pages / 75).max(24); // ≈1.3% of the database
+    let mem = (cache_pages * 2) / 5;
+    let ssd = cache_pages - mem;
+    let config = SocratesConfig::realistic(41)
+        .with_secondaries(0)
+        .with_cache(mem.max(6), ssd.max(8));
+    let sys = Socrates::launch(config)?;
+    let primary = sys.primary()?;
+    let workload = Arc::new(TpceWorkload::load(primary.db(), customers, padding, 4242)?);
+    sys.fabric().wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(180))?;
+    let sut = SocratesSut::new(&sys)?;
+    let _ = run(&sut, workload, &driver(8, effort, 4));
+    let hit_rate = sut.local_hit_rate();
+    sys.shutdown();
+    Ok(Table4 { db_pages, cache_pages: mem.max(6) + ssd.max(8), hit_rate })
+}
+
+// ---------------------------------------------------------------- Table 5
+
+/// Table 5 — log throughput under the MaxLog mix.
+///
+/// Shape: HADR's log rate is pinned near its compute-driven backup egress
+/// budget; Socrates, whose backups are XStore snapshots, sustains
+/// substantially more (paper: 89.8 vs 56.9 MB/s) at higher CPU.
+#[derive(Debug)]
+pub struct Table5 {
+    /// HADR run.
+    pub hadr: RunReport,
+    /// Socrates run.
+    pub socrates: RunReport,
+}
+
+/// Run Table 5.
+pub fn table5_log_throughput(effort: Effort) -> Result<Table5> {
+    let scale = CdbScale { scale_factor: effort.scale_factor(), padding: 400 };
+    let clients = 32;
+    let make_workload = || {
+        Arc::new(
+            CdbWorkload::new(CdbMix::MaxLog, scale.scale_factor).with_update_padding(900),
+        )
+    };
+
+    let hadr = hadr_with_cdb(scale, 51)?;
+    let hadr_sut = HadrSut::new(Arc::clone(&hadr), 16);
+    let hadr_report = run(&hadr_sut, make_workload(), &driver(clients, effort, 5));
+    drop(hadr_sut);
+    drop(hadr);
+
+    let db_pages = approx_cdb_pages(scale);
+    let sys = socrates_with_cdb(DeviceProfile::xio(), db_pages, db_pages, scale, 52)?;
+    let sut = SocratesSut::new(&sys)?;
+    let socrates_report = run(&sut, make_workload(), &driver(clients, effort, 6));
+    sys.shutdown();
+    Ok(Table5 { hadr: hadr_report, socrates: socrates_report })
+}
+
+// ------------------------------------------------- Tables 6/7 & Figure 4
+
+/// One UpdateLite run against Socrates with a given landing-zone service.
+pub fn updatelite_run(
+    lz: DeviceProfile,
+    clients: usize,
+    effort: Effort,
+    seed: u64,
+) -> Result<RunReport> {
+    let scale = CdbScale { scale_factor: 2000, padding: 120 };
+    let db_pages = approx_cdb_pages(scale);
+    // Fully cached compute (the Appendix A experiments isolate the LZ).
+    let sys = socrates_with_cdb(lz, db_pages * 2, db_pages * 2, scale, seed)?;
+    let sut = SocratesSut::new(&sys)?;
+    let workload = Arc::new(CdbWorkload::new(CdbMix::UpdateLite, scale.scale_factor));
+    let report = run(&sut, workload, &driver(clients, effort, seed));
+    sys.shutdown();
+    Ok(report)
+}
+
+/// Table 6 — single-client commit latency, XIO vs DirectDrive.
+///
+/// Shape: DirectDrive's min/median are ~4–5× lower; the max (tail spike)
+/// is similar for both.
+#[derive(Debug)]
+pub struct Table6 {
+    /// XIO commit latency stats.
+    pub xio: HistogramSnapshot,
+    /// DirectDrive commit latency stats.
+    pub dd: HistogramSnapshot,
+}
+
+/// Run Table 6.
+pub fn table6_commit_latency(effort: Effort) -> Result<Table6> {
+    let xio = updatelite_run(DeviceProfile::xio(), 1, effort, 61)?;
+    let dd = updatelite_run(DeviceProfile::direct_drive(), 1, effort, 62)?;
+    Ok(Table6 { xio: xio.commit_latency, dd: dd.commit_latency })
+}
+
+/// Table 7 — CPU cost at (roughly) matched log throughput: XIO needs many
+/// more client threads and burns several times the primary CPU compared
+/// to DirectDrive (the paper: 128 vs 16 threads, ~3× CPU at 70 MB/s).
+#[derive(Debug)]
+pub struct Table7 {
+    /// (threads, report) for XIO.
+    pub xio: (usize, RunReport),
+    /// (threads, report) for DirectDrive.
+    pub dd: (usize, RunReport),
+}
+
+/// Run Table 7.
+pub fn table7_lz_cpu(effort: Effort) -> Result<Table7> {
+    let xio_threads = 64;
+    let dd_threads = 8;
+    let xio = updatelite_run(DeviceProfile::xio(), xio_threads, effort, 71)?;
+    let dd = updatelite_run(DeviceProfile::direct_drive(), dd_threads, effort, 72)?;
+    Ok(Table7 { xio: (xio_threads, xio), dd: (dd_threads, dd) })
+}
+
+/// Figure 4 — UpdateLite throughput vs client threads for both landing
+/// zones.
+///
+/// Shape: DD dominates XIO at every thread count; both scale roughly
+/// linearly while the LZ is the bottleneck, then flatten.
+#[derive(Debug)]
+pub struct Fig4 {
+    /// (threads, XIO tps, DD tps) series.
+    pub series: Vec<(usize, f64, f64)>,
+}
+
+/// Run Figure 4.
+pub fn fig4_threads(effort: Effort) -> Result<Fig4> {
+    let thread_counts: &[usize] = match effort {
+        Effort::Quick => &[1, 4, 16],
+        Effort::Full => &[1, 2, 4, 8, 16, 32, 64],
+    };
+    let mut series = Vec::new();
+    for &threads in thread_counts {
+        let xio = updatelite_run(DeviceProfile::xio(), threads, effort, 80 + threads as u64)?;
+        let dd =
+            updatelite_run(DeviceProfile::direct_drive(), threads, effort, 180 + threads as u64)?;
+        series.push((threads, xio.total_tps, dd.total_tps));
+    }
+    Ok(Fig4 { series })
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// Table 1 — the goals table: operational characteristics of both
+/// architectures measured head to head.
+#[derive(Debug)]
+pub struct Table1 {
+    /// (DB pages, HADR replica-seed seconds) at two sizes — O(data).
+    pub hadr_seed: Vec<(u64, f64)>,
+    /// (DB pages, Socrates add-page-server seconds) at two sizes — O(1).
+    pub socrates_upsize: Vec<(u64, f64)>,
+    /// (DB pages, HADR full-backup seconds) — O(data).
+    pub hadr_backup: Vec<(u64, f64)>,
+    /// (DB pages, Socrates snapshot-backup seconds) — O(1).
+    pub socrates_backup: Vec<(u64, f64)>,
+    /// (history records, HADR restart seconds incl. undo).
+    pub hadr_recovery: Vec<(usize, f64)>,
+    /// (history records, Socrates failover seconds — analysis only).
+    pub socrates_recovery: Vec<(usize, f64)>,
+    /// Storage copies of each page: (HADR, Socrates).
+    pub storage_copies: (f64, f64),
+    /// Median commit latency µs: (HADR, Socrates-on-DD).
+    pub commit_latency_us: (u64, u64),
+}
+
+/// Run Table 1's measurable rows.
+pub fn table1_goals(effort: Effort) -> Result<Table1> {
+    let sizes: &[u64] = match effort {
+        Effort::Quick => &[400, 1200],
+        Effort::Full => &[500, 2500],
+    };
+    let mut hadr_seed = Vec::new();
+    let mut socrates_upsize = Vec::new();
+    let mut hadr_backup = Vec::new();
+    let mut socrates_backup = Vec::new();
+
+    for (i, &sf) in sizes.iter().enumerate() {
+        let scale = CdbScale { scale_factor: sf, padding: 400 };
+
+        // HADR: seeding a replica and a full backup copy the database.
+        let hadr = Arc::new(Hadr::launch(HadrConfig::realistic(90 + i as u64))?);
+        socrates_cdb::schema::load_cdb(hadr.db(), scale, 90)?;
+        let pages = hadr.page_count();
+        let t0 = Instant::now();
+        let _ = hadr.seed_replica()?;
+        hadr_seed.push((pages, t0.elapsed().as_secs_f64()));
+        let t0 = Instant::now();
+        hadr.full_backup(&format!("bench/full-{i}"))?;
+        hadr_backup.push((pages, t0.elapsed().as_secs_f64()));
+        drop(hadr);
+
+        // Socrates: upsize = spin up a page server for a new partition;
+        // backup = per-partition snapshots.
+        let sys = socrates_with_cdb(DeviceProfile::direct_drive(), 4096, 8192, scale, 95 + i as u64)?;
+        sys.checkpoint()?;
+        let t0 = Instant::now();
+        let next = sys.fabric().partition_ids().len() as u32 + 7;
+        sys.fabric()
+            .ensure_partition(socrates_common::PartitionId::new(next), Lsn::ZERO)?;
+        socrates_upsize.push((pages, t0.elapsed().as_secs_f64()));
+        let t0 = Instant::now();
+        let _ = sys.backup()?;
+        socrates_backup.push((pages, t0.elapsed().as_secs_f64()));
+        sys.shutdown();
+    }
+
+    // Recovery with an unfinished long-running transaction. Both systems
+    // checkpoint periodically *while it runs* (as any production system
+    // does). The contrast the paper's Table 1 makes: ADR recovery is
+    // bounded by the checkpoint interval — it never revisits the long
+    // transaction's history — while ARIES-style undo walks all of it.
+    let histories: &[usize] = match effort {
+        Effort::Quick => &[2_000, 10_000],
+        Effort::Full => &[5_000, 40_000],
+    };
+    let checkpoint_every = 1_000usize;
+    let mut hadr_recovery = Vec::new();
+    let mut socrates_recovery = Vec::new();
+    let schema = Schema::new(
+        vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)],
+        1,
+    );
+    for &history in histories {
+        // HADR restart with an unfinished transaction of `history` updates.
+        let hadr = Arc::new(Hadr::launch(HadrConfig::fast_test())?);
+        hadr.db().create_table("r", schema.clone())?;
+        let h = hadr.db().begin();
+        for i in 0..history.min(2_000) {
+            hadr.db().upsert(&h, "r", &[Value::Int((i % 50) as i64), Value::Int(i as i64)])?;
+        }
+        hadr.db().commit(h)?;
+        let long = hadr.db().begin();
+        for i in 0..history {
+            hadr.db().update(&long, "r", &[Value::Int((i % 50) as i64), Value::Int(-1)])?;
+            if i % checkpoint_every == checkpoint_every - 1 {
+                hadr.db().checkpoint(Lsn::ZERO)?;
+            }
+        }
+        hadr.pipeline().flush()?;
+        let t0 = Instant::now();
+        let stats = hadr.recover_primary()?;
+        assert!(stats.undo_records >= history, "undo skipped history");
+        hadr_recovery.push((history, t0.elapsed().as_secs_f64()));
+
+        // Socrates failover with the same unfinished history: analysis
+        // from the last checkpoint only.
+        let config = SocratesConfig::fast_test();
+        let sys = Socrates::launch(config)?;
+        {
+            let p = sys.primary()?;
+            p.db().create_table("r", schema.clone())?;
+            let h = p.db().begin();
+            for i in 0..history.min(2_000) {
+                p.db().upsert(&h, "r", &[Value::Int((i % 50) as i64), Value::Int(i as i64)])?;
+            }
+            p.db().commit(h)?;
+            let long = p.db().begin();
+            for i in 0..history {
+                p.db().update(&long, "r", &[Value::Int((i % 50) as i64), Value::Int(-1)])?;
+                if i % checkpoint_every == checkpoint_every - 1 {
+                    sys.checkpoint()?;
+                }
+            }
+            p.pipeline().flush()?;
+        }
+        sys.kill_primary();
+        let t0 = Instant::now();
+        let _ = sys.failover()?;
+        socrates_recovery.push((history, t0.elapsed().as_secs_f64()));
+        sys.shutdown();
+    }
+
+    // Storage copies: HADR keeps a full copy on each of 4 nodes; Socrates
+    // keeps one covering page-server copy plus the XStore checkpoint copy.
+    let storage_copies = (4.0, 2.0);
+
+    // Commit latency: HADR quorum vs Socrates on DirectDrive.
+    let hadr = Arc::new(Hadr::launch(HadrConfig::realistic(101))?);
+    socrates_cdb::schema::load_cdb(hadr.db(), CdbScale { scale_factor: 400, padding: 100 }, 7)?;
+    let hadr_sut = HadrSut::new(Arc::clone(&hadr), 8);
+    let workload = Arc::new(CdbWorkload::new(CdbMix::UpdateLite, 400));
+    let hadr_report = run(&hadr_sut, workload, &driver(1, effort, 9));
+    drop(hadr_sut);
+    drop(hadr);
+    let dd = updatelite_run(DeviceProfile::direct_drive(), 1, effort, 102)?;
+    let commit_latency_us = (hadr_report.commit_latency.p50_us, dd.commit_latency.p50_us);
+
+    Ok(Table1 {
+        hadr_seed,
+        socrates_upsize,
+        hadr_backup,
+        socrates_backup,
+        hadr_recovery,
+        socrates_recovery,
+        storage_copies,
+        commit_latency_us,
+    })
+}

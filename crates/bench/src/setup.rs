@@ -1,0 +1,71 @@
+//! Shared deployment/loading helpers for the experiments.
+
+use socrates::{Socrates, SocratesConfig};
+use socrates_cdb::schema::{load_cdb, CdbScale};
+use socrates_common::latency::DeviceProfile;
+use socrates_common::Result;
+use socrates_hadr::{Hadr, HadrConfig};
+use std::sync::Arc;
+
+/// How hard to drive the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// Short windows for Criterion/CI.
+    Quick,
+    /// The full windows the committed EXPERIMENTS.md numbers use.
+    Full,
+}
+
+impl Effort {
+    /// Measurement window in milliseconds.
+    pub fn window_ms(self) -> u64 {
+        match self {
+            Effort::Quick => 1200,
+            Effort::Full => 5000,
+        }
+    }
+
+    /// CDB scale factor.
+    pub fn scale_factor(self) -> u64 {
+        match self {
+            Effort::Quick => 1500,
+            Effort::Full => 3000,
+        }
+    }
+}
+
+/// Launch a Socrates deployment with calibrated latencies and the given
+/// landing-zone service and compute cache size, and load CDB into it.
+pub fn socrates_with_cdb(
+    lz: DeviceProfile,
+    mem_pages: usize,
+    rbpex_pages: usize,
+    scale: CdbScale,
+    seed: u64,
+) -> Result<Socrates> {
+    let config = SocratesConfig::realistic(seed)
+        .with_lz_profile(lz)
+        .with_secondaries(0)
+        .with_cache(mem_pages, rbpex_pages);
+    let sys = Socrates::launch(config)?;
+    let primary = sys.primary()?;
+    load_cdb(primary.db(), scale, seed ^ 0xDA7A)?;
+    // Let the storage tier absorb the bulk load before measuring (any real
+    // benchmark run starts from a settled system).
+    sys.fabric()
+        .wait_applied(primary.pipeline().hardened_lsn(), std::time::Duration::from_secs(120))?;
+    Ok(sys)
+}
+
+/// Launch an HADR deployment with calibrated latencies and load CDB.
+pub fn hadr_with_cdb(scale: CdbScale, seed: u64) -> Result<Arc<Hadr>> {
+    let hadr = Arc::new(Hadr::launch(HadrConfig::realistic(seed))?);
+    load_cdb(hadr.db(), scale, seed ^ 0xDA7A)?;
+    Ok(hadr)
+}
+
+/// Pages a CDB database of this scale roughly occupies (for sizing caches
+/// as a fraction of the database, as Tables 3/4 do).
+pub fn approx_cdb_pages(scale: CdbScale) -> usize {
+    (scale.approx_bytes() as usize / socrates_storage::page::PAGE_SIZE).max(64)
+}

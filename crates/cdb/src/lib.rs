@@ -1,0 +1,32 @@
+//! CDB — Microsoft's Cloud Database Benchmark (paper §7.1) — plus the
+//! TPC-E-like workload of Table 4, re-created from their descriptions.
+//!
+//! CDB is "a synthetic database with six tables and a scaling factor", with
+//! "transaction types covering a wide range of operations from simple point
+//! lookups to complex bulk updates" and named workload mixes. This crate
+//! provides:
+//!
+//! * [`schema`] — the six tables and the scale-factor loader;
+//! * [`workload`] — the transaction classes and the mixes the paper's
+//!   experiments use (Default, MaxLog for Table 5, UpdateLite for
+//!   Appendix A, ReadOnly);
+//! * [`tpce`] — a Zipf-skewed customers/trades workload standing in for
+//!   the 30 TB TPC-E run of Table 4 (only the access skew matters there);
+//! * [`driver`] — a multi-threaded closed-loop driver with warmup,
+//!   latency histograms, TPS / log-MB/s / CPU%% reporting;
+//! * [`sut`] — adapters presenting Socrates and HADR deployments to the
+//!   driver through one interface.
+
+pub mod driver;
+pub mod schema;
+#[cfg(test)]
+mod tests;
+pub mod sut;
+pub mod tpce;
+pub mod workload;
+
+pub use driver::{run, DriverConfig, RunReport};
+pub use schema::{load_cdb, CdbScale};
+pub use sut::{HadrSut, SocratesSut, TestSystem};
+pub use tpce::TpceWorkload;
+pub use workload::{CdbMix, CdbWorkload};

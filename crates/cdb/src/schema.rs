@@ -1,0 +1,132 @@
+//! The six CDB tables and the scale-factor data loader.
+
+use socrates_common::rng::Rng;
+use socrates_engine::value::{ColumnType, Schema, Value};
+use socrates_engine::Database;
+use socrates_common::Result;
+
+/// Scale parameters: how big the database is and how wide its rows are.
+#[derive(Clone, Copy, Debug)]
+pub struct CdbScale {
+    /// The CDB scaling factor: `accounts`/`orders` get this many rows,
+    /// `items` twice as many.
+    pub scale_factor: u64,
+    /// Padding bytes per row (controls database bytes per row, so cache
+    /// ratios can be set precisely).
+    pub padding: usize,
+}
+
+impl CdbScale {
+    /// A small database for tests.
+    pub fn tiny() -> CdbScale {
+        CdbScale { scale_factor: 500, padding: 64 }
+    }
+
+    /// Approximate data bytes the scale will produce (rows × payload).
+    pub fn approx_bytes(&self) -> u64 {
+        // accounts + orders + 2×items rows, each ~padding + 60B overhead.
+        (self.scale_factor * 4) * (self.padding as u64 + 60)
+    }
+}
+
+/// The six CDB tables.
+pub const T_CONFIG: &str = "cdb_config";
+/// Hot, small reference table.
+pub const T_SMALL: &str = "cdb_small";
+/// Main account rows (scale factor).
+pub const T_ACCOUNTS: &str = "cdb_accounts";
+/// Order rows (scale factor).
+pub const T_ORDERS: &str = "cdb_orders";
+/// Item rows (2 × scale factor).
+pub const T_ITEMS: &str = "cdb_items";
+/// Append-only history.
+pub const T_HISTORY: &str = "cdb_history";
+
+fn padded(rng: &mut Rng, n: usize) -> Value {
+    let mut bytes = vec![0u8; n];
+    rng.fill_bytes(&mut bytes);
+    Value::Bytes(bytes)
+}
+
+/// Create the six tables and load them to `scale`. Returns the number of
+/// rows loaded. Loading commits in batches so the log pipeline and page
+/// servers exercise their bulk paths.
+pub fn load_cdb(db: &Database, scale: CdbScale, seed: u64) -> Result<u64> {
+    let mut rng = Rng::new(seed);
+    let two_col = |name: &str| {
+        Schema::new(
+            vec![(format!("{name}_id"), ColumnType::Int), ("payload".into(), ColumnType::Bytes)],
+            1,
+        )
+    };
+    db.create_table(
+        T_CONFIG,
+        Schema::new(
+            vec![("key".into(), ColumnType::Int), ("value".into(), ColumnType::Int)],
+            1,
+        ),
+    )?;
+    db.create_table(T_SMALL, two_col("small"))?;
+    db.create_table(
+        T_ACCOUNTS,
+        Schema::new(
+            vec![
+                ("account_id".into(), ColumnType::Int),
+                ("balance".into(), ColumnType::Int),
+                ("payload".into(), ColumnType::Bytes),
+            ],
+            1,
+        ),
+    )?;
+    db.create_table(T_ORDERS, two_col("order"))?;
+    db.create_table(T_ITEMS, two_col("item"))?;
+    db.create_table(
+        T_HISTORY,
+        Schema::new(
+            vec![("hist_id".into(), ColumnType::Int), ("entry".into(), ColumnType::Bytes)],
+            1,
+        ),
+    )?;
+
+    let mut rows = 0u64;
+    let batch = 200u64;
+
+    // Config: 64 hot keys.
+    let h = db.begin();
+    for k in 0..64 {
+        db.insert(&h, T_CONFIG, &[Value::Int(k), Value::Int(0)])?;
+    }
+    // Small: 1% of SF, min 32.
+    for k in 0..(scale.scale_factor / 100).max(32) {
+        db.insert(&h, T_SMALL, &[Value::Int(k as i64), padded(&mut rng, 32)])?;
+        rows += 1;
+    }
+    db.commit(h)?;
+
+    let mut load_table = |name: &str, count: u64, make: &dyn Fn(&mut Rng, i64) -> Vec<Value>| -> Result<u64> {
+        let mut loaded = 0u64;
+        let mut i = 0u64;
+        while i < count {
+            let h = db.begin();
+            for j in i..(i + batch).min(count) {
+                db.insert(&h, name, &make(&mut rng, j as i64))?;
+                loaded += 1;
+            }
+            db.commit(h)?;
+            i += batch;
+        }
+        Ok(loaded)
+    };
+
+    let pad = scale.padding;
+    rows += load_table(T_ACCOUNTS, scale.scale_factor, &|rng, id| {
+        vec![Value::Int(id), Value::Int(1000), padded(rng, pad)]
+    })?;
+    rows += load_table(T_ORDERS, scale.scale_factor, &|rng, id| {
+        vec![Value::Int(id), padded(rng, pad)]
+    })?;
+    rows += load_table(T_ITEMS, scale.scale_factor * 2, &|rng, id| {
+        vec![Value::Int(id), padded(rng, pad / 2)]
+    })?;
+    Ok(rows)
+}

@@ -1,0 +1,102 @@
+//! System-under-test adapters: one driver, two architectures.
+
+use socrates_common::metrics::CpuAccountant;
+use socrates_engine::Database;
+use socrates_hadr::Hadr;
+use socrates_wal::pipeline::LogPipelineMetrics;
+use std::sync::Arc;
+
+/// What the benchmark driver needs from a deployment.
+pub trait TestSystem: Send + Sync {
+    /// The read-write endpoint (the primary's database).
+    fn db(&self) -> &Database;
+    /// The primary's modelled CPU accountant (engine work is charged here).
+    fn primary_cpu(&self) -> Arc<CpuAccountant>;
+    /// Log pipeline metrics (commit latency, bytes hardened).
+    fn log_metrics(&self) -> &LogPipelineMetrics;
+    /// Modelled cores on the primary (for CPU%).
+    fn cores(&self) -> u32;
+    /// Local (memory + SSD) cache hit rate of the primary, if the
+    /// architecture has a partial cache (Tables 3/4). HADR reads always
+    /// hit its full copy.
+    fn local_hit_rate(&self) -> f64 {
+        1.0
+    }
+    /// Reset cache statistics (called by the driver when measurement
+    /// starts, so load/warmup traffic doesn't pollute hit rates).
+    fn reset_cache_stats(&self) {}
+}
+
+/// Socrates adapter.
+pub struct SocratesSut {
+    primary: Arc<socrates::Primary>,
+    cores: u32,
+}
+
+impl SocratesSut {
+    /// Wrap a Socrates deployment's current primary.
+    pub fn new(sys: &socrates::Socrates) -> socrates_common::Result<SocratesSut> {
+        Ok(SocratesSut {
+            primary: sys.primary()?,
+            cores: sys.fabric().config.compute_cores,
+        })
+    }
+}
+
+impl TestSystem for SocratesSut {
+    fn db(&self) -> &Database {
+        self.primary.db()
+    }
+
+    fn primary_cpu(&self) -> Arc<CpuAccountant> {
+        Arc::clone(self.primary.cpu())
+    }
+
+    fn log_metrics(&self) -> &LogPipelineMetrics {
+        self.primary.pipeline().metrics()
+    }
+
+    fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    fn local_hit_rate(&self) -> f64 {
+        self.primary.io().data_hit_rate()
+    }
+
+    fn reset_cache_stats(&self) {
+        self.primary.io().cache().stats().reset();
+        self.primary.io().reset_data_hit_stats();
+    }
+}
+
+/// HADR adapter.
+pub struct HadrSut {
+    hadr: Arc<Hadr>,
+    cores: u32,
+}
+
+impl HadrSut {
+    /// Wrap an HADR deployment.
+    pub fn new(hadr: Arc<Hadr>, cores: u32) -> HadrSut {
+        HadrSut { hadr, cores }
+    }
+}
+
+impl TestSystem for HadrSut {
+    fn db(&self) -> &Database {
+        self.hadr.db()
+    }
+
+    fn primary_cpu(&self) -> Arc<CpuAccountant> {
+        self.hadr.cpu().accountant(socrates_common::NodeId::PRIMARY)
+    }
+
+    fn log_metrics(&self) -> &LogPipelineMetrics {
+        self.hadr.pipeline().metrics()
+    }
+
+    fn cores(&self) -> u32 {
+        self.cores
+    }
+}

@@ -1,0 +1,145 @@
+//! The TPC-E-like workload for the cache experiment of Table 4.
+//!
+//! The paper runs TPC-E on a 30 TB database with 3.1 M customers against a
+//! Socrates primary whose local cache holds ~1% of the data, and still
+//! measures a 32% hit rate — because real workloads are skewed. Only the
+//! skew and the cache:database ratio matter for that number, so this
+//! module provides a customers/trades schema with Zipf-distributed access
+//! (exponent 0.8 puts roughly a third of page reads on cache-resident pages at
+//! CDB-like scales).
+
+use crate::driver::{TxnKind, Workload};
+use socrates_common::metrics::CpuAccountant;
+use socrates_common::rng::{Rng, Zipf};
+use socrates_common::Result;
+use socrates_engine::value::{ColumnType, Schema, Value};
+use socrates_engine::Database;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Customers table.
+pub const T_CUSTOMERS: &str = "tpce_customers";
+/// Trades table (append + update).
+pub const T_TRADES: &str = "tpce_trades";
+
+/// The TPC-E-like workload.
+pub struct TpceWorkload {
+    customers: u64,
+    zipf: Zipf,
+    trade_seq: AtomicU64,
+    padding: usize,
+}
+
+impl TpceWorkload {
+    /// Create tables and load `customers` rows with `padding` bytes each.
+    pub fn load(
+        db: &Database,
+        customers: u64,
+        padding: usize,
+        seed: u64,
+    ) -> Result<TpceWorkload> {
+        let mut rng = Rng::new(seed);
+        db.create_table(
+            T_CUSTOMERS,
+            Schema::new(
+                vec![
+                    ("cust_id".into(), ColumnType::Int),
+                    ("tier".into(), ColumnType::Int),
+                    ("profile".into(), ColumnType::Bytes),
+                ],
+                1,
+            ),
+        )?;
+        db.create_table(
+            T_TRADES,
+            Schema::new(
+                vec![("trade_id".into(), ColumnType::Int), ("detail".into(), ColumnType::Bytes)],
+                1,
+            ),
+        )?;
+        let batch = 200;
+        let mut i = 0u64;
+        while i < customers {
+            let h = db.begin();
+            for c in i..(i + batch).min(customers) {
+                let mut profile = vec![0u8; padding];
+                rng.fill_bytes(&mut profile);
+                db.insert(
+                    &h,
+                    T_CUSTOMERS,
+                    &[
+                        Value::Int(c as i64),
+                        Value::Int((c % 5) as i64),
+                        Value::Bytes(profile),
+                    ],
+                )?;
+            }
+            db.commit(h)?;
+            i += batch;
+        }
+        Ok(TpceWorkload {
+            customers,
+            zipf: Zipf::new(customers, 0.8),
+            trade_seq: AtomicU64::new(1),
+            padding,
+        })
+    }
+
+    fn pick_customer(&self, rng: &mut Rng) -> i64 {
+        // Zipf rank used directly as the customer id: hot customers share
+        // pages, giving the page-level skew that makes a ~1% cache serve
+        // ~30% of reads (Table 4). Exponent 0.8 puts ≈30% of accesses on
+        // the hottest ~1.5% of customers at this scale.
+        (self.zipf.sample(rng) % self.customers) as i64
+    }
+}
+
+impl Workload for TpceWorkload {
+    fn execute_one(
+        &self,
+        db: &Database,
+        rng: &mut Rng,
+        cpu: &CpuAccountant,
+    ) -> Result<TxnKind> {
+        match rng.pick_weighted(&[84.0, 8.0, 8.0]) {
+            0 => {
+                // Customer position inquiry: a couple of point reads.
+                cpu.charge_us(90);
+                let h = db.begin();
+                let c = self.pick_customer(rng);
+                let _ = db.get(&h, T_CUSTOMERS, &[Value::Int(c)])?;
+                let c2 = self.pick_customer(rng);
+                let _ = db.get(&h, T_CUSTOMERS, &[Value::Int(c2)])?;
+                db.commit(h)?;
+                Ok(TxnKind::Read)
+            }
+            1 => {
+                // Trade order: insert a trade.
+                cpu.charge_us(130);
+                let h = db.begin();
+                let id = self.trade_seq.fetch_add(1, Ordering::Relaxed);
+                let mut detail = vec![0u8; 96];
+                rng.fill_bytes(&mut detail);
+                db.insert(&h, T_TRADES, &[Value::Int(id as i64), Value::Bytes(detail)])?;
+                db.commit(h)?;
+                Ok(TxnKind::Write)
+            }
+            _ => {
+                // Customer update.
+                cpu.charge_us(110);
+                let h = db.begin();
+                let c = self.pick_customer(rng);
+                let mut profile = vec![0u8; self.padding];
+                rng.fill_bytes(&mut profile);
+                let row = vec![Value::Int(c), Value::Int(1), Value::Bytes(profile)];
+                match db.update(&h, T_CUSTOMERS, &row) {
+                    Ok(_) => db.commit(h)?,
+                    Err(e) => {
+                        db.abort(h);
+                        return Err(e);
+                    }
+                }
+                Ok(TxnKind::Write)
+            }
+        }
+    }
+}

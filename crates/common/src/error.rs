@@ -1,0 +1,116 @@
+//! The workspace-wide error type.
+//!
+//! Socrates is a distributed system of mini-services; errors are part of the
+//! protocol surface. The variants distinguish the conditions callers react
+//! to differently: transient unavailability (retry or fail over), data
+//! corruption (fail the replica, reseed), write conflicts (abort the
+//! transaction), and plain programming or configuration mistakes.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by any socrates-rs component.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An underlying I/O operation failed (device error, short read, ...).
+    Io(String),
+    /// Stored bytes failed validation (bad checksum, bad magic, torn write).
+    Corruption(String),
+    /// The requested object does not exist.
+    NotFound(String),
+    /// The service is temporarily unavailable; the operation may be retried.
+    Unavailable(String),
+    /// An MVCC write-write conflict; the transaction must abort.
+    WriteConflict(String),
+    /// The transaction was aborted (explicitly or by the system).
+    TxnAborted(String),
+    /// A wait exceeded its deadline.
+    Timeout(String),
+    /// A remote peer spoke a different or corrupt protocol.
+    Protocol(String),
+    /// The caller supplied an invalid argument or configuration.
+    InvalidArgument(String),
+    /// An operation is not valid in the current state (e.g. writing on a
+    /// read-only secondary, using a closed service).
+    InvalidState(String),
+}
+
+impl Error {
+    /// Whether the operation that produced this error may succeed if simply
+    /// retried (possibly against another replica).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Unavailable(_) | Error::Timeout(_))
+    }
+
+    /// A short machine-friendly tag for the variant, used in metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Io(_) => "io",
+            Error::Corruption(_) => "corruption",
+            Error::NotFound(_) => "not_found",
+            Error::Unavailable(_) => "unavailable",
+            Error::WriteConflict(_) => "write_conflict",
+            Error::TxnAborted(_) => "txn_aborted",
+            Error::Timeout(_) => "timeout",
+            Error::Protocol(_) => "protocol",
+            Error::InvalidArgument(_) => "invalid_argument",
+            Error::InvalidState(_) => "invalid_state",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            Error::Io(m) => ("io error", m),
+            Error::Corruption(m) => ("corruption", m),
+            Error::NotFound(m) => ("not found", m),
+            Error::Unavailable(m) => ("unavailable", m),
+            Error::WriteConflict(m) => ("write conflict", m),
+            Error::TxnAborted(m) => ("transaction aborted", m),
+            Error::Timeout(m) => ("timeout", m),
+            Error::Protocol(m) => ("protocol error", m),
+            Error::InvalidArgument(m) => ("invalid argument", m),
+            Error::InvalidState(m) => ("invalid state", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(Error::Unavailable("x".into()).is_transient());
+        assert!(Error::Timeout("x".into()).is_transient());
+        assert!(!Error::Corruption("x".into()).is_transient());
+        assert!(!Error::WriteConflict("x".into()).is_transient());
+    }
+
+    #[test]
+    fn display_and_kind() {
+        let e = Error::NotFound("page:9".into());
+        assert_eq!(e.to_string(), "not found: page:9");
+        assert_eq!(e.kind(), "not_found");
+        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert_eq!(e.kind(), "io");
+    }
+}

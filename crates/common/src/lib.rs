@@ -1,0 +1,25 @@
+//! Shared foundations for the socrates-rs workspace.
+//!
+//! This crate provides the vocabulary types used by every tier of the
+//! Socrates architecture (LSNs, page/partition/transaction identifiers), a
+//! common error type, latency models that stand in for the Azure storage
+//! devices evaluated in the paper (XIO, DirectDrive, XStore, local SSD),
+//! modelled CPU accounting used to reproduce the paper's CPU% measurements,
+//! metrics primitives (counters and histograms), a CRC32 implementation for
+//! page and log-block checksums, and deterministic random number generation
+//! with the Zipf sampler used by the TPC-E-like workload.
+//!
+//! Nothing in this crate knows about databases; it is the substrate the rest
+//! of the workspace is built on.
+
+pub mod checksum;
+pub mod error;
+pub mod ids;
+pub mod latency;
+pub mod lsn;
+pub mod metrics;
+pub mod rng;
+
+pub use error::{Error, Result};
+pub use ids::{BlobId, NodeId, PageId, PartitionId, ReplicaId, TableId, TxnId};
+pub use lsn::Lsn;

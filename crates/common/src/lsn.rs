@@ -1,0 +1,192 @@
+//! Log sequence numbers.
+//!
+//! Socrates, like SQL Server, identifies every position in the transaction
+//! log with a log sequence number. We model LSNs as byte offsets into a
+//! single, conceptually infinite log stream: the LSN of a record is the
+//! offset of its first byte, and the "end LSN" of a block is the offset one
+//! past its last byte. Byte-offset LSNs make landing-zone wraparound
+//! arithmetic and destaging bookkeeping straightforward.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A position in the database log, measured in bytes from the start of the
+/// log stream.
+///
+/// `Lsn` is totally ordered; larger means later. [`Lsn::ZERO`] is the start
+/// of the log and is never the address of a real record (the log begins with
+/// a header record), so it doubles as "no LSN yet" in progress tracking.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The beginning of the log stream.
+    pub const ZERO: Lsn = Lsn(0);
+    /// A sentinel larger than every real LSN.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+
+    /// Construct an LSN from a raw byte offset.
+    #[inline]
+    pub const fn new(offset: u64) -> Self {
+        Lsn(offset)
+    }
+
+    /// The raw byte offset.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this LSN is the zero sentinel.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The number of bytes between `self` and an earlier LSN.
+    ///
+    /// # Panics
+    /// Panics if `earlier > self`.
+    #[inline]
+    pub fn distance_from(self, earlier: Lsn) -> u64 {
+        assert!(earlier <= self, "LSN distance underflow: {earlier} > {self}");
+        self.0 - earlier.0
+    }
+
+    /// Saturating maximum of two LSNs.
+    #[inline]
+    pub fn max(self, other: Lsn) -> Lsn {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating minimum of two LSNs.
+    #[inline]
+    pub fn min(self, other: Lsn) -> Lsn {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u64> for Lsn {
+    type Output = Lsn;
+    #[inline]
+    fn add(self, rhs: u64) -> Lsn {
+        Lsn(self.0.checked_add(rhs).expect("LSN overflow"))
+    }
+}
+
+impl AddAssign<u64> for Lsn {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Lsn> for Lsn {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Lsn) -> u64 {
+        self.distance_from(rhs)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn:{}", self.0)
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<u64> for Lsn {
+    fn from(v: u64) -> Self {
+        Lsn(v)
+    }
+}
+
+/// An atomic cell holding an LSN, used for watermarks shared across threads
+/// (applied LSN, hardened LSN, destaged LSN, truncation point, ...).
+#[derive(Debug, Default)]
+pub struct AtomicLsn(std::sync::atomic::AtomicU64);
+
+impl AtomicLsn {
+    /// Create a watermark initialised to `lsn`.
+    pub fn new(lsn: Lsn) -> Self {
+        AtomicLsn(std::sync::atomic::AtomicU64::new(lsn.0))
+    }
+
+    /// Read the current watermark.
+    #[inline]
+    pub fn load(&self) -> Lsn {
+        Lsn(self.0.load(std::sync::atomic::Ordering::Acquire))
+    }
+
+    /// Unconditionally set the watermark.
+    #[inline]
+    pub fn store(&self, lsn: Lsn) {
+        self.0.store(lsn.0, std::sync::atomic::Ordering::Release)
+    }
+
+    /// Advance the watermark to `lsn` if it is currently behind it.
+    /// Returns the previous value.
+    pub fn advance_to(&self, lsn: Lsn) -> Lsn {
+        Lsn(self.0.fetch_max(lsn.0, std::sync::atomic::Ordering::AcqRel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Lsn::new(100);
+        let b = a + 28;
+        assert!(b > a);
+        assert_eq!(b - a, 28);
+        assert_eq!(b.distance_from(a), 28);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "LSN distance underflow")]
+    fn distance_underflow_panics() {
+        let _ = Lsn::new(5).distance_from(Lsn::new(6));
+    }
+
+    #[test]
+    fn zero_sentinel() {
+        assert!(Lsn::ZERO.is_zero());
+        assert!(!Lsn::new(1).is_zero());
+        assert!(Lsn::MAX > Lsn::new(u64::MAX - 1));
+    }
+
+    #[test]
+    fn atomic_advance_is_monotonic() {
+        let w = AtomicLsn::new(Lsn::new(10));
+        w.advance_to(Lsn::new(5));
+        assert_eq!(w.load(), Lsn::new(10));
+        w.advance_to(Lsn::new(20));
+        assert_eq!(w.load(), Lsn::new(20));
+        w.store(Lsn::new(3));
+        assert_eq!(w.load(), Lsn::new(3));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Lsn::new(42).to_string(), "lsn:42");
+        assert_eq!(format!("{:?}", Lsn::new(42)), "lsn:42");
+    }
+}

@@ -1,0 +1,395 @@
+//! Metrics primitives: counters, gauges, latency histograms, and the
+//! modelled-CPU accountant used to reproduce the paper's CPU% columns.
+//!
+//! All primitives are lock-free on the hot path (atomics only) so that
+//! instrumentation does not perturb the throughput experiments.
+
+use crate::ids::{NodeId, NodeKind};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+const BUCKETS_PER_POW2: usize = 16;
+const NUM_BUCKETS: usize = 64 * BUCKETS_PER_POW2;
+
+/// A lock-free, log-bucketed histogram of `u64` samples (microseconds by
+/// convention). Relative bucket error is ≤ 1/16, plenty for latency
+/// percentiles; exact min/max/mean/stddev are tracked on the side.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Log-bucketed counts; see `bucket_index`.
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    sumsq: AtomicU64, // sum of squares, saturating
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New, empty histogram.
+    pub fn new() -> Histogram {
+        // Box<[AtomicU64; N]> without unstable array init helpers.
+        let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets = v.into_boxed_slice().try_into().ok().expect("bucket count");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            sumsq: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket_index(v: u64) -> usize {
+        if v < BUCKETS_PER_POW2 as u64 {
+            return v as usize;
+        }
+        let pow = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (pow - 4)) & (BUCKETS_PER_POW2 as u64 - 1)) as usize;
+        pow * BUCKETS_PER_POW2 + sub
+    }
+
+    /// The smallest value that maps to bucket `i` (used when reporting).
+    fn bucket_floor(i: usize) -> u64 {
+        let pow = i / BUCKETS_PER_POW2;
+        if pow < 4 {
+            // Values below 16 map to index == value; indices 16..63 are
+            // unreachable, so the identity keeps the floor monotone there.
+            return i as u64;
+        }
+        let sub = (i % BUCKETS_PER_POW2) as u64;
+        (1u64 << pow) + (sub << (pow - 4))
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        let sq = v.saturating_mul(v);
+        self.sumsq.fetch_add(sq, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`] in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket floor; ≤ 6% relative error).
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_floor(i);
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let sum = self.sum.load(Ordering::Relaxed);
+        let sumsq = self.sumsq.load(Ordering::Relaxed);
+        let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+        let var = if count == 0 {
+            0.0
+        } else {
+            (sumsq as f64 / count as f64 - mean * mean).max(0.0)
+        };
+        HistogramSnapshot {
+            count,
+            min_us: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max_us: self.max.load(Ordering::Relaxed),
+            mean_us: mean,
+            stddev_us: var.sqrt(),
+            p50_us: self.percentile(0.50),
+            p90_us: self.percentile(0.90),
+            p99_us: self.percentile(0.99),
+        }
+    }
+
+    /// Forget all samples.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.sumsq.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Summary statistics of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact minimum (µs).
+    pub min_us: u64,
+    /// Exact maximum (µs).
+    pub max_us: u64,
+    /// Exact mean (µs).
+    pub mean_us: f64,
+    /// Exact standard deviation (µs).
+    pub stddev_us: f64,
+    /// Approximate median (µs).
+    pub p50_us: u64,
+    /// Approximate 90th percentile (µs).
+    pub p90_us: u64,
+    /// Approximate 99th percentile (µs).
+    pub p99_us: u64,
+}
+
+/// Modelled CPU time accounting for one node.
+///
+/// Components charge CPU microseconds for the work they model (per-request
+/// engine work, per-I/O driver cost, log apply, backup egress...). Dividing
+/// charged time by wall time × cores yields the CPU% the paper reports.
+/// Using modelled rather than measured CPU keeps architecture comparisons
+/// (HADR vs Socrates, XIO vs DD) faithful to the paper even though all tiers
+/// share one host here.
+#[derive(Debug, Default)]
+pub struct CpuAccountant {
+    busy_us: AtomicU64,
+}
+
+impl CpuAccountant {
+    /// New accountant at zero.
+    pub const fn new() -> CpuAccountant {
+        CpuAccountant { busy_us: AtomicU64::new(0) }
+    }
+
+    /// Charge `us` microseconds of modelled CPU.
+    #[inline]
+    pub fn charge_us(&self, us: u64) {
+        self.busy_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Charge a [`Duration`] of modelled CPU.
+    #[inline]
+    pub fn charge(&self, d: Duration) {
+        self.charge_us(d.as_micros() as u64);
+    }
+
+    /// Total charged microseconds.
+    pub fn busy_us(&self) -> u64 {
+        self.busy_us.load(Ordering::Relaxed)
+    }
+
+    /// CPU utilisation over `wall` on a `cores`-core node, as a percentage
+    /// clamped to 100%.
+    pub fn utilization_pct(&self, wall: Duration, cores: u32) -> f64 {
+        let capacity = wall.as_micros() as f64 * cores as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_us() as f64 / capacity * 100.0).min(100.0)
+    }
+
+    /// Reset to zero, returning the previous total.
+    pub fn reset(&self) -> u64 {
+        self.busy_us.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Registry of per-node CPU accountants for a deployment.
+///
+/// Get-or-create semantics; cheap to clone (`Arc` inside).
+#[derive(Clone, Default)]
+pub struct CpuRegistry {
+    inner: Arc<RwLock<HashMap<NodeId, Arc<CpuAccountant>>>>,
+}
+
+impl CpuRegistry {
+    /// New empty registry.
+    pub fn new() -> CpuRegistry {
+        CpuRegistry::default()
+    }
+
+    /// The accountant for `node`, created on first use.
+    pub fn accountant(&self, node: NodeId) -> Arc<CpuAccountant> {
+        if let Some(a) = self.inner.read().get(&node) {
+            return Arc::clone(a);
+        }
+        let mut w = self.inner.write();
+        Arc::clone(w.entry(node).or_default())
+    }
+
+    /// Sum of charged CPU microseconds over all nodes of `kind`.
+    pub fn busy_us_for_kind(&self, kind: NodeKind) -> u64 {
+        self.inner
+            .read()
+            .iter()
+            .filter(|(n, _)| n.kind == kind)
+            .map(|(_, a)| a.busy_us())
+            .sum()
+    }
+
+    /// Sum of charged CPU microseconds over every node.
+    pub fn total_busy_us(&self) -> u64 {
+        self.inner.read().values().map(|a| a.busy_us()).sum()
+    }
+
+    /// Reset every accountant.
+    pub fn reset_all(&self) {
+        for a in self.inner.read().values() {
+            a.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_exact_stats() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min_us, 10);
+        assert_eq!(s.max_us, 40);
+        assert!((s.mean_us - 25.0).abs() < 1e-9);
+        // population stddev of {10,20,30,40} = sqrt(125) ≈ 11.18
+        assert!((s.stddev_us - 125f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_percentiles_bounded_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 5_000f64), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.percentile(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.08, "q={q} got={got} expect={expect} err={err}");
+        }
+        assert_eq!(h.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn histogram_empty_and_reset() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        h.record(100);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().min_us, 0);
+    }
+
+    #[test]
+    fn bucket_index_monotone_and_floor_consistent() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 15, 16, 17, 100, 1000, 65_535, 65_536, 1 << 40] {
+            let i = Histogram::bucket_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+            assert!(Histogram::bucket_floor(i) <= v);
+            if i + 1 < NUM_BUCKETS {
+                assert!(Histogram::bucket_floor(i + 1) > v, "floor({}) too low for {v}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_accounting_utilization() {
+        let a = CpuAccountant::new();
+        a.charge_us(500_000);
+        // 0.5s busy over 1s wall on 1 core = 50%
+        assert!((a.utilization_pct(Duration::from_secs(1), 1) - 50.0).abs() < 1e-9);
+        // on 8 cores = 6.25%
+        assert!((a.utilization_pct(Duration::from_secs(1), 8) - 6.25).abs() < 1e-9);
+        // clamped at 100
+        a.charge_us(10_000_000);
+        assert_eq!(a.utilization_pct(Duration::from_secs(1), 1), 100.0);
+    }
+
+    #[test]
+    fn registry_get_or_create_and_kind_sum() {
+        let r = CpuRegistry::new();
+        r.accountant(NodeId::PRIMARY).charge_us(10);
+        r.accountant(NodeId::PRIMARY).charge_us(5);
+        r.accountant(NodeId::secondary(0)).charge_us(7);
+        r.accountant(NodeId::secondary(1)).charge_us(3);
+        assert_eq!(r.busy_us_for_kind(NodeKind::Primary), 15);
+        assert_eq!(r.busy_us_for_kind(NodeKind::Secondary), 10);
+        assert_eq!(r.total_busy_us(), 25);
+        r.reset_all();
+        assert_eq!(r.total_busy_us(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Deployment configuration.
+//!
+//! A Socrates deployment is described by the knobs the paper's §6 calls
+//! the cost/availability/performance trade-off: how many secondaries, how
+//! the page space is partitioned across page servers, how big the compute
+//! caches are, and which storage service implements the landing zone —
+//! the single line you change to move between XIO and DirectDrive
+//! (Appendix A).
+
+use socrates_common::latency::{DeviceProfile, LatencyMode};
+use socrates_pageserver::PageServerConfig;
+use socrates_rbio::lossy::LossyConfig;
+use socrates_wal::pipeline::LogPipelineConfig;
+use socrates_xlog::service::XLogConfig;
+
+/// Full deployment configuration.
+#[derive(Clone)]
+pub struct SocratesConfig {
+    /// Number of read-only secondaries.
+    pub secondaries: usize,
+    /// Pages per page-server partition (the paper's 128 GB at 8 KiB pages;
+    /// scaled down here).
+    pub pages_per_partition: u64,
+    /// Compute node in-memory cache capacity, in pages.
+    pub mem_cache_pages: usize,
+    /// Compute node RBPEX (SSD) capacity, in pages. 0 disables the tier.
+    pub rbpex_pages: usize,
+    /// Landing-zone replica count.
+    pub lz_replicas: usize,
+    /// Landing-zone write quorum.
+    pub lz_quorum: usize,
+    /// Landing-zone capacity in bytes.
+    pub lz_capacity: u64,
+    /// The storage service implementing the landing zone (XIO vs
+    /// DirectDrive in the paper's Appendix A).
+    pub lz_profile: DeviceProfile,
+    /// Local SSD profile (RBPEX, XLOG block cache).
+    pub ssd_profile: DeviceProfile,
+    /// XStore profile.
+    pub xstore_profile: DeviceProfile,
+    /// Network profile for GetPage@LSN traffic.
+    pub net_profile: DeviceProfile,
+    /// Whether modelled latencies are waited out in real time.
+    pub latency_mode: LatencyMode,
+    /// Behaviour of the primary → XLOG lossy feed.
+    pub lossy_feed: LossyConfig,
+    /// Log pipeline tuning.
+    pub pipeline: LogPipelineConfig,
+    /// XLOG tuning.
+    pub xlog: XLogConfig,
+    /// Page server tuning.
+    pub page_server: PageServerConfig,
+    /// Cores modelled per compute node (for CPU% reporting).
+    pub compute_cores: u32,
+    /// RBIO server worker threads per page server.
+    pub rbio_workers: usize,
+    /// Deterministic seed for all randomness.
+    pub seed: u64,
+}
+
+impl SocratesConfig {
+    /// Everything instant and lossless: unit/integration tests.
+    pub fn fast_test() -> SocratesConfig {
+        SocratesConfig {
+            secondaries: 0,
+            pages_per_partition: 1024,
+            mem_cache_pages: 4096,
+            rbpex_pages: 8192,
+            lz_replicas: 3,
+            lz_quorum: 2,
+            lz_capacity: 64 << 20,
+            lz_profile: DeviceProfile::instant(),
+            ssd_profile: DeviceProfile::instant(),
+            xstore_profile: DeviceProfile::instant(),
+            net_profile: DeviceProfile::instant(),
+            latency_mode: LatencyMode::Disabled,
+            lossy_feed: LossyConfig::reliable(),
+            pipeline: LogPipelineConfig::default(),
+            xlog: XLogConfig::default(),
+            page_server: PageServerConfig::default(),
+            compute_cores: 8,
+            rbio_workers: 4,
+            seed: 42,
+        }
+    }
+
+    /// Calibrated device latencies waited out in real time — the
+    /// benchmark configuration. The landing zone defaults to XIO, as in
+    /// the paper's production deployment.
+    pub fn realistic(seed: u64) -> SocratesConfig {
+        SocratesConfig {
+            secondaries: 1,
+            lz_profile: DeviceProfile::xio(),
+            ssd_profile: DeviceProfile::local_ssd(),
+            xstore_profile: DeviceProfile::xstore(),
+            net_profile: DeviceProfile::lan(),
+            latency_mode: LatencyMode::real(),
+            lossy_feed: LossyConfig::unreliable(0.01, 0.005, seed ^ 0xFEED),
+            seed,
+            ..SocratesConfig::fast_test()
+        }
+    }
+
+    /// Swap the landing-zone storage service (the Appendix A experiment).
+    pub fn with_lz_profile(mut self, profile: DeviceProfile) -> SocratesConfig {
+        self.lz_profile = profile;
+        self
+    }
+
+    /// Set the number of secondaries.
+    pub fn with_secondaries(mut self, n: usize) -> SocratesConfig {
+        self.secondaries = n;
+        self
+    }
+
+    /// Set compute cache sizes (memory pages, SSD pages).
+    pub fn with_cache(mut self, mem_pages: usize, rbpex_pages: usize) -> SocratesConfig {
+        self.mem_cache_pages = mem_pages;
+        self.rbpex_pages = rbpex_pages;
+        self
+    }
+}

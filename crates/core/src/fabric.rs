@@ -1,0 +1,380 @@
+//! The storage fabric: shared services plus the page-server fleet.
+//!
+//! `Fabric` owns everything below the compute tier — the landing zone,
+//! XStore, the XLOG service, and the partition registry that maps page
+//! ranges to running page servers (with their RBIO endpoints). Compute
+//! nodes come and go (they are stateless); the fabric is the part of a
+//! deployment whose lifetime is the database's.
+
+use crate::config::SocratesConfig;
+use parking_lot::RwLock;
+use socrates_common::latency::LatencyInjector;
+use socrates_common::lsn::AtomicLsn;
+use socrates_common::metrics::{CpuAccountant, CpuRegistry};
+use socrates_common::{Error, Lsn, NodeId, PageId, PartitionId, Result};
+use socrates_engine::PageAccess;
+use socrates_pageserver::{PageServer, PageServerHandler, PartitionSpec};
+use socrates_rbio::replica::ReplicaSet;
+use socrates_rbio::transport::{NetworkConfig, RbioServer};
+use socrates_storage::cache::{PageRef, PageSource};
+use socrates_storage::fcb::{Fcb, LatencyFcb, MemFcb};
+use socrates_storage::page::Page;
+use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
+use socrates_xlog::XLogService;
+use socrates_xstore::{XStore, XStoreConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A running partition: its page server(s) and the RBIO route to them.
+pub struct PartitionHandle {
+    /// QoS-routed client over all replicas. Declared first so its client
+    /// stubs drop before the endpoints they talk to.
+    pub route: Arc<ReplicaSet>,
+    /// RBIO server endpoints (kept alive with the handle).
+    pub endpoints: Vec<Arc<RbioServer>>,
+    /// The page servers (index 0 is the original, others are replicas).
+    pub servers: Vec<Arc<PageServer>>,
+}
+
+/// The shared storage fabric.
+pub struct Fabric {
+    /// Deployment configuration.
+    pub config: SocratesConfig,
+    /// The landing zone.
+    pub lz: Arc<LandingZone>,
+    /// XStore.
+    pub xstore: Arc<XStore>,
+    /// The XLOG service.
+    pub xlog: Arc<XLogService>,
+    /// Per-node modelled CPU accounting.
+    pub cpu: CpuRegistry,
+    partitions: RwLock<HashMap<PartitionId, Arc<PartitionHandle>>>,
+    next_ps_index: AtomicU32,
+    /// LSN of the most recent checkpoint record (what a recovering primary
+    /// starts its analysis from; production keeps this in the boot page).
+    pub last_checkpoint: AtomicLsn,
+}
+
+impl Fabric {
+    /// Build the fabric: LZ replicas, XStore, XLOG (with its destager
+    /// running), and no partitions yet.
+    pub fn new(config: SocratesConfig) -> Result<Arc<Fabric>> {
+        let xstore = Arc::new(XStore::new(XStoreConfig {
+            profile: config.xstore_profile.clone(),
+            mode: config.latency_mode,
+            seed: config.seed ^ 0x5704E,
+        }));
+        Self::build(config, Lsn::ZERO, xstore, "xlog/lt")
+    }
+
+    /// Build a fabric for a restored deployment: the log starts at
+    /// `start` (the PITR target) and the existing XStore service is
+    /// shared. `lt_name` must be unique per restore.
+    pub fn new_restored(
+        config: SocratesConfig,
+        start: Lsn,
+        xstore: Arc<XStore>,
+        lt_name: &str,
+    ) -> Result<Arc<Fabric>> {
+        Self::build(config, start, xstore, lt_name)
+    }
+
+    fn build(
+        config: SocratesConfig,
+        start: Lsn,
+        xstore: Arc<XStore>,
+        lt_name: &str,
+    ) -> Result<Arc<Fabric>> {
+        let cpu = CpuRegistry::new();
+        let primary_cpu = cpu.accountant(NodeId::PRIMARY);
+        // LZ replicas: each a memory device behind the configured landing
+        // zone service profile; the device CPU cost lands on the primary
+        // (it drives the writes — XIO's REST calls vs DD's syscalls,
+        // Table 7).
+        let lz_replicas: Vec<Arc<dyn Fcb>> = (0..config.lz_replicas)
+            .map(|i| {
+                Arc::new(LatencyFcb::new(
+                    MemFcb::new(format!("lz-{i}")),
+                    LatencyInjector::new(
+                        config.lz_profile.clone(),
+                        config.latency_mode,
+                        config.seed ^ (i as u64 + 1),
+                    ),
+                    Some(Arc::clone(&primary_cpu)),
+                )) as Arc<dyn Fcb>
+            })
+            .collect();
+        let lz = Arc::new(LandingZone::with_start(
+            lz_replicas,
+            LandingZoneConfig { capacity: config.lz_capacity, write_quorum: config.lz_quorum },
+            start,
+        ));
+        let xlog_ssd: Arc<dyn Fcb> = Arc::new(LatencyFcb::new(
+            MemFcb::new("xlog-ssd"),
+            LatencyInjector::new(config.ssd_profile.clone(), config.latency_mode, config.seed ^ 0x55D),
+            Some(cpu.accountant(NodeId::XLOG)),
+        ));
+        let xlog = XLogService::new(
+            Arc::clone(&lz),
+            xlog_ssd,
+            Arc::clone(&xstore),
+            config.xlog.clone(),
+            start,
+            lt_name,
+        )?;
+        xlog.start_destager();
+        Ok(Arc::new(Fabric {
+            config,
+            lz,
+            xstore,
+            xlog,
+            cpu,
+            partitions: RwLock::new(HashMap::new()),
+            next_ps_index: AtomicU32::new(0),
+            last_checkpoint: AtomicLsn::new(start),
+        }))
+    }
+
+    /// The partition owning `page`.
+    pub fn partition_of(&self, page: PageId) -> PartitionId {
+        PartitionId::new((page.raw() / self.config.pages_per_partition) as u32)
+    }
+
+    /// The page-id range of `partition`.
+    pub fn partition_spec(&self, partition: PartitionId) -> PartitionSpec {
+        PartitionSpec {
+            id: partition,
+            base_page: partition.raw() as u64 * self.config.pages_per_partition,
+            span: self.config.pages_per_partition,
+        }
+    }
+
+    /// Currently running partitions, sorted.
+    pub fn partition_ids(&self) -> Vec<PartitionId> {
+        let mut v: Vec<PartitionId> = self.partitions.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The handle for `partition`, if running.
+    pub fn partition(&self, partition: PartitionId) -> Option<Arc<PartitionHandle>> {
+        self.partitions.read().get(&partition).cloned()
+    }
+
+    /// Ensure a page server exists for `partition`, creating one with its
+    /// apply cursor at `cursor` if not. This is the upsize path: cost is
+    /// O(1) in database size — no data moves, a fresh partition starts
+    /// empty.
+    pub fn ensure_partition(&self, partition: PartitionId, cursor: Lsn) -> Result<Arc<PartitionHandle>> {
+        if let Some(h) = self.partitions.read().get(&partition) {
+            return Ok(Arc::clone(h));
+        }
+        let mut parts = self.partitions.write();
+        if let Some(h) = parts.get(&partition) {
+            return Ok(Arc::clone(h));
+        }
+        let idx = self.next_ps_index.fetch_add(1, Ordering::SeqCst);
+        let name = format!("ps-{}-{idx}", partition.raw());
+        let spec = self.partition_spec(partition);
+        let ps = PageServer::create(
+            &name,
+            spec,
+            self.config.page_server.clone(),
+            self.ps_device(&name, "ssd", idx),
+            self.ps_device(&name, "meta", idx),
+            Arc::clone(&self.xstore),
+            Arc::clone(&self.xlog),
+            self.cpu.accountant(NodeId::page_server(idx)),
+            cursor,
+        )?;
+        ps.start();
+        self.xlog.register_consumer(&name, cursor);
+        let handle = self.wrap_servers(vec![ps])?;
+        parts.insert(partition, Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Add a hot replica of `partition`'s page server (the second
+    /// availability lever of §6): it attaches to the same XStore blobs,
+    /// seeds asynchronously, and joins the RBIO route.
+    pub fn add_partition_replica(&self, partition: PartitionId) -> Result<()> {
+        let existing = self
+            .partition(partition)
+            .ok_or_else(|| Error::NotFound(format!("{partition} has no page server")))?;
+        let (data_blob, meta_blob) = existing.servers[0].blobs();
+        // Replicas need a consistent XStore image to seed from.
+        existing.servers[0].checkpoint()?;
+        let idx = self.next_ps_index.fetch_add(1, Ordering::SeqCst);
+        let name = format!("ps-{}-{idx}", partition.raw());
+        let ps = PageServer::attach(
+            &name,
+            self.partition_spec(partition),
+            self.config.page_server.clone(),
+            self.ps_device(&name, "ssd", idx),
+            self.ps_device(&name, "meta", idx),
+            Arc::clone(&self.xstore),
+            data_blob,
+            meta_blob,
+            Arc::clone(&self.xlog),
+            self.cpu.accountant(NodeId::page_server(idx)),
+        )?;
+        ps.start();
+        self.xlog.register_consumer(&name, ps.applied_lsn());
+        let mut servers = existing.servers.clone();
+        servers.push(ps);
+        let handle = self.wrap_servers(servers)?;
+        self.partitions.write().insert(partition, handle);
+        Ok(())
+    }
+
+    /// Replace a partition's server set (failure injection in tests, PITR).
+    pub fn install_partition(&self, partition: PartitionId, servers: Vec<Arc<PageServer>>) -> Result<()> {
+        let handle = self.wrap_servers(servers)?;
+        self.partitions.write().insert(partition, handle);
+        Ok(())
+    }
+
+    /// Kill every server of a partition (availability experiments). The
+    /// partition's data survives in XStore + log.
+    pub fn kill_partition(&self, partition: PartitionId) -> Option<Arc<PartitionHandle>> {
+        let removed = self.partitions.write().remove(&partition);
+        if let Some(h) = &removed {
+            for s in &h.servers {
+                s.stop();
+            }
+        }
+        removed
+    }
+
+    /// The minimum checkpointed LSN across all page servers — the redo
+    /// start point for checkpoint records.
+    pub fn min_checkpointed_lsn(&self) -> Lsn {
+        self.partitions
+            .read()
+            .values()
+            .flat_map(|h| h.servers.iter())
+            .map(|s| s.checkpointed_lsn())
+            .min()
+            .unwrap_or(Lsn::ZERO)
+    }
+
+    /// Wait until every page server has applied the log up to `lsn`.
+    pub fn wait_applied(&self, lsn: Lsn, timeout: std::time::Duration) -> Result<()> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let lagging = self
+                .partitions
+                .read()
+                .values()
+                .flat_map(|h| h.servers.iter())
+                .any(|s| s.applied_lsn() < lsn);
+            if !lagging {
+                return Ok(());
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(Error::Timeout(format!("page servers did not reach {lsn}")));
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    /// Shut down all page servers and the XLOG destager.
+    pub fn shutdown(&self) {
+        for h in self.partitions.read().values() {
+            for s in &h.servers {
+                s.stop();
+            }
+        }
+        self.xlog.shutdown();
+    }
+
+    fn ps_device(&self, name: &str, kind: &str, idx: u32) -> Arc<dyn Fcb> {
+        Arc::new(LatencyFcb::new(
+            MemFcb::new(format!("{name}-{kind}")),
+            LatencyInjector::new(
+                self.config.ssd_profile.clone(),
+                self.config.latency_mode,
+                self.config.seed ^ ((idx as u64) << 8) ^ kind.len() as u64,
+            ),
+            Some(self.cpu.accountant(NodeId::page_server(idx))),
+        ))
+    }
+
+    fn wrap_servers(&self, servers: Vec<Arc<PageServer>>) -> Result<Arc<PartitionHandle>> {
+        let mut endpoints = Vec::with_capacity(servers.len());
+        let mut clients = Vec::with_capacity(servers.len());
+        for (i, ps) in servers.iter().enumerate() {
+            let server = Arc::new(RbioServer::start(
+                Arc::new(PageServerHandler(Arc::clone(ps))),
+                self.config.rbio_workers,
+            ));
+            let net = NetworkConfig {
+                profile: self.config.net_profile.clone(),
+                mode: self.config.latency_mode,
+                request_loss_p: 0.0,
+                timeout: std::time::Duration::from_secs(15),
+                retries: 2,
+                seed: self.config.seed ^ (i as u64) ^ 0xBEEF,
+            };
+            clients.push(server.connect(net));
+            endpoints.push(server);
+        }
+        Ok(Arc::new(PartitionHandle {
+            route: Arc::new(ReplicaSet::new(clients, self.config.seed ^ 0x40Fu64)),
+            endpoints,
+            servers,
+        }))
+    }
+}
+
+/// The compute tier's remote page source: GetPage@LSN over RBIO, routed to
+/// the partition's best replica.
+pub struct RemotePageSource {
+    fabric: Arc<Fabric>,
+    cpu: Arc<CpuAccountant>,
+}
+
+impl RemotePageSource {
+    /// A source for one compute node (its accountant pays the network
+    /// driver cost).
+    pub fn new(fabric: Arc<Fabric>, cpu: Arc<CpuAccountant>) -> RemotePageSource {
+        RemotePageSource { fabric, cpu }
+    }
+}
+
+impl PageSource for RemotePageSource {
+    fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
+        let partition = self.fabric.partition_of(id);
+        let handle = self
+            .fabric
+            .partition(partition)
+            .ok_or_else(|| Error::Unavailable(format!("{partition} has no page server")))?;
+        self.cpu.charge_us(8);
+        match handle.route.call(socrates_rbio::proto::RbioRequest::GetPage { page_id: id, min_lsn })? {
+            socrates_rbio::proto::RbioResponse::Page { bytes } => Page::from_io_bytes(id, &bytes),
+            other => Err(Error::Protocol(format!("unexpected GetPage response: {other:?}"))),
+        }
+    }
+}
+
+/// Read-only page access over a [`RemotePageSource`]-backed cache, for
+/// tools that inspect pages without an engine (diagnostics).
+pub struct DirectFabricAccess {
+    source: RemotePageSource,
+}
+
+impl DirectFabricAccess {
+    /// Build one.
+    pub fn new(fabric: Arc<Fabric>) -> DirectFabricAccess {
+        let cpu = fabric.cpu.accountant(NodeId::client(0));
+        DirectFabricAccess { source: RemotePageSource::new(fabric, cpu) }
+    }
+}
+
+impl PageAccess for DirectFabricAccess {
+    fn page(&self, id: PageId) -> Result<PageRef> {
+        let page = self.source.fetch_page(id, Lsn::ZERO)?;
+        Ok(Arc::new(parking_lot::RwLock::new(page)))
+    }
+}

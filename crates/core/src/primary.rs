@@ -1,0 +1,215 @@
+//! The primary compute node (paper §4.4).
+//!
+//! The primary behaves almost identically to a standalone engine — it does
+//! not know its storage is remote or that its log lands in a separate
+//! service. The differences from a monolithic deployment are exactly the
+//! paper's list: storage functions are delegated to page servers; the log
+//! goes to the landing zone through the I/O virtualization layer; RBPEX
+//! caches pages below main memory; and the node holds no full copy of the
+//! database, fetching misses with GetPage@LSN using the evicted-LSN map.
+//!
+//! Failover/restart is ADR-fast (§3.2): a new primary runs *analysis only*
+//! — rebuild the transaction table from the last checkpoint and the log
+//! tail — because pages live on page servers and no undo pass exists.
+
+use crate::fabric::{Fabric, RemotePageSource};
+use socrates_common::latency::LatencyInjector;
+use socrates_common::metrics::CpuAccountant;
+use socrates_common::{Lsn, NodeId, PageId, Result};
+use socrates_engine::recovery::{analyze, find_last_checkpoint};
+use socrates_engine::txn::TxnCheckpointMeta;
+use socrates_engine::{Database, EvictedLsnMap, LoggedPageIo, TxnManager};
+use socrates_storage::cache::TieredCache;
+use socrates_storage::fcb::{Fcb, LatencyFcb, MemFcb};
+use socrates_storage::rbpex::{Rbpex, RbpexPolicy};
+use socrates_wal::pipeline::{LogDisseminator, LogPipeline};
+use socrates_wal::record::SequencedRecord;
+use socrates_xlog::feed::XLogFeed;
+use std::sync::Arc;
+
+/// The primary compute node.
+pub struct Primary {
+    fabric: Arc<Fabric>,
+    io: Arc<LoggedPageIo>,
+    db: Database,
+    pipeline: Arc<LogPipeline>,
+    cpu: Arc<CpuAccountant>,
+    _feed: Arc<XLogFeed>,
+}
+
+impl Primary {
+    /// Bootstrap a fresh database: creates partition 0 and the catalog.
+    pub fn bootstrap(fabric: Arc<Fabric>) -> Result<Arc<Primary>> {
+        fabric.ensure_partition(socrates_common::PartitionId::new(0), Lsn::ZERO)?;
+        Self::build(fabric, Arc::new(TxnManager::new()), 0, Lsn::ZERO, true)
+    }
+
+    /// Spin up a replacement primary after a failure: analysis-only
+    /// recovery from the last checkpoint plus the log tail.
+    pub fn recover(fabric: Arc<Fabric>) -> Result<Arc<Primary>> {
+        // Anything the dead primary hardened but never reported is released
+        // by telling XLOG about the landing zone's true head.
+        fabric.xlog.report_hardened(fabric.lz.head());
+        let cursor = fabric.last_checkpoint.load();
+        let pull = fabric.xlog.pull_blocks(cursor, usize::MAX, None)?;
+        let mut records: Vec<SequencedRecord> = Vec::new();
+        for block in &pull.blocks {
+            records.extend(block.records()?);
+        }
+        let (redo, meta) = match find_last_checkpoint(&records)? {
+            Some((_, redo, meta)) => (redo, meta),
+            None => (Lsn::ZERO, TxnCheckpointMeta::default()),
+        };
+        let tm = Arc::new(TxnManager::new());
+        let analysis = analyze(&tm, &meta, redo, &records)?;
+        Self::build(fabric.clone(), tm, analysis.next_page_id, fabric.lz.head(), false)
+    }
+
+    /// Build a primary with explicit recovered state (the PITR path, which
+    /// runs its own analysis over restored log blobs).
+    pub fn with_state(
+        fabric: Arc<Fabric>,
+        tm: Arc<TxnManager>,
+        next_page: u64,
+        start_lsn: Lsn,
+    ) -> Result<Arc<Primary>> {
+        Self::build(fabric, tm, next_page, start_lsn, false)
+    }
+
+    fn build(
+        fabric: Arc<Fabric>,
+        tm: Arc<TxnManager>,
+        next_page: u64,
+        start_lsn: Lsn,
+        fresh: bool,
+    ) -> Result<Arc<Primary>> {
+        let config = &fabric.config;
+        let cpu = fabric.cpu.accountant(NodeId::PRIMARY);
+        let evicted = Arc::new(EvictedLsnMap::new(1 << 16));
+        if !fresh {
+            // A recovering primary must never read state older than its
+            // recovery point; GetPage@LSN waits for page servers instead.
+            evicted.raise_floor(start_lsn);
+        }
+
+        // Log pipeline: LZ for durability, XLOG feed for availability.
+        let fabric_for_parts = Arc::clone(&fabric);
+        let pipeline = Arc::new(LogPipeline::new(
+            Arc::clone(&fabric.lz) as Arc<dyn socrates_wal::pipeline::BlockSink>,
+            Arc::new(move |p: PageId| fabric_for_parts.partition_of(p)),
+            config.pipeline.clone(),
+            start_lsn,
+        ));
+        let feed = Arc::new(XLogFeed::start(Arc::clone(&fabric.xlog), config.lossy_feed.clone()));
+        pipeline.add_disseminator(Arc::clone(&feed) as Arc<dyn LogDisseminator>);
+
+        // Tiered cache: memory over (optional) RBPEX over GetPage@LSN.
+        let rbpex = if config.rbpex_pages > 0 {
+            let dev: Arc<dyn Fcb> = Arc::new(LatencyFcb::new(
+                MemFcb::new("primary-rbpex"),
+                LatencyInjector::new(config.ssd_profile.clone(), config.latency_mode, config.seed ^ 0x11),
+                Some(Arc::clone(&cpu)),
+            ));
+            let meta: Arc<dyn Fcb> = Arc::new(MemFcb::new("primary-rbpex-meta"));
+            Some(Arc::new(Rbpex::create(
+                dev,
+                meta,
+                RbpexPolicy::Sparse { capacity_pages: config.rbpex_pages },
+            )?))
+        } else {
+            None
+        };
+        let source = Arc::new(RemotePageSource::new(Arc::clone(&fabric), Arc::clone(&cpu)));
+        // WAL rule: a page may leave the node only once the log covers its
+        // PageLSN.
+        let wal_pipeline = Arc::clone(&pipeline);
+        let wal_flush = Arc::new(move |lsn: Lsn| {
+            for _ in 0..3 {
+                if wal_pipeline.commit_wait(lsn).is_ok() {
+                    return;
+                }
+            }
+            // The LZ is persistently unreachable; losing this flush would
+            // only matter if the node also crashed before the LZ returned.
+            eprintln!("warning: WAL flush to {lsn} failed; eviction proceeds");
+        });
+        let evicted_for_cb = Arc::clone(&evicted);
+        let on_evict = Arc::new(move |id: PageId, lsn: Lsn| {
+            evicted_for_cb.note_eviction(id, lsn);
+        });
+        let cache = Arc::new(TieredCache::new(
+            config.mem_cache_pages,
+            rbpex,
+            source,
+            wal_flush,
+            on_evict,
+        ));
+
+        let io = Arc::new(LoggedPageIo::new(
+            cache,
+            Arc::clone(&pipeline),
+            Arc::clone(&evicted),
+            next_page,
+        ));
+        // Growing into a fresh partition spins up its page server — O(1)
+        // in data size.
+        let fabric_for_alloc = Arc::clone(&fabric);
+        let pipeline_for_alloc = Arc::clone(&pipeline);
+        io.set_on_allocate(Arc::new(move |id: PageId| {
+            let p = fabric_for_alloc.partition_of(id);
+            if fabric_for_alloc.partition(p).is_none() {
+                // The cursor must be a block boundary at or before the new
+                // partition's first op: the hardened frontier is one (no
+                // record for a page of this partition can predate it).
+                let cursor = pipeline_for_alloc.hardened_lsn();
+                if let Err(e) = fabric_for_alloc.ensure_partition(p, cursor) {
+                    eprintln!("warning: could not start page server for {p}: {e}");
+                }
+            }
+        }));
+
+        let db = if fresh {
+            let db = Database::create(io.clone() as Arc<dyn socrates_engine::PageMutator>)?;
+            // Harden the bootstrap records (catalog page) immediately so
+            // page servers and secondaries can see an empty-but-real
+            // database from LSN zero.
+            pipeline.flush()?;
+            db
+        } else {
+            Database::open(io.clone() as Arc<dyn socrates_engine::PageMutator>, tm)?
+        };
+        Ok(Arc::new(Primary { fabric, io, db, pipeline, cpu, _feed: feed }))
+    }
+
+    /// The embedded database (run transactions through this).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// This node's modelled CPU accountant.
+    pub fn cpu(&self) -> &Arc<CpuAccountant> {
+        &self.cpu
+    }
+
+    /// The log pipeline (metrics: commit latency, log throughput).
+    pub fn pipeline(&self) -> &Arc<LogPipeline> {
+        &self.pipeline
+    }
+
+    /// The node's page I/O (cache statistics for Tables 3/4).
+    pub fn io(&self) -> &Arc<LoggedPageIo> {
+        &self.io
+    }
+
+    /// Write a checkpoint record; the redo start point is the storage
+    /// tier's durability frontier. Updates the fabric's recovery cursor.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        // The recovery cursor must be a block boundary at or before the
+        // checkpoint record: the hardened frontier sampled now is one.
+        let cursor = self.pipeline.hardened_lsn();
+        let redo_start = self.fabric.min_checkpointed_lsn();
+        let lsn = self.db.checkpoint(redo_start)?;
+        self.fabric.last_checkpoint.store(cursor);
+        Ok(lsn)
+    }
+}

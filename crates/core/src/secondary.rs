@@ -1,0 +1,374 @@
+//! Secondary compute nodes (paper §4.5).
+//!
+//! A secondary runs the same engine read-only. It consumes the log
+//! asynchronously from XLOG (it never needs to know who the primary is)
+//! and implements Hyperscale's cache policy: log records for pages that
+//! are not locally cached are simply ignored — with the two race
+//! conditions the paper calls out handled explicitly:
+//!
+//! * **GetPage registration.** A read transaction about to fetch a page
+//!   registers the fetch first; the apply loop queues log records for
+//!   registered pages instead of dropping them, and the reader applies the
+//!   queue when the page arrives. Without this, a record could fall into
+//!   the gap between the residency check and the fetch completing.
+//! * **Pages from the future.** GetPage@LSN may return a page newer than
+//!   the secondary's applied LSN (the primary has moved on). Serving it
+//!   immediately could tear a B-tree traversal across time (the paper's
+//!   split example), so the fetch path pauses until the apply loop has
+//!   consumed log up to the page's LSN — the paper's "pause and restart
+//!   the traversal" made systematic.
+
+use crate::fabric::{Fabric, RemotePageSource};
+use parking_lot::Mutex;
+use socrates_common::lsn::AtomicLsn;
+use socrates_common::metrics::{CpuAccountant, Counter};
+use socrates_common::{Error, Lsn, NodeId, PageId, Result, TxnId};
+use socrates_engine::catalog::CATALOG_PAGE;
+use socrates_engine::{Database, EvictedLsnMap, PageAccess, PageMutator, TxnManager};
+use socrates_storage::cache::{PageRef, PageSource, TieredCache};
+use socrates_storage::page::Page;
+use socrates_storage::pageops::{apply_page_op, PageOp};
+use socrates_storage::Fcb;
+use socrates_wal::record::LogPayload;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Local transaction ids on secondaries live in a disjoint range so they
+/// can never collide with primary transaction ids carried in versions.
+const SECONDARY_TXN_BASE: u64 = 1 << 62;
+
+/// Counters.
+#[derive(Debug, Default)]
+pub struct SecondaryMetrics {
+    /// Log records applied to cached pages.
+    pub records_applied: Counter,
+    /// Log records ignored because the page was not cached.
+    pub records_ignored: Counter,
+    /// Records queued for a registered in-flight fetch.
+    pub records_queued: Counter,
+    /// Fetches that had to wait out a page from the future.
+    pub future_page_waits: Counter,
+}
+
+struct PendingFetches {
+    map: Mutex<HashMap<PageId, Vec<(Lsn, Vec<u8>)>>>,
+}
+
+/// The secondary's page I/O: read-only, cache + GetPage@LSN with the two
+/// race mitigations above.
+pub struct SecondaryIo {
+    cache: Arc<TieredCache>,
+    source: RemotePageSource,
+    evicted: Arc<EvictedLsnMap>,
+    applied: Arc<AtomicLsn>,
+    pending: Arc<PendingFetches>,
+    metrics: Arc<SecondaryMetrics>,
+    future_wait: Duration,
+}
+
+impl PageAccess for SecondaryIo {
+    fn page(&self, id: PageId) -> Result<PageRef> {
+        if let Some(p) = self.cache.get_if_resident(id)? {
+            return Ok(p);
+        }
+        // Register before fetching so concurrent log records are queued.
+        self.pending.map.lock().entry(id).or_default();
+        let fetched = (|| -> Result<Page> {
+            let page = self.source.fetch_page(id, self.evicted.lsn_for(id))?;
+            // A page from the future: wait for local apply to catch up so
+            // traversals stay time-coherent.
+            if page.page_lsn() > self.applied.load() {
+                self.metrics.future_page_waits.incr();
+                let deadline = Instant::now() + self.future_wait;
+                while self.applied.load() < page.page_lsn() {
+                    if Instant::now() > deadline {
+                        return Err(Error::Unavailable(format!(
+                            "page {id} is from the future (lsn {} > applied {})",
+                            page.page_lsn(),
+                            self.applied.load()
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+            Ok(page)
+        })();
+        let page = match fetched {
+            Ok(p) => p,
+            Err(e) => {
+                self.pending.map.lock().remove(&id);
+                return Err(e);
+            }
+        };
+        let pref = self.cache.install(page)?;
+        // Drain anything the apply loop queued while we fetched.
+        if let Some(queued) = self.pending.map.lock().remove(&id) {
+            let mut pg = pref.write();
+            for (lsn, op_bytes) in queued {
+                if pg.page_lsn() < lsn {
+                    let (op, _) = PageOp::decode(&op_bytes)?;
+                    apply_page_op(&mut pg, &op, lsn)?;
+                }
+            }
+        }
+        Ok(pref)
+    }
+}
+
+impl PageMutator for SecondaryIo {
+    fn allocate(&self, _txn: TxnId) -> Result<PageId> {
+        Err(Error::InvalidState("secondaries are read-only".into()))
+    }
+
+    fn mutate(
+        &self,
+        _txn: TxnId,
+        _page: &mut Page,
+        _op: &PageOp,
+    ) -> Result<Lsn> {
+        Err(Error::InvalidState("secondaries are read-only".into()))
+    }
+}
+
+/// A secondary compute node.
+pub struct Secondary {
+    node: NodeId,
+    db: std::sync::OnceLock<Database>,
+    io: Arc<SecondaryIo>,
+    tm: Arc<TxnManager>,
+    fabric: Arc<Fabric>,
+    applied: Arc<AtomicLsn>,
+    metrics: Arc<SecondaryMetrics>,
+    cpu: Arc<CpuAccountant>,
+    stop: Arc<AtomicBool>,
+    apply_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Secondary {
+    /// Spin up secondary `index`, consuming log from `start_lsn` (the
+    /// deployment passes the current released frontier; the cache warms
+    /// on demand).
+    pub fn launch(fabric: Arc<Fabric>, index: u32, start_lsn: Lsn) -> Result<Arc<Secondary>> {
+        let config = &fabric.config;
+        let node = NodeId::secondary(index);
+        let cpu = fabric.cpu.accountant(node);
+        let evicted = Arc::new(EvictedLsnMap::new(1 << 16));
+        // First reads must reflect at least the node's starting point.
+        evicted.raise_floor(start_lsn);
+        let applied = Arc::new(AtomicLsn::new(start_lsn));
+        let metrics = Arc::new(SecondaryMetrics::default());
+        let pending = Arc::new(PendingFetches { map: Mutex::new(HashMap::new()) });
+
+        let rbpex = if config.rbpex_pages > 0 {
+            let dev: Arc<dyn Fcb> = Arc::new(socrates_storage::fcb::LatencyFcb::new(
+                socrates_storage::fcb::MemFcb::new(format!("sec{index}-rbpex")),
+                socrates_common::latency::LatencyInjector::new(
+                    config.ssd_profile.clone(),
+                    config.latency_mode,
+                    config.seed ^ (0x200 + index as u64),
+                ),
+                Some(Arc::clone(&cpu)),
+            ));
+            let meta: Arc<dyn Fcb> =
+                Arc::new(socrates_storage::fcb::MemFcb::new(format!("sec{index}-rbpex-meta")));
+            Some(Arc::new(socrates_storage::rbpex::Rbpex::create(
+                dev,
+                meta,
+                socrates_storage::rbpex::RbpexPolicy::Sparse {
+                    capacity_pages: config.rbpex_pages,
+                },
+            )?))
+        } else {
+            None
+        };
+        let evicted_cb = Arc::clone(&evicted);
+        let cache = Arc::new(TieredCache::new(
+            config.mem_cache_pages,
+            rbpex,
+            Arc::new(RemotePageSource::new(Arc::clone(&fabric), Arc::clone(&cpu))),
+            Arc::new(|_| {}), // read-only node: nothing to flush
+            Arc::new(move |id, lsn| evicted_cb.note_eviction(id, lsn)),
+        ));
+        let io = Arc::new(SecondaryIo {
+            cache,
+            source: RemotePageSource::new(Arc::clone(&fabric), Arc::clone(&cpu)),
+            evicted: Arc::clone(&evicted),
+            applied: Arc::clone(&applied),
+            pending: Arc::clone(&pending),
+            metrics: Arc::clone(&metrics),
+            future_wait: Duration::from_secs(10),
+        });
+        let tm = Arc::new(TxnManager::with_base(SECONDARY_TXN_BASE));
+        let sec = Arc::new(Secondary {
+            node,
+            db: std::sync::OnceLock::new(),
+            io: Arc::clone(&io),
+            tm: Arc::clone(&tm),
+            fabric,
+            applied,
+            metrics,
+            cpu,
+            stop: Arc::new(AtomicBool::new(false)),
+            apply_handle: Mutex::new(None),
+        });
+        // Start applying *before* opening the catalog: the catalog fetch
+        // may land a page from the future and must be able to wait for
+        // the apply loop to catch up.
+        let me = Arc::clone(&sec);
+        *sec.apply_handle.lock() = Some(
+            std::thread::Builder::new()
+                .name(format!("{node}-apply"))
+                .spawn(move || me.apply_loop())
+                .expect("spawn secondary apply loop"),
+        );
+        let db = Database::open(io as Arc<dyn PageMutator>, tm)?;
+        sec.db.set(db).ok().expect("db initialised once");
+        Ok(sec)
+    }
+
+    /// The embedded (read-only) database.
+    pub fn db(&self) -> &Database {
+        self.db.get().expect("secondary database is initialised at launch")
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Counters.
+    pub fn metrics(&self) -> &SecondaryMetrics {
+        &self.metrics
+    }
+
+    /// This node's modelled CPU accountant.
+    pub fn cpu(&self) -> &Arc<CpuAccountant> {
+        &self.cpu
+    }
+
+    /// Log-apply watermark.
+    pub fn applied_lsn(&self) -> Lsn {
+        self.applied.load()
+    }
+
+    /// Wait until this secondary has applied log up to `lsn`.
+    pub fn wait_applied(&self, lsn: Lsn, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        while self.applied.load() < lsn {
+            if Instant::now() > deadline {
+                return Err(Error::Timeout(format!(
+                    "{} stuck at {} < {lsn}",
+                    self.node,
+                    self.applied.load()
+                )));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Ok(())
+    }
+
+    /// Stop the apply loop (failover promotion, scale-down).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.apply_handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    fn apply_loop(self: Arc<Self>) {
+        let name = format!("{}", self.node);
+        self.fabric.xlog.register_consumer(&name, self.applied.load());
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.apply_once() {
+                Ok(0) => std::thread::sleep(Duration::from_millis(2)),
+                Ok(_) => {}
+                Err(_) => std::thread::sleep(Duration::from_millis(4)),
+            }
+        }
+    }
+
+    /// Apply one batch of log; returns records processed. Public so tests
+    /// can drive a secondary deterministically.
+    pub fn apply_once(&self) -> Result<usize> {
+        let cursor = self.applied.load();
+        let pull = self.fabric.xlog.pull_blocks(cursor, 1 << 20, None)?;
+        let mut processed = 0usize;
+        let mut catalog_floor: Option<Lsn> = None;
+        for block in &pull.blocks {
+            for rec in block.records()? {
+                processed += 1;
+                self.cpu.charge_us(1);
+                match &rec.record.payload {
+                    LogPayload::TxnBegin => self.tm.apply_begin(rec.record.txn),
+                    LogPayload::TxnCommit { commit_ts } => {
+                        self.tm.apply_commit(rec.record.txn, *commit_ts)
+                    }
+                    LogPayload::TxnAbort => self.tm.apply_abort(rec.record.txn),
+                    LogPayload::PageWrite { page_id, op } => {
+                        self.apply_page_write(*page_id, op, rec.lsn)?;
+                        if *page_id == CATALOG_PAGE {
+                            catalog_floor = Some(rec.lsn);
+                        }
+                    }
+                    LogPayload::Checkpoint { .. }
+                    | LogPayload::AllocPages { .. }
+                    | LogPayload::Noop { .. } => {}
+                }
+            }
+        }
+        if pull.next_lsn > cursor {
+            self.applied.advance_to(pull.next_lsn);
+            self.fabric.xlog.report_progress(&format!("{}", self.node), pull.next_lsn);
+        }
+        if let Some(lsn) = catalog_floor {
+            // DDL happened: make sure a catalog refetch can't be stale,
+            // then reload (if the database has finished opening).
+            self.io.evicted.note_eviction(CATALOG_PAGE, lsn);
+            if let Some(db) = self.db.get() {
+                db.reload_catalog()?;
+            }
+        }
+        Ok(processed)
+    }
+
+    fn apply_page_write(&self, page_id: PageId, op_bytes: &[u8], lsn: Lsn) -> Result<()> {
+        // A fetch in flight? Queue for the reader to drain.
+        {
+            let mut pend = self.io.pending.map.lock();
+            if let Some(q) = pend.get_mut(&page_id) {
+                q.push((lsn, op_bytes.to_vec()));
+                self.metrics.records_queued.incr();
+                return Ok(());
+            }
+        }
+        match self.io.cache.get_if_resident(page_id)? {
+            Some(pref) => {
+                let mut page = pref.write();
+                if page.page_lsn() < lsn {
+                    let (op, _) = PageOp::decode(op_bytes)?;
+                    apply_page_op(&mut page, &op, lsn)?;
+                }
+                self.metrics.records_applied.incr();
+            }
+            None => {
+                // Hyperscale policy: not cached → ignored. But the page's
+                // LSN floor must rise, or a later fetch could accept a
+                // stale copy from a lagging page server.
+                self.io.evicted.note_eviction(page_id, lsn);
+                self.metrics.records_ignored.incr();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Secondary {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.apply_handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}

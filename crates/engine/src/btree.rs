@@ -1,0 +1,667 @@
+//! Page-based B-trees.
+//!
+//! Every table (and secondary index) is a B-tree of 8 KiB slotted pages
+//! keyed by memcomparable byte strings. All structural changes go through
+//! [`PageMutator::mutate`], so every mutation is simultaneously a redo log
+//! record — page servers and secondaries replay the identical ops and
+//! converge to identical trees.
+//!
+//! Design notes:
+//!
+//! * **The root never moves.** A root split rewrites the root in place as
+//!   an internal node over two freshly allocated children, so catalog
+//!   entries hold a stable root page id.
+//! * **Splits log page images.** The two halves of a split are rebuilt and
+//!   logged as full-page images plus one separator insert in the parent.
+//!   This trades some log volume for simple, obviously-deterministic
+//!   replay (production systems log record moves instead).
+//! * **Concurrency** is tree-granular: a `RwLock` admits parallel readers
+//!   and serialises writers. Socrates' write throughput is bounded by the
+//!   log pipeline, not index concurrency, so this keeps the hot paths
+//!   simple. Only the primary ever calls write operations.
+//! * **No merge on delete.** Deletes leave pages sparse (as deferred
+//!   compaction does in production engines); a background reorg is future
+//!   work, matching the paper's bulk-operation offload plans.
+
+use crate::io::{PageAccess, PageMutator};
+use parking_lot::RwLock;
+use socrates_common::{Error, Lsn, PageId, Result, TxnId};
+use socrates_storage::page::{Page, PageType};
+use socrates_storage::pageops::PageOp;
+use socrates_storage::slotted::Slotted;
+
+/// Maximum encoded entry (key + payload + framing) size admitted into the
+/// tree; keeps fan-out reasonable.
+pub const MAX_ENTRY: usize = 2048;
+
+// ---- record codecs ----
+
+fn leaf_record(key: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(2 + key.len() + payload.len());
+    rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    rec.extend_from_slice(key);
+    rec.extend_from_slice(payload);
+    rec
+}
+
+fn split_leaf_record(rec: &[u8]) -> (&[u8], &[u8]) {
+    let klen = u16::from_le_bytes(rec[0..2].try_into().unwrap()) as usize;
+    (&rec[2..2 + klen], &rec[2 + klen..])
+}
+
+fn internal_record(key: &[u8], child: PageId) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(2 + key.len() + 8);
+    rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    rec.extend_from_slice(key);
+    rec.extend_from_slice(&child.raw().to_le_bytes());
+    rec
+}
+
+fn split_internal_record(rec: &[u8]) -> (&[u8], PageId) {
+    let klen = u16::from_le_bytes(rec[0..2].try_into().unwrap()) as usize;
+    let key = &rec[2..2 + klen];
+    let child = PageId::new(u64::from_le_bytes(rec[2 + klen..2 + klen + 8].try_into().unwrap()));
+    (key, child)
+}
+
+/// Binary search the sorted leaf for `key`; `Ok(i)` exact, `Err(i)`
+/// insertion point.
+fn leaf_search(page: &Page, key: &[u8]) -> std::result::Result<usize, usize> {
+    let n = Slotted::slot_count(page);
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (k, _) = split_leaf_record(Slotted::get(page, mid).expect("slot in range"));
+        match k.cmp(key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// The child slot to descend into: the last slot whose key is <= the
+/// target (slot 0 is the leftmost child with an empty key, which routes
+/// everything smaller than the first separator).
+fn internal_child_slot(page: &Page, key: &[u8]) -> usize {
+    let n = Slotted::slot_count(page);
+    debug_assert!(n >= 1);
+    let (mut lo, mut hi) = (1usize, n);
+    // Find the first slot (>=1) whose key is > target; descend into the
+    // slot before it.
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (k, _) = split_internal_record(Slotted::get(page, mid).expect("slot in range"));
+        if k <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo - 1
+}
+
+/// Result of a recursive insert: did the child split, and if so what
+/// separator/right-sibling must the parent adopt?
+struct InsertOutcome {
+    old: Option<Vec<u8>>,
+    lsn: Lsn,
+    split: Option<(Vec<u8>, PageId)>,
+}
+
+/// A B-tree handle. Cheap to clone; concurrency state is shared.
+#[derive(Clone)]
+pub struct BTree {
+    root: PageId,
+    lock: std::sync::Arc<RwLock<()>>,
+}
+
+impl BTree {
+    /// Create a new empty tree: allocates and formats the root leaf.
+    pub fn create(io: &dyn PageMutator, txn: TxnId) -> Result<BTree> {
+        let root = io.allocate(txn)?;
+        let page_ref = io.page(root)?;
+        let mut page = page_ref.write();
+        io.mutate(txn, &mut page, &PageOp::Format { ptype: PageType::BTreeLeaf })?;
+        drop(page);
+        Ok(BTree::open(root))
+    }
+
+    /// Open an existing tree by root page id.
+    pub fn open(root: PageId) -> BTree {
+        BTree { root, lock: std::sync::Arc::new(RwLock::new(())) }
+    }
+
+    /// The root page id (stable for the tree's lifetime).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Point lookup.
+    pub fn get(&self, io: &dyn PageAccess, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _g = self.lock.read();
+        let (_, page_ref) = self.descend(io, key)?;
+        let page = page_ref.read();
+        match leaf_search(&page, key) {
+            Ok(i) => {
+                let (_, payload) = split_leaf_record(Slotted::get(&page, i)?);
+                Ok(Some(payload.to_vec()))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Upsert; returns the previous payload if the key existed, and the LSN
+    /// of the final mutation.
+    pub fn insert(
+        &self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        key: &[u8],
+        payload: &[u8],
+    ) -> Result<(Option<Vec<u8>>, Lsn)> {
+        if 2 + key.len() + payload.len() > MAX_ENTRY {
+            return Err(Error::InvalidArgument(format!(
+                "entry of {} bytes exceeds MAX_ENTRY {MAX_ENTRY}",
+                2 + key.len() + payload.len()
+            )));
+        }
+        let _g = self.lock.write();
+        let outcome = self.insert_rec(io, txn, self.root, key, payload)?;
+        if let Some((sep, right)) = outcome.split {
+            self.grow_root(io, txn, sep, right)?;
+        }
+        Ok((outcome.old, outcome.lsn))
+    }
+
+    fn insert_rec(
+        &self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        at: PageId,
+        key: &[u8],
+        payload: &[u8],
+    ) -> Result<InsertOutcome> {
+        let page_ref = io.page(at)?;
+        let ptype = page_ref.read().page_type()?;
+        match ptype {
+            PageType::BTreeLeaf => self.leaf_upsert(io, txn, at, &page_ref, key, payload),
+            PageType::BTreeInternal => {
+                let child = {
+                    let page = page_ref.read();
+                    let slot = internal_child_slot(&page, key);
+                    split_internal_record(Slotted::get(&page, slot)?).1
+                };
+                let outcome = self.insert_rec(io, txn, child, key, payload)?;
+                let Some((sep, right)) = outcome.split else { return Ok(outcome) };
+                let split = self.adopt_separator(io, txn, at, &sep, right)?;
+                Ok(InsertOutcome { old: outcome.old, lsn: outcome.lsn, split })
+            }
+            other => Err(Error::Corruption(format!("B-tree descent hit {other:?} at {at}"))),
+        }
+    }
+
+    /// Insert/update `key` in leaf `at`, splitting it if needed.
+    fn leaf_upsert(
+        &self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        at: PageId,
+        page_ref: &socrates_storage::cache::PageRef,
+        key: &[u8],
+        payload: &[u8],
+    ) -> Result<InsertOutcome> {
+        let rec = leaf_record(key, payload);
+        let mut page = page_ref.write();
+        match leaf_search(&page, key) {
+            Ok(i) => {
+                let cur = Slotted::get(&page, i)?;
+                let (_, old) = split_leaf_record(cur);
+                let old = Some(old.to_vec());
+                let grow = rec.len().saturating_sub(cur.len());
+                if grow == 0
+                    || Slotted::contiguous_free(&page) + Slotted::fragmented_free(&page) >= grow
+                {
+                    let lsn =
+                        io.mutate(txn, &mut page, &PageOp::Update { idx: i as u16, bytes: rec })?;
+                    return Ok(InsertOutcome { old, lsn, split: None });
+                }
+                drop(page);
+                self.leaf_split_upsert(io, txn, at, key, payload, old)
+            }
+            Err(i) => {
+                if Slotted::can_insert(&page, rec.len()) {
+                    let lsn =
+                        io.mutate(txn, &mut page, &PageOp::Insert { idx: i as u16, bytes: rec })?;
+                    return Ok(InsertOutcome { old: None, lsn, split: None });
+                }
+                drop(page);
+                self.leaf_split_upsert(io, txn, at, key, payload, None)
+            }
+        }
+    }
+
+    /// Split leaf `at` while applying the pending upsert to the in-memory
+    /// record set, so the result is two half-full pages already containing
+    /// the new entry.
+    fn leaf_split_upsert(
+        &self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        at: PageId,
+        key: &[u8],
+        payload: &[u8],
+        old: Option<Vec<u8>>,
+    ) -> Result<InsertOutcome> {
+        let page_ref = io.page(at)?;
+        let page = page_ref.read();
+        let mut records: Vec<Vec<u8>> = Slotted::iter(&page).map(|r| r.to_vec()).collect();
+        drop(page);
+        match records.binary_search_by(|r| split_leaf_record(r).0.cmp(key)) {
+            Ok(i) => records[i] = leaf_record(key, payload),
+            Err(i) => records.insert(i, leaf_record(key, payload)),
+        }
+        let mid = records.len() / 2;
+        debug_assert!(mid >= 1);
+        let sep = split_leaf_record(&records[mid]).0.to_vec();
+        let right_id = io.allocate(txn)?;
+        self.write_image(io, txn, right_id, PageType::BTreeLeaf, &records[mid..], false)?;
+        let lsn =
+            self.write_image(io, txn, at, PageType::BTreeLeaf, &records[..mid], false)?;
+        Ok(InsertOutcome { old, lsn, split: Some((sep, right_id)) })
+    }
+
+    /// Insert a separator `(sep, right)` into internal node `at`, splitting
+    /// it if needed. Returns the node's own split info when it overflows.
+    fn adopt_separator(
+        &self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        at: PageId,
+        sep: &[u8],
+        right: PageId,
+    ) -> Result<Option<(Vec<u8>, PageId)>> {
+        let rec = internal_record(sep, right);
+        let page_ref = io.page(at)?;
+        let mut page = page_ref.write();
+        let pos = internal_child_slot(&page, sep) + 1;
+        if Slotted::can_insert(&page, rec.len()) {
+            io.mutate(txn, &mut page, &PageOp::Insert { idx: pos as u16, bytes: rec })?;
+            return Ok(None);
+        }
+        let mut records: Vec<Vec<u8>> = Slotted::iter(&page).map(|r| r.to_vec()).collect();
+        drop(page);
+        records.insert(pos, rec);
+        let mid = records.len() / 2;
+        debug_assert!(mid >= 1 && mid < records.len());
+        let sep_up = split_internal_record(&records[mid]).0.to_vec();
+        let right_id = io.allocate(txn)?;
+        // The right node's first record becomes its leftmost child (key
+        // stripped); its key moves up as the separator.
+        self.write_image(io, txn, right_id, PageType::BTreeInternal, &records[mid..], true)?;
+        self.write_image(io, txn, at, PageType::BTreeInternal, &records[..mid], false)?;
+        Ok(Some((sep_up, right_id)))
+    }
+
+    /// Root split: move the root's (already-split-off) content under a new
+    /// left child and rewrite the root as an internal node over both.
+    fn grow_root(
+        &self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        sep: Vec<u8>,
+        right: PageId,
+    ) -> Result<()> {
+        let root_ref = io.page(self.root)?;
+        let page = root_ref.read();
+        let ptype = page.page_type()?;
+        let records: Vec<Vec<u8>> = Slotted::iter(&page).map(|r| r.to_vec()).collect();
+        drop(page);
+        let left_id = io.allocate(txn)?;
+        self.write_image(io, txn, left_id, ptype, &records, false)?;
+        let root_recs =
+            vec![internal_record(&[], left_id), internal_record(&sep, right)];
+        self.write_image(io, txn, self.root, PageType::BTreeInternal, &root_recs, false)?;
+        Ok(())
+    }
+
+    /// Build a page image from records and log it as a single Image op on
+    /// page `id`.
+    fn write_image(
+        &self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        id: PageId,
+        ptype: PageType,
+        records: &[impl AsRef<[u8]>],
+        strip_first_key: bool,
+    ) -> Result<Lsn> {
+        let mut img = Page::new(id, ptype);
+        Slotted::init(&mut img);
+        for (i, r) in records.iter().enumerate() {
+            if i == 0 && strip_first_key {
+                let (_, child) = split_internal_record(r.as_ref());
+                Slotted::push(&mut img, &internal_record(&[], child))?;
+            } else {
+                Slotted::push(&mut img, r.as_ref())?;
+            }
+        }
+        let page_ref = io.page(id)?;
+        let mut page = page_ref.write();
+        io.mutate(txn, &mut page, &PageOp::Image { bytes: img.to_io_bytes().to_vec() })
+    }
+
+    /// Remove `key`; returns its payload if present.
+    pub fn delete(
+        &self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        let _g = self.lock.write();
+        let (_, page_ref) = self.descend(io, key)?;
+        let mut page = page_ref.write();
+        match leaf_search(&page, key) {
+            Ok(i) => {
+                let (_, payload) = split_leaf_record(Slotted::get(&page, i)?);
+                let payload = payload.to_vec();
+                io.mutate(txn, &mut page, &PageOp::Delete { idx: i as u16 })?;
+                Ok(Some(payload))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Collect entries with `lo <= key < hi`, up to `limit`.
+    pub fn range(
+        &self,
+        io: &dyn PageAccess,
+        lo: &[u8],
+        hi: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let _g = self.lock.read();
+        let mut out = Vec::new();
+        self.range_walk(io, self.root, lo, hi, limit, &mut out)?;
+        Ok(out)
+    }
+
+    fn range_walk(
+        &self,
+        io: &dyn PageAccess,
+        at: PageId,
+        lo: &[u8],
+        hi: &[u8],
+        limit: usize,
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<bool> {
+        if out.len() >= limit {
+            return Ok(false);
+        }
+        let page_ref = io.page(at)?;
+        let page = page_ref.read();
+        match page.page_type()? {
+            PageType::BTreeLeaf => {
+                let start = match leaf_search(&page, lo) {
+                    Ok(i) | Err(i) => i,
+                };
+                for i in start..Slotted::slot_count(&page) {
+                    let (k, v) = split_leaf_record(Slotted::get(&page, i)?);
+                    if k >= hi {
+                        return Ok(false);
+                    }
+                    out.push((k.to_vec(), v.to_vec()));
+                    if out.len() >= limit {
+                        return Ok(false);
+                    }
+                }
+                Ok(true) // keep walking right
+            }
+            PageType::BTreeInternal => {
+                let n = Slotted::slot_count(&page);
+                let first = internal_child_slot(&page, lo);
+                let mut entries = Vec::with_capacity(n - first);
+                for i in first..n {
+                    let (k, c) = split_internal_record(Slotted::get(&page, i)?);
+                    entries.push((k.to_vec(), c));
+                }
+                drop(page);
+                for (j, (sep, child)) in entries.iter().enumerate() {
+                    // A child whose lower separator is already >= hi holds
+                    // nothing in range.
+                    if j > 0 && sep.as_slice() >= hi {
+                        return Ok(false);
+                    }
+                    if !self.range_walk(io, *child, lo, hi, limit, out)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            other => Err(Error::Corruption(format!("range walk hit {other:?} at {at}"))),
+        }
+    }
+
+    /// Number of entries (full scan; diagnostics and tests).
+    pub fn len(&self, io: &dyn PageAccess) -> Result<usize> {
+        Ok(self.range(io, &[], &[0xFF; 64], usize::MAX)?.len())
+    }
+
+    /// Whether the tree has no entries.
+    pub fn is_empty(&self, io: &dyn PageAccess) -> Result<bool> {
+        Ok(self.range(io, &[], &[0xFF; 64], 1)?.is_empty())
+    }
+
+    fn descend(
+        &self,
+        io: &dyn PageAccess,
+        key: &[u8],
+    ) -> Result<(PageId, socrates_storage::cache::PageRef)> {
+        let mut at = self.root;
+        loop {
+            let page_ref = io.page(at)?;
+            let next = {
+                let page = page_ref.read();
+                match page.page_type()? {
+                    PageType::BTreeLeaf => None,
+                    PageType::BTreeInternal => {
+                        let slot = internal_child_slot(&page, key);
+                        let (_, child) = split_internal_record(Slotted::get(&page, slot)?);
+                        Some(child)
+                    }
+                    other => {
+                        return Err(Error::Corruption(format!(
+                            "B-tree descent hit a {other:?} page at {at}"
+                        )))
+                    }
+                }
+            };
+            match next {
+                None => return Ok((at, page_ref)),
+                Some(child) => at = child,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MemIo;
+    use std::collections::BTreeMap;
+
+    fn t(io: &MemIo) -> BTree {
+        BTree::create(io, TxnId::new(1)).unwrap()
+    }
+
+    fn k(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_update_delete() {
+        let io = MemIo::new(1);
+        let tree = t(&io);
+        let txn = TxnId::new(1);
+        assert_eq!(tree.get(&io, &k(5)).unwrap(), None);
+        let (old, _) = tree.insert(&io, txn, &k(5), b"five").unwrap();
+        assert_eq!(old, None);
+        assert_eq!(tree.get(&io, &k(5)).unwrap(), Some(b"five".to_vec()));
+        let (old, _) = tree.insert(&io, txn, &k(5), b"FIVE!").unwrap();
+        assert_eq!(old, Some(b"five".to_vec()));
+        assert_eq!(tree.get(&io, &k(5)).unwrap(), Some(b"FIVE!".to_vec()));
+        assert_eq!(tree.delete(&io, txn, &k(5)).unwrap(), Some(b"FIVE!".to_vec()));
+        assert_eq!(tree.get(&io, &k(5)).unwrap(), None);
+        assert_eq!(tree.delete(&io, txn, &k(5)).unwrap(), None);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let io = MemIo::new(1);
+        let tree = t(&io);
+        let txn = TxnId::new(1);
+        let n = 5000u64;
+        // Insert in a scrambled order.
+        let mut order: Vec<u64> = (0..n).collect();
+        let mut rng = socrates_common::rng::Rng::new(9);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range((i + 1) as u64) as usize;
+            order.swap(i, j);
+        }
+        for &i in &order {
+            tree.insert(&io, txn, &k(i), format!("val-{i}").as_bytes()).unwrap();
+        }
+        assert!(io.len() > 10, "tree must have split into many pages");
+        // Every key readable.
+        for i in 0..n {
+            assert_eq!(
+                tree.get(&io, &k(i)).unwrap(),
+                Some(format!("val-{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+        // Full scan is sorted and complete.
+        let all = tree.range(&io, &[], &[0xFF; 9], usize::MAX).unwrap();
+        assert_eq!(all.len(), n as usize);
+        for (i, (key, _)) in all.iter().enumerate() {
+            assert_eq!(key, &k(i as u64));
+        }
+    }
+
+    #[test]
+    fn range_bounds_and_limit() {
+        let io = MemIo::new(1);
+        let tree = t(&io);
+        let txn = TxnId::new(1);
+        for i in 0..100u64 {
+            tree.insert(&io, txn, &k(i), b"x").unwrap();
+        }
+        let r = tree.range(&io, &k(10), &k(20), usize::MAX).unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, k(10));
+        assert_eq!(r[9].0, k(19));
+        let r = tree.range(&io, &k(10), &k(20), 3).unwrap();
+        assert_eq!(r.len(), 3);
+        let r = tree.range(&io, &k(95), &k(200), usize::MAX).unwrap();
+        assert_eq!(r.len(), 5);
+        let r = tree.range(&io, &k(200), &k(300), usize::MAX).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn large_payloads_split_correctly() {
+        let io = MemIo::new(1);
+        let tree = t(&io);
+        let txn = TxnId::new(1);
+        let payload = vec![7u8; 1500];
+        for i in 0..200u64 {
+            tree.insert(&io, txn, &k(i), &payload).unwrap();
+        }
+        for i in 0..200u64 {
+            assert_eq!(tree.get(&io, &k(i)).unwrap().unwrap().len(), 1500, "key {i}");
+        }
+        // Growing updates force splits too.
+        let bigger = vec![8u8; 1900];
+        for i in 0..200u64 {
+            tree.insert(&io, txn, &k(i), &bigger).unwrap();
+        }
+        for i in 0..200u64 {
+            assert_eq!(tree.get(&io, &k(i)).unwrap().unwrap(), bigger, "key {i}");
+        }
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let io = MemIo::new(1);
+        let tree = t(&io);
+        let err = tree.insert(&io, TxnId::new(1), &k(1), &vec![0u8; MAX_ENTRY]).unwrap_err();
+        assert_eq!(err.kind(), "invalid_argument");
+    }
+
+    #[test]
+    fn matches_model_under_mixed_ops() {
+        let io = MemIo::new(1);
+        let tree = t(&io);
+        let txn = TxnId::new(1);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut rng = socrates_common::rng::Rng::new(1234);
+        for step in 0..20_000u64 {
+            let key = k(rng.gen_range(500));
+            match rng.gen_range(10) {
+                0..=5 => {
+                    let val = format!("v{step}").into_bytes();
+                    tree.insert(&io, txn, &key, &val).unwrap();
+                    model.insert(key, val);
+                }
+                6..=7 => {
+                    let got = tree.delete(&io, txn, &key).unwrap();
+                    assert_eq!(got, model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(tree.get(&io, &key).unwrap(), model.get(&key).cloned());
+                }
+            }
+        }
+        // Final full comparison.
+        let all = tree.range(&io, &[], &[0xFF; 9], usize::MAX).unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn descending_key_inserts() {
+        let io = MemIo::new(1);
+        let tree = t(&io);
+        let txn = TxnId::new(1);
+        for i in (0..2000u64).rev() {
+            tree.insert(&io, txn, &k(i), b"d").unwrap();
+        }
+        let all = tree.range(&io, &[], &[0xFF; 9], usize::MAX).unwrap();
+        assert_eq!(all.len(), 2000);
+        assert_eq!(all[0].0, k(0));
+    }
+
+    #[test]
+    fn deep_tree_with_wide_keys_cascades_splits() {
+        let io = MemIo::new(1);
+        let tree = t(&io);
+        let txn = TxnId::new(1);
+        // Wide keys shrink internal fan-out so splits cascade levels.
+        let widen = |i: u64| -> Vec<u8> {
+            let mut key = vec![0u8; 200];
+            key[..8].copy_from_slice(&i.to_be_bytes());
+            key
+        };
+        let n = 3000u64;
+        for i in 0..n {
+            tree.insert(&io, txn, &widen(i * 7919 % n), &vec![1u8; 900]).unwrap();
+        }
+        for i in 0..n {
+            assert!(tree.get(&io, &widen(i)).unwrap().is_some(), "key {i}");
+        }
+        let all = tree.range(&io, &[], &[0xFF; 210], usize::MAX).unwrap();
+        assert_eq!(all.len(), n as usize);
+    }
+}

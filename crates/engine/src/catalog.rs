@@ -1,0 +1,280 @@
+//! The table catalog, stored in page 0.
+//!
+//! Catalog mutations go through the same logged page-op path as user data,
+//! so page servers replicate the catalog and a failover target or PITR
+//! restore simply reads page 0 — no separate metadata service.
+
+use crate::btree::BTree;
+use crate::io::{PageAccess, PageMutator};
+use crate::value::{ColumnType, Schema};
+use socrates_common::{Error, PageId, Result, TableId, TxnId};
+use socrates_storage::page::PageType;
+use socrates_storage::pageops::PageOp;
+use socrates_storage::slotted::Slotted;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The catalog lives in this page.
+pub const CATALOG_PAGE: PageId = PageId(0);
+
+/// A table known to the catalog.
+pub struct TableInfo {
+    /// Table id.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Schema (primary-key columns first).
+    pub schema: Schema,
+    /// Root page of the clustered B-tree.
+    pub root: PageId,
+    /// Handle to the clustered B-tree.
+    pub btree: BTree,
+    /// Serialises row writers on this table (MVCC conflict checks and the
+    /// subsequent version write must be atomic with respect to each other).
+    pub write_lock: parking_lot::Mutex<()>,
+}
+
+fn ctype_tag(t: ColumnType) -> u8 {
+    match t {
+        ColumnType::Int => 0,
+        ColumnType::Float => 1,
+        ColumnType::Str => 2,
+        ColumnType::Bytes => 3,
+        ColumnType::Bool => 4,
+    }
+}
+
+fn ctype_from(tag: u8) -> Result<ColumnType> {
+    Ok(match tag {
+        0 => ColumnType::Int,
+        1 => ColumnType::Float,
+        2 => ColumnType::Str,
+        3 => ColumnType::Bytes,
+        4 => ColumnType::Bool,
+        other => return Err(Error::Corruption(format!("bad column type tag {other}"))),
+    })
+}
+
+fn encode_table(id: TableId, name: &str, schema: &Schema, root: PageId) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&id.raw().to_le_bytes());
+    out.extend_from_slice(&root.raw().to_le_bytes());
+    out.extend_from_slice(&(schema.key_columns as u16).to_le_bytes());
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&(schema.columns.len() as u16).to_le_bytes());
+    for (cname, ctype) in &schema.columns {
+        out.push(ctype_tag(*ctype));
+        out.extend_from_slice(&(cname.len() as u16).to_le_bytes());
+        out.extend_from_slice(cname.as_bytes());
+    }
+    out
+}
+
+fn decode_table(data: &[u8]) -> Result<(TableId, String, Schema, PageId)> {
+    let err = || Error::Corruption("truncated catalog record".into());
+    if data.len() < 16 {
+        return Err(err());
+    }
+    let id = TableId::new(u32::from_le_bytes(data[0..4].try_into().unwrap()));
+    let root = PageId::new(u64::from_le_bytes(data[4..12].try_into().unwrap()));
+    let key_columns = u16::from_le_bytes(data[12..14].try_into().unwrap()) as usize;
+    let name_len = u16::from_le_bytes(data[14..16].try_into().unwrap()) as usize;
+    let mut off = 16;
+    let name_bytes = data.get(off..off + name_len).ok_or_else(err)?;
+    let name = String::from_utf8(name_bytes.to_vec())
+        .map_err(|_| Error::Corruption("catalog name not utf8".into()))?;
+    off += name_len;
+    let ncols_bytes = data.get(off..off + 2).ok_or_else(err)?;
+    let ncols = u16::from_le_bytes(ncols_bytes.try_into().unwrap()) as usize;
+    off += 2;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let tag = *data.get(off).ok_or_else(err)?;
+        off += 1;
+        let lb = data.get(off..off + 2).ok_or_else(err)?;
+        let clen = u16::from_le_bytes(lb.try_into().unwrap()) as usize;
+        off += 2;
+        let cname = data.get(off..off + clen).ok_or_else(err)?;
+        off += clen;
+        columns.push((
+            String::from_utf8(cname.to_vec())
+                .map_err(|_| Error::Corruption("column name not utf8".into()))?,
+            ctype_from(tag)?,
+        ));
+    }
+    Ok((id, name, Schema::new(columns, key_columns), root))
+}
+
+/// The in-memory catalog.
+pub struct Catalog {
+    by_name: HashMap<String, Arc<TableInfo>>,
+    by_id: HashMap<TableId, Arc<TableInfo>>,
+    next_table_id: u32,
+}
+
+impl Catalog {
+    /// Format page 0 as the (empty) catalog. Call exactly once when
+    /// creating a fresh database; the allocation must yield page 0.
+    pub fn bootstrap(io: &dyn PageMutator) -> Result<()> {
+        let sys = TxnId::new(0);
+        let id = io.allocate(sys)?;
+        if id != CATALOG_PAGE {
+            return Err(Error::InvalidState(format!(
+                "catalog bootstrap allocated {id}; the allocator must start at page 0"
+            )));
+        }
+        let page_ref = io.page(CATALOG_PAGE)?;
+        let mut page = page_ref.write();
+        io.mutate(sys, &mut page, &PageOp::Format { ptype: PageType::Meta })?;
+        Ok(())
+    }
+
+    /// Load the catalog from page 0.
+    pub fn load(io: &dyn PageAccess) -> Result<Catalog> {
+        let page_ref = io.page(CATALOG_PAGE)?;
+        let page = page_ref.read();
+        if page.page_type()? != PageType::Meta {
+            return Err(Error::Corruption("page 0 is not a catalog page".into()));
+        }
+        let mut cat =
+            Catalog { by_name: HashMap::new(), by_id: HashMap::new(), next_table_id: 1 };
+        for rec in Slotted::iter(&page) {
+            let (id, name, schema, root) = decode_table(rec)?;
+            let info = Arc::new(TableInfo {
+                id,
+                name: name.clone(),
+                schema,
+                root,
+                btree: BTree::open(root),
+                write_lock: parking_lot::Mutex::new(()),
+            });
+            cat.next_table_id = cat.next_table_id.max(id.raw() + 1);
+            cat.by_name.insert(name, Arc::clone(&info));
+            cat.by_id.insert(id, info);
+        }
+        Ok(cat)
+    }
+
+    /// Create a table: allocates its B-tree and appends the catalog record.
+    pub fn create_table(
+        &mut self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        name: &str,
+        schema: Schema,
+    ) -> Result<Arc<TableInfo>> {
+        if self.by_name.contains_key(name) {
+            return Err(Error::InvalidArgument(format!("table '{name}' already exists")));
+        }
+        let btree = BTree::create(io, txn)?;
+        let id = TableId::new(self.next_table_id);
+        self.next_table_id += 1;
+        let rec = encode_table(id, name, &schema, btree.root());
+        let page_ref = io.page(CATALOG_PAGE)?;
+        let mut page = page_ref.write();
+        if !Slotted::can_insert(&page, rec.len()) {
+            return Err(Error::InvalidState("catalog page full".into()));
+        }
+        let slot = Slotted::slot_count(&page) as u16;
+        io.mutate(txn, &mut page, &PageOp::Insert { idx: slot, bytes: rec })?;
+        drop(page);
+        let info = Arc::new(TableInfo {
+            id,
+            name: name.to_string(),
+            schema,
+            root: btree.root(),
+            btree,
+            write_lock: parking_lot::Mutex::new(()),
+        });
+        self.by_name.insert(name.to_string(), Arc::clone(&info));
+        self.by_id.insert(id, Arc::clone(&info));
+        Ok(info)
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<TableInfo>> {
+        self.by_name
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table '{name}'")))
+    }
+
+    /// Look up a table by id.
+    pub fn get_by_id(&self, id: TableId) -> Result<Arc<TableInfo>> {
+        self.by_id.get(&id).cloned().ok_or_else(|| Error::NotFound(format!("{id}")))
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.by_name.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether no tables exist.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MemIo;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                ("id".into(), ColumnType::Int),
+                ("name".into(), ColumnType::Str),
+                ("balance".into(), ColumnType::Float),
+            ],
+            1,
+        )
+    }
+
+    #[test]
+    fn bootstrap_create_load_roundtrip() {
+        let io = MemIo::new(0);
+        Catalog::bootstrap(&io).unwrap();
+        let mut cat = Catalog::load(&io).unwrap();
+        assert!(cat.is_empty());
+        let t1 = cat.create_table(&io, TxnId::new(0), "accounts", schema()).unwrap();
+        cat.create_table(&io, TxnId::new(0), "orders", schema()).unwrap();
+        assert!(cat.create_table(&io, TxnId::new(0), "accounts", schema()).is_err());
+
+        // A fresh load (another node, a restart) sees both tables.
+        let cat2 = Catalog::load(&io).unwrap();
+        assert_eq!(cat2.len(), 2);
+        assert_eq!(cat2.table_names(), vec!["accounts".to_string(), "orders".to_string()]);
+        let t1b = cat2.get("accounts").unwrap();
+        assert_eq!(t1b.id, t1.id);
+        assert_eq!(t1b.root, t1.root);
+        assert_eq!(t1b.schema, t1.schema);
+        assert_eq!(cat2.get_by_id(t1.id).unwrap().name, "accounts");
+        assert!(cat2.get("missing").is_err());
+    }
+
+    #[test]
+    fn bootstrap_requires_page_zero() {
+        let io = MemIo::new(5); // allocator not at 0
+        assert!(Catalog::bootstrap(&io).is_err());
+    }
+
+    #[test]
+    fn new_tables_get_increasing_ids_across_reload() {
+        let io = MemIo::new(0);
+        Catalog::bootstrap(&io).unwrap();
+        let mut cat = Catalog::load(&io).unwrap();
+        let a = cat.create_table(&io, TxnId::new(0), "a", schema()).unwrap();
+        let mut cat2 = Catalog::load(&io).unwrap();
+        let b = cat2.create_table(&io, TxnId::new(0), "b", schema()).unwrap();
+        assert!(b.id.raw() > a.id.raw());
+    }
+}

@@ -1,0 +1,87 @@
+//! The evicted-LSN map (paper §4.4).
+//!
+//! A compute node cannot remember the PageLSN of every page it ever evicted
+//! (that would be the whole database), but GetPage@LSN needs a *safe* lower
+//! bound: an LSN at least as high as the page's last PageLSN when it left
+//! the node. The paper's mechanism is a hash map keyed by page id storing
+//! the highest LSN among evicted pages in each bucket — bounded memory,
+//! conservative answers. That is exactly what this module implements.
+
+use parking_lot::RwLock;
+use socrates_common::{Lsn, PageId};
+
+/// Bucketed map from page id to a safe "at least this fresh" LSN.
+pub struct EvictedLsnMap {
+    buckets: RwLock<Vec<Lsn>>,
+}
+
+impl EvictedLsnMap {
+    /// Create with `buckets` hash buckets (power of two recommended).
+    pub fn new(buckets: usize) -> EvictedLsnMap {
+        assert!(buckets > 0);
+        EvictedLsnMap { buckets: RwLock::new(vec![Lsn::ZERO; buckets]) }
+    }
+
+    fn index(&self, id: PageId, n: usize) -> usize {
+        // Fibonacci hashing on the page id.
+        (id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+    }
+
+    /// Raise every bucket to at least `lsn`. A node that (re)starts at LSN
+    /// `L` primes its map with `raise_floor(L)` so every first fetch asks
+    /// the storage tier for state at least as fresh as the node's own
+    /// starting point — otherwise a brand-new node could read pages from
+    /// before its own birth while page servers still catch up.
+    pub fn raise_floor(&self, lsn: Lsn) {
+        let mut b = self.buckets.write();
+        for slot in b.iter_mut() {
+            *slot = (*slot).max(lsn);
+        }
+    }
+
+    /// Record that `id` left the node with PageLSN `lsn`.
+    pub fn note_eviction(&self, id: PageId, lsn: Lsn) {
+        let mut b = self.buckets.write();
+        let n = b.len();
+        let i = self.index(id, n);
+        b[i] = b[i].max(lsn);
+    }
+
+    /// The LSN to use in a GetPage@LSN call for `id`: at least as large as
+    /// the last PageLSN this node saw for the page. `Lsn::ZERO` when the
+    /// page was never evicted (never dirtied here), which is always safe.
+    pub fn lsn_for(&self, id: PageId) -> Lsn {
+        let b = self.buckets.read();
+        let n = b.len();
+        b[self.index(id, n)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservative_bound() {
+        let m = EvictedLsnMap::new(16);
+        assert_eq!(m.lsn_for(PageId::new(1)), Lsn::ZERO);
+        m.note_eviction(PageId::new(1), Lsn::new(100));
+        assert!(m.lsn_for(PageId::new(1)) >= Lsn::new(100));
+        // Monotone: an older eviction never lowers the bound.
+        m.note_eviction(PageId::new(1), Lsn::new(50));
+        assert!(m.lsn_for(PageId::new(1)) >= Lsn::new(100));
+    }
+
+    #[test]
+    fn collisions_stay_safe() {
+        // One bucket: every page shares it — maximally conservative, never
+        // wrong.
+        let m = EvictedLsnMap::new(1);
+        m.note_eviction(PageId::new(1), Lsn::new(10));
+        m.note_eviction(PageId::new(2), Lsn::new(99));
+        m.note_eviction(PageId::new(3), Lsn::new(5));
+        for p in 0..10u64 {
+            assert_eq!(m.lsn_for(PageId::new(p)), Lsn::new(99));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The socrates-rs relational engine.
+//!
+//! This crate is the "SQL Server" of the reproduction: the transactional
+//! page-based engine that runs inside every compute node. It follows the
+//! paper's reuse principle (§4.1.6) structurally — the engine is identical
+//! on a Socrates primary, a Socrates secondary, and an HADR replica; only
+//! the injected page I/O ([`io::PageAccess`] / [`io::PageMutator`]) and
+//! commit path differ.
+//!
+//! Components:
+//!
+//! * [`value`] — typed values, rows, schemas, memcomparable keys.
+//! * [`io`] — the page I/O boundary and the production logged
+//!   implementation.
+//! * [`evicted`] — the evicted-LSN map behind GetPage@LSN (paper §4.4).
+//! * [`btree`] — page-based B-trees with logged, replayable mutations.
+//! * [`version`] — the persistent page version store (paper §3.1).
+//! * [`txn`] — snapshot-isolation transaction manager (paper §3.1, [4]).
+//! * [`catalog`] — table catalog stored in page 0, replicated via the log.
+//! * [`db`] — the embedded database facade tying it all together.
+//! * [`recovery`] — ADR-style constant-time recovery (paper §3.2).
+
+pub mod btree;
+pub mod catalog;
+pub mod db;
+pub mod evicted;
+pub mod io;
+pub mod recovery;
+pub mod txn;
+pub mod value;
+pub mod version;
+
+pub use btree::BTree;
+pub use catalog::{Catalog, TableInfo};
+pub use db::{Database, TxnHandle};
+pub use evicted::EvictedLsnMap;
+pub use io::{LoggedPageIo, MemIo, PageAccess, PageMutator};
+pub use txn::{TxnManager, TxnStatus};
+pub use value::{ColumnType, Row, Schema, Value};
+pub use version::VersionStore;

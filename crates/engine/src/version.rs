@@ -1,0 +1,265 @@
+//! The persistent, shared page version store (paper §3.1).
+//!
+//! SQL Server keeps row versions for snapshot isolation; Socrates moves
+//! that version store out of node-local temporary storage and into ordinary
+//! database pages, because compute nodes share pages through the storage
+//! tier. Here, version-store pages are allocated and mutated through the
+//! same logged [`PageMutator`] path as everything else, so page servers
+//! hold them, secondaries can fetch them with GetPage@LSN, and they survive
+//! failover — which is also what makes ADR's undo-free recovery possible
+//! (paper §3.2): committed versions remain reachable after a crash.
+//!
+//! Layout: each row's *current* version lives in the table B-tree leaf and
+//! names its creator transaction; *prior* versions live in append-only
+//! version-store pages as [`StoredVersion`] records carrying their resolved
+//! commit timestamp. Version pointers are `(page, slot)` pairs; slots in
+//! version-store pages are never deleted or reordered, so pointers are
+//! stable.
+
+use crate::io::PageMutator;
+use parking_lot::Mutex;
+use socrates_common::{Error, PageId, Result, TxnId};
+use socrates_storage::page::PageType;
+use socrates_storage::pageops::PageOp;
+use socrates_storage::slotted::Slotted;
+
+/// Pointer to an older version in the version store. `None` terminates the
+/// chain (the version was an insert).
+pub type VersionPtr = Option<(PageId, u16)>;
+
+const FLAG_TOMBSTONE: u8 = 1;
+
+fn encode_common(owner: u64, prev: VersionPtr, tombstone: bool, row: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&owner.to_le_bytes());
+    let (pp, ps) = match prev {
+        Some((p, s)) => (p.raw(), s),
+        None => (0, 0),
+    };
+    out.extend_from_slice(&pp.to_le_bytes());
+    out.extend_from_slice(&ps.to_le_bytes());
+    out.push(if tombstone { FLAG_TOMBSTONE } else { 0 });
+    out.extend_from_slice(row);
+}
+
+fn decode_common(data: &[u8]) -> Result<(u64, VersionPtr, bool, &[u8])> {
+    if data.len() < 19 {
+        return Err(Error::Corruption("truncated version record".into()));
+    }
+    let owner = u64::from_le_bytes(data[0..8].try_into().unwrap());
+    let pp = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let ps = u16::from_le_bytes(data[16..18].try_into().unwrap());
+    let prev = if pp == 0 { None } else { Some((PageId::new(pp), ps)) };
+    let tombstone = data[18] & FLAG_TOMBSTONE != 0;
+    Ok((owner, prev, tombstone, &data[19..]))
+}
+
+/// A row's current version, as stored in the table B-tree leaf.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CurrentVersion {
+    /// The transaction that wrote this version.
+    pub creator: TxnId,
+    /// The previous version, if any.
+    pub prev: VersionPtr,
+    /// Whether this version deletes the row.
+    pub tombstone: bool,
+    /// Encoded row (empty for tombstones).
+    pub row: Vec<u8>,
+}
+
+impl CurrentVersion {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(19 + self.row.len());
+        encode_common(self.creator.raw(), self.prev, self.tombstone, &self.row, &mut out);
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<CurrentVersion> {
+        let (owner, prev, tombstone, row) = decode_common(data)?;
+        Ok(CurrentVersion { creator: TxnId::new(owner), prev, tombstone, row: row.to_vec() })
+    }
+}
+
+/// An older version in the version store, with its commit timestamp
+/// resolved ("timestamp stabilisation" happens when the version is moved
+/// out of the leaf, at which point its creator's fate is known).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredVersion {
+    /// Commit timestamp of the transaction that wrote this version. `0`
+    /// means "committed in the distant past" (visible to every snapshot).
+    pub commit_ts: u64,
+    /// The next-older version.
+    pub prev: VersionPtr,
+    /// Whether this version deletes the row.
+    pub tombstone: bool,
+    /// Encoded row.
+    pub row: Vec<u8>,
+}
+
+impl StoredVersion {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(19 + self.row.len());
+        encode_common(self.commit_ts, self.prev, self.tombstone, &self.row, &mut out);
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<StoredVersion> {
+        let (owner, prev, tombstone, row) = decode_common(data)?;
+        Ok(StoredVersion { commit_ts: owner, prev, tombstone, row: row.to_vec() })
+    }
+}
+
+/// The version store: appends [`StoredVersion`]s into dedicated pages.
+pub struct VersionStore {
+    current: Mutex<Option<PageId>>,
+}
+
+impl Default for VersionStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VersionStore {
+    /// A fresh version store (no pages yet; they are allocated on demand).
+    pub fn new() -> VersionStore {
+        VersionStore { current: Mutex::new(None) }
+    }
+
+    /// Append `version`, returning its stable pointer.
+    pub fn append(
+        &self,
+        io: &dyn PageMutator,
+        txn: TxnId,
+        version: &StoredVersion,
+    ) -> Result<(PageId, u16)> {
+        let bytes = version.encode();
+        if bytes.len() > socrates_storage::slotted::MAX_RECORD {
+            return Err(Error::InvalidArgument("version record exceeds page capacity".into()));
+        }
+        let mut current = self.current.lock();
+        // Try the current page; roll to a fresh one when full.
+        if let Some(page_id) = *current {
+            let page_ref = io.page(page_id)?;
+            let mut page = page_ref.write();
+            if Slotted::can_insert(&page, bytes.len()) {
+                let slot = Slotted::slot_count(&page) as u16;
+                io.mutate(txn, &mut page, &PageOp::Insert { idx: slot, bytes })?;
+                return Ok((page_id, slot));
+            }
+        }
+        let page_id = io.allocate(txn)?;
+        let page_ref = io.page(page_id)?;
+        let mut page = page_ref.write();
+        io.mutate(txn, &mut page, &PageOp::Format { ptype: PageType::VersionStore })?;
+        io.mutate(txn, &mut page, &PageOp::Insert { idx: 0, bytes })?;
+        *current = Some(page_id);
+        Ok((page_id, 0))
+    }
+
+    /// Fetch the version at `ptr` through any [`crate::io::PageAccess`].
+    pub fn fetch(
+        io: &dyn crate::io::PageAccess,
+        ptr: (PageId, u16),
+    ) -> Result<StoredVersion> {
+        let page_ref = io.page(ptr.0)?;
+        let page = page_ref.read();
+        if page.page_type()? != PageType::VersionStore {
+            return Err(Error::Corruption(format!(
+                "version pointer {}:{} targets a non-version-store page",
+                ptr.0, ptr.1
+            )));
+        }
+        StoredVersion::decode(Slotted::get(&page, ptr.1 as usize)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{MemIo, PageAccess, PageMutator};
+
+    #[test]
+    fn version_codecs_roundtrip() {
+        let cur = CurrentVersion {
+            creator: TxnId::new(42),
+            prev: Some((PageId::new(9), 3)),
+            tombstone: false,
+            row: b"rowdata".to_vec(),
+        };
+        assert_eq!(CurrentVersion::decode(&cur.encode()).unwrap(), cur);
+        let tomb = CurrentVersion {
+            creator: TxnId::new(1),
+            prev: None,
+            tombstone: true,
+            row: vec![],
+        };
+        assert_eq!(CurrentVersion::decode(&tomb.encode()).unwrap(), tomb);
+        let stored = StoredVersion {
+            commit_ts: 7,
+            prev: Some((PageId::new(2), 0)),
+            tombstone: false,
+            row: b"old".to_vec(),
+        };
+        assert_eq!(StoredVersion::decode(&stored.encode()).unwrap(), stored);
+        assert!(StoredVersion::decode(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn append_and_fetch_chain() {
+        let io = MemIo::new(1);
+        let vs = VersionStore::new();
+        let txn = TxnId::new(1);
+        let v1 = StoredVersion { commit_ts: 10, prev: None, tombstone: false, row: b"v1".to_vec() };
+        let p1 = vs.append(&io, txn, &v1).unwrap();
+        let v2 =
+            StoredVersion { commit_ts: 20, prev: Some(p1), tombstone: false, row: b"v2".to_vec() };
+        let p2 = vs.append(&io, txn, &v2).unwrap();
+        // Walk the chain newest → oldest.
+        let got2 = VersionStore::fetch(&io, p2).unwrap();
+        assert_eq!(got2.row, b"v2");
+        let got1 = VersionStore::fetch(&io, got2.prev.unwrap()).unwrap();
+        assert_eq!(got1.row, b"v1");
+        assert_eq!(got1.prev, None);
+    }
+
+    #[test]
+    fn pages_roll_over_when_full_and_pointers_stay_stable() {
+        let io = MemIo::new(1);
+        let vs = VersionStore::new();
+        let txn = TxnId::new(1);
+        let big_row = vec![9u8; 1000];
+        let mut ptrs = Vec::new();
+        for i in 0..100u64 {
+            let v = StoredVersion {
+                commit_ts: i,
+                prev: None,
+                tombstone: false,
+                row: big_row.clone(),
+            };
+            ptrs.push(vs.append(&io, txn, &v).unwrap());
+        }
+        let distinct_pages: std::collections::HashSet<PageId> =
+            ptrs.iter().map(|p| p.0).collect();
+        assert!(distinct_pages.len() > 5, "should have rolled over pages");
+        for (i, ptr) in ptrs.iter().enumerate() {
+            let v = VersionStore::fetch(&io, *ptr).unwrap();
+            assert_eq!(v.commit_ts, i as u64);
+        }
+    }
+
+    #[test]
+    fn fetch_rejects_wrong_page_type() {
+        let io = MemIo::new(1);
+        let id = io.allocate(TxnId::new(1)).unwrap();
+        let page_ref = io.page(id).unwrap();
+        let mut page = page_ref.write();
+        io.mutate(TxnId::new(1), &mut page, &PageOp::Format { ptype: PageType::BTreeLeaf })
+            .unwrap();
+        drop(page);
+        assert!(VersionStore::fetch(&io, (id, 0)).is_err());
+    }
+}

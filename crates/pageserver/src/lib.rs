@@ -1,0 +1,938 @@
+//! Page servers — the Socrates storage tier (paper §4.6).
+//!
+//! Each page server owns one partition of the database page space and
+//! does three jobs:
+//!
+//! 1. **Apply log.** It pulls only the log blocks relevant to its
+//!    partition from XLOG (using the blocks' out-of-band partition
+//!    annotations) and replays them into its covering RBPEX cache.
+//! 2. **Serve GetPage@LSN.** A request `getPage(X, X-LSN)` waits until the
+//!    server's applied LSN reaches `X-LSN`, then returns the page — the
+//!    freshness contract the compute tier's evicted-LSN map relies on.
+//!    Multi-page range reads are served from the stride-preserving covering
+//!    cache in one device I/O.
+//! 3. **Checkpoint & back up.** It regularly ships modified pages to its
+//!    XStore data blob, records the checkpointed LSN, and takes backups as
+//!    constant-time XStore snapshots. During an XStore outage it keeps
+//!    serving and applying from RBPEX, remembers what could not be
+//!    checkpointed, and catches up when the service returns (insulation).
+//!
+//! Page servers are *stateless* in the durability sense: the truth is
+//! XStore + the log, so a lost page server is recreated by attaching the
+//! blob and replaying from the recorded checkpoint LSN — and a brand-new
+//! replica is **seeded asynchronously** while it is already serving
+//! requests (misses fall through to XStore until seeding completes).
+
+use parking_lot::Mutex;
+use socrates_common::lsn::AtomicLsn;
+use socrates_common::metrics::{CpuAccountant, Counter};
+use socrates_common::{BlobId, Error, Lsn, PageId, PartitionId, Result};
+use socrates_rbio::proto::{RbioRequest, RbioResponse};
+use socrates_rbio::transport::RbioHandler;
+use socrates_storage::fcb::Fcb;
+use socrates_storage::page::{Page, PAGE_SIZE};
+use socrates_storage::pageops::{apply_page_op, PageOp};
+use socrates_storage::rbpex::{Rbpex, RbpexPolicy};
+use socrates_wal::record::LogPayload;
+use socrates_xlog::XLogService;
+use socrates_xstore::{SnapshotId, XStore};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Pages held in the apply buffer before spilling to RBPEX.
+const MEM_TIER_PAGES: usize = 256;
+
+/// Static description of a partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// The partition id.
+    pub id: PartitionId,
+    /// First page id owned by this partition.
+    pub base_page: u64,
+    /// Number of page ids owned.
+    pub span: u64,
+}
+
+impl PartitionSpec {
+    /// Whether `page` belongs to this partition.
+    pub fn contains(&self, page: PageId) -> bool {
+        page.raw() >= self.base_page && page.raw() < self.base_page + self.span
+    }
+}
+
+/// Tuning knobs.
+#[derive(Clone, Debug)]
+pub struct PageServerConfig {
+    /// Max bytes pulled from XLOG per apply batch.
+    pub pull_batch_bytes: usize,
+    /// Checkpoint when this many pages are dirty.
+    pub checkpoint_dirty_pages: usize,
+    /// Apply-loop idle sleep.
+    pub idle_sleep: Duration,
+    /// GetPage@LSN wait deadline.
+    pub get_page_timeout: Duration,
+}
+
+impl Default for PageServerConfig {
+    fn default() -> Self {
+        PageServerConfig {
+            pull_batch_bytes: 1 << 20,
+            checkpoint_dirty_pages: 256,
+            idle_sleep: Duration::from_micros(500),
+            get_page_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Counters.
+#[derive(Debug, Default)]
+pub struct PageServerMetrics {
+    /// Log records applied.
+    pub records_applied: Counter,
+    /// GetPage requests served.
+    pub pages_served: Counter,
+    /// GetPage requests that had to wait for log apply.
+    pub get_page_waits: Counter,
+    /// Pages shipped to XStore by checkpoints.
+    pub pages_checkpointed: Counter,
+    /// Checkpoint attempts deferred by an XStore outage.
+    pub checkpoints_deferred: Counter,
+    /// Pages restored from XStore on a cache miss (seeding fallback).
+    pub xstore_fallback_reads: Counter,
+}
+
+/// One page server.
+pub struct PageServer {
+    name: String,
+    spec: PartitionSpec,
+    config: PageServerConfig,
+    /// Hot apply buffer: the most recently applied pages live in memory
+    /// and spill to RBPEX in batches ("Page Servers keep all their data in
+    /// main memory or locally attached SSDs", §4.2). Without it every log
+    /// record would pay a full SSD write.
+    mem: Mutex<HashMap<PageId, Page>>,
+    rbpex: Rbpex,
+    xstore: Arc<XStore>,
+    data_blob: BlobId,
+    meta_blob: BlobId,
+    xlog: Arc<XLogService>,
+    applied: AtomicLsn,
+    /// LSN up to which everything is durably checkpointed in XStore.
+    checkpointed: AtomicLsn,
+    dirty: Mutex<HashSet<PageId>>,
+    checkpoint_lock: Mutex<()>,
+    cpu: Arc<CpuAccountant>,
+    metrics: PageServerMetrics,
+    stop: AtomicBool,
+    seeded: AtomicBool,
+    apply_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    ckpt_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    seed_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl PageServer {
+    /// Create a page server for a brand-new partition: fresh covering
+    /// cache, fresh XStore blobs, apply cursor at `start_lsn`.
+    pub fn create(
+        name: &str,
+        spec: PartitionSpec,
+        config: PageServerConfig,
+        ssd: Arc<dyn Fcb>,
+        ssd_meta: Arc<dyn Fcb>,
+        xstore: Arc<XStore>,
+        xlog: Arc<XLogService>,
+        cpu: Arc<CpuAccountant>,
+        start_lsn: Lsn,
+    ) -> Result<Arc<PageServer>> {
+        let rbpex = Rbpex::create(
+            ssd,
+            ssd_meta,
+            RbpexPolicy::Covering { base: spec.base_page, span: spec.span },
+        )?;
+        let data_blob = xstore.create_blob(&format!("data/{name}"))?;
+        let meta_blob = xstore.create_blob(&format!("data/{name}.meta"))?;
+        xstore.write_at(meta_blob, 0, &start_lsn.offset().to_le_bytes())?;
+        Ok(Arc::new(PageServer {
+            name: name.to_string(),
+            spec,
+            config,
+            mem: Mutex::new(HashMap::new()),
+            rbpex,
+            xstore,
+            data_blob,
+            meta_blob,
+            xlog,
+            applied: AtomicLsn::new(start_lsn),
+            checkpointed: AtomicLsn::new(start_lsn),
+            dirty: Mutex::new(HashSet::new()),
+            checkpoint_lock: Mutex::new(()),
+            cpu,
+            metrics: PageServerMetrics::default(),
+            stop: AtomicBool::new(false),
+            seeded: AtomicBool::new(true),
+            apply_handle: Mutex::new(None),
+            ckpt_handle: Mutex::new(None),
+            seed_handle: Mutex::new(None),
+        }))
+    }
+
+    /// Attach to an *existing* partition blob (replacement after a page
+    /// server loss, a replica, or a PITR restore target). The local cache
+    /// starts empty and is seeded asynchronously; the apply cursor resumes
+    /// from the blob's recorded checkpoint LSN.
+    pub fn attach(
+        name: &str,
+        spec: PartitionSpec,
+        config: PageServerConfig,
+        ssd: Arc<dyn Fcb>,
+        ssd_meta: Arc<dyn Fcb>,
+        xstore: Arc<XStore>,
+        data_blob: BlobId,
+        meta_blob: BlobId,
+        xlog: Arc<XLogService>,
+        cpu: Arc<CpuAccountant>,
+    ) -> Result<Arc<PageServer>> {
+        let rbpex = Rbpex::create(
+            ssd,
+            ssd_meta,
+            RbpexPolicy::Covering { base: spec.base_page, span: spec.span },
+        )?;
+        let meta = xstore.read_at(meta_blob, 0, 8)?;
+        let start_lsn = Lsn::new(u64::from_le_bytes(meta[0..8].try_into().unwrap()));
+        Ok(Arc::new(PageServer {
+            name: name.to_string(),
+            spec,
+            config,
+            mem: Mutex::new(HashMap::new()),
+            rbpex,
+            xstore,
+            data_blob,
+            meta_blob,
+            xlog,
+            applied: AtomicLsn::new(start_lsn),
+            checkpointed: AtomicLsn::new(start_lsn),
+            dirty: Mutex::new(HashSet::new()),
+            checkpoint_lock: Mutex::new(()),
+            cpu,
+            metrics: PageServerMetrics::default(),
+            stop: AtomicBool::new(false),
+            seeded: AtomicBool::new(false),
+            apply_handle: Mutex::new(None),
+            ckpt_handle: Mutex::new(None),
+            seed_handle: Mutex::new(None),
+        }))
+    }
+
+    /// The server's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The partition this server owns.
+    pub fn spec(&self) -> PartitionSpec {
+        self.spec
+    }
+
+    /// Counters.
+    pub fn metrics(&self) -> &PageServerMetrics {
+        &self.metrics
+    }
+
+    /// The log-apply watermark.
+    pub fn applied_lsn(&self) -> Lsn {
+        self.applied.load()
+    }
+
+    /// Everything at or below this LSN is durable in XStore.
+    pub fn checkpointed_lsn(&self) -> Lsn {
+        self.checkpointed.load()
+    }
+
+    /// Whether asynchronous seeding has completed.
+    pub fn is_seeded(&self) -> bool {
+        self.seeded.load(Ordering::SeqCst)
+    }
+
+    /// The XStore blobs backing this partition (restore workflows).
+    pub fn blobs(&self) -> (BlobId, BlobId) {
+        (self.data_blob, self.meta_blob)
+    }
+
+    /// Start the background apply loop (and the seeding thread for
+    /// attached servers).
+    pub fn start(self: &Arc<Self>) {
+        if !self.is_seeded() {
+            let me = Arc::clone(self);
+            *self.seed_handle.lock() = Some(
+                std::thread::Builder::new()
+                    .name(format!("{}-seed", self.name))
+                    .spawn(move || me.seed_loop())
+                    .expect("spawn seeder"),
+            );
+        }
+        let me = Arc::clone(self);
+        *self.apply_handle.lock() = Some(
+            std::thread::Builder::new()
+                .name(format!("{}-apply", self.name))
+                .spawn(move || me.apply_loop())
+                .expect("spawn apply loop"),
+        );
+        let me = Arc::clone(self);
+        *self.ckpt_handle.lock() = Some(
+            std::thread::Builder::new()
+                .name(format!("{}-ckpt", self.name))
+                .spawn(move || me.checkpoint_loop())
+                .expect("spawn checkpoint loop"),
+        );
+    }
+
+    /// Stop background threads and join them.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in [&self.apply_handle, &self.ckpt_handle, &self.seed_handle] {
+            if let Some(h) = handle.lock().take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    // ---- log apply ----
+
+    fn apply_loop(self: Arc<Self>) {
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.apply_once() {
+                Ok(0) => std::thread::sleep(self.config.idle_sleep),
+                Ok(_) => {}
+                Err(_) => std::thread::sleep(self.config.idle_sleep.max(Duration::from_millis(2))),
+            }
+        }
+    }
+
+    /// The background checkpointer: runs on its own thread so slow XStore
+    /// writes never stall log apply (which would stall GetPage@LSN).
+    fn checkpoint_loop(self: Arc<Self>) {
+        while !self.stop.load(Ordering::SeqCst) {
+            let dirty_count = self.dirty.lock().len();
+            if dirty_count >= self.config.checkpoint_dirty_pages {
+                let _ = self.checkpoint(); // deferred on outage
+            } else {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+
+    /// Pull and apply one batch; returns the number of records applied.
+    /// Public so deterministic tests can drive the server without threads.
+    pub fn apply_once(&self) -> Result<usize> {
+        let cursor = self.applied.load();
+        let pull =
+            self.xlog.pull_blocks(cursor, self.config.pull_batch_bytes, Some(self.spec.id))?;
+        let mut applied = 0usize;
+        for block in &pull.blocks {
+            for rec in block.records()? {
+                if let LogPayload::PageWrite { page_id, op } = &rec.record.payload {
+                    if self.spec.contains(*page_id) {
+                        self.apply_page_write(*page_id, op, rec.lsn)?;
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        if pull.next_lsn > cursor {
+            self.applied.advance_to(pull.next_lsn);
+            self.xlog.report_progress(&self.name, pull.next_lsn);
+        }
+        self.metrics.records_applied.add(applied as u64);
+        Ok(applied)
+    }
+
+    /// Apply a slice of log blocks directly (bypassing XLOG), stopping at
+    /// records with `lsn >= upto`. This is the PITR bootstrap path: "the
+    /// log applied to bring the database all the way to the requested
+    /// time" (paper §4.7), where the blocks come from the copied LT blobs.
+    pub fn apply_blocks(&self, blocks: &[socrates_wal::block::LogBlock], upto: Lsn) -> Result<usize> {
+        let mut applied = 0usize;
+        for block in blocks {
+            if block.start_lsn() >= upto {
+                break;
+            }
+            for rec in block.records()? {
+                if rec.lsn >= upto {
+                    break;
+                }
+                if let LogPayload::PageWrite { page_id, op } = &rec.record.payload {
+                    if self.spec.contains(*page_id) {
+                        self.apply_page_write(*page_id, op, rec.lsn)?;
+                        applied += 1;
+                    }
+                }
+            }
+            self.applied.advance_to(block.end_lsn().min(upto));
+        }
+        self.metrics.records_applied.add(applied as u64);
+        Ok(applied)
+    }
+
+    fn apply_page_write(&self, page_id: PageId, op_bytes: &[u8], lsn: Lsn) -> Result<()> {
+        // Model the apply CPU cost (decode + page edit).
+        self.cpu.charge_us(2 + (op_bytes.len() as u64) / 512);
+        let mut mem = self.mem.lock();
+        let mut page = match mem.remove(&page_id) {
+            Some(p) => p,
+            None => match self.rbpex.get(page_id)? {
+                Some(p) => p,
+                None => match self.read_page_from_xstore(page_id)? {
+                    Some(p) => p,
+                    None => Page::new(page_id, socrates_storage::page::PageType::Free),
+                },
+            },
+        };
+        if page.page_lsn() < lsn {
+            let (op, _) = PageOp::decode(op_bytes)?;
+            apply_page_op(&mut page, &op, lsn)?;
+            self.dirty.lock().insert(page_id);
+        }
+        mem.insert(page_id, page);
+        if mem.len() >= MEM_TIER_PAGES {
+            self.spill_mem_locked(&mut mem)?;
+        }
+        Ok(())
+    }
+
+    /// Write every memory-tier page down to RBPEX and clear the tier.
+    fn spill_mem_locked(&self, mem: &mut HashMap<PageId, Page>) -> Result<()> {
+        for (_, page) in mem.drain() {
+            self.rbpex.put(&page)?;
+        }
+        Ok(())
+    }
+
+    /// Flush the memory tier (before range reads, checkpoints, backups).
+    fn flush_mem(&self) -> Result<()> {
+        let mut mem = self.mem.lock();
+        self.spill_mem_locked(&mut mem)
+    }
+
+    // ---- GetPage@LSN ----
+
+    /// The GetPage@LSN protocol (paper §4.4): wait until applied ≥
+    /// `min_lsn`, then serve the page.
+    pub fn get_page(&self, page_id: PageId, min_lsn: Lsn) -> Result<Page> {
+        if !self.spec.contains(page_id) {
+            return Err(Error::InvalidArgument(format!(
+                "{page_id} is not in partition {} [{}, {})",
+                self.spec.id,
+                self.spec.base_page,
+                self.spec.base_page + self.spec.span
+            )));
+        }
+        self.wait_applied(min_lsn)?;
+        self.cpu.charge_us(5);
+        if let Some(p) = self.mem.lock().get(&page_id) {
+            self.metrics.pages_served.incr();
+            return Ok(p.clone());
+        }
+        let page = match self.rbpex.get(page_id)? {
+            Some(p) => p,
+            None => match self.read_page_from_xstore(page_id)? {
+                Some(p) => {
+                    // Adopt into the covering cache for next time.
+                    self.rbpex.put(&p)?;
+                    p
+                }
+                None => {
+                    return Err(Error::NotFound(format!(
+                        "{page_id} has never been written"
+                    )))
+                }
+            },
+        };
+        self.metrics.pages_served.incr();
+        Ok(page)
+    }
+
+    /// Stride-preserving multi-page read: one cache I/O for the whole
+    /// contiguous range when it is fully resident.
+    pub fn get_page_range(&self, first: PageId, count: u32, min_lsn: Lsn) -> Result<Vec<Page>> {
+        let ids: Vec<PageId> =
+            (first.raw()..first.raw() + count as u64).map(PageId::new).collect();
+        for id in &ids {
+            if !self.spec.contains(*id) {
+                return Err(Error::InvalidArgument(format!(
+                    "{id} is not in partition {}",
+                    self.spec.id
+                )));
+            }
+        }
+        self.wait_applied(min_lsn)?;
+        self.cpu.charge_us(5 + count as u64);
+        self.flush_mem()?;
+        if let Some(pages) = self.rbpex.get_range(&ids)? {
+            self.metrics.pages_served.add(ids.len() as u64);
+            return Ok(pages);
+        }
+        // Sparse fallback (only during seeding): page-at-a-time.
+        ids.iter().map(|id| self.get_page(*id, Lsn::ZERO)).collect()
+    }
+
+    fn wait_applied(&self, min_lsn: Lsn) -> Result<()> {
+        if self.applied.load() >= min_lsn {
+            return Ok(());
+        }
+        self.metrics.get_page_waits.incr();
+        let deadline = Instant::now() + self.config.get_page_timeout;
+        while self.applied.load() < min_lsn {
+            if Instant::now() > deadline {
+                return Err(Error::Timeout(format!(
+                    "GetPage wait: applied {} < requested {min_lsn}",
+                    self.applied.load()
+                )));
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        Ok(())
+    }
+
+    // ---- checkpointing, backup, seeding ----
+
+    /// Ship all dirty pages to XStore and advance the checkpointed LSN.
+    /// During an XStore outage this returns `Unavailable` and keeps the
+    /// dirty set intact (the insulation mode of §4.6).
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        let _g = self.checkpoint_lock.lock();
+        self.flush_mem()?;
+        let at = self.applied.load();
+        let batch: Vec<PageId> = {
+            let dirty = self.dirty.lock();
+            dirty.iter().copied().collect()
+        };
+        if batch.is_empty() {
+            // Still advance the recorded LSN: everything applied is clean.
+            self.write_checkpoint_meta(at)?;
+            return Ok(at);
+        }
+        if !self.xstore.is_available() {
+            self.metrics.checkpoints_deferred.incr();
+            return Err(Error::Unavailable("xstore outage; checkpoint deferred".into()));
+        }
+        // Aggregate the dirty pages into large batched writes (§4.6).
+        for chunk in batch.chunks(128) {
+            let mut images = Vec::with_capacity(chunk.len());
+            for page_id in chunk {
+                let Some(page) = self.rbpex.get(*page_id)? else { continue };
+                let off = (page_id.raw() - self.spec.base_page) * PAGE_SIZE as u64;
+                images.push((off, page.to_io_bytes()));
+                self.cpu.charge_us(10);
+            }
+            let writes: Vec<(u64, &[u8])> =
+                images.iter().map(|(off, img)| (*off, img.as_slice())).collect();
+            self.xstore.write_batch(self.data_blob, &writes)?;
+            self.metrics.pages_checkpointed.add(writes.len() as u64);
+        }
+        {
+            let mut dirty = self.dirty.lock();
+            for p in &batch {
+                dirty.remove(p);
+            }
+        }
+        self.write_checkpoint_meta(at)?;
+        Ok(at)
+    }
+
+    fn write_checkpoint_meta(&self, lsn: Lsn) -> Result<()> {
+        self.xstore.write_at(self.meta_blob, 0, &lsn.offset().to_le_bytes())?;
+        self.checkpointed.advance_to(lsn);
+        Ok(())
+    }
+
+    /// Take a backup: checkpoint, then snapshot the data blob. Returns the
+    /// snapshot and the LSN it is consistent with. Constant-time in
+    /// partition size (paper §3.5) — the snapshot is a metadata operation.
+    pub fn backup(&self) -> Result<(SnapshotId, Lsn)> {
+        let lsn = self.checkpoint()?;
+        let snap = self.xstore.snapshot(self.data_blob)?;
+        Ok((snap, lsn))
+    }
+
+    fn read_page_from_xstore(&self, page_id: PageId) -> Result<Option<Page>> {
+        let off = (page_id.raw() - self.spec.base_page) * PAGE_SIZE as u64;
+        let len = self.xstore.blob_len(self.data_blob)?;
+        if off + PAGE_SIZE as u64 > len {
+            return Ok(None);
+        }
+        let bytes = self.xstore.read_at(self.data_blob, off, PAGE_SIZE)?;
+        if bytes.iter().all(|&b| b == 0) {
+            return Ok(None); // never-written hole
+        }
+        self.metrics.xstore_fallback_reads.incr();
+        Ok(Some(Page::from_io_bytes(page_id, &bytes)?))
+    }
+
+    fn seed_loop(self: Arc<Self>) {
+        for off in 0..self.spec.span {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let page_id = PageId::new(self.spec.base_page + off);
+            if self.rbpex.contains(page_id) {
+                continue; // already fetched by a request or log apply
+            }
+            match self.read_page_from_xstore(page_id) {
+                Ok(Some(page)) => {
+                    // Don't clobber a newer page applied by the log.
+                    if !self.rbpex.contains(page_id) {
+                        let _ = self.rbpex.put(&page);
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // Outage: retry this page after a pause.
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        self.seeded.store(true, Ordering::SeqCst);
+    }
+
+    /// Drive seeding synchronously (deterministic tests).
+    pub fn seed_blocking(self: &Arc<Self>) {
+        Arc::clone(self).seed_loop();
+    }
+}
+
+impl Drop for PageServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in [&self.apply_handle, &self.ckpt_handle, &self.seed_handle] {
+            if let Some(h) = handle.lock().take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// RBIO adapter: lets compute nodes reach the page server over the typed
+/// protocol.
+pub struct PageServerHandler(pub Arc<PageServer>);
+
+impl RbioHandler for PageServerHandler {
+    fn handle(&self, req: RbioRequest) -> Result<RbioResponse> {
+        match req {
+            RbioRequest::GetPage { page_id, min_lsn } => {
+                let page = self.0.get_page(page_id, min_lsn)?;
+                Ok(RbioResponse::Page { bytes: page.to_io_bytes().to_vec() })
+            }
+            RbioRequest::GetPageRange { first, count, min_lsn } => {
+                let pages = self.0.get_page_range(first, count, min_lsn)?;
+                Ok(RbioResponse::PageRange {
+                    pages: pages.iter().map(|p| p.to_io_bytes().to_vec()).collect(),
+                })
+            }
+            RbioRequest::Ping => Ok(RbioResponse::Pong),
+            RbioRequest::GetAppliedLsn => {
+                Ok(RbioResponse::AppliedLsn { lsn: self.0.applied_lsn() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socrates_common::TxnId;
+    use socrates_storage::page::PageType;
+    use socrates_storage::slotted::Slotted;
+    use socrates_storage::MemFcb;
+    use socrates_wal::block::BlockBuilder;
+    use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
+    use socrates_wal::record::LogRecord;
+    use socrates_xlog::service::XLogConfig;
+    use socrates_xstore::XStoreConfig;
+
+    struct Fixture {
+        lz: Arc<LandingZone>,
+        xlog: Arc<XLogService>,
+        xstore: Arc<XStore>,
+        next_lsn: Lsn,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            let lz = Arc::new(LandingZone::new(
+                vec![Arc::new(MemFcb::new("lz")) as Arc<dyn Fcb>],
+                LandingZoneConfig { capacity: 8 << 20, write_quorum: 1 },
+            ));
+            let xstore = Arc::new(XStore::new(XStoreConfig::instant()));
+            let xlog = XLogService::new(
+                Arc::clone(&lz),
+                Arc::new(MemFcb::new("xlog-ssd")) as Arc<dyn Fcb>,
+                Arc::clone(&xstore),
+                XLogConfig::default(),
+                Lsn::ZERO,
+                "xlog/lt",
+            )
+            .unwrap();
+            Fixture { lz, xlog, xstore, next_lsn: Lsn::ZERO }
+        }
+
+        fn server(&self, name: &str, spec: PartitionSpec) -> Arc<PageServer> {
+            PageServer::create(
+                name,
+                spec,
+                PageServerConfig::default(),
+                Arc::new(MemFcb::new(format!("{name}-ssd"))) as Arc<dyn Fcb>,
+                Arc::new(MemFcb::new(format!("{name}-meta"))) as Arc<dyn Fcb>,
+                Arc::clone(&self.xstore),
+                Arc::clone(&self.xlog),
+                Arc::new(CpuAccountant::new()),
+                Lsn::ZERO,
+            )
+            .unwrap()
+        }
+
+        /// Emit one log block of page ops and release it through XLOG.
+        fn emit(&mut self, ops: &[(u64, PageOp)]) -> Lsn {
+            let mut b = BlockBuilder::new(self.next_lsn, 1 << 16);
+            for (page, op) in ops {
+                let mut bytes = Vec::new();
+                op.encode(&mut bytes);
+                b.append(
+                    &LogRecord {
+                        txn: TxnId::new(1),
+                        payload: LogPayload::PageWrite { page_id: PageId::new(*page), op: bytes },
+                    },
+                    Some(PartitionId::new((*page / 100) as u32)),
+                );
+            }
+            let block = b.seal();
+            self.lz.write_block(&block).unwrap();
+            self.xlog.offer_block(block.clone());
+            self.xlog.report_hardened(block.end_lsn());
+            self.next_lsn = block.end_lsn();
+            self.next_lsn
+        }
+    }
+
+    fn spec(id: u32) -> PartitionSpec {
+        PartitionSpec { id: PartitionId::new(id), base_page: id as u64 * 100, span: 100 }
+    }
+
+    fn insert_op(bytes: &[u8]) -> PageOp {
+        PageOp::Insert { idx: 0, bytes: bytes.to_vec() }
+    }
+
+    #[test]
+    fn applies_only_its_partition() {
+        let mut f = Fixture::new();
+        let ps0 = f.server("ps0", spec(0));
+        let ps1 = f.server("ps1", spec(1));
+        let end = f.emit(&[
+            (5, PageOp::Format { ptype: PageType::BTreeLeaf }),
+            (105, PageOp::Format { ptype: PageType::BTreeLeaf }),
+            (5, insert_op(b"zero")),
+            (105, insert_op(b"one")),
+        ]);
+        ps0.apply_once().unwrap();
+        ps1.apply_once().unwrap();
+        assert_eq!(ps0.applied_lsn(), end);
+        assert_eq!(ps1.applied_lsn(), end);
+        let p5 = ps0.get_page(PageId::new(5), Lsn::ZERO).unwrap();
+        assert_eq!(Slotted::get(&p5, 0).unwrap(), b"zero");
+        let p105 = ps1.get_page(PageId::new(105), Lsn::ZERO).unwrap();
+        assert_eq!(Slotted::get(&p105, 0).unwrap(), b"one");
+        // Wrong-partition requests are rejected.
+        assert!(ps0.get_page(PageId::new(105), Lsn::ZERO).is_err());
+        assert_eq!(ps0.metrics().records_applied.get(), 2);
+    }
+
+    #[test]
+    fn get_page_at_lsn_waits_for_apply() {
+        let mut f = Fixture::new();
+        let ps = f.server("ps0", spec(0));
+        let end1 = f.emit(&[(7, PageOp::Format { ptype: PageType::BTreeLeaf })]);
+        ps.apply_once().unwrap();
+        // Emit a second block but don't apply yet.
+        let end2 = f.emit(&[(7, insert_op(b"fresh"))]);
+        assert!(end2 > end1);
+        // A request at end2 must block until apply catches up; drive apply
+        // from another thread after a delay.
+        let ps2 = Arc::clone(&ps);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            ps2.apply_once().unwrap();
+        });
+        let page = ps.get_page(PageId::new(7), end2).unwrap();
+        assert_eq!(Slotted::get(&page, 0).unwrap(), b"fresh");
+        assert_eq!(ps.metrics().get_page_waits.get(), 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn get_page_timeout_when_log_never_arrives() {
+        let f = Fixture::new();
+        let ps = PageServer::create(
+            "ps0",
+            spec(0),
+            PageServerConfig { get_page_timeout: Duration::from_millis(50), ..Default::default() },
+            Arc::new(MemFcb::new("ssd")) as Arc<dyn Fcb>,
+            Arc::new(MemFcb::new("meta")) as Arc<dyn Fcb>,
+            Arc::clone(&f.xstore),
+            Arc::clone(&f.xlog),
+            Arc::new(CpuAccountant::new()),
+            Lsn::ZERO,
+        )
+        .unwrap();
+        let err = ps.get_page(PageId::new(1), Lsn::new(1_000_000)).unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+    }
+
+    #[test]
+    fn checkpoint_ships_pages_and_survives_replacement() {
+        let mut f = Fixture::new();
+        let ps = f.server("ps0", spec(0));
+        let end = f.emit(&[
+            (3, PageOp::Format { ptype: PageType::BTreeLeaf }),
+            (3, insert_op(b"durable")),
+            (4, PageOp::Format { ptype: PageType::VersionStore }),
+        ]);
+        ps.apply_once().unwrap();
+        let ck = ps.checkpoint().unwrap();
+        assert_eq!(ck, end);
+        assert_eq!(ps.checkpointed_lsn(), end);
+        assert_eq!(ps.metrics().pages_checkpointed.get(), 2);
+        let (data_blob, meta_blob) = ps.blobs();
+        drop(ps); // the page server dies
+
+        // A replacement attaches to the same blobs and serves immediately.
+        let ps2 = PageServer::attach(
+            "ps0b",
+            spec(0),
+            PageServerConfig::default(),
+            Arc::new(MemFcb::new("ssd2")) as Arc<dyn Fcb>,
+            Arc::new(MemFcb::new("meta2")) as Arc<dyn Fcb>,
+            Arc::clone(&f.xstore),
+            data_blob,
+            meta_blob,
+            Arc::clone(&f.xlog),
+            Arc::new(CpuAccountant::new()),
+        )
+        .unwrap();
+        assert_eq!(ps2.applied_lsn(), end, "cursor resumes from checkpoint meta");
+        assert!(!ps2.is_seeded());
+        let page = ps2.get_page(PageId::new(3), Lsn::ZERO).unwrap();
+        assert_eq!(Slotted::get(&page, 0).unwrap(), b"durable");
+        assert!(ps2.metrics().xstore_fallback_reads.get() >= 1);
+        // Blocking seed completes and future reads come from RBPEX.
+        ps2.seed_blocking();
+        assert!(ps2.is_seeded());
+        let before = ps2.metrics().xstore_fallback_reads.get();
+        ps2.get_page(PageId::new(4), Lsn::ZERO).unwrap();
+        assert_eq!(ps2.metrics().xstore_fallback_reads.get(), before);
+    }
+
+    #[test]
+    fn xstore_outage_insulation() {
+        let mut f = Fixture::new();
+        let ps = f.server("ps0", spec(0));
+        f.emit(&[(1, PageOp::Format { ptype: PageType::BTreeLeaf })]);
+        ps.apply_once().unwrap();
+        f.xstore.set_available(false);
+        // Applying continues during the outage.
+        let end = f.emit(&[(1, insert_op(b"during-outage"))]);
+        ps.apply_once().unwrap();
+        assert_eq!(ps.applied_lsn(), end);
+        // Serving continues from RBPEX.
+        let page = ps.get_page(PageId::new(1), end).unwrap();
+        assert_eq!(Slotted::get(&page, 0).unwrap(), b"during-outage");
+        // Checkpoint defers.
+        assert!(ps.checkpoint().unwrap_err().is_transient());
+        assert_eq!(ps.metrics().checkpoints_deferred.get(), 1);
+        // Recovery: checkpoint catches up.
+        f.xstore.set_available(true);
+        let ck = ps.checkpoint().unwrap();
+        assert_eq!(ck, end);
+        assert_eq!(ps.metrics().pages_checkpointed.get(), 1);
+    }
+
+    #[test]
+    fn backup_is_a_snapshot_and_restores() {
+        let mut f = Fixture::new();
+        let ps = f.server("ps0", spec(0));
+        f.emit(&[
+            (2, PageOp::Format { ptype: PageType::BTreeLeaf }),
+            (2, insert_op(b"backed-up")),
+        ]);
+        ps.apply_once().unwrap();
+        let (snap, lsn) = ps.backup().unwrap();
+        assert_eq!(lsn, ps.applied_lsn());
+        // Mutate after the backup.
+        f.emit(&[(2, insert_op(b"after-backup"))]);
+        ps.apply_once().unwrap();
+        ps.checkpoint().unwrap();
+        // Restore the snapshot into a new blob + new page server.
+        let restored = f.xstore.restore_snapshot(snap, "data/restored").unwrap();
+        let meta2 = f.xstore.create_blob("data/restored.meta").unwrap();
+        f.xstore.write_at(meta2, 0, &lsn.offset().to_le_bytes()).unwrap();
+        let ps2 = PageServer::attach(
+            "restored",
+            spec(0),
+            PageServerConfig::default(),
+            Arc::new(MemFcb::new("ssd-r")) as Arc<dyn Fcb>,
+            Arc::new(MemFcb::new("meta-r")) as Arc<dyn Fcb>,
+            Arc::clone(&f.xstore),
+            restored,
+            meta2,
+            Arc::clone(&f.xlog),
+            Arc::new(CpuAccountant::new()),
+        )
+        .unwrap();
+        let page = ps2.get_page(PageId::new(2), Lsn::ZERO).unwrap();
+        // Only the pre-backup record is present.
+        assert_eq!(Slotted::slot_count(&page), 1);
+        assert_eq!(Slotted::get(&page, 0).unwrap(), b"backed-up");
+        // The restored server can catch up from the log to the present.
+        ps2.apply_once().unwrap();
+        let page = ps2.get_page(PageId::new(2), Lsn::ZERO).unwrap();
+        assert_eq!(Slotted::slot_count(&page), 2);
+    }
+
+    #[test]
+    fn range_read_is_served_from_covering_cache() {
+        let mut f = Fixture::new();
+        let ps = f.server("ps0", spec(0));
+        let mut ops = Vec::new();
+        for p in 10..20u64 {
+            ops.push((p, PageOp::Format { ptype: PageType::BTreeLeaf }));
+        }
+        f.emit(&ops);
+        ps.apply_once().unwrap();
+        let pages = ps.get_page_range(PageId::new(10), 10, Lsn::ZERO).unwrap();
+        assert_eq!(pages.len(), 10);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p.page_id(), PageId::new(10 + i as u64));
+        }
+        // Out-of-partition ranges rejected.
+        assert!(ps.get_page_range(PageId::new(95), 10, Lsn::ZERO).is_err());
+    }
+
+    #[test]
+    fn background_apply_thread() {
+        let mut f = Fixture::new();
+        let ps = f.server("ps0", spec(0));
+        ps.start();
+        let end = f.emit(&[
+            (8, PageOp::Format { ptype: PageType::BTreeLeaf }),
+            (8, insert_op(b"bg")),
+        ]);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ps.applied_lsn() < end {
+            assert!(Instant::now() < deadline, "apply thread never caught up");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let page = ps.get_page(PageId::new(8), end).unwrap();
+        assert_eq!(Slotted::get(&page, 0).unwrap(), b"bg");
+        ps.stop();
+    }
+}

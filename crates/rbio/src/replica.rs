@@ -1,0 +1,187 @@
+//! QoS replica selection.
+//!
+//! RBIO "has QoS support for best replica selection" (paper §3.4): when a
+//! page-server partition has replicas, the client routes each call to the
+//! replica with the best observed latency and fails over on transient
+//! errors. Selection uses an EWMA of per-replica call latency with a small
+//! exploration probability so a recovered replica gets re-measured.
+
+use crate::proto::{RbioRequest, RbioResponse};
+use crate::transport::RbioClient;
+use parking_lot::Mutex;
+use socrates_common::rng::Rng;
+use socrates_common::{Error, Result};
+use std::time::Instant;
+
+/// EWMA smoothing factor for observed latency.
+const ALPHA: f64 = 0.2;
+/// Penalty (µs) applied to a replica that failed, so it is deprioritised
+/// until re-explored.
+const FAILURE_PENALTY_US: f64 = 1_000_000.0;
+/// Probability of probing a non-best replica.
+const EXPLORE_P: f64 = 0.05;
+
+struct ReplicaState {
+    ewma_us: f64,
+}
+
+/// A set of equivalent RBIO endpoints with QoS routing.
+pub struct ReplicaSet {
+    clients: Vec<RbioClient>,
+    states: Mutex<(Vec<ReplicaState>, Rng)>,
+}
+
+impl ReplicaSet {
+    /// Build a set over `clients` (at least one).
+    pub fn new(clients: Vec<RbioClient>, seed: u64) -> ReplicaSet {
+        assert!(!clients.is_empty(), "replica set needs at least one endpoint");
+        let states = clients.iter().map(|_| ReplicaState { ewma_us: 0.0 }).collect();
+        ReplicaSet { clients, states: Mutex::new((states, Rng::new(seed))) }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Always at least one replica.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The current EWMA latency estimates (µs), for diagnostics.
+    pub fn latency_estimates_us(&self) -> Vec<f64> {
+        self.states.lock().0.iter().map(|s| s.ewma_us).collect()
+    }
+
+    fn pick(&self) -> usize {
+        let mut guard = self.states.lock();
+        let (states, rng) = &mut *guard;
+        if rng.gen_bool(EXPLORE_P) {
+            return rng.gen_range(states.len() as u64) as usize;
+        }
+        states
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.ewma_us.total_cmp(&b.ewma_us))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn observe(&self, idx: usize, us: f64) {
+        let mut guard = self.states.lock();
+        let s = &mut guard.0[idx];
+        s.ewma_us = if s.ewma_us == 0.0 { us } else { (1.0 - ALPHA) * s.ewma_us + ALPHA * us };
+    }
+
+    /// Issue `req` against the best replica, failing over through the rest
+    /// on transient errors.
+    pub fn call(&self, req: RbioRequest) -> Result<RbioResponse> {
+        let first = self.pick();
+        let n = self.clients.len();
+        let mut last_err = Error::Unavailable("no replica attempted".into());
+        for k in 0..n {
+            let idx = (first + k) % n;
+            let t0 = Instant::now();
+            match self.clients[idx].call(req.clone()) {
+                Ok(resp) => {
+                    self.observe(idx, t0.elapsed().as_micros() as f64);
+                    return Ok(resp);
+                }
+                Err(e) if e.is_transient() => {
+                    self.observe(idx, FAILURE_PENALTY_US);
+                    last_err = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{NetworkConfig, RbioHandler, RbioServer};
+    use socrates_common::latency::{DeviceProfile, IoCpuCost, LatencyModel};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct CountingHandler {
+        calls: AtomicU64,
+        down: AtomicBool,
+    }
+
+    impl RbioHandler for CountingHandler {
+        fn handle(&self, _req: RbioRequest) -> Result<RbioResponse> {
+            if self.down.load(Ordering::SeqCst) {
+                return Err(Error::Unavailable("down".into()));
+            }
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            Ok(RbioResponse::Pong)
+        }
+    }
+
+    fn server() -> (RbioServer, Arc<CountingHandler>) {
+        let h = Arc::new(CountingHandler { calls: AtomicU64::new(0), down: AtomicBool::new(false) });
+        (RbioServer::start(Arc::clone(&h) as Arc<dyn RbioHandler>, 2), h)
+    }
+
+    #[test]
+    fn prefers_fast_replica() {
+        let (s1, h1) = server();
+        let (s2, h2) = server();
+        // s1 is slow: 2 ms per message leg. s2 is instant.
+        let slow_profile = DeviceProfile {
+            name: "slow-lan",
+            read: LatencyModel::fixed(2_000),
+            write: LatencyModel::fixed(2_000),
+            cpu: IoCpuCost { per_op_us: 0, per_4kib_us: 0 },
+        };
+        let slow_cfg = NetworkConfig {
+            profile: slow_profile,
+            mode: socrates_common::latency::LatencyMode::real(),
+            request_loss_p: 0.0,
+            timeout: std::time::Duration::from_secs(1),
+            retries: 0,
+            seed: 1,
+        };
+        let set =
+            ReplicaSet::new(vec![s1.connect(slow_cfg), s2.connect(NetworkConfig::instant())], 42);
+        for _ in 0..200 {
+            set.call(RbioRequest::Ping).unwrap();
+        }
+        let fast_calls = h2.calls.load(Ordering::SeqCst);
+        let slow_calls = h1.calls.load(Ordering::SeqCst);
+        assert!(
+            fast_calls > slow_calls * 5,
+            "QoS should prefer the fast replica (fast {fast_calls}, slow {slow_calls})"
+        );
+    }
+
+    #[test]
+    fn fails_over_when_best_replica_dies() {
+        let (s1, h1) = server();
+        let (s2, h2) = server();
+        let mut cfg = NetworkConfig::instant();
+        cfg.retries = 0;
+        let set = ReplicaSet::new(vec![s1.connect(cfg.clone()), s2.connect(cfg)], 7);
+        for _ in 0..20 {
+            set.call(RbioRequest::Ping).unwrap();
+        }
+        h1.down.store(true, Ordering::SeqCst);
+        h2.down.store(false, Ordering::SeqCst);
+        for _ in 0..20 {
+            set.call(RbioRequest::Ping).unwrap();
+        }
+        assert!(h2.calls.load(Ordering::SeqCst) >= 20);
+        // Both down: transient error surfaces.
+        h2.down.store(true, Ordering::SeqCst);
+        assert!(set.call(RbioRequest::Ping).unwrap_err().is_transient());
+        // Recovery: calls succeed again (exploration re-finds the replica).
+        h1.down.store(false, Ordering::SeqCst);
+        for _ in 0..10 {
+            set.call(RbioRequest::Ping).unwrap();
+        }
+    }
+}

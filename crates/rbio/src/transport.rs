@@ -1,0 +1,365 @@
+//! The in-process RBIO transport: channel-backed endpoints with injectable
+//! latency, loss, and timeouts.
+
+use crate::proto::{Envelope, RbioRequest, RbioResponse};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use socrates_common::latency::{DeviceProfile, LatencyInjector, LatencyMode};
+use socrates_common::metrics::{Counter, Histogram};
+use socrates_common::rng::Rng;
+use socrates_common::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Network behaviour for one client↔server link.
+#[derive(Clone)]
+pub struct NetworkConfig {
+    /// Latency profile for each message leg (request and response each pay
+    /// one `read` sample).
+    pub profile: DeviceProfile,
+    /// Whether latency is actually waited out.
+    pub mode: LatencyMode,
+    /// Probability that a request message is silently dropped (the client
+    /// then times out and retries).
+    pub request_loss_p: f64,
+    /// Per-call timeout before a retry.
+    pub timeout: Duration,
+    /// Retries after the first attempt (transient failures only).
+    pub retries: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// Instant, lossless transport for unit tests.
+    pub fn instant() -> NetworkConfig {
+        NetworkConfig {
+            profile: DeviceProfile::instant(),
+            mode: LatencyMode::Disabled,
+            request_loss_p: 0.0,
+            timeout: Duration::from_secs(5),
+            retries: 2,
+            seed: 0,
+        }
+    }
+
+    /// Intra-datacenter LAN with real waits.
+    pub fn lan(seed: u64) -> NetworkConfig {
+        NetworkConfig {
+            profile: DeviceProfile::lan(),
+            mode: LatencyMode::real(),
+            request_loss_p: 0.0,
+            timeout: Duration::from_secs(2),
+            retries: 3,
+            seed,
+        }
+    }
+}
+
+/// Server-side request handler. Implementations may block (GetPage@LSN
+/// waits for log apply), so servers run a pool of worker threads.
+pub trait RbioHandler: Send + Sync + 'static {
+    /// Handle one request.
+    fn handle(&self, req: RbioRequest) -> Result<RbioResponse>;
+}
+
+type WireResult = std::result::Result<RbioResponse, Error>;
+type WireMsg = (Envelope<RbioRequest>, Sender<Envelope<WireResult>>);
+
+/// A running RBIO server endpoint. Dropping it stops the workers.
+pub struct RbioServer {
+    tx: Sender<WireMsg>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stopping: Arc<std::sync::atomic::AtomicBool>,
+    /// Requests served (all workers).
+    pub requests_served: Arc<Counter>,
+}
+
+impl RbioServer {
+    /// Start a server over `handler` with `workers` threads.
+    pub fn start(handler: Arc<dyn RbioHandler>, workers: usize) -> RbioServer {
+        let (tx, rx): (Sender<WireMsg>, Receiver<WireMsg>) = unbounded();
+        let served = Arc::new(Counter::new());
+        let stopping = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let handler = Arc::clone(&handler);
+                let served = Arc::clone(&served);
+                let stopping = Arc::clone(&stopping);
+                std::thread::Builder::new()
+                    .name(format!("rbio-worker-{i}"))
+                    .spawn(move || loop {
+                        // A timeout poll rather than a blocking recv:
+                        // clients hold sender clones, so channel closure
+                        // alone cannot signal shutdown.
+                        match rx.recv_timeout(Duration::from_millis(50)) {
+                            Ok((env, reply)) => {
+                                let result = match env.check_version() {
+                                    Ok(()) => handler.handle(env.body),
+                                    Err(e) => Err(e),
+                                };
+                                served.incr();
+                                // The client may have timed out and gone; a
+                                // failed send is fine.
+                                let _ = reply.send(Envelope::new(env.request_id, result));
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                if stopping.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => return,
+                        }
+                    })
+                    .expect("spawn rbio worker")
+            })
+            .collect();
+        RbioServer { tx, workers: handles, stopping, requests_served: served }
+    }
+
+    /// Create a client connected to this server with the given link
+    /// behaviour.
+    pub fn connect(&self, config: NetworkConfig) -> RbioClient {
+        RbioClient {
+            tx: self.tx.clone(),
+            latency: LatencyInjector::new(config.profile.clone(), config.mode, config.seed),
+            rng: Mutex::new(Rng::new(config.seed ^ 0x5EED)),
+            config,
+            next_id: AtomicU64::new(1),
+            metrics: RbioClientMetrics::default(),
+        }
+    }
+}
+
+impl Drop for RbioServer {
+    fn drop(&mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Also drop our sender so workers exit immediately once the last
+        // client is gone.
+        let (dead_tx, _) = unbounded();
+        self.tx = dead_tx;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Client-side call metrics.
+#[derive(Debug, Default)]
+pub struct RbioClientMetrics {
+    /// Successful calls.
+    pub calls_ok: Counter,
+    /// Calls that failed after exhausting retries.
+    pub calls_failed: Counter,
+    /// Individual attempts that timed out (lost or slow messages).
+    pub timeouts: Counter,
+    /// End-to-end call latency, µs (successful calls).
+    pub call_latency: Histogram,
+}
+
+/// A client stub bound to one server.
+pub struct RbioClient {
+    tx: Sender<WireMsg>,
+    config: NetworkConfig,
+    latency: LatencyInjector,
+    rng: Mutex<Rng>,
+    next_id: AtomicU64,
+    metrics: RbioClientMetrics,
+}
+
+impl RbioClient {
+    /// Client metrics.
+    pub fn metrics(&self) -> &RbioClientMetrics {
+        &self.metrics
+    }
+
+    /// Issue `req`, retrying transient failures per the link config.
+    pub fn call(&self, req: RbioRequest) -> Result<RbioResponse> {
+        let t0 = Instant::now();
+        let mut last_err = Error::Unavailable("rbio: no attempt made".into());
+        for _attempt in 0..=self.config.retries {
+            match self.try_once(req.clone()) {
+                Ok(resp) => {
+                    self.metrics.calls_ok.incr();
+                    self.metrics.call_latency.record_duration(t0.elapsed());
+                    return Ok(resp);
+                }
+                Err(e) if e.is_transient() => last_err = e,
+                Err(e) => {
+                    self.metrics.calls_failed.incr();
+                    return Err(e);
+                }
+            }
+        }
+        self.metrics.calls_failed.incr();
+        Err(last_err)
+    }
+
+    fn try_once(&self, req: RbioRequest) -> Result<RbioResponse> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Request leg latency.
+        self.latency.read_delay();
+        // Simulated packet loss: the request never reaches the server.
+        if self.config.request_loss_p > 0.0
+            && self.rng.lock().gen_bool(self.config.request_loss_p)
+        {
+            self.metrics.timeouts.incr();
+            // Model the timeout without necessarily sleeping through it in
+            // disabled-latency mode.
+            if matches!(self.latency.profile().read.max_us, 0) {
+                return Err(Error::Timeout("rbio request lost".into()));
+            }
+            std::thread::sleep(self.config.timeout);
+            return Err(Error::Timeout("rbio request lost".into()));
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send((Envelope::new(id, req), reply_tx))
+            .map_err(|_| Error::Unavailable("rbio server is gone".into()))?;
+        match reply_rx.recv_timeout(self.config.timeout) {
+            Ok(env) => {
+                env.check_version()?;
+                if env.request_id != id {
+                    return Err(Error::Protocol(format!(
+                        "response for request {} on call {id}",
+                        env.request_id
+                    )));
+                }
+                // Response leg latency.
+                self.latency.read_delay();
+                env.body
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                self.metrics.timeouts.incr();
+                Err(Error::Timeout("rbio call timed out".into()))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(Error::Unavailable("rbio server closed the connection".into()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socrates_common::{Lsn, PageId};
+
+    struct EchoHandler;
+
+    impl RbioHandler for EchoHandler {
+        fn handle(&self, req: RbioRequest) -> Result<RbioResponse> {
+            match req {
+                RbioRequest::Ping => Ok(RbioResponse::Pong),
+                RbioRequest::GetAppliedLsn => Ok(RbioResponse::AppliedLsn { lsn: Lsn::new(42) }),
+                RbioRequest::GetPage { page_id, .. } => {
+                    Ok(RbioResponse::Page { bytes: page_id.raw().to_le_bytes().to_vec() })
+                }
+                RbioRequest::GetPageRange { count, .. } => Ok(RbioResponse::PageRange {
+                    pages: (0..count).map(|i| vec![i as u8]).collect(),
+                }),
+            }
+        }
+    }
+
+    struct FlakyHandler {
+        failures_left: AtomicU64,
+    }
+
+    impl RbioHandler for FlakyHandler {
+        fn handle(&self, _req: RbioRequest) -> Result<RbioResponse> {
+            let left = self.failures_left.load(Ordering::SeqCst);
+            if left > 0 {
+                self.failures_left.store(left - 1, Ordering::SeqCst);
+                return Err(Error::Unavailable("warming up".into()));
+            }
+            Ok(RbioResponse::Pong)
+        }
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let server = RbioServer::start(Arc::new(EchoHandler), 2);
+        let client = server.connect(NetworkConfig::instant());
+        assert_eq!(client.call(RbioRequest::Ping).unwrap(), RbioResponse::Pong);
+        assert_eq!(
+            client.call(RbioRequest::GetAppliedLsn).unwrap(),
+            RbioResponse::AppliedLsn { lsn: Lsn::new(42) }
+        );
+        match client
+            .call(RbioRequest::GetPage { page_id: PageId::new(9), min_lsn: Lsn::ZERO })
+            .unwrap()
+        {
+            RbioResponse::Page { bytes } => assert_eq!(bytes, 9u64.to_le_bytes().to_vec()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(client.metrics().calls_ok.get(), 3);
+        assert_eq!(server.requests_served.get(), 3);
+    }
+
+    #[test]
+    fn concurrent_clients_share_server() {
+        let server = Arc::new(RbioServer::start(Arc::new(EchoHandler), 4));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let client = server.connect(NetworkConfig::instant());
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(client.call(RbioRequest::Ping).unwrap(), RbioResponse::Pong);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.requests_served.get(), 800);
+    }
+
+    #[test]
+    fn transient_server_errors_are_retried() {
+        let server = RbioServer::start(
+            Arc::new(FlakyHandler { failures_left: AtomicU64::new(2) }),
+            1,
+        );
+        let client = server.connect(NetworkConfig::instant()); // retries: 2
+        assert_eq!(client.call(RbioRequest::Ping).unwrap(), RbioResponse::Pong);
+    }
+
+    #[test]
+    fn retries_exhausted_reports_transient_error() {
+        let server = RbioServer::start(
+            Arc::new(FlakyHandler { failures_left: AtomicU64::new(100) }),
+            1,
+        );
+        let client = server.connect(NetworkConfig::instant());
+        let err = client.call(RbioRequest::Ping).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(client.metrics().calls_failed.get(), 1);
+    }
+
+    #[test]
+    fn lost_requests_time_out_and_eventually_succeed() {
+        let server = RbioServer::start(Arc::new(EchoHandler), 1);
+        let mut cfg = NetworkConfig::instant();
+        cfg.request_loss_p = 0.5;
+        cfg.retries = 20;
+        cfg.seed = 3;
+        let client = server.connect(cfg);
+        for _ in 0..20 {
+            assert_eq!(client.call(RbioRequest::Ping).unwrap(), RbioResponse::Pong);
+        }
+        assert!(client.metrics().timeouts.get() > 0, "some losses must have occurred");
+    }
+
+    #[test]
+    fn server_shutdown_yields_unavailable() {
+        let server = RbioServer::start(Arc::new(EchoHandler), 1);
+        let client = server.connect(NetworkConfig::instant());
+        drop(server);
+        let err = client.call(RbioRequest::Ping).unwrap_err();
+        assert!(err.is_transient());
+    }
+}

@@ -1,0 +1,481 @@
+//! The compute node's tiered page cache: main memory over RBPEX over a
+//! remote page source.
+//!
+//! A Socrates compute node does not keep a copy of the database — it caches
+//! a hot subset in memory and on local SSD (RBPEX) and fetches everything
+//! else from page servers via GetPage@LSN (paper §4.4). This module is that
+//! cache. It is deliberately ignorant of *what* the remote source is: the
+//! primary plugs in an RBIO client, unit tests plug in a map.
+//!
+//! Responsibilities beyond caching:
+//!
+//! * **WAL discipline** — before a page leaves the node entirely, the log
+//!   must be flushed past its PageLSN (the flush hook), because the page's
+//!   latest state will only be reconstructible by log apply downstream.
+//! * **Evicted-LSN tracking** — when a page leaves the node, the eviction
+//!   listener receives `(page, PageLSN)`; the primary feeds this into the
+//!   hash map that supplies the LSN for future GetPage@LSN calls.
+//! * **Hit-rate accounting** — Tables 3 and 4 of the paper report the
+//!   "local cache hit %", i.e. (memory + SSD hits) / all page reads.
+
+use crate::page::Page;
+use crate::rbpex::Rbpex;
+use parking_lot::{Mutex, RwLock};
+use socrates_common::metrics::Counter;
+use socrates_common::{Error, Lsn, PageId, Result};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Where cache misses are satisfied from (page servers, a local file, or a
+/// test fixture).
+pub trait PageSource: Send + Sync {
+    /// Fetch `id` at an LSN ≥ `min_lsn` (the GetPage@LSN contract: never a
+    /// version older than `min_lsn`, possibly newer).
+    fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page>;
+}
+
+/// A shared, lockable in-memory page. Callers read-lock to read and
+/// write-lock to mutate; the cache never evicts a page with outstanding
+/// references.
+pub type PageRef = Arc<RwLock<Page>>;
+
+/// Cache hit/miss statistics.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Reads served from main memory.
+    pub mem_hits: Counter,
+    /// Reads served from RBPEX (local SSD).
+    pub ssd_hits: Counter,
+    /// Reads that went to the remote source.
+    pub fetches: Counter,
+    /// Pages pushed out of the node entirely.
+    pub node_evictions: Counter,
+}
+
+impl CacheStats {
+    /// Forget all counts (benchmarks reset after their load/warmup phase).
+    pub fn reset(&self) {
+        self.mem_hits.reset();
+        self.ssd_hits.reset();
+        self.fetches.reset();
+        self.node_evictions.reset();
+    }
+
+    /// Fraction of reads served locally (memory or SSD), the paper's
+    /// "local cache hit %".
+    pub fn local_hit_rate(&self) -> f64 {
+        let hits = self.mem_hits.get() + self.ssd_hits.get();
+        let total = hits + self.fetches.get();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+struct MemEntry {
+    page: PageRef,
+    referenced: bool,
+}
+
+struct MemTier {
+    map: HashMap<PageId, MemEntry>,
+    clock: VecDeque<PageId>,
+}
+
+/// Which tier served a page read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Served from main memory.
+    Memory,
+    /// Served from RBPEX (local SSD).
+    Ssd,
+    /// Fetched from the remote source (a miss for hit-rate purposes).
+    Remote,
+}
+
+/// Hook invoked with a page's LSN before the page leaves the node; must not
+/// return until the log is durable past that LSN.
+pub type WalFlushHook = Arc<dyn Fn(Lsn) + Send + Sync>;
+/// Listener invoked after a page has left the node, with its last PageLSN.
+pub type EvictionListener = Arc<dyn Fn(PageId, Lsn) + Send + Sync>;
+
+/// Two-tier (memory + optional RBPEX) page cache over a [`PageSource`].
+pub struct TieredCache {
+    mem_capacity: usize,
+    mem: Mutex<MemTier>,
+    rbpex: Option<Arc<Rbpex>>,
+    source: Arc<dyn PageSource>,
+    wal_flush: WalFlushHook,
+    on_evict: EvictionListener,
+    stats: CacheStats,
+}
+
+impl TieredCache {
+    /// Build a cache holding at most `mem_capacity` pages in memory, spilling
+    /// to `rbpex` when present, missing to `source`.
+    pub fn new(
+        mem_capacity: usize,
+        rbpex: Option<Arc<Rbpex>>,
+        source: Arc<dyn PageSource>,
+        wal_flush: WalFlushHook,
+        on_evict: EvictionListener,
+    ) -> TieredCache {
+        assert!(mem_capacity > 0, "cache needs at least one frame");
+        TieredCache {
+            mem_capacity,
+            mem: Mutex::new(MemTier { map: HashMap::new(), clock: VecDeque::new() }),
+            rbpex,
+            source,
+            wal_flush,
+            on_evict,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Convenience constructor with no-op hooks (tests, secondaries that
+    /// track evictions elsewhere).
+    pub fn with_defaults(
+        mem_capacity: usize,
+        rbpex: Option<Arc<Rbpex>>,
+        source: Arc<dyn PageSource>,
+    ) -> TieredCache {
+        TieredCache::new(mem_capacity, rbpex, source, Arc::new(|_| {}), Arc::new(|_, _| {}))
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The RBPEX tier, if any.
+    pub fn rbpex(&self) -> Option<&Arc<Rbpex>> {
+        self.rbpex.as_ref()
+    }
+
+    /// Whether `id` is resident in memory (not merely on SSD).
+    pub fn in_memory(&self, id: PageId) -> bool {
+        self.mem.lock().map.contains_key(&id)
+    }
+
+    /// Whether `id` is resident anywhere on this node.
+    pub fn resident(&self, id: PageId) -> bool {
+        self.in_memory(id) || self.rbpex.as_ref().is_some_and(|r| r.contains(id))
+    }
+
+    /// Get `id`, fetching from lower tiers as needed. `min_lsn` is evaluated
+    /// only when a remote fetch is required (the evicted-LSN lookup).
+    pub fn get(&self, id: PageId, min_lsn: impl FnOnce() -> Lsn) -> Result<PageRef> {
+        self.get_traced(id, min_lsn).map(|(p, _)| p)
+    }
+
+    /// Like [`TieredCache::get`], also reporting which tier served the
+    /// read (callers use this for per-page-class hit accounting).
+    pub fn get_traced(
+        &self,
+        id: PageId,
+        min_lsn: impl FnOnce() -> Lsn,
+    ) -> Result<(PageRef, CacheTier)> {
+        if let Some(p) = self.mem_lookup(id) {
+            self.stats.mem_hits.incr();
+            return Ok((p, CacheTier::Memory));
+        }
+        if let Some(rbpex) = &self.rbpex {
+            if let Some(page) = rbpex.get(id)? {
+                self.stats.ssd_hits.incr();
+                return Ok((self.install(page)?, CacheTier::Ssd));
+            }
+        }
+        let page = self.source.fetch_page(id, min_lsn())?;
+        self.stats.fetches.incr();
+        Ok((self.install(page)?, CacheTier::Remote))
+    }
+
+    /// Get `id` only if it is already resident on this node (no remote
+    /// fetch). Used by secondaries' apply loop, which ignores log records
+    /// for non-cached pages.
+    pub fn get_if_resident(&self, id: PageId) -> Result<Option<PageRef>> {
+        if let Some(p) = self.mem_lookup(id) {
+            self.stats.mem_hits.incr();
+            return Ok(Some(p));
+        }
+        if let Some(rbpex) = &self.rbpex {
+            if let Some(page) = rbpex.get(id)? {
+                self.stats.ssd_hits.incr();
+                return Ok(Some(self.install(page)?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Install a page created by this node (allocation) or received out of
+    /// band. If the page is already resident in memory the existing entry
+    /// wins and is returned.
+    pub fn install(&self, page: Page) -> Result<PageRef> {
+        let id = page.page_id();
+        let mut mem = self.mem.lock();
+        if let Some(e) = mem.map.get_mut(&id) {
+            e.referenced = true;
+            return Ok(Arc::clone(&e.page));
+        }
+        while mem.map.len() >= self.mem_capacity {
+            if !self.evict_one(&mut mem)? {
+                // Everything is pinned; admit over capacity rather than fail.
+                break;
+            }
+        }
+        let page_ref: PageRef = Arc::new(RwLock::new(page));
+        mem.map.insert(id, MemEntry { page: Arc::clone(&page_ref), referenced: true });
+        mem.clock.push_back(id);
+        Ok(page_ref)
+    }
+
+    /// Drop `id` from all local tiers without spilling (used when a page is
+    /// freed).
+    pub fn discard(&self, id: PageId) -> Result<()> {
+        let mut mem = self.mem.lock();
+        mem.map.remove(&id);
+        drop(mem);
+        if let Some(r) = &self.rbpex {
+            r.remove(id)?;
+        }
+        Ok(())
+    }
+
+    /// Push every memory-resident page down to RBPEX (or out of the node).
+    /// Simulates memory pressure / clean shutdown of the buffer pool.
+    pub fn flush_mem(&self) -> Result<()> {
+        let mut mem = self.mem.lock();
+        while !mem.map.is_empty() {
+            if !self.evict_one(&mut mem)? {
+                return Err(Error::InvalidState("pinned pages prevent flush_mem".into()));
+            }
+        }
+        Ok(())
+    }
+
+    fn mem_lookup(&self, id: PageId) -> Option<PageRef> {
+        let mut mem = self.mem.lock();
+        mem.map.get_mut(&id).map(|e| {
+            e.referenced = true;
+            Arc::clone(&e.page)
+        })
+    }
+
+    /// Evict one unpinned page from memory; returns false if none exists.
+    fn evict_one(&self, mem: &mut MemTier) -> Result<bool> {
+        let mut scanned = 0;
+        let budget = 2 * mem.clock.len() + 2;
+        while scanned < budget {
+            scanned += 1;
+            let Some(id) = mem.clock.pop_front() else { return Ok(false) };
+            let Some(entry) = mem.map.get_mut(&id) else { continue }; // stale
+            if entry.referenced {
+                entry.referenced = false;
+                mem.clock.push_back(id);
+                continue;
+            }
+            if Arc::strong_count(&entry.page) > 1 {
+                mem.clock.push_back(id); // pinned
+                continue;
+            }
+            let entry = mem.map.remove(&id).expect("checked above");
+            let page = entry.page.read().clone();
+            let lsn = page.page_lsn();
+            match &self.rbpex {
+                Some(rbpex) => {
+                    if let Some((vid, vlsn)) = rbpex.put(&page)? {
+                        (self.wal_flush)(vlsn);
+                        self.stats.node_evictions.incr();
+                        (self.on_evict)(vid, vlsn);
+                    }
+                }
+                None => {
+                    (self.wal_flush)(lsn);
+                    self.stats.node_evictions.incr();
+                    (self.on_evict)(id, lsn);
+                }
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fcb::{Fcb, MemFcb};
+    use crate::page::PageType;
+    use crate::rbpex::RbpexPolicy;
+    use parking_lot::Mutex as PlMutex;
+
+    /// A test source serving pages from a map and counting fetches.
+    struct MapSource {
+        pages: PlMutex<HashMap<PageId, Page>>,
+        min_lsns_seen: PlMutex<Vec<(PageId, Lsn)>>,
+    }
+
+    impl MapSource {
+        fn new(ids: impl Iterator<Item = u64>) -> Arc<MapSource> {
+            let mut pages = HashMap::new();
+            for i in ids {
+                let mut p = Page::new(PageId::new(i), PageType::BTreeLeaf);
+                p.body_mut()[0] = i as u8;
+                p.set_page_lsn(Lsn::new(i));
+                pages.insert(PageId::new(i), p);
+            }
+            Arc::new(MapSource { pages: PlMutex::new(pages), min_lsns_seen: PlMutex::new(vec![]) })
+        }
+    }
+
+    impl PageSource for MapSource {
+        fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
+            self.min_lsns_seen.lock().push((id, min_lsn));
+            self.pages
+                .lock()
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| Error::NotFound(format!("{id}")))
+        }
+    }
+
+    fn rbpex(cap: usize) -> Arc<Rbpex> {
+        Arc::new(
+            Rbpex::create(
+                Arc::new(MemFcb::new("ssd")) as Arc<dyn Fcb>,
+                Arc::new(MemFcb::new("meta")) as Arc<dyn Fcb>,
+                RbpexPolicy::Sparse { capacity_pages: cap },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn tiered_hits_by_level() {
+        let src = MapSource::new(0..100);
+        let cache = TieredCache::with_defaults(2, Some(rbpex(4)), src.clone());
+        // First read: remote fetch.
+        let p = cache.get(PageId::new(1), || Lsn::ZERO).unwrap();
+        assert_eq!(p.read().body()[0], 1);
+        assert_eq!(cache.stats().fetches.get(), 1);
+        drop(p);
+        // Second read: memory hit.
+        cache.get(PageId::new(1), || Lsn::ZERO).unwrap();
+        assert_eq!(cache.stats().mem_hits.get(), 1);
+        // Fill memory so page 1 spills to SSD.
+        cache.get(PageId::new(2), || Lsn::ZERO).unwrap();
+        cache.get(PageId::new(3), || Lsn::ZERO).unwrap();
+        cache.get(PageId::new(4), || Lsn::ZERO).unwrap();
+        // Page 1 now (likely) only on SSD; read must be an SSD hit, not a
+        // remote fetch.
+        let before = cache.stats().fetches.get();
+        cache.get(PageId::new(1), || Lsn::ZERO).unwrap();
+        assert_eq!(cache.stats().fetches.get(), before, "no remote refetch");
+        assert!(cache.stats().ssd_hits.get() >= 1);
+    }
+
+    #[test]
+    fn eviction_listener_and_wal_hook_fire_in_order() {
+        let src = MapSource::new(0..100);
+        let order: Arc<PlMutex<Vec<String>>> = Arc::new(PlMutex::new(vec![]));
+        let o1 = Arc::clone(&order);
+        let o2 = Arc::clone(&order);
+        // No RBPEX: memory evictions leave the node directly.
+        let cache = TieredCache::new(
+            1,
+            None,
+            src,
+            Arc::new(move |lsn| o1.lock().push(format!("flush:{lsn}"))),
+            Arc::new(move |id, lsn| o2.lock().push(format!("evict:{id}@{lsn}"))),
+        );
+        cache.get(PageId::new(5), || Lsn::ZERO).unwrap();
+        cache.get(PageId::new(6), || Lsn::ZERO).unwrap(); // evicts 5
+        let events = order.lock().clone();
+        assert_eq!(events, vec!["flush:lsn:5".to_string(), "evict:page:5@lsn:5".to_string()]);
+        assert_eq!(cache.stats().node_evictions.get(), 1);
+    }
+
+    #[test]
+    fn min_lsn_closure_only_called_on_remote_fetch() {
+        let src = MapSource::new(0..10);
+        let cache = TieredCache::with_defaults(4, None, src.clone());
+        cache.get(PageId::new(1), || Lsn::new(77)).unwrap();
+        assert_eq!(src.min_lsns_seen.lock().as_slice(), &[(PageId::new(1), Lsn::new(77))]);
+        // Memory hit: closure must not run.
+        cache
+            .get(PageId::new(1), || panic!("min_lsn evaluated on a cache hit"))
+            .unwrap();
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let src = MapSource::new(0..10);
+        let cache = TieredCache::with_defaults(1, None, src);
+        let pinned = cache.get(PageId::new(1), || Lsn::ZERO).unwrap();
+        // Admitting another page cannot evict the pinned one; cache admits
+        // over capacity instead.
+        let other = cache.get(PageId::new(2), || Lsn::ZERO).unwrap();
+        assert_eq!(pinned.read().page_id(), PageId::new(1));
+        assert_eq!(other.read().page_id(), PageId::new(2));
+        assert!(cache.in_memory(PageId::new(1)));
+    }
+
+    #[test]
+    fn writes_via_pageref_are_visible_to_later_readers() {
+        let src = MapSource::new(0..10);
+        let cache = TieredCache::with_defaults(4, None, src);
+        {
+            let p = cache.get(PageId::new(3), || Lsn::ZERO).unwrap();
+            let mut w = p.write();
+            w.body_mut()[100] = 0xEE;
+            w.set_page_lsn(Lsn::new(500));
+        }
+        let p = cache.get(PageId::new(3), || Lsn::ZERO).unwrap();
+        assert_eq!(p.read().body()[100], 0xEE);
+        assert_eq!(p.read().page_lsn(), Lsn::new(500));
+    }
+
+    #[test]
+    fn get_if_resident_does_not_fetch() {
+        let src = MapSource::new(0..10);
+        let cache = TieredCache::with_defaults(4, Some(rbpex(4)), src.clone());
+        assert!(cache.get_if_resident(PageId::new(1)).unwrap().is_none());
+        assert_eq!(cache.stats().fetches.get(), 0);
+        cache.get(PageId::new(1), || Lsn::ZERO).unwrap();
+        assert!(cache.get_if_resident(PageId::new(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn flush_mem_spills_everything_to_ssd() {
+        let src = MapSource::new(0..10);
+        let r = rbpex(10);
+        let cache = TieredCache::with_defaults(4, Some(Arc::clone(&r)), src);
+        for i in 0..4 {
+            cache.get(PageId::new(i), || Lsn::ZERO).unwrap();
+        }
+        cache.flush_mem().unwrap();
+        for i in 0..4 {
+            assert!(!cache.in_memory(PageId::new(i)));
+            assert!(r.contains(PageId::new(i)), "page {i} must be on SSD");
+        }
+        // hit rate accounting: 4 fetches so far, now 4 SSD hits.
+        for i in 0..4 {
+            cache.get(PageId::new(i), || Lsn::ZERO).unwrap();
+        }
+        assert!((cache.stats().local_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discard_removes_all_tiers() {
+        let src = MapSource::new(0..10);
+        let r = rbpex(10);
+        let cache = TieredCache::with_defaults(2, Some(Arc::clone(&r)), src);
+        cache.get(PageId::new(1), || Lsn::ZERO).unwrap();
+        cache.flush_mem().unwrap();
+        assert!(r.contains(PageId::new(1)));
+        cache.discard(PageId::new(1)).unwrap();
+        assert!(!cache.resident(PageId::new(1)));
+    }
+}

@@ -1,0 +1,435 @@
+//! FCB — the I/O stack virtualization layer (paper §3.6).
+//!
+//! SQL Server abstracts every storage device behind a "File Control Block";
+//! Socrates hides its entire storage hierarchy behind new FCB instances so
+//! the engine above never learns it is running on a distributed system. We
+//! reproduce that with the [`Fcb`] trait: a byte-addressed, thread-safe
+//! block device. Engine, landing zone, RBPEX, and XLOG caches all speak
+//! `Fcb`, and deployments choose implementations — plain memory, a real
+//! file, or wrappers that inject device latency, CPU cost, and failures.
+
+use crate::page::{Page, PAGE_SIZE};
+use socrates_common::latency::LatencyInjector;
+use socrates_common::metrics::CpuAccountant;
+use socrates_common::{Error, PageId, Result};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A byte-addressed, thread-safe block device.
+///
+/// Writes beyond the current length extend the device (sparse regions read
+/// as zeroes once written past); reads entirely beyond the end fail with
+/// [`Error::Io`].
+pub trait Fcb: Send + Sync {
+    /// Read exactly `buf.len()` bytes at `offset`.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()>;
+    /// Write `data` at `offset`, extending the device if needed.
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()>;
+    /// Current device length in bytes.
+    fn len(&self) -> Result<u64>;
+    /// Whether the device is empty.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+    /// Durably persist all previous writes.
+    fn flush(&self) -> Result<()>;
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+}
+
+/// An in-memory device. The default backing for simulated tiers.
+pub struct MemFcb {
+    name: String,
+    data: RwLock<Vec<u8>>,
+}
+
+impl MemFcb {
+    /// New empty in-memory device.
+    pub fn new(name: impl Into<String>) -> MemFcb {
+        MemFcb { name: name.into(), data: RwLock::new(Vec::new()) }
+    }
+
+    /// New device pre-sized to `len` zero bytes.
+    pub fn with_len(name: impl Into<String>, len: u64) -> MemFcb {
+        MemFcb { name: name.into(), data: RwLock::new(vec![0u8; len as usize]) }
+    }
+}
+
+impl Fcb for MemFcb {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let data = self.data.read();
+        let end = offset as usize + buf.len();
+        if end > data.len() {
+            return Err(Error::Io(format!(
+                "{}: read [{offset}, {end}) beyond len {}",
+                self.name,
+                data.len()
+            )));
+        }
+        buf.copy_from_slice(&data[offset as usize..end]);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, src: &[u8]) -> Result<()> {
+        let mut data = self.data.write();
+        let end = offset as usize + src.len();
+        if end > data.len() {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(src);
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.data.read().len() as u64)
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A device backed by a real file (pread/pwrite).
+pub struct FileFcb {
+    name: String,
+    file: std::fs::File,
+}
+
+impl FileFcb {
+    /// Open (creating if missing) a file-backed device at `path`.
+    pub fn open(path: &std::path::Path) -> Result<FileFcb> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileFcb { name: path.display().to_string(), file })
+    }
+}
+
+impl Fcb for FileFcb {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file
+            .read_exact_at(buf, offset)
+            .map_err(|e| Error::Io(format!("{}: read at {offset}: {e}", self.name)))
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file
+            .write_all_at(data, offset)
+            .map_err(|e| Error::Io(format!("{}: write at {offset}: {e}", self.name)))
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.file.sync_data().map_err(|e| Error::Io(format!("{}: fsync: {e}", self.name)))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Wraps a device with a latency model and CPU cost accounting, turning a
+/// `MemFcb` into a simulated XIO volume, local SSD, etc.
+pub struct LatencyFcb<F: Fcb> {
+    inner: F,
+    injector: LatencyInjector,
+    cpu: Option<Arc<CpuAccountant>>,
+}
+
+impl<F: Fcb> LatencyFcb<F> {
+    /// Wrap `inner` with `injector`; I/O CPU cost is charged to `cpu` when
+    /// provided (the *issuing* node's accountant).
+    pub fn new(inner: F, injector: LatencyInjector, cpu: Option<Arc<CpuAccountant>>) -> Self {
+        LatencyFcb { inner, injector, cpu }
+    }
+
+    fn charge(&self, bytes: usize) {
+        if let Some(cpu) = &self.cpu {
+            cpu.charge_us(self.injector.cpu_cost_us(bytes));
+        }
+    }
+}
+
+impl<F: Fcb> Fcb for LatencyFcb<F> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.injector.read_delay();
+        self.charge(buf.len());
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.injector.write_delay();
+        self.charge(data.len());
+        self.inner.write_at(offset, data)
+    }
+
+    fn len(&self) -> Result<u64> {
+        self.inner.len()
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Failure-injecting wrapper for tests and availability experiments.
+pub struct FaultFcb<F: Fcb> {
+    inner: F,
+    unavailable: AtomicBool,
+    fail_next_writes: AtomicU64,
+    fail_next_reads: AtomicU64,
+}
+
+impl<F: Fcb> FaultFcb<F> {
+    /// Wrap `inner` with no faults armed.
+    pub fn new(inner: F) -> Self {
+        FaultFcb {
+            inner,
+            unavailable: AtomicBool::new(false),
+            fail_next_writes: AtomicU64::new(0),
+            fail_next_reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Make every operation fail with [`Error::Unavailable`] until restored.
+    pub fn set_unavailable(&self, v: bool) {
+        self.unavailable.store(v, Ordering::SeqCst);
+    }
+
+    /// Fail the next `n` writes with [`Error::Io`].
+    pub fn fail_next_writes(&self, n: u64) {
+        self.fail_next_writes.store(n, Ordering::SeqCst);
+    }
+
+    /// Fail the next `n` reads with [`Error::Io`].
+    pub fn fail_next_reads(&self, n: u64) {
+        self.fail_next_reads.store(n, Ordering::SeqCst);
+    }
+
+    fn check(&self, armed: &AtomicU64, what: &str) -> Result<()> {
+        if self.unavailable.load(Ordering::SeqCst) {
+            return Err(Error::Unavailable(format!("{}: device offline", self.inner.name())));
+        }
+        // Decrement-if-positive without underflow.
+        let mut cur = armed.load(Ordering::SeqCst);
+        while cur > 0 {
+            match armed.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => {
+                    return Err(Error::Io(format!(
+                        "{}: injected {what} failure",
+                        self.inner.name()
+                    )))
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<F: Fcb> Fcb for FaultFcb<F> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.check(&self.fail_next_reads, "read")?;
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.check(&self.fail_next_writes, "write")?;
+        self.inner.write_at(offset, data)
+    }
+
+    fn len(&self) -> Result<u64> {
+        self.inner.len()
+    }
+
+    fn flush(&self) -> Result<()> {
+        if self.unavailable.load(Ordering::SeqCst) {
+            return Err(Error::Unavailable(format!("{}: device offline", self.inner.name())));
+        }
+        self.inner.flush()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Page-granular view over any [`Fcb`]: frame `i` occupies bytes
+/// `[i*PAGE_SIZE, (i+1)*PAGE_SIZE)`.
+#[derive(Clone)]
+pub struct PageFile {
+    fcb: Arc<dyn Fcb>,
+}
+
+impl PageFile {
+    /// Wrap a device.
+    pub fn new(fcb: Arc<dyn Fcb>) -> PageFile {
+        PageFile { fcb }
+    }
+
+    /// The underlying device.
+    pub fn fcb(&self) -> &Arc<dyn Fcb> {
+        &self.fcb
+    }
+
+    /// Read and verify the page stored in frame `frame_no`, expecting it to
+    /// be `expected_id`.
+    pub fn read_page(&self, frame_no: u64, expected_id: PageId) -> Result<Page> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.fcb.read_at(frame_no * PAGE_SIZE as u64, &mut buf)?;
+        Page::from_io_bytes(expected_id, &buf)
+    }
+
+    /// Read `count` consecutive frames in one device I/O (stride-preserving
+    /// layout: one request at the device even for a 128-page scan read).
+    pub fn read_page_range(
+        &self,
+        first_frame: u64,
+        ids: &[PageId],
+    ) -> Result<Vec<Page>> {
+        let mut buf = vec![0u8; PAGE_SIZE * ids.len()];
+        self.fcb.read_at(first_frame * PAGE_SIZE as u64, &mut buf)?;
+        ids.iter()
+            .enumerate()
+            .map(|(i, &id)| Page::from_io_bytes(id, &buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]))
+            .collect()
+    }
+
+    /// Seal and write `page` into frame `frame_no`.
+    pub fn write_page(&self, frame_no: u64, page: &Page) -> Result<()> {
+        self.fcb.write_at(frame_no * PAGE_SIZE as u64, &page.to_io_bytes())
+    }
+
+    /// Number of whole frames the device currently holds.
+    pub fn frame_count(&self) -> Result<u64> {
+        Ok(self.fcb.len()? / PAGE_SIZE as u64)
+    }
+
+    /// Durably persist all previous writes.
+    pub fn flush(&self) -> Result<()> {
+        self.fcb.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageType;
+
+    #[test]
+    fn mem_fcb_grow_and_roundtrip() {
+        let f = MemFcb::new("m");
+        f.write_at(100, b"hello").unwrap();
+        assert_eq!(f.len().unwrap(), 105);
+        let mut buf = [0u8; 5];
+        f.read_at(100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        // Gap reads as zeroes.
+        let mut gap = [9u8; 4];
+        f.read_at(0, &mut gap).unwrap();
+        assert_eq!(gap, [0u8; 4]);
+        // Read past end fails.
+        assert!(f.read_at(104, &mut [0u8; 2]).is_err());
+    }
+
+    #[test]
+    fn file_fcb_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("socrates-fcb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.bin");
+        let f = FileFcb::open(&path).unwrap();
+        f.write_at(8192, b"persisted").unwrap();
+        f.flush().unwrap();
+        drop(f);
+        let f2 = FileFcb::open(&path).unwrap();
+        let mut buf = [0u8; 9];
+        f2.read_at(8192, &mut buf).unwrap();
+        assert_eq!(&buf, b"persisted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_fcb_injects_and_recovers() {
+        let f = FaultFcb::new(MemFcb::new("d"));
+        f.write_at(0, b"ok").unwrap();
+        f.fail_next_writes(2);
+        assert_eq!(f.write_at(0, b"x").unwrap_err().kind(), "io");
+        assert_eq!(f.write_at(0, b"x").unwrap_err().kind(), "io");
+        f.write_at(0, b"yy").unwrap();
+        f.set_unavailable(true);
+        assert!(f.read_at(0, &mut [0u8; 1]).unwrap_err().is_transient());
+        assert!(f.flush().unwrap_err().is_transient());
+        f.set_unavailable(false);
+        let mut b = [0u8; 2];
+        f.read_at(0, &mut b).unwrap();
+        assert_eq!(&b, b"yy");
+    }
+
+    #[test]
+    fn fault_fcb_read_injection() {
+        let f = FaultFcb::new(MemFcb::new("d"));
+        f.write_at(0, b"abc").unwrap();
+        f.fail_next_reads(1);
+        assert!(f.read_at(0, &mut [0u8; 3]).is_err());
+        f.read_at(0, &mut [0u8; 3]).unwrap();
+    }
+
+    #[test]
+    fn page_file_roundtrip_and_range() {
+        let pf = PageFile::new(Arc::new(MemFcb::new("pages")));
+        let ids: Vec<PageId> = (0..4).map(PageId::new).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let mut p = Page::new(id, PageType::BTreeLeaf);
+            p.body_mut()[0] = i as u8;
+            pf.write_page(i as u64, &p).unwrap();
+        }
+        assert_eq!(pf.frame_count().unwrap(), 4);
+        let p2 = pf.read_page(2, ids[2]).unwrap();
+        assert_eq!(p2.body()[0], 2);
+        let all = pf.read_page_range(0, &ids).unwrap();
+        assert_eq!(all.len(), 4);
+        for (i, p) in all.iter().enumerate() {
+            assert_eq!(p.body()[0], i as u8);
+            assert_eq!(p.page_id(), ids[i]);
+        }
+    }
+
+    #[test]
+    fn page_file_detects_wrong_identity() {
+        let pf = PageFile::new(Arc::new(MemFcb::new("pages")));
+        let p = Page::new(PageId::new(1), PageType::Meta);
+        pf.write_page(0, &p).unwrap();
+        assert!(pf.read_page(0, PageId::new(2)).is_err());
+    }
+
+    #[test]
+    fn latency_fcb_charges_cpu() {
+        use socrates_common::latency::{DeviceProfile, LatencyInjector, LatencyMode};
+        let cpu = Arc::new(CpuAccountant::new());
+        let inj = LatencyInjector::new(DeviceProfile::xio(), LatencyMode::Disabled, 7);
+        let f = LatencyFcb::new(MemFcb::new("x"), inj, Some(Arc::clone(&cpu)));
+        f.write_at(0, &[0u8; 4096]).unwrap();
+        let expected = DeviceProfile::xio().cpu.cost_us(4096);
+        assert_eq!(cpu.busy_us(), expected);
+        let mut buf = [0u8; 4096];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(cpu.busy_us(), 2 * expected);
+    }
+}

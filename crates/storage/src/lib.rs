@@ -1,0 +1,30 @@
+//! Page-level storage substrate for socrates-rs.
+//!
+//! This crate contains the pieces of the storage stack that every tier
+//! shares:
+//!
+//! * [`page`] — the 8 KiB page with identity, PageLSN, and checksums.
+//! * [`slotted`] — the slotted record layout inside a page.
+//! * [`pageops`] — the deterministic, loggable page mutation vocabulary
+//!   ([`pageops::PageOp`]), which is both the engine's mutation API and the
+//!   log's redo payload.
+//! * [`fcb`] — the FCB I/O virtualization layer (paper §3.6): one trait,
+//!   many devices (memory, file, latency-injecting, fault-injecting).
+//! * [`rbpex`] — the Resilient Buffer Pool Extension (paper §3.3): a
+//!   recoverable SSD page cache with sparse and covering policies.
+//! * [`cache`] — the compute node's tiered cache (memory → RBPEX → remote
+//!   page source) with WAL discipline and evicted-LSN tracking.
+
+pub mod cache;
+pub mod fcb;
+pub mod page;
+pub mod pageops;
+pub mod rbpex;
+pub mod slotted;
+
+pub use cache::{PageRef, PageSource, TieredCache};
+pub use fcb::{FaultFcb, Fcb, FileFcb, LatencyFcb, MemFcb, PageFile};
+pub use page::{Page, PageType, PAGE_HEADER_SIZE, PAGE_SIZE};
+pub use pageops::{apply_page_op, PageOp};
+pub use rbpex::{Rbpex, RbpexPolicy};
+pub use slotted::Slotted;

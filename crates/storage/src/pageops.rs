@@ -1,0 +1,279 @@
+//! Loggable page operations — the redo vocabulary.
+//!
+//! Every page mutation the engine performs is expressed as a [`PageOp`],
+//! applied locally through [`apply_page_op`] and simultaneously written to
+//! the log. Page servers and secondaries replay the *same* ops through the
+//! *same* function, so replicas converge to byte-identical page bodies —
+//! the property GetPage@LSN relies on. Ops carry no LSN themselves; the log
+//! record that wraps them does, and [`apply_page_op`] stamps it into the
+//! PageLSN.
+
+use crate::page::{Page, PageType, PAGE_SIZE};
+use crate::slotted::Slotted;
+use socrates_common::{Error, Lsn, Result};
+
+/// One deterministic mutation of a single page.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PageOp {
+    /// Format the page as an empty slotted page of the given type. Valid on
+    /// a page in any prior state (allocation formats pages this way).
+    Format {
+        /// The new page type.
+        ptype: PageType,
+    },
+    /// Insert a record at slot `idx` (shifting later slots).
+    Insert {
+        /// Slot position.
+        idx: u16,
+        /// Record payload.
+        bytes: Vec<u8>,
+    },
+    /// Replace the record at slot `idx`.
+    Update {
+        /// Slot position.
+        idx: u16,
+        /// New payload.
+        bytes: Vec<u8>,
+    },
+    /// Delete the record at slot `idx` (shifting later slots).
+    Delete {
+        /// Slot position.
+        idx: u16,
+    },
+    /// Set the header flag byte.
+    SetFlags {
+        /// New flags value.
+        flags: u8,
+    },
+    /// Replace the whole page with a full image (used when seeding moved
+    /// content, e.g. the right half of a B-tree split).
+    Image {
+        /// The full page image (body is adopted verbatim; identity fields
+        /// are rewritten to the target page).
+        bytes: Vec<u8>,
+    },
+}
+
+const TAG_FORMAT: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+const TAG_DELETE: u8 = 4;
+const TAG_SET_FLAGS: u8 = 5;
+const TAG_IMAGE: u8 = 6;
+
+impl PageOp {
+    /// Serialize into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PageOp::Format { ptype } => {
+                out.push(TAG_FORMAT);
+                out.push(*ptype as u8);
+            }
+            PageOp::Insert { idx, bytes } => {
+                out.push(TAG_INSERT);
+                out.extend_from_slice(&idx.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            PageOp::Update { idx, bytes } => {
+                out.push(TAG_UPDATE);
+                out.extend_from_slice(&idx.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            PageOp::Delete { idx } => {
+                out.push(TAG_DELETE);
+                out.extend_from_slice(&idx.to_le_bytes());
+            }
+            PageOp::SetFlags { flags } => {
+                out.push(TAG_SET_FLAGS);
+                out.push(*flags);
+            }
+            PageOp::Image { bytes } => {
+                out.push(TAG_IMAGE);
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            PageOp::Format { .. } => 2,
+            PageOp::Insert { bytes, .. } | PageOp::Update { bytes, .. } => 7 + bytes.len(),
+            PageOp::Delete { .. } => 3,
+            PageOp::SetFlags { .. } => 2,
+            PageOp::Image { bytes } => 5 + bytes.len(),
+        }
+    }
+
+    /// Deserialize from `data`, returning the op and the bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(PageOp, usize)> {
+        let err = || Error::Corruption("truncated page op".into());
+        let tag = *data.first().ok_or_else(err)?;
+        match tag {
+            TAG_FORMAT => {
+                let pt = PageType::from_u8(*data.get(1).ok_or_else(err)?)?;
+                Ok((PageOp::Format { ptype: pt }, 2))
+            }
+            TAG_INSERT | TAG_UPDATE => {
+                if data.len() < 7 {
+                    return Err(err());
+                }
+                let idx = u16::from_le_bytes(data[1..3].try_into().unwrap());
+                let len = u32::from_le_bytes(data[3..7].try_into().unwrap()) as usize;
+                if data.len() < 7 + len {
+                    return Err(err());
+                }
+                let bytes = data[7..7 + len].to_vec();
+                let op = if tag == TAG_INSERT {
+                    PageOp::Insert { idx, bytes }
+                } else {
+                    PageOp::Update { idx, bytes }
+                };
+                Ok((op, 7 + len))
+            }
+            TAG_DELETE => {
+                if data.len() < 3 {
+                    return Err(err());
+                }
+                let idx = u16::from_le_bytes(data[1..3].try_into().unwrap());
+                Ok((PageOp::Delete { idx }, 3))
+            }
+            TAG_SET_FLAGS => Ok((PageOp::SetFlags { flags: *data.get(1).ok_or_else(err)? }, 2)),
+            TAG_IMAGE => {
+                if data.len() < 5 {
+                    return Err(err());
+                }
+                let len = u32::from_le_bytes(data[1..5].try_into().unwrap()) as usize;
+                if data.len() < 5 + len {
+                    return Err(err());
+                }
+                Ok((PageOp::Image { bytes: data[5..5 + len].to_vec() }, 5 + len))
+            }
+            other => Err(Error::Corruption(format!("unknown page op tag {other}"))),
+        }
+    }
+}
+
+/// Apply `op` to `page` and stamp `lsn` as the new PageLSN.
+///
+/// This is the single replay path used by the primary (at mutation time),
+/// page servers, secondaries, and crash recovery.
+pub fn apply_page_op(page: &mut Page, op: &PageOp, lsn: Lsn) -> Result<()> {
+    match op {
+        PageOp::Format { ptype } => {
+            page.set_page_type(*ptype);
+            page.set_flags(0);
+            Slotted::init(page);
+        }
+        PageOp::Insert { idx, bytes } => Slotted::insert_at(page, *idx as usize, bytes)?,
+        PageOp::Update { idx, bytes } => Slotted::update_at(page, *idx as usize, bytes)?,
+        PageOp::Delete { idx } => Slotted::delete_at(page, *idx as usize)?,
+        PageOp::SetFlags { flags } => page.set_flags(*flags),
+        PageOp::Image { bytes } => {
+            if bytes.len() != PAGE_SIZE {
+                return Err(Error::Corruption(format!(
+                    "page image op has {} bytes, want {PAGE_SIZE}",
+                    bytes.len()
+                )));
+            }
+            let id = page.page_id();
+            let src = Page::from_io_bytes_unchecked(bytes)?;
+            *page = src;
+            // The image may have been captured from a different page id
+            // (split seeding); rewrite identity.
+            page.reset_identity(id);
+        }
+    }
+    page.set_page_lsn(lsn);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socrates_common::PageId;
+
+    fn roundtrip(op: PageOp) -> PageOp {
+        let mut buf = Vec::new();
+        op.encode(&mut buf);
+        assert_eq!(buf.len(), op.encoded_len());
+        let (decoded, used) = PageOp::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        decoded
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        for op in [
+            PageOp::Format { ptype: PageType::BTreeLeaf },
+            PageOp::Insert { idx: 3, bytes: b"record".to_vec() },
+            PageOp::Update { idx: 0, bytes: vec![] },
+            PageOp::Delete { idx: 65535 },
+            PageOp::SetFlags { flags: 0xAB },
+            PageOp::Image { bytes: vec![9u8; PAGE_SIZE] },
+        ] {
+            assert_eq!(roundtrip(op.clone()), op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_tags() {
+        let mut buf = Vec::new();
+        PageOp::Insert { idx: 1, bytes: b"abcdef".to_vec() }.encode(&mut buf);
+        for cut in [0, 1, 3, 6, buf.len() - 1] {
+            assert!(PageOp::decode(&buf[..cut]).is_err(), "cut {cut} accepted");
+        }
+        assert!(PageOp::decode(&[200]).is_err());
+    }
+
+    #[test]
+    fn apply_stamps_lsn_and_replays_identically() {
+        let ops = vec![
+            PageOp::Format { ptype: PageType::BTreeLeaf },
+            PageOp::Insert { idx: 0, bytes: b"b".to_vec() },
+            PageOp::Insert { idx: 0, bytes: b"a".to_vec() },
+            PageOp::Insert { idx: 2, bytes: b"c".to_vec() },
+            PageOp::Update { idx: 1, bytes: b"B!".to_vec() },
+            PageOp::Delete { idx: 0 },
+        ];
+        let mut p1 = Page::new(PageId::new(5), PageType::Free);
+        let mut p2 = Page::new(PageId::new(5), PageType::Free);
+        for (i, op) in ops.iter().enumerate() {
+            apply_page_op(&mut p1, op, Lsn::new((i + 1) as u64 * 10)).unwrap();
+        }
+        for (i, op) in ops.iter().enumerate() {
+            apply_page_op(&mut p2, op, Lsn::new((i + 1) as u64 * 10)).unwrap();
+        }
+        assert_eq!(p1.to_io_bytes().as_slice(), p2.to_io_bytes().as_slice());
+        assert_eq!(p1.page_lsn(), Lsn::new(60));
+        let recs: Vec<&[u8]> = Slotted::iter(&p1).collect();
+        assert_eq!(recs, vec![b"B!".as_ref(), b"c".as_ref()]);
+    }
+
+    #[test]
+    fn image_op_rewrites_identity() {
+        let mut src = Page::new(PageId::new(10), PageType::BTreeLeaf);
+        Slotted::init(&mut src);
+        Slotted::push(&mut src, b"moved").unwrap();
+        let img = src.to_io_bytes().to_vec();
+
+        let mut dst = Page::new(PageId::new(20), PageType::Free);
+        apply_page_op(&mut dst, &PageOp::Image { bytes: img }, Lsn::new(99)).unwrap();
+        assert_eq!(dst.page_id(), PageId::new(20));
+        assert_eq!(dst.page_lsn(), Lsn::new(99));
+        assert_eq!(Slotted::get(&dst, 0).unwrap(), b"moved");
+        // And it survives an I/O roundtrip under its new identity.
+        let io = dst.to_io_bytes();
+        Page::from_io_bytes(PageId::new(20), &io).unwrap();
+    }
+
+    #[test]
+    fn image_op_wrong_size_rejected() {
+        let mut p = Page::new(PageId::new(1), PageType::Free);
+        let err = apply_page_op(&mut p, &PageOp::Image { bytes: vec![0; 17] }, Lsn::new(1));
+        assert!(err.is_err());
+    }
+}

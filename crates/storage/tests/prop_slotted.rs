@@ -1,0 +1,132 @@
+//! Property tests: the slotted page against a `Vec<Vec<u8>>` model, under
+//! arbitrary operation sequences, including compaction-forcing patterns.
+
+use proptest::prelude::*;
+use socrates_common::{Lsn, PageId};
+use socrates_storage::page::{Page, PageType};
+use socrates_storage::pageops::{apply_page_op, PageOp};
+use socrates_storage::slotted::Slotted;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(usize, Vec<u8>),
+    Update(usize, Vec<u8>),
+    Delete(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let bytes = proptest::collection::vec(any::<u8>(), 0..300);
+    prop_oneof![
+        4 => (any::<usize>(), bytes.clone()).prop_map(|(i, b)| Op::Insert(i, b)),
+        3 => (any::<usize>(), bytes).prop_map(|(i, b)| Op::Update(i, b)),
+        2 => any::<usize>().prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn slotted_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut page = Page::new(PageId::new(1), PageType::BTreeLeaf);
+        Slotted::init(&mut page);
+        let mut model: Vec<Vec<u8>> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(pos, bytes) => {
+                    let pos = if model.is_empty() { 0 } else { pos % (model.len() + 1) };
+                    match Slotted::insert_at(&mut page, pos, &bytes) {
+                        Ok(()) => model.insert(pos, bytes),
+                        Err(_) => {
+                            // Only legitimate on a genuinely full page.
+                            prop_assert!(!Slotted::can_insert(&page, bytes.len()));
+                        }
+                    }
+                }
+                Op::Update(pos, bytes) => {
+                    if model.is_empty() { continue; }
+                    let pos = pos % model.len();
+                    match Slotted::update_at(&mut page, pos, &bytes) {
+                        Ok(()) => model[pos] = bytes,
+                        Err(_) => {
+                            let grow = bytes.len().saturating_sub(model[pos].len());
+                            prop_assert!(
+                                Slotted::contiguous_free(&page)
+                                    + Slotted::fragmented_free(&page) < grow
+                            );
+                        }
+                    }
+                }
+                Op::Delete(pos) => {
+                    if model.is_empty() { continue; }
+                    let pos = pos % model.len();
+                    Slotted::delete_at(&mut page, pos).unwrap();
+                    model.remove(pos);
+                }
+            }
+            // Full-state comparison after every op.
+            prop_assert_eq!(Slotted::slot_count(&page), model.len());
+            for (i, expect) in model.iter().enumerate() {
+                prop_assert_eq!(Slotted::get(&page, i).unwrap(), &expect[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn page_op_replay_is_deterministic(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        // Applying the same accepted op sequence to two pages yields
+        // byte-identical images — the invariant page servers rely on.
+        let mut a = Page::new(PageId::new(7), PageType::Free);
+        let mut b = Page::new(PageId::new(7), PageType::Free);
+        let mut accepted: Vec<PageOp> = vec![PageOp::Format { ptype: PageType::VersionStore }];
+        let mut count = 0usize;
+        apply_page_op(&mut a, &accepted[0], Lsn::new(1)).unwrap();
+        for op in ops {
+            let candidate = match op {
+                Op::Insert(pos, bytes) => {
+                    let idx = if count == 0 { 0 } else { pos % (count + 1) };
+                    PageOp::Insert { idx: idx as u16, bytes }
+                }
+                Op::Update(pos, bytes) => {
+                    if count == 0 { continue; }
+                    PageOp::Update { idx: (pos % count) as u16, bytes }
+                }
+                Op::Delete(pos) => {
+                    if count == 0 { continue; }
+                    PageOp::Delete { idx: (pos % count) as u16 }
+                }
+            };
+            let lsn = Lsn::new((accepted.len() + 1) as u64);
+            if apply_page_op(&mut a, &candidate, lsn).is_ok() {
+                match &candidate {
+                    PageOp::Insert { .. } => count += 1,
+                    PageOp::Delete { .. } => count -= 1,
+                    _ => {}
+                }
+                accepted.push(candidate);
+            }
+        }
+        for (i, op) in accepted.iter().enumerate() {
+            // The b-replay must accept everything a accepted.
+            apply_page_op(&mut b, op, Lsn::new((i + 1) as u64)).unwrap();
+        }
+        // Force-fix LSNs: both applied identical (op, lsn) pairs... they
+        // diverge only if apply is nondeterministic.
+        let (img_a, img_b) = (a.to_io_bytes(), b.to_io_bytes());
+        prop_assert_eq!(img_a.as_slice(), img_b.as_slice());
+    }
+
+    #[test]
+    fn page_op_codec_roundtrip(ops in proptest::collection::vec(op_strategy(), 1..50)) {
+        for op in ops {
+            let encoded_op = match op {
+                Op::Insert(i, b) => PageOp::Insert { idx: (i % 65536) as u16, bytes: b },
+                Op::Update(i, b) => PageOp::Update { idx: (i % 65536) as u16, bytes: b },
+                Op::Delete(i) => PageOp::Delete { idx: (i % 65536) as u16 },
+            };
+            let mut buf = Vec::new();
+            encoded_op.encode(&mut buf);
+            let (decoded, used) = PageOp::decode(&buf).unwrap();
+            prop_assert_eq!(used, buf.len());
+            prop_assert_eq!(decoded, encoded_op);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Log records.
+//!
+//! The log is the spine of Socrates: the primary produces a single ordered
+//! stream of records, and every other component (secondaries, page servers,
+//! recovery, PITR) consumes it. A record's LSN is the byte offset of its
+//! first byte in the record stream — records are not self-describing about
+//! position; the enclosing [`crate::block::LogBlock`] anchors them.
+//!
+//! Page redo payloads are opaque bytes here (an encoded
+//! `socrates_storage::PageOp`); the log layer moves bytes, the engine and
+//! page servers interpret them. This keeps the dependency direction clean
+//! and matches the paper's "the log doesn't know what's in the records"
+//! layering.
+
+use socrates_common::{Error, Lsn, PageId, Result, TxnId};
+
+/// The body of one log record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogPayload {
+    /// A page mutation: redo bytes for `page_id` (an encoded `PageOp`).
+    PageWrite {
+        /// The page modified.
+        page_id: PageId,
+        /// Encoded redo operation.
+        op: Vec<u8>,
+    },
+    /// Transaction start.
+    TxnBegin,
+    /// Transaction commit with its commit timestamp (MVCC visibility point).
+    TxnCommit {
+        /// The commit timestamp assigned by the transaction manager.
+        commit_ts: u64,
+    },
+    /// Transaction abort (its versions are invisible; ADR needs no undo).
+    TxnAbort,
+    /// A checkpoint marker: redo after crash recovery starts at
+    /// `redo_start_lsn` (everything older is durable in the storage tier),
+    /// and `meta` carries the engine's durable analysis state (active-txn
+    /// list, the ADR aborted-transaction map, allocator counters).
+    Checkpoint {
+        /// Redo start point for crash recovery.
+        redo_start_lsn: Lsn,
+        /// Opaque engine checkpoint metadata.
+        meta: Vec<u8>,
+    },
+    /// Page-id space allocation, so replicas reproduce the allocator state.
+    AllocPages {
+        /// First allocated page id.
+        first: PageId,
+        /// Number of pages allocated.
+        count: u64,
+    },
+    /// System filler / annotations (lease renewals, progress markers).
+    Noop {
+        /// Free-form annotation bytes.
+        info: Vec<u8>,
+    },
+}
+
+/// One log record: the issuing transaction plus its payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogRecord {
+    /// The transaction this record belongs to (`TxnId(0)` for system
+    /// records like checkpoints).
+    pub txn: TxnId,
+    /// The record body.
+    pub payload: LogPayload,
+}
+
+const TAG_PAGE_WRITE: u8 = 1;
+const TAG_BEGIN: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+const TAG_ALLOC: u8 = 6;
+const TAG_NOOP: u8 = 7;
+
+/// Fixed prefix of every encoded record: total_len(4) + tag(1) + txn(8).
+pub const RECORD_PREFIX: usize = 13;
+
+impl LogRecord {
+    /// Construct a system record (no owning transaction).
+    pub fn system(payload: LogPayload) -> LogRecord {
+        LogRecord { txn: TxnId::new(0), payload }
+    }
+
+    /// The page this record touches, if it is a page write.
+    pub fn page_id(&self) -> Option<PageId> {
+        match &self.payload {
+            LogPayload::PageWrite { page_id, .. } => Some(*page_id),
+            _ => None,
+        }
+    }
+
+    /// Serialized length in bytes (== the LSN space the record occupies).
+    pub fn encoded_len(&self) -> usize {
+        RECORD_PREFIX
+            + match &self.payload {
+                LogPayload::PageWrite { op, .. } => 8 + 4 + op.len(),
+                LogPayload::TxnBegin => 0,
+                LogPayload::TxnCommit { .. } => 8,
+                LogPayload::TxnAbort => 0,
+                LogPayload::Checkpoint { meta, .. } => 12 + meta.len(),
+                LogPayload::AllocPages { .. } => 16,
+                LogPayload::Noop { info } => 4 + info.len(),
+            }
+    }
+
+    /// Append the serialized record to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let total = self.encoded_len() as u32;
+        out.extend_from_slice(&total.to_le_bytes());
+        let tag = match &self.payload {
+            LogPayload::PageWrite { .. } => TAG_PAGE_WRITE,
+            LogPayload::TxnBegin => TAG_BEGIN,
+            LogPayload::TxnCommit { .. } => TAG_COMMIT,
+            LogPayload::TxnAbort => TAG_ABORT,
+            LogPayload::Checkpoint { .. } => TAG_CHECKPOINT,
+            LogPayload::AllocPages { .. } => TAG_ALLOC,
+            LogPayload::Noop { .. } => TAG_NOOP,
+        };
+        out.push(tag);
+        out.extend_from_slice(&self.txn.raw().to_le_bytes());
+        match &self.payload {
+            LogPayload::PageWrite { page_id, op } => {
+                out.extend_from_slice(&page_id.raw().to_le_bytes());
+                out.extend_from_slice(&(op.len() as u32).to_le_bytes());
+                out.extend_from_slice(op);
+            }
+            LogPayload::TxnBegin | LogPayload::TxnAbort => {}
+            LogPayload::TxnCommit { commit_ts } => {
+                out.extend_from_slice(&commit_ts.to_le_bytes());
+            }
+            LogPayload::Checkpoint { redo_start_lsn, meta } => {
+                out.extend_from_slice(&redo_start_lsn.offset().to_le_bytes());
+                out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+                out.extend_from_slice(meta);
+            }
+            LogPayload::AllocPages { first, count } => {
+                out.extend_from_slice(&first.raw().to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            LogPayload::Noop { info } => {
+                out.extend_from_slice(&(info.len() as u32).to_le_bytes());
+                out.extend_from_slice(info);
+            }
+        }
+    }
+
+    /// Decode one record from the front of `data`; returns the record and
+    /// the bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(LogRecord, usize)> {
+        let err = || Error::Corruption("truncated log record".into());
+        if data.len() < RECORD_PREFIX {
+            return Err(err());
+        }
+        let total = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+        if total < RECORD_PREFIX || data.len() < total {
+            return Err(err());
+        }
+        let tag = data[4];
+        let txn = TxnId::new(u64::from_le_bytes(data[5..13].try_into().unwrap()));
+        let body = &data[RECORD_PREFIX..total];
+        let payload = match tag {
+            TAG_PAGE_WRITE => {
+                if body.len() < 12 {
+                    return Err(err());
+                }
+                let page_id = PageId::new(u64::from_le_bytes(body[0..8].try_into().unwrap()));
+                let len = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+                if body.len() != 12 + len {
+                    return Err(err());
+                }
+                LogPayload::PageWrite { page_id, op: body[12..].to_vec() }
+            }
+            TAG_BEGIN => LogPayload::TxnBegin,
+            TAG_COMMIT => {
+                if body.len() != 8 {
+                    return Err(err());
+                }
+                LogPayload::TxnCommit {
+                    commit_ts: u64::from_le_bytes(body.try_into().unwrap()),
+                }
+            }
+            TAG_ABORT => LogPayload::TxnAbort,
+            TAG_CHECKPOINT => {
+                if body.len() < 12 {
+                    return Err(err());
+                }
+                let redo = Lsn::new(u64::from_le_bytes(body[0..8].try_into().unwrap()));
+                let mlen = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+                if body.len() != 12 + mlen {
+                    return Err(err());
+                }
+                LogPayload::Checkpoint { redo_start_lsn: redo, meta: body[12..].to_vec() }
+            }
+            TAG_ALLOC => {
+                if body.len() != 16 {
+                    return Err(err());
+                }
+                LogPayload::AllocPages {
+                    first: PageId::new(u64::from_le_bytes(body[0..8].try_into().unwrap())),
+                    count: u64::from_le_bytes(body[8..16].try_into().unwrap()),
+                }
+            }
+            TAG_NOOP => {
+                if body.len() < 4 {
+                    return Err(err());
+                }
+                let len = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+                if body.len() != 4 + len {
+                    return Err(err());
+                }
+                LogPayload::Noop { info: body[4..].to_vec() }
+            }
+            other => return Err(Error::Corruption(format!("unknown log record tag {other}"))),
+        };
+        Ok((LogRecord { txn, payload }, total))
+    }
+}
+
+/// A decoded record together with the LSN it occupies in the stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SequencedRecord {
+    /// The record's LSN (byte offset of its first byte).
+    pub lsn: Lsn,
+    /// The record.
+    pub record: LogRecord,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_payloads() -> Vec<LogPayload> {
+        vec![
+            LogPayload::PageWrite { page_id: PageId::new(9), op: b"redo-bytes".to_vec() },
+            LogPayload::PageWrite { page_id: PageId::new(0), op: vec![] },
+            LogPayload::TxnBegin,
+            LogPayload::TxnCommit { commit_ts: 777 },
+            LogPayload::TxnAbort,
+            LogPayload::Checkpoint { redo_start_lsn: Lsn::new(4096), meta: b"ckpt-meta".to_vec() },
+            LogPayload::AllocPages { first: PageId::new(100), count: 32 },
+            LogPayload::Noop { info: b"lease".to_vec() },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for payload in all_payloads() {
+            let rec = LogRecord { txn: TxnId::new(42), payload };
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            assert_eq!(buf.len(), rec.encoded_len());
+            let (got, used) = LogRecord::decode(&buf).unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(got, rec);
+        }
+    }
+
+    #[test]
+    fn decode_stream_of_records() {
+        let mut buf = Vec::new();
+        let records: Vec<LogRecord> = all_payloads()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| LogRecord { txn: TxnId::new(i as u64), payload: p })
+            .collect();
+        for r in &records {
+            r.encode(&mut buf);
+        }
+        let mut off = 0;
+        let mut decoded = Vec::new();
+        while off < buf.len() {
+            let (r, used) = LogRecord::decode(&buf[off..]).unwrap();
+            decoded.push(r);
+            off += used;
+        }
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let rec = LogRecord {
+            txn: TxnId::new(1),
+            payload: LogPayload::PageWrite { page_id: PageId::new(2), op: vec![7; 20] },
+        };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(LogRecord::decode(&buf[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let rec = LogRecord { txn: TxnId::new(1), payload: LogPayload::TxnBegin };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        buf[4] = 99;
+        assert!(LogRecord::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn page_id_extraction() {
+        let r = LogRecord::system(LogPayload::PageWrite { page_id: PageId::new(5), op: vec![] });
+        assert_eq!(r.page_id(), Some(PageId::new(5)));
+        let r = LogRecord::system(LogPayload::TxnBegin);
+        assert_eq!(r.page_id(), None);
+    }
+}

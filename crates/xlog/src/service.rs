@@ -1,0 +1,725 @@
+//! The XLOG service implementation.
+
+use parking_lot::Mutex;
+use socrates_common::lsn::AtomicLsn;
+use socrates_common::metrics::Counter;
+use socrates_common::{BlobId, Error, Lsn, PartitionId, Result};
+use socrates_storage::Fcb;
+use socrates_wal::block::{LogBlock, BLOCK_HEADER};
+use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
+use socrates_xstore::XStore;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// XLOG tuning knobs.
+#[derive(Clone, Debug)]
+pub struct XLogConfig {
+    /// Byte budget of the in-memory sequence map (hot tail of the log).
+    pub sequence_map_bytes: usize,
+    /// Capacity of the local SSD block cache (second tier).
+    pub ssd_cache_bytes: u64,
+    /// Consumer lease time-to-live.
+    pub lease_ttl: Duration,
+    /// How long the destager sleeps when idle.
+    pub destage_idle: Duration,
+}
+
+impl Default for XLogConfig {
+    fn default() -> Self {
+        XLogConfig {
+            sequence_map_bytes: 8 << 20,
+            ssd_cache_bytes: 32 << 20,
+            lease_ttl: Duration::from_secs(30),
+            destage_idle: Duration::from_millis(4),
+        }
+    }
+}
+
+/// Service counters.
+#[derive(Debug, Default)]
+pub struct XLogMetrics {
+    /// Blocks offered by the primary (including duplicates).
+    pub blocks_offered: Counter,
+    /// Blocks released to the broker after hardening.
+    pub blocks_released: Counter,
+    /// Gap blocks refetched from the landing zone.
+    pub gaps_filled_from_lz: Counter,
+    /// Duplicate/stale offers dropped.
+    pub duplicates_dropped: Counter,
+    /// Blocks destaged to SSD + LT.
+    pub blocks_destaged: Counter,
+    /// Bytes destaged to LT.
+    pub bytes_destaged: Counter,
+    /// Consumer block reads served per tier.
+    pub served_from_memory: Counter,
+    /// Served from the SSD cache.
+    pub served_from_ssd: Counter,
+    /// Served from the landing zone.
+    pub served_from_lz: Counter,
+    /// Served from the long-term archive.
+    pub served_from_lt: Counter,
+}
+
+/// Result of a consumer pull: the relevant blocks plus the cursor to pull
+/// from next time. `next_lsn` advances across filtered-out blocks too, so a
+/// page server's applied watermark keeps moving even when nothing in the
+/// log concerns its partition.
+#[derive(Clone, Debug)]
+pub struct PullResult {
+    /// Blocks relevant to the consumer's filter, in LSN order.
+    pub blocks: Vec<LogBlock>,
+    /// Where to pull from next; also the consumer's new applied frontier
+    /// once it has applied `blocks`.
+    pub next_lsn: Lsn,
+}
+
+struct Broker {
+    /// The sequence map: the hot tail of the log, keyed by block start LSN.
+    seq: BTreeMap<Lsn, LogBlock>,
+    seq_bytes: usize,
+    /// Out-of-order arrivals waiting for hardening/contiguity.
+    pending: BTreeMap<Lsn, LogBlock>,
+    /// Everything below this is released (contiguous + hardened).
+    released_upto: Lsn,
+    /// Blocks released but not yet destaged.
+    destage_queue: VecDeque<LogBlock>,
+}
+
+struct Lease {
+    progress: Lsn,
+    renewed_at: Instant,
+}
+
+/// The XLOG service. One per deployment.
+pub struct XLogService {
+    lz: Arc<LandingZone>,
+    xstore: Arc<XStore>,
+    lt_blob: BlobId,
+    lt_base: Lsn,
+    ssd_cache: LandingZone,
+    broker: Mutex<Broker>,
+    hardened: AtomicLsn,
+    destaged: AtomicLsn,
+    leases: Mutex<HashMap<String, Lease>>,
+    config: XLogConfig,
+    metrics: XLogMetrics,
+    stop: AtomicBool,
+    destager: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl XLogService {
+    /// Create the service: `lz` is the primary's landing zone (for gap
+    /// fills and tier-3 reads), `ssd` the local SSD device for the block
+    /// cache, `xstore` the home of the long-term archive. `start` is the
+    /// LSN the log begins at (zero for a fresh database).
+    pub fn new(
+        lz: Arc<LandingZone>,
+        ssd: Arc<dyn Fcb>,
+        xstore: Arc<XStore>,
+        config: XLogConfig,
+        start: Lsn,
+        lt_name: &str,
+    ) -> Result<Arc<XLogService>> {
+        let lt_blob = xstore.create_blob(lt_name)?;
+        let ssd_cache = LandingZone::with_start(
+            vec![ssd],
+            LandingZoneConfig { capacity: config.ssd_cache_bytes, write_quorum: 1 },
+            start,
+        );
+        Ok(Arc::new(XLogService {
+            lz,
+            xstore,
+            lt_blob,
+            lt_base: start,
+            ssd_cache,
+            broker: Mutex::new(Broker {
+                seq: BTreeMap::new(),
+                seq_bytes: 0,
+                pending: BTreeMap::new(),
+                released_upto: start,
+                destage_queue: VecDeque::new(),
+            }),
+            hardened: AtomicLsn::new(start),
+            destaged: AtomicLsn::new(start),
+            leases: Mutex::new(HashMap::new()),
+            config,
+            metrics: XLogMetrics::default(),
+            stop: AtomicBool::new(false),
+            destager: Mutex::new(None),
+        }))
+    }
+
+    /// Start the background destaging thread. Without it, destaging can be
+    /// driven manually via [`XLogService::destage_once`] (deterministic
+    /// tests do this).
+    pub fn start_destager(self: &Arc<Self>) {
+        let svc = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("xlog-destager".into())
+            .spawn(move || {
+                while !svc.stop.load(Ordering::SeqCst) {
+                    match svc.destage_once() {
+                        Ok(0) => std::thread::sleep(svc.config.destage_idle),
+                        Ok(_) => {}
+                        Err(_) => {
+                            // XStore outage etc.: back off and retry; blocks
+                            // stay queued, the LZ keeps them durable.
+                            std::thread::sleep(svc.config.destage_idle.max(Duration::from_millis(5)));
+                        }
+                    }
+                }
+            })
+            .expect("spawn xlog destager");
+        *self.destager.lock() = Some(handle);
+    }
+
+    /// Stop the destaging thread (idempotent).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.destager.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Service counters.
+    pub fn metrics(&self) -> &XLogMetrics {
+        &self.metrics
+    }
+
+    /// The hardened frontier reported by the primary.
+    pub fn hardened_lsn(&self) -> Lsn {
+        self.hardened.load()
+    }
+
+    /// Everything below this is durable in the long-term archive.
+    pub fn destaged_lsn(&self) -> Lsn {
+        self.destaged.load()
+    }
+
+    /// Everything below this has been released to consumers.
+    pub fn released_lsn(&self) -> Lsn {
+        self.broker.lock().released_upto
+    }
+
+    /// The LT archive location (for PITR workflows).
+    pub fn lt_location(&self) -> (BlobId, Lsn) {
+        (self.lt_blob, self.lt_base)
+    }
+
+    // ---- ingestion (called by the primary's feed) ----
+
+    /// Offer a block from the primary's lossy feed. Tolerates duplicates,
+    /// reordering, and loss.
+    pub fn offer_block(&self, block: LogBlock) {
+        self.metrics.blocks_offered.incr();
+        let mut b = self.broker.lock();
+        if block.start_lsn() < b.released_upto || b.pending.contains_key(&block.start_lsn()) {
+            self.metrics.duplicates_dropped.incr();
+            return;
+        }
+        b.pending.insert(block.start_lsn(), block);
+        self.release_locked(&mut b);
+    }
+
+    /// The primary reports durability up to `lsn`; released blocks become
+    /// visible to consumers.
+    pub fn report_hardened(&self, lsn: Lsn) {
+        self.hardened.advance_to(lsn);
+        let mut b = self.broker.lock();
+        self.release_locked(&mut b);
+    }
+
+    /// Move contiguous hardened blocks from the pending area to the broker,
+    /// filling feed gaps from the landing zone.
+    fn release_locked(&self, b: &mut Broker) {
+        let hardened = self.hardened.load();
+        loop {
+            let expect = b.released_upto;
+            if expect >= hardened {
+                break;
+            }
+            let block = match b.pending.remove(&expect) {
+                Some(blk) => blk,
+                None => {
+                    // The feed lost this block; the LZ has it (it is below
+                    // the hardened frontier).
+                    match self.lz.read_block(expect) {
+                        Ok(blk) => {
+                            self.metrics.gaps_filled_from_lz.incr();
+                            blk
+                        }
+                        Err(_) => break, // LZ transiently unreadable; retry later
+                    }
+                }
+            };
+            if block.end_lsn() > hardened {
+                // Can't happen with a correct primary (hardened moves in
+                // block units), but never release speculative bytes.
+                b.pending.insert(expect, block);
+                break;
+            }
+            b.released_upto = block.end_lsn();
+            b.seq_bytes += block.len();
+            b.seq.insert(block.start_lsn(), block.clone());
+            b.destage_queue.push_back(block);
+            self.metrics.blocks_released.incr();
+            // Trim the sequence map to its memory budget (oldest first).
+            while b.seq_bytes > self.config.sequence_map_bytes {
+                let Some((&first, _)) = b.seq.iter().next() else { break };
+                let blk = b.seq.remove(&first).expect("key just seen");
+                b.seq_bytes -= blk.len();
+            }
+        }
+    }
+
+    // ---- destaging ----
+
+    /// Destage a batch of queued blocks to the SSD cache and LT; returns
+    /// how many blocks were destaged (0 when idle, possibly many per call). Contiguous blocks are
+    /// concatenated into a single LT append — "multiple I/Os being sent to
+    /// XStore in a single large write operation" (§4.6 applies the same
+    /// idea to checkpoints).
+    pub fn destage_once(&self) -> Result<usize> {
+        const MAX_BATCH_BYTES: usize = 4 << 20;
+        let batch: Vec<LogBlock> = {
+            let mut b = self.broker.lock();
+            let mut batch = Vec::new();
+            let mut bytes = 0usize;
+            while bytes < MAX_BATCH_BYTES {
+                match b.destage_queue.pop_front() {
+                    Some(blk) => {
+                        bytes += blk.len();
+                        batch.push(blk);
+                    }
+                    None => break,
+                }
+            }
+            batch
+        };
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let n = batch.len();
+        if let Err(e) = self.destage_batch(&batch) {
+            // Put the batch back at the front; ordering must be preserved.
+            let mut b = self.broker.lock();
+            for blk in batch.into_iter().rev() {
+                b.destage_queue.push_front(blk);
+            }
+            return Err(e);
+        }
+        Ok(n)
+    }
+
+    fn destage_batch(&self, batch: &[LogBlock]) -> Result<()> {
+        // LT first: one concatenated append (blocks are LSN-contiguous, so
+        // the blob offset keeps mirroring LSN space).
+        let total: usize = batch.iter().map(|b| b.len()).sum();
+        let mut image = Vec::with_capacity(total);
+        for block in batch {
+            image.extend_from_slice(block.as_bytes());
+        }
+        let off = self.xstore.append(self.lt_blob, &image)?;
+        debug_assert_eq!(off, batch[0].start_lsn() - self.lt_base);
+        let end = batch.last().expect("nonempty").end_lsn();
+        for block in batch {
+            self.ssd_write_best_effort(block);
+            self.metrics.blocks_destaged.incr();
+            self.metrics.bytes_destaged.add(block.len() as u64);
+        }
+        self.destaged.advance_to(end);
+        self.lz.truncate_to(end);
+        Ok(())
+    }
+
+    /// Drain the whole destage queue (used by deterministic tests and
+    /// shutdown paths).
+    pub fn destage_all(&self) -> Result<usize> {
+        let mut n = 0;
+        loop {
+            match self.destage_once()? {
+                0 => return Ok(n),
+                k => n += k,
+            }
+        }
+    }
+
+
+    fn ssd_write_best_effort(&self, block: &LogBlock) {
+        // Make room by truncating the circular cache window.
+        let need = block.len() as u64;
+        if self.ssd_cache.free_bytes() < need {
+            let tail = self.ssd_cache.tail();
+            let deficit = need - self.ssd_cache.free_bytes();
+            self.ssd_cache.truncate_to(tail + deficit);
+        }
+        let _ = self.ssd_cache.write_block(block);
+    }
+
+    // ---- serving consumers ----
+
+    /// Read the block starting at `lsn` through the tier hierarchy:
+    /// sequence map → SSD cache → landing zone → long-term archive.
+    pub fn get_block(&self, lsn: Lsn) -> Result<LogBlock> {
+        if lsn >= self.released_lsn() {
+            return Err(Error::NotFound(format!(
+                "{lsn} not yet released (frontier {})",
+                self.released_lsn()
+            )));
+        }
+        if let Some(blk) = self.broker.lock().seq.get(&lsn) {
+            self.metrics.served_from_memory.incr();
+            return Ok(blk.clone());
+        }
+        if let Ok(blk) = self.ssd_cache.read_block(lsn) {
+            self.metrics.served_from_ssd.incr();
+            return Ok(blk);
+        }
+        if let Ok(blk) = self.lz.read_block(lsn) {
+            self.metrics.served_from_lz.incr();
+            return Ok(blk);
+        }
+        // Last resort: the LT, where the block is guaranteed to exist.
+        let blk = self.read_from_lt(lsn)?;
+        self.metrics.served_from_lt.incr();
+        Ok(blk)
+    }
+
+    fn read_from_lt(&self, lsn: Lsn) -> Result<LogBlock> {
+        if lsn < self.lt_base {
+            return Err(Error::NotFound(format!("{lsn} predates the LT base {}", self.lt_base)));
+        }
+        let off = lsn - self.lt_base;
+        let header = self.xstore.read_at(self.lt_blob, off, BLOCK_HEADER)?;
+        let info = LogBlock::peek(&header)?;
+        let image = self.xstore.read_at(self.lt_blob, off, info.total_len)?;
+        LogBlock::decode(image)
+    }
+
+    /// Read the LT archive directly over an arbitrary blob — the PITR
+    /// bootstrap path ("a new XLOG process is bootstrapped on the copied
+    /// log blobs"). Returns blocks whose start LSN lies in `[from, to)`.
+    pub fn read_lt_range(
+        xstore: &XStore,
+        blob: BlobId,
+        base: Lsn,
+        from: Lsn,
+        to: Lsn,
+    ) -> Result<Vec<LogBlock>> {
+        let len = xstore.blob_len(blob)?;
+        let end = base + len;
+        let mut at = from.max(base);
+        let mut out = Vec::new();
+        while at < to.min(end) {
+            let off = at - base;
+            let header = xstore.read_at(blob, off, BLOCK_HEADER)?;
+            let info = LogBlock::peek(&header)?;
+            let image = xstore.read_at(blob, off, info.total_len)?;
+            let block = LogBlock::decode(image)?;
+            at = block.end_lsn();
+            out.push(block);
+        }
+        Ok(out)
+    }
+
+    /// Pull released blocks for a consumer starting at `from`, up to
+    /// `max_bytes` of block data, filtered to `partition` when given.
+    pub fn pull_blocks(
+        &self,
+        from: Lsn,
+        max_bytes: usize,
+        partition: Option<PartitionId>,
+    ) -> Result<PullResult> {
+        let frontier = self.released_lsn();
+        let mut at = from;
+        let mut blocks = Vec::new();
+        let mut bytes = 0usize;
+        while at < frontier && bytes < max_bytes {
+            let block = self.get_block(at)?;
+            at = block.end_lsn();
+            bytes += block.len();
+            let relevant = partition.map_or(true, |p| block.affects_partition(p));
+            if relevant {
+                blocks.push(block);
+            }
+        }
+        Ok(PullResult { blocks, next_lsn: at })
+    }
+
+    // ---- leases & progress ----
+
+    /// Register (or renew) a consumer lease.
+    pub fn register_consumer(&self, name: &str, progress: Lsn) {
+        let mut leases = self.leases.lock();
+        let lease = leases
+            .entry(name.to_string())
+            .or_insert(Lease { progress, renewed_at: Instant::now() });
+        lease.renewed_at = Instant::now();
+    }
+
+    /// Report a consumer's applied progress (renews its lease).
+    pub fn report_progress(&self, name: &str, progress: Lsn) {
+        let mut leases = self.leases.lock();
+        let lease = leases
+            .entry(name.to_string())
+            .or_insert(Lease { progress, renewed_at: Instant::now() });
+        lease.progress = lease.progress.max(progress);
+        lease.renewed_at = Instant::now();
+    }
+
+    /// The slowest live consumer's progress (diagnostics; a production
+    /// system would gate LT garbage collection on this).
+    pub fn min_consumer_progress(&self) -> Option<Lsn> {
+        self.leases.lock().values().map(|l| l.progress).min()
+    }
+
+    /// Drop leases that have not been renewed within the TTL; returns the
+    /// expired consumer names.
+    pub fn expire_leases(&self) -> Vec<String> {
+        let ttl = self.config.lease_ttl;
+        let mut leases = self.leases.lock();
+        let now = Instant::now();
+        let expired: Vec<String> = leases
+            .iter()
+            .filter(|(_, l)| now.duration_since(l.renewed_at) > ttl)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for n in &expired {
+            leases.remove(n);
+        }
+        expired
+    }
+}
+
+impl Drop for XLogService {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.destager.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socrates_common::{PageId, TxnId};
+    use socrates_storage::MemFcb;
+    use socrates_wal::block::BlockBuilder;
+    use socrates_wal::record::{LogPayload, LogRecord};
+    use socrates_xstore::XStoreConfig;
+
+    fn block_at(start: Lsn, partition: u32, payload_len: usize) -> LogBlock {
+        let mut b = BlockBuilder::new(start, 1 << 16);
+        b.append(
+            &LogRecord {
+                txn: TxnId::new(1),
+                payload: LogPayload::PageWrite {
+                    page_id: PageId::new(partition as u64 * 1000),
+                    op: vec![0xAB; payload_len],
+                },
+            },
+            Some(PartitionId::new(partition)),
+        );
+        b.seal()
+    }
+
+    struct Fixture {
+        lz: Arc<LandingZone>,
+        svc: Arc<XLogService>,
+        #[allow(dead_code)]
+        xstore: Arc<XStore>,
+    }
+
+    fn fixture(config: XLogConfig) -> Fixture {
+        let lz = Arc::new(LandingZone::new(
+            vec![Arc::new(MemFcb::new("lz")) as Arc<dyn Fcb>],
+            LandingZoneConfig { capacity: 1 << 20, write_quorum: 1 },
+        ));
+        let xstore = Arc::new(XStore::new(XStoreConfig::instant()));
+        let svc = XLogService::new(
+            Arc::clone(&lz),
+            Arc::new(MemFcb::new("xlog-ssd")) as Arc<dyn Fcb>,
+            Arc::clone(&xstore),
+            config,
+            Lsn::ZERO,
+            "xlog/lt",
+        )
+        .unwrap();
+        Fixture { lz, svc, xstore }
+    }
+
+    /// Write a chain of blocks through the LZ + offer/report path.
+    fn feed_chain(f: &Fixture, n: usize, lose: impl Fn(usize) -> bool) -> Vec<LogBlock> {
+        let mut blocks = Vec::new();
+        let mut start = Lsn::ZERO;
+        for i in 0..n {
+            let blk = block_at(start, (i % 3) as u32, 50 + i);
+            f.lz.write_block(&blk).unwrap();
+            if !lose(i) {
+                f.svc.offer_block(blk.clone());
+            }
+            f.svc.report_hardened(blk.end_lsn());
+            start = blk.end_lsn();
+            blocks.push(blk);
+        }
+        blocks
+    }
+
+    #[test]
+    fn release_requires_hardening() {
+        let f = fixture(XLogConfig::default());
+        let blk = block_at(Lsn::ZERO, 0, 10);
+        f.svc.offer_block(blk.clone());
+        // Not hardened: nothing released.
+        assert_eq!(f.svc.released_lsn(), Lsn::ZERO);
+        assert!(f.svc.get_block(Lsn::ZERO).is_err());
+        f.lz.write_block(&blk).unwrap();
+        f.svc.report_hardened(blk.end_lsn());
+        assert_eq!(f.svc.released_lsn(), blk.end_lsn());
+        assert_eq!(f.svc.get_block(Lsn::ZERO).unwrap(), blk);
+    }
+
+    #[test]
+    fn lossy_feed_gaps_filled_from_lz() {
+        let f = fixture(XLogConfig::default());
+        let blocks = feed_chain(&f, 10, |i| i % 3 == 1); // drop a third
+        assert_eq!(f.svc.released_lsn(), blocks.last().unwrap().end_lsn());
+        assert!(f.svc.metrics().gaps_filled_from_lz.get() >= 3);
+        // Every block is servable.
+        for blk in &blocks {
+            assert_eq!(&f.svc.get_block(blk.start_lsn()).unwrap(), blk);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_stale_offers_dropped() {
+        let f = fixture(XLogConfig::default());
+        let blocks = feed_chain(&f, 3, |_| false);
+        // Re-offer everything.
+        for blk in &blocks {
+            f.svc.offer_block(blk.clone());
+        }
+        assert_eq!(f.svc.metrics().duplicates_dropped.get(), 3);
+        assert_eq!(f.svc.released_lsn(), blocks.last().unwrap().end_lsn());
+    }
+
+    #[test]
+    fn pull_with_partition_filter_advances_cursor() {
+        let f = fixture(XLogConfig::default());
+        let blocks = feed_chain(&f, 9, |_| false); // partitions cycle 0,1,2
+        let r = f.svc.pull_blocks(Lsn::ZERO, usize::MAX, Some(PartitionId::new(1))).unwrap();
+        assert_eq!(r.next_lsn, blocks.last().unwrap().end_lsn());
+        assert_eq!(r.blocks.len(), 3, "only partition 1's blocks delivered");
+        for blk in &r.blocks {
+            assert!(blk.affects_partition(PartitionId::new(1)));
+        }
+        // Unfiltered pull sees everything.
+        let all = f.svc.pull_blocks(Lsn::ZERO, usize::MAX, None).unwrap();
+        assert_eq!(all.blocks.len(), 9);
+        // Byte-bounded pull stops early but still reports a valid cursor.
+        let partial = f.svc.pull_blocks(Lsn::ZERO, 1, None).unwrap();
+        assert_eq!(partial.blocks.len(), 1);
+        assert_eq!(partial.next_lsn, blocks[0].end_lsn());
+    }
+
+    #[test]
+    fn destaging_fills_lt_and_truncates_lz() {
+        let f = fixture(XLogConfig::default());
+        let blocks = feed_chain(&f, 5, |_| false);
+        let n = f.svc.destage_all().unwrap();
+        assert_eq!(n, 5);
+        let end = blocks.last().unwrap().end_lsn();
+        assert_eq!(f.svc.destaged_lsn(), end);
+        assert_eq!(f.lz.tail(), end, "LZ truncated behind destage point");
+        // Blocks are no longer in the LZ but still servable (SSD or LT).
+        for blk in &blocks {
+            assert_eq!(&f.svc.get_block(blk.start_lsn()).unwrap(), blk);
+        }
+    }
+
+    #[test]
+    fn tier_fallthrough_to_lt() {
+        // Tiny memory + tiny SSD cache force reads from the LT.
+        let config = XLogConfig {
+            sequence_map_bytes: 1, // effectively nothing stays in memory
+            ssd_cache_bytes: 256,  // too small for more than ~1 block
+            ..XLogConfig::default()
+        };
+        let f = fixture(config);
+        let blocks = feed_chain(&f, 8, |_| false);
+        f.svc.destage_all().unwrap();
+        // Old blocks must come from the LT now.
+        let first = &blocks[0];
+        assert_eq!(&f.svc.get_block(first.start_lsn()).unwrap(), first);
+        assert!(f.svc.metrics().served_from_lt.get() >= 1, "LT tier must serve");
+    }
+
+    #[test]
+    fn xstore_outage_pauses_destaging_without_loss() {
+        let f = fixture(XLogConfig::default());
+        let blocks = feed_chain(&f, 4, |_| false);
+        f.xstore.set_available(false);
+        assert!(f.svc.destage_once().is_err());
+        // Nothing destaged; LZ still holds everything.
+        assert_eq!(f.svc.destaged_lsn(), Lsn::ZERO);
+        assert_eq!(f.lz.tail(), Lsn::ZERO);
+        f.xstore.set_available(true);
+        assert_eq!(f.svc.destage_all().unwrap(), 4);
+        assert_eq!(f.svc.destaged_lsn(), blocks.last().unwrap().end_lsn());
+    }
+
+    #[test]
+    fn background_destager_drains() {
+        let f = fixture(XLogConfig::default());
+        f.svc.start_destager();
+        let blocks = feed_chain(&f, 20, |_| false);
+        let end = blocks.last().unwrap().end_lsn();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while f.svc.destaged_lsn() < end {
+            assert!(Instant::now() < deadline, "destager did not catch up");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        f.svc.shutdown();
+    }
+
+    #[test]
+    fn lt_range_reader_for_pitr() {
+        let f = fixture(XLogConfig::default());
+        let blocks = feed_chain(&f, 6, |_| false);
+        f.svc.destage_all().unwrap();
+        let (blob, base) = f.svc.lt_location();
+        let mid = blocks[2].start_lsn();
+        let got = XLogService::read_lt_range(
+            &f.xstore,
+            blob,
+            base,
+            mid,
+            blocks.last().unwrap().end_lsn(),
+        )
+        .unwrap();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], blocks[2]);
+        assert_eq!(&got[3], blocks.last().unwrap());
+    }
+
+    #[test]
+    fn leases_and_progress() {
+        let config = XLogConfig { lease_ttl: Duration::from_millis(20), ..XLogConfig::default() };
+        let f = fixture(config);
+        f.svc.register_consumer("pageserver-0", Lsn::ZERO);
+        f.svc.report_progress("pageserver-0", Lsn::new(100));
+        f.svc.report_progress("secondary-0", Lsn::new(50));
+        assert_eq!(f.svc.min_consumer_progress(), Some(Lsn::new(50)));
+        // Progress never regresses.
+        f.svc.report_progress("pageserver-0", Lsn::new(90));
+        assert_eq!(f.svc.min_consumer_progress(), Some(Lsn::new(50)));
+        std::thread::sleep(Duration::from_millis(40));
+        f.svc.report_progress("secondary-0", Lsn::new(60)); // renews
+        let expired = f.svc.expire_leases();
+        assert_eq!(expired, vec!["pageserver-0".to_string()]);
+        assert_eq!(f.svc.min_consumer_progress(), Some(Lsn::new(60)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Log-structured blobs: immutable extents behind a mutable reference map.
+
+use socrates_common::{Error, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a snapshot within the store.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapshotId(pub u64);
+
+impl fmt::Display for SnapshotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snap:{}", self.0)
+    }
+}
+
+impl fmt::Debug for SnapshotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A blob: a sparse map from byte offset to immutable extent.
+///
+/// The representation *is* the log-structured design: extent data is never
+/// mutated, only the offset→extent map changes. Cloning a blob (the
+/// snapshot operation) clones the map — `Arc`s make that independent of
+/// data volume.
+///
+/// Write constraints mirror how a log-structured store is actually used:
+/// a write either lands in unoccupied space (including clean appends) or
+/// exactly replaces one existing extent (same offset and length — the page
+/// checkpoint pattern). Partially overlapping rewrites are rejected; no
+/// Socrates component needs them.
+#[derive(Clone, Default)]
+pub struct Blob {
+    extents: BTreeMap<u64, Arc<Vec<u8>>>,
+    len: u64,
+}
+
+impl Blob {
+    /// An empty blob.
+    pub fn new() -> Blob {
+        Blob::default()
+    }
+
+    /// Logical length (one past the highest written byte).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// Number of extents (metadata size; snapshot cost is O(this)).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Write `data` at `offset`. See the type docs for the allowed shapes.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let end = offset + data.len() as u64;
+        // Exact replacement of an existing extent?
+        if let Some(existing) = self.extents.get(&offset) {
+            if existing.len() == data.len() {
+                self.extents.insert(offset, Arc::new(data.to_vec()));
+                return Ok(());
+            }
+            return Err(Error::InvalidArgument(format!(
+                "log-structured write at {offset} must match existing extent length \
+                 ({} != {})",
+                data.len(),
+                existing.len()
+            )));
+        }
+        // Otherwise the range must be entirely unoccupied.
+        if let Some((&prev_off, prev)) = self.extents.range(..offset).next_back() {
+            if prev_off + prev.len() as u64 > offset {
+                return Err(Error::InvalidArgument(format!(
+                    "write at {offset} overlaps extent at {prev_off}"
+                )));
+            }
+        }
+        if let Some((&next_off, _)) = self.extents.range(offset..).next() {
+            if next_off < end {
+                return Err(Error::InvalidArgument(format!(
+                    "write at {offset} overlaps extent at {next_off}"
+                )));
+            }
+        }
+        self.extents.insert(offset, Arc::new(data.to_vec()));
+        self.len = self.len.max(end);
+        Ok(())
+    }
+
+    /// Append `data`, returning the offset it was written at.
+    pub fn append(&mut self, data: &[u8]) -> Result<u64> {
+        let at = self.len;
+        self.write_at(at, data)?;
+        Ok(at)
+    }
+
+    /// Read `len` bytes at `offset`. Unwritten ranges read as zeroes
+    /// (sparse), but reading entirely past the end is an error.
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        if offset >= self.len {
+            return Err(Error::Io(format!(
+                "blob read at {offset} beyond length {}",
+                self.len
+            )));
+        }
+        let mut out = vec![0u8; len];
+        let end = offset + len as u64;
+        // Include an extent that starts before `offset` but reaches into it.
+        let scan_from = self
+            .extents
+            .range(..=offset)
+            .next_back()
+            .map(|(&o, _)| o)
+            .unwrap_or(offset);
+        for (&eoff, data) in self.extents.range(scan_from..end) {
+            let eend = eoff + data.len() as u64;
+            if eend <= offset {
+                continue;
+            }
+            let copy_start = eoff.max(offset);
+            let copy_end = eend.min(end);
+            let src = &data[(copy_start - eoff) as usize..(copy_end - eoff) as usize];
+            let dst = &mut out[(copy_start - offset) as usize..(copy_end - offset) as usize];
+            dst.copy_from_slice(src);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Blob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Blob")
+            .field("len", &self.len)
+            .field("extents", &self.extents.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read() {
+        let mut b = Blob::new();
+        assert_eq!(b.append(b"hello").unwrap(), 0);
+        assert_eq!(b.append(b" world").unwrap(), 5);
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.read_at(0, 11).unwrap(), b"hello world");
+        assert_eq!(b.read_at(3, 5).unwrap(), b"lo wo");
+    }
+
+    #[test]
+    fn exact_replacement_allowed() {
+        let mut b = Blob::new();
+        b.write_at(0, &[1u8; 8]).unwrap();
+        b.write_at(8, &[2u8; 8]).unwrap();
+        b.write_at(0, &[9u8; 8]).unwrap();
+        assert_eq!(b.read_at(0, 16).unwrap(), [vec![9u8; 8], vec![2u8; 8]].concat());
+        assert_eq!(b.extent_count(), 2);
+    }
+
+    #[test]
+    fn partial_overlap_rejected() {
+        let mut b = Blob::new();
+        b.write_at(0, &[1u8; 8]).unwrap();
+        assert!(b.write_at(4, &[2u8; 8]).is_err());
+        assert!(b.write_at(0, &[2u8; 4]).is_err());
+        // Write that would collide with a later extent.
+        let mut c = Blob::new();
+        c.write_at(16, &[1u8; 8]).unwrap();
+        assert!(c.write_at(12, &[2u8; 8]).is_err());
+        c.write_at(0, &[2u8; 8]).unwrap(); // fits in the hole
+    }
+
+    #[test]
+    fn sparse_reads_zero_fill() {
+        let mut b = Blob::new();
+        b.write_at(16, &[7u8; 4]).unwrap();
+        let got = b.read_at(12, 10).unwrap();
+        assert_eq!(got, vec![0, 0, 0, 0, 7, 7, 7, 7, 0, 0]);
+        assert!(b.read_at(20, 4).is_err(), "read past len fails");
+    }
+
+    #[test]
+    fn read_spanning_extent_start_before_offset() {
+        let mut b = Blob::new();
+        b.write_at(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(b.read_at(4, 4).unwrap(), vec![5, 6, 7, 8]);
+        assert_eq!(b.read_at(7, 1).unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut b = Blob::new();
+        b.write_at(0, &[1u8; 8]).unwrap();
+        let snap = b.clone();
+        b.write_at(0, &[2u8; 8]).unwrap();
+        b.append(&[3u8; 8]).unwrap();
+        // The snapshot is unaffected by later writes.
+        assert_eq!(snap.read_at(0, 8).unwrap(), vec![1u8; 8]);
+        assert_eq!(snap.len(), 8);
+        assert_eq!(b.read_at(0, 8).unwrap(), vec![2u8; 8]);
+        assert_eq!(b.len(), 16);
+    }
+}

@@ -1,0 +1,26 @@
+//! XStore — the simulated Azure Storage standard tier (paper §4.7, [10]).
+//!
+//! XStore is where "the truth of the database" lives: cheap, durable,
+//! HDD-class storage holding checkpointed data files and the long-term log
+//! archive. Two properties of the real service carry all the architectural
+//! weight in Socrates, and both are implemented faithfully here:
+//!
+//! 1. **Log-structured writes.** Blob contents are immutable extents; a
+//!    write replaces an extent *reference*, never bytes in place.
+//! 2. **Constant-time snapshots.** Because extents are immutable, a
+//!    snapshot is a copy of the extent reference list — O(metadata),
+//!    independent of data size. Socrates' constant-time backup/restore
+//!    (paper §3.5, Table 1) is exactly this operation, and the restore
+//!    path ("copy snapshots to new blobs, attach to new page servers")
+//!    works on the same structure.
+//!
+//! The service also models what the paper's experiments depend on:
+//! HDD-class latency (swap profiles per deployment), hard outage injection
+//! (page servers must insulate, §4.6), and throughput accounting (HADR's
+//! log-backup egress throttling in Table 5).
+
+pub mod blob;
+pub mod service;
+
+pub use blob::{Blob, SnapshotId};
+pub use service::{XStore, XStoreConfig, XStoreMetrics};

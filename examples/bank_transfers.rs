@@ -1,0 +1,154 @@
+//! A concurrent OLTP scenario: bank transfers under snapshot isolation.
+//!
+//! Eight client threads move money between accounts while an auditor takes
+//! consistent snapshots. Write-write conflicts abort and retry; the total
+//! balance is invariant in every audit — across conflicts, group commit,
+//! the lossy XLOG feed, and a mid-run primary failover.
+//!
+//! ```sh
+//! cargo run --example bank_transfers
+//! ```
+
+use socrates::{Socrates, SocratesConfig};
+use socrates_common::rng::Rng;
+use socrates_engine::value::{ColumnType, Schema, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const ACCOUNTS: i64 = 200;
+const INITIAL: i64 = 1_000;
+
+fn balance_of(row: &[Value]) -> i64 {
+    match row[1] {
+        Value::Int(v) => v,
+        _ => unreachable!("balance column is Int"),
+    }
+}
+
+fn main() -> socrates_common::Result<()> {
+    let sys = Arc::new(Socrates::launch(SocratesConfig::fast_test())?);
+    let primary = sys.primary()?;
+    let db = primary.db();
+    db.create_table(
+        "accounts",
+        Schema::new(
+            vec![("id".into(), ColumnType::Int), ("balance".into(), ColumnType::Int)],
+            1,
+        ),
+    )?;
+    let setup = db.begin();
+    for id in 0..ACCOUNTS {
+        db.insert(&setup, "accounts", &[Value::Int(id), Value::Int(INITIAL)])?;
+    }
+    db.commit(setup)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let transfers = Arc::new(AtomicU64::new(0));
+    let conflicts = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| -> socrates_common::Result<()> {
+        for worker in 0..8u64 {
+            let stop = Arc::clone(&stop);
+            let transfers = Arc::clone(&transfers);
+            let conflicts = Arc::clone(&conflicts);
+            let sys = Arc::clone(&sys);
+            scope.spawn(move || {
+                let mut rng = Rng::new(worker + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    // Always talk to the *current* primary (failover-aware).
+                    let Ok(primary) = sys.primary() else { continue };
+                    let db = primary.db();
+                    let from = rng.gen_range(ACCOUNTS as u64) as i64;
+                    let to = rng.gen_range(ACCOUNTS as u64) as i64;
+                    if from == to {
+                        continue;
+                    }
+                    let amount = 1 + rng.gen_range(50) as i64;
+                    let h = db.begin();
+                    let result = (|| -> socrates_common::Result<bool> {
+                        let Some(src) = db.get(&h, "accounts", &[Value::Int(from)])? else {
+                            return Ok(false);
+                        };
+                        if balance_of(&src) < amount {
+                            return Ok(false); // insufficient funds
+                        }
+                        let dst = db.get(&h, "accounts", &[Value::Int(to)])?.expect("exists");
+                        db.update(
+                            &h,
+                            "accounts",
+                            &[Value::Int(from), Value::Int(balance_of(&src) - amount)],
+                        )?;
+                        db.update(
+                            &h,
+                            "accounts",
+                            &[Value::Int(to), Value::Int(balance_of(&dst) + amount)],
+                        )?;
+                        Ok(true)
+                    })();
+                    match result {
+                        Ok(true) => {
+                            if db.commit(h).is_ok() {
+                                transfers.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(false) => db.abort(h),
+                        Err(e) if e.kind() == "write_conflict" => {
+                            db.abort(h);
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => db.abort(h),
+                    }
+                }
+            });
+        }
+
+        // Audit while transfers are running: every snapshot must balance.
+        for audit in 0..5 {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            let primary = sys.primary()?;
+            let db = primary.db();
+            let h = db.begin();
+            let rows = db.scan_range(
+                &h,
+                "accounts",
+                &[Value::Int(0)],
+                &[Value::Int(ACCOUNTS)],
+                ACCOUNTS as usize,
+            )?;
+            let total: i64 = rows.iter().map(|r| balance_of(r)).sum();
+            assert_eq!(total, ACCOUNTS * INITIAL, "audit {audit} found money leak!");
+            println!(
+                "audit {audit}: {} accounts, total balance {} ✓ ({} transfers, {} conflicts)",
+                rows.len(),
+                total,
+                transfers.load(Ordering::Relaxed),
+                conflicts.load(Ordering::Relaxed)
+            );
+            if audit == 2 {
+                // Mid-run disaster: the primary dies. Committed transfers
+                // survive; in-flight ones vanish atomically.
+                println!("  !! killing the primary mid-workload");
+                sys.kill_primary();
+                sys.failover()?;
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        Ok(())
+    })?;
+
+    // Final audit after the dust settles.
+    let primary = sys.primary()?;
+    let db = primary.db();
+    let h = db.begin();
+    let rows =
+        db.scan_range(&h, "accounts", &[Value::Int(0)], &[Value::Int(ACCOUNTS)], ACCOUNTS as usize)?;
+    let total: i64 = rows.iter().map(|r| balance_of(r)).sum();
+    assert_eq!(total, ACCOUNTS * INITIAL);
+    println!(
+        "final: {} transfers committed, {} conflicts retried, books balance at {total}",
+        Arc::try_unwrap(transfers).map(|a| a.into_inner()).unwrap_or(0),
+        Arc::try_unwrap(conflicts).map(|a| a.into_inner()).unwrap_or(0),
+    );
+    sys.shutdown();
+    Ok(())
+}

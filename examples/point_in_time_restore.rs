@@ -1,0 +1,80 @@
+//! Point-in-time restore: recover from a fat-fingered bulk delete.
+//!
+//! Backups in Socrates are constant-time XStore snapshots; a restore
+//! attaches the snapshots to fresh page servers and replays only the log
+//! between the backup and the requested instant (paper §4.7). This example
+//! takes a backup, commits more work, "accidentally" wipes a table, and
+//! then restores to the LSN just before the disaster.
+//!
+//! ```sh
+//! cargo run --example point_in_time_restore
+//! ```
+
+use socrates::{Socrates, SocratesConfig};
+use socrates_engine::value::{ColumnType, Schema, Value};
+
+fn count_rows(db: &socrates_engine::Database, table: &str) -> socrates_common::Result<usize> {
+    let h = db.begin();
+    Ok(db.scan_table(&h, table, usize::MAX)?.len())
+}
+
+fn main() -> socrates_common::Result<()> {
+    let sys = Socrates::launch(SocratesConfig::fast_test())?;
+    let primary = sys.primary()?;
+    let db = primary.db();
+    db.create_table(
+        "ledger",
+        Schema::new(
+            vec![("id".into(), ColumnType::Int), ("entry".into(), ColumnType::Str)],
+            1,
+        ),
+    )?;
+
+    // Era 1: 100 entries, then a backup.
+    let h = db.begin();
+    for i in 0..100 {
+        db.insert(&h, "ledger", &[Value::Int(i), Value::Str(format!("entry-{i}"))])?;
+    }
+    db.commit(h)?;
+    sys.checkpoint()?;
+    let backup = sys.backup()?;
+    println!("backup taken at {} (constant-time snapshots)", backup.backup_lsn);
+
+    // Era 2: 50 more entries — work we want to keep.
+    let h = db.begin();
+    for i in 100..150 {
+        db.insert(&h, "ledger", &[Value::Int(i), Value::Str(format!("entry-{i}"))])?;
+    }
+    db.commit(h)?;
+    let good_lsn = primary.pipeline().hardened_lsn();
+    println!("150 entries at {good_lsn}");
+
+    // Era 3: the disaster — everything gets deleted.
+    let h = db.begin();
+    for i in 0..150 {
+        db.delete(&h, "ledger", &[Value::Int(i)])?;
+    }
+    db.commit(h)?;
+    println!("disaster: table wiped ({} rows visible)", count_rows(db, "ledger")?);
+
+    // Restore to the moment before the disaster. The live deployment is
+    // untouched; PITR produces a brand-new one.
+    let restored = sys.restore_pitr(&backup, good_lsn)?;
+    let rprimary = restored.primary()?;
+    let rdb = rprimary.db();
+    let n = count_rows(rdb, "ledger")?;
+    println!("restored deployment sees {n} rows (expected 150)");
+    assert_eq!(n, 150);
+    // It is fully writable — a real fork of history.
+    let h = rdb.begin();
+    rdb.insert(&h, "ledger", &[Value::Int(999), Value::Str("post-restore".into())])?;
+    rdb.commit(h)?;
+    assert_eq!(count_rows(rdb, "ledger")?, 151);
+
+    // And the original (wiped) deployment is still independently alive.
+    assert_eq!(count_rows(db, "ledger")?, 0);
+    println!("restore OK: history forked at {good_lsn}");
+    restored.shutdown();
+    sys.shutdown();
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Root package of the socrates-rs workspace.
+//!
+//! This package owns the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. It re-exports the workspace
+//! crates under short names so examples and tests read naturally.
+
+pub use socrates;
+pub use socrates_cdb as cdb;
+pub use socrates_common as common;
+pub use socrates_engine as engine;
+pub use socrates_hadr as hadr;
+pub use socrates_pageserver as pageserver;
+pub use socrates_rbio as rbio;
+pub use socrates_storage as storage;
+pub use socrates_wal as wal;
+pub use socrates_xlog as xlog;
+pub use socrates_xstore as xstore;

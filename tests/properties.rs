@@ -1,0 +1,142 @@
+//! Property-based tests over the full Socrates stack: arbitrary operation
+//! sequences (with commits, aborts, failovers, and checkpoints) must match
+//! a sequential model.
+
+use proptest::prelude::*;
+use socrates::{Socrates, SocratesConfig};
+use socrates_engine::value::{ColumnType, Schema, Value};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Upsert(i64, i64),
+    Delete(i64),
+    Commit,
+    Abort,
+    Checkpoint,
+    Failover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0i64..60, any::<i64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
+        2 => (0i64..60).prop_map(Op::Delete),
+        3 => Just(Op::Commit),
+        1 => Just(Op::Abort),
+        1 => Just(Op::Checkpoint),
+        1 => Just(Op::Failover),
+    ]
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)],
+        1,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case spins up a full deployment
+        max_shrink_iters: 40,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn socrates_matches_sequential_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+        sys.primary().unwrap().db().create_table("t", schema()).unwrap();
+
+        let mut committed: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut pending: BTreeMap<i64, Option<i64>> = BTreeMap::new(); // None = delete
+        let mut open = None;
+
+        for op in &ops {
+            let primary = sys.primary().unwrap();
+            let db = primary.db();
+            match op {
+                Op::Upsert(k, v) => {
+                    let h = *open.get_or_insert_with(|| db.begin());
+                    db.upsert(&h, "t", &[Value::Int(*k), Value::Int(*v)]).unwrap();
+                    pending.insert(*k, Some(*v));
+                }
+                Op::Delete(k) => {
+                    let h = *open.get_or_insert_with(|| db.begin());
+                    let existed = db.delete(&h, "t", &[Value::Int(*k)]).unwrap();
+                    let model_existed = pending.get(k).map_or_else(
+                        || committed.contains_key(k),
+                        |v| v.is_some(),
+                    );
+                    prop_assert_eq!(existed, model_existed);
+                    pending.insert(*k, None);
+                }
+                Op::Commit => {
+                    if let Some(h) = open.take() {
+                        db.commit(h).unwrap();
+                        for (k, v) in pending.drain_filter_like() {
+                            match v {
+                                Some(v) => { committed.insert(k, v); }
+                                None => { committed.remove(&k); }
+                            }
+                        }
+                    }
+                }
+                Op::Abort => {
+                    if let Some(h) = open.take() {
+                        db.abort(h);
+                        pending.clear();
+                    }
+                }
+                Op::Checkpoint => {
+                    // Only between transactions (a checkpoint mid-txn is
+                    // fine for the system but makes the model fiddly).
+                    if open.is_none() {
+                        sys.checkpoint().unwrap();
+                    }
+                }
+                Op::Failover => {
+                    if open.is_none() {
+                        sys.kill_primary();
+                        sys.failover().unwrap();
+                    } else {
+                        // Crash with a transaction open: its writes vanish.
+                        open = None;
+                        pending.clear();
+                        sys.kill_primary();
+                        sys.failover().unwrap();
+                    }
+                }
+            }
+        }
+        // Final state must equal the model's committed map.
+        let primary = sys.primary().unwrap();
+        let db = primary.db();
+        if let Some(h) = open.take() {
+            db.abort(h);
+        }
+        let h = db.begin();
+        let rows = db.scan_table(&h, "t", usize::MAX).unwrap();
+        let got: BTreeMap<i64, i64> = rows
+            .iter()
+            .map(|r| match (&r[0], &r[1]) {
+                (Value::Int(k), Value::Int(v)) => (*k, *v),
+                _ => unreachable!(),
+            })
+            .collect();
+        prop_assert_eq!(got, committed);
+        sys.shutdown();
+    }
+}
+
+/// Tiny helper: drain a BTreeMap (name avoids the unstable drain_filter).
+trait DrainAll<K, V> {
+    fn drain_filter_like(&mut self) -> Vec<(K, V)>;
+}
+
+impl<K: Ord + Clone, V: Clone> DrainAll<K, V> for BTreeMap<K, V> {
+    fn drain_filter_like(&mut self) -> Vec<(K, V)> {
+        let out: Vec<(K, V)> = self.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        self.clear();
+        out
+    }
+}

@@ -1,0 +1,248 @@
+//! Crash recovery (ADR) and point-in-time restore across the whole stack.
+
+use socrates::{Socrates, SocratesConfig};
+use socrates_common::Lsn;
+use socrates_engine::value::{ColumnType, Schema, Value};
+use std::time::Duration;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)],
+        1,
+    )
+}
+
+fn row(id: i64, v: i64) -> Vec<Value> {
+    vec![Value::Int(id), Value::Int(v)]
+}
+
+#[test]
+fn failover_after_checkpoint_and_more_commits() {
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    let h = db.begin();
+    for i in 0..50 {
+        db.insert(&h, "t", &row(i, 1)).unwrap();
+    }
+    db.commit(h).unwrap();
+    sys.checkpoint().unwrap();
+    // Work after the checkpoint (the analysis tail).
+    let h = db.begin();
+    for i in 50..80 {
+        db.insert(&h, "t", &row(i, 2)).unwrap();
+    }
+    db.commit(h).unwrap();
+    // A transaction that never commits.
+    let open = db.begin();
+    db.update(&open, "t", &row(0, -999)).unwrap();
+    p.pipeline().flush().unwrap();
+
+    sys.kill_primary();
+    let p2 = sys.failover().unwrap();
+    let db2 = p2.db();
+    let r = db2.begin();
+    assert_eq!(db2.scan_table(&r, "t", usize::MAX).unwrap().len(), 80);
+    assert_eq!(db2.get(&r, "t", &[Value::Int(0)]).unwrap(), Some(row(0, 1)),
+        "uncommitted update must be invisible after recovery (ADR)");
+    // The dead transaction's id is in the aborted map: new writers skip
+    // its version.
+    let h = db2.begin();
+    db2.update(&h, "t", &row(0, 7)).unwrap();
+    db2.commit(h).unwrap();
+    let r = db2.begin();
+    assert_eq!(db2.get(&r, "t", &[Value::Int(0)]).unwrap(), Some(row(0, 7)));
+    sys.shutdown();
+}
+
+#[test]
+fn repeated_failovers_keep_allocator_and_clock_consistent() {
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    sys.primary().unwrap().db().create_table("t", schema()).unwrap();
+    let mut expected = 0i64;
+    for round in 0..4 {
+        let p = sys.primary().unwrap();
+        let db = p.db();
+        let h = db.begin();
+        for i in 0..40 {
+            db.insert(&h, "t", &row(round * 40 + i, round)).unwrap();
+            expected += 1;
+        }
+        db.commit(h).unwrap();
+        if round % 2 == 0 {
+            sys.checkpoint().unwrap();
+        }
+        sys.kill_primary();
+        sys.failover().unwrap();
+    }
+    let p = sys.primary().unwrap();
+    let r = p.db().begin();
+    assert_eq!(p.db().scan_table(&r, "t", usize::MAX).unwrap().len(), expected as usize);
+    sys.shutdown();
+}
+
+#[test]
+fn pitr_restores_each_era() {
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+
+    // Era A: ids 0..30.
+    let h = db.begin();
+    for i in 0..30 {
+        db.insert(&h, "t", &row(i, 0)).unwrap();
+    }
+    db.commit(h).unwrap();
+    sys.checkpoint().unwrap();
+    let backup = sys.backup().unwrap();
+    let lsn_a = p.pipeline().hardened_lsn();
+
+    // Era B: ids 30..60 and updates to era A.
+    let h = db.begin();
+    for i in 30..60 {
+        db.insert(&h, "t", &row(i, 0)).unwrap();
+    }
+    for i in 0..10 {
+        db.update(&h, "t", &row(i, 100)).unwrap();
+    }
+    db.commit(h).unwrap();
+    let lsn_b = p.pipeline().hardened_lsn();
+
+    // Era C: delete everything below 20.
+    let h = db.begin();
+    for i in 0..20 {
+        db.delete(&h, "t", &[Value::Int(i)]).unwrap();
+    }
+    db.commit(h).unwrap();
+    let lsn_c = p.pipeline().hardened_lsn();
+
+    // Restore to A: 30 rows, none updated.
+    let at_a = sys.restore_pitr(&backup, lsn_a).unwrap();
+    let ra = at_a.primary().unwrap();
+    let r = ra.db().begin();
+    let rows = ra.db().scan_table(&r, "t", usize::MAX).unwrap();
+    assert_eq!(rows.len(), 30);
+    assert_eq!(ra.db().get(&r, "t", &[Value::Int(0)]).unwrap(), Some(row(0, 0)));
+    at_a.shutdown();
+
+    // Restore to B: 60 rows, first 10 updated.
+    let at_b = sys.restore_pitr(&backup, lsn_b).unwrap();
+    let rb = at_b.primary().unwrap();
+    let r = rb.db().begin();
+    assert_eq!(rb.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 60);
+    assert_eq!(rb.db().get(&r, "t", &[Value::Int(5)]).unwrap(), Some(row(5, 100)));
+    at_b.shutdown();
+
+    // Restore to C: 40 rows.
+    let at_c = sys.restore_pitr(&backup, lsn_c).unwrap();
+    let rc = at_c.primary().unwrap();
+    let r = rc.db().begin();
+    assert_eq!(rc.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 40);
+    assert!(rc.db().get(&r, "t", &[Value::Int(5)]).unwrap().is_none());
+    at_c.shutdown();
+    sys.shutdown();
+}
+
+#[test]
+fn pitr_excludes_transactions_in_flight_at_target() {
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    let h = db.begin();
+    db.insert(&h, "t", &row(1, 1)).unwrap();
+    db.commit(h).unwrap();
+    sys.checkpoint().unwrap();
+    let backup = sys.backup().unwrap();
+
+    // A transaction is mid-flight at the restore target...
+    let open = db.begin();
+    db.insert(&open, "t", &row(2, 2)).unwrap();
+    p.pipeline().flush().unwrap();
+    let target = p.pipeline().hardened_lsn();
+    // ...and commits later (after the target).
+    db.commit(open).unwrap();
+
+    let restored = sys.restore_pitr(&backup, target).unwrap();
+    let rp = restored.primary().unwrap();
+    let r = rp.db().begin();
+    assert!(rp.db().get(&r, "t", &[Value::Int(1)]).unwrap().is_some());
+    assert!(
+        rp.db().get(&r, "t", &[Value::Int(2)]).unwrap().is_none(),
+        "a txn uncommitted at the PITR point must not be visible"
+    );
+    restored.shutdown();
+    sys.shutdown();
+}
+
+#[test]
+fn page_server_loss_and_replacement_preserves_data() {
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    let h = db.begin();
+    for i in 0..200 {
+        db.insert(&h, "t", &row(i, i)).unwrap();
+    }
+    db.commit(h).unwrap();
+    let lsn = p.pipeline().hardened_lsn();
+    sys.checkpoint().unwrap();
+
+    let fabric = sys.fabric();
+    for pid in fabric.partition_ids() {
+        let old = fabric.kill_partition(pid).unwrap();
+        let (data, meta) = old.servers[0].blobs();
+        drop(old);
+        let ps = socrates_pageserver::PageServer::attach(
+            &format!("replacement-{}", pid.raw()),
+            fabric.partition_spec(pid),
+            fabric.config.page_server.clone(),
+            std::sync::Arc::new(socrates_storage::MemFcb::new("r-ssd")),
+            std::sync::Arc::new(socrates_storage::MemFcb::new("r-meta")),
+            std::sync::Arc::clone(&fabric.xstore),
+            data,
+            meta,
+            std::sync::Arc::clone(&fabric.xlog),
+            fabric.cpu.accountant(socrates_common::NodeId::page_server(7)),
+        )
+        .unwrap();
+        ps.start();
+        fabric.install_partition(pid, vec![ps]).unwrap();
+    }
+    fabric.wait_applied(lsn, Duration::from_secs(10)).unwrap();
+
+    // Force a cold read path through the replacements.
+    sys.kill_primary();
+    let p2 = sys.failover().unwrap();
+    let r = p2.db().begin();
+    let rows = p2.db().scan_table(&r, "t", usize::MAX).unwrap();
+    assert_eq!(rows.len(), 200);
+    let _ = Lsn::ZERO;
+    sys.shutdown();
+}
+
+#[test]
+fn partition_replica_serves_reads() {
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    let h = db.begin();
+    for i in 0..100 {
+        db.insert(&h, "t", &row(i, i)).unwrap();
+    }
+    db.commit(h).unwrap();
+    let fabric = sys.fabric();
+    let pid = fabric.partition_ids()[0];
+    fabric.add_partition_replica(pid).unwrap();
+    assert_eq!(fabric.partition(pid).unwrap().servers.len(), 2);
+    // Cold primary → reads route through the replica set.
+    sys.kill_primary();
+    let p2 = sys.failover().unwrap();
+    let r = p2.db().begin();
+    assert_eq!(p2.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 100);
+    sys.shutdown();
+}
