@@ -62,8 +62,7 @@ pub fn ablation_block_size(effort: Effort) -> Result<Vec<(usize, f64, u64)>> {
         let sys = Socrates::launch(config)?;
         let primary = sys.primary()?;
         socrates_cdb::schema::load_cdb(primary.db(), scale, 321)?;
-        sys.fabric()
-            .wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+        sys.fabric().wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(120))?;
         let sut = SocratesSut::new(&sys)?;
         let workload = Arc::new(CdbWorkload::new(CdbMix::UpdateLite, scale.scale_factor));
         let report = run(&sut, workload, &driver(16, effort, 322));
@@ -89,8 +88,7 @@ pub fn ablation_lossy_feed(effort: Effort) -> Result<Vec<(f64, f64, u64)>> {
         let sys = Socrates::launch(config)?;
         let primary = sys.primary()?;
         socrates_cdb::schema::load_cdb(primary.db(), scale, 332)?;
-        sys.fabric()
-            .wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+        sys.fabric().wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(120))?;
         let sut = SocratesSut::new(&sys)?;
         let workload = Arc::new(CdbWorkload::new(CdbMix::UpdateLite, scale.scale_factor));
         let report = run(&sut, workload, &driver(16, effort, 333));
@@ -117,8 +115,7 @@ pub fn ablation_lz_replicas(effort: Effort) -> Result<Vec<(usize, u64, u64)>> {
         let sys = Socrates::launch(config)?;
         let primary = sys.primary()?;
         socrates_cdb::schema::load_cdb(primary.db(), scale, 341)?;
-        sys.fabric()
-            .wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+        sys.fabric().wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(120))?;
         let sut = SocratesSut::new(&sys)?;
         let workload = Arc::new(CdbWorkload::new(CdbMix::UpdateLite, scale.scale_factor));
         let report = run(&sut, workload, &driver(1, effort, 342));

@@ -7,9 +7,9 @@
 //! ```
 
 use socrates_bench::{
-    ablation_block_size, ablation_lossy_feed, ablation_lz_replicas, ablation_rbpex,
-    fig4_threads, table1_goals, table2_throughput, table3_cache_hit, table4_tpce_cache,
-    table5_log_throughput, table6_commit_latency, table7_lz_cpu, Effort,
+    ablation_block_size, ablation_lossy_feed, ablation_lz_replicas, ablation_rbpex, fig4_threads,
+    table1_goals, table2_throughput, table3_cache_hit, table4_tpce_cache, table5_log_throughput,
+    table6_commit_latency, table7_lz_cpu, Effort,
 };
 
 fn main() {

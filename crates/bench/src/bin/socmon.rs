@@ -1,0 +1,156 @@
+//! `socmon` — one-shot observability dashboard for a Socrates deployment.
+//!
+//! Launches a deployment, drives a short commit workload through it, lets
+//! the LSN-lag watcher drain, then renders everything the observability
+//! layer knows — the unified metrics hub and the commit-path trace
+//! percentiles — in one of three formats:
+//!
+//! ```text
+//! socmon                      # human-readable dashboard (default)
+//! socmon --format prom        # Prometheus text exposition format
+//! socmon --format json        # JSON (metrics + trace summary)
+//! socmon --commits 500        # size of the driven workload
+//! socmon --secondaries 2      # read-only secondaries to launch
+//! ```
+
+use socrates::{Socrates, SocratesConfig};
+use socrates_common::obs::{json_snapshot, json_trace_summary, prometheus_text, Stage};
+use socrates_engine::value::{ColumnType, Schema};
+use socrates_engine::Value;
+use std::time::Duration;
+
+struct Options {
+    format: String,
+    commits: u64,
+    secondaries: usize,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = Options { format: "table".into(), commits: 200, secondaries: 1 };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" | "-f" => {
+                i += 1;
+                opts.format = args.get(i).cloned().unwrap_or_else(|| "table".into());
+            }
+            "--commits" | "-n" => {
+                i += 1;
+                opts.commits = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(200);
+            }
+            "--secondaries" | "-s" => {
+                i += 1;
+                opts.secondaries = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(1);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: socmon [--format table|prom|json] [--commits N] [--secondaries N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if !matches!(opts.format.as_str(), "table" | "prom" | "json") {
+        eprintln!("unknown format: {} (want table|prom|json)", opts.format);
+        std::process::exit(2);
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let sys = match run_workload(&opts) {
+        Ok(sys) => sys,
+        Err(e) => {
+            eprintln!("socmon: workload failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match opts.format.as_str() {
+        "prom" => print!("{}", prometheus_text(&sys.hub().snapshot())),
+        "json" => {
+            // One document: the hub snapshot plus the trace summary.
+            // `json_snapshot` returns `{"metrics":[...]}`; graft the trace
+            // object in before the closing brace.
+            let metrics = json_snapshot(&sys.hub().snapshot());
+            let trace = json_trace_summary(sys.trace());
+            println!("{},\"trace\":{}}}", &metrics[..metrics.len() - 1], trace);
+        }
+        _ => render_table(&sys),
+    }
+    sys.shutdown();
+}
+
+/// Launch, create a table, push `commits` single-row transactions through
+/// the full pipeline, then quiesce so every async stage completes.
+fn run_workload(opts: &Options) -> socrates_common::Result<Socrates> {
+    let mut config = SocratesConfig::fast_test();
+    config.secondaries = opts.secondaries;
+    let sys = Socrates::launch(config)?;
+    let primary = sys.primary()?;
+    let db = primary.db();
+    db.create_table(
+        "socmon",
+        Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Str)], 1),
+    )?;
+    for i in 0..opts.commits {
+        let h = db.begin();
+        db.insert(&h, "socmon", &[Value::Int(i as i64), Value::Str(format!("row-{i}"))])?;
+        db.commit(h)?;
+    }
+    // Quiesce: page servers (and secondaries) catch up, the LT archive
+    // absorbs the log, and the watcher completes the async trace stages.
+    let frontier = primary.pipeline().hardened_lsn();
+    sys.fabric().wait_applied(frontier, Duration::from_secs(30))?;
+    sys.fabric().xlog.destage_all()?;
+    std::thread::sleep(sys.fabric().config.watcher_interval * 4);
+    Ok(sys)
+}
+
+fn render_table(sys: &Socrates) {
+    let snapshot = sys.hub().snapshot();
+    let trace = sys.trace();
+
+    println!("== commit path (per-stage latency, µs) ==");
+    println!("{:<16} {:>8} {:>9} {:>9} {:>9} {:>9}", "stage", "count", "mean", "p50", "p99", "max");
+    for stage in Stage::ALL {
+        let s = trace.stage_snapshot(stage);
+        println!(
+            "{:<16} {:>8} {:>9.1} {:>9} {:>9} {:>9}",
+            stage.name(),
+            s.count,
+            s.mean_us,
+            s.p50_us,
+            s.p99_us,
+            s.max_us
+        );
+    }
+    println!("commits traced: {}", trace.commits_recorded());
+
+    for node in snapshot.nodes() {
+        println!("\n== {node} ==");
+        for sample in snapshot.for_node(node) {
+            match &sample.value {
+                socrates_common::obs::MetricValue::Counter(v) => {
+                    println!("{:<36} {v}", sample.name);
+                }
+                socrates_common::obs::MetricValue::Gauge(v) => {
+                    println!("{:<36} {v}", sample.name);
+                }
+                socrates_common::obs::MetricValue::Histogram(h) => {
+                    println!(
+                        "{:<36} n={} mean={:.1}µs p50={}µs p99={}µs",
+                        sample.name, h.count, h.mean_us, h.p50_us, h.p99_us
+                    );
+                }
+            }
+        }
+    }
+}

@@ -131,9 +131,8 @@ pub fn table4_tpce_cache(effort: Effort) -> Result<Table4> {
     let cache_pages = (db_pages / 75).max(24); // ≈1.3% of the database
     let mem = (cache_pages * 2) / 5;
     let ssd = cache_pages - mem;
-    let config = SocratesConfig::realistic(41)
-        .with_secondaries(0)
-        .with_cache(mem.max(6), ssd.max(8));
+    let config =
+        SocratesConfig::realistic(41).with_secondaries(0).with_cache(mem.max(6), ssd.max(8));
     let sys = Socrates::launch(config)?;
     let primary = sys.primary()?;
     let workload = Arc::new(TpceWorkload::load(primary.db(), customers, padding, 4242)?);
@@ -164,11 +163,8 @@ pub struct Table5 {
 pub fn table5_log_throughput(effort: Effort) -> Result<Table5> {
     let scale = CdbScale { scale_factor: effort.scale_factor(), padding: 400 };
     let clients = 32;
-    let make_workload = || {
-        Arc::new(
-            CdbWorkload::new(CdbMix::MaxLog, scale.scale_factor).with_update_padding(900),
-        )
-    };
+    let make_workload =
+        || Arc::new(CdbWorkload::new(CdbMix::MaxLog, scale.scale_factor).with_update_padding(900));
 
     let hadr = hadr_with_cdb(scale, 51)?;
     let hadr_sut = HadrSut::new(Arc::clone(&hadr), 16);
@@ -322,12 +318,12 @@ pub fn table1_goals(effort: Effort) -> Result<Table1> {
 
         // Socrates: upsize = spin up a page server for a new partition;
         // backup = per-partition snapshots.
-        let sys = socrates_with_cdb(DeviceProfile::direct_drive(), 4096, 8192, scale, 95 + i as u64)?;
+        let sys =
+            socrates_with_cdb(DeviceProfile::direct_drive(), 4096, 8192, scale, 95 + i as u64)?;
         sys.checkpoint()?;
         let t0 = Instant::now();
         let next = sys.fabric().partition_ids().len() as u32 + 7;
-        sys.fabric()
-            .ensure_partition(socrates_common::PartitionId::new(next), Lsn::ZERO)?;
+        sys.fabric().ensure_partition(socrates_common::PartitionId::new(next), Lsn::ZERO)?;
         socrates_upsize.push((pages, t0.elapsed().as_secs_f64()));
         let t0 = Instant::now();
         let _ = sys.backup()?;
@@ -347,10 +343,8 @@ pub fn table1_goals(effort: Effort) -> Result<Table1> {
     let checkpoint_every = 1_000usize;
     let mut hadr_recovery = Vec::new();
     let mut socrates_recovery = Vec::new();
-    let schema = Schema::new(
-        vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)],
-        1,
-    );
+    let schema =
+        Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)], 1);
     for &history in histories {
         // HADR restart with an unfinished transaction of `history` updates.
         let hadr = Arc::new(Hadr::launch(HadrConfig::fast_test())?);

@@ -26,8 +26,7 @@ pub enum TxnKind {
 pub trait Workload: Send + Sync {
     /// Run one transaction. A `WriteConflict` error counts as an aborted
     /// transaction and is retried by the driver.
-    fn execute_one(&self, db: &Database, rng: &mut Rng, cpu: &CpuAccountant)
-        -> Result<TxnKind>;
+    fn execute_one(&self, db: &Database, rng: &mut Rng, cpu: &CpuAccountant) -> Result<TxnKind>;
 }
 
 /// Driver configuration.

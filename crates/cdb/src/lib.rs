@@ -19,9 +19,9 @@
 
 pub mod driver;
 pub mod schema;
+pub mod sut;
 #[cfg(test)]
 mod tests;
-pub mod sut;
 pub mod tpce;
 pub mod workload;
 

@@ -1,9 +1,9 @@
 //! The six CDB tables and the scale-factor data loader.
 
 use socrates_common::rng::Rng;
+use socrates_common::Result;
 use socrates_engine::value::{ColumnType, Schema, Value};
 use socrates_engine::Database;
-use socrates_common::Result;
 
 /// Scale parameters: how big the database is and how wide its rows are.
 #[derive(Clone, Copy, Debug)]
@@ -61,10 +61,7 @@ pub fn load_cdb(db: &Database, scale: CdbScale, seed: u64) -> Result<u64> {
     };
     db.create_table(
         T_CONFIG,
-        Schema::new(
-            vec![("key".into(), ColumnType::Int), ("value".into(), ColumnType::Int)],
-            1,
-        ),
+        Schema::new(vec![("key".into(), ColumnType::Int), ("value".into(), ColumnType::Int)], 1),
     )?;
     db.create_table(T_SMALL, two_col("small"))?;
     db.create_table(
@@ -103,20 +100,21 @@ pub fn load_cdb(db: &Database, scale: CdbScale, seed: u64) -> Result<u64> {
     }
     db.commit(h)?;
 
-    let mut load_table = |name: &str, count: u64, make: &dyn Fn(&mut Rng, i64) -> Vec<Value>| -> Result<u64> {
-        let mut loaded = 0u64;
-        let mut i = 0u64;
-        while i < count {
-            let h = db.begin();
-            for j in i..(i + batch).min(count) {
-                db.insert(&h, name, &make(&mut rng, j as i64))?;
-                loaded += 1;
+    let mut load_table =
+        |name: &str, count: u64, make: &dyn Fn(&mut Rng, i64) -> Vec<Value>| -> Result<u64> {
+            let mut loaded = 0u64;
+            let mut i = 0u64;
+            while i < count {
+                let h = db.begin();
+                for j in i..(i + batch).min(count) {
+                    db.insert(&h, name, &make(&mut rng, j as i64))?;
+                    loaded += 1;
+                }
+                db.commit(h)?;
+                i += batch;
             }
-            db.commit(h)?;
-            i += batch;
-        }
-        Ok(loaded)
-    };
+            Ok(loaded)
+        };
 
     let pad = scale.padding;
     rows += load_table(T_ACCOUNTS, scale.scale_factor, &|rng, id| {

@@ -36,10 +36,7 @@ pub struct SocratesSut {
 impl SocratesSut {
     /// Wrap a Socrates deployment's current primary.
     pub fn new(sys: &socrates::Socrates) -> socrates_common::Result<SocratesSut> {
-        Ok(SocratesSut {
-            primary: sys.primary()?,
-            cores: sys.fabric().config.compute_cores,
-        })
+        Ok(SocratesSut { primary: sys.primary()?, cores: sys.fabric().config.compute_cores })
     }
 }
 

@@ -30,20 +30,10 @@ fn loader_populates_all_six_tables() {
     names.sort();
     assert_eq!(
         names,
-        vec![
-            "cdb_accounts",
-            "cdb_config",
-            "cdb_history",
-            "cdb_items",
-            "cdb_orders",
-            "cdb_small"
-        ]
+        vec!["cdb_accounts", "cdb_config", "cdb_history", "cdb_items", "cdb_orders", "cdb_small"]
     );
     let h = db.begin();
-    assert_eq!(
-        db.get(&h, T_ACCOUNTS, &[Value::Int(0)]).unwrap().map(|r| r.len()),
-        Some(3)
-    );
+    assert_eq!(db.get(&h, T_ACCOUNTS, &[Value::Int(0)]).unwrap().map(|r| r.len()), Some(3));
     let scale = CdbScale::tiny();
     let accounts = db
         .scan_range(

@@ -31,12 +31,7 @@ pub struct TpceWorkload {
 
 impl TpceWorkload {
     /// Create tables and load `customers` rows with `padding` bytes each.
-    pub fn load(
-        db: &Database,
-        customers: u64,
-        padding: usize,
-        seed: u64,
-    ) -> Result<TpceWorkload> {
+    pub fn load(db: &Database, customers: u64, padding: usize, seed: u64) -> Result<TpceWorkload> {
         let mut rng = Rng::new(seed);
         db.create_table(
             T_CUSTOMERS,
@@ -66,11 +61,7 @@ impl TpceWorkload {
                 db.insert(
                     &h,
                     T_CUSTOMERS,
-                    &[
-                        Value::Int(c as i64),
-                        Value::Int((c % 5) as i64),
-                        Value::Bytes(profile),
-                    ],
+                    &[Value::Int(c as i64), Value::Int((c % 5) as i64), Value::Bytes(profile)],
                 )?;
             }
             db.commit(h)?;
@@ -94,12 +85,7 @@ impl TpceWorkload {
 }
 
 impl Workload for TpceWorkload {
-    fn execute_one(
-        &self,
-        db: &Database,
-        rng: &mut Rng,
-        cpu: &CpuAccountant,
-    ) -> Result<TxnKind> {
+    fn execute_one(&self, db: &Database, rng: &mut Rng, cpu: &CpuAccountant) -> Result<TxnKind> {
         match rng.pick_weighted(&[84.0, 8.0, 8.0]) {
             0 => {
                 // Customer position inquiry: a couple of point reads.

@@ -58,10 +58,7 @@ impl CdbMix {
                 &[PointLookup, RangeRead, ReadHot, UpdateLite, UpdateHeavy, InsertHistory],
                 &[57.0, 28.0, 2.0, 8.0, 1.0, 4.0],
             ),
-            CdbMix::MaxLog => (
-                &[UpdateHeavy, UpdateLite, InsertHistory],
-                &[80.0, 10.0, 10.0],
-            ),
+            CdbMix::MaxLog => (&[UpdateHeavy, UpdateLite, InsertHistory], &[80.0, 10.0, 10.0]),
             CdbMix::UpdateLite => (&[UpdateLite], &[1.0]),
             CdbMix::ReadOnly => (&[PointLookup, RangeRead, ReadHot], &[50.0, 20.0, 30.0]),
         }
@@ -131,12 +128,7 @@ impl CdbWorkload {
 }
 
 impl Workload for CdbWorkload {
-    fn execute_one(
-        &self,
-        db: &Database,
-        rng: &mut Rng,
-        cpu: &CpuAccountant,
-    ) -> Result<TxnKind> {
+    fn execute_one(&self, db: &Database, rng: &mut Rng, cpu: &CpuAccountant) -> Result<TxnKind> {
         let (classes, weights) = self.mix.classes();
         let class = classes[rng.pick_weighted(weights)];
         let sf = self.scale_factor;
@@ -204,10 +196,7 @@ impl Workload for CdbWorkload {
                 // updates touch many pages, not one hot leaf).
                 for _ in 0..16 {
                     let key = self.pick_key(rng, sf);
-                    let row = vec![
-                        Value::Int(key),
-                        self.payload(rng, self.update_padding),
-                    ];
+                    let row = vec![Value::Int(key), self.payload(rng, self.update_padding)];
                     match db.upsert(&h, T_ORDERS, &row) {
                         Ok(()) => {}
                         Err(Error::WriteConflict(_)) => {
@@ -227,11 +216,7 @@ impl Workload for CdbWorkload {
                 cpu.charge_us(55);
                 let h = db.begin();
                 let id = self.history_seq.fetch_add(1, Ordering::Relaxed);
-                db.insert(
-                    &h,
-                    T_HISTORY,
-                    &[Value::Int(id as i64), self.payload(rng, 80)],
-                )?;
+                db.insert(&h, T_HISTORY, &[Value::Int(id as i64), self.payload(rng, 80)])?;
                 db.commit(h)?;
                 Ok(TxnKind::Write)
             }

@@ -110,7 +110,7 @@ mod tests {
         let e = Error::NotFound("page:9".into());
         assert_eq!(e.to_string(), "not found: page:9");
         assert_eq!(e.kind(), "not_found");
-        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: Error = std::io::Error::other("boom").into();
         assert_eq!(e.kind(), "io");
     }
 }

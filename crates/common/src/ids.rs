@@ -147,6 +147,20 @@ pub enum NodeKind {
     Client,
 }
 
+impl NodeKind {
+    /// Lowercase tier name used in metric names (`tier.node.metric`).
+    pub const fn tier_name(self) -> &'static str {
+        match self {
+            NodeKind::Primary => "primary",
+            NodeKind::Secondary => "secondary",
+            NodeKind::XLog => "xlog",
+            NodeKind::PageServer => "pageserver",
+            NodeKind::XStore => "xstore",
+            NodeKind::Client => "client",
+        }
+    }
+}
+
 impl NodeId {
     /// The (single) primary compute node.
     pub const PRIMARY: NodeId = NodeId { kind: NodeKind::Primary, index: 0 };
@@ -173,15 +187,7 @@ impl NodeId {
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = match self.kind {
-            NodeKind::Primary => "primary",
-            NodeKind::Secondary => "secondary",
-            NodeKind::XLog => "xlog",
-            NodeKind::PageServer => "pageserver",
-            NodeKind::XStore => "xstore",
-            NodeKind::Client => "client",
-        };
-        write!(f, "{kind}[{}]", self.index)
+        write!(f, "{}[{}]", self.kind.tier_name(), self.index)
     }
 }
 

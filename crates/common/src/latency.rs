@@ -100,8 +100,20 @@ impl DeviceProfile {
     pub fn xio() -> DeviceProfile {
         DeviceProfile {
             name: "XIO",
-            read: LatencyModel { min_us: 900, median_us: 1400, sigma: 0.25, max_us: 30_000, spike_p: 0.004 },
-            write: LatencyModel { min_us: 2518, median_us: 3300, sigma: 0.12, max_us: 36_864, spike_p: 0.0015 },
+            read: LatencyModel {
+                min_us: 900,
+                median_us: 1400,
+                sigma: 0.25,
+                max_us: 30_000,
+                spike_p: 0.004,
+            },
+            write: LatencyModel {
+                min_us: 2518,
+                median_us: 3300,
+                sigma: 0.12,
+                max_us: 36_864,
+                spike_p: 0.0015,
+            },
             // REST + HTTPS marshalling per request: the expensive driver
             // the paper's Table 7 blames for XIO's CPU cost.
             cpu: IoCpuCost { per_op_us: 650, per_4kib_us: 18 },
@@ -114,8 +126,20 @@ impl DeviceProfile {
     pub fn direct_drive() -> DeviceProfile {
         DeviceProfile {
             name: "DirectDrive",
-            read: LatencyModel { min_us: 250, median_us: 420, sigma: 0.3, max_us: 30_000, spike_p: 0.002 },
-            write: LatencyModel { min_us: 484, median_us: 800, sigma: 0.28, max_us: 39_857, spike_p: 0.002 },
+            read: LatencyModel {
+                min_us: 250,
+                median_us: 420,
+                sigma: 0.3,
+                max_us: 30_000,
+                spike_p: 0.002,
+            },
+            write: LatencyModel {
+                min_us: 484,
+                median_us: 800,
+                sigma: 0.28,
+                max_us: 39_857,
+                spike_p: 0.002,
+            },
             // Thin block-device calls ("cheaper Win32 calls").
             cpu: IoCpuCost { per_op_us: 25, per_4kib_us: 3 },
         }
@@ -125,8 +149,20 @@ impl DeviceProfile {
     pub fn local_ssd() -> DeviceProfile {
         DeviceProfile {
             name: "LocalSSD",
-            read: LatencyModel { min_us: 35, median_us: 80, sigma: 0.3, max_us: 4_000, spike_p: 0.001 },
-            write: LatencyModel { min_us: 25, median_us: 60, sigma: 0.3, max_us: 4_000, spike_p: 0.001 },
+            read: LatencyModel {
+                min_us: 35,
+                median_us: 80,
+                sigma: 0.3,
+                max_us: 4_000,
+                spike_p: 0.001,
+            },
+            write: LatencyModel {
+                min_us: 25,
+                median_us: 60,
+                sigma: 0.3,
+                max_us: 4_000,
+                spike_p: 0.001,
+            },
             cpu: IoCpuCost { per_op_us: 4, per_4kib_us: 1 },
         }
     }
@@ -135,8 +171,20 @@ impl DeviceProfile {
     pub fn xstore() -> DeviceProfile {
         DeviceProfile {
             name: "XStore",
-            read: LatencyModel { min_us: 1_800, median_us: 6_500, sigma: 0.5, max_us: 250_000, spike_p: 0.01 },
-            write: LatencyModel { min_us: 2_500, median_us: 9_000, sigma: 0.5, max_us: 300_000, spike_p: 0.01 },
+            read: LatencyModel {
+                min_us: 1_800,
+                median_us: 6_500,
+                sigma: 0.5,
+                max_us: 250_000,
+                spike_p: 0.01,
+            },
+            write: LatencyModel {
+                min_us: 2_500,
+                median_us: 9_000,
+                sigma: 0.5,
+                max_us: 300_000,
+                spike_p: 0.01,
+            },
             cpu: IoCpuCost { per_op_us: 90, per_4kib_us: 5 },
         }
     }
@@ -145,8 +193,20 @@ impl DeviceProfile {
     pub fn lan() -> DeviceProfile {
         DeviceProfile {
             name: "LAN",
-            read: LatencyModel { min_us: 28, median_us: 65, sigma: 0.35, max_us: 5_000, spike_p: 0.002 },
-            write: LatencyModel { min_us: 28, median_us: 65, sigma: 0.35, max_us: 5_000, spike_p: 0.002 },
+            read: LatencyModel {
+                min_us: 28,
+                median_us: 65,
+                sigma: 0.35,
+                max_us: 5_000,
+                spike_p: 0.002,
+            },
+            write: LatencyModel {
+                min_us: 28,
+                median_us: 65,
+                sigma: 0.35,
+                max_us: 5_000,
+                spike_p: 0.002,
+            },
             cpu: IoCpuCost { per_op_us: 6, per_4kib_us: 1 },
         }
     }
@@ -155,8 +215,20 @@ impl DeviceProfile {
     pub fn wan() -> DeviceProfile {
         DeviceProfile {
             name: "WAN",
-            read: LatencyModel { min_us: 28_000, median_us: 35_000, sigma: 0.15, max_us: 400_000, spike_p: 0.01 },
-            write: LatencyModel { min_us: 28_000, median_us: 35_000, sigma: 0.15, max_us: 400_000, spike_p: 0.01 },
+            read: LatencyModel {
+                min_us: 28_000,
+                median_us: 35_000,
+                sigma: 0.15,
+                max_us: 400_000,
+                spike_p: 0.01,
+            },
+            write: LatencyModel {
+                min_us: 28_000,
+                median_us: 35_000,
+                sigma: 0.15,
+                max_us: 400_000,
+                spike_p: 0.01,
+            },
             cpu: IoCpuCost { per_op_us: 6, per_4kib_us: 1 },
         }
     }
@@ -168,8 +240,20 @@ impl DeviceProfile {
     pub fn hadr_ship() -> DeviceProfile {
         DeviceProfile {
             name: "HADR-ship",
-            read: LatencyModel { min_us: 1_900, median_us: 3_000, sigma: 0.2, max_us: 45_000, spike_p: 0.004 },
-            write: LatencyModel { min_us: 1_900, median_us: 3_000, sigma: 0.2, max_us: 45_000, spike_p: 0.004 },
+            read: LatencyModel {
+                min_us: 1_900,
+                median_us: 3_000,
+                sigma: 0.2,
+                max_us: 45_000,
+                spike_p: 0.004,
+            },
+            write: LatencyModel {
+                min_us: 1_900,
+                median_us: 3_000,
+                sigma: 0.2,
+                max_us: 45_000,
+                spike_p: 0.004,
+            },
             cpu: IoCpuCost { per_op_us: 25, per_4kib_us: 3 },
         }
     }
@@ -310,10 +394,7 @@ mod tests {
         v.sort_unstable();
         let median = v[v.len() / 2];
         // Within 15% of the paper's 3300 µs.
-        assert!(
-            (median as f64 - 3300.0).abs() / 3300.0 < 0.15,
-            "median {median} not near 3300"
-        );
+        assert!((median as f64 - 3300.0).abs() / 3300.0 < 0.15, "median {median} not near 3300");
     }
 
     #[test]
@@ -359,7 +440,8 @@ mod tests {
         assert_eq!(c.cost_us(64 * 1024), 100 + 160);
         // XIO is much more CPU-expensive per op than DD (Table 7's driver).
         assert!(
-            DeviceProfile::xio().cpu.cost_us(4096) > 3 * DeviceProfile::direct_drive().cpu.cost_us(4096)
+            DeviceProfile::xio().cpu.cost_us(4096)
+                > 3 * DeviceProfile::direct_drive().cpu.cost_us(4096)
         );
     }
 

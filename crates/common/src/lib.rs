@@ -18,6 +18,7 @@ pub mod ids;
 pub mod latency;
 pub mod lsn;
 pub mod metrics;
+pub mod obs;
 pub mod rng;
 
 pub use error::{Error, Result};

@@ -7,7 +7,7 @@
 use crate::ids::{NodeId, NodeKind};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +45,44 @@ impl Counter {
     }
 }
 
+/// A point-in-time signed value (queue depths, LSN lags, cache residency).
+///
+/// Unlike [`Counter`] a gauge can go down; `add`/`sub` are atomic so
+/// concurrent enter/leave call sites never lose updates.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 const BUCKETS_PER_POW2: usize = 16;
 const NUM_BUCKETS: usize = 64 * BUCKETS_PER_POW2;
 
@@ -73,7 +111,7 @@ impl Histogram {
     pub fn new() -> Histogram {
         // Box<[AtomicU64; N]> without unstable array init helpers.
         let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        let buckets = v.into_boxed_slice().try_into().ok().expect("bucket count");
+        let buckets = v.into_boxed_slice().try_into().expect("bucket count");
         Histogram {
             buckets,
             count: AtomicU64::new(0),
@@ -112,7 +150,17 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         let sq = v.saturating_mul(v);
-        self.sumsq.fetch_add(sq, Ordering::Relaxed);
+        // Saturating accumulate: a plain fetch_add would wrap once the sum
+        // of squares exceeds u64::MAX and corrupt the stddev.
+        let mut cur = self.sumsq.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(sq);
+            match self.sumsq.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
@@ -150,11 +198,8 @@ impl Histogram {
         let sum = self.sum.load(Ordering::Relaxed);
         let sumsq = self.sumsq.load(Ordering::Relaxed);
         let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
-        let var = if count == 0 {
-            0.0
-        } else {
-            (sumsq as f64 / count as f64 - mean * mean).max(0.0)
-        };
+        let var =
+            if count == 0 { 0.0 } else { (sumsq as f64 / count as f64 - mean * mean).max(0.0) };
         HistogramSnapshot {
             count,
             min_us: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
@@ -278,12 +323,7 @@ impl CpuRegistry {
 
     /// Sum of charged CPU microseconds over all nodes of `kind`.
     pub fn busy_us_for_kind(&self, kind: NodeKind) -> u64 {
-        self.inner
-            .read()
-            .iter()
-            .filter(|(n, _)| n.kind == kind)
-            .map(|(_, a)| a.busy_us())
-            .sum()
+        self.inner.read().iter().filter(|(n, _)| n.kind == kind).map(|(_, a)| a.busy_us()).sum()
     }
 
     /// Sum of charged CPU microseconds over every node.
@@ -314,6 +354,38 @@ mod tests {
     }
 
     #[test]
+    fn gauge_set_add_sub() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(10);
+        g.add(5);
+        g.sub(20);
+        assert_eq!(g.get(), -5);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_concurrent_adds_never_lose_updates() {
+        let g = Arc::new(Gauge::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(2);
+                        g.sub(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(g.get(), 4000);
+    }
+
+    #[test]
     fn histogram_exact_stats() {
         let h = Histogram::new();
         for v in [10u64, 20, 30, 40] {
@@ -340,6 +412,86 @@ mod tests {
             assert!(err < 0.08, "q={q} got={got} expect={expect} err={err}");
         }
         assert_eq!(h.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let h = Histogram::new();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min_us, s.max_us), (1, 0, 0));
+        assert_eq!(s.mean_us, 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn histogram_u64_max_sample() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min_us, u64::MAX);
+        assert_eq!(s.max_us, u64::MAX);
+        // sumsq saturates rather than wrapping, so the variance clamp
+        // yields a finite, non-negative stddev.
+        assert!(s.stddev_us >= 0.0 && s.stddev_us.is_finite());
+        // The percentile walk must find the top bucket, not fall off the end.
+        let p = h.percentile(0.99);
+        assert!(p >= u64::MAX - (u64::MAX >> 4));
+    }
+
+    #[test]
+    fn histogram_sumsq_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        // Seven samples of 4e9 (each square 1.6e19 is exact in u64, their
+        // sum 1.12e20 is not) over a sea of zeros. True stddev ≈ 1.1e7.
+        // Saturating sumsq keeps the estimate at ~4.3e6; a wrapping
+        // accumulator loses six multiples of 2^64 and collapses it to
+        // ~7e5, more than an order of magnitude below the truth.
+        for _ in 0..1_000_000 {
+            h.record(0);
+        }
+        for _ in 0..7 {
+            h.record(4_000_000_000);
+        }
+        let s = h.snapshot();
+        assert!(
+            s.stddev_us > 2e6,
+            "stddev {} suggests sumsq wrapped instead of saturating",
+            s.stddev_us
+        );
+    }
+
+    #[test]
+    fn bucket_floor_within_sixteenth_relative_error() {
+        // Documented bound: log-bucketing costs at most 1/16 relative error.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + 1, v + v / 3] {
+                let floor = Histogram::bucket_floor(Histogram::bucket_index(probe));
+                assert!(floor <= probe, "floor {floor} above sample {probe}");
+                let err = (probe - floor) as f64 / probe as f64;
+                assert!(err <= 1.0 / 16.0, "probe {probe} floor {floor} err {err}");
+            }
+            v = v.saturating_mul(2);
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_error_within_bucket_bound() {
+        // End-to-end percentile accuracy on a uniform distribution: the
+        // reported quantile must be within 1/16 of the exact one.
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.10f64, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999] {
+            let exact = (q * 100_000.0).ceil();
+            let got = h.percentile(q) as f64;
+            let err = (exact - got).abs() / exact;
+            assert!(err <= 1.0 / 16.0, "q={q} got={got} exact={exact} err={err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Snapshot exporters: Prometheus text format and JSON.
+//!
+//! Both renderers are hand-rolled (the workspace is offline; no serde)
+//! and operate on a [`MetricSnapshot`], so they can be pointed at any
+//! hub. Prometheus names are the `tier.index.metric` convention with
+//! dots mapped to the legal `_`, the node kept as a label:
+//!
+//! ```text
+//! # TYPE socrates_records_applied counter
+//! socrates_records_applied{tier="pageserver",node="pageserver[0]"} 1234
+//! ```
+//!
+//! Histograms render as Prometheus summaries (quantiles + `_sum` +
+//! `_count`); in JSON they are objects with the full
+//! [`HistogramSnapshot`](crate::metrics::HistogramSnapshot) fields.
+
+use super::hub::{MetricSnapshot, MetricValue};
+use super::trace::{Stage, TraceRecorder};
+use std::fmt::Write;
+
+/// Make a metric name legal for Prometheus (`[a-zA-Z_][a-zA-Z0-9_]*`).
+fn prom_sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphabetic() || ch == '_' || (i > 0 && ch.is_ascii_digit());
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn prometheus_text(snapshot: &MetricSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    for sample in &snapshot.samples {
+        let metric = format!("socrates_{}", prom_sanitize(&sample.name));
+        let labels = format!("tier=\"{}\",node=\"{}\"", sample.node.kind.tier_name(), sample.node);
+        // Emit each # TYPE header once per metric name; samples are sorted
+        // by (node, name) so the same name can recur across nodes.
+        let type_line = format!("# TYPE {metric} {}\n", sample.value.prom_type());
+        if type_line != last_type_line && !out.contains(&type_line) {
+            out.push_str(&type_line);
+            last_type_line = type_line;
+        }
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{metric}{{{labels}}} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{metric}{{{labels}}} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                for (q, v) in [("0.5", h.p50_us), ("0.9", h.p90_us), ("0.99", h.p99_us)] {
+                    let _ = writeln!(out, "{metric}{{{labels},quantile=\"{q}\"}} {v}");
+                }
+                let sum = h.mean_us * h.count as f64;
+                let _ = writeln!(out, "{metric}_sum{{{labels}}} {sum}");
+                let _ = writeln!(out, "{metric}_count{{{labels}}} {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `f64` to JSON: finite values print as numbers; NaN/inf become null
+/// (JSON has no representation for them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render a snapshot as a JSON document:
+/// `{"metrics": [{"name": "tier.index.metric", "tier": ..., "node": ...,
+/// "type": ..., "value": ...}, ...]}`.
+pub fn json_snapshot(snapshot: &MetricSnapshot) -> String {
+    let mut out = String::from("{\"metrics\":[");
+    for (i, sample) in snapshot.samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"tier\":\"{}\",\"node\":\"{}\",\"metric\":\"{}\"",
+            json_escape(&sample.full_name()),
+            sample.node.kind.tier_name(),
+            json_escape(&sample.node.to_string()),
+            json_escape(&sample.name),
+        );
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, ",\"type\":\"counter\",\"value\":{v}}}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, ",\"type\":\"gauge\",\"value\":{v}}}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    ",\"type\":\"histogram\",\"value\":{{\"count\":{},\"min_us\":{},\
+                     \"max_us\":{},\"mean_us\":{},\"stddev_us\":{},\"p50_us\":{},\
+                     \"p90_us\":{},\"p99_us\":{}}}}}",
+                    h.count,
+                    h.min_us,
+                    h.max_us,
+                    json_f64(h.mean_us),
+                    json_f64(h.stddev_us),
+                    h.p50_us,
+                    h.p90_us,
+                    h.p99_us,
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render a trace recorder's per-stage latency summary as JSON:
+/// `{"commits": N, "stages": {"engine": {...µs summary...}, ...}}`.
+pub fn json_trace_summary(recorder: &TraceRecorder) -> String {
+    let mut out = format!("{{\"commits\":{},\"stages\":{{", recorder.commits_recorded());
+    for (i, stage) in Stage::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let s = recorder.stage_snapshot(*stage);
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\
+             \"p99_us\":{},\"max_us\":{}}}",
+            stage.name(),
+            s.count,
+            json_f64(s.mean_us),
+            s.p50_us,
+            s.p90_us,
+            s.p99_us,
+            s.max_us,
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::metrics::{Counter, Gauge, Histogram};
+    use crate::obs::hub::MetricsHub;
+    use std::sync::Arc;
+
+    fn sample_hub() -> MetricsHub {
+        let hub = MetricsHub::new();
+        let c = Arc::new(Counter::new());
+        c.add(5);
+        hub.register_counter(NodeId::XLOG, "blocks_offered", c);
+        let g = Arc::new(Gauge::new());
+        g.set(-3);
+        hub.register_gauge(NodeId::page_server(0), "apply_lag_bytes", g);
+        let h = Arc::new(Histogram::new());
+        h.record(10);
+        h.record(30);
+        hub.register_histogram(NodeId::PRIMARY, "commit_latency_us", h);
+        hub
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let text = prometheus_text(&sample_hub().snapshot());
+        assert!(text.contains("# TYPE socrates_blocks_offered counter"));
+        assert!(text.contains("socrates_blocks_offered{tier=\"xlog\",node=\"xlog[0]\"} 5"));
+        assert!(text.contains("# TYPE socrates_apply_lag_bytes gauge"));
+        assert!(text
+            .contains("socrates_apply_lag_bytes{tier=\"pageserver\",node=\"pageserver[0]\"} -3"));
+        assert!(text.contains("# TYPE socrates_commit_latency_us summary"));
+        assert!(text.contains("quantile=\"0.5\""));
+        assert!(text.contains("socrates_commit_latency_us_count"));
+        // Every non-comment line is name{labels} value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(series.contains('{') && series.ends_with('}'), "bad series {series}");
+            assert!(value.parse::<f64>().is_ok(), "bad value {value}");
+        }
+    }
+
+    #[test]
+    fn json_format_parses() {
+        let json = json_snapshot(&sample_hub().snapshot());
+        let v = crate::obs::testjson::parse(&json).expect("valid JSON");
+        let metrics = v.get("metrics").and_then(|m| m.as_array()).expect("metrics array");
+        assert_eq!(metrics.len(), 3);
+        let names: Vec<&str> = metrics.iter().filter_map(|m| m.get("name")?.as_str()).collect();
+        assert!(names.contains(&"xlog.0.blocks_offered"));
+        assert!(names.contains(&"pageserver.0.apply_lag_bytes"));
+        assert!(names.contains(&"primary.0.commit_latency_us"));
+        let lag = metrics
+            .iter()
+            .find(|m| m.get("metric").and_then(|x| x.as_str()) == Some("apply_lag_bytes"))
+            .unwrap();
+        assert_eq!(lag.get("value").and_then(|v| v.as_i64()), Some(-3));
+    }
+
+    #[test]
+    fn json_trace_summary_parses() {
+        let r = crate::obs::trace::TraceRecorder::new(4);
+        r.record_commit(crate::TxnId::new(1), crate::Lsn::new(10), 2_000, 3_000);
+        let json = json_trace_summary(&r);
+        let v = crate::obs::testjson::parse(&json).expect("valid JSON");
+        assert_eq!(v.get("commits").and_then(|c| c.as_i64()), Some(1));
+        let stages = v.get("stages").expect("stages");
+        for stage in Stage::ALL {
+            assert!(stages.get(stage.name()).is_some(), "missing {}", stage.name());
+        }
+    }
+
+    #[test]
+    fn sanitizer_and_escapes() {
+        assert_eq!(prom_sanitize("a.b-c d9"), "a_b_c_d9");
+        assert_eq!(prom_sanitize("9lead"), "_lead");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

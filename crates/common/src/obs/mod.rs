@@ -1,0 +1,30 @@
+//! Workspace-wide observability: commit tracing, the unified metrics
+//! hub, and snapshot exporters.
+//!
+//! Socrates separates durability (log tier) from availability (caches),
+//! which makes "where did this commit spend its time" and "how far does
+//! each tier lag the hardened LSN" the two questions that matter when
+//! diagnosing the system. This module answers both:
+//!
+//! - [`trace`] stamps each commit with per-stage durations (engine →
+//!   harden → destage → page-server apply → secondary apply) in a
+//!   lock-free ring of the last N traces;
+//! - [`hub`] is the named-metric registry every tier registers its
+//!   existing counters/gauges/histograms into, keyed by
+//!   [`NodeId`](crate::ids::NodeId) + metric name;
+//! - [`export`] renders hub snapshots as Prometheus text or JSON, and
+//!   [`testjson`] is the minimal parser tests use to validate them.
+//!
+//! The LSN-lag watcher thread that feeds trace frontiers and lag gauges
+//! lives in the `socrates` core crate (it needs the deployment's
+//! watermarks); this module stays dependency-free so every tier can use
+//! it.
+
+pub mod export;
+pub mod hub;
+pub mod testjson;
+pub mod trace;
+
+pub use export::{json_snapshot, json_trace_summary, prometheus_text};
+pub use hub::{MetricSample, MetricSnapshot, MetricValue, MetricsHub};
+pub use trace::{CommitTrace, SpanGuard, Stage, TraceRecorder};

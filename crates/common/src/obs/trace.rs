@@ -1,0 +1,419 @@
+//! Request-scoped commit tracing.
+//!
+//! Every committed transaction can be stamped with the time it spent in
+//! each stage of the Socrates durability/availability pipeline:
+//!
+//! 1. **engine** — transaction work on the primary, from its first logged
+//!    operation to the commit record being appended;
+//! 2. **harden** — waiting for the landing zone to harden the commit LSN
+//!    (the paper's commit latency);
+//! 3. **destage** — until the XLOG destager has pushed the commit LSN to
+//!    the long-term log archive;
+//! 4. **page-apply** — until every page server has applied past the
+//!    commit LSN;
+//! 5. **secondary-apply** — until every secondary replica has applied
+//!    past the commit LSN.
+//!
+//! Stages 1–2 are measured synchronously on the commit path; stages 3–5
+//! complete asynchronously when a frontier watcher observes the relevant
+//! LSN watermark passing the commit LSN and calls
+//! [`TraceRecorder::note_frontier`].
+//!
+//! The recorder is a fixed-capacity ring of atomic slots: the commit path
+//! claims a slot with one `fetch_add` and publishes fields with relaxed
+//! stores — no locks, no allocation — honouring the workspace rule that
+//! instrumentation never perturbs the hot path. The ring retains the last
+//! `capacity` traces for percentile and outlier queries.
+
+use crate::lsn::Lsn;
+use crate::metrics::Histogram;
+use crate::TxnId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One stage of the commit pipeline. Discriminants index per-stage arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Transaction work on the primary before the commit record.
+    Engine = 0,
+    /// Landing-zone harden wait (commit latency).
+    Harden = 1,
+    /// XLOG destage to the long-term archive.
+    Destage = 2,
+    /// Page-server log apply.
+    PageApply = 3,
+    /// Secondary-replica log apply.
+    SecondaryApply = 4,
+}
+
+impl Stage {
+    /// All stages, pipeline order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Engine, Stage::Harden, Stage::Destage, Stage::PageApply, Stage::SecondaryApply];
+
+    /// Stages completed asynchronously by frontier watchers.
+    pub const ASYNC: [Stage; 3] = [Stage::Destage, Stage::PageApply, Stage::SecondaryApply];
+
+    /// Stable lowercase name used in exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Engine => "engine",
+            Stage::Harden => "harden",
+            Stage::Destage => "destage",
+            Stage::PageApply => "page_apply",
+            Stage::SecondaryApply => "secondary_apply",
+        }
+    }
+}
+
+const NUM_STAGES: usize = Stage::ALL.len();
+
+/// Snapshot of one commit's trace, as returned by queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitTrace {
+    /// The committing transaction.
+    pub txn: TxnId,
+    /// The commit record's LSN.
+    pub lsn: Lsn,
+    /// Nanoseconds spent in each stage; 0 means "not completed yet".
+    pub stage_ns: [u64; NUM_STAGES],
+}
+
+impl CommitTrace {
+    /// Duration of `stage` in nanoseconds (0 if not yet completed).
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage as usize]
+    }
+
+    /// Whether every pipeline stage has completed.
+    pub fn is_complete(&self) -> bool {
+        self.stage_ns.iter().all(|&ns| ns > 0)
+    }
+
+    /// Total traced time: commit work plus full fan-out to all tiers.
+    pub fn total_ns(&self) -> u64 {
+        // Stages 3..5 run concurrently after harden; the trace's span is
+        // engine + harden + the slowest asynchronous stage.
+        let sync: u64 = self.stage_ns[..2].iter().sum();
+        let async_max = self.stage_ns[2..].iter().copied().max().unwrap_or(0);
+        sync + async_max
+    }
+}
+
+/// One ring slot. A generation counter (`seq`) detects reuse: readers and
+/// frontier watchers only trust a slot whose generation still matches.
+struct Slot {
+    /// Generation: `claim_counter + 1` while occupied, 0 while empty.
+    seq: AtomicU64,
+    txn: AtomicU64,
+    lsn: AtomicU64,
+    /// Nanoseconds since recorder epoch when the commit hardened; async
+    /// stage durations are measured from this point.
+    hardened_at_ns: AtomicU64,
+    stage_ns: [AtomicU64; NUM_STAGES],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            txn: AtomicU64::new(0),
+            lsn: AtomicU64::new(0),
+            hardened_at_ns: AtomicU64::new(0),
+            stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Fixed-capacity, lock-free recorder of commit traces.
+///
+/// Constructed with [`TraceRecorder::new`]; capacity 0 disables tracing
+/// entirely ([`TraceRecorder::record_commit`] becomes a no-op), which is
+/// how the overhead benchmark's baseline runs.
+pub struct TraceRecorder {
+    slots: Box<[Slot]>,
+    /// Total commits ever recorded; `next % capacity` is the ring index.
+    next: AtomicU64,
+    epoch: Instant,
+    /// Per-stage latency histograms (µs), fed as stages complete.
+    stage_hist: [Histogram; NUM_STAGES],
+}
+
+impl TraceRecorder {
+    /// A recorder retaining the last `capacity` commit traces.
+    pub fn new(capacity: usize) -> TraceRecorder {
+        TraceRecorder {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            next: AtomicU64::new(0),
+            epoch: Instant::now(),
+            stage_hist: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    /// A recorder that drops everything (for overhead baselines).
+    pub fn disabled() -> TraceRecorder {
+        TraceRecorder::new(0)
+    }
+
+    /// Whether tracing is enabled.
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Number of trace slots retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total commits recorded since creation.
+    pub fn commits_recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the recorder's epoch.
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a hardened commit. Called on the commit path immediately
+    /// after the harden wait returns; `engine_ns` / `harden_ns` are the
+    /// synchronous stage durations the caller measured. Lock-free: one
+    /// `fetch_add` plus relaxed stores.
+    pub fn record_commit(&self, txn: TxnId, lsn: Lsn, engine_ns: u64, harden_ns: u64) {
+        if self.slots.is_empty() {
+            return;
+        }
+        // Clamp to ≥1ns: a zero duration means "stage incomplete", and on
+        // coarse-clock platforms a genuinely instant stage must still read
+        // as completed.
+        let engine_ns = engine_ns.max(1);
+        let harden_ns = harden_ns.max(1);
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        // Invalidate the slot while rewriting so a concurrent reader or
+        // frontier watcher never mixes generations.
+        slot.seq.store(0, Ordering::Release);
+        slot.txn.store(txn.raw(), Ordering::Relaxed);
+        slot.lsn.store(lsn.offset(), Ordering::Relaxed);
+        slot.hardened_at_ns.store(self.now_ns(), Ordering::Relaxed);
+        slot.stage_ns[Stage::Engine as usize].store(engine_ns, Ordering::Relaxed);
+        slot.stage_ns[Stage::Harden as usize].store(harden_ns, Ordering::Relaxed);
+        for async_stage in Stage::ASYNC {
+            slot.stage_ns[async_stage as usize].store(0, Ordering::Relaxed);
+        }
+        slot.seq.store(n + 1, Ordering::Release);
+        self.stage_hist[Stage::Engine as usize].record(engine_ns / 1_000);
+        self.stage_hist[Stage::Harden as usize].record(harden_ns / 1_000);
+    }
+
+    /// Report that the watermark backing `stage` has reached `frontier`.
+    /// Completes that stage on every retained trace whose commit LSN the
+    /// frontier has passed. Called from watcher threads, never the commit
+    /// path.
+    pub fn note_frontier(&self, stage: Stage, frontier: Lsn) {
+        debug_assert!(Stage::ASYNC.contains(&stage), "sync stages complete on the commit path");
+        if self.slots.is_empty() || frontier.is_zero() {
+            return;
+        }
+        let now = self.now_ns();
+        let idx = stage as usize;
+        for slot in self.slots.iter() {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 {
+                continue;
+            }
+            if slot.stage_ns[idx].load(Ordering::Relaxed) != 0 {
+                continue; // already completed
+            }
+            if slot.lsn.load(Ordering::Relaxed) > frontier.offset() {
+                continue; // frontier hasn't reached this commit yet
+            }
+            let elapsed = now.saturating_sub(slot.hardened_at_ns.load(Ordering::Relaxed)).max(1);
+            // Only publish if the slot wasn't recycled underneath us.
+            if slot.seq.load(Ordering::Acquire) == seq {
+                slot.stage_ns[idx].store(elapsed, Ordering::Relaxed);
+                self.stage_hist[idx].record(elapsed / 1_000);
+            }
+        }
+    }
+
+    /// The retained traces, oldest first. Slots being rewritten mid-read
+    /// are skipped (generation check), so the result is always consistent.
+    pub fn traces(&self) -> Vec<CommitTrace> {
+        let mut out: Vec<(u64, CommitTrace)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 {
+                continue;
+            }
+            let trace = CommitTrace {
+                txn: TxnId::new(slot.txn.load(Ordering::Relaxed)),
+                lsn: Lsn::new(slot.lsn.load(Ordering::Relaxed)),
+                stage_ns: std::array::from_fn(|i| slot.stage_ns[i].load(Ordering::Relaxed)),
+            };
+            if slot.seq.load(Ordering::Acquire) == seq {
+                out.push((seq, trace));
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Retained traces that have completed every stage, oldest first.
+    pub fn completed_traces(&self) -> Vec<CommitTrace> {
+        self.traces().into_iter().filter(CommitTrace::is_complete).collect()
+    }
+
+    /// Quantile of `stage` duration in microseconds over all recorded
+    /// commits (not just retained ones).
+    pub fn stage_percentile_us(&self, stage: Stage, q: f64) -> u64 {
+        self.stage_hist[stage as usize].percentile(q)
+    }
+
+    /// Point-in-time summary of `stage` durations (µs).
+    pub fn stage_snapshot(&self, stage: Stage) -> crate::metrics::HistogramSnapshot {
+        self.stage_hist[stage as usize].snapshot()
+    }
+
+    /// Retained traces whose total time exceeds `threshold_ns`, oldest
+    /// first — the outlier query backing `socmon`'s slow-commit list.
+    pub fn outliers(&self, threshold_ns: u64) -> Vec<CommitTrace> {
+        self.traces().into_iter().filter(|t| t.total_ns() > threshold_ns).collect()
+    }
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("capacity", &self.slots.len())
+            .field("commits_recorded", &self.commits_recorded())
+            .finish()
+    }
+}
+
+/// RAII span: measures wall time from construction to drop and records it
+/// (in microseconds) into a [`Histogram`]. For coarse spans off the commit
+/// path — the commit pipeline itself uses [`TraceRecorder`] stages.
+pub struct SpanGuard<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Start timing into `hist`.
+    pub fn new(hist: &'a Histogram) -> SpanGuard<'a> {
+        SpanGuard { hist, start: Instant::now() }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let r = TraceRecorder::disabled();
+        assert!(!r.is_enabled());
+        r.record_commit(TxnId::new(1), Lsn::new(100), 5, 5);
+        r.note_frontier(Stage::Destage, Lsn::new(1000));
+        assert!(r.traces().is_empty());
+        assert_eq!(r.commits_recorded(), 0);
+    }
+
+    #[test]
+    fn sync_stages_recorded_and_clamped_nonzero() {
+        let r = TraceRecorder::new(8);
+        r.record_commit(TxnId::new(1), Lsn::new(100), 0, 0);
+        let traces = r.traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].stage_ns(Stage::Engine), 1);
+        assert_eq!(traces[0].stage_ns(Stage::Harden), 1);
+        assert!(!traces[0].is_complete());
+    }
+
+    #[test]
+    fn frontier_completes_async_stages_in_lsn_order() {
+        let r = TraceRecorder::new(8);
+        r.record_commit(TxnId::new(1), Lsn::new(100), 10, 20);
+        r.record_commit(TxnId::new(2), Lsn::new(200), 10, 20);
+
+        // Frontier between the two commits: only the first completes.
+        r.note_frontier(Stage::Destage, Lsn::new(150));
+        let t = r.traces();
+        assert!(t[0].stage_ns(Stage::Destage) > 0);
+        assert_eq!(t[1].stage_ns(Stage::Destage), 0);
+
+        // Frontier past both, all async stages: everything completes.
+        for stage in Stage::ASYNC {
+            r.note_frontier(stage, Lsn::new(500));
+        }
+        let t = r.traces();
+        assert!(t.iter().all(CommitTrace::is_complete));
+        assert_eq!(r.completed_traces().len(), 2);
+        // A second sighting of the same frontier must not re-time stages.
+        let before: Vec<u64> = t.iter().map(|x| x.stage_ns(Stage::Destage)).collect();
+        r.note_frontier(Stage::Destage, Lsn::new(500));
+        let after: Vec<u64> = r.traces().iter().map(|x| x.stage_ns(Stage::Destage)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn ring_retains_most_recent_capacity_traces() {
+        let r = TraceRecorder::new(4);
+        for i in 1..=10u64 {
+            r.record_commit(TxnId::new(i), Lsn::new(i * 100), 10, 10);
+        }
+        let t = r.traces();
+        assert_eq!(t.len(), 4);
+        // Oldest-first ordering of the surviving generation window 7..=10.
+        let txns: Vec<u64> = t.iter().map(|x| x.txn.raw()).collect();
+        assert_eq!(txns, vec![7, 8, 9, 10]);
+        assert_eq!(r.commits_recorded(), 10);
+    }
+
+    #[test]
+    fn percentiles_cover_all_commits_not_just_retained() {
+        let r = TraceRecorder::new(2);
+        for i in 1..=100u64 {
+            // engine_ns climbs 1ms..100ms
+            r.record_commit(TxnId::new(i), Lsn::new(i), i * 1_000_000, 1_000);
+        }
+        let p50 = r.stage_percentile_us(Stage::Engine, 0.5);
+        assert!((45_000..=55_000).contains(&p50), "p50 {p50}");
+        assert_eq!(r.stage_snapshot(Stage::Engine).count, 100);
+    }
+
+    #[test]
+    fn outliers_filter_by_total_time() {
+        let r = TraceRecorder::new(8);
+        r.record_commit(TxnId::new(1), Lsn::new(1), 1_000, 1_000);
+        r.record_commit(TxnId::new(2), Lsn::new(2), 50_000_000, 1_000);
+        let slow = r.outliers(10_000_000);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].txn, TxnId::new(2));
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _g = SpanGuard::new(&h);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.snapshot().max_us >= 1_000);
+    }
+}

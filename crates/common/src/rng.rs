@@ -32,10 +32,7 @@ impl Rng {
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -154,12 +151,7 @@ impl Zipf {
                 (x.powf(1.0 - q) - 1.0) / (1.0 - q)
             }
         };
-        Zipf {
-            n: nf,
-            h_x1: h(1.5) - 1.0f64.powf(-q),
-            h_n: h(nf + 0.5),
-            q,
-        }
+        Zipf { n: nf, h_x1: h(1.5) - 1.0f64.powf(-q), h_n: h(nf + 0.5), q }
     }
 
     fn h(&self, x: f64) -> f64 {

@@ -12,6 +12,7 @@ use socrates_pageserver::PageServerConfig;
 use socrates_rbio::lossy::LossyConfig;
 use socrates_wal::pipeline::LogPipelineConfig;
 use socrates_xlog::service::XLogConfig;
+use std::time::Duration;
 
 /// Full deployment configuration.
 #[derive(Clone)]
@@ -54,6 +55,12 @@ pub struct SocratesConfig {
     pub compute_cores: u32,
     /// RBIO server worker threads per page server.
     pub rbio_workers: usize,
+    /// Commit traces retained for percentile/outlier queries
+    /// (0 disables commit tracing entirely).
+    pub trace_capacity: usize,
+    /// Sampling interval of the LSN-lag watcher thread, which completes
+    /// the async commit-trace stages and updates deployment lag gauges.
+    pub watcher_interval: Duration,
     /// Deterministic seed for all randomness.
     pub seed: u64,
 }
@@ -80,6 +87,8 @@ impl SocratesConfig {
             page_server: PageServerConfig::default(),
             compute_cores: 8,
             rbio_workers: 4,
+            trace_capacity: 1024,
+            watcher_interval: Duration::from_millis(1),
             seed: 42,
         }
     }

@@ -9,9 +9,11 @@
 
 use crate::config::SocratesConfig;
 use crate::fabric::Fabric;
+use crate::obs::{LagWatcher, SecondaryList};
 use crate::primary::Primary;
 use crate::secondary::Secondary;
 use parking_lot::RwLock;
+use socrates_common::obs::{MetricsHub, TraceRecorder};
 use socrates_common::{BlobId, Error, Lsn, PartitionId, Result};
 use socrates_engine::recovery::{analyze, find_last_checkpoint};
 use socrates_engine::txn::TxnCheckpointMeta;
@@ -43,9 +45,10 @@ pub struct BackupDescriptor {
 pub struct Socrates {
     fabric: Arc<Fabric>,
     primary: RwLock<Option<Arc<Primary>>>,
-    secondaries: RwLock<Vec<Arc<Secondary>>>,
+    secondaries: SecondaryList,
     next_secondary: AtomicU32,
     restore_nonce: AtomicU32,
+    watcher: LagWatcher,
 }
 
 impl Socrates {
@@ -55,12 +58,19 @@ impl Socrates {
         let n_secondaries = config.secondaries;
         let fabric = Fabric::new(config)?;
         let primary = Primary::bootstrap(Arc::clone(&fabric))?;
+        let secondaries: SecondaryList = Arc::new(RwLock::new(Vec::new()));
+        let watcher = LagWatcher::start(
+            Arc::clone(&fabric),
+            Arc::clone(&secondaries),
+            fabric.config.watcher_interval,
+        );
         let deployment = Socrates {
             fabric,
             primary: RwLock::new(Some(primary)),
-            secondaries: RwLock::new(Vec::new()),
+            secondaries,
             next_secondary: AtomicU32::new(0),
             restore_nonce: AtomicU32::new(0),
+            watcher,
         };
         for _ in 0..n_secondaries {
             deployment.add_secondary()?;
@@ -71,6 +81,16 @@ impl Socrates {
     /// The storage fabric (metrics, failure injection).
     pub fn fabric(&self) -> &Arc<Fabric> {
         &self.fabric
+    }
+
+    /// The deployment-wide metrics hub (every tier registers here).
+    pub fn hub(&self) -> &MetricsHub {
+        &self.fabric.hub
+    }
+
+    /// The commit-trace recorder (per-stage commit-path timings).
+    pub fn trace(&self) -> &Arc<TraceRecorder> {
+        &self.fabric.trace
     }
 
     /// The current primary.
@@ -238,7 +258,8 @@ impl Socrates {
                 .fabric
                 .xstore
                 .restore_snapshot(*snap, &format!("data/{tag}-p{}", pid.raw()))?;
-            let meta = self.fabric.xstore.create_blob(&format!("data/{tag}-p{}.meta", pid.raw()))?;
+            let meta =
+                self.fabric.xstore.create_blob(&format!("data/{tag}-p{}.meta", pid.raw()))?;
             self.fabric.xstore.write_at(meta, 0, &part_lsn.offset().to_le_bytes())?;
             let ps = PageServer::attach(
                 &format!("ps-{tag}-{}", pid.raw()),
@@ -280,17 +301,26 @@ impl Socrates {
             Primary::with_state(Arc::clone(&new_fabric), tm, analysis.next_page_id, target_lsn)?;
         new_fabric.last_checkpoint.store(target_lsn);
 
+        let secondaries: SecondaryList = Arc::new(RwLock::new(Vec::new()));
+        let watcher = LagWatcher::start(
+            Arc::clone(&new_fabric),
+            Arc::clone(&secondaries),
+            new_fabric.config.watcher_interval,
+        );
         Ok(Socrates {
             fabric: new_fabric,
             primary: RwLock::new(Some(primary)),
-            secondaries: RwLock::new(Vec::new()),
+            secondaries,
             next_secondary: AtomicU32::new(0),
             restore_nonce: AtomicU32::new(0),
+            watcher,
         })
     }
 
-    /// Stop every component.
+    /// Stop every component. The watcher goes first so no sampler touches
+    /// tiers that are being torn down.
     pub fn shutdown(&self) {
+        self.watcher.stop();
         for s in self.secondaries.write().drain(..) {
             s.stop();
         }

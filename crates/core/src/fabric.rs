@@ -11,6 +11,7 @@ use parking_lot::RwLock;
 use socrates_common::latency::LatencyInjector;
 use socrates_common::lsn::AtomicLsn;
 use socrates_common::metrics::{CpuAccountant, CpuRegistry};
+use socrates_common::obs::{MetricsHub, Stage, TraceRecorder};
 use socrates_common::{Error, Lsn, NodeId, PageId, PartitionId, Result};
 use socrates_engine::PageAccess;
 use socrates_pageserver::{PageServer, PageServerHandler, PartitionSpec};
@@ -35,6 +36,9 @@ pub struct PartitionHandle {
     pub endpoints: Vec<Arc<RbioServer>>,
     /// The page servers (index 0 is the original, others are replicas).
     pub servers: Vec<Arc<PageServer>>,
+    /// The observability node id of each server (parallel to `servers`);
+    /// used to unregister its metrics when the partition is killed.
+    pub nodes: Vec<NodeId>,
 }
 
 /// The shared storage fabric.
@@ -49,6 +53,12 @@ pub struct Fabric {
     pub xlog: Arc<XLogService>,
     /// Per-node modelled CPU accounting.
     pub cpu: CpuRegistry,
+    /// The deployment-wide metric registry: every tier registers its
+    /// counters, gauges, and histograms here, keyed by node.
+    pub hub: MetricsHub,
+    /// The commit trace recorder, shared by every primary the deployment
+    /// ever runs (failover replaces the primary, not its trace history).
+    pub trace: Arc<TraceRecorder>,
     partitions: RwLock<HashMap<PartitionId, Arc<PartitionHandle>>>,
     next_ps_index: AtomicU32,
     /// LSN of the most recent checkpoint record (what a recovering primary
@@ -112,7 +122,11 @@ impl Fabric {
         ));
         let xlog_ssd: Arc<dyn Fcb> = Arc::new(LatencyFcb::new(
             MemFcb::new("xlog-ssd"),
-            LatencyInjector::new(config.ssd_profile.clone(), config.latency_mode, config.seed ^ 0x55D),
+            LatencyInjector::new(
+                config.ssd_profile.clone(),
+                config.latency_mode,
+                config.seed ^ 0x55D,
+            ),
             Some(cpu.accountant(NodeId::XLOG)),
         ));
         let xlog = XLogService::new(
@@ -124,12 +138,33 @@ impl Fabric {
             lt_name,
         )?;
         xlog.start_destager();
+        let hub = MetricsHub::new();
+        xlog.register_metrics(&hub, NodeId::XLOG);
+        {
+            let lz2 = Arc::clone(&lz);
+            hub.register_gauge_fn(NodeId::XLOG, "lz_used_bytes", move || {
+                (lz2.head().offset() as i64 - lz2.tail().offset() as i64).max(0)
+            });
+        }
+        let trace = Arc::new(TraceRecorder::new(config.trace_capacity));
+        // Per-stage commit latency histograms, exported under the primary
+        // (the node whose commits they describe).
+        for stage in Stage::ALL {
+            let t = Arc::clone(&trace);
+            hub.register_histogram_fn(
+                NodeId::PRIMARY,
+                &format!("commit_stage_{}_us", stage.name()),
+                move || t.stage_snapshot(stage),
+            );
+        }
         Ok(Arc::new(Fabric {
             config,
             lz,
             xstore,
             xlog,
             cpu,
+            hub,
+            trace,
             partitions: RwLock::new(HashMap::new()),
             next_ps_index: AtomicU32::new(0),
             last_checkpoint: AtomicLsn::new(start),
@@ -166,7 +201,11 @@ impl Fabric {
     /// apply cursor at `cursor` if not. This is the upsize path: cost is
     /// O(1) in database size — no data moves, a fresh partition starts
     /// empty.
-    pub fn ensure_partition(&self, partition: PartitionId, cursor: Lsn) -> Result<Arc<PartitionHandle>> {
+    pub fn ensure_partition(
+        &self,
+        partition: PartitionId,
+        cursor: Lsn,
+    ) -> Result<Arc<PartitionHandle>> {
         if let Some(h) = self.partitions.read().get(&partition) {
             return Ok(Arc::clone(h));
         }
@@ -190,7 +229,7 @@ impl Fabric {
         )?;
         ps.start();
         self.xlog.register_consumer(&name, cursor);
-        let handle = self.wrap_servers(vec![ps])?;
+        let handle = self.wrap_servers(vec![(NodeId::page_server(idx), ps)])?;
         parts.insert(partition, Arc::clone(&handle));
         Ok(handle)
     }
@@ -221,17 +260,30 @@ impl Fabric {
         )?;
         ps.start();
         self.xlog.register_consumer(&name, ps.applied_lsn());
-        let mut servers = existing.servers.clone();
-        servers.push(ps);
+        let mut servers: Vec<(NodeId, Arc<PageServer>)> =
+            existing.nodes.iter().copied().zip(existing.servers.iter().cloned()).collect();
+        servers.push((NodeId::page_server(idx), ps));
         let handle = self.wrap_servers(servers)?;
         self.partitions.write().insert(partition, handle);
         Ok(())
     }
 
     /// Replace a partition's server set (failure injection in tests, PITR).
-    pub fn install_partition(&self, partition: PartitionId, servers: Vec<Arc<PageServer>>) -> Result<()> {
+    pub fn install_partition(
+        &self,
+        partition: PartitionId,
+        servers: Vec<Arc<PageServer>>,
+    ) -> Result<()> {
+        let servers: Vec<(NodeId, Arc<PageServer>)> = servers
+            .into_iter()
+            .map(|ps| (NodeId::page_server(self.next_ps_index.fetch_add(1, Ordering::SeqCst)), ps))
+            .collect();
         let handle = self.wrap_servers(servers)?;
-        self.partitions.write().insert(partition, handle);
+        if let Some(old) = self.partitions.write().insert(partition, handle) {
+            for node in &old.nodes {
+                self.hub.unregister_node(*node);
+            }
+        }
         Ok(())
     }
 
@@ -243,8 +295,22 @@ impl Fabric {
             for s in &h.servers {
                 s.stop();
             }
+            for node in &h.nodes {
+                self.hub.unregister_node(*node);
+            }
         }
         removed
+    }
+
+    /// The minimum applied LSN across all page servers — the frontier the
+    /// whole storage tier has caught up to (`None` with no partitions).
+    pub fn min_applied_lsn(&self) -> Option<Lsn> {
+        self.partitions
+            .read()
+            .values()
+            .flat_map(|h| h.servers.iter())
+            .map(|s| s.applied_lsn())
+            .min()
     }
 
     /// The minimum checkpointed LSN across all page servers — the redo
@@ -301,10 +367,14 @@ impl Fabric {
         ))
     }
 
-    fn wrap_servers(&self, servers: Vec<Arc<PageServer>>) -> Result<Arc<PartitionHandle>> {
+    fn wrap_servers(
+        &self,
+        servers: Vec<(NodeId, Arc<PageServer>)>,
+    ) -> Result<Arc<PartitionHandle>> {
         let mut endpoints = Vec::with_capacity(servers.len());
         let mut clients = Vec::with_capacity(servers.len());
-        for (i, ps) in servers.iter().enumerate() {
+        for (i, (node, ps)) in servers.iter().enumerate() {
+            ps.register_metrics(&self.hub, *node);
             let server = Arc::new(RbioServer::start(
                 Arc::new(PageServerHandler(Arc::clone(ps))),
                 self.config.rbio_workers,
@@ -320,10 +390,12 @@ impl Fabric {
             clients.push(server.connect(net));
             endpoints.push(server);
         }
+        let (nodes, servers): (Vec<NodeId>, Vec<Arc<PageServer>>) = servers.into_iter().unzip();
         Ok(Arc::new(PartitionHandle {
             route: Arc::new(ReplicaSet::new(clients, self.config.seed ^ 0x40Fu64)),
             endpoints,
             servers,
+            nodes,
         }))
     }
 }
@@ -351,7 +423,10 @@ impl PageSource for RemotePageSource {
             .partition(partition)
             .ok_or_else(|| Error::Unavailable(format!("{partition} has no page server")))?;
         self.cpu.charge_us(8);
-        match handle.route.call(socrates_rbio::proto::RbioRequest::GetPage { page_id: id, min_lsn })? {
+        match handle
+            .route
+            .call(socrates_rbio::proto::RbioRequest::GetPage { page_id: id, min_lsn })?
+        {
             socrates_rbio::proto::RbioResponse::Page { bytes } => Page::from_io_bytes(id, &bytes),
             other => Err(Error::Protocol(format!("unexpected GetPage response: {other:?}"))),
         }

@@ -24,12 +24,14 @@
 pub mod config;
 pub mod deployment;
 pub mod fabric;
+pub mod obs;
 pub mod primary;
 pub mod secondary;
 
 pub use config::SocratesConfig;
 pub use deployment::{BackupDescriptor, Socrates};
 pub use fabric::{Fabric, PartitionHandle, RemotePageSource};
+pub use obs::LagWatcher;
 pub use primary::Primary;
 pub use secondary::Secondary;
 
@@ -40,10 +42,7 @@ mod tests {
     use socrates_engine::Value as V;
 
     fn schema() -> Schema {
-        Schema::new(
-            vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Str)],
-            1,
-        )
+        Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Str)], 1)
     }
 
     fn row(id: i64, v: &str) -> Vec<V> {

@@ -1,0 +1,104 @@
+//! Deployment-level observability: the LSN-lag watcher.
+//!
+//! The services register their own watermarks as closure-sampled gauges
+//! (see each tier's `register_metrics`); what they cannot do on their own
+//! is complete the *asynchronous* stages of a commit trace — a commit is
+//! "destaged" only once XLOG's archive frontier passes its LSN, "applied"
+//! only once every page server (and secondary) has consumed the log past
+//! it. Those frontiers belong to the deployment, so this watcher thread
+//! samples them periodically, feeds them to the shared
+//! [`TraceRecorder`](socrates_common::obs::TraceRecorder), and maintains
+//! the deployment-wide lag gauges that cut across tiers.
+
+use crate::fabric::Fabric;
+use crate::secondary::Secondary;
+use parking_lot::{Mutex, RwLock};
+use socrates_common::metrics::Gauge;
+use socrates_common::obs::Stage;
+use socrates_common::NodeId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The secondaries list shared between the deployment and the watcher
+/// (scale-out/in mutates it while the watcher samples it).
+pub type SecondaryList = Arc<RwLock<Vec<Arc<Secondary>>>>;
+
+/// The background LSN-lag watcher. One per deployment; stopped (and its
+/// thread joined) by [`LagWatcher::stop`] or on drop.
+pub struct LagWatcher {
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl LagWatcher {
+    /// Start the watcher. `interval` is the sampling period; every tick it
+    /// advances the trace recorder's async-stage frontiers and updates the
+    /// deployment lag gauges.
+    pub fn start(
+        fabric: Arc<Fabric>,
+        secondaries: SecondaryList,
+        interval: Duration,
+    ) -> LagWatcher {
+        // Watcher-owned gauges: the slowest consumer's distance behind the
+        // released log, per consuming tier.
+        let ps_lag = Arc::new(Gauge::new());
+        let sec_lag = Arc::new(Gauge::new());
+        fabric.hub.register_gauge(NodeId::XLOG, "max_pageserver_lag_bytes", Arc::clone(&ps_lag));
+        fabric.hub.register_gauge(NodeId::XLOG, "max_secondary_lag_bytes", Arc::clone(&sec_lag));
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("lsn-lag-watcher".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    Self::sample(&fabric, &secondaries, &ps_lag, &sec_lag);
+                    std::thread::sleep(interval);
+                }
+                // One final sample so a quiesced deployment's traces are
+                // complete at the instant the watcher is stopped.
+                Self::sample(&fabric, &secondaries, &ps_lag, &sec_lag);
+            })
+            .expect("spawn lsn-lag watcher");
+        LagWatcher { stop, handle: Mutex::new(Some(handle)) }
+    }
+
+    fn sample(fabric: &Fabric, secondaries: &SecondaryList, ps_lag: &Gauge, sec_lag: &Gauge) {
+        let released = fabric.xlog.released_lsn().offset() as i64;
+
+        // Destage stage: durable in the long-term archive.
+        fabric.trace.note_frontier(Stage::Destage, fabric.xlog.destaged_lsn());
+
+        // Page-server apply stage: the slowest server bounds the frontier.
+        if let Some(applied) = fabric.min_applied_lsn() {
+            fabric.trace.note_frontier(Stage::PageApply, applied);
+            ps_lag.set((released - applied.offset() as i64).max(0));
+        } else {
+            ps_lag.set(0);
+        }
+
+        // Secondary apply stage, ditto.
+        let min_sec = secondaries.read().iter().map(|s| s.applied_lsn()).min();
+        if let Some(applied) = min_sec {
+            fabric.trace.note_frontier(Stage::SecondaryApply, applied);
+            sec_lag.set((released - applied.offset() as i64).max(0));
+        } else {
+            sec_lag.set(0);
+        }
+    }
+
+    /// Stop the watcher thread and join it (idempotent).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LagWatcher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

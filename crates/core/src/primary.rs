@@ -107,7 +107,11 @@ impl Primary {
         let rbpex = if config.rbpex_pages > 0 {
             let dev: Arc<dyn Fcb> = Arc::new(LatencyFcb::new(
                 MemFcb::new("primary-rbpex"),
-                LatencyInjector::new(config.ssd_profile.clone(), config.latency_mode, config.seed ^ 0x11),
+                LatencyInjector::new(
+                    config.ssd_profile.clone(),
+                    config.latency_mode,
+                    config.seed ^ 0x11,
+                ),
                 Some(Arc::clone(&cpu)),
             ));
             let meta: Arc<dyn Fcb> = Arc::new(MemFcb::new("primary-rbpex-meta"));
@@ -137,13 +141,8 @@ impl Primary {
         let on_evict = Arc::new(move |id: PageId, lsn: Lsn| {
             evicted_for_cb.note_eviction(id, lsn);
         });
-        let cache = Arc::new(TieredCache::new(
-            config.mem_cache_pages,
-            rbpex,
-            source,
-            wal_flush,
-            on_evict,
-        ));
+        let cache =
+            Arc::new(TieredCache::new(config.mem_cache_pages, rbpex, source, wal_flush, on_evict));
 
         let io = Arc::new(LoggedPageIo::new(
             cache,
@@ -151,6 +150,14 @@ impl Primary {
             Arc::clone(&evicted),
             next_page,
         ));
+        // Observability: commit tracing + this node's metrics in the hub.
+        // A failover primary re-registers under the same node id, replacing
+        // the dead node's sources.
+        if fabric.trace.is_enabled() {
+            io.set_trace_recorder(Arc::clone(&fabric.trace));
+        }
+        pipeline.register_metrics(&fabric.hub, NodeId::PRIMARY);
+        io.register_metrics(&fabric.hub, NodeId::PRIMARY);
         // Growing into a fresh partition spins up its page server — O(1)
         // in data size.
         let fabric_for_alloc = Arc::clone(&fabric);

@@ -21,7 +21,7 @@
 use crate::fabric::{Fabric, RemotePageSource};
 use parking_lot::Mutex;
 use socrates_common::lsn::AtomicLsn;
-use socrates_common::metrics::{CpuAccountant, Counter};
+use socrates_common::metrics::{Counter, CpuAccountant};
 use socrates_common::{Error, Lsn, NodeId, PageId, Result, TxnId};
 use socrates_engine::catalog::CATALOG_PAGE;
 use socrates_engine::{Database, EvictedLsnMap, PageAccess, PageMutator, TxnManager};
@@ -52,8 +52,11 @@ pub struct SecondaryMetrics {
     pub future_page_waits: Counter,
 }
 
+/// Encoded page ops queued against an in-flight fetch, keyed by page.
+type QueuedOps = HashMap<PageId, Vec<(Lsn, Vec<u8>)>>;
+
 struct PendingFetches {
-    map: Mutex<HashMap<PageId, Vec<(Lsn, Vec<u8>)>>>,
+    map: Mutex<QueuedOps>,
 }
 
 /// The secondary's page I/O: read-only, cache + GetPage@LSN with the two
@@ -122,12 +125,7 @@ impl PageMutator for SecondaryIo {
         Err(Error::InvalidState("secondaries are read-only".into()))
     }
 
-    fn mutate(
-        &self,
-        _txn: TxnId,
-        _page: &mut Page,
-        _op: &PageOp,
-    ) -> Result<Lsn> {
+    fn mutate(&self, _txn: TxnId, _page: &mut Page, _op: &PageOp) -> Result<Lsn> {
         Err(Error::InvalidState("secondaries are read-only".into()))
     }
 }
@@ -176,9 +174,7 @@ impl Secondary {
             Some(Arc::new(socrates_storage::rbpex::Rbpex::create(
                 dev,
                 meta,
-                socrates_storage::rbpex::RbpexPolicy::Sparse {
-                    capacity_pages: config.rbpex_pages,
-                },
+                socrates_storage::rbpex::RbpexPolicy::Sparse { capacity_pages: config.rbpex_pages },
             )?))
         } else {
             None
@@ -213,6 +209,7 @@ impl Secondary {
             stop: Arc::new(AtomicBool::new(false)),
             apply_handle: Mutex::new(None),
         });
+        sec.register_metrics();
         // Start applying *before* opening the catalog: the catalog fetch
         // may land a page from the future and must be able to wait for
         // the apply loop to catch up.
@@ -269,12 +266,38 @@ impl Secondary {
         Ok(())
     }
 
-    /// Stop the apply loop (failover promotion, scale-down).
+    /// Register this node's counters and watermarks into the deployment
+    /// hub. Closures capture the XLOG service (never the fabric, which
+    /// owns the hub — that would be a reference cycle).
+    fn register_metrics(&self) {
+        let hub = &self.fabric.hub;
+        macro_rules! counter {
+            ($name:literal, $field:ident) => {{
+                let m = Arc::clone(&self.metrics);
+                hub.register_counter_fn(self.node, $name, move || m.$field.get());
+            }};
+        }
+        counter!("records_applied", records_applied);
+        counter!("records_ignored", records_ignored);
+        counter!("records_queued", records_queued);
+        counter!("future_page_waits", future_page_waits);
+        let applied = Arc::clone(&self.applied);
+        hub.register_gauge_fn(self.node, "applied_lsn", move || applied.load().offset() as i64);
+        let applied = Arc::clone(&self.applied);
+        let xlog = Arc::clone(&self.fabric.xlog);
+        hub.register_gauge_fn(self.node, "apply_lag_bytes", move || {
+            (xlog.released_lsn().offset() as i64 - applied.load().offset() as i64).max(0)
+        });
+    }
+
+    /// Stop the apply loop (failover promotion, scale-down) and retire
+    /// this node's metrics from the hub.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.apply_handle.lock().take() {
             let _ = h.join();
         }
+        self.fabric.hub.unregister_node(self.node);
     }
 
     fn apply_loop(self: Arc<Self>) {
@@ -370,5 +393,6 @@ impl Drop for Secondary {
         if let Some(h) = self.apply_handle.lock().take() {
             let _ = h.join();
         }
+        self.fabric.hub.unregister_node(self.node);
     }
 }

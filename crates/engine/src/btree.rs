@@ -267,8 +267,7 @@ impl BTree {
         let sep = split_leaf_record(&records[mid]).0.to_vec();
         let right_id = io.allocate(txn)?;
         self.write_image(io, txn, right_id, PageType::BTreeLeaf, &records[mid..], false)?;
-        let lsn =
-            self.write_image(io, txn, at, PageType::BTreeLeaf, &records[..mid], false)?;
+        let lsn = self.write_image(io, txn, at, PageType::BTreeLeaf, &records[..mid], false)?;
         Ok(InsertOutcome { old, lsn, split: Some((sep, right_id)) })
     }
 
@@ -320,8 +319,7 @@ impl BTree {
         drop(page);
         let left_id = io.allocate(txn)?;
         self.write_image(io, txn, left_id, ptype, &records, false)?;
-        let root_recs =
-            vec![internal_record(&[], left_id), internal_record(&sep, right)];
+        let root_recs = vec![internal_record(&[], left_id), internal_record(&sep, right)];
         self.write_image(io, txn, self.root, PageType::BTreeInternal, &root_recs, false)?;
         Ok(())
     }
@@ -353,12 +351,7 @@ impl BTree {
     }
 
     /// Remove `key`; returns its payload if present.
-    pub fn delete(
-        &self,
-        io: &dyn PageMutator,
-        txn: TxnId,
-        key: &[u8],
-    ) -> Result<Option<Vec<u8>>> {
+    pub fn delete(&self, io: &dyn PageMutator, txn: TxnId, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let _g = self.lock.write();
         let (_, page_ref) = self.descend(io, key)?;
         let mut page = page_ref.write();

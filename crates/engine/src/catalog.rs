@@ -137,8 +137,7 @@ impl Catalog {
         if page.page_type()? != PageType::Meta {
             return Err(Error::Corruption("page 0 is not a catalog page".into()));
         }
-        let mut cat =
-            Catalog { by_name: HashMap::new(), by_id: HashMap::new(), next_table_id: 1 };
+        let mut cat = Catalog { by_name: HashMap::new(), by_id: HashMap::new(), next_table_id: 1 };
         for rec in Slotted::iter(&page) {
             let (id, name, schema, root) = decode_table(rec)?;
             let info = Arc::new(TableInfo {
@@ -194,10 +193,7 @@ impl Catalog {
 
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> Result<Arc<TableInfo>> {
-        self.by_name
-            .get(name)
-            .cloned()
-            .ok_or_else(|| Error::NotFound(format!("table '{name}'")))
+        self.by_name.get(name).cloned().ok_or_else(|| Error::NotFound(format!("table '{name}'")))
     }
 
     /// Look up a table by id.

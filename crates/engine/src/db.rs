@@ -15,7 +15,7 @@
 use crate::catalog::{Catalog, TableInfo};
 use crate::io::PageMutator;
 use crate::txn::{Resolved, TxnCheckpointMeta, TxnManager};
-use crate::value::{encode_key, encode_row, decode_row, Row, Schema, Value};
+use crate::value::{decode_row, encode_key, encode_row, Row, Schema, Value};
 use crate::version::{CurrentVersion, StoredVersion, VersionStore};
 use parking_lot::RwLock;
 use socrates_common::{Error, Lsn, Result, TxnId};
@@ -196,7 +196,8 @@ impl Database {
         let mut hi_b = Vec::new();
         encode_key(hi, &mut hi_b);
         // Over-fetch because some entries may be invisible to the snapshot.
-        let entries = t.btree.range(&*self.io, &lo_b, &hi_b, limit.saturating_mul(2).saturating_add(64))?;
+        let entries =
+            t.btree.range(&*self.io, &lo_b, &hi_b, limit.saturating_mul(2).saturating_add(64))?;
         let mut rows = Vec::new();
         for (_, payload) in entries {
             if rows.len() >= limit {
@@ -270,16 +271,12 @@ impl Database {
             if !matches!(self.txns.resolve(cur.creator), Resolved::Aborted) {
                 continue;
             }
-            // Find the newest committed ancestor, if any.
-            let mut ptr = cur.prev;
-            let mut replacement: Option<StoredVersion> = None;
-            while let Some(p) = ptr {
-                let v = VersionStore::fetch(&*self.io, p)?;
-                // Stored versions are committed by construction.
-                replacement = Some(v.clone());
-                break;
-            }
-            let _ = &mut ptr;
+            // The newest committed ancestor, if any: stored versions are
+            // committed by construction, so the head of the chain is it.
+            let replacement: Option<StoredVersion> = match cur.prev {
+                Some(p) => Some(VersionStore::fetch(&*self.io, p)?.clone()),
+                None => None,
+            };
             match replacement {
                 Some(v) if !v.tombstone => {
                     let promoted = CurrentVersion {
@@ -447,10 +444,7 @@ mod tests {
     }
 
     fn accounts_schema() -> Schema {
-        Schema::new(
-            vec![("id".into(), ColumnType::Int), ("balance".into(), ColumnType::Int)],
-            1,
-        )
+        Schema::new(vec![("id".into(), ColumnType::Int), ("balance".into(), ColumnType::Int)], 1)
     }
 
     fn row(id: i64, bal: i64) -> Row {
@@ -606,14 +600,17 @@ mod tests {
         db.commit(w).unwrap();
 
         // The old snapshot sees all 50 original rows and not the new one.
-        let rows = db.scan_range(&snap, "accounts", &[Value::Int(0)], &[Value::Int(1000)], 1000).unwrap();
+        let rows =
+            db.scan_range(&snap, "accounts", &[Value::Int(0)], &[Value::Int(1000)], 1000).unwrap();
         assert_eq!(rows.len(), 50);
         // A fresh snapshot sees 25 odds + the new row.
         let fresh = db.begin();
-        let rows = db.scan_range(&fresh, "accounts", &[Value::Int(0)], &[Value::Int(1000)], 1000).unwrap();
+        let rows =
+            db.scan_range(&fresh, "accounts", &[Value::Int(0)], &[Value::Int(1000)], 1000).unwrap();
         assert_eq!(rows.len(), 26);
         // Limit applies to visible rows.
-        let rows = db.scan_range(&fresh, "accounts", &[Value::Int(0)], &[Value::Int(1000)], 5).unwrap();
+        let rows =
+            db.scan_range(&fresh, "accounts", &[Value::Int(0)], &[Value::Int(1000)], 5).unwrap();
         assert_eq!(rows.len(), 5);
     }
 

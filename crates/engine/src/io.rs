@@ -11,13 +11,14 @@
 use crate::evicted::EvictedLsnMap;
 use parking_lot::Mutex;
 use socrates_common::metrics::Counter;
+use socrates_common::obs::TraceRecorder;
+use socrates_common::TxnId;
 use socrates_common::{Error, Lsn, PageId, Result};
 use socrates_storage::cache::{PageRef, TieredCache};
 use socrates_storage::page::{Page, PageType};
 use socrates_storage::pageops::{apply_page_op, PageOp};
 use socrates_wal::pipeline::LogPipeline;
 use socrates_wal::record::{LogPayload, LogRecord};
-use socrates_common::TxnId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -55,6 +56,10 @@ pub trait PageMutator: PageAccess {
     }
 }
 
+/// Callback invoked with each freshly allocated page id (see
+/// [`LoggedPageIo::set_on_allocate`]).
+pub type AllocateHook = Arc<dyn Fn(PageId) + Send + Sync>;
+
 /// The production implementation: mutations are logged through the
 /// [`LogPipeline`] and applied to pages in the [`TieredCache`].
 pub struct LoggedPageIo {
@@ -70,7 +75,16 @@ pub struct LoggedPageIo {
     /// record is logged. Socrates deployments use this to spin up a page
     /// server when the database grows into a partition that has none —
     /// the O(1)-in-data upsize path.
-    on_allocate: parking_lot::RwLock<Option<Arc<dyn Fn(PageId) + Send + Sync>>>,
+    on_allocate: parking_lot::RwLock<Option<AllocateHook>>,
+    /// Commit tracing, when the deployment installed a recorder. The sync
+    /// stages are stamped here: engine time (txn begin → commit append) and
+    /// harden time (the `commit_wait`); the async stages are completed by
+    /// the deployment's LSN-lag watcher.
+    trace: parking_lot::RwLock<Option<Arc<TraceRecorder>>>,
+    /// Begin timestamps of in-flight transactions, consulted only when a
+    /// recorder is installed (the map stays empty — and the commit path
+    /// lock-free — otherwise).
+    txn_begun: Mutex<HashMap<TxnId, std::time::Instant>>,
 }
 
 impl LoggedPageIo {
@@ -91,7 +105,34 @@ impl LoggedPageIo {
             data_hits: Counter::new(),
             data_misses: Counter::new(),
             on_allocate: parking_lot::RwLock::new(None),
+            trace: parking_lot::RwLock::new(None),
+            txn_begun: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Install the commit trace recorder. Transactions that begin after
+    /// this point get full engine-stage timings; ones already in flight
+    /// record a clamped-to-minimum engine stage.
+    pub fn set_trace_recorder(&self, recorder: Arc<TraceRecorder>) {
+        *self.trace.write() = Some(recorder);
+    }
+
+    /// The installed trace recorder, if any.
+    pub fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.trace.read().clone()
+    }
+
+    /// Register this node's engine-side metrics (data-page cache hit
+    /// accounting) into the hub under `node`.
+    pub fn register_metrics(
+        self: &Arc<Self>,
+        hub: &socrates_common::obs::MetricsHub,
+        node: socrates_common::NodeId,
+    ) {
+        let me = Arc::clone(self);
+        hub.register_counter_fn(node, "data_page_hits", move || me.data_hits.get());
+        let me = Arc::clone(self);
+        hub.register_counter_fn(node, "data_page_misses", move || me.data_misses.get());
     }
 
     /// The local hit rate over *data pages only* (B-tree leaves and
@@ -116,7 +157,7 @@ impl LoggedPageIo {
     }
 
     /// Install the allocation observer (see the field docs).
-    pub fn set_on_allocate(&self, f: Arc<dyn Fn(PageId) + Send + Sync>) {
+    pub fn set_on_allocate(&self, f: AllocateHook) {
         *self.on_allocate.write() = Some(f);
     }
 
@@ -146,10 +187,8 @@ impl PageAccess for LoggedPageIo {
         let evicted = Arc::clone(&self.evicted);
         let (page, tier) = self.cache.get_traced(id, move || evicted.lsn_for(id))?;
         // Per-class hit accounting (data pages only; see data_hit_rate).
-        let is_data = matches!(
-            page.read().page_type(),
-            Ok(PageType::BTreeLeaf) | Ok(PageType::VersionStore)
-        );
+        let is_data =
+            matches!(page.read().page_type(), Ok(PageType::BTreeLeaf) | Ok(PageType::VersionStore));
         if is_data {
             match tier {
                 socrates_storage::cache::CacheTier::Remote => self.data_misses.incr(),
@@ -166,10 +205,8 @@ impl PageMutator for LoggedPageIo {
         if let Some(f) = self.on_allocate.read().as_ref() {
             f(id);
         }
-        self.pipeline.append(&LogRecord {
-            txn,
-            payload: LogPayload::AllocPages { first: id, count: 1 },
-        });
+        self.pipeline
+            .append(&LogRecord { txn, payload: LogPayload::AllocPages { first: id, count: 1 } });
         self.cache.install(Page::new(id, PageType::Free))?;
         Ok(id)
     }
@@ -186,17 +223,32 @@ impl PageMutator for LoggedPageIo {
     }
 
     fn log_txn_begin(&self, txn: TxnId) {
+        if self.trace.read().is_some() {
+            self.txn_begun.lock().insert(txn, std::time::Instant::now());
+        }
         self.pipeline.append(&LogRecord { txn, payload: LogPayload::TxnBegin });
     }
 
     fn log_txn_commit(&self, txn: TxnId, commit_ts: u64) -> Result<()> {
-        let lsn = self
-            .pipeline
-            .append(&LogRecord { txn, payload: LogPayload::TxnCommit { commit_ts } });
-        self.pipeline.commit_wait(lsn)
+        let trace = self.trace.read().clone();
+        let engine_ns = trace
+            .as_ref()
+            .and_then(|_| self.txn_begun.lock().remove(&txn))
+            .map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+        let lsn =
+            self.pipeline.append(&LogRecord { txn, payload: LogPayload::TxnCommit { commit_ts } });
+        let harden_start = std::time::Instant::now();
+        self.pipeline.commit_wait(lsn)?;
+        if let Some(recorder) = trace {
+            recorder.record_commit(txn, lsn, engine_ns, harden_start.elapsed().as_nanos() as u64);
+        }
+        Ok(())
     }
 
     fn log_txn_abort(&self, txn: TxnId) {
+        if self.trace.read().is_some() {
+            self.txn_begun.lock().remove(&txn);
+        }
         self.pipeline.append(&LogRecord { txn, payload: LogPayload::TxnAbort });
     }
 
@@ -253,11 +305,7 @@ impl MemIo {
 
 impl PageAccess for MemIo {
     fn page(&self, id: PageId) -> Result<PageRef> {
-        self.pages
-            .lock()
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| Error::NotFound(format!("{id}")))
+        self.pages.lock().get(&id).cloned().ok_or_else(|| Error::NotFound(format!("{id}")))
     }
 }
 
@@ -292,12 +340,8 @@ mod tests {
         let mut page = page_ref.write();
         io.mutate(TxnId::new(1), &mut page, &PageOp::Format { ptype: PageType::BTreeLeaf })
             .unwrap();
-        io.mutate(
-            TxnId::new(1),
-            &mut page,
-            &PageOp::Insert { idx: 0, bytes: b"rec".to_vec() },
-        )
-        .unwrap();
+        io.mutate(TxnId::new(1), &mut page, &PageOp::Insert { idx: 0, bytes: b"rec".to_vec() })
+            .unwrap();
         drop(page);
         // Visible through a fresh fetch (shared Arc).
         let again = io.page(id).unwrap();

@@ -71,7 +71,9 @@ pub fn analyze(
             LogPayload::AllocPages { first, count } => {
                 next_page_id = next_page_id.max(first.raw() + count);
             }
-            LogPayload::Checkpoint { .. } | LogPayload::PageWrite { .. } | LogPayload::Noop { .. } => {}
+            LogPayload::Checkpoint { .. }
+            | LogPayload::PageWrite { .. }
+            | LogPayload::Noop { .. } => {}
         }
     }
     let died = tm.finish_analysis();
@@ -190,10 +192,10 @@ mod tests {
         let applied = redo(&target, &recs).unwrap();
         assert_eq!(applied, 2); // lsn 50 skipped
         let log = target.applied.lock();
-        assert_eq!(log.as_slice(), &[
-            (PageId::new(1), Lsn::new(150)),
-            (PageId::new(2), Lsn::new(200)),
-        ]);
+        assert_eq!(
+            log.as_slice(),
+            &[(PageId::new(1), Lsn::new(150)), (PageId::new(2), Lsn::new(200)),]
+        );
         // Re-running redo applies nothing (idempotent).
         drop(log);
         assert_eq!(redo(&target, &recs).unwrap(), 0);

@@ -177,10 +177,8 @@ impl TxnManager {
                 Some(TxnStatus::Preparing(_)) => {
                     // Commit dependency: wait for the harden to finish.
                     let mut guard = self.prepare_mutex.lock();
-                    let still_preparing = matches!(
-                        self.table.read().get(&txn),
-                        Some(TxnStatus::Preparing(_))
-                    );
+                    let still_preparing =
+                        matches!(self.table.read().get(&txn), Some(TxnStatus::Preparing(_)));
                     if still_preparing {
                         self.prepare_cv.wait_for(&mut guard, Duration::from_millis(50));
                     }
@@ -205,9 +203,7 @@ impl TxnManager {
                 t.insert(txn, TxnStatus::Preparing(cts));
                 Ok(cts)
             }
-            other => Err(Error::InvalidState(format!(
-                "start_commit on {txn} in state {other:?}"
-            ))),
+            other => Err(Error::InvalidState(format!("start_commit on {txn} in state {other:?}"))),
         }
     }
 

@@ -177,39 +177,40 @@ pub fn decode_row(data: &[u8]) -> Result<Row> {
     for _ in 0..n {
         let tag = *data.get(off).ok_or_else(err)?;
         off += 1;
-        let v = match tag {
-            0 => Value::Null,
-            1 => {
-                let b = *data.get(off).ok_or_else(err)?;
-                off += 1;
-                Value::Bool(b != 0)
-            }
-            2 => {
-                let bytes = data.get(off..off + 8).ok_or_else(err)?;
-                off += 8;
-                Value::Int(i64::from_le_bytes(bytes.try_into().unwrap()))
-            }
-            3 => {
-                let bytes = data.get(off..off + 8).ok_or_else(err)?;
-                off += 8;
-                Value::Float(f64::from_le_bytes(bytes.try_into().unwrap()))
-            }
-            4 | 5 => {
-                let lb = data.get(off..off + 4).ok_or_else(err)?;
-                let len = u32::from_le_bytes(lb.try_into().unwrap()) as usize;
-                off += 4;
-                let bytes = data.get(off..off + len).ok_or_else(err)?.to_vec();
-                off += len;
-                if tag == 4 {
-                    Value::Str(String::from_utf8(bytes).map_err(|_| {
-                        Error::Corruption("invalid utf8 in string value".into())
-                    })?)
-                } else {
-                    Value::Bytes(bytes)
+        let v =
+            match tag {
+                0 => Value::Null,
+                1 => {
+                    let b = *data.get(off).ok_or_else(err)?;
+                    off += 1;
+                    Value::Bool(b != 0)
                 }
-            }
-            other => return Err(Error::Corruption(format!("bad value tag {other}"))),
-        };
+                2 => {
+                    let bytes = data.get(off..off + 8).ok_or_else(err)?;
+                    off += 8;
+                    Value::Int(i64::from_le_bytes(bytes.try_into().unwrap()))
+                }
+                3 => {
+                    let bytes = data.get(off..off + 8).ok_or_else(err)?;
+                    off += 8;
+                    Value::Float(f64::from_le_bytes(bytes.try_into().unwrap()))
+                }
+                4 | 5 => {
+                    let lb = data.get(off..off + 4).ok_or_else(err)?;
+                    let len = u32::from_le_bytes(lb.try_into().unwrap()) as usize;
+                    off += 4;
+                    let bytes = data.get(off..off + len).ok_or_else(err)?.to_vec();
+                    off += len;
+                    if tag == 4 {
+                        Value::Str(String::from_utf8(bytes).map_err(|_| {
+                            Error::Corruption("invalid utf8 in string value".into())
+                        })?)
+                    } else {
+                        Value::Bytes(bytes)
+                    }
+                }
+                other => return Err(Error::Corruption(format!("bad value tag {other}"))),
+            };
         row.push(v);
     }
     Ok(row)
@@ -304,12 +305,7 @@ mod tests {
     fn key_encoding_orders_ints() {
         let vals = [i64::MIN, -100, -1, 0, 1, 42, i64::MAX];
         for w in vals.windows(2) {
-            assert!(
-                enc(&[Value::Int(w[0])]) < enc(&[Value::Int(w[1])]),
-                "{} !< {}",
-                w[0],
-                w[1]
-            );
+            assert!(enc(&[Value::Int(w[0])]) < enc(&[Value::Int(w[1])]), "{} !< {}", w[0], w[1]);
         }
     }
 
@@ -359,10 +355,8 @@ mod tests {
 
     #[test]
     fn schema_validation() {
-        let s = Schema::new(
-            vec![("id".into(), ColumnType::Int), ("name".into(), ColumnType::Str)],
-            1,
-        );
+        let s =
+            Schema::new(vec![("id".into(), ColumnType::Int), ("name".into(), ColumnType::Str)], 1);
         s.validate(&[Value::Int(1), Value::Str("x".into())]).unwrap();
         s.validate(&[Value::Int(1), Value::Null]).unwrap(); // NULL allowed off-key
         assert!(s.validate(&[Value::Null, Value::Str("x".into())]).is_err()); // NULL key

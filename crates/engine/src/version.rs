@@ -161,10 +161,7 @@ impl VersionStore {
     }
 
     /// Fetch the version at `ptr` through any [`crate::io::PageAccess`].
-    pub fn fetch(
-        io: &dyn crate::io::PageAccess,
-        ptr: (PageId, u16),
-    ) -> Result<StoredVersion> {
+    pub fn fetch(io: &dyn crate::io::PageAccess, ptr: (PageId, u16)) -> Result<StoredVersion> {
         let page_ref = io.page(ptr.0)?;
         let page = page_ref.read();
         if page.page_type()? != PageType::VersionStore {
@@ -191,12 +188,8 @@ mod tests {
             row: b"rowdata".to_vec(),
         };
         assert_eq!(CurrentVersion::decode(&cur.encode()).unwrap(), cur);
-        let tomb = CurrentVersion {
-            creator: TxnId::new(1),
-            prev: None,
-            tombstone: true,
-            row: vec![],
-        };
+        let tomb =
+            CurrentVersion { creator: TxnId::new(1), prev: None, tombstone: true, row: vec![] };
         assert_eq!(CurrentVersion::decode(&tomb.encode()).unwrap(), tomb);
         let stored = StoredVersion {
             commit_ts: 7,
@@ -234,16 +227,11 @@ mod tests {
         let big_row = vec![9u8; 1000];
         let mut ptrs = Vec::new();
         for i in 0..100u64 {
-            let v = StoredVersion {
-                commit_ts: i,
-                prev: None,
-                tombstone: false,
-                row: big_row.clone(),
-            };
+            let v =
+                StoredVersion { commit_ts: i, prev: None, tombstone: false, row: big_row.clone() };
             ptrs.push(vs.append(&io, txn, &v).unwrap());
         }
-        let distinct_pages: std::collections::HashSet<PageId> =
-            ptrs.iter().map(|p| p.0).collect();
+        let distinct_pages: std::collections::HashSet<PageId> = ptrs.iter().map(|p| p.0).collect();
         assert!(distinct_pages.len() > 5, "should have rolled over pages");
         for (i, ptr) in ptrs.iter().enumerate() {
             let v = VersionStore::fetch(&io, *ptr).unwrap();

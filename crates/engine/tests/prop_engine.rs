@@ -2,10 +2,10 @@
 //! order preservation, and MVCC snapshot stability.
 
 use proptest::prelude::*;
+use socrates_common::TxnId;
 use socrates_engine::io::MemIo;
 use socrates_engine::value::{encode_key, ColumnType, Schema, Value};
 use socrates_engine::{BTree, Database};
-use socrates_common::TxnId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

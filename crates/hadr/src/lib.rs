@@ -25,7 +25,7 @@
 use parking_lot::Mutex;
 use socrates_common::latency::{DeviceProfile, LatencyInjector, LatencyMode};
 use socrates_common::lsn::AtomicLsn;
-use socrates_common::metrics::{CpuAccountant, CpuRegistry, Counter};
+use socrates_common::metrics::{Counter, CpuAccountant, CpuRegistry};
 use socrates_common::rng::Rng;
 use socrates_common::{Error, Lsn, NodeId, PageId, Result, TxnId};
 use socrates_engine::recovery::find_last_checkpoint;
@@ -203,9 +203,7 @@ impl HadrReplica {
     fn apply_block(&self, block: &LogBlock) -> Result<()> {
         for rec in block.records()? {
             match &rec.record.payload {
-                LogPayload::PageWrite { page_id, op } => {
-                    self.store.apply(*page_id, op, rec.lsn)?
-                }
+                LogPayload::PageWrite { page_id, op } => self.store.apply(*page_id, op, rec.lsn)?,
                 LogPayload::TxnBegin => self.tm.apply_begin(rec.record.txn),
                 LogPayload::TxnCommit { commit_ts } => {
                     self.tm.apply_commit(rec.record.txn, *commit_ts)
@@ -232,10 +230,7 @@ impl HadrReplica {
     /// page has been replicated).
     pub fn db(&self) -> Result<Database> {
         // A Database is cheap to reconstruct; open fresh to pick up DDL.
-        Database::open(
-            Arc::clone(&self.store) as Arc<dyn PageMutator>,
-            Arc::clone(&self.tm),
-        )
+        Database::open(Arc::clone(&self.store) as Arc<dyn PageMutator>, Arc::clone(&self.tm))
     }
 
     /// Wait until the replica has applied up to `lsn`.
@@ -442,6 +437,29 @@ impl Hadr {
         &self.io
     }
 
+    /// Register this deployment's metrics into a hub: the primary's
+    /// pipeline/cache counters plus HADR-specific replication and backup
+    /// costs, and each replica's apply watermark. HADR has no log or page
+    /// tiers — everything hangs off compute nodes, which is the point.
+    pub fn register_metrics(&self, hub: &socrates_common::obs::MetricsHub) {
+        self.pipeline.register_metrics(hub, NodeId::PRIMARY);
+        self.io.register_metrics(hub, NodeId::PRIMARY);
+        let m = Arc::clone(&self.metrics);
+        hub.register_counter_fn(NodeId::PRIMARY, "hadr_bytes_shipped", move || {
+            m.bytes_shipped.get()
+        });
+        let m = Arc::clone(&self.metrics);
+        hub.register_counter_fn(NodeId::PRIMARY, "hadr_backup_bytes", move || m.backup_bytes.get());
+        let m = Arc::clone(&self.metrics);
+        hub.register_counter_fn(NodeId::PRIMARY, "hadr_throttle_us", move || m.throttle_us.get());
+        for (i, r) in self.replicas.iter().enumerate() {
+            let r = Arc::clone(r);
+            hub.register_gauge_fn(NodeId::secondary(i as u32), "applied_lsn", move || {
+                r.applied_lsn().offset() as i64
+            });
+        }
+    }
+
     /// Total pages in the primary's full copy.
     pub fn page_count(&self) -> u64 {
         self.io.next_page_id()
@@ -506,15 +524,12 @@ impl Hadr {
         }
         // Analysis.
         let (ckpt_idx, meta) = match find_last_checkpoint(&records)? {
-            Some((lsn, _, meta)) => {
-                (records.iter().position(|r| r.lsn >= lsn).unwrap_or(0), meta)
-            }
+            Some((lsn, _, meta)) => (records.iter().position(|r| r.lsn >= lsn).unwrap_or(0), meta),
             None => (0, TxnCheckpointMeta::default()),
         };
         let tm = TxnManager::new();
         tm.restore_from_meta(&meta);
-        let mut unfinished: HashSet<TxnId> =
-            meta.active.iter().map(|t| TxnId::new(*t)).collect();
+        let mut unfinished: HashSet<TxnId> = meta.active.iter().map(|t| TxnId::new(*t)).collect();
         let mut redo_count = 0usize;
         for rec in &records[ckpt_idx..] {
             match &rec.record.payload {
@@ -606,10 +621,7 @@ mod tests {
     use socrates_engine::value::{ColumnType, Schema, Value};
 
     fn schema() -> Schema {
-        Schema::new(
-            vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)],
-            1,
-        )
+        Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)], 1)
     }
 
     fn row(id: i64, v: i64) -> Vec<Value> {

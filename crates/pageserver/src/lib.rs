@@ -25,7 +25,7 @@
 
 use parking_lot::Mutex;
 use socrates_common::lsn::AtomicLsn;
-use socrates_common::metrics::{CpuAccountant, Counter};
+use socrates_common::metrics::{Counter, CpuAccountant};
 use socrates_common::{BlobId, Error, Lsn, PageId, PartitionId, Result};
 use socrates_rbio::proto::{RbioRequest, RbioResponse};
 use socrates_rbio::transport::RbioHandler;
@@ -135,6 +135,7 @@ pub struct PageServer {
 impl PageServer {
     /// Create a page server for a brand-new partition: fresh covering
     /// cache, fresh XStore blobs, apply cursor at `start_lsn`.
+    #[allow(clippy::too_many_arguments)] // a constructor: every dependency is explicit
     pub fn create(
         name: &str,
         spec: PartitionSpec,
@@ -182,6 +183,7 @@ impl PageServer {
     /// server loss, a replica, or a PITR restore target). The local cache
     /// starts empty and is seeded asynchronously; the apply cursor resumes
     /// from the blob's recorded checkpoint LSN.
+    #[allow(clippy::too_many_arguments)] // a constructor: every dependency is explicit
     pub fn attach(
         name: &str,
         spec: PartitionSpec,
@@ -238,6 +240,38 @@ impl PageServer {
     /// Counters.
     pub fn metrics(&self) -> &PageServerMetrics {
         &self.metrics
+    }
+
+    /// Register this server's counters and LSN watermarks into the hub
+    /// under `node`. The apply lag is derived against XLOG's released
+    /// frontier — the log this server *could* have applied by now.
+    pub fn register_metrics(
+        self: &Arc<Self>,
+        hub: &socrates_common::obs::MetricsHub,
+        node: socrates_common::NodeId,
+    ) {
+        macro_rules! counter {
+            ($name:literal, $field:ident) => {{
+                let ps = Arc::clone(self);
+                hub.register_counter_fn(node, $name, move || ps.metrics.$field.get());
+            }};
+        }
+        counter!("records_applied", records_applied);
+        counter!("pages_served", pages_served);
+        counter!("get_page_waits", get_page_waits);
+        counter!("pages_checkpointed", pages_checkpointed);
+        counter!("checkpoints_deferred", checkpoints_deferred);
+        counter!("xstore_fallback_reads", xstore_fallback_reads);
+        let ps = Arc::clone(self);
+        hub.register_gauge_fn(node, "applied_lsn", move || ps.applied.load().offset() as i64);
+        let ps = Arc::clone(self);
+        hub.register_gauge_fn(node, "checkpointed_lsn", move || {
+            ps.checkpointed.load().offset() as i64
+        });
+        let ps = Arc::clone(self);
+        hub.register_gauge_fn(node, "apply_lag_bytes", move || {
+            (ps.xlog.released_lsn().offset() as i64 - ps.applied.load().offset() as i64).max(0)
+        });
     }
 
     /// The log-apply watermark.
@@ -352,7 +386,11 @@ impl PageServer {
     /// records with `lsn >= upto`. This is the PITR bootstrap path: "the
     /// log applied to bring the database all the way to the requested
     /// time" (paper §4.7), where the blocks come from the copied LT blobs.
-    pub fn apply_blocks(&self, blocks: &[socrates_wal::block::LogBlock], upto: Lsn) -> Result<usize> {
+    pub fn apply_blocks(
+        &self,
+        blocks: &[socrates_wal::block::LogBlock],
+        upto: Lsn,
+    ) -> Result<usize> {
         let mut applied = 0usize;
         for block in blocks {
             if block.start_lsn() >= upto {
@@ -442,11 +480,7 @@ impl PageServer {
                     self.rbpex.put(&p)?;
                     p
                 }
-                None => {
-                    return Err(Error::NotFound(format!(
-                        "{page_id} has never been written"
-                    )))
-                }
+                None => return Err(Error::NotFound(format!("{page_id} has never been written"))),
             },
         };
         self.metrics.pages_served.incr();
@@ -456,8 +490,7 @@ impl PageServer {
     /// Stride-preserving multi-page read: one cache I/O for the whole
     /// contiguous range when it is fully resident.
     pub fn get_page_range(&self, first: PageId, count: u32, min_lsn: Lsn) -> Result<Vec<Page>> {
-        let ids: Vec<PageId> =
-            (first.raw()..first.raw() + count as u64).map(PageId::new).collect();
+        let ids: Vec<PageId> = (first.raw()..first.raw() + count as u64).map(PageId::new).collect();
         for id in &ids {
             if !self.spec.contains(*id) {
                 return Err(Error::InvalidArgument(format!(
@@ -860,10 +893,7 @@ mod tests {
     fn backup_is_a_snapshot_and_restores() {
         let mut f = Fixture::new();
         let ps = f.server("ps0", spec(0));
-        f.emit(&[
-            (2, PageOp::Format { ptype: PageType::BTreeLeaf }),
-            (2, insert_op(b"backed-up")),
-        ]);
+        f.emit(&[(2, PageOp::Format { ptype: PageType::BTreeLeaf }), (2, insert_op(b"backed-up"))]);
         ps.apply_once().unwrap();
         let (snap, lsn) = ps.backup().unwrap();
         assert_eq!(lsn, ps.applied_lsn());
@@ -922,10 +952,8 @@ mod tests {
         let mut f = Fixture::new();
         let ps = f.server("ps0", spec(0));
         ps.start();
-        let end = f.emit(&[
-            (8, PageOp::Format { ptype: PageType::BTreeLeaf }),
-            (8, insert_op(b"bg")),
-        ]);
+        let end =
+            f.emit(&[(8, PageOp::Format { ptype: PageType::BTreeLeaf }), (8, insert_op(b"bg"))]);
         let deadline = Instant::now() + Duration::from_secs(5);
         while ps.applied_lsn() < end {
             assert!(Instant::now() < deadline, "apply thread never caught up");

@@ -202,8 +202,7 @@ impl RbioClient {
         // Request leg latency.
         self.latency.read_delay();
         // Simulated packet loss: the request never reaches the server.
-        if self.config.request_loss_p > 0.0
-            && self.rng.lock().gen_bool(self.config.request_loss_p)
+        if self.config.request_loss_p > 0.0 && self.rng.lock().gen_bool(self.config.request_loss_p)
         {
             self.metrics.timeouts.incr();
             // Model the timeout without necessarily sleeping through it in
@@ -320,20 +319,16 @@ mod tests {
 
     #[test]
     fn transient_server_errors_are_retried() {
-        let server = RbioServer::start(
-            Arc::new(FlakyHandler { failures_left: AtomicU64::new(2) }),
-            1,
-        );
+        let server =
+            RbioServer::start(Arc::new(FlakyHandler { failures_left: AtomicU64::new(2) }), 1);
         let client = server.connect(NetworkConfig::instant()); // retries: 2
         assert_eq!(client.call(RbioRequest::Ping).unwrap(), RbioResponse::Pong);
     }
 
     #[test]
     fn retries_exhausted_reports_transient_error() {
-        let server = RbioServer::start(
-            Arc::new(FlakyHandler { failures_left: AtomicU64::new(100) }),
-            1,
-        );
+        let server =
+            RbioServer::start(Arc::new(FlakyHandler { failures_left: AtomicU64::new(100) }), 1);
         let client = server.connect(NetworkConfig::instant());
         let err = client.call(RbioRequest::Ping).unwrap_err();
         assert!(err.is_transient());

@@ -333,11 +333,7 @@ mod tests {
     impl PageSource for MapSource {
         fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
             self.min_lsns_seen.lock().push((id, min_lsn));
-            self.pages
-                .lock()
-                .get(&id)
-                .cloned()
-                .ok_or_else(|| Error::NotFound(format!("{id}")))
+            self.pages.lock().get(&id).cloned().ok_or_else(|| Error::NotFound(format!("{id}")))
         }
     }
 
@@ -404,9 +400,7 @@ mod tests {
         cache.get(PageId::new(1), || Lsn::new(77)).unwrap();
         assert_eq!(src.min_lsns_seen.lock().as_slice(), &[(PageId::new(1), Lsn::new(77))]);
         // Memory hit: closure must not run.
-        cache
-            .get(PageId::new(1), || panic!("min_lsn evaluated on a cache hit"))
-            .unwrap();
+        cache.get(PageId::new(1), || panic!("min_lsn evaluated on a cache hit")).unwrap();
     }
 
     #[test]

@@ -9,10 +9,10 @@
 //! file, or wrappers that inject device latency, CPU cost, and failures.
 
 use crate::page::{Page, PAGE_SIZE};
+use parking_lot::RwLock;
 use socrates_common::latency::LatencyInjector;
 use socrates_common::metrics::CpuAccountant;
 use socrates_common::{Error, PageId, Result};
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -299,11 +299,7 @@ impl PageFile {
 
     /// Read `count` consecutive frames in one device I/O (stride-preserving
     /// layout: one request at the device even for a 128-page scan read).
-    pub fn read_page_range(
-        &self,
-        first_frame: u64,
-        ids: &[PageId],
-    ) -> Result<Vec<Page>> {
+    pub fn read_page_range(&self, first_frame: u64, ids: &[PageId]) -> Result<Vec<Page>> {
         let mut buf = vec![0u8; PAGE_SIZE * ids.len()];
         self.fcb.read_at(first_frame * PAGE_SIZE as u64, &mut buf)?;
         ids.iter()

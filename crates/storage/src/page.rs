@@ -92,9 +92,7 @@ impl Page {
 
     /// LSN of the last log record applied to this page.
     pub fn page_lsn(&self) -> Lsn {
-        Lsn::new(u64::from_le_bytes(
-            self.bytes[OFF_PAGE_LSN..OFF_PAGE_LSN + 8].try_into().unwrap(),
-        ))
+        Lsn::new(u64::from_le_bytes(self.bytes[OFF_PAGE_LSN..OFF_PAGE_LSN + 8].try_into().unwrap()))
     }
 
     /// Stamp the PageLSN; called by the engine and by log apply.

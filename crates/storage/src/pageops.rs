@@ -231,7 +231,7 @@ mod tests {
 
     #[test]
     fn apply_stamps_lsn_and_replays_identically() {
-        let ops = vec![
+        let ops = [
             PageOp::Format { ptype: PageType::BTreeLeaf },
             PageOp::Insert { idx: 0, bytes: b"b".to_vec() },
             PageOp::Insert { idx: 0, bytes: b"a".to_vec() },

@@ -123,11 +123,7 @@ impl Rbpex {
     /// Replays the metadata journal to rebuild the directory, then verifies
     /// every referenced frame's checksum and silently drops torn or corrupt
     /// entries — a recovered cache may be smaller than it was, never wrong.
-    pub fn recover(
-        device: Arc<dyn Fcb>,
-        meta: Arc<dyn Fcb>,
-        policy: RbpexPolicy,
-    ) -> Result<Rbpex> {
+    pub fn recover(device: Arc<dyn Fcb>, meta: Arc<dyn Fcb>, policy: RbpexPolicy) -> Result<Rbpex> {
         let mapping = Self::scan_journal(&*meta)?;
         let nframes = match &policy {
             RbpexPolicy::Sparse { capacity_pages } => *capacity_pages,
@@ -163,10 +159,8 @@ impl Rbpex {
                     Err(_) => continue,
                 }
             }
-            dir.free = (0..nframes as u64)
-                .rev()
-                .filter(|f| dir.frames[*f as usize].is_none())
-                .collect();
+            dir.free =
+                (0..nframes as u64).rev().filter(|f| dir.frames[*f as usize].is_none()).collect();
             // Rewrite the journal to reflect exactly the adopted set.
             r.compact_journal(&mut dir)?;
         }
@@ -395,8 +389,9 @@ impl Rbpex {
                             break;
                         }
                     }
-                    let v = victim
-                        .ok_or_else(|| Error::InvalidState("rbpex has no evictable frame".into()))?;
+                    let v = victim.ok_or_else(|| {
+                        Error::InvalidState("rbpex has no evictable frame".into())
+                    })?;
                     let vid = dir.frames[v as usize].expect("victim occupied");
                     let (_, vlsn) = dir.map.remove(&vid).expect("victim mapped");
                     self.stats.evictions.incr();
@@ -439,8 +434,8 @@ impl Rbpex {
 mod tests {
     use super::*;
     use crate::fcb::MemFcb;
-    use crate::page::PAGE_SIZE;
     use crate::page::PageType;
+    use crate::page::PAGE_SIZE;
 
     fn page(id: u64, lsn: u64, fill: u8) -> Page {
         let mut p = Page::new(PageId::new(id), PageType::BTreeLeaf);
@@ -675,9 +670,6 @@ mod tests {
         // Journal stays bounded (directory has ≤2 entries; threshold is
         // (len+64)*4 records).
         let len = meta.len().unwrap();
-        assert!(
-            len < 70 * 4 * JREC_LEN as u64 * 2,
-            "journal grew unbounded: {len} bytes"
-        );
+        assert!(len < 70 * 4 * JREC_LEN as u64 * 2, "journal grew unbounded: {len} bytes");
     }
 }

@@ -109,8 +109,7 @@ impl Slotted {
             )));
         }
         if Self::contiguous_free(page) < bytes.len() + SLOT_ENTRY {
-            if Self::contiguous_free(page) + Self::fragmented_free(page)
-                >= bytes.len() + SLOT_ENTRY
+            if Self::contiguous_free(page) + Self::fragmented_free(page) >= bytes.len() + SLOT_ENTRY
             {
                 Self::compact(page);
             } else {

@@ -320,10 +320,7 @@ mod tests {
     fn pure_system_block_affects_everyone() {
         let mut b = BlockBuilder::new(Lsn::ZERO, 1 << 16);
         b.append(
-            &LogRecord::system(LogPayload::Checkpoint {
-                redo_start_lsn: Lsn::ZERO,
-                meta: vec![],
-            }),
+            &LogRecord::system(LogPayload::Checkpoint { redo_start_lsn: Lsn::ZERO, meta: vec![] }),
             None,
         );
         let block = b.seal();

@@ -107,7 +107,11 @@ impl LandingZone {
     /// Create an LZ whose first block will start at `start` instead of
     /// [`Lsn::ZERO`] — used when a log store is (re)created mid-stream,
     /// e.g. XLOG's local SSD block cache or a restored deployment.
-    pub fn with_start(replicas: Vec<Arc<dyn Fcb>>, config: LandingZoneConfig, start: Lsn) -> LandingZone {
+    pub fn with_start(
+        replicas: Vec<Arc<dyn Fcb>>,
+        config: LandingZoneConfig,
+        start: Lsn,
+    ) -> LandingZone {
         let lz = LandingZone::new(replicas, config);
         {
             let mut s = lz.state.lock();
@@ -319,9 +323,8 @@ mod tests {
     }
 
     fn lz(capacity: u64, quorum: usize, n: usize) -> (LandingZone, Vec<Arc<FaultFcb<MemFcb>>>) {
-        let faults: Vec<Arc<FaultFcb<MemFcb>>> = (0..n)
-            .map(|i| Arc::new(FaultFcb::new(MemFcb::new(format!("lz-{i}")))))
-            .collect();
+        let faults: Vec<Arc<FaultFcb<MemFcb>>> =
+            (0..n).map(|i| Arc::new(FaultFcb::new(MemFcb::new(format!("lz-{i}"))))).collect();
         let replicas: Vec<Arc<dyn Fcb>> =
             faults.iter().map(|f| Arc::clone(f) as Arc<dyn Fcb>).collect();
         (LandingZone::new(replicas, LandingZoneConfig { capacity, write_quorum: quorum }), faults)
@@ -391,7 +394,7 @@ mod tests {
         faults[1].set_unavailable(true);
         let b1 = block_at(Lsn::ZERO, 64);
         lz.write_block(&b1).unwrap(); // 2/3 still ack
-        // Reads also skip the dead replica.
+                                      // Reads also skip the dead replica.
         assert_eq!(lz.read_block(Lsn::ZERO).unwrap(), b1);
     }
 

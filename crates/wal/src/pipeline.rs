@@ -147,6 +147,34 @@ impl LogPipeline {
         &self.metrics
     }
 
+    /// Register the pipeline's metrics into the hub under `node` (the
+    /// compute node that owns this pipeline). Closures sample the existing
+    /// counters/histograms, so the hot path is untouched.
+    pub fn register_metrics(
+        self: &Arc<Self>,
+        hub: &socrates_common::obs::MetricsHub,
+        node: socrates_common::NodeId,
+    ) {
+        let m = Arc::clone(self);
+        hub.register_counter_fn(node, "log_bytes_appended", move || m.metrics.bytes_appended.get());
+        let m = Arc::clone(self);
+        hub.register_counter_fn(node, "log_bytes_hardened", move || m.metrics.bytes_hardened.get());
+        let m = Arc::clone(self);
+        hub.register_counter_fn(node, "log_blocks_hardened", move || {
+            m.metrics.blocks_hardened.get()
+        });
+        let m = Arc::clone(self);
+        hub.register_histogram_fn(node, "harden_latency_us", move || {
+            m.metrics.harden_latency.snapshot()
+        });
+        let m = Arc::clone(self);
+        hub.register_histogram_fn(node, "commit_latency_us", move || {
+            m.metrics.commit_latency.snapshot()
+        });
+        let m = Arc::clone(self);
+        hub.register_gauge_fn(node, "hardened_lsn", move || m.hardened.load().offset() as i64);
+    }
+
     /// Everything strictly below this LSN is durable.
     pub fn hardened_lsn(&self) -> Lsn {
         self.hardened.load()
@@ -288,8 +316,7 @@ impl LogPipeline {
                     if !self.is_hardened(lsn) {
                         // Bounded wait guards against a leader that errored
                         // out between our check and the park.
-                        self.wait_cv
-                            .wait_for(&mut g, std::time::Duration::from_millis(20));
+                        self.wait_cv.wait_for(&mut g, std::time::Duration::from_millis(20));
                     }
                 }
             }

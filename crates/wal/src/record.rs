@@ -178,9 +178,7 @@ impl LogRecord {
                 if body.len() != 8 {
                     return Err(err());
                 }
-                LogPayload::TxnCommit {
-                    commit_ts: u64::from_le_bytes(body.try_into().unwrap()),
-                }
+                LogPayload::TxnCommit { commit_ts: u64::from_le_bytes(body.try_into().unwrap()) }
             }
             TAG_ABORT => LogPayload::TxnAbort,
             TAG_CHECKPOINT => {

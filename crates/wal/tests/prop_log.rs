@@ -11,21 +11,18 @@ use std::sync::Arc;
 
 fn payload_strategy() -> impl Strategy<Value = LogPayload> {
     prop_oneof![
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(p, op)| {
-            LogPayload::PageWrite { page_id: PageId::new(p % 10_000), op }
-        }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(p, op)| { LogPayload::PageWrite { page_id: PageId::new(p % 10_000), op } }),
         Just(LogPayload::TxnBegin),
         any::<u64>().prop_map(|t| LogPayload::TxnCommit { commit_ts: t }),
         Just(LogPayload::TxnAbort),
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(l, m)| {
-            LogPayload::Checkpoint { redo_start_lsn: Lsn::new(l), meta: m }
-        }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(l, m)| { LogPayload::Checkpoint { redo_start_lsn: Lsn::new(l), meta: m } }),
         (any::<u64>(), 1..64u64).prop_map(|(f, c)| LogPayload::AllocPages {
             first: PageId::new(f % 100_000),
             count: c,
         }),
-        proptest::collection::vec(any::<u8>(), 0..100)
-            .prop_map(|info| LogPayload::Noop { info }),
+        proptest::collection::vec(any::<u8>(), 0..100).prop_map(|info| LogPayload::Noop { info }),
     ]
 }
 

@@ -103,10 +103,8 @@ mod tests {
             "xlog/lt",
         )
         .unwrap();
-        let feed = Arc::new(XLogFeed::start(
-            Arc::clone(&svc),
-            LossyConfig::unreliable(0.3, 0.2, 99),
-        ));
+        let feed =
+            Arc::new(XLogFeed::start(Arc::clone(&svc), LossyConfig::unreliable(0.3, 0.2, 99)));
         let pipeline = LogPipeline::new(
             Arc::clone(&lz) as Arc<dyn socrates_wal::pipeline::BlockSink>,
             Arc::new(|p: PageId| PartitionId::new((p.raw() / 1000) as u32)),
@@ -172,10 +170,7 @@ mod tests {
         .unwrap();
         let feed = XLogFeed::start(Arc::clone(&svc), LossyConfig::reliable());
         let mut b = BlockBuilder::new(Lsn::ZERO, 1 << 16);
-        b.append(
-            &LogRecord { txn: TxnId::new(1), payload: LogPayload::TxnBegin },
-            None,
-        );
+        b.append(&LogRecord { txn: TxnId::new(1), payload: LogPayload::TxnBegin }, None);
         let block = b.seal();
         lz.write_block(&block).unwrap();
         feed.offer_block(&block);

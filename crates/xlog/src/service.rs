@@ -166,7 +166,9 @@ impl XLogService {
                         Err(_) => {
                             // XStore outage etc.: back off and retry; blocks
                             // stay queued, the LZ keeps them durable.
-                            std::thread::sleep(svc.config.destage_idle.max(Duration::from_millis(5)));
+                            std::thread::sleep(
+                                svc.config.destage_idle.max(Duration::from_millis(5)),
+                            );
                         }
                     }
                 }
@@ -186,6 +188,54 @@ impl XLogService {
     /// Service counters.
     pub fn metrics(&self) -> &XLogMetrics {
         &self.metrics
+    }
+
+    /// Register the service's counters and LSN watermarks into the hub
+    /// under `node` (closure-sampled; no hot-path cost).
+    pub fn register_metrics(
+        self: &Arc<Self>,
+        hub: &socrates_common::obs::MetricsHub,
+        node: socrates_common::NodeId,
+    ) {
+        macro_rules! counter {
+            ($name:literal, $field:ident) => {{
+                let svc = Arc::clone(self);
+                hub.register_counter_fn(node, $name, move || svc.metrics.$field.get());
+            }};
+        }
+        counter!("blocks_offered", blocks_offered);
+        counter!("blocks_released", blocks_released);
+        counter!("gaps_filled_from_lz", gaps_filled_from_lz);
+        counter!("duplicates_dropped", duplicates_dropped);
+        counter!("blocks_destaged", blocks_destaged);
+        counter!("bytes_destaged", bytes_destaged);
+        counter!("served_from_memory", served_from_memory);
+        counter!("served_from_ssd", served_from_ssd);
+        counter!("served_from_lz", served_from_lz);
+        counter!("served_from_lt", served_from_lt);
+        let svc = Arc::clone(self);
+        hub.register_gauge_fn(node, "hardened_lsn", move || svc.hardened.load().offset() as i64);
+        let svc = Arc::clone(self);
+        hub.register_gauge_fn(node, "destaged_lsn", move || svc.destaged.load().offset() as i64);
+        let svc = Arc::clone(self);
+        hub.register_gauge_fn(node, "released_lsn", move || svc.released_lsn().offset() as i64);
+        // The destage lag: bytes hardened in the landing zone but not yet
+        // durable in the long-term archive (Socrates stalls commits when
+        // this outgrows the LZ).
+        let svc = Arc::clone(self);
+        hub.register_gauge_fn(node, "destage_lag_bytes", move || {
+            (svc.hardened.load().offset() as i64 - svc.destaged.load().offset() as i64).max(0)
+        });
+    }
+
+    /// Every live consumer's applied progress, by lease name (lag
+    /// watchers derive per-consumer gauges from this).
+    pub fn consumer_progress(&self) -> Vec<(String, Lsn)> {
+        let leases = self.leases.lock();
+        let mut v: Vec<(String, Lsn)> =
+            leases.iter().map(|(n, l)| (n.clone(), l.progress)).collect();
+        v.sort();
+        v
     }
 
     /// The hardened frontier reported by the primary.
@@ -346,7 +396,6 @@ impl XLogService {
         }
     }
 
-
     fn ssd_write_best_effort(&self, block: &LogBlock) {
         // Make room by truncating the circular cache window.
         let need = block.len() as u64;
@@ -440,7 +489,7 @@ impl XLogService {
             let block = self.get_block(at)?;
             at = block.end_lsn();
             bytes += block.len();
-            let relevant = partition.map_or(true, |p| block.affects_partition(p));
+            let relevant = partition.is_none_or(|p| block.affects_partition(p));
             if relevant {
                 blocks.push(block);
             }

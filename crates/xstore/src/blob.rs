@@ -113,20 +113,13 @@ impl Blob {
             return Ok(Vec::new());
         }
         if offset >= self.len {
-            return Err(Error::Io(format!(
-                "blob read at {offset} beyond length {}",
-                self.len
-            )));
+            return Err(Error::Io(format!("blob read at {offset} beyond length {}", self.len)));
         }
         let mut out = vec![0u8; len];
         let end = offset + len as u64;
         // Include an extent that starts before `offset` but reaches into it.
-        let scan_from = self
-            .extents
-            .range(..=offset)
-            .next_back()
-            .map(|(&o, _)| o)
-            .unwrap_or(offset);
+        let scan_from =
+            self.extents.range(..=offset).next_back().map(|(&o, _)| o).unwrap_or(offset);
         for (&eoff, data) in self.extents.range(scan_from..end) {
             let eend = eoff + data.len() as u64;
             if eend <= offset {

@@ -147,8 +147,7 @@ impl XStore {
         self.check_available()?;
         self.latency.write_delay();
         let mut inner = self.inner.write();
-        let blob =
-            inner.blobs.get_mut(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;
+        let blob = inner.blobs.get_mut(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;
         blob.write_at(offset, data)?;
         self.metrics.bytes_written.add(data.len() as u64);
         Ok(())
@@ -162,8 +161,7 @@ impl XStore {
         self.check_available()?;
         self.latency.write_delay();
         let mut inner = self.inner.write();
-        let blob =
-            inner.blobs.get_mut(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;
+        let blob = inner.blobs.get_mut(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;
         let mut bytes = 0u64;
         for (off, data) in writes {
             blob.write_at(*off, data)?;
@@ -178,8 +176,7 @@ impl XStore {
         self.check_available()?;
         self.latency.write_delay();
         let mut inner = self.inner.write();
-        let blob =
-            inner.blobs.get_mut(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;
+        let blob = inner.blobs.get_mut(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;
         let off = blob.append(data)?;
         self.metrics.bytes_written.add(data.len() as u64);
         Ok(off)
@@ -200,11 +197,7 @@ impl XStore {
     pub fn blob_len(&self, id: BlobId) -> Result<u64> {
         self.check_available()?;
         let inner = self.inner.read();
-        Ok(inner
-            .blobs
-            .get(&id)
-            .ok_or_else(|| Error::NotFound(format!("{id}")))?
-            .len())
+        Ok(inner.blobs.get(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?.len())
     }
 
     /// Take a constant-time snapshot of the blob's current state.
@@ -214,8 +207,7 @@ impl XStore {
     pub fn snapshot(&self, id: BlobId) -> Result<SnapshotId> {
         self.check_available()?;
         let mut inner = self.inner.write();
-        let blob =
-            inner.blobs.get(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?.clone();
+        let blob = inner.blobs.get(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?.clone();
         let sid = SnapshotId(self.next_snapshot.fetch_add(1, Ordering::Relaxed));
         inner.snapshots.insert(sid, blob);
         self.metrics.snapshots_taken.incr();
@@ -227,11 +219,8 @@ impl XStore {
     pub fn restore_snapshot(&self, sid: SnapshotId, name: &str) -> Result<BlobId> {
         self.check_available()?;
         let mut inner = self.inner.write();
-        let blob = inner
-            .snapshots
-            .get(&sid)
-            .ok_or_else(|| Error::NotFound(format!("{sid}")))?
-            .clone();
+        let blob =
+            inner.snapshots.get(&sid).ok_or_else(|| Error::NotFound(format!("{sid}")))?.clone();
         if inner.names.contains_key(name) {
             return Err(Error::InvalidArgument(format!("blob name '{name}' already exists")));
         }
@@ -246,11 +235,7 @@ impl XStore {
     pub fn delete_snapshot(&self, sid: SnapshotId) -> Result<()> {
         self.check_available()?;
         let mut inner = self.inner.write();
-        inner
-            .snapshots
-            .remove(&sid)
-            .map(|_| ())
-            .ok_or_else(|| Error::NotFound(format!("{sid}")))
+        inner.snapshots.remove(&sid).map(|_| ()).ok_or_else(|| Error::NotFound(format!("{sid}")))
     }
 
     /// Number of live blobs (diagnostics).

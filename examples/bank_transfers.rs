@@ -31,10 +31,7 @@ fn main() -> socrates_common::Result<()> {
     let db = primary.db();
     db.create_table(
         "accounts",
-        Schema::new(
-            vec![("id".into(), ColumnType::Int), ("balance".into(), ColumnType::Int)],
-            1,
-        ),
+        Schema::new(vec![("id".into(), ColumnType::Int), ("balance".into(), ColumnType::Int)], 1),
     )?;
     let setup = db.begin();
     for id in 0..ACCOUNTS {
@@ -140,8 +137,13 @@ fn main() -> socrates_common::Result<()> {
     let primary = sys.primary()?;
     let db = primary.db();
     let h = db.begin();
-    let rows =
-        db.scan_range(&h, "accounts", &[Value::Int(0)], &[Value::Int(ACCOUNTS)], ACCOUNTS as usize)?;
+    let rows = db.scan_range(
+        &h,
+        "accounts",
+        &[Value::Int(0)],
+        &[Value::Int(ACCOUNTS)],
+        ACCOUNTS as usize,
+    )?;
     let total: i64 = rows.iter().map(|r| balance_of(r)).sum();
     assert_eq!(total, ACCOUNTS * INITIAL);
     println!(

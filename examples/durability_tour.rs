@@ -24,10 +24,7 @@ fn main() -> socrates_common::Result<()> {
     let db = primary.db();
     db.create_table(
         "facts",
-        Schema::new(
-            vec![("id".into(), ColumnType::Int), ("fact".into(), ColumnType::Str)],
-            1,
-        ),
+        Schema::new(vec![("id".into(), ColumnType::Int), ("fact".into(), ColumnType::Str)], 1),
     )?;
     let h = db.begin();
     for i in 0..500 {
@@ -97,11 +94,7 @@ fn main() -> socrates_common::Result<()> {
     let before = fabric.partition_ids().len();
     let h = primary.db().begin();
     for i in 0..2000 {
-        primary.db().insert(
-            &h,
-            "facts",
-            &[Value::Int(10_000 + i), Value::Str("x".repeat(200))],
-        )?;
+        primary.db().insert(&h, "facts", &[Value::Int(10_000 + i), Value::Str("x".repeat(200))])?;
     }
     primary.db().commit(h)?;
     let after = fabric.partition_ids().len();

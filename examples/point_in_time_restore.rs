@@ -24,10 +24,7 @@ fn main() -> socrates_common::Result<()> {
     let db = primary.db();
     db.create_table(
         "ledger",
-        Schema::new(
-            vec![("id".into(), ColumnType::Int), ("entry".into(), ColumnType::Str)],
-            1,
-        ),
+        Schema::new(vec![("id".into(), ColumnType::Int), ("entry".into(), ColumnType::Str)], 1),
     )?;
 
     // Era 1: 100 entries, then a backup.

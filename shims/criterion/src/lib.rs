@@ -1,0 +1,217 @@
+//! Workspace-local `criterion` shim.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides a minimal benchmark harness with criterion's API shape:
+//! `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function` with `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple — each sample is one timed run of
+//! the routine, and the report prints min / mean / max per-iteration time
+//! (plus derived throughput when configured). There is no HTML report, no
+//! outlier analysis, and no saved baselines; numbers print to stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` should size its input batches. The shim always runs
+/// one input per timed routine call, so the variants only exist for source
+/// compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs (ignored by the shim).
+    SmallInput,
+    /// Large inputs (ignored by the shim).
+    LargeInput,
+    /// One fresh input per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level handle passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work so the report can derive a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark. `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`] exactly once.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut bencher);
+        report(&self.name, &id, &bencher.samples, self.throughput);
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of samples (after one
+    /// untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples (bencher closure never called iter)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("nonempty");
+    let max = *samples.iter().max().expect("nonempty");
+    let mut line = format!(
+        "{group}/{id}: time [{} {} {}] ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len()
+    );
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" thrpt {:.1} elem/s", n as f64 / secs));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        " thrpt {:.2} MiB/s",
+                        n as f64 / secs / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        group.bench_function("iter", |b| b.iter(|| count += 1));
+        // 1 warmup + 3 samples
+        assert_eq!(count, 4);
+        group.bench_function(format!("batched_{}", 1), |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+}

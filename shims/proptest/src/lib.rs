@@ -1,0 +1,557 @@
+//! Workspace-local `proptest` shim.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the slice of the proptest API the workspace's property
+//! tests use: the `proptest!` / `prop_oneof!` / `prop_assert!` macros, the
+//! [`strategy::Strategy`] trait with `prop_map`, `any::<T>()`, `Just`,
+//! numeric range strategies, tuple strategies, `collection::vec`,
+//! `option::of`, and a tiny `".{m,n}"` regex string strategy.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case panics with its seed; re-running is
+//!   deterministic (fixed base seed per test name), so failures reproduce.
+//! - `prop_assert!` / `prop_assert_eq!` panic instead of returning
+//!   `Err(TestCaseError)`.
+//! - Regex strategies support only the `.{m,n}` form the tests use.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produce one value. Deterministic given the RNG state.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] used by [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, strategy)` arms. Panics if all weights are 0.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one nonzero weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + (self.end - self.start) * unit
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// `".{m,n}"` regex string strategy: a printable-ASCII string whose
+    /// length is uniform in `[m, n]`. Other patterns panic — extend this
+    /// parser if a test needs more of the regex language.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_dot_repeat(self).unwrap_or_else(|| {
+                panic!("unsupported regex strategy {self:?}; shim supports only \".{{m,n}}\"")
+            });
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len).map(|_| (b' ' + rng.below(95) as u8) as char).collect()
+        }
+    }
+
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (min, max) = rest.split_once(',')?;
+        let (min, max) = (min.trim().parse().ok()?, max.trim().parse().ok()?);
+        (min <= max).then_some((min, max))
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Produce an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated data readable in failures.
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: `any::<u8>()` etc.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with size drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each element from `element`, length within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` from `inner` three times out of four, `None` otherwise
+    /// (matching real proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration. Only the fields the workspace's tests set are
+    /// meaningful; `max_shrink_iters` is accepted but unused (no shrinking).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for source compatibility; this shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG; seeded per test name + case index so
+    /// failures reproduce exactly on re-run.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name and case index.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            let mut seed =
+                0x9e37_79b9_7f4a_7c15u64 ^ (case as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+            for b in test_name.bytes() {
+                seed = seed.rotate_left(7) ^ (b as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Rejection sampling kills modulo bias.
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+
+    /// Drive `f` through `config.cases` deterministic cases. On panic the
+    /// failing case index is reported via a `[proptest-shim]` line before
+    /// the panic propagates (no shrinking).
+    pub fn run_cases<F: FnMut(&mut TestRng)>(config: &ProptestConfig, test_name: &str, mut f: F) {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(test_name, case);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f(&mut rng);
+            }));
+            if let Err(panic) = result {
+                eprintln!(
+                    "[proptest-shim] {test_name}: case {case}/{} failed \
+                     (deterministic; re-run reproduces it)",
+                    config.cases
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: generated inputs bound with `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $config;
+                // Build each strategy once, bound to the argument's name;
+                // inside the case closure the name is shadowed by a
+                // generated value.
+                $(let $arg = $strat;)+
+                $crate::test_runner::run_cases(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Assert inside a property test (panics; this shim has no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = crate::strategy::Strategy::generate(&(5i64..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let v = crate::strategy::Strategy::generate(&(0usize..=3), &mut rng);
+            assert!(v <= 3);
+        }
+    }
+
+    #[test]
+    fn regex_dot_repeat() {
+        let mut rng = TestRng::for_case("regex", 0);
+        for _ in 0..100 {
+            let s = crate::strategy::Strategy::generate(&".{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii() && !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::for_case("det", 3);
+        let mut b = TestRng::for_case("det", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("det", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_surface_compiles(
+            v in proptest::collection::vec(any::<u8>(), 0..10),
+            opt in proptest::option::of(0u64..5),
+            choice in prop_oneof![
+                2 => (0i64..10).prop_map(|x| x * 2),
+                1 => Just(-1i64),
+            ],
+            s in ".{0,8}",
+        ) {
+            prop_assert!(v.len() < 10);
+            if let Some(x) = opt {
+                prop_assert!(x < 5);
+            }
+            prop_assert!(choice == -1 || (choice % 2 == 0 && (0..20).contains(&choice)));
+            prop_assert!(s.len() <= 8);
+        }
+    }
+
+    // `use proptest::prelude::*` resolves to this crate within its own tests.
+    use crate as proptest;
+}

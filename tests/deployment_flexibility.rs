@@ -7,10 +7,7 @@ use socrates_engine::value::{ColumnType, Schema, Value};
 use std::time::Duration;
 
 fn schema() -> Schema {
-    Schema::new(
-        vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)],
-        1,
-    )
+    Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)], 1)
 }
 
 #[test]
@@ -87,7 +84,10 @@ fn planned_promotion_of_a_secondary() {
     assert_eq!(sys.secondary_count(), 0);
     let db = new_primary.db();
     let r = db.begin();
-    assert_eq!(db.get(&r, "t", &[Value::Int(1)]).unwrap(), Some(vec![Value::Int(1), Value::Int(10)]));
+    assert_eq!(
+        db.get(&r, "t", &[Value::Int(1)]).unwrap(),
+        Some(vec![Value::Int(1), Value::Int(10)])
+    );
     // And it is writable.
     let h = db.begin();
     db.update(&h, "t", &[Value::Int(1), Value::Int(11)]).unwrap();

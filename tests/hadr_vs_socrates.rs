@@ -112,11 +112,7 @@ fn socrates_survives_what_kills_hadr_capacity() {
             db.insert(
                 &h,
                 "t",
-                &[
-                    Value::Int(batch * 50 + i),
-                    Value::Int(0),
-                    Value::Str("y".repeat(400)),
-                ],
+                &[Value::Int(batch * 50 + i), Value::Int(0), Value::Str("y".repeat(400))],
             )
             .unwrap();
         }

@@ -1,0 +1,218 @@
+//! Integration: the end-to-end observability layer.
+//!
+//! Drives a full deployment (primary + secondary + page servers + XLOG)
+//! through a real commit workload and then interrogates everything the
+//! observability subsystem promises: complete per-stage commit traces,
+//! a hub snapshot covering every tier, lag gauges that return to zero
+//! once the system quiesces, and exporters whose output parses.
+
+use socrates::{Socrates, SocratesConfig};
+use socrates_common::ids::NodeKind;
+use socrates_common::obs::{
+    json_snapshot, json_trace_summary, prometheus_text, testjson, MetricValue, Stage,
+};
+use socrates_common::NodeId;
+use socrates_engine::value::{ColumnType, Schema, Value};
+use std::time::{Duration, Instant};
+
+const COMMITS: u64 = 120;
+
+fn schema() -> Schema {
+    Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Str)], 1)
+}
+
+/// Launch primary + 1 secondary, drive `COMMITS` transactions, quiesce.
+fn observed_deployment() -> Socrates {
+    let mut config = SocratesConfig::fast_test();
+    config.secondaries = 1;
+    let sys = Socrates::launch(config).unwrap();
+    let primary = sys.primary().unwrap();
+    let db = primary.db();
+    db.create_table("t", schema()).unwrap();
+    for i in 0..COMMITS {
+        let h = db.begin();
+        db.insert(&h, "t", &[Value::Int(i as i64), Value::Str(format!("v{i}"))]).unwrap();
+        db.commit(h).unwrap();
+    }
+    // Quiesce: storage catches up, XLOG destages, and the watcher gets a
+    // few ticks to complete the async trace stages.
+    let frontier = primary.pipeline().hardened_lsn();
+    sys.fabric().wait_applied(frontier, Duration::from_secs(30)).unwrap();
+    sys.secondary(0).unwrap().wait_applied(frontier, Duration::from_secs(30)).unwrap();
+    sys.fabric().xlog.destage_all().unwrap();
+    sys
+}
+
+/// Wait (bounded) for a predicate that the watcher thread satisfies.
+fn eventually(mut pred: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn commit_traces_cover_every_stage() {
+    let sys = observed_deployment();
+
+    // The watcher needs to observe the final frontiers.
+    eventually(
+        || sys.trace().completed_traces().len() as u64 >= COMMITS,
+        "all commit traces to complete",
+    );
+
+    let traces = sys.trace().completed_traces();
+    assert!(traces.len() as u64 >= COMMITS, "only {} complete traces", traces.len());
+    for t in &traces {
+        for stage in Stage::ALL {
+            assert!(
+                t.stage_ns(stage) > 0,
+                "commit {} (lsn {}) has zero duration for stage {}",
+                t.txn,
+                t.lsn,
+                stage.name()
+            );
+        }
+        assert!(t.is_complete());
+        assert!(t.total_ns() >= t.stage_ns(Stage::Engine));
+    }
+    // Percentile queries answer over the retained window.
+    assert!(sys.trace().stage_percentile_us(Stage::Harden, 0.5) > 0);
+    assert!(sys.trace().commits_recorded() >= COMMITS);
+    sys.shutdown();
+}
+
+#[test]
+fn hub_snapshot_covers_every_tier() {
+    let sys = observed_deployment();
+    let snapshot = sys.hub().snapshot();
+
+    let tiers: Vec<NodeKind> = snapshot.nodes().iter().map(|n| n.kind).collect();
+    for want in [NodeKind::Primary, NodeKind::Secondary, NodeKind::XLog, NodeKind::PageServer] {
+        assert!(tiers.contains(&want), "no {} metrics in snapshot", want.tier_name());
+    }
+
+    // Spot-check one live metric per tier.
+    match snapshot.get(NodeId::PRIMARY, "log_bytes_appended") {
+        Some(MetricValue::Counter(v)) => assert!(*v > 0, "no log bytes appended"),
+        other => panic!("primary log_bytes_appended missing/wrong type: {other:?}"),
+    }
+    match snapshot.get(NodeId::XLOG, "blocks_offered") {
+        Some(MetricValue::Counter(v)) => assert!(*v > 0),
+        other => panic!("xlog blocks_offered: {other:?}"),
+    }
+    match snapshot.get(NodeId::page_server(0), "records_applied") {
+        Some(MetricValue::Counter(v)) => assert!(*v > 0),
+        other => panic!("pageserver records_applied: {other:?}"),
+    }
+    assert!(
+        snapshot.get(NodeId::secondary(0), "applied_lsn").is_some(),
+        "secondary applied_lsn missing"
+    );
+    // The commit-stage histograms are in the hub too (registered off the
+    // trace recorder).
+    match snapshot.get(NodeId::PRIMARY, "commit_stage_harden_us") {
+        Some(MetricValue::Histogram(h)) => assert!(h.count >= COMMITS),
+        other => panic!("commit_stage_harden_us: {other:?}"),
+    }
+    sys.shutdown();
+}
+
+#[test]
+fn lag_gauges_return_to_zero_after_quiesce() {
+    let sys = observed_deployment();
+
+    let lag_of = |node: NodeId, name: &str| -> i64 {
+        match sys.hub().snapshot().get(node, name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            other => panic!("{name}: {other:?}"),
+        }
+    };
+    // Service-sampled gauges read the watermarks directly.
+    assert_eq!(lag_of(NodeId::page_server(0), "apply_lag_bytes"), 0);
+    assert_eq!(lag_of(NodeId::XLOG, "destage_lag_bytes"), 0);
+    // Watcher-owned gauges need a tick after the frontier settles.
+    eventually(
+        || lag_of(NodeId::XLOG, "max_pageserver_lag_bytes") == 0,
+        "watcher pageserver lag to drain",
+    );
+    eventually(
+        || lag_of(NodeId::XLOG, "max_secondary_lag_bytes") == 0,
+        "watcher secondary lag to drain",
+    );
+    sys.shutdown();
+}
+
+#[test]
+fn exporters_emit_parseable_output() {
+    let sys = observed_deployment();
+    let snapshot = sys.hub().snapshot();
+
+    // Prometheus: every non-comment line is `name{labels} value`.
+    let prom = prometheus_text(&snapshot);
+    assert!(prom.contains("# TYPE socrates_log_bytes_appended counter"));
+    assert!(prom.contains("tier=\"pageserver\""));
+    assert!(prom.contains("tier=\"secondary\""));
+    let mut lines = 0;
+    for line in prom.lines().filter(|l| !l.starts_with('#')) {
+        let (series, value) = line.rsplit_once(' ').expect("space-separated");
+        let name_end = series.find('{').expect("labels start");
+        assert!(series.ends_with('}'), "unterminated labels: {series}");
+        assert!(
+            series[..name_end].chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "illegal prometheus name: {}",
+            &series[..name_end]
+        );
+        value.parse::<f64>().unwrap_or_else(|_| panic!("bad value {value}"));
+        lines += 1;
+    }
+    assert!(lines > 20, "suspiciously few prometheus samples: {lines}");
+
+    // JSON: parses, and carries the same sample count as the snapshot.
+    let json = json_snapshot(&snapshot);
+    let v = testjson::parse(&json).expect("valid JSON snapshot");
+    let metrics = v.get("metrics").and_then(|m| m.as_array()).expect("metrics array");
+    assert_eq!(metrics.len(), snapshot.samples.len());
+
+    // Trace summary: parses and reports every stage.
+    let summary = testjson::parse(&json_trace_summary(sys.trace())).expect("valid JSON");
+    assert!(summary.get("commits").and_then(|c| c.as_i64()).unwrap() >= COMMITS as i64);
+    let stages = summary.get("stages").expect("stages object");
+    for stage in Stage::ALL {
+        let s = stages.get(stage.name()).expect("stage entry");
+        assert!(s.get("count").and_then(|c| c.as_i64()).unwrap() > 0);
+    }
+    sys.shutdown();
+}
+
+#[test]
+fn node_lifecycle_updates_the_hub() {
+    let sys = observed_deployment();
+
+    // Scale out: a new secondary's metrics appear.
+    let idx = sys.add_secondary().unwrap();
+    let node = sys.secondary(idx).unwrap().node();
+    assert!(sys.hub().snapshot().get(node, "applied_lsn").is_some());
+
+    // Scale in: they disappear.
+    sys.remove_secondary(idx).unwrap();
+    assert!(
+        sys.hub().snapshot().get(node, "applied_lsn").is_none(),
+        "removed secondary still in hub"
+    );
+
+    // Failover: the replacement primary re-registers under the same id and
+    // its counters keep counting from the new node's perspective.
+    sys.kill_primary();
+    let new_primary = sys.failover().unwrap();
+    let db = new_primary.db();
+    let h = db.begin();
+    db.insert(&h, "t", &[Value::Int(10_000), Value::Str("post-failover".into())]).unwrap();
+    db.commit(h).unwrap();
+    match sys.hub().snapshot().get(NodeId::PRIMARY, "log_bytes_appended") {
+        Some(MetricValue::Counter(v)) => assert!(*v > 0),
+        other => panic!("failover primary not registered: {other:?}"),
+    }
+    sys.shutdown();
+}

@@ -29,17 +29,13 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn schema() -> Schema {
-    Schema::new(
-        vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)],
-        1,
-    )
+    Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)], 1)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12, // each case spins up a full deployment
         max_shrink_iters: 40,
-        .. ProptestConfig::default()
     })]
 
     #[test]

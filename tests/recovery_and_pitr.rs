@@ -6,10 +6,7 @@ use socrates_engine::value::{ColumnType, Schema, Value};
 use std::time::Duration;
 
 fn schema() -> Schema {
-    Schema::new(
-        vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)],
-        1,
-    )
+    Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Int)], 1)
 }
 
 fn row(id: i64, v: i64) -> Vec<Value> {
@@ -44,8 +41,11 @@ fn failover_after_checkpoint_and_more_commits() {
     let db2 = p2.db();
     let r = db2.begin();
     assert_eq!(db2.scan_table(&r, "t", usize::MAX).unwrap().len(), 80);
-    assert_eq!(db2.get(&r, "t", &[Value::Int(0)]).unwrap(), Some(row(0, 1)),
-        "uncommitted update must be invisible after recovery (ADR)");
+    assert_eq!(
+        db2.get(&r, "t", &[Value::Int(0)]).unwrap(),
+        Some(row(0, 1)),
+        "uncommitted update must be invisible after recovery (ADR)"
+    );
     // The dead transaction's id is in the aborted map: new writers skip
     // its version.
     let h = db2.begin();

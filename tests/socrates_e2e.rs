@@ -130,9 +130,6 @@ fn secondary_catches_ddl() {
     let sec = sys.secondary(0).unwrap();
     sec.wait_applied(primary.pipeline().hardened_lsn(), Duration::from_secs(5)).unwrap();
     let r = sec.db().begin();
-    assert_eq!(
-        sec.db().get(&r, "late_table", &[Value::Int(5)]).unwrap(),
-        Some(row(5, 2, "ddl"))
-    );
+    assert_eq!(sec.db().get(&r, "late_table", &[Value::Int(5)]).unwrap(), Some(row(5, 2, "ddl")));
     sys.shutdown();
 }

@@ -7,10 +7,7 @@ use socrates_engine::value::{ColumnType, Schema, Value};
 use std::time::Duration;
 
 fn schema() -> Schema {
-    Schema::new(
-        vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Bytes)],
-        1,
-    )
+    Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Bytes)], 1)
 }
 
 #[test]
@@ -30,12 +27,8 @@ fn slow_consumer_reads_from_cold_tiers() {
     for batch in 0..20 {
         let h = db.begin();
         for i in 0..20 {
-            db.upsert(
-                &h,
-                "t",
-                &[Value::Int(batch * 20 + i), Value::Bytes(vec![7u8; 1600])],
-            )
-            .unwrap();
+            db.upsert(&h, "t", &[Value::Int(batch * 20 + i), Value::Bytes(vec![7u8; 1600])])
+                .unwrap();
         }
         db.commit(h).unwrap();
     }
@@ -81,12 +74,8 @@ fn lz_backpressure_stalls_but_never_fails_commits() {
     for batch in 0..16 {
         let h = db.begin();
         for i in 0..8 {
-            db.upsert(
-                &h,
-                "t",
-                &[Value::Int(batch * 8 + i), Value::Bytes(vec![1u8; 1600])],
-            )
-            .unwrap();
+            db.upsert(&h, "t", &[Value::Int(batch * 8 + i), Value::Bytes(vec![1u8; 1600])])
+                .unwrap();
         }
         db.commit(h).unwrap();
     }
