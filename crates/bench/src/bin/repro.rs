@@ -7,9 +7,9 @@
 //! ```
 
 use socrates_bench::{
-    ablation_block_size, ablation_lossy_feed, ablation_lz_replicas, ablation_rbpex, fig4_threads,
-    table1_goals, table2_throughput, table3_cache_hit, table4_tpce_cache, table5_log_throughput,
-    table6_commit_latency, table7_lz_cpu, Effort,
+    ablation_block_size, ablation_lossy_feed, ablation_lz_replicas, ablation_rbpex, cold_scan,
+    fig4_threads, table1_goals, table2_throughput, table3_cache_hit, table4_tpce_cache,
+    table5_log_throughput, table6_commit_latency, table7_lz_cpu, Effort,
 };
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
             "--quick" | "-q" => effort = Effort::Quick,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment all|table1|...|table7|fig4|ablations] [--quick]"
+                    "usage: repro [--experiment all|table1|...|table7|fig4|ablations|coldscan] [--quick]"
                 );
                 return;
             }
@@ -67,6 +67,7 @@ fn main() {
     exp!("table7", run_table7(effort));
     exp!("fig4", run_fig4(effort));
     exp!("ablations", run_ablations(effort));
+    exp!("coldscan", run_coldscan(effort));
 
     if failures > 0 {
         std::process::exit(1);
@@ -202,6 +203,35 @@ fn run_ablations(effort: Effort) -> socrates_common::Result<()> {
     for (replicas, p50, p99) in ablation_lz_replicas(effort)? {
         println!("  {replicas} replica(s): p50 {p50:>6} µs   p99 {p99:>6} µs");
     }
+    Ok(())
+}
+
+fn run_coldscan(effort: Effort) -> socrates_common::Result<()> {
+    let t = cold_scan(effort)?;
+    println!(
+        "Cold scan — remote read path A/B ({} rows, {} pages, cold compute cache)",
+        t.rows, t.on.pages
+    );
+    println!(
+        "  scheduler off: {:>7.3}s  {:>9.0} pages/s  (range reqs {:>4}, prefetch installs {:>5})",
+        t.off.secs, t.off.pages_per_sec, t.off.range_requests, t.off.prefetch_installs
+    );
+    println!(
+        "  scheduler on : {:>7.3}s  {:>9.0} pages/s  (range reqs {:>4}, prefetch installs {:>5})",
+        t.on.secs, t.on.pages_per_sec, t.on.range_requests, t.on.prefetch_installs
+    );
+    println!("  speedup on/off = {:.2}x", t.speedup);
+    // One machine-parseable line for CI smoke checks.
+    println!(
+        "{{\"experiment\":\"cold_scan\",\"rows\":{},\"pages\":{},\"off_pages_per_sec\":{:.1},\"on_pages_per_sec\":{:.1},\"on_range_requests\":{},\"on_prefetch_installs\":{},\"speedup\":{:.3}}}",
+        t.rows,
+        t.on.pages,
+        t.off.pages_per_sec,
+        t.on.pages_per_sec,
+        t.on.range_requests,
+        t.on.prefetch_installs,
+        t.speedup
+    );
     Ok(())
 }
 

@@ -266,6 +266,159 @@ pub fn fig4_threads(effort: Effort) -> Result<Fig4> {
     Ok(Fig4 { series })
 }
 
+// ------------------------------------------------------- Cold-scan (sched)
+
+/// One arm of the cold-scan A/B: time a full table scan on a
+/// freshly-failed-over primary (cold compute cache), with the remote-read
+/// I/O scheduler on or off.
+#[derive(Debug)]
+pub struct ColdScanArm {
+    /// Pages the scanning node holds (allocator watermark — identical
+    /// across arms, so pages/sec comparisons are apples-to-apples).
+    pub pages: u64,
+    /// Scan wall time in seconds.
+    pub secs: f64,
+    /// Pages per second (`pages / secs`).
+    pub pages_per_sec: f64,
+    /// GetPageRange requests the page servers saw during the scan.
+    pub range_requests: u64,
+    /// Prefetched pages installed into the compute cache.
+    pub prefetch_installs: u64,
+}
+
+/// The cold-scan experiment: scheduler-off (blocking one-page misses) vs
+/// scheduler-on (single-flight + range coalescing + scan prefetch).
+#[derive(Debug)]
+pub struct ColdScan {
+    /// Rows scanned.
+    pub rows: usize,
+    /// Scheduler disabled.
+    pub off: ColdScanArm,
+    /// Scheduler enabled.
+    pub on: ColdScanArm,
+    /// `on.pages_per_sec / off.pages_per_sec`.
+    pub speedup: f64,
+}
+
+fn cold_scan_arm(enabled: bool, rows: usize, seed: u64) -> Result<ColdScanArm> {
+    let schema =
+        Schema::new(vec![("id".into(), ColumnType::Int), ("pad".into(), ColumnType::Str)], 1);
+    let config = SocratesConfig::realistic(seed).with_secondaries(0).with_scheduler(enabled);
+    let sys = Socrates::launch(config)?;
+    {
+        let p = sys.primary()?;
+        p.db().create_table("scan", schema)?;
+        let pad = "x".repeat(200);
+        let h = p.db().begin();
+        for i in 0..rows {
+            p.db().insert(&h, "scan", &[Value::Int(i as i64), Value::Str(pad.clone())])?;
+        }
+        p.db().commit(h)?;
+        sys.fabric().wait_applied(p.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+    }
+    // A replacement primary starts with a cold cache: every page of the
+    // scan must come over GetPage@LSN.
+    sys.kill_primary();
+    let p = sys.failover()?;
+    let pages = p.io().next_page_id();
+    let range_before: u64 = sys
+        .fabric()
+        .partition_ids()
+        .iter()
+        .filter_map(|pid| sys.fabric().partition(*pid))
+        .flat_map(|h| {
+            h.servers.iter().map(|s| s.metrics().range_requests.get()).collect::<Vec<_>>()
+        })
+        .sum();
+    let t0 = Instant::now();
+    let r = p.db().begin();
+    let got =
+        p.db().scan_range(&r, "scan", &[Value::Int(0)], &[Value::Int(rows as i64)], rows + 1)?;
+    let secs = t0.elapsed().as_secs_f64();
+    if got.len() != rows {
+        return Err(socrates_common::Error::InvalidState(format!(
+            "cold scan returned {} rows, expected {rows}",
+            got.len()
+        )));
+    }
+    let range_requests: u64 = sys
+        .fabric()
+        .partition_ids()
+        .iter()
+        .filter_map(|pid| sys.fabric().partition(*pid))
+        .flat_map(|h| {
+            h.servers.iter().map(|s| s.metrics().range_requests.get()).collect::<Vec<_>>()
+        })
+        .sum::<u64>()
+        - range_before;
+    let prefetch_installs = p.io().cache().stats().prefetch_installs.get();
+    if std::env::var("COLDSCAN_DEBUG").is_ok() {
+        let cs = p.io().cache().stats();
+        eprintln!(
+            "[arm enabled={enabled}] secs={secs:.3} mem_hits={} ssd_hits={} fetches={} installs={}",
+            cs.mem_hits.get(),
+            cs.ssd_hits.get(),
+            cs.fetches.get(),
+            prefetch_installs
+        );
+        if let Some(sch) = p.io().cache().scheduler() {
+            let st = sch.stats();
+            eprintln!(
+                "  sched submitted={} joined={} single={} range_calls={} range_pages={} hints={} dropped={} fallbacks={}",
+                st.submitted.get(),
+                st.joined.get(),
+                st.single_calls.get(),
+                st.range_calls.get(),
+                st.range_pages.get(),
+                st.prefetch_hints.get(),
+                st.prefetch_dropped.get(),
+                st.range_fallbacks.get()
+            );
+        }
+        for pid in sys.fabric().partition_ids() {
+            if let Some(h) = sys.fabric().partition(pid) {
+                for (si, s) in h.servers.iter().enumerate() {
+                    eprintln!(
+                        "  ps {pid:?}[{si}] served={} ranges={} range_pages={} waits={}",
+                        s.metrics().pages_served.get(),
+                        s.metrics().range_requests.get(),
+                        s.metrics().range_pages_served.get(),
+                        s.metrics().get_page_waits.get()
+                    );
+                }
+                eprintln!(
+                    "  route hedges={} wins={} lat p50={}us p99={}us n={}",
+                    h.route.hedges_fired().get(),
+                    h.route.hedge_wins().get(),
+                    h.route.latency_histogram().percentile(0.50),
+                    h.route.latency_histogram().percentile(0.99),
+                    h.route.latency_histogram().count()
+                );
+            }
+        }
+    }
+    sys.shutdown();
+    Ok(ColdScanArm {
+        pages,
+        secs,
+        pages_per_sec: pages as f64 / secs.max(1e-9),
+        range_requests,
+        prefetch_installs,
+    })
+}
+
+/// Run the cold-scan A/B.
+pub fn cold_scan(effort: Effort) -> Result<ColdScan> {
+    let rows = match effort {
+        Effort::Quick => 4_000,
+        Effort::Full => 12_000,
+    };
+    let off = cold_scan_arm(false, rows, 111)?;
+    let on = cold_scan_arm(true, rows, 112)?;
+    let speedup = on.pages_per_sec / off.pages_per_sec.max(1e-9);
+    Ok(ColdScan { rows, off, on, speedup })
+}
+
 // ---------------------------------------------------------------- Table 1
 
 /// Table 1 — the goals table: operational characteristics of both

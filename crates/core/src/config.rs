@@ -10,6 +10,8 @@
 use socrates_common::latency::{DeviceProfile, LatencyMode};
 use socrates_pageserver::PageServerConfig;
 use socrates_rbio::lossy::LossyConfig;
+use socrates_rbio::replica::HedgeConfig;
+use socrates_storage::sched::IoSchedulerConfig;
 use socrates_wal::pipeline::LogPipelineConfig;
 use socrates_xlog::service::XLogConfig;
 use std::time::Duration;
@@ -51,6 +53,12 @@ pub struct SocratesConfig {
     pub xlog: XLogConfig,
     /// Page server tuning.
     pub page_server: PageServerConfig,
+    /// Compute-side remote-read I/O scheduler (single-flight, range
+    /// coalescing, prefetch). `sched.enabled = false` falls back to the
+    /// blocking one-page miss path.
+    pub sched: IoSchedulerConfig,
+    /// Hedged-read policy for partition replica routes.
+    pub hedge: HedgeConfig,
     /// Cores modelled per compute node (for CPU% reporting).
     pub compute_cores: u32,
     /// RBIO server worker threads per page server.
@@ -85,6 +93,8 @@ impl SocratesConfig {
             pipeline: LogPipelineConfig::default(),
             xlog: XLogConfig::default(),
             page_server: PageServerConfig::default(),
+            sched: IoSchedulerConfig::fast_test(),
+            hedge: HedgeConfig::disabled(),
             compute_cores: 8,
             rbio_workers: 4,
             trace_capacity: 1024,
@@ -105,6 +115,8 @@ impl SocratesConfig {
             net_profile: DeviceProfile::lan(),
             latency_mode: LatencyMode::real(),
             lossy_feed: LossyConfig::unreliable(0.01, 0.005, seed ^ 0xFEED),
+            sched: IoSchedulerConfig::default(),
+            hedge: HedgeConfig::default(),
             seed,
             ..SocratesConfig::fast_test()
         }
@@ -126,6 +138,19 @@ impl SocratesConfig {
     pub fn with_cache(mut self, mem_pages: usize, rbpex_pages: usize) -> SocratesConfig {
         self.mem_cache_pages = mem_pages;
         self.rbpex_pages = rbpex_pages;
+        self
+    }
+
+    /// Enable or disable the remote-read I/O scheduler (the A/B knob for
+    /// the cold-scan experiment).
+    pub fn with_scheduler(mut self, enabled: bool) -> SocratesConfig {
+        self.sched.enabled = enabled;
+        self
+    }
+
+    /// Set the hedged-read policy.
+    pub fn with_hedge(mut self, hedge: HedgeConfig) -> SocratesConfig {
+        self.hedge = hedge;
         self
     }
 }

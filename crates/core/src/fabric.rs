@@ -7,7 +7,7 @@
 //! deployment whose lifetime is the database's.
 
 use crate::config::SocratesConfig;
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use socrates_common::latency::LatencyInjector;
 use socrates_common::lsn::AtomicLsn;
 use socrates_common::metrics::{CpuAccountant, CpuRegistry};
@@ -20,6 +20,7 @@ use socrates_rbio::transport::{NetworkConfig, RbioServer};
 use socrates_storage::cache::{PageRef, PageSource};
 use socrates_storage::fcb::{Fcb, LatencyFcb, MemFcb};
 use socrates_storage::page::Page;
+use socrates_storage::sched::RangedPageSource;
 use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
 use socrates_xlog::XLogService;
 use socrates_xstore::{XStore, XStoreConfig};
@@ -39,6 +40,22 @@ pub struct PartitionHandle {
     /// The observability node id of each server (parallel to `servers`);
     /// used to unregister its metrics when the partition is killed.
     pub nodes: Vec<NodeId>,
+}
+
+/// Condvar rendezvous between page-server apply threads and fabric-side
+/// waiters (`Fabric::wait_applied`).
+struct ApplySignal {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ApplySignal {
+    fn notify(&self) {
+        // Holding the lock around the notify closes the race with a waiter
+        // that checked its predicate but has not yet gone to sleep.
+        let _g = self.lock.lock();
+        self.cv.notify_all();
+    }
 }
 
 /// The shared storage fabric.
@@ -61,6 +78,9 @@ pub struct Fabric {
     pub trace: Arc<TraceRecorder>,
     partitions: RwLock<HashMap<PartitionId, Arc<PartitionHandle>>>,
     next_ps_index: AtomicU32,
+    /// Apply-progress signal: every page server's apply listener notifies
+    /// here, so [`Fabric::wait_applied`] sleeps instead of busy-polling.
+    apply_signal: Arc<ApplySignal>,
     /// LSN of the most recent checkpoint record (what a recovering primary
     /// starts its analysis from; production keeps this in the boot page).
     pub last_checkpoint: AtomicLsn,
@@ -167,6 +187,7 @@ impl Fabric {
             trace,
             partitions: RwLock::new(HashMap::new()),
             next_ps_index: AtomicU32::new(0),
+            apply_signal: Arc::new(ApplySignal { lock: Mutex::new(()), cv: Condvar::new() }),
             last_checkpoint: AtomicLsn::new(start),
         }))
     }
@@ -279,7 +300,15 @@ impl Fabric {
             .map(|ps| (NodeId::page_server(self.next_ps_index.fetch_add(1, Ordering::SeqCst)), ps))
             .collect();
         let handle = self.wrap_servers(servers)?;
-        if let Some(old) = self.partitions.write().insert(partition, handle) {
+        let replaced = self.partitions.write().insert(partition, Arc::clone(&handle));
+        if let Some(old) = replaced {
+            // Stop replaced servers (apply/checkpoint/seed threads) unless
+            // the caller carried one over into the new set.
+            for s in &old.servers {
+                if !handle.servers.iter().any(|n| Arc::ptr_eq(n, s)) {
+                    s.stop();
+                }
+            }
             for node in &old.nodes {
                 self.hub.unregister_node(*node);
             }
@@ -326,8 +355,12 @@ impl Fabric {
     }
 
     /// Wait until every page server has applied the log up to `lsn`.
+    /// Sleeps on the apply signal — every page-server apply advance
+    /// notifies it — instead of busy-polling; the capped wait is a
+    /// backstop against servers installed before the listener existed.
     pub fn wait_applied(&self, lsn: Lsn, timeout: std::time::Duration) -> Result<()> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.apply_signal.lock.lock();
         loop {
             let lagging = self
                 .partitions
@@ -338,10 +371,13 @@ impl Fabric {
             if !lagging {
                 return Ok(());
             }
-            if std::time::Instant::now() > deadline {
+            let now = std::time::Instant::now();
+            if now > deadline {
                 return Err(Error::Timeout(format!("page servers did not reach {lsn}")));
             }
-            std::thread::sleep(std::time::Duration::from_micros(200));
+            let cap =
+                deadline.saturating_duration_since(now).min(std::time::Duration::from_millis(2));
+            self.apply_signal.cv.wait_for(&mut guard, cap);
         }
     }
 
@@ -375,6 +411,9 @@ impl Fabric {
         let mut clients = Vec::with_capacity(servers.len());
         for (i, (node, ps)) in servers.iter().enumerate() {
             ps.register_metrics(&self.hub, *node);
+            // Every apply advance wakes the fabric's wait_applied sleepers.
+            let signal = Arc::clone(&self.apply_signal);
+            ps.set_apply_listener(Arc::new(move |_lsn| signal.notify()));
             let server = Arc::new(RbioServer::start(
                 Arc::new(PageServerHandler(Arc::clone(ps))),
                 self.config.rbio_workers,
@@ -391,12 +430,16 @@ impl Fabric {
             endpoints.push(server);
         }
         let (nodes, servers): (Vec<NodeId>, Vec<Arc<PageServer>>) = servers.into_iter().unzip();
-        Ok(Arc::new(PartitionHandle {
-            route: Arc::new(ReplicaSet::new(clients, self.config.seed ^ 0x40Fu64)),
-            endpoints,
-            servers,
-            nodes,
-        }))
+        let route = Arc::new(ReplicaSet::with_hedging(
+            clients,
+            self.config.seed ^ 0x40Fu64,
+            self.config.hedge.clone(),
+        ));
+        // Hedging telemetry lives under the partition's first server node.
+        self.hub.register_counter(nodes[0], "hedges_fired", route.hedges_fired());
+        self.hub.register_counter(nodes[0], "hedge_wins", route.hedge_wins());
+        self.hub.register_histogram(nodes[0], "route_latency_us", route.latency_histogram());
+        Ok(Arc::new(PartitionHandle { route, endpoints, servers, nodes }))
     }
 }
 
@@ -415,13 +458,18 @@ impl RemotePageSource {
     }
 }
 
+impl RemotePageSource {
+    fn route_for(&self, id: PageId) -> Result<Arc<PartitionHandle>> {
+        let partition = self.fabric.partition_of(id);
+        self.fabric
+            .partition(partition)
+            .ok_or_else(|| Error::Unavailable(format!("{partition} has no page server")))
+    }
+}
+
 impl PageSource for RemotePageSource {
     fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
-        let partition = self.fabric.partition_of(id);
-        let handle = self
-            .fabric
-            .partition(partition)
-            .ok_or_else(|| Error::Unavailable(format!("{partition} has no page server")))?;
+        let handle = self.route_for(id)?;
         self.cpu.charge_us(8);
         match handle
             .route
@@ -430,6 +478,53 @@ impl PageSource for RemotePageSource {
             socrates_rbio::proto::RbioResponse::Page { bytes } => Page::from_io_bytes(id, &bytes),
             other => Err(Error::Protocol(format!("unexpected GetPage response: {other:?}"))),
         }
+    }
+}
+
+impl RangedPageSource for RemotePageSource {
+    /// Batched GetPageRange, split at partition boundaries so each segment
+    /// goes to the page server that owns it (the scheduler's coalescer does
+    /// not know the partition map).
+    fn fetch_page_range(&self, first: PageId, count: u32, min_lsn: Lsn) -> Result<Vec<Page>> {
+        let mut pages = Vec::with_capacity(count as usize);
+        let end = first.raw() + count as u64;
+        let mut cursor = first.raw();
+        while cursor < end {
+            let handle = self.route_for(PageId::new(cursor))?;
+            let span = self.fabric.config.pages_per_partition;
+            let partition_end = (cursor / span + 1) * span;
+            let seg = (end.min(partition_end) - cursor) as u32;
+            self.cpu.charge_us(8 + seg as u64 / 4);
+            if seg == 1 {
+                pages.push(self.fetch_page(PageId::new(cursor), min_lsn)?);
+            } else {
+                let req = socrates_rbio::proto::RbioRequest::GetPageRange {
+                    first: PageId::new(cursor),
+                    count: seg,
+                    min_lsn,
+                };
+                match handle.route.call(req)? {
+                    socrates_rbio::proto::RbioResponse::PageRange { pages: raw } => {
+                        if raw.len() != seg as usize {
+                            return Err(Error::Protocol(format!(
+                                "GetPageRange returned {} pages, expected {seg}",
+                                raw.len()
+                            )));
+                        }
+                        for (i, bytes) in raw.iter().enumerate() {
+                            pages.push(Page::from_io_bytes(PageId::new(cursor + i as u64), bytes)?);
+                        }
+                    }
+                    other => {
+                        return Err(Error::Protocol(format!(
+                            "unexpected GetPageRange response: {other:?}"
+                        )))
+                    }
+                }
+            }
+            cursor += seg as u64;
+        }
+        Ok(pages)
     }
 }
 

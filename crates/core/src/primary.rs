@@ -14,7 +14,7 @@
 
 use crate::fabric::{Fabric, RemotePageSource};
 use socrates_common::latency::LatencyInjector;
-use socrates_common::metrics::CpuAccountant;
+use socrates_common::metrics::{Counter, CpuAccountant};
 use socrates_common::{Lsn, NodeId, PageId, Result};
 use socrates_engine::recovery::{analyze, find_last_checkpoint};
 use socrates_engine::txn::TxnCheckpointMeta;
@@ -125,8 +125,16 @@ impl Primary {
         };
         let source = Arc::new(RemotePageSource::new(Arc::clone(&fabric), Arc::clone(&cpu)));
         // WAL rule: a page may leave the node only once the log covers its
-        // PageLSN.
+        // PageLSN. Persistent flush failures are surfaced as a counter so
+        // socmon sees them (they only matter combined with a crash).
+        let wal_flush_failures = Arc::new(Counter::new());
+        fabric.hub.register_counter(
+            NodeId::PRIMARY,
+            "wal_flush_failures",
+            Arc::clone(&wal_flush_failures),
+        );
         let wal_pipeline = Arc::clone(&pipeline);
+        let flush_failures = Arc::clone(&wal_flush_failures);
         let wal_flush = Arc::new(move |lsn: Lsn| {
             for _ in 0..3 {
                 if wal_pipeline.commit_wait(lsn).is_ok() {
@@ -135,14 +143,27 @@ impl Primary {
             }
             // The LZ is persistently unreachable; losing this flush would
             // only matter if the node also crashed before the LZ returned.
-            eprintln!("warning: WAL flush to {lsn} failed; eviction proceeds");
+            flush_failures.incr();
         });
         let evicted_for_cb = Arc::clone(&evicted);
         let on_evict = Arc::new(move |id: PageId, lsn: Lsn| {
             evicted_for_cb.note_eviction(id, lsn);
         });
-        let cache =
-            Arc::new(TieredCache::new(config.mem_cache_pages, rbpex, source, wal_flush, on_evict));
+        let cache = if config.sched.enabled {
+            TieredCache::with_scheduler(
+                config.mem_cache_pages,
+                rbpex,
+                source,
+                wal_flush,
+                on_evict,
+                config.sched.clone(),
+            )
+        } else {
+            Arc::new(TieredCache::new(config.mem_cache_pages, rbpex, source, wal_flush, on_evict))
+        };
+        if let Some(sched) = cache.scheduler() {
+            sched.register_metrics(&fabric.hub, NodeId::PRIMARY);
+        }
 
         let io = Arc::new(LoggedPageIo::new(
             cache,
@@ -159,7 +180,13 @@ impl Primary {
         pipeline.register_metrics(&fabric.hub, NodeId::PRIMARY);
         io.register_metrics(&fabric.hub, NodeId::PRIMARY);
         // Growing into a fresh partition spins up its page server — O(1)
-        // in data size.
+        // in data size. Allocation failures surface as a counter.
+        let partition_alloc_failures = Arc::new(Counter::new());
+        fabric.hub.register_counter(
+            NodeId::PRIMARY,
+            "partition_alloc_failures",
+            Arc::clone(&partition_alloc_failures),
+        );
         let fabric_for_alloc = Arc::clone(&fabric);
         let pipeline_for_alloc = Arc::clone(&pipeline);
         io.set_on_allocate(Arc::new(move |id: PageId| {
@@ -169,8 +196,8 @@ impl Primary {
                 // partition's first op: the hardened frontier is one (no
                 // record for a page of this partition can predate it).
                 let cursor = pipeline_for_alloc.hardened_lsn();
-                if let Err(e) = fabric_for_alloc.ensure_partition(p, cursor) {
-                    eprintln!("warning: could not start page server for {p}: {e}");
+                if fabric_for_alloc.ensure_partition(p, cursor).is_err() {
+                    partition_alloc_failures.incr();
                 }
             }
         }));

@@ -25,7 +25,7 @@ use socrates_common::metrics::{Counter, CpuAccountant};
 use socrates_common::{Error, Lsn, NodeId, PageId, Result, TxnId};
 use socrates_engine::catalog::CATALOG_PAGE;
 use socrates_engine::{Database, EvictedLsnMap, PageAccess, PageMutator, TxnManager};
-use socrates_storage::cache::{PageRef, PageSource, TieredCache};
+use socrates_storage::cache::{PageRef, TieredCache};
 use socrates_storage::page::Page;
 use socrates_storage::pageops::{apply_page_op, PageOp};
 use socrates_storage::Fcb;
@@ -63,7 +63,6 @@ struct PendingFetches {
 /// race mitigations above.
 pub struct SecondaryIo {
     cache: Arc<TieredCache>,
-    source: RemotePageSource,
     evicted: Arc<EvictedLsnMap>,
     applied: Arc<AtomicLsn>,
     pending: Arc<PendingFetches>,
@@ -79,7 +78,15 @@ impl PageAccess for SecondaryIo {
         // Register before fetching so concurrent log records are queued.
         self.pending.map.lock().entry(id).or_default();
         let fetched = (|| -> Result<Page> {
-            let page = self.source.fetch_page(id, self.evicted.lsn_for(id))?;
+            // Through the cache's remote path so concurrent fetches of the
+            // same cold page share one GetPage@LSN (single-flight). The
+            // freshness floor must include our own applied cursor: the
+            // apply loop drops records for non-resident pages, so for a
+            // never-resident page every record up to `applied` lives only
+            // on the page server — a lagging server must not hand us a
+            // version older than log we have already consumed.
+            let floor = self.evicted.lsn_for(id).max(self.applied.load());
+            let page = self.cache.fetch_remote(id, floor)?;
             // A page from the future: wait for local apply to catch up so
             // traversals stay time-coherent.
             if page.page_lsn() > self.applied.load() {
@@ -180,16 +187,27 @@ impl Secondary {
             None
         };
         let evicted_cb = Arc::clone(&evicted);
-        let cache = Arc::new(TieredCache::new(
-            config.mem_cache_pages,
-            rbpex,
-            Arc::new(RemotePageSource::new(Arc::clone(&fabric), Arc::clone(&cpu))),
-            Arc::new(|_| {}), // read-only node: nothing to flush
-            Arc::new(move |id, lsn| evicted_cb.note_eviction(id, lsn)),
-        ));
+        let source = Arc::new(RemotePageSource::new(Arc::clone(&fabric), Arc::clone(&cpu)));
+        let wal_flush: Arc<dyn Fn(Lsn) + Send + Sync> = Arc::new(|_| {}); // read-only node
+        let on_evict: Arc<dyn Fn(PageId, Lsn) + Send + Sync> =
+            Arc::new(move |id, lsn| evicted_cb.note_eviction(id, lsn));
+        // Secondaries get the scheduler's single-flight dedupe but post no
+        // prefetch hints: a background install could land a page from the
+        // future without the coherence wait below.
+        let cache = if config.sched.enabled {
+            TieredCache::with_scheduler(
+                config.mem_cache_pages,
+                rbpex,
+                source,
+                wal_flush,
+                on_evict,
+                config.sched.clone(),
+            )
+        } else {
+            Arc::new(TieredCache::new(config.mem_cache_pages, rbpex, source, wal_flush, on_evict))
+        };
         let io = Arc::new(SecondaryIo {
             cache,
-            source: RemotePageSource::new(Arc::clone(&fabric), Arc::clone(&cpu)),
             evicted: Arc::clone(&evicted),
             applied: Arc::clone(&applied),
             pending: Arc::clone(&pending),
@@ -341,17 +359,21 @@ impl Secondary {
                 }
             }
         }
-        if pull.next_lsn > cursor {
-            self.applied.advance_to(pull.next_lsn);
-            self.fabric.xlog.report_progress(&format!("{}", self.node), pull.next_lsn);
-        }
         if let Some(lsn) = catalog_floor {
             // DDL happened: make sure a catalog refetch can't be stale,
-            // then reload (if the database has finished opening).
+            // then reload (if the database has finished opening). This
+            // must precede advancing `applied`: a reader released by
+            // wait_applied expects the catalog to reflect the DDL, and
+            // page application is LSN-idempotent, so an error here (the
+            // batch gets re-pulled) is safe.
             self.io.evicted.note_eviction(CATALOG_PAGE, lsn);
             if let Some(db) = self.db.get() {
                 db.reload_catalog()?;
             }
+        }
+        if pull.next_lsn > cursor {
+            self.applied.advance_to(pull.next_lsn);
+            self.fabric.xlog.report_progress(&format!("{}", self.node), pull.next_lsn);
         }
         Ok(processed)
     }

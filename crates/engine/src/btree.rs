@@ -102,6 +102,27 @@ fn internal_child_slot(page: &Page, key: &[u8]) -> usize {
     lo - 1
 }
 
+/// Post read-ahead hints for `children`, grouped into maximal runs of
+/// ascending contiguous page ids (the shape the I/O scheduler can turn
+/// into single GetPageRange calls). Lone pages are still hinted — the
+/// scheduler fetches them in the background ahead of the scan cursor.
+fn hint_contiguous_runs(io: &dyn PageAccess, children: impl Iterator<Item = PageId>) {
+    let mut run: Option<(u64, u32)> = None;
+    for child in children {
+        run = Some(match run {
+            Some((first, count)) if child.raw() == first + count as u64 => (first, count + 1),
+            Some((first, count)) => {
+                io.hint_range(PageId::new(first), count);
+                (child.raw(), 1)
+            }
+            None => (child.raw(), 1),
+        });
+    }
+    if let Some((first, count)) = run {
+        io.hint_range(PageId::new(first), count);
+    }
+}
+
 /// Result of a recursive insert: did the child split, and if so what
 /// separator/right-sibling must the parent adopt?
 struct InsertOutcome {
@@ -420,6 +441,14 @@ impl BTree {
                     entries.push((k.to_vec(), c));
                 }
                 drop(page);
+                // Scan prefetch: we are about to visit every child in
+                // order, so hint their page-id runs to the I/O scheduler
+                // before descending. Point lookups and tiny scans
+                // (`limit` nearly satisfied) skip the hint — read-ahead
+                // for one page is pure overhead.
+                if limit.saturating_sub(out.len()) >= 8 {
+                    hint_contiguous_runs(io, entries.iter().map(|(_, c)| *c));
+                }
                 for (j, (sep, child)) in entries.iter().enumerate() {
                     // A child whose lower separator is already >= hi holds
                     // nothing in range.

@@ -27,6 +27,11 @@ use std::sync::Arc;
 pub trait PageAccess: Send + Sync {
     /// Get the page, fetching through whatever hierarchy backs this node.
     fn page(&self, id: PageId) -> Result<PageRef>;
+
+    /// Advisory read-ahead: the caller expects to read `count` pages
+    /// starting at `first` soon. Implementations backed by an I/O scheduler
+    /// prefetch them in the background; the default does nothing.
+    fn hint_range(&self, _first: PageId, _count: u32) {}
 }
 
 /// Read-write access: allocation, logged mutation, and the transaction
@@ -196,6 +201,20 @@ impl PageAccess for LoggedPageIo {
             }
         }
         Ok(page)
+    }
+
+    fn hint_range(&self, first: PageId, count: u32) {
+        if count == 0 {
+            return;
+        }
+        // A prefetched page must satisfy the same freshness floor a demand
+        // read would use: the max evicted LSN over the hinted run is safe
+        // for every member (GetPage@LSN may return newer).
+        let min_lsn = (first.raw()..first.raw() + count as u64)
+            .map(|raw| self.evicted.lsn_for(PageId::new(raw)))
+            .max()
+            .unwrap_or(Lsn::ZERO);
+        self.cache.prefetch(first, count, min_lsn);
     }
 }
 

@@ -23,7 +23,7 @@
 //! replica is **seeded asynchronously** while it is already serving
 //! requests (misses fall through to XStore until seeding completes).
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use socrates_common::lsn::AtomicLsn;
 use socrates_common::metrics::{Counter, CpuAccountant};
 use socrates_common::{BlobId, Error, Lsn, PageId, PartitionId, Result};
@@ -101,7 +101,16 @@ pub struct PageServerMetrics {
     pub checkpoints_deferred: Counter,
     /// Pages restored from XStore on a cache miss (seeding fallback).
     pub xstore_fallback_reads: Counter,
+    /// GetPageRange requests served.
+    pub range_requests: Counter,
+    /// Pages served through GetPageRange (vs. one-page GetPage).
+    pub range_pages_served: Counter,
 }
+
+/// Apply-progress callback: invoked with the new applied LSN after every
+/// advance, so a fabric can wake compute-side freshness waiters without
+/// polling.
+pub type ApplyListener = Arc<dyn Fn(Lsn) + Send + Sync>;
 
 /// One page server.
 pub struct PageServer {
@@ -125,6 +134,12 @@ pub struct PageServer {
     checkpoint_lock: Mutex<()>,
     cpu: Arc<CpuAccountant>,
     metrics: PageServerMetrics,
+    /// Condvar protocol for GetPage@LSN freshness waits: `wait_applied`
+    /// sleeps here and every apply advance notifies, replacing the old
+    /// 100 µs busy-poll.
+    apply_mutex: Mutex<()>,
+    apply_cv: Condvar,
+    apply_listener: Mutex<Option<ApplyListener>>,
     stop: AtomicBool,
     seeded: AtomicBool,
     apply_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -171,6 +186,9 @@ impl PageServer {
             checkpoint_lock: Mutex::new(()),
             cpu,
             metrics: PageServerMetrics::default(),
+            apply_mutex: Mutex::new(()),
+            apply_cv: Condvar::new(),
+            apply_listener: Mutex::new(None),
             stop: AtomicBool::new(false),
             seeded: AtomicBool::new(true),
             apply_handle: Mutex::new(None),
@@ -219,6 +237,9 @@ impl PageServer {
             checkpoint_lock: Mutex::new(()),
             cpu,
             metrics: PageServerMetrics::default(),
+            apply_mutex: Mutex::new(()),
+            apply_cv: Condvar::new(),
+            apply_listener: Mutex::new(None),
             stop: AtomicBool::new(false),
             seeded: AtomicBool::new(false),
             apply_handle: Mutex::new(None),
@@ -262,6 +283,8 @@ impl PageServer {
         counter!("pages_checkpointed", pages_checkpointed);
         counter!("checkpoints_deferred", checkpoints_deferred);
         counter!("xstore_fallback_reads", xstore_fallback_reads);
+        counter!("range_requests", range_requests);
+        counter!("range_pages_served", range_pages_served);
         let ps = Arc::clone(self);
         hub.register_gauge_fn(node, "applied_lsn", move || ps.applied.load().offset() as i64);
         let ps = Arc::clone(self);
@@ -277,6 +300,27 @@ impl PageServer {
     /// The log-apply watermark.
     pub fn applied_lsn(&self) -> Lsn {
         self.applied.load()
+    }
+
+    /// Install a callback fired after every apply advance (at most one;
+    /// replaces any previous listener). The fabric uses this to wake its
+    /// own `wait_applied` sleepers.
+    pub fn set_apply_listener(&self, listener: ApplyListener) {
+        *self.apply_listener.lock() = Some(listener);
+    }
+
+    /// Record that `applied` advanced to `lsn`: wake freshness waiters and
+    /// fire the listener. Taking `apply_mutex` around the notify closes the
+    /// check-then-sleep race with `wait_applied`.
+    fn note_applied(&self, lsn: Lsn) {
+        {
+            let _g = self.apply_mutex.lock();
+            self.apply_cv.notify_all();
+        }
+        let listener = self.apply_listener.lock().clone();
+        if let Some(l) = listener {
+            l(lsn);
+        }
     }
 
     /// Everything at or below this LSN is durable in XStore.
@@ -377,6 +421,7 @@ impl PageServer {
         if pull.next_lsn > cursor {
             self.applied.advance_to(pull.next_lsn);
             self.xlog.report_progress(&self.name, pull.next_lsn);
+            self.note_applied(pull.next_lsn);
         }
         self.metrics.records_applied.add(applied as u64);
         Ok(applied)
@@ -409,6 +454,7 @@ impl PageServer {
             }
             self.applied.advance_to(block.end_lsn().min(upto));
         }
+        self.note_applied(self.applied.load());
         self.metrics.records_applied.add(applied as u64);
         Ok(applied)
     }
@@ -447,7 +493,7 @@ impl PageServer {
         Ok(())
     }
 
-    /// Flush the memory tier (before range reads, checkpoints, backups).
+    /// Flush the memory tier (before checkpoints and backups).
     fn flush_mem(&self) -> Result<()> {
         let mut mem = self.mem.lock();
         self.spill_mem_locked(&mut mem)
@@ -487,8 +533,12 @@ impl PageServer {
         Ok(page)
     }
 
-    /// Stride-preserving multi-page read: one cache I/O for the whole
-    /// contiguous range when it is fully resident.
+    /// Stride-preserving multi-page read: one covering-cache device I/O for
+    /// the whole range, with the memory tier overlaid on top. A page applied
+    /// since its last spill lives only in `mem` and its RBPEX frame may be
+    /// stale, so the overlay always wins; flushing `mem` here instead would
+    /// put a burst of device writes on the read path and stall every
+    /// concurrent GetPage behind the `mem` lock.
     pub fn get_page_range(&self, first: PageId, count: u32, min_lsn: Lsn) -> Result<Vec<Page>> {
         let ids: Vec<PageId> = (first.raw()..first.raw() + count as u64).map(PageId::new).collect();
         for id in &ids {
@@ -501,13 +551,29 @@ impl PageServer {
         }
         self.wait_applied(min_lsn)?;
         self.cpu.charge_us(5 + count as u64);
-        self.flush_mem()?;
-        if let Some(pages) = self.rbpex.get_range(&ids)? {
-            self.metrics.pages_served.add(ids.len() as u64);
-            return Ok(pages);
+        self.metrics.range_requests.incr();
+        let overlay: Vec<Option<Page>> = {
+            let mem = self.mem.lock();
+            ids.iter().map(|id| mem.get(id).cloned()).collect()
+        };
+        let ssd = self.rbpex.get_range_partial(&ids)?;
+        let mut out = Vec::with_capacity(ids.len());
+        let mut fallbacks = 0u64;
+        for ((id, mem_page), ssd_page) in ids.iter().zip(overlay).zip(ssd) {
+            match mem_page.or(ssd_page) {
+                Some(p) => out.push(p),
+                None => {
+                    // Neither tier has it (e.g. checkpointed long ago and
+                    // dropped): the single-page path reaches XStore. It
+                    // counts itself in `pages_served`.
+                    fallbacks += 1;
+                    out.push(self.get_page(*id, Lsn::ZERO)?);
+                }
+            }
         }
-        // Sparse fallback (only during seeding): page-at-a-time.
-        ids.iter().map(|id| self.get_page(*id, Lsn::ZERO)).collect()
+        self.metrics.pages_served.add(ids.len() as u64 - fallbacks);
+        self.metrics.range_pages_served.add(ids.len() as u64);
+        Ok(out)
     }
 
     fn wait_applied(&self, min_lsn: Lsn) -> Result<()> {
@@ -516,14 +582,20 @@ impl PageServer {
         }
         self.metrics.get_page_waits.incr();
         let deadline = Instant::now() + self.config.get_page_timeout;
+        let mut guard = self.apply_mutex.lock();
+        // Re-check under the lock: `note_applied` notifies while holding
+        // it, so an advance between the check and the wait cannot be lost.
+        // The capped wait is a backstop against a stopped apply loop.
         while self.applied.load() < min_lsn {
-            if Instant::now() > deadline {
+            let now = Instant::now();
+            if now > deadline {
                 return Err(Error::Timeout(format!(
                     "GetPage wait: applied {} < requested {min_lsn}",
                     self.applied.load()
                 )));
             }
-            std::thread::sleep(Duration::from_micros(100));
+            let cap = deadline.saturating_duration_since(now).min(Duration::from_millis(5));
+            self.apply_cv.wait_for(&mut guard, cap);
         }
         Ok(())
     }
@@ -551,11 +623,25 @@ impl PageServer {
             return Err(Error::Unavailable("xstore outage; checkpoint deferred".into()));
         }
         // Aggregate the dirty pages into large batched writes (§4.6).
+        let mut shipped: Vec<(PageId, Lsn)> = Vec::with_capacity(batch.len());
         for chunk in batch.chunks(128) {
             let mut images = Vec::with_capacity(chunk.len());
             for page_id in chunk {
-                let Some(page) = self.rbpex.get(*page_id)? else { continue };
+                // Freshest tier wins: the apply loop keeps running while we
+                // checkpoint, so a page updated since flush_mem lives only
+                // in `mem` and its RBPEX image is stale. Shipping the stale
+                // image and clearing the dirty bit would lose the update in
+                // XStore — a replacement server attaching at the recorded
+                // LSN would never replay it.
+                let page = match self.mem.lock().get(page_id).cloned() {
+                    Some(p) => p,
+                    None => match self.rbpex.get(*page_id)? {
+                        Some(p) => p,
+                        None => continue,
+                    },
+                };
                 let off = (page_id.raw() - self.spec.base_page) * PAGE_SIZE as u64;
+                shipped.push((*page_id, page.page_lsn()));
                 images.push((off, page.to_io_bytes()));
                 self.cpu.charge_us(10);
             }
@@ -565,9 +651,16 @@ impl PageServer {
             self.metrics.pages_checkpointed.add(writes.len() as u64);
         }
         {
+            // Clear dirty bits only for pages whose shipped image is still
+            // current; a page re-applied mid-checkpoint stays dirty so the
+            // next checkpoint ships the newer version.
+            let mem = self.mem.lock();
             let mut dirty = self.dirty.lock();
-            for p in &batch {
-                dirty.remove(p);
+            for (p, lsn) in &shipped {
+                let current = mem.get(p).map(|pg| pg.page_lsn()).or_else(|| self.rbpex.lsn_of(*p));
+                if current.is_none_or(|c| c <= *lsn) {
+                    dirty.remove(p);
+                }
             }
         }
         self.write_checkpoint_meta(at)?;

@@ -5,13 +5,23 @@
 //! replica with the best observed latency and fails over on transient
 //! errors. Selection uses an EWMA of per-replica call latency with a small
 //! exploration probability so a recovered replica gets re-measured.
+//!
+//! On top of routing, the set can *hedge*: if the chosen replica has not
+//! answered within a quantile of the set's observed latency distribution,
+//! the same request is issued to the next-best replica and the first
+//! response wins. Hedging turns the QoS router into a tail-latency tool —
+//! one slow replica no longer drags p99 to its round-trip time.
 
 use crate::proto::{RbioRequest, RbioResponse};
 use crate::transport::RbioClient;
 use parking_lot::Mutex;
+use socrates_common::metrics::{Counter, Histogram};
 use socrates_common::rng::Rng;
 use socrates_common::{Error, Result};
-use std::time::Instant;
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// EWMA smoothing factor for observed latency.
 const ALPHA: f64 = 0.2;
@@ -21,22 +31,77 @@ const FAILURE_PENALTY_US: f64 = 1_000_000.0;
 /// Probability of probing a non-best replica.
 const EXPLORE_P: f64 = 0.05;
 
+/// Minimum latency samples before the hedge delay trusts the histogram.
+const HEDGE_MIN_SAMPLES: u64 = 20;
+
+/// Hedged-read policy for a [`ReplicaSet`].
+#[derive(Clone, Debug)]
+pub struct HedgeConfig {
+    /// Whether hedging is active (needs ≥ 2 replicas to matter).
+    pub enabled: bool,
+    /// Quantile of the set's observed latency at which the hedge fires
+    /// (e.g. 0.95: hedge when a call is slower than 95% of history).
+    pub quantile: f64,
+    /// Lower bound on the hedge delay, so near-instant histories do not
+    /// double every request.
+    pub min_delay: Duration,
+    /// Upper bound on the hedge delay; also the delay used before enough
+    /// latency samples exist.
+    pub max_delay: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> HedgeConfig {
+        HedgeConfig {
+            enabled: true,
+            quantile: 0.95,
+            min_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// Hedging off: serial QoS routing with failover only.
+    pub fn disabled() -> HedgeConfig {
+        HedgeConfig { enabled: false, ..HedgeConfig::default() }
+    }
+}
+
 struct ReplicaState {
     ewma_us: f64,
 }
 
 /// A set of equivalent RBIO endpoints with QoS routing.
 pub struct ReplicaSet {
-    clients: Vec<RbioClient>,
+    clients: Vec<Arc<RbioClient>>,
     states: Mutex<(Vec<ReplicaState>, Rng)>,
+    hedge: HedgeConfig,
+    /// Observed call latency across the set, feeding the hedge delay.
+    latency: Arc<Histogram>,
+    hedges_fired: Arc<Counter>,
+    hedge_wins: Arc<Counter>,
 }
 
 impl ReplicaSet {
-    /// Build a set over `clients` (at least one).
+    /// Build a set over `clients` (at least one) with hedging disabled.
     pub fn new(clients: Vec<RbioClient>, seed: u64) -> ReplicaSet {
+        ReplicaSet::with_hedging(clients, seed, HedgeConfig::disabled())
+    }
+
+    /// Build a set over `clients` (at least one) with the given hedging
+    /// policy.
+    pub fn with_hedging(clients: Vec<RbioClient>, seed: u64, hedge: HedgeConfig) -> ReplicaSet {
         assert!(!clients.is_empty(), "replica set needs at least one endpoint");
         let states = clients.iter().map(|_| ReplicaState { ewma_us: 0.0 }).collect();
-        ReplicaSet { clients, states: Mutex::new((states, Rng::new(seed))) }
+        ReplicaSet {
+            clients: clients.into_iter().map(Arc::new).collect(),
+            states: Mutex::new((states, Rng::new(seed))),
+            hedge,
+            latency: Arc::new(Histogram::new()),
+            hedges_fired: Arc::new(Counter::new()),
+            hedge_wins: Arc::new(Counter::new()),
+        }
     }
 
     /// Number of replicas.
@@ -52,6 +117,32 @@ impl ReplicaSet {
     /// The current EWMA latency estimates (µs), for diagnostics.
     pub fn latency_estimates_us(&self) -> Vec<f64> {
         self.states.lock().0.iter().map(|s| s.ewma_us).collect()
+    }
+
+    /// Number of hedge requests fired.
+    pub fn hedges_fired(&self) -> Arc<Counter> {
+        Arc::clone(&self.hedges_fired)
+    }
+
+    /// Number of calls won by the hedge (second) attempt.
+    pub fn hedge_wins(&self) -> Arc<Counter> {
+        Arc::clone(&self.hedge_wins)
+    }
+
+    /// Observed call-latency distribution across the set.
+    pub fn latency_histogram(&self) -> Arc<Histogram> {
+        Arc::clone(&self.latency)
+    }
+
+    /// The delay after which a hedge fires: the configured quantile of
+    /// observed latency, clamped to `[min_delay, max_delay]`. Until enough
+    /// samples exist the conservative `max_delay` is used.
+    pub fn hedge_delay(&self) -> Duration {
+        if self.latency.count() < HEDGE_MIN_SAMPLES {
+            return self.hedge.max_delay;
+        }
+        let us = self.latency.percentile(self.hedge.quantile);
+        Duration::from_micros(us).clamp(self.hedge.min_delay, self.hedge.max_delay)
     }
 
     fn pick(&self) -> usize {
@@ -74,9 +165,33 @@ impl ReplicaSet {
         s.ewma_us = if s.ewma_us == 0.0 { us } else { (1.0 - ALPHA) * s.ewma_us + ALPHA * us };
     }
 
-    /// Issue `req` against the best replica, failing over through the rest
-    /// on transient errors.
+    /// Best replica other than `skip` by EWMA (no exploration — the hedge
+    /// target should be the most promising alternative).
+    fn pick_excluding(&self, skip: usize) -> usize {
+        let guard = self.states.lock();
+        guard
+            .0
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .min_by(|(_, a), (_, b)| a.ewma_us.total_cmp(&b.ewma_us))
+            .map(|(i, _)| i)
+            .unwrap_or((skip + 1) % self.clients.len())
+    }
+
+    /// Issue `req` against the best replica. With hedging enabled and ≥ 2
+    /// replicas, a second attempt fires after [`ReplicaSet::hedge_delay`]
+    /// and the first response wins; otherwise the set fails over serially
+    /// through the remaining replicas on transient errors.
     pub fn call(&self, req: RbioRequest) -> Result<RbioResponse> {
+        if self.hedge.enabled && self.clients.len() > 1 {
+            self.call_hedged(req)
+        } else {
+            self.call_serial(req)
+        }
+    }
+
+    fn call_serial(&self, req: RbioRequest) -> Result<RbioResponse> {
         let first = self.pick();
         let n = self.clients.len();
         let mut last_err = Error::Unavailable("no replica attempted".into());
@@ -85,7 +200,9 @@ impl ReplicaSet {
             let t0 = Instant::now();
             match self.clients[idx].call(req.clone()) {
                 Ok(resp) => {
-                    self.observe(idx, t0.elapsed().as_micros() as f64);
+                    let us = t0.elapsed().as_micros() as u64;
+                    self.observe(idx, us as f64);
+                    self.latency.record(us);
                     return Ok(resp);
                 }
                 Err(e) if e.is_transient() => {
@@ -96,6 +213,96 @@ impl ReplicaSet {
             }
         }
         Err(last_err)
+    }
+
+    fn spawn_attempt(
+        &self,
+        idx: usize,
+        was_hedge: bool,
+        req: &RbioRequest,
+        tx: &Sender<(usize, bool, Duration, Result<RbioResponse>)>,
+    ) {
+        let client = Arc::clone(&self.clients[idx]);
+        let req = req.clone();
+        let tx = tx.clone();
+        thread::Builder::new()
+            .name("rbio-hedge".into())
+            .spawn(move || {
+                let t0 = Instant::now();
+                let res = client.call(req);
+                // The caller may already have returned with the other
+                // attempt's response; a closed channel is fine.
+                let _ = tx.send((idx, was_hedge, t0.elapsed(), res));
+            })
+            .expect("spawn rbio attempt");
+    }
+
+    fn call_hedged(&self, req: RbioRequest) -> Result<RbioResponse> {
+        let primary = self.pick();
+        let (tx, rx) = mpsc::channel();
+        self.spawn_attempt(primary, false, &req, &tx);
+        let mut outstanding = 1usize;
+        let mut second_sent = false;
+        let mut last_err: Option<Error> = None;
+        loop {
+            let msg = if !second_sent {
+                match rx.recv_timeout(self.hedge_delay()) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Primary is slower than the quantile: hedge.
+                        self.hedges_fired.incr();
+                        self.spawn_attempt(self.pick_excluding(primary), true, &req, &tx);
+                        outstanding += 1;
+                        second_sent = true;
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(Error::Unavailable("rbio attempt vanished".into()));
+                    }
+                }
+            } else {
+                if outstanding == 0 {
+                    return Err(last_err.unwrap_or_else(|| {
+                        Error::Unavailable("all hedged attempts failed".into())
+                    }));
+                }
+                match rx.recv_timeout(Duration::from_secs(30)) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        return Err(last_err.unwrap_or_else(|| {
+                            Error::Unavailable("hedged call timed out".into())
+                        }));
+                    }
+                }
+            };
+            let (idx, was_hedge, elapsed, res) = msg;
+            outstanding -= 1;
+            match res {
+                Ok(resp) => {
+                    let us = elapsed.as_micros() as u64;
+                    self.observe(idx, us as f64);
+                    self.latency.record(us);
+                    if was_hedge {
+                        self.hedge_wins.incr();
+                    }
+                    return Ok(resp);
+                }
+                Err(e) if e.is_transient() => {
+                    self.observe(idx, FAILURE_PENALTY_US);
+                    last_err = Some(e);
+                    if !second_sent {
+                        // Primary failed before the hedge delay expired:
+                        // fail over immediately (not counted as a hedge).
+                        self.spawn_attempt(self.pick_excluding(primary), true, &req, &tx);
+                        outstanding += 1;
+                        second_sent = true;
+                    } else if outstanding == 0 {
+                        return Err(last_err.unwrap());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -184,5 +391,77 @@ mod tests {
         for _ in 0..10 {
             set.call(RbioRequest::Ping).unwrap();
         }
+    }
+
+    #[test]
+    fn routes_around_lossy_replica() {
+        // One replica drops half its requests (transient timeouts), the
+        // other is reliable: QoS routing plus failover keeps every call
+        // succeeding and shifts traffic to the reliable endpoint.
+        let (s1, h1) = server();
+        let (s2, h2) = server();
+        let mut lossy_cfg = NetworkConfig::instant();
+        lossy_cfg.request_loss_p = 0.5;
+        lossy_cfg.retries = 0;
+        lossy_cfg.timeout = std::time::Duration::from_millis(5);
+        lossy_cfg.seed = 99;
+        let set =
+            ReplicaSet::new(vec![s1.connect(lossy_cfg), s2.connect(NetworkConfig::instant())], 11);
+        for _ in 0..100 {
+            set.call(RbioRequest::Ping).unwrap();
+        }
+        let lossy_calls = h1.calls.load(Ordering::SeqCst);
+        let reliable_calls = h2.calls.load(Ordering::SeqCst);
+        assert!(
+            reliable_calls > lossy_calls,
+            "traffic should shift to the reliable replica (reliable {reliable_calls}, lossy {lossy_calls})"
+        );
+    }
+
+    #[test]
+    fn hedged_reads_bound_tail_latency_under_one_slow_replica() {
+        let (slow_server, _h1) = server();
+        let (fast_server, _h2) = server();
+        // The slow replica adds 10 ms per message leg → ≥ 20 ms round trip.
+        let slow_profile = DeviceProfile {
+            name: "slow-lan",
+            read: LatencyModel::fixed(10_000),
+            write: LatencyModel::fixed(10_000),
+            cpu: IoCpuCost { per_op_us: 0, per_4kib_us: 0 },
+        };
+        let slow_cfg = NetworkConfig {
+            profile: slow_profile,
+            mode: socrates_common::latency::LatencyMode::real(),
+            request_loss_p: 0.0,
+            timeout: std::time::Duration::from_secs(1),
+            retries: 0,
+            seed: 3,
+        };
+        let hedge = HedgeConfig {
+            enabled: true,
+            quantile: 0.95,
+            min_delay: std::time::Duration::from_micros(500),
+            max_delay: std::time::Duration::from_millis(2),
+        };
+        let set = ReplicaSet::with_hedging(
+            vec![slow_server.connect(slow_cfg), fast_server.connect(NetworkConfig::instant())],
+            5,
+            hedge,
+        );
+        // The slow replica is index 0 with a zero EWMA, so early calls (and
+        // later exploration probes) route to it; each must be rescued by
+        // the hedge within max_delay + the fast round trip.
+        let mut worst = std::time::Duration::ZERO;
+        for _ in 0..60 {
+            let t0 = Instant::now();
+            set.call(RbioRequest::Ping).unwrap();
+            worst = worst.max(t0.elapsed());
+        }
+        assert!(
+            worst < std::time::Duration::from_millis(12),
+            "hedging should bound the tail well below the 20 ms slow round trip (worst {worst:?})"
+        );
+        assert!(set.hedges_fired().get() >= 1, "at least the first call must hedge");
+        assert!(set.hedge_wins().get() >= 1, "the fast replica should win hedged calls");
     }
 }

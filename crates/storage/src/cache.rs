@@ -20,6 +20,7 @@
 
 use crate::page::Page;
 use crate::rbpex::Rbpex;
+use crate::sched::{IoScheduler, IoSchedulerConfig, RangedPageSource};
 use parking_lot::{Mutex, RwLock};
 use socrates_common::metrics::Counter;
 use socrates_common::{Error, Lsn, PageId, Result};
@@ -50,6 +51,9 @@ pub struct CacheStats {
     pub fetches: Counter,
     /// Pages pushed out of the node entirely.
     pub node_evictions: Counter,
+    /// Pages installed by the I/O scheduler's background prefetch (they
+    /// turn later demand reads into memory hits).
+    pub prefetch_installs: Counter,
 }
 
 impl CacheStats {
@@ -59,6 +63,7 @@ impl CacheStats {
         self.ssd_hits.reset();
         self.fetches.reset();
         self.node_evictions.reset();
+        self.prefetch_installs.reset();
     }
 
     /// Fraction of reads served locally (memory or SSD), the paper's
@@ -107,6 +112,10 @@ pub struct TieredCache {
     mem: Mutex<MemTier>,
     rbpex: Option<Arc<Rbpex>>,
     source: Arc<dyn PageSource>,
+    /// When present, remote misses are routed through the I/O scheduler
+    /// (single-flight, range coalescing, background prefetch) instead of
+    /// the one-page blocking `source` path.
+    sched: Option<Arc<IoScheduler>>,
     wal_flush: WalFlushHook,
     on_evict: EvictionListener,
     stats: CacheStats,
@@ -128,10 +137,36 @@ impl TieredCache {
             mem: Mutex::new(MemTier { map: HashMap::new(), clock: VecDeque::new() }),
             rbpex,
             source,
+            sched: None,
             wal_flush,
             on_evict,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Build a cache whose remote misses go through an [`IoScheduler`]
+    /// over `source` (which must speak ranges). The scheduler's prefetch
+    /// completions are installed back into the returned cache.
+    pub fn with_scheduler(
+        mem_capacity: usize,
+        rbpex: Option<Arc<Rbpex>>,
+        source: Arc<dyn RangedPageSource>,
+        wal_flush: WalFlushHook,
+        on_evict: EvictionListener,
+        sched_config: IoSchedulerConfig,
+    ) -> Arc<TieredCache> {
+        let sched = IoScheduler::start(Arc::clone(&source), sched_config);
+        let mut cache = TieredCache::new(
+            mem_capacity,
+            rbpex,
+            source as Arc<dyn PageSource>,
+            wal_flush,
+            on_evict,
+        );
+        cache.sched = Some(Arc::clone(&sched));
+        let cache = Arc::new(cache);
+        sched.set_prefetch_sink(&cache);
+        cache
     }
 
     /// Convenience constructor with no-op hooks (tests, secondaries that
@@ -152,6 +187,54 @@ impl TieredCache {
     /// The RBPEX tier, if any.
     pub fn rbpex(&self) -> Option<&Arc<Rbpex>> {
         self.rbpex.as_ref()
+    }
+
+    /// The I/O scheduler, if this cache was built with one.
+    pub fn scheduler(&self) -> Option<&Arc<IoScheduler>> {
+        self.sched.as_ref()
+    }
+
+    /// Fetch a page from the remote source, through the scheduler when
+    /// present (single-flight with every other miss on this node). Does
+    /// not install the page — callers that want it cached use
+    /// [`TieredCache::get`] or install the result themselves.
+    pub fn fetch_remote(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
+        match &self.sched {
+            Some(s) => s.fetch(id, min_lsn),
+            None => self.source.fetch_page(id, min_lsn),
+        }
+    }
+
+    /// Post a read-ahead hint for `count` pages starting at `first`.
+    /// No-op without a scheduler; already-resident pages are filtered out
+    /// (contiguous non-resident sub-runs are hinted separately so they
+    /// still coalesce into range reads).
+    pub fn prefetch(&self, first: PageId, count: u32, min_lsn: Lsn) {
+        let Some(sched) = &self.sched else { return };
+        let mut run_start: Option<u64> = None;
+        for raw in first.raw()..first.raw() + count as u64 {
+            if self.resident(PageId::new(raw)) {
+                if let Some(start) = run_start.take() {
+                    sched.prefetch(PageId::new(start), (raw - start) as u32, min_lsn);
+                }
+            } else if run_start.is_none() {
+                run_start = Some(raw);
+            }
+        }
+        if let Some(start) = run_start {
+            sched.prefetch(
+                PageId::new(start),
+                (first.raw() + count as u64 - start) as u32,
+                min_lsn,
+            );
+        }
+    }
+
+    /// Install a page fetched by a background prefetch. An existing
+    /// resident entry always wins (it may carry newer local writes).
+    pub fn install_prefetched(&self, page: Page) -> Result<PageRef> {
+        self.stats.prefetch_installs.incr();
+        self.install(page)
     }
 
     /// Whether `id` is resident in memory (not merely on SSD).
@@ -187,7 +270,7 @@ impl TieredCache {
                 return Ok((self.install(page)?, CacheTier::Ssd));
             }
         }
-        let page = self.source.fetch_page(id, min_lsn())?;
+        let page = self.fetch_remote(id, min_lsn())?;
         self.stats.fetches.incr();
         Ok((self.install(page)?, CacheTier::Remote))
     }

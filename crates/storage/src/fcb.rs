@@ -308,6 +308,28 @@ impl PageFile {
             .collect()
     }
 
+    /// Like [`PageFile::read_page_range`], but only the frames flagged
+    /// present are parsed; absent or torn frames yield `None`. Still one
+    /// device I/O for the whole stride.
+    pub fn read_page_range_partial(
+        &self,
+        first_frame: u64,
+        ids: &[(PageId, bool)],
+    ) -> Result<Vec<Option<Page>>> {
+        let mut buf = vec![0u8; PAGE_SIZE * ids.len()];
+        self.fcb.read_at(first_frame * PAGE_SIZE as u64, &mut buf)?;
+        Ok(ids
+            .iter()
+            .enumerate()
+            .map(|(i, &(id, present))| {
+                if !present {
+                    return None;
+                }
+                Page::from_io_bytes(id, &buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]).ok()
+            })
+            .collect())
+    }
+
     /// Seal and write `page` into frame `frame_no`.
     pub fn write_page(&self, frame_no: u64, page: &Page) -> Result<()> {
         self.fcb.write_at(frame_no * PAGE_SIZE as u64, &page.to_io_bytes())

@@ -14,12 +14,16 @@
 //!   recoverable SSD page cache with sparse and covering policies.
 //! * [`cache`] — the compute node's tiered cache (memory → RBPEX → remote
 //!   page source) with WAL discipline and evicted-LSN tracking.
+//! * [`sched`] — the I/O scheduler between the cache and the remote
+//!   source: single-flight GetPage@LSN, range coalescing, and background
+//!   prefetch.
 
 pub mod cache;
 pub mod fcb;
 pub mod page;
 pub mod pageops;
 pub mod rbpex;
+pub mod sched;
 pub mod slotted;
 
 pub use cache::{PageRef, PageSource, TieredCache};
@@ -27,4 +31,5 @@ pub use fcb::{FaultFcb, Fcb, FileFcb, LatencyFcb, MemFcb, PageFile};
 pub use page::{Page, PageType, PAGE_HEADER_SIZE, PAGE_SIZE};
 pub use pageops::{apply_page_op, PageOp};
 pub use rbpex::{Rbpex, RbpexPolicy};
+pub use sched::{IoScheduler, IoSchedulerConfig, RangedPageSource};
 pub use slotted::Slotted;

@@ -340,6 +340,45 @@ impl Rbpex {
         Ok(Some(pages))
     }
 
+    /// Read whichever pages of the contiguous run `ids` are resident, in a
+    /// single device I/O. Covering mode only. Frames the directory does not
+    /// know (or that fail verification) come back as `None`; the caller
+    /// overlays fresher tiers and fills true gaps page-at-a-time.
+    pub fn get_range_partial(&self, ids: &[PageId]) -> Result<Vec<Option<Page>>> {
+        let RbpexPolicy::Covering { base, .. } = self.policy else {
+            return Err(Error::InvalidState("get_range_partial requires a covering cache".into()));
+        };
+        if ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let flagged: Vec<(PageId, bool)> = {
+            let dir = self.dir.lock();
+            ids.iter().map(|&id| (id, dir.map.contains_key(&id))).collect()
+        };
+        // Read only up to the last present frame: frames past it may lie
+        // beyond the device's high-water mark.
+        let Some(last) = flagged.iter().rposition(|&(_, p)| p) else {
+            self.stats.misses.add(ids.len() as u64);
+            return Ok(vec![None; ids.len()]);
+        };
+        let first_frame = ids[0].raw() - base;
+        let mut pages = self.device.read_page_range_partial(first_frame, &flagged[..=last])?;
+        pages.resize(ids.len(), None);
+        for p in &pages {
+            if p.is_some() {
+                self.stats.hits.incr();
+            } else {
+                self.stats.misses.incr();
+            }
+        }
+        Ok(pages)
+    }
+
+    /// The last known PageLSN of a cached page (directory lookup, no I/O).
+    pub fn lsn_of(&self, id: PageId) -> Option<Lsn> {
+        self.dir.lock().map.get(&id).map(|&(_, lsn)| lsn)
+    }
+
     /// Insert or update `page`. Returns the `(page, PageLSN)` of a page that
     /// had to be evicted to make room, if any.
     pub fn put(&self, page: &Page) -> Result<Option<(PageId, Lsn)>> {
