@@ -1,0 +1,157 @@
+//! `benchrec` — structured bench-telemetry recorder.
+//!
+//! Runs the telemetry scenarios (cold-scan and steady-state read
+//! workloads), snapshots read/commit stage percentiles and every hub
+//! metric after each one, and writes the versioned `BENCH_PR3.json`
+//! document (schema: `socrates_bench::telemetry`). CI uploads the file
+//! as an artifact and re-invokes `benchrec --check` on it to assert the
+//! schema with the in-tree JSON parser.
+//!
+//! ```text
+//! benchrec                        # full scenarios -> BENCH_PR3.json
+//! benchrec --quick                # CI-sized scenarios
+//! benchrec --out path/to.json     # alternate output path
+//! benchrec --check BENCH_PR3.json # parse + schema-validate an existing file
+//! benchrec --overhead             # tracing-on vs tracing-off A/B only
+//! ```
+
+use socrates_bench::telemetry::{
+    check_schema, cold_scan_scenario, steady_state_scenario, trace_overhead_ab, RunRecorder,
+};
+use socrates_bench::Effort;
+use socrates_common::obs::testjson;
+use std::path::PathBuf;
+
+struct Options {
+    quick: bool,
+    out: PathBuf,
+    check: Option<PathBuf>,
+    overhead: bool,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = Options {
+        quick: false,
+        out: PathBuf::from("BENCH_PR3.json"),
+        check: None,
+        overhead: false,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "-q" => opts.quick = true,
+            "--overhead" => opts.overhead = true,
+            "--out" | "-o" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => opts.out = PathBuf::from(p),
+                    None => die("--out requires a path"),
+                }
+            }
+            "--check" | "-c" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => opts.check = Some(PathBuf::from(p)),
+                    None => die("--check requires a path"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: benchrec [--quick] [--out PATH] [--check PATH] [--overhead]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other} (try --help)")),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("benchrec: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(path) = &opts.check {
+        run_check(path);
+        return;
+    }
+    let effort = if opts.quick { Effort::Quick } else { Effort::Full };
+    if opts.overhead {
+        run_overhead(effort);
+        return;
+    }
+
+    let mut run = RunRecorder::new();
+    for (name, f) in [
+        ("cold_scan", cold_scan_scenario as fn(Effort) -> socrates_common::Result<_>),
+        ("steady_state", steady_state_scenario),
+    ] {
+        let t0 = std::time::Instant::now();
+        match f(effort) {
+            Ok(record) => {
+                eprintln!(
+                    "[{name} done in {:.1}s: tps={:.1} spans={}]",
+                    t0.elapsed().as_secs_f64(),
+                    record.tps,
+                    record.spans
+                );
+                run.scenarios.push(record);
+            }
+            Err(e) => die(&format!("scenario {name} failed: {e}")),
+        }
+    }
+    if let Err(e) = run.write_to(&opts.out) {
+        die(&format!("writing {}: {e}", opts.out.display()));
+    }
+    // Self-check before declaring success: what we wrote must re-parse
+    // and pass the same validation CI applies.
+    run_check(&opts.out);
+    println!("wrote {}", opts.out.display());
+}
+
+fn run_check(path: &std::path::Path) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("reading {}: {e}", path.display())),
+    };
+    let doc = match testjson::parse(&text) {
+        Ok(d) => d,
+        Err(e) => die(&format!("{} is not valid JSON: {e}", path.display())),
+    };
+    if let Err(e) = check_schema(&doc) {
+        die(&format!("{} failed schema check: {e}", path.display()));
+    }
+    let names: Vec<&str> = doc
+        .get("scenarios")
+        .and_then(|v| v.as_array())
+        .map(|s| s.iter().filter_map(|sc| sc.get("name").and_then(|n| n.as_str())).collect())
+        .unwrap_or_default();
+    for want in ["cold_scan", "steady_state"] {
+        if !names.contains(&want) {
+            die(&format!("{} is missing scenario {want:?}", path.display()));
+        }
+    }
+    println!("{}: schema ok ({} scenarios: {})", path.display(), names.len(), names.join(", "));
+}
+
+fn run_overhead(effort: Effort) {
+    match trace_overhead_ab(effort) {
+        Ok(ab) => {
+            println!(
+                "tracing on:  {:.3}s ({} spans)\ntracing off: {:.3}s ({} spans)\ndelta: {:+.1}%",
+                ab.on_secs,
+                ab.on_spans,
+                ab.off_secs,
+                ab.off_spans,
+                ab.delta_pct()
+            );
+            if ab.off_spans != 0 {
+                die("tracing-off arm recorded spans; read_trace_capacity=0 must disable tracing");
+            }
+        }
+        Err(e) => die(&format!("overhead A/B failed: {e}")),
+    }
+}

@@ -11,10 +11,13 @@
 //! socmon --format json        # JSON (metrics + trace summary)
 //! socmon --commits 500        # size of the driven workload
 //! socmon --secondaries 2      # read-only secondaries to launch
+//! socmon --reads              # also fail over and cold-read the table,
+//!                             # then show the read-path span breakdown
+//!                             # and the slowest GetPage spans
 //! ```
 
 use socrates::{Socrates, SocratesConfig};
-use socrates_common::obs::{json_snapshot, json_trace_summary, prometheus_text, Stage};
+use socrates_common::obs::{json_snapshot, json_trace_summary, prometheus_text, ReadStage, Stage};
 use socrates_engine::value::{ColumnType, Schema};
 use socrates_engine::Value;
 use std::time::Duration;
@@ -23,11 +26,12 @@ struct Options {
     format: String,
     commits: u64,
     secondaries: usize,
+    reads: bool,
 }
 
 fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().collect();
-    let mut opts = Options { format: "table".into(), commits: 200, secondaries: 1 };
+    let mut opts = Options { format: "table".into(), commits: 200, secondaries: 1, reads: false };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,9 +47,12 @@ fn parse_args() -> Options {
                 i += 1;
                 opts.secondaries = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(1);
             }
+            "--reads" | "-r" => {
+                opts.reads = true;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: socmon [--format table|prom|json] [--commits N] [--secondaries N]"
+                    "usage: socmon [--format table|prom|json] [--commits N] [--secondaries N] [--reads]"
                 );
                 std::process::exit(0);
             }
@@ -83,7 +90,12 @@ fn main() {
             let trace = json_trace_summary(sys.trace());
             println!("{},\"trace\":{}}}", &metrics[..metrics.len() - 1], trace);
         }
-        _ => render_table(&sys),
+        _ => {
+            render_table(&sys);
+            if opts.reads {
+                render_reads(&sys);
+            }
+        }
     }
     sys.shutdown();
 }
@@ -94,24 +106,92 @@ fn run_workload(opts: &Options) -> socrates_common::Result<Socrates> {
     let mut config = SocratesConfig::fast_test();
     config.secondaries = opts.secondaries;
     let sys = Socrates::launch(config)?;
-    let primary = sys.primary()?;
-    let db = primary.db();
-    db.create_table(
-        "socmon",
-        Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Str)], 1),
-    )?;
-    for i in 0..opts.commits {
-        let h = db.begin();
-        db.insert(&h, "socmon", &[Value::Int(i as i64), Value::Str(format!("row-{i}"))])?;
-        db.commit(h)?;
+    {
+        let primary = sys.primary()?;
+        let db = primary.db();
+        db.create_table(
+            "socmon",
+            Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Str)], 1),
+        )?;
+        for i in 0..opts.commits {
+            let h = db.begin();
+            db.insert(&h, "socmon", &[Value::Int(i as i64), Value::Str(format!("row-{i}"))])?;
+            db.commit(h)?;
+        }
+        // Quiesce: page servers (and secondaries) catch up, the LT archive
+        // absorbs the log, and the watcher completes the async trace stages.
+        let frontier = primary.pipeline().hardened_lsn();
+        sys.fabric().wait_applied(frontier, Duration::from_secs(30))?;
+        sys.fabric().xlog.destage_all()?;
+        std::thread::sleep(sys.fabric().config.watcher_interval * 4);
     }
-    // Quiesce: page servers (and secondaries) catch up, the LT archive
-    // absorbs the log, and the watcher completes the async trace stages.
-    let frontier = primary.pipeline().hardened_lsn();
-    sys.fabric().wait_applied(frontier, Duration::from_secs(30))?;
-    sys.fabric().xlog.destage_all()?;
-    std::thread::sleep(sys.fabric().config.watcher_interval * 4);
+    if opts.reads {
+        // Fail over so the replacement primary starts with a cold cache:
+        // re-reading the table forces every page over GetPage@LSN, and
+        // each miss records a read-path span.
+        sys.kill_primary();
+        let p = sys.failover()?;
+        let r = p.db().begin();
+        let rows = p.db().scan_range(
+            &r,
+            "socmon",
+            &[Value::Int(0)],
+            &[Value::Int(opts.commits as i64)],
+            opts.commits as usize + 1,
+        )?;
+        if rows.len() as u64 != opts.commits {
+            return Err(socrates_common::Error::InvalidState(format!(
+                "cold re-read returned {} rows, expected {}",
+                rows.len(),
+                opts.commits
+            )));
+        }
+    }
     Ok(sys)
+}
+
+/// The `--reads` view: per-stage GetPage latency attribution plus the
+/// slow-op ring (the postmortem query surface).
+fn render_reads(sys: &Socrates) {
+    let trace = sys.read_trace();
+    println!("\n== read path (per-stage miss latency, µs) ==");
+    println!("{:<16} {:>8} {:>9} {:>9} {:>9} {:>9}", "stage", "count", "mean", "p50", "p99", "max");
+    for stage in ReadStage::ALL {
+        let s = trace.stage_snapshot(stage);
+        println!(
+            "{:<16} {:>8} {:>9.1} {:>9} {:>9} {:>9}",
+            stage.name(),
+            s.count,
+            s.mean_us,
+            s.p50_us,
+            s.p99_us,
+            s.max_us
+        );
+    }
+    println!("spans recorded: {}", trace.spans_recorded());
+
+    let slow = trace.slow_ops();
+    println!("\n== slowest reads (top {}) ==", slow.len());
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>5}",
+        "page", "total", "probe", "queue", "gather", "net", "serve", "sink", "width", "hedge", "fb"
+    );
+    for t in slow.iter().take(10) {
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>5}",
+            t.page.to_string(),
+            t.total_ns() / 1_000,
+            t.stage_ns(ReadStage::CacheProbe) / 1_000,
+            t.stage_ns(ReadStage::SchedQueue) / 1_000,
+            t.stage_ns(ReadStage::GatherWait) / 1_000,
+            t.stage_ns(ReadStage::NetRbio) / 1_000,
+            t.stage_ns(ReadStage::ServerServe) / 1_000,
+            t.stage_ns(ReadStage::Sink) / 1_000,
+            t.range_width,
+            t.hedge.name(),
+            if t.range_fallback { "yes" } else { "no" },
+        );
+    }
 }
 
 fn render_table(sys: &Socrates) {

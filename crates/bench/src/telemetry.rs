@@ -1,0 +1,492 @@
+//! Structured bench-run telemetry: the `BENCH_PR3.json` pipeline.
+//!
+//! A [`RunRecorder`] snapshots a live deployment after each bench scenario
+//! — read-path span percentiles, commit-trace percentiles, and every
+//! counter/gauge in the metrics hub — and serialises the run to a single
+//! JSON document that CI uploads as an artifact and re-parses with
+//! [`socrates_common::obs::testjson`] to assert the schema.
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "bench": "BENCH_PR3",
+//!   "scenarios": [
+//!     {
+//!       "name": "cold_scan",
+//!       "tps": 812.4,
+//!       "spans": 231,
+//!       "read_stages": {
+//!         "cache_probe": {"count": 231, "mean_us": 4.1, "p50_us": 3, "p99_us": 11},
+//!         "sched_queue": {...}, "gather_wait": {...}, "net_rbio": {...},
+//!         "server_serve": {...}, "sink": {...}
+//!       },
+//!       "commit_stages": {
+//!         "engine": {"count": ..., "mean_us": ..., "p50_us": ..., "p99_us": ...},
+//!         "harden": {...}, "destage": {...}, "page_apply": {...},
+//!         "secondary_apply": {...}
+//!       },
+//!       "metrics": {"primary/fetches": 231, "pageserver[0]/pages_served": 231, ...}
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `read_stages` always contains all six [`ReadStage`]s and
+//! `commit_stages` all five commit [`Stage`]s, even when a stage recorded
+//! nothing (`count: 0`). `metrics` holds counters and gauges only —
+//! histograms are already summarised by the stage objects.
+
+use socrates::{Socrates, SocratesConfig};
+use socrates_common::obs::{testjson, MetricValue, ReadStage, Stage};
+use socrates_common::Result;
+use socrates_engine::value::{ColumnType, Schema};
+use socrates_engine::Value;
+use std::time::{Duration, Instant};
+
+use crate::Effort;
+
+/// Schema version stamped into every document.
+pub const SCHEMA_VERSION: u64 = 1;
+/// The `bench` tag stamped into every document.
+pub const BENCH_TAG: &str = "BENCH_PR3";
+
+/// Per-stage latency summary (one row of `read_stages`/`commit_stages`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageStat {
+    /// Stable stage name (`ReadStage::name` / `Stage::name`).
+    pub name: &'static str,
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: u64,
+    /// Tail latency, µs.
+    pub p99_us: u64,
+}
+
+/// One bench scenario's snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioRecord {
+    /// Scenario name (`cold_scan`, `steady_state`, ...).
+    pub name: String,
+    /// Committed transactions per second during the scenario's workload.
+    pub tps: f64,
+    /// Read-path spans recorded (ring admissions).
+    pub spans: u64,
+    /// All six read stages, pipeline order.
+    pub read_stages: Vec<StageStat>,
+    /// All five commit stages, pipeline order.
+    pub commit_stages: Vec<StageStat>,
+    /// Every hub counter and gauge, keyed `node/name`.
+    pub metrics: Vec<(String, i64)>,
+}
+
+impl ScenarioRecord {
+    /// Snapshot a live deployment at the end of a scenario.
+    pub fn capture(name: &str, tps: f64, sys: &Socrates) -> ScenarioRecord {
+        let read = sys.read_trace();
+        let read_stages = ReadStage::ALL
+            .iter()
+            .map(|&stage| {
+                let s = read.stage_snapshot(stage);
+                StageStat {
+                    name: stage.name(),
+                    count: s.count,
+                    mean_us: s.mean_us,
+                    p50_us: s.p50_us,
+                    p99_us: s.p99_us,
+                }
+            })
+            .collect();
+        let trace = sys.trace();
+        let commit_stages = Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let s = trace.stage_snapshot(stage);
+                StageStat {
+                    name: stage.name(),
+                    count: s.count,
+                    mean_us: s.mean_us,
+                    p50_us: s.p50_us,
+                    p99_us: s.p99_us,
+                }
+            })
+            .collect();
+        let mut metrics = Vec::new();
+        for sample in &sys.hub().snapshot().samples {
+            let value = match sample.value {
+                MetricValue::Counter(v) => v.min(i64::MAX as u64) as i64,
+                MetricValue::Gauge(v) => v,
+                MetricValue::Histogram(_) => continue,
+            };
+            metrics.push((format!("{}/{}", sample.node, sample.name), value));
+        }
+        ScenarioRecord {
+            name: name.into(),
+            tps,
+            spans: read.spans_recorded(),
+            read_stages,
+            commit_stages,
+            metrics,
+        }
+    }
+}
+
+/// Accumulates [`ScenarioRecord`]s and serialises the run document.
+#[derive(Clone, Debug, Default)]
+pub struct RunRecorder {
+    /// Recorded scenarios, in run order.
+    pub scenarios: Vec<ScenarioRecord>,
+}
+
+impl RunRecorder {
+    /// An empty run.
+    pub fn new() -> RunRecorder {
+        RunRecorder::default()
+    }
+
+    /// Snapshot `sys` as scenario `name` and append it to the run.
+    pub fn record_scenario(&mut self, name: &str, tps: f64, sys: &Socrates) {
+        self.scenarios.push(ScenarioRecord::capture(name, tps, sys));
+    }
+
+    /// Serialise the run to the version-1 JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!("{{\"version\":{SCHEMA_VERSION},\"bench\":\"{BENCH_TAG}\""));
+        out.push_str(",\"scenarios\":[");
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"tps\":{},\"spans\":{}",
+                escape(&sc.name),
+                num(sc.tps),
+                sc.spans
+            ));
+            push_stages(&mut out, "read_stages", &sc.read_stages);
+            push_stages(&mut out, "commit_stages", &sc.commit_stages);
+            out.push_str(",\"metrics\":{");
+            for (j, (key, value)) in sc.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", escape(key), value));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the JSON document to `path`.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn push_stages(out: &mut String, key: &str, stages: &[StageStat]) {
+    out.push_str(&format!(",\"{key}\":{{"));
+    for (i, s) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{}}}",
+            s.name,
+            s.count,
+            num(s.mean_us),
+            s.p50_us,
+            s.p99_us
+        ));
+    }
+    out.push('}');
+}
+
+/// Render a float as a JSON number (JSON has no NaN/Inf).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".into()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validate a parsed document against the version-1 schema: the header
+/// fields, and for every scenario its name, `tps`, and per-stage
+/// `p50_us`/`p99_us` for all six read stages and all five commit stages.
+pub fn check_schema(doc: &testjson::Value) -> std::result::Result<(), String> {
+    if doc.get("version").and_then(|v| v.as_i64()) != Some(SCHEMA_VERSION as i64) {
+        return Err("missing or wrong \"version\"".into());
+    }
+    if doc.get("bench").and_then(|v| v.as_str()) != Some(BENCH_TAG) {
+        return Err(format!("missing or wrong \"bench\" (want {BENCH_TAG:?})"));
+    }
+    let scenarios =
+        doc.get("scenarios").and_then(|v| v.as_array()).ok_or("\"scenarios\" not an array")?;
+    if scenarios.is_empty() {
+        return Err("\"scenarios\" is empty".into());
+    }
+    for sc in scenarios {
+        let name =
+            sc.get("name").and_then(|v| v.as_str()).ok_or("scenario missing \"name\"")?.to_string();
+        sc.get("tps")
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("scenario {name:?} missing \"tps\""))?;
+        sc.get("spans")
+            .and_then(|v| v.as_i64())
+            .ok_or(format!("scenario {name:?} missing \"spans\""))?;
+        let read = sc.get("read_stages").ok_or(format!("scenario {name:?} missing read_stages"))?;
+        for stage in ReadStage::ALL {
+            check_stage(read, stage.name(), &name)?;
+        }
+        let commit =
+            sc.get("commit_stages").ok_or(format!("scenario {name:?} missing commit_stages"))?;
+        for stage in Stage::ALL {
+            check_stage(commit, stage.name(), &name)?;
+        }
+        if sc.get("metrics").and_then(|v| v.get("")).is_some() {
+            return Err(format!("scenario {name:?} has an empty metric key"));
+        }
+    }
+    Ok(())
+}
+
+fn check_stage(
+    stages: &testjson::Value,
+    stage: &str,
+    scenario: &str,
+) -> std::result::Result<(), String> {
+    let s = stages.get(stage).ok_or(format!("scenario {scenario:?} missing stage {stage:?}"))?;
+    for field in ["count", "p50_us", "p99_us"] {
+        s.get(field)
+            .and_then(|v| v.as_i64())
+            .ok_or(format!("scenario {scenario:?} stage {stage:?} missing {field:?}"))?;
+    }
+    s.get("mean_us")
+        .and_then(|v| v.as_f64())
+        .ok_or(format!("scenario {scenario:?} stage {stage:?} missing \"mean_us\""))?;
+    Ok(())
+}
+
+// ------------------------------------------------------------- scenarios
+
+/// The `cold_scan` telemetry scenario: a per-row commit workload, then a
+/// failover so the replacement primary re-reads the table entirely over
+/// GetPage@LSN — every page of the scan is a miss-path span.
+pub fn cold_scan_scenario(effort: Effort) -> Result<ScenarioRecord> {
+    let rows = match effort {
+        Effort::Quick => 400,
+        Effort::Full => 2_000,
+    };
+    let config = SocratesConfig::realistic(401).with_secondaries(0).with_scheduler(true);
+    let sys = Socrates::launch(config)?;
+    let tps = run_commit_workload(&sys, rows)?;
+    sys.kill_primary();
+    let p = sys.failover()?;
+    scan_all(&p, rows)?;
+    let record = ScenarioRecord::capture("cold_scan", tps, &sys);
+    sys.shutdown();
+    Ok(record)
+}
+
+/// The `steady_state` telemetry scenario: the same workload on a primary
+/// whose in-memory cache is far smaller than the working set (no RBPEX),
+/// so re-scanning the table misses steadily without any failover — the
+/// read spans reflect normal-operation GetPage traffic.
+pub fn steady_state_scenario(effort: Effort) -> Result<ScenarioRecord> {
+    let rows = match effort {
+        Effort::Quick => 400,
+        Effort::Full => 2_000,
+    };
+    let config =
+        SocratesConfig::realistic(402).with_secondaries(0).with_scheduler(true).with_cache(8, 0);
+    let sys = Socrates::launch(config)?;
+    let tps = run_commit_workload(&sys, rows)?;
+    let p = sys.primary()?;
+    scan_all(&p, rows)?;
+    scan_all(&p, rows)?;
+    let record = ScenarioRecord::capture("steady_state", tps, &sys);
+    sys.shutdown();
+    Ok(record)
+}
+
+fn run_commit_workload(sys: &Socrates, rows: usize) -> Result<f64> {
+    let p = sys.primary()?;
+    let schema =
+        Schema::new(vec![("id".into(), ColumnType::Int), ("pad".into(), ColumnType::Str)], 1);
+    p.db().create_table("bench", schema)?;
+    let pad = "x".repeat(200);
+    let t0 = Instant::now();
+    for i in 0..rows {
+        let h = p.db().begin();
+        p.db().insert(&h, "bench", &[Value::Int(i as i64), Value::Str(pad.clone())])?;
+        p.db().commit(h)?;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    sys.fabric().wait_applied(p.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+    Ok(rows as f64 / secs.max(1e-9))
+}
+
+fn scan_all(p: &socrates::Primary, rows: usize) -> Result<()> {
+    let r = p.db().begin();
+    let got =
+        p.db().scan_range(&r, "bench", &[Value::Int(0)], &[Value::Int(rows as i64)], rows + 1)?;
+    if got.len() != rows {
+        return Err(socrates_common::Error::InvalidState(format!(
+            "scan returned {} rows, expected {rows}",
+            got.len()
+        )));
+    }
+    Ok(())
+}
+
+// --------------------------------------------------- tracing-overhead A/B
+
+/// Result of the tracing-overhead A/B (`EXPERIMENTS.md`).
+#[derive(Clone, Debug)]
+pub struct TraceOverhead {
+    /// Cold-scan wall time with `read_trace_capacity = 1024`, seconds.
+    pub on_secs: f64,
+    /// Cold-scan wall time with `read_trace_capacity = 0`, seconds.
+    pub off_secs: f64,
+    /// Spans recorded by the tracing-on arm.
+    pub on_spans: u64,
+    /// Spans recorded by the tracing-off arm (must be 0).
+    pub off_spans: u64,
+}
+
+impl TraceOverhead {
+    /// `(on - off) / off`, percent; negative means tracing-on ran faster
+    /// (run-to-run noise).
+    pub fn delta_pct(&self) -> f64 {
+        (self.on_secs - self.off_secs) / self.off_secs.max(1e-9) * 100.0
+    }
+}
+
+/// Cold-scan wall time with read tracing on vs off, identical workloads.
+pub fn trace_overhead_ab(effort: Effort) -> Result<TraceOverhead> {
+    let (on_secs, on_spans) = trace_overhead_arm(effort, 1024)?;
+    let (off_secs, off_spans) = trace_overhead_arm(effort, 0)?;
+    Ok(TraceOverhead { on_secs, off_secs, on_spans, off_spans })
+}
+
+fn trace_overhead_arm(effort: Effort, capacity: usize) -> Result<(f64, u64)> {
+    let rows = match effort {
+        Effort::Quick => 2_000,
+        Effort::Full => 8_000,
+    };
+    let schema =
+        Schema::new(vec![("id".into(), ColumnType::Int), ("pad".into(), ColumnType::Str)], 1);
+    // Scheduler off: every page of the cold scan is a blocking demand
+    // miss, so the span count equals the page count and the per-span
+    // recording cost is maximally exposed (prefetch would otherwise
+    // install most pages before the scan reaches them).
+    let config = SocratesConfig::realistic(403)
+        .with_secondaries(0)
+        .with_scheduler(false)
+        .with_read_trace_capacity(capacity);
+    let sys = Socrates::launch(config)?;
+    {
+        let p = sys.primary()?;
+        p.db().create_table("bench", schema)?;
+        let pad = "x".repeat(200);
+        let h = p.db().begin();
+        for i in 0..rows {
+            p.db().insert(&h, "bench", &[Value::Int(i as i64), Value::Str(pad.clone())])?;
+        }
+        p.db().commit(h)?;
+        sys.fabric().wait_applied(p.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+    }
+    sys.kill_primary();
+    let p = sys.failover()?;
+    let t0 = Instant::now();
+    scan_all(&p, rows)?;
+    let secs = t0.elapsed().as_secs_f64();
+    let spans = sys.read_trace().spans_recorded();
+    sys.shutdown();
+    Ok((secs, spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_record(name: &str) -> ScenarioRecord {
+        let stat = |n: &'static str| StageStat {
+            name: n,
+            count: 7,
+            mean_us: 12.5,
+            p50_us: 11,
+            p99_us: 40,
+        };
+        ScenarioRecord {
+            name: name.into(),
+            tps: 123.456,
+            spans: 7,
+            read_stages: ReadStage::ALL.iter().map(|s| stat(s.name())).collect(),
+            commit_stages: Stage::ALL.iter().map(|s| stat(s.name())).collect(),
+            metrics: vec![("primary/fetches".into(), 7), ("pageserver[0]/pages_served".into(), 7)],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_testjson_and_passes_schema_check() {
+        let mut run = RunRecorder::new();
+        run.scenarios.push(synthetic_record("cold_scan"));
+        run.scenarios.push(synthetic_record("steady_state"));
+        let doc = testjson::parse(&run.to_json()).expect("valid JSON");
+        check_schema(&doc).expect("schema holds");
+        let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].get("name").unwrap().as_str(), Some("cold_scan"));
+        assert!((scenarios[0].get("tps").unwrap().as_f64().unwrap() - 123.456).abs() < 1e-3);
+        let probe = scenarios[0].get("read_stages").unwrap().get("cache_probe").unwrap();
+        assert_eq!(probe.get("p99_us").unwrap().as_i64(), Some(40));
+        let m = scenarios[1].get("metrics").unwrap();
+        assert_eq!(m.get("pageserver[0]/pages_served").unwrap().as_i64(), Some(7));
+    }
+
+    #[test]
+    fn schema_check_rejects_missing_stage_and_header() {
+        let mut run = RunRecorder::new();
+        let mut sc = synthetic_record("cold_scan");
+        sc.read_stages.retain(|s| s.name != "net_rbio");
+        run.scenarios.push(sc);
+        let doc = testjson::parse(&run.to_json()).unwrap();
+        let err = check_schema(&doc).unwrap_err();
+        assert!(err.contains("net_rbio"), "unexpected error: {err}");
+
+        let doc =
+            testjson::parse("{\"version\":2,\"bench\":\"BENCH_PR3\",\"scenarios\":[]}").unwrap();
+        assert!(check_schema(&doc).is_err());
+    }
+
+    #[test]
+    fn escapes_special_characters_in_names() {
+        let mut run = RunRecorder::new();
+        let mut sc = synthetic_record("quo\"te\\back");
+        sc.metrics.push(("node/ctrl\u{1}char".into(), 1));
+        run.scenarios.push(sc);
+        let doc = testjson::parse(&run.to_json()).expect("escaped JSON parses");
+        let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
+        assert_eq!(scenarios[0].get("name").unwrap().as_str(), Some("quo\"te\\back"));
+    }
+}

@@ -9,6 +9,10 @@
 //! - [`trace`] stamps each commit with per-stage durations (engine →
 //!   harden → destage → page-server apply → secondary apply) in a
 //!   lock-free ring of the last N traces;
+//! - [`span`] does the same for the read path: every cache-miss GetPage
+//!   carries a span through cache probe → scheduler queue → gather →
+//!   RBIO → server serve → sink, with hedge and coalesce outcomes
+//!   stamped, plus a slow-op ring for postmortems;
 //! - [`hub`] is the named-metric registry every tier registers its
 //!   existing counters/gauges/histograms into, keyed by
 //!   [`NodeId`](crate::ids::NodeId) + metric name;
@@ -22,9 +26,11 @@
 
 pub mod export;
 pub mod hub;
+pub mod span;
 pub mod testjson;
 pub mod trace;
 
 pub use export::{json_snapshot, json_trace_summary, prometheus_text};
 pub use hub::{MetricSample, MetricSnapshot, MetricValue, MetricsHub};
+pub use span::{HedgeOutcome, ReadStage, ReadTrace, ReadTraceRecorder};
 pub use trace::{CommitTrace, SpanGuard, Stage, TraceRecorder};

@@ -1,0 +1,456 @@
+//! Request-scoped read-path span tracing.
+//!
+//! The read-side sibling of [`trace`](super::trace): every cache-miss
+//! GetPage@LSN carries a span through the stages of the remote-read
+//! pipeline,
+//!
+//! 1. **cache_probe** — probing the local tiers (memory, then RBPEX)
+//!    before the miss is declared;
+//! 2. **sched_queue** — waiting in the I/O scheduler's submission queue
+//!    beyond the intentional gather delay (backpressure, worker
+//!    saturation);
+//! 3. **gather_wait** — the deliberate delay waiting for adjacent misses
+//!    to arrive so they coalesce into one `GetPageRange`;
+//! 4. **net_rbio** — the RBIO round trip minus the server's serve time
+//!    (wire, queueing at the endpoint, client-side dispatch);
+//! 5. **server_serve** — time inside the page server producing the page
+//!    (apply wait, mem/RBPEX/XStore reads), stamped by the server on the
+//!    response envelope;
+//! 6. **sink** — installing the fetched page into the compute cache.
+//!
+//! Unlike commit traces, a read span completes synchronously — the miss
+//! path knows every stage duration the moment the page is installed — so
+//! [`ReadTraceRecorder::record`] publishes a finished span in one call.
+//! Each span is also stamped with its *hedge outcome* (did a hedged
+//! replica request fire, and did it win) and its *coalesce membership*
+//! (dispatched alone or as part of a range, and how wide the range was).
+//!
+//! The recorder mirrors the commit recorder's lock-free ring: a slot is
+//! claimed with one `fetch_add`, fields are relaxed stores, and a
+//! generation counter lets readers skip slots being rewritten. On top of
+//! the ring sits a small **slow-op ring** retaining the top-K slowest
+//! spans for postmortem queries (`socmon --reads`); the hot path pays one
+//! relaxed atomic load to decide whether a span qualifies.
+
+use crate::lsn::Lsn;
+use crate::metrics::Histogram;
+use crate::PageId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One stage of the remote-read pipeline. Discriminants index per-stage
+/// arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum ReadStage {
+    /// Probing the local tiers (memory, RBPEX) before going remote.
+    CacheProbe = 0,
+    /// Scheduler queue wait beyond the gather window (backpressure).
+    SchedQueue = 1,
+    /// Deliberate gather delay waiting for coalescible neighbours.
+    GatherWait = 2,
+    /// RBIO round trip minus the server's serve time.
+    NetRbio = 3,
+    /// Server-side serve time (stamped on the response by the server).
+    ServerServe = 4,
+    /// Installing the fetched page into the compute cache.
+    Sink = 5,
+}
+
+impl ReadStage {
+    /// All stages, pipeline order.
+    pub const ALL: [ReadStage; 6] = [
+        ReadStage::CacheProbe,
+        ReadStage::SchedQueue,
+        ReadStage::GatherWait,
+        ReadStage::NetRbio,
+        ReadStage::ServerServe,
+        ReadStage::Sink,
+    ];
+
+    /// Stable lowercase name used in exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ReadStage::CacheProbe => "cache_probe",
+            ReadStage::SchedQueue => "sched_queue",
+            ReadStage::GatherWait => "gather_wait",
+            ReadStage::NetRbio => "net_rbio",
+            ReadStage::ServerServe => "server_serve",
+            ReadStage::Sink => "sink",
+        }
+    }
+}
+
+const NUM_STAGES: usize = ReadStage::ALL.len();
+
+/// How many of the slowest spans the slow-op ring retains.
+pub const SLOW_OP_CAPACITY: usize = 32;
+
+/// The hedge outcome stamped on a span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(u64)]
+pub enum HedgeOutcome {
+    /// No hedge request fired for this read.
+    #[default]
+    None = 0,
+    /// A hedge fired but the primary attempt still answered first.
+    Lost = 1,
+    /// A hedge fired and the hedged attempt answered first.
+    Won = 2,
+}
+
+impl HedgeOutcome {
+    fn from_raw(v: u64) -> HedgeOutcome {
+        match v {
+            1 => HedgeOutcome::Lost,
+            2 => HedgeOutcome::Won,
+            _ => HedgeOutcome::None,
+        }
+    }
+
+    /// Stable lowercase name used in exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            HedgeOutcome::None => "none",
+            HedgeOutcome::Lost => "lost",
+            HedgeOutcome::Won => "won",
+        }
+    }
+}
+
+/// Snapshot of one read span, as recorded by the miss path and returned
+/// by queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadTrace {
+    /// The page that missed.
+    pub page: PageId,
+    /// The freshness floor the GetPage@LSN was issued with.
+    pub min_lsn: Lsn,
+    /// Nanoseconds spent in each stage (clamped to ≥ 1 when recorded, so
+    /// 0 still means "not recorded").
+    pub stage_ns: [u64; NUM_STAGES],
+    /// Whether a hedged replica request fired, and who won.
+    pub hedge: HedgeOutcome,
+    /// Pages in the dispatched batch: 1 = a lone `GetPage`, > 1 = member
+    /// of a coalesced `GetPageRange` of that width.
+    pub range_width: u32,
+    /// The coalesced range failed and this page was re-fetched alone.
+    pub range_fallback: bool,
+}
+
+impl ReadTrace {
+    /// Duration of `stage` in nanoseconds.
+    pub fn stage_ns(&self, stage: ReadStage) -> u64 {
+        self.stage_ns[stage as usize]
+    }
+
+    /// Whether every pipeline stage carries a duration.
+    pub fn is_complete(&self) -> bool {
+        self.stage_ns.iter().all(|&ns| ns > 0)
+    }
+
+    /// Total traced time: the read pipeline is sequential, so the span is
+    /// the sum of its stages.
+    pub fn total_ns(&self) -> u64 {
+        self.stage_ns.iter().sum()
+    }
+}
+
+/// One ring slot; same generation discipline as the commit recorder.
+struct Slot {
+    /// Generation: `claim_counter + 1` while occupied, 0 while empty.
+    seq: AtomicU64,
+    page: AtomicU64,
+    min_lsn: AtomicU64,
+    hedge: AtomicU64,
+    range_width: AtomicU64,
+    range_fallback: AtomicU64,
+    stage_ns: [AtomicU64; NUM_STAGES],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            page: AtomicU64::new(0),
+            min_lsn: AtomicU64::new(0),
+            hedge: AtomicU64::new(0),
+            range_width: AtomicU64::new(0),
+            range_fallback: AtomicU64::new(0),
+            stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The slow-op retention set: the top-K spans by total time, kept sorted
+/// ascending so the cheapest survivor is at the front.
+#[derive(Default)]
+struct SlowRing {
+    entries: Vec<ReadTrace>,
+}
+
+/// Fixed-capacity, lock-free recorder of read spans.
+///
+/// Capacity 0 disables tracing entirely: [`ReadTraceRecorder::record`]
+/// returns immediately and the recorder owns no slots — the knob behind
+/// `SocratesConfig::read_trace_capacity` and the overhead baseline.
+pub struct ReadTraceRecorder {
+    slots: Box<[Slot]>,
+    /// Total spans ever recorded; `next % capacity` is the ring index.
+    next: AtomicU64,
+    /// Per-stage latency histograms (µs), fed on every record.
+    stage_hist: [Histogram; NUM_STAGES],
+    slow: Mutex<SlowRing>,
+    /// Admission gate for the slow ring: the smallest retained total when
+    /// the ring is full, else 0. One relaxed load keeps the common case
+    /// (span not slow enough) off the lock.
+    slow_floor_ns: AtomicU64,
+    slow_capacity: usize,
+}
+
+impl ReadTraceRecorder {
+    /// A recorder retaining the last `capacity` spans (and the
+    /// [`SLOW_OP_CAPACITY`] slowest, separately).
+    pub fn new(capacity: usize) -> ReadTraceRecorder {
+        ReadTraceRecorder {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            next: AtomicU64::new(0),
+            stage_hist: std::array::from_fn(|_| Histogram::new()),
+            slow: Mutex::new(SlowRing::default()),
+            slow_floor_ns: AtomicU64::new(0),
+            slow_capacity: if capacity == 0 { 0 } else { SLOW_OP_CAPACITY.min(capacity) },
+        }
+    }
+
+    /// A recorder that drops everything (the overhead baseline).
+    pub fn disabled() -> ReadTraceRecorder {
+        ReadTraceRecorder::new(0)
+    }
+
+    /// Whether tracing is enabled.
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Number of span slots retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans recorded since creation.
+    pub fn spans_recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Record a completed miss-path span. Every stage is clamped to ≥ 1 ns
+    /// so a span always reads as complete, even when a stage was genuinely
+    /// instant (no scheduler → no queue wait) or the platform clock is
+    /// coarse. Lock-free on the ring; the slow-op ring is only locked when
+    /// the span beats the current top-K floor.
+    pub fn record(&self, mut trace: ReadTrace) {
+        if self.slots.is_empty() {
+            return;
+        }
+        for ns in trace.stage_ns.iter_mut() {
+            *ns = (*ns).max(1);
+        }
+        trace.range_width = trace.range_width.max(1);
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        // Invalidate while rewriting so a concurrent reader never mixes
+        // generations.
+        slot.seq.store(0, Ordering::Release);
+        slot.page.store(trace.page.raw(), Ordering::Relaxed);
+        slot.min_lsn.store(trace.min_lsn.offset(), Ordering::Relaxed);
+        slot.hedge.store(trace.hedge as u64, Ordering::Relaxed);
+        slot.range_width.store(trace.range_width as u64, Ordering::Relaxed);
+        slot.range_fallback.store(trace.range_fallback as u64, Ordering::Relaxed);
+        for (i, ns) in trace.stage_ns.iter().enumerate() {
+            slot.stage_ns[i].store(*ns, Ordering::Relaxed);
+        }
+        slot.seq.store(n + 1, Ordering::Release);
+        for (i, ns) in trace.stage_ns.iter().enumerate() {
+            self.stage_hist[i].record(ns / 1_000);
+        }
+        self.offer_slow(trace);
+    }
+
+    fn offer_slow(&self, trace: ReadTrace) {
+        if self.slow_capacity == 0 {
+            return;
+        }
+        let total = trace.total_ns();
+        if total <= self.slow_floor_ns.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut slow = self.slow.lock();
+        let pos = slow.entries.partition_point(|t| t.total_ns() < total);
+        slow.entries.insert(pos, trace);
+        if slow.entries.len() > self.slow_capacity {
+            slow.entries.remove(0);
+        }
+        if slow.entries.len() == self.slow_capacity {
+            self.slow_floor_ns.store(slow.entries[0].total_ns(), Ordering::Relaxed);
+        }
+    }
+
+    /// The retained spans, oldest first. Slots being rewritten mid-read
+    /// are skipped (generation check).
+    pub fn traces(&self) -> Vec<ReadTrace> {
+        let mut out: Vec<(u64, ReadTrace)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 {
+                continue;
+            }
+            let trace = ReadTrace {
+                page: PageId::new(slot.page.load(Ordering::Relaxed)),
+                min_lsn: Lsn::new(slot.min_lsn.load(Ordering::Relaxed)),
+                stage_ns: std::array::from_fn(|i| slot.stage_ns[i].load(Ordering::Relaxed)),
+                hedge: HedgeOutcome::from_raw(slot.hedge.load(Ordering::Relaxed)),
+                range_width: slot.range_width.load(Ordering::Relaxed) as u32,
+                range_fallback: slot.range_fallback.load(Ordering::Relaxed) != 0,
+            };
+            if slot.seq.load(Ordering::Acquire) == seq {
+                out.push((seq, trace));
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Retained spans that carry every stage, oldest first. With a live
+    /// recorder this is all of them — spans publish complete — so a
+    /// shortfall against [`ReadTraceRecorder::traces`] indicates a bug.
+    pub fn completed_traces(&self) -> Vec<ReadTrace> {
+        self.traces().into_iter().filter(ReadTrace::is_complete).collect()
+    }
+
+    /// The top-K slowest spans ever recorded, slowest first.
+    pub fn slow_ops(&self) -> Vec<ReadTrace> {
+        let mut v = self.slow.lock().entries.clone();
+        v.reverse();
+        v
+    }
+
+    /// Quantile of `stage` duration in microseconds over all recorded
+    /// spans (not just retained ones).
+    pub fn stage_percentile_us(&self, stage: ReadStage, q: f64) -> u64 {
+        self.stage_hist[stage as usize].percentile(q)
+    }
+
+    /// Point-in-time summary of `stage` durations (µs).
+    pub fn stage_snapshot(&self, stage: ReadStage) -> crate::metrics::HistogramSnapshot {
+        self.stage_hist[stage as usize].snapshot()
+    }
+}
+
+impl std::fmt::Debug for ReadTraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadTraceRecorder")
+            .field("capacity", &self.slots.len())
+            .field("spans_recorded", &self.spans_recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(page: u64, base_ns: u64) -> ReadTrace {
+        ReadTrace {
+            page: PageId::new(page),
+            min_lsn: Lsn::new(7),
+            stage_ns: std::array::from_fn(|i| base_ns + i as u64),
+            hedge: HedgeOutcome::None,
+            range_width: 1,
+            range_fallback: false,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let r = ReadTraceRecorder::disabled();
+        assert!(!r.is_enabled());
+        r.record(span(1, 1_000));
+        assert!(r.traces().is_empty());
+        assert!(r.slow_ops().is_empty());
+        assert_eq!(r.spans_recorded(), 0);
+    }
+
+    #[test]
+    fn stages_clamped_and_spans_complete() {
+        let r = ReadTraceRecorder::new(8);
+        r.record(ReadTrace { stage_ns: [0; 6], range_width: 0, ..span(3, 0) });
+        let t = r.traces();
+        assert_eq!(t.len(), 1);
+        assert!(t[0].is_complete(), "zero stages must clamp to 1ns");
+        assert_eq!(t[0].total_ns(), 6);
+        assert_eq!(t[0].range_width, 1);
+        assert_eq!(r.completed_traces().len(), 1);
+    }
+
+    #[test]
+    fn ring_retains_most_recent_capacity_spans() {
+        let r = ReadTraceRecorder::new(4);
+        for i in 1..=10u64 {
+            r.record(span(i, i * 100));
+        }
+        let t = r.traces();
+        assert_eq!(t.len(), 4);
+        let pages: Vec<u64> = t.iter().map(|x| x.page.raw()).collect();
+        assert_eq!(pages, vec![7, 8, 9, 10]);
+        assert_eq!(r.spans_recorded(), 10);
+    }
+
+    #[test]
+    fn slow_ring_keeps_top_k_slowest_in_order() {
+        let r = ReadTraceRecorder::new(256);
+        // Interleave so arrival order is not total order.
+        for i in 0..100u64 {
+            let total = (i * 37) % 100 + 1;
+            r.record(span(i, total * 1_000));
+        }
+        let slow = r.slow_ops();
+        assert_eq!(slow.len(), SLOW_OP_CAPACITY);
+        // Slowest first, strictly non-increasing.
+        for w in slow.windows(2) {
+            assert!(w[0].total_ns() >= w[1].total_ns());
+        }
+        // The very slowest span (total base 100) survived.
+        assert_eq!(slow[0].total_ns(), r.slow_ops()[0].total_ns());
+        let min_kept = slow.last().unwrap().total_ns();
+        // Everything retained beats everything discarded (~top third).
+        assert!(min_kept > 60 * 6 * 1_000, "kept floor {min_kept}");
+    }
+
+    #[test]
+    fn hedge_and_coalesce_stamps_survive_the_ring() {
+        let r = ReadTraceRecorder::new(8);
+        r.record(ReadTrace {
+            hedge: HedgeOutcome::Won,
+            range_width: 16,
+            range_fallback: true,
+            ..span(5, 1_000)
+        });
+        let t = &r.traces()[0];
+        assert_eq!(t.hedge, HedgeOutcome::Won);
+        assert_eq!(t.range_width, 16);
+        assert!(t.range_fallback);
+        assert_eq!(t.hedge.name(), "won");
+    }
+
+    #[test]
+    fn percentiles_cover_all_spans_not_just_retained() {
+        let r = ReadTraceRecorder::new(2);
+        for i in 1..=100u64 {
+            let mut t = span(i, 1);
+            t.stage_ns[ReadStage::NetRbio as usize] = i * 1_000_000; // 1..100 ms
+            r.record(t);
+        }
+        let p50 = r.stage_percentile_us(ReadStage::NetRbio, 0.5);
+        assert!((45_000..=55_000).contains(&p50), "p50 {p50}");
+        assert_eq!(r.stage_snapshot(ReadStage::NetRbio).count, 100);
+    }
+}

@@ -66,6 +66,10 @@ pub struct SocratesConfig {
     /// Commit traces retained for percentile/outlier queries
     /// (0 disables commit tracing entirely).
     pub trace_capacity: usize,
+    /// Read-path spans retained for per-stage GetPage latency attribution
+    /// and the slow-op ring (0 disables read tracing entirely; the miss
+    /// path then takes no clock reads and allocates nothing for tracing).
+    pub read_trace_capacity: usize,
     /// Sampling interval of the LSN-lag watcher thread, which completes
     /// the async commit-trace stages and updates deployment lag gauges.
     pub watcher_interval: Duration,
@@ -98,6 +102,7 @@ impl SocratesConfig {
             compute_cores: 8,
             rbio_workers: 4,
             trace_capacity: 1024,
+            read_trace_capacity: 1024,
             watcher_interval: Duration::from_millis(1),
             seed: 42,
         }
@@ -151,6 +156,13 @@ impl SocratesConfig {
     /// Set the hedged-read policy.
     pub fn with_hedge(mut self, hedge: HedgeConfig) -> SocratesConfig {
         self.hedge = hedge;
+        self
+    }
+
+    /// Set the read-span ring capacity (0 disables read tracing — the
+    /// tracing-overhead A/B knob).
+    pub fn with_read_trace_capacity(mut self, capacity: usize) -> SocratesConfig {
+        self.read_trace_capacity = capacity;
         self
     }
 }

@@ -13,7 +13,7 @@ use crate::obs::{LagWatcher, SecondaryList};
 use crate::primary::Primary;
 use crate::secondary::Secondary;
 use parking_lot::RwLock;
-use socrates_common::obs::{MetricsHub, TraceRecorder};
+use socrates_common::obs::{MetricsHub, ReadTraceRecorder, TraceRecorder};
 use socrates_common::{BlobId, Error, Lsn, PartitionId, Result};
 use socrates_engine::recovery::{analyze, find_last_checkpoint};
 use socrates_engine::txn::TxnCheckpointMeta;
@@ -91,6 +91,12 @@ impl Socrates {
     /// The commit-trace recorder (per-stage commit-path timings).
     pub fn trace(&self) -> &Arc<TraceRecorder> {
         &self.fabric.trace
+    }
+
+    /// The read-span recorder (per-stage GetPage miss timings and the
+    /// slow-op ring).
+    pub fn read_trace(&self) -> &Arc<ReadTraceRecorder> {
+        &self.fabric.read_trace
     }
 
     /// The current primary.

@@ -11,13 +11,13 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use socrates_common::latency::LatencyInjector;
 use socrates_common::lsn::AtomicLsn;
 use socrates_common::metrics::{CpuAccountant, CpuRegistry};
-use socrates_common::obs::{MetricsHub, Stage, TraceRecorder};
+use socrates_common::obs::{MetricsHub, ReadStage, ReadTraceRecorder, Stage, TraceRecorder};
 use socrates_common::{Error, Lsn, NodeId, PageId, PartitionId, Result};
 use socrates_engine::PageAccess;
 use socrates_pageserver::{PageServer, PageServerHandler, PartitionSpec};
 use socrates_rbio::replica::ReplicaSet;
 use socrates_rbio::transport::{NetworkConfig, RbioServer};
-use socrates_storage::cache::{PageRef, PageSource};
+use socrates_storage::cache::{FetchMeta, PageRef, PageSource};
 use socrates_storage::fcb::{Fcb, LatencyFcb, MemFcb};
 use socrates_storage::page::Page;
 use socrates_storage::sched::RangedPageSource;
@@ -76,6 +76,9 @@ pub struct Fabric {
     /// The commit trace recorder, shared by every primary the deployment
     /// ever runs (failover replaces the primary, not its trace history).
     pub trace: Arc<TraceRecorder>,
+    /// The read-path span recorder (GetPage miss attribution), shared by
+    /// every primary for the same reason.
+    pub read_trace: Arc<ReadTraceRecorder>,
     partitions: RwLock<HashMap<PartitionId, Arc<PartitionHandle>>>,
     next_ps_index: AtomicU32,
     /// Apply-progress signal: every page server's apply listener notifies
@@ -177,6 +180,17 @@ impl Fabric {
                 move || t.stage_snapshot(stage),
             );
         }
+        let read_trace = Arc::new(ReadTraceRecorder::new(config.read_trace_capacity));
+        // Per-stage read latency histograms, likewise under the primary
+        // (its cache misses are the spans).
+        for stage in ReadStage::ALL {
+            let t = Arc::clone(&read_trace);
+            hub.register_histogram_fn(
+                NodeId::PRIMARY,
+                &format!("read_stage_{}_us", stage.name()),
+                move || t.stage_snapshot(stage),
+            );
+        }
         Ok(Arc::new(Fabric {
             config,
             lz,
@@ -185,6 +199,7 @@ impl Fabric {
             cpu,
             hub,
             trace,
+            read_trace,
             partitions: RwLock::new(HashMap::new()),
             next_ps_index: AtomicU32::new(0),
             apply_signal: Arc::new(ApplySignal { lock: Mutex::new(()), cv: Condvar::new() }),
@@ -436,9 +451,7 @@ impl Fabric {
             self.config.hedge.clone(),
         ));
         // Hedging telemetry lives under the partition's first server node.
-        self.hub.register_counter(nodes[0], "hedges_fired", route.hedges_fired());
-        self.hub.register_counter(nodes[0], "hedge_wins", route.hedge_wins());
-        self.hub.register_histogram(nodes[0], "route_latency_us", route.latency_histogram());
+        route.register_metrics(&self.hub, nodes[0]);
         Ok(Arc::new(PartitionHandle { route, endpoints, servers, nodes }))
     }
 }
@@ -469,13 +482,30 @@ impl RemotePageSource {
 
 impl PageSource for RemotePageSource {
     fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
+        self.fetch_page_traced(id, min_lsn).map(|(page, _)| page)
+    }
+
+    fn fetch_page_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
         let handle = self.route_for(id)?;
         self.cpu.charge_us(8);
-        match handle
+        let t0 = std::time::Instant::now();
+        let (resp, call) = handle
             .route
-            .call(socrates_rbio::proto::RbioRequest::GetPage { page_id: id, min_lsn })?
-        {
-            socrates_rbio::proto::RbioResponse::Page { bytes } => Page::from_io_bytes(id, &bytes),
+            .call_traced(socrates_rbio::proto::RbioRequest::GetPage { page_id: id, min_lsn })?;
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        match resp {
+            socrates_rbio::proto::RbioResponse::Page { bytes, serve_us } => {
+                let serve_ns = serve_us.saturating_mul(1_000);
+                let meta = FetchMeta {
+                    net_ns: elapsed_ns.saturating_sub(serve_ns).max(1),
+                    serve_ns,
+                    range_width: 1,
+                    hedge_fired: call.hedge_fired,
+                    hedge_won: call.hedge_won,
+                    ..FetchMeta::default()
+                };
+                Page::from_io_bytes(id, &bytes).map(|page| (page, meta))
+            }
             other => Err(Error::Protocol(format!("unexpected GetPage response: {other:?}"))),
         }
     }
@@ -486,7 +516,21 @@ impl RangedPageSource for RemotePageSource {
     /// goes to the page server that owns it (the scheduler's coalescer does
     /// not know the partition map).
     fn fetch_page_range(&self, first: PageId, count: u32, min_lsn: Lsn) -> Result<Vec<Page>> {
+        self.fetch_page_range_traced(first, count, min_lsn).map(|(pages, _)| pages)
+    }
+
+    fn fetch_page_range_traced(
+        &self,
+        first: PageId,
+        count: u32,
+        min_lsn: Lsn,
+    ) -> Result<(Vec<Page>, FetchMeta)> {
         let mut pages = Vec::with_capacity(count as usize);
+        // One meta covers the whole range: serve time sums over segments,
+        // hedge outcomes OR together, and the caller charges wall-clock
+        // minus serve as the network stage.
+        let mut meta = FetchMeta { range_width: count, ..FetchMeta::default() };
+        let t0 = std::time::Instant::now();
         let end = first.raw() + count as u64;
         let mut cursor = first.raw();
         while cursor < end {
@@ -496,21 +540,29 @@ impl RangedPageSource for RemotePageSource {
             let seg = (end.min(partition_end) - cursor) as u32;
             self.cpu.charge_us(8 + seg as u64 / 4);
             if seg == 1 {
-                pages.push(self.fetch_page(PageId::new(cursor), min_lsn)?);
+                let (page, one) = self.fetch_page_traced(PageId::new(cursor), min_lsn)?;
+                meta.serve_ns += one.serve_ns;
+                meta.hedge_fired |= one.hedge_fired;
+                meta.hedge_won |= one.hedge_won;
+                pages.push(page);
             } else {
                 let req = socrates_rbio::proto::RbioRequest::GetPageRange {
                     first: PageId::new(cursor),
                     count: seg,
                     min_lsn,
                 };
-                match handle.route.call(req)? {
-                    socrates_rbio::proto::RbioResponse::PageRange { pages: raw } => {
+                let (resp, call) = handle.route.call_traced(req)?;
+                meta.hedge_fired |= call.hedge_fired;
+                meta.hedge_won |= call.hedge_won;
+                match resp {
+                    socrates_rbio::proto::RbioResponse::PageRange { pages: raw, serve_us } => {
                         if raw.len() != seg as usize {
                             return Err(Error::Protocol(format!(
                                 "GetPageRange returned {} pages, expected {seg}",
                                 raw.len()
                             )));
                         }
+                        meta.serve_ns += serve_us.saturating_mul(1_000);
                         for (i, bytes) in raw.iter().enumerate() {
                             pages.push(Page::from_io_bytes(PageId::new(cursor + i as u64), bytes)?);
                         }
@@ -524,7 +576,9 @@ impl RangedPageSource for RemotePageSource {
             }
             cursor += seg as u64;
         }
-        Ok(pages)
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        meta.net_ns = elapsed_ns.saturating_sub(meta.serve_ns).max(1);
+        Ok((pages, meta))
     }
 }
 

@@ -164,6 +164,9 @@ impl Primary {
         if let Some(sched) = cache.scheduler() {
             sched.register_metrics(&fabric.hub, NodeId::PRIMARY);
         }
+        if fabric.read_trace.is_enabled() {
+            cache.set_read_trace(Arc::clone(&fabric.read_trace));
+        }
 
         let io = Arc::new(LoggedPageIo::new(
             cache,

@@ -747,13 +747,19 @@ impl RbioHandler for PageServerHandler {
     fn handle(&self, req: RbioRequest) -> Result<RbioResponse> {
         match req {
             RbioRequest::GetPage { page_id, min_lsn } => {
+                let t0 = std::time::Instant::now();
                 let page = self.0.get_page(page_id, min_lsn)?;
-                Ok(RbioResponse::Page { bytes: page.to_io_bytes().to_vec() })
+                Ok(RbioResponse::Page {
+                    bytes: page.to_io_bytes().to_vec(),
+                    serve_us: (t0.elapsed().as_micros() as u64).max(1),
+                })
             }
             RbioRequest::GetPageRange { first, count, min_lsn } => {
+                let t0 = std::time::Instant::now();
                 let pages = self.0.get_page_range(first, count, min_lsn)?;
                 Ok(RbioResponse::PageRange {
                     pages: pages.iter().map(|p| p.to_io_bytes().to_vec()).collect(),
+                    serve_us: (t0.elapsed().as_micros() as u64).max(1),
                 })
             }
             RbioRequest::Ping => Ok(RbioResponse::Pong),

@@ -44,11 +44,18 @@ pub enum RbioResponse {
     Page {
         /// `Page::to_io_bytes()` output.
         bytes: Vec<u8>,
+        /// Microseconds the server spent producing the page (apply wait,
+        /// cache/XStore reads), stamped by the server so clients can
+        /// split round-trip time into wire vs. serve for span tracing.
+        serve_us: u64,
     },
     /// Sealed images for a contiguous range.
     PageRange {
         /// One sealed image per page, in order.
         pages: Vec<Vec<u8>>,
+        /// Server-side serve time for the whole range, as in
+        /// [`RbioResponse::Page::serve_us`].
+        serve_us: u64,
     },
     /// Ping reply.
     Pong,

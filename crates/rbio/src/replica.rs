@@ -16,8 +16,9 @@ use crate::proto::{RbioRequest, RbioResponse};
 use crate::transport::RbioClient;
 use parking_lot::Mutex;
 use socrates_common::metrics::{Counter, Histogram};
+use socrates_common::obs::MetricsHub;
 use socrates_common::rng::Rng;
-use socrates_common::{Error, Result};
+use socrates_common::{Error, NodeId, Result};
 use std::sync::mpsc::{self, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread;
@@ -66,6 +67,16 @@ impl HedgeConfig {
     pub fn disabled() -> HedgeConfig {
         HedgeConfig { enabled: false, ..HedgeConfig::default() }
     }
+}
+
+/// Per-call hedging outcome, for read-span attribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CallMeta {
+    /// A hedge request fired (the primary attempt outlived the hedge
+    /// delay). Failover after a transient error does not count.
+    pub hedge_fired: bool,
+    /// The hedged attempt produced the winning response.
+    pub hedge_won: bool,
 }
 
 struct ReplicaState {
@@ -134,6 +145,17 @@ impl ReplicaSet {
         Arc::clone(&self.latency)
     }
 
+    /// Register the set's hedging telemetry under `node`: `hedge_fired`,
+    /// `hedge_won`, the tracked-quantile `hedge_delay_us` gauge, and the
+    /// observed `route_latency_us` distribution.
+    pub fn register_metrics(self: &Arc<Self>, hub: &MetricsHub, node: NodeId) {
+        hub.register_counter(node, "hedge_fired", self.hedges_fired());
+        hub.register_counter(node, "hedge_won", self.hedge_wins());
+        let set = Arc::clone(self);
+        hub.register_gauge_fn(node, "hedge_delay_us", move || set.hedge_delay().as_micros() as i64);
+        hub.register_histogram(node, "route_latency_us", self.latency_histogram());
+    }
+
     /// The delay after which a hedge fires: the configured quantile of
     /// observed latency, clamped to `[min_delay, max_delay]`. Until enough
     /// samples exist the conservative `max_delay` is used.
@@ -184,10 +206,15 @@ impl ReplicaSet {
     /// and the first response wins; otherwise the set fails over serially
     /// through the remaining replicas on transient errors.
     pub fn call(&self, req: RbioRequest) -> Result<RbioResponse> {
+        self.call_traced(req).map(|(resp, _)| resp)
+    }
+
+    /// [`ReplicaSet::call`], plus the hedge outcome for span tracing.
+    pub fn call_traced(&self, req: RbioRequest) -> Result<(RbioResponse, CallMeta)> {
         if self.hedge.enabled && self.clients.len() > 1 {
             self.call_hedged(req)
         } else {
-            self.call_serial(req)
+            self.call_serial(req).map(|resp| (resp, CallMeta::default()))
         }
     }
 
@@ -237,12 +264,13 @@ impl ReplicaSet {
             .expect("spawn rbio attempt");
     }
 
-    fn call_hedged(&self, req: RbioRequest) -> Result<RbioResponse> {
+    fn call_hedged(&self, req: RbioRequest) -> Result<(RbioResponse, CallMeta)> {
         let primary = self.pick();
         let (tx, rx) = mpsc::channel();
         self.spawn_attempt(primary, false, &req, &tx);
         let mut outstanding = 1usize;
         let mut second_sent = false;
+        let mut fired = false;
         let mut last_err: Option<Error> = None;
         loop {
             let msg = if !second_sent {
@@ -251,6 +279,7 @@ impl ReplicaSet {
                     Err(RecvTimeoutError::Timeout) => {
                         // Primary is slower than the quantile: hedge.
                         self.hedges_fired.incr();
+                        fired = true;
                         self.spawn_attempt(self.pick_excluding(primary), true, &req, &tx);
                         outstanding += 1;
                         second_sent = true;
@@ -282,10 +311,13 @@ impl ReplicaSet {
                     let us = elapsed.as_micros() as u64;
                     self.observe(idx, us as f64);
                     self.latency.record(us);
-                    if was_hedge {
+                    // A win requires a real hedge: a failover attempt that
+                    // answers first is recovery, not tail-cutting.
+                    let won = was_hedge && fired;
+                    if won {
                         self.hedge_wins.incr();
                     }
-                    return Ok(resp);
+                    return Ok((resp, CallMeta { hedge_fired: fired, hedge_won: won }));
                 }
                 Err(e) if e.is_transient() => {
                     self.observe(idx, FAILURE_PENALTY_US);

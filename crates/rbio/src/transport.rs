@@ -253,11 +253,13 @@ mod tests {
             match req {
                 RbioRequest::Ping => Ok(RbioResponse::Pong),
                 RbioRequest::GetAppliedLsn => Ok(RbioResponse::AppliedLsn { lsn: Lsn::new(42) }),
-                RbioRequest::GetPage { page_id, .. } => {
-                    Ok(RbioResponse::Page { bytes: page_id.raw().to_le_bytes().to_vec() })
-                }
+                RbioRequest::GetPage { page_id, .. } => Ok(RbioResponse::Page {
+                    bytes: page_id.raw().to_le_bytes().to_vec(),
+                    serve_us: 0,
+                }),
                 RbioRequest::GetPageRange { count, .. } => Ok(RbioResponse::PageRange {
                     pages: (0..count).map(|i| vec![i as u8]).collect(),
+                    serve_us: 0,
                 }),
             }
         }
@@ -291,7 +293,7 @@ mod tests {
             .call(RbioRequest::GetPage { page_id: PageId::new(9), min_lsn: Lsn::ZERO })
             .unwrap()
         {
-            RbioResponse::Page { bytes } => assert_eq!(bytes, 9u64.to_le_bytes().to_vec()),
+            RbioResponse::Page { bytes, .. } => assert_eq!(bytes, 9u64.to_le_bytes().to_vec()),
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(client.metrics().calls_ok.get(), 3);

@@ -23,9 +23,36 @@ use crate::rbpex::Rbpex;
 use crate::sched::{IoScheduler, IoSchedulerConfig, RangedPageSource};
 use parking_lot::{Mutex, RwLock};
 use socrates_common::metrics::Counter;
+use socrates_common::obs::span::{HedgeOutcome, ReadTrace, ReadTraceRecorder};
 use socrates_common::{Error, Lsn, PageId, Result};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-fetch latency attribution flowing back up the remote-read path,
+/// consumed by the read-span recorder. Durations are nanoseconds; zero
+/// means "the layer that knows did not fill it in" and the caller falls
+/// back to its own wall-clock measurement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchMeta {
+    /// Scheduler queue wait beyond the gather window (backpressure).
+    pub queue_ns: u64,
+    /// Deliberate gather delay waiting for coalescible neighbours.
+    pub gather_ns: u64,
+    /// Network round trip minus the server's serve time.
+    pub net_ns: u64,
+    /// Server-side serve time, stamped on the RBIO response.
+    pub serve_ns: u64,
+    /// Pages in the dispatched batch (1 = a lone GetPage).
+    pub range_width: u32,
+    /// The coalesced range failed; this page was re-fetched alone.
+    pub range_fallback: bool,
+    /// A hedged replica request fired for this fetch.
+    pub hedge_fired: bool,
+    /// The hedged attempt produced the winning response.
+    pub hedge_won: bool,
+}
 
 /// Where cache misses are satisfied from (page servers, a local file, or a
 /// test fixture).
@@ -33,6 +60,15 @@ pub trait PageSource: Send + Sync {
     /// Fetch `id` at an LSN ≥ `min_lsn` (the GetPage@LSN contract: never a
     /// version older than `min_lsn`, possibly newer).
     fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page>;
+
+    /// [`PageSource::fetch_page`], plus whatever latency attribution the
+    /// source can provide. Sources that cannot attribute (test maps, local
+    /// files) inherit this default; the caller then charges the whole call
+    /// to the network stage.
+    fn fetch_page_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
+        self.fetch_page(id, min_lsn)
+            .map(|p| (p, FetchMeta { range_width: 1, ..FetchMeta::default() }))
+    }
 }
 
 /// A shared, lockable in-memory page. Callers read-lock to read and
@@ -119,6 +155,13 @@ pub struct TieredCache {
     wal_flush: WalFlushHook,
     on_evict: EvictionListener,
     stats: CacheStats,
+    /// The read-span recorder misses report into, when the node enables
+    /// read tracing ([`TieredCache::set_read_trace`]).
+    read_trace: RwLock<Option<Arc<ReadTraceRecorder>>>,
+    /// Mirrors `read_trace.is_some() && recorder enabled`: the hit path
+    /// pays exactly one relaxed load, and a disabled recorder costs the
+    /// miss path nothing (no clocks, no allocation).
+    trace_on: AtomicBool,
 }
 
 impl TieredCache {
@@ -141,6 +184,8 @@ impl TieredCache {
             wal_flush,
             on_evict,
             stats: CacheStats::default(),
+            read_trace: RwLock::new(None),
+            trace_on: AtomicBool::new(false),
         }
     }
 
@@ -194,6 +239,19 @@ impl TieredCache {
         self.sched.as_ref()
     }
 
+    /// Route miss-path spans into `recorder`. A disabled recorder
+    /// (capacity 0) leaves the miss path untraced — no clock reads, no
+    /// allocation — which is the `read_trace_capacity = 0` contract.
+    pub fn set_read_trace(&self, recorder: Arc<ReadTraceRecorder>) {
+        self.trace_on.store(recorder.is_enabled(), Ordering::Relaxed);
+        *self.read_trace.write() = Some(recorder);
+    }
+
+    /// The read-span recorder, if tracing was wired up.
+    pub fn read_trace(&self) -> Option<Arc<ReadTraceRecorder>> {
+        self.read_trace.read().clone()
+    }
+
     /// Fetch a page from the remote source, through the scheduler when
     /// present (single-flight with every other miss on this node). Does
     /// not install the page — callers that want it cached use
@@ -202,6 +260,15 @@ impl TieredCache {
         match &self.sched {
             Some(s) => s.fetch(id, min_lsn),
             None => self.source.fetch_page(id, min_lsn),
+        }
+    }
+
+    /// [`TieredCache::fetch_remote`], plus the fetch's latency attribution
+    /// (the traced miss path).
+    pub fn fetch_remote_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
+        match &self.sched {
+            Some(s) => s.fetch_traced(id, min_lsn),
+            None => self.source.fetch_page_traced(id, min_lsn),
         }
     }
 
@@ -255,11 +322,17 @@ impl TieredCache {
 
     /// Like [`TieredCache::get`], also reporting which tier served the
     /// read (callers use this for per-page-class hit accounting).
+    ///
+    /// When read tracing is on, every remote miss records a complete span
+    /// (probe → queue → gather → network → serve → sink) into the node's
+    /// [`ReadTraceRecorder`].
     pub fn get_traced(
         &self,
         id: PageId,
         min_lsn: impl FnOnce() -> Lsn,
     ) -> Result<(PageRef, CacheTier)> {
+        let probe_t0 =
+            if self.trace_on.load(Ordering::Relaxed) { Some(Instant::now()) } else { None };
         if let Some(p) = self.mem_lookup(id) {
             self.stats.mem_hits.incr();
             return Ok((p, CacheTier::Memory));
@@ -270,9 +343,49 @@ impl TieredCache {
                 return Ok((self.install(page)?, CacheTier::Ssd));
             }
         }
-        let page = self.fetch_remote(id, min_lsn())?;
+        let lsn = min_lsn();
+        let Some(probe_t0) = probe_t0 else {
+            let page = self.fetch_remote(id, lsn)?;
+            self.stats.fetches.incr();
+            return Ok((self.install(page)?, CacheTier::Remote));
+        };
+        let probe_ns = probe_t0.elapsed().as_nanos() as u64;
+        let fetch_t0 = Instant::now();
+        let (page, mut meta) = self.fetch_remote_traced(id, lsn)?;
+        let fetch_ns = fetch_t0.elapsed().as_nanos() as u64;
         self.stats.fetches.incr();
-        Ok((self.install(page)?, CacheTier::Remote))
+        if meta.net_ns == 0 {
+            // The source could not attribute the round trip; charge the
+            // unaccounted remainder of the fetch to the network stage.
+            meta.net_ns = fetch_ns.saturating_sub(meta.queue_ns + meta.gather_ns + meta.serve_ns);
+        }
+        let sink_t0 = Instant::now();
+        let page_ref = self.install(page)?;
+        let sink_ns = sink_t0.elapsed().as_nanos() as u64;
+        if let Some(rec) = self.read_trace.read().as_ref() {
+            rec.record(ReadTrace {
+                page: id,
+                min_lsn: lsn,
+                stage_ns: [
+                    probe_ns,
+                    meta.queue_ns,
+                    meta.gather_ns,
+                    meta.net_ns,
+                    meta.serve_ns,
+                    sink_ns,
+                ],
+                hedge: if meta.hedge_won {
+                    HedgeOutcome::Won
+                } else if meta.hedge_fired {
+                    HedgeOutcome::Lost
+                } else {
+                    HedgeOutcome::None
+                },
+                range_width: meta.range_width,
+                range_fallback: meta.range_fallback,
+            });
+        }
+        Ok((page_ref, CacheTier::Remote))
     }
 
     /// Get `id` only if it is already resident on this node (no remote

@@ -26,7 +26,7 @@ pub mod rbpex;
 pub mod sched;
 pub mod slotted;
 
-pub use cache::{PageRef, PageSource, TieredCache};
+pub use cache::{FetchMeta, PageRef, PageSource, TieredCache};
 pub use fcb::{FaultFcb, Fcb, FileFcb, LatencyFcb, MemFcb, PageFile};
 pub use page::{Page, PageType, PAGE_HEADER_SIZE, PAGE_SIZE};
 pub use pageops::{apply_page_op, PageOp};

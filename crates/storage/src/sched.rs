@@ -22,7 +22,7 @@
 //! slot gives the same pipelining without infecting every caller with an
 //! executor.
 
-use crate::cache::{PageSource, TieredCache};
+use crate::cache::{FetchMeta, PageSource, TieredCache};
 use crate::page::Page;
 use parking_lot::{Condvar, Mutex, RwLock};
 use socrates_common::metrics::Counter;
@@ -40,6 +40,19 @@ pub trait RangedPageSource: PageSource {
     /// Implementations may split the range internally (e.g. at partition
     /// boundaries) but must return exactly `count` pages, in order.
     fn fetch_page_range(&self, first: PageId, count: u32, min_lsn: Lsn) -> Result<Vec<Page>>;
+
+    /// [`RangedPageSource::fetch_page_range`], plus whatever latency
+    /// attribution the source can provide (one [`FetchMeta`] for the whole
+    /// range; every member shares the wire cost).
+    fn fetch_page_range_traced(
+        &self,
+        first: PageId,
+        count: u32,
+        min_lsn: Lsn,
+    ) -> Result<(Vec<Page>, FetchMeta)> {
+        self.fetch_page_range(first, count, min_lsn)
+            .map(|p| (p, FetchMeta { range_width: count, ..FetchMeta::default() }))
+    }
 }
 
 /// Scheduler tuning knobs (`SocratesConfig::sched`).
@@ -118,6 +131,19 @@ impl SchedStats {
             ranged as f64 / total as f64
         }
     }
+
+    /// The coalesce ratio as an integer percentage, for the hub gauge.
+    /// Each counter is read exactly once (a re-read mid-computation could
+    /// see a dispatch land between them and report > 100%), and before the
+    /// first dispatch the gauge reads a defined 0 rather than a 0/0 cast.
+    pub fn coalesce_ratio_pct(&self) -> i64 {
+        let ranged = self.range_pages.get();
+        let total = ranged + self.single_calls.get();
+        if total == 0 {
+            return 0;
+        }
+        (((ranged as f64 / total as f64) * 100.0).round() as i64).clamp(0, 100)
+    }
 }
 
 /// One in-flight page request: every waiter parks on the slot, the worker
@@ -130,7 +156,7 @@ struct InFlight {
     /// Whether any demand reader waits on this (a promoted prefetch keeps
     /// its queue entry but gains demand priority).
     demand: AtomicBool,
-    slot: Mutex<Option<Result<Page>>>,
+    slot: Mutex<Option<Result<(Page, FetchMeta)>>>,
     cv: Condvar,
 }
 
@@ -144,13 +170,13 @@ impl InFlight {
         }
     }
 
-    fn fulfill(&self, res: Result<Page>) {
+    fn fulfill(&self, res: Result<(Page, FetchMeta)>) {
         let mut slot = self.slot.lock();
         *slot = Some(res);
         self.cv.notify_all();
     }
 
-    fn wait(&self, timeout: Duration) -> Result<Page> {
+    fn wait(&self, timeout: Duration) -> Result<(Page, FetchMeta)> {
         let deadline = Instant::now() + timeout;
         let mut slot = self.slot.lock();
         loop {
@@ -267,7 +293,7 @@ impl IoScheduler {
         hub.register_gauge_fn(node, "sched_depth", move || s.inflight.lock().len() as i64);
         let s = Arc::clone(&self.shared);
         hub.register_gauge_fn(node, "sched_coalesce_ratio_pct", move || {
-            (s.stats.coalesce_ratio() * 100.0) as i64
+            s.stats.coalesce_ratio_pct()
         });
     }
 
@@ -275,10 +301,17 @@ impl IoScheduler {
     /// existing in-flight request when possible, otherwise enqueues a
     /// demand miss and parks until a worker completes it.
     pub fn fetch(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
+        self.fetch_traced(id, min_lsn).map(|(page, _)| page)
+    }
+
+    /// [`IoScheduler::fetch`], plus the fetch's latency attribution
+    /// (queue/gather waits, coalesce membership, and whatever the backend
+    /// stamped on the batch).
+    pub fn fetch_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
         let s = &self.shared;
         s.stats.submitted.incr();
         if s.stop.load(Ordering::SeqCst) {
-            return s.backend.fetch_page(id, min_lsn);
+            return s.backend.fetch_page_traced(id, min_lsn);
         }
         let mut fl = s.inflight.lock();
         let existing = fl.get(&id).map(Arc::clone);
@@ -303,7 +336,7 @@ impl IoScheduler {
                 // The in-flight request has a lower freshness floor than
                 // ours; its result may be too stale. Bypass.
                 drop(fl);
-                return s.backend.fetch_page(id, min_lsn);
+                return s.backend.fetch_page_traced(id, min_lsn);
             }
             None => {
                 let e = Arc::new(InFlight::new(min_lsn, true));
@@ -391,6 +424,8 @@ impl Drop for IoScheduler {
 struct Batch {
     ids: Vec<PageId>,
     min_lsn: Lsn,
+    /// Per-member enqueue time, for queue/gather attribution on spans.
+    enqueued: Vec<Instant>,
 }
 
 fn worker_loop(s: Arc<Shared>) {
@@ -457,39 +492,87 @@ fn take_run(q: &mut Queue, seed: u64, max_batch: u32) -> Batch {
         hi += 1;
     }
     let mut ids = Vec::with_capacity((hi - lo + 1) as usize);
+    let mut enqueued = Vec::with_capacity(ids.capacity());
     let mut min_lsn = Lsn::ZERO;
     for raw in lo..=hi {
         let r = q.pending.remove(&raw).expect("run member pending");
         min_lsn = min_lsn.max(r.min_lsn);
         ids.push(PageId::new(raw));
+        enqueued.push(r.enqueued);
     }
-    Batch { ids, min_lsn }
+    Batch { ids, min_lsn, enqueued }
+}
+
+/// Stamp the scheduler's share of a fetch's attribution onto the backend's
+/// meta: the member's queue/gather waits, its coalesce membership, and —
+/// when the backend could not split the round trip itself — the call's
+/// wall-clock minus the server serve time as the network stage.
+fn stamp(
+    res: Result<(Page, FetchMeta)>,
+    queue_ns: u64,
+    gather_ns: u64,
+    width: u32,
+    fallback: bool,
+    call_ns: u64,
+) -> Result<(Page, FetchMeta)> {
+    res.map(|(page, mut m)| {
+        m.queue_ns = queue_ns;
+        m.gather_ns = gather_ns;
+        m.range_width = width;
+        m.range_fallback = fallback;
+        if m.net_ns == 0 {
+            m.net_ns = call_ns.saturating_sub(m.serve_ns);
+        }
+        (page, m)
+    })
 }
 
 fn execute(s: &Shared, batch: Batch) {
     let first = batch.ids[0];
     let count = batch.ids.len() as u32;
+    let dispatched = Instant::now();
+    // A member's wait splits into the intentional gather delay (up to the
+    // configured window) and queue backpressure (everything beyond it).
+    let waits = |i: usize| -> (u64, u64) {
+        let wait = dispatched.saturating_duration_since(batch.enqueued[i]);
+        let gather = wait.min(s.cfg.gather_window);
+        ((wait - gather).as_nanos() as u64, gather.as_nanos() as u64)
+    };
     if count == 1 {
         s.stats.single_calls.incr();
-        let res = s.backend.fetch_page(first, batch.min_lsn);
-        complete_one(s, first, res);
+        let t0 = Instant::now();
+        let res = s.backend.fetch_page_traced(first, batch.min_lsn);
+        let call_ns = t0.elapsed().as_nanos() as u64;
+        let (queue_ns, gather_ns) = waits(0);
+        complete_one(s, first, stamp(res, queue_ns, gather_ns, 1, false, call_ns));
         return;
     }
     s.stats.range_calls.incr();
     s.stats.range_pages.add(count as u64);
-    match s.backend.fetch_page_range(first, count, batch.min_lsn) {
-        Ok(pages) if pages.len() == count as usize => {
-            for (id, page) in batch.ids.iter().zip(pages) {
-                complete_one(s, *id, Ok(page));
+    let t0 = Instant::now();
+    match s.backend.fetch_page_range_traced(first, count, batch.min_lsn) {
+        Ok((pages, meta)) if pages.len() == count as usize => {
+            let call_ns = t0.elapsed().as_nanos() as u64;
+            for (i, (id, page)) in batch.ids.iter().zip(pages).enumerate() {
+                let (queue_ns, gather_ns) = waits(i);
+                // Every member shares the range's wire/serve cost.
+                complete_one(
+                    s,
+                    *id,
+                    stamp(Ok((page, meta)), queue_ns, gather_ns, count, false, call_ns),
+                );
             }
         }
         _ => {
             // Degrade to per-page fetches so each member gets its own
             // result (a range fails as a unit; its members need not).
             s.stats.range_fallbacks.incr();
-            for id in &batch.ids {
-                let res = s.backend.fetch_page(*id, batch.min_lsn);
-                complete_one(s, *id, res);
+            for (i, id) in batch.ids.iter().enumerate() {
+                let t0 = Instant::now();
+                let res = s.backend.fetch_page_traced(*id, batch.min_lsn);
+                let call_ns = t0.elapsed().as_nanos() as u64;
+                let (queue_ns, gather_ns) = waits(i);
+                complete_one(s, *id, stamp(res, queue_ns, gather_ns, count, true, call_ns));
             }
         }
     }
@@ -497,12 +580,12 @@ fn execute(s: &Shared, batch: Batch) {
 
 /// Fulfil one page's completion slot and install prefetch results into
 /// the sink cache.
-fn complete_one(s: &Shared, id: PageId, res: Result<Page>) {
+fn complete_one(s: &Shared, id: PageId, res: Result<(Page, FetchMeta)>) {
     let entry = s.inflight.lock().remove(&id);
     let Some(entry) = entry else { return };
     if !entry.demand.load(Ordering::SeqCst) {
         // Pure prefetch: no waiter; land the page in the cache.
-        if let Ok(page) = &res {
+        if let Ok((page, _)) = &res {
             if let Some(cache) = s.sink.read().as_ref().and_then(|w| w.upgrade()) {
                 let _ = cache.install_prefetched(page.clone());
             }
@@ -671,6 +754,81 @@ mod tests {
         assert!(results[1].is_err());
         assert!(results[2].is_ok());
         assert!(s.stats().range_fallbacks.get() <= 1);
+    }
+
+    #[test]
+    fn coalesce_ratio_pct_is_defined_before_first_dispatch() {
+        // The hub gauge samples this at arbitrary times, including before
+        // any batch has been dispatched: it must read 0, not a 0/0 cast.
+        let stats = SchedStats::default();
+        assert_eq!(stats.coalesce_ratio_pct(), 0);
+        assert_eq!(stats.coalesce_ratio(), 0.0);
+        stats.range_pages.add(30);
+        for _ in 0..10 {
+            stats.single_calls.incr();
+        }
+        assert_eq!(stats.coalesce_ratio_pct(), 75);
+        let all_ranged = SchedStats::default();
+        all_ranged.range_pages.add(5);
+        assert_eq!(all_ranged.coalesce_ratio_pct(), 100);
+    }
+
+    #[test]
+    fn fetch_traced_attributes_gather_and_coalesce_membership() {
+        let src = TestSource::new(64, Duration::ZERO);
+        let cfg = IoSchedulerConfig {
+            workers: 2,
+            gather_window: Duration::from_millis(30),
+            ..IoSchedulerConfig::default()
+        };
+        let s = sched(&src, cfg);
+        let metas: Vec<FetchMeta> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|i| {
+                    let s = &s;
+                    scope.spawn(move || s.fetch_traced(PageId::new(8 + i), Lsn::ZERO).unwrap().1)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(metas.iter().any(|m| m.range_width > 1), "adjacent misses should coalesce");
+        assert!(
+            metas.iter().any(|m| m.gather_ns > 0),
+            "members that waited out the window carry gather time"
+        );
+        assert!(metas.iter().all(|m| !m.range_fallback), "a successful range is not a fallback");
+    }
+
+    #[test]
+    fn range_fallback_is_stamped_on_member_meta() {
+        // Page 21 is missing: the range fails as a unit and members are
+        // re-fetched alone — their spans must say so.
+        let src = TestSource::new(64, Duration::ZERO);
+        src.pages.lock().remove(&PageId::new(21));
+        let cfg = IoSchedulerConfig {
+            workers: 1,
+            gather_window: Duration::from_millis(30),
+            ..IoSchedulerConfig::default()
+        };
+        let s = sched(&src, cfg);
+        let results: Vec<Result<(Page, FetchMeta)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (20..23u64)
+                .map(|i| {
+                    let s = &s;
+                    scope.spawn(move || s.fetch_traced(PageId::new(i), Lsn::ZERO))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let metas: Vec<&FetchMeta> =
+            results.iter().filter_map(|r| r.as_ref().ok()).map(|(_, m)| m).collect();
+        assert_eq!(metas.len(), 2, "pages 20 and 22 still arrive");
+        if s.stats().range_fallbacks.get() >= 1 {
+            for m in metas {
+                assert!(m.range_fallback, "survivors of a failed range carry the flag");
+                assert!(m.range_width > 1, "width records the original batch size");
+            }
+        }
     }
 
     #[test]

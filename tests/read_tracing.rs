@@ -1,0 +1,193 @@
+//! Integration: read-path span tracing.
+//!
+//! Drives a deployment through a commit workload, fails over so the
+//! replacement primary's scan is all cache misses, and interrogates the
+//! tracing layer end to end: every miss-path GetPage yields a complete
+//! span, per-stage percentiles surface in the hub and both exporters,
+//! the slow-op ring retains the worst spans in order, hedge outcomes are
+//! stamped when hedging fires, and `read_trace_capacity = 0` turns the
+//! whole subsystem off.
+
+use socrates::{Socrates, SocratesConfig};
+use socrates_common::obs::{
+    json_snapshot, prometheus_text, testjson, HedgeOutcome, MetricValue, ReadStage,
+};
+use socrates_common::NodeId;
+use socrates_engine::value::{ColumnType, Schema, Value};
+use socrates_rbio::HedgeConfig;
+use std::time::Duration;
+
+const ROWS: u64 = 150;
+
+fn schema() -> Schema {
+    Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Str)], 1)
+}
+
+/// Launch with `config`, commit `ROWS` rows, quiesce, fail over, and
+/// cold-scan the table so every touched page goes over GetPage@LSN.
+fn cold_read_deployment(config: SocratesConfig) -> Socrates {
+    let sys = Socrates::launch(config).unwrap();
+    {
+        let primary = sys.primary().unwrap();
+        let db = primary.db();
+        db.create_table("t", schema()).unwrap();
+        for i in 0..ROWS {
+            let h = db.begin();
+            db.insert(&h, "t", &[Value::Int(i as i64), Value::Str(format!("v{i}"))]).unwrap();
+            db.commit(h).unwrap();
+        }
+        let frontier = primary.pipeline().hardened_lsn();
+        sys.fabric().wait_applied(frontier, Duration::from_secs(30)).unwrap();
+    }
+    sys.kill_primary();
+    let p = sys.failover().unwrap();
+    let r = p.db().begin();
+    let rows = p.db().scan_table(&r, "t", usize::MAX).unwrap();
+    assert_eq!(rows.len(), ROWS as usize);
+    sys
+}
+
+#[test]
+fn miss_path_spans_are_complete_and_exported() {
+    let sys = cold_read_deployment(SocratesConfig::fast_test());
+    let trace = sys.read_trace();
+
+    // The cold scan produced miss-path spans, and every one is complete:
+    // all six stages stamped, non-zero total.
+    let spans = trace.spans_recorded();
+    assert!(spans > 0, "cold scan recorded no read spans");
+    let traces = trace.traces();
+    assert!(!traces.is_empty());
+    for t in &traces {
+        assert!(t.is_complete(), "incomplete span for {}: {t:?}", t.page);
+        assert!(t.total_ns() > 0);
+        assert!(t.range_width >= 1);
+    }
+    assert_eq!(trace.completed_traces().len(), traces.len());
+
+    // Per-stage histograms surface under the primary in the hub, with one
+    // sample per span.
+    let snapshot = sys.hub().snapshot();
+    for stage in ReadStage::ALL {
+        let name = format!("read_stage_{}_us", stage.name());
+        match snapshot.get(NodeId::PRIMARY, &name) {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, spans, "{name} count != spans recorded")
+            }
+            other => panic!("{name} missing or wrong type: {other:?}"),
+        }
+    }
+
+    // Both exporters carry the stage histograms.
+    let prom = prometheus_text(&snapshot);
+    assert!(prom.contains("read_stage_net_rbio_us"), "prometheus export missing read stages");
+    let json = testjson::parse(&json_snapshot(&snapshot)).expect("json export parses");
+    let has_stage = json
+        .get("metrics")
+        .and_then(|m| m.as_array())
+        .map(|samples| {
+            samples.iter().any(|s| {
+                s.get("metric").and_then(|n| n.as_str()) == Some("read_stage_server_serve_us")
+            })
+        })
+        .unwrap_or(false);
+    assert!(has_stage, "json export missing read stages");
+
+    // The slow-op ring holds the worst spans, slowest first.
+    let slow = trace.slow_ops();
+    assert!(!slow.is_empty());
+    for pair in slow.windows(2) {
+        assert!(pair[0].total_ns() >= pair[1].total_ns(), "slow-op ring out of order");
+    }
+    sys.shutdown();
+}
+
+#[test]
+fn hedged_reads_stamp_span_outcome() {
+    // A zero hedge delay fires a hedge on effectively every remote call;
+    // the second partition replica gives the hedge somewhere to go.
+    let mut config = SocratesConfig::fast_test();
+    config.hedge = HedgeConfig {
+        enabled: true,
+        min_delay: Duration::ZERO,
+        max_delay: Duration::ZERO,
+        ..HedgeConfig::default()
+    };
+    let sys = Socrates::launch(config).unwrap();
+    {
+        let primary = sys.primary().unwrap();
+        let db = primary.db();
+        db.create_table("t", schema()).unwrap();
+        for i in 0..ROWS {
+            let h = db.begin();
+            db.insert(&h, "t", &[Value::Int(i as i64), Value::Str(format!("v{i}"))]).unwrap();
+            db.commit(h).unwrap();
+        }
+        let frontier = primary.pipeline().hardened_lsn();
+        sys.fabric().wait_applied(frontier, Duration::from_secs(30)).unwrap();
+    }
+    let pid = sys.fabric().partition_ids()[0];
+    sys.fabric().add_partition_replica(pid).unwrap();
+    sys.kill_primary();
+    let p = sys.failover().unwrap();
+    let r = p.db().begin();
+    assert_eq!(p.db().scan_table(&r, "t", usize::MAX).unwrap().len(), ROWS as usize);
+
+    let route = &sys.fabric().partition(pid).unwrap().route;
+    assert!(route.hedges_fired().get() > 0, "zero-delay hedge never fired");
+
+    // Hedge outcomes propagate onto the spans: every span whose fetch
+    // hedged is stamped Won or Lost, and at least one hedged span exists.
+    let hedged: Vec<HedgeOutcome> = sys
+        .read_trace()
+        .traces()
+        .iter()
+        .map(|t| t.hedge)
+        .filter(|h| *h != HedgeOutcome::None)
+        .collect();
+    assert!(!hedged.is_empty(), "no span carries a hedge outcome");
+
+    // The hedge counters surface in the hub under the route's first node.
+    let snapshot = sys.hub().snapshot();
+    match snapshot.get(NodeId::page_server(0), "hedge_fired") {
+        Some(MetricValue::Counter(v)) => assert!(*v > 0),
+        other => panic!("hedge_fired missing or wrong type: {other:?}"),
+    }
+    assert!(
+        matches!(snapshot.get(NodeId::page_server(0), "hedge_won"), Some(MetricValue::Counter(_))),
+        "hedge_won not registered"
+    );
+    assert!(
+        matches!(
+            snapshot.get(NodeId::page_server(0), "hedge_delay_us"),
+            Some(MetricValue::Gauge(_))
+        ),
+        "hedge_delay_us not registered"
+    );
+    sys.shutdown();
+}
+
+#[test]
+fn capacity_zero_disables_read_tracing() {
+    let mut config = SocratesConfig::fast_test();
+    config.read_trace_capacity = 0;
+    let sys = cold_read_deployment(config);
+    let trace = sys.read_trace();
+
+    assert!(!trace.is_enabled());
+    assert_eq!(trace.spans_recorded(), 0);
+    assert!(trace.traces().is_empty());
+    assert!(trace.slow_ops().is_empty());
+
+    // The stage histograms still exist in the hub (registration is
+    // unconditional) but never receive a sample.
+    let snapshot = sys.hub().snapshot();
+    for stage in ReadStage::ALL {
+        let name = format!("read_stage_{}_us", stage.name());
+        match snapshot.get(NodeId::PRIMARY, &name) {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 0, "{name} recorded samples"),
+            other => panic!("{name} missing or wrong type: {other:?}"),
+        }
+    }
+    sys.shutdown();
+}
