@@ -8,8 +8,8 @@
 
 use socrates_bench::{
     ablation_block_size, ablation_lossy_feed, ablation_lz_replicas, ablation_rbpex, cold_scan,
-    fig4_threads, table1_goals, table2_throughput, table3_cache_hit, table4_tpce_cache,
-    table5_log_throughput, table6_commit_latency, table7_lz_cpu, Effort,
+    failover_under_load, fig4_threads, table1_goals, table2_throughput, table3_cache_hit,
+    table4_tpce_cache, table5_log_throughput, table6_commit_latency, table7_lz_cpu, Effort,
 };
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
             "--quick" | "-q" => effort = Effort::Quick,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment all|table1|...|table7|fig4|ablations|coldscan] [--quick]"
+                    "usage: repro [--experiment all|table1|...|table7|fig4|ablations|coldscan|failover] [--quick]"
                 );
                 return;
             }
@@ -68,6 +68,7 @@ fn main() {
     exp!("fig4", run_fig4(effort));
     exp!("ablations", run_ablations(effort));
     exp!("coldscan", run_coldscan(effort));
+    exp!("failover", run_failover(effort));
 
     if failures > 0 {
         std::process::exit(1);
@@ -231,6 +232,35 @@ fn run_coldscan(effort: Effort) -> socrates_common::Result<()> {
         t.on.range_requests,
         t.on.prefetch_installs,
         t.speedup
+    );
+    Ok(())
+}
+
+fn run_failover(effort: Effort) -> socrates_common::Result<()> {
+    let t = failover_under_load(effort)?;
+    println!(
+        "Failover under load — cold scan with a mid-scan page-server outage ({} rows, {} chunks)",
+        t.rows, t.chunks
+    );
+    println!("  healthy chunk p50 : {:>8.1} ms", t.healthy_chunk_p50_ms);
+    println!(
+        "  degraded chunk p50: {:>8.1} ms  ({} pages served from the checkpoint)",
+        t.degraded_chunk_p50_ms, t.degraded_reads
+    );
+    println!(
+        "  worst chunk       : {:>8.1} ms  (the availability gap a reader saw)",
+        t.worst_chunk_ms
+    );
+    println!("  partition restart : {:>8.3} s", t.restart_secs);
+    // One machine-parseable line for CI smoke checks.
+    println!(
+        "{{\"experiment\":\"failover_under_load\",\"rows\":{},\"healthy_chunk_p50_ms\":{:.1},\"degraded_chunk_p50_ms\":{:.1},\"worst_chunk_ms\":{:.1},\"restart_secs\":{:.3},\"degraded_reads\":{}}}",
+        t.rows,
+        t.healthy_chunk_p50_ms,
+        t.degraded_chunk_p50_ms,
+        t.worst_chunk_ms,
+        t.restart_secs,
+        t.degraded_reads
     );
     Ok(())
 }

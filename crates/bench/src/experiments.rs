@@ -574,3 +574,114 @@ pub fn table1_goals(effort: Effort) -> Result<Table1> {
         commit_latency_us,
     })
 }
+
+// --------------------------------------------- Failover under load (§3.2)
+
+/// The failover-under-load experiment: kill every replica of the scanned
+/// partition in the middle of a cold scan, keep scanning (reads degrade
+/// to the XStore checkpoint), restart the partition from its blobs, and
+/// finish the scan — availability through total replica loss.
+#[derive(Debug)]
+pub struct FailoverUnderLoad {
+    /// Rows scanned (all of them, despite the outage).
+    pub rows: usize,
+    /// Chunks the scan was issued in.
+    pub chunks: usize,
+    /// Median chunk latency while the page servers were healthy (ms).
+    pub healthy_chunk_p50_ms: f64,
+    /// Median chunk latency during the outage — degraded reads (ms).
+    pub degraded_chunk_p50_ms: f64,
+    /// Worst chunk latency across the whole scan: the availability gap a
+    /// reader actually experienced (ms).
+    pub worst_chunk_ms: f64,
+    /// Wall time to restart the partition from its XStore blobs (s).
+    pub restart_secs: f64,
+    /// Pages served from the checkpoint while the partition was down.
+    pub degraded_reads: u64,
+}
+
+/// Run the failover-under-load scan.
+pub fn failover_under_load(effort: Effort) -> Result<FailoverUnderLoad> {
+    let rows = match effort {
+        Effort::Quick => 4_000,
+        Effort::Full => 12_000,
+    };
+    let chunks = 20usize;
+    let chunk = rows / chunks;
+    let schema =
+        Schema::new(vec![("id".into(), ColumnType::Int), ("pad".into(), ColumnType::Str)], 1);
+    // Scheduler off: no scan prefetch, so every chunk's pages are demand
+    // misses and the outage window is actually exercised by the reads.
+    let config = SocratesConfig::realistic(777).with_secondaries(0).with_scheduler(false);
+    let sys = Socrates::launch(config)?;
+    {
+        let p = sys.primary()?;
+        p.db().create_table("scan", schema)?;
+        let pad = "x".repeat(200);
+        let h = p.db().begin();
+        for i in 0..rows {
+            p.db().insert(&h, "scan", &[Value::Int(i as i64), Value::Str(pad.clone())])?;
+        }
+        p.db().commit(h)?;
+        sys.fabric().wait_applied(p.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+    }
+    // The checkpoint is what degraded reads will serve from.
+    sys.checkpoint()?;
+    sys.kill_primary();
+    let p = sys.failover()?;
+
+    let pids = sys.fabric().partition_ids();
+    let kill_at = chunks / 4;
+    let restart_at = 3 * chunks / 4;
+    let mut restart_secs = 0.0;
+    let mut healthy_ms = Vec::new();
+    let mut degraded_ms = Vec::new();
+    let mut worst_ms = 0.0f64;
+    let r = p.db().begin();
+    for c in 0..chunks {
+        if c == kill_at {
+            for pid in &pids {
+                sys.fabric().kill_partition(*pid);
+            }
+        }
+        if c == restart_at {
+            let t0 = Instant::now();
+            for pid in &pids {
+                sys.fabric().restart_partition(*pid)?;
+            }
+            restart_secs = t0.elapsed().as_secs_f64();
+        }
+        let lo = (c * chunk) as i64;
+        let hi = ((c + 1) * chunk) as i64;
+        let t0 = Instant::now();
+        let got = p.db().scan_range(&r, "scan", &[Value::Int(lo)], &[Value::Int(hi)], chunk)?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if got.len() != chunk {
+            return Err(socrates_common::Error::InvalidState(format!(
+                "chunk {c} returned {} rows, expected {chunk}",
+                got.len()
+            )));
+        }
+        worst_ms = worst_ms.max(ms);
+        if (kill_at..restart_at).contains(&c) {
+            degraded_ms.push(ms);
+        } else {
+            healthy_ms.push(ms);
+        }
+    }
+    let degraded_reads = sys.fabric().degraded_read_count();
+    sys.shutdown();
+    let p50 = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    Ok(FailoverUnderLoad {
+        rows,
+        chunks,
+        healthy_chunk_p50_ms: p50(&mut healthy_ms),
+        degraded_chunk_p50_ms: p50(&mut degraded_ms),
+        worst_chunk_ms: worst_ms,
+        restart_secs,
+        degraded_reads,
+    })
+}

@@ -35,13 +35,20 @@ pub enum Error {
     /// An operation is not valid in the current state (e.g. writing on a
     /// read-only secondary, using a closed service).
     InvalidState(String),
+    /// Every replica of a replicated service failed the call. Transient —
+    /// the set may recover — but distinguishable from a single-replica
+    /// failure so degradation paths (fall back to XStore) can match on it.
+    AllReplicasFailed {
+        /// Total attempts made across all replicas before giving up.
+        attempts: u32,
+    },
 }
 
 impl Error {
     /// Whether the operation that produced this error may succeed if simply
     /// retried (possibly against another replica).
     pub fn is_transient(&self) -> bool {
-        matches!(self, Error::Unavailable(_) | Error::Timeout(_))
+        matches!(self, Error::Unavailable(_) | Error::Timeout(_) | Error::AllReplicasFailed { .. })
     }
 
     /// A short machine-friendly tag for the variant, used in metrics.
@@ -57,6 +64,7 @@ impl Error {
             Error::Protocol(_) => "protocol",
             Error::InvalidArgument(_) => "invalid_argument",
             Error::InvalidState(_) => "invalid_state",
+            Error::AllReplicasFailed { .. } => "all_replicas_failed",
         }
     }
 }
@@ -64,6 +72,9 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (kind, msg) = match self {
+            Error::AllReplicasFailed { attempts } => {
+                return write!(f, "all replicas failed: {attempts} attempts exhausted");
+            }
             Error::Io(m) => ("io error", m),
             Error::Corruption(m) => ("corruption", m),
             Error::NotFound(m) => ("not found", m),

@@ -1,0 +1,688 @@
+//! Deterministic fault injection for the Socrates failure modes.
+//!
+//! The paper's availability story (§6, §8) rests on every tier surviving
+//! the death of its neighbours: a page server can crash without losing
+//! data, the XLOG feed is lossy by design, the landing zone tolerates
+//! replica failure, and XStore outages only defer checkpoints. Exercising
+//! those paths needs a way to *break each tier on purpose* — repeatably.
+//!
+//! A [`FaultRegistry`] holds named **sites** (e.g. `rbio.transport.send`,
+//! `lz.write`) that the I/O paths consult. Each site carries zero or more
+//! [`FaultRule`]s: a [`FaultSchedule`] deciding *when* to fire (nth call,
+//! probability, LSN window) and a [`FaultAction`] deciding *what* happens
+//! (error return, added latency, message drop, node crash). All
+//! randomness comes from per-rule [`Rng`] instances seeded from the
+//! registry seed plus the site name, so the same seed reproduces the
+//! identical fault schedule — the chaos suites assert this.
+//!
+//! The disabled path is one relaxed atomic load: a registry with no armed
+//! rules adds no measurable overhead to the hot paths that consult it.
+
+use crate::latency::{precise_sleep, LatencyModel};
+use crate::lsn::Lsn;
+use crate::metrics::Counter;
+use crate::obs::MetricsHub;
+use crate::rng::Rng;
+use crate::{Error, NodeId, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The canonical fault-site names wired through the workspace. Sites are
+/// plain strings so tests can invent private ones, but the constants keep
+/// the catalog greppable.
+pub mod sites {
+    /// Client-side RBIO request leg (before the message reaches a server).
+    pub const RBIO_SEND: &str = "rbio.transport.send";
+    /// Client-side RBIO response leg (after the server replied).
+    pub const RBIO_RECV: &str = "rbio.transport.recv";
+    /// Landing-zone quorum write (`LandingZone::write_block`).
+    pub const LZ_WRITE: &str = "lz.write";
+    /// The XLOG feed pump delivering blocks into `offer_block`.
+    pub const XLOG_FEED_POLL: &str = "xlog.feed.poll";
+    /// Page-server RBIO request handling (GetPage@LSN and friends).
+    pub const PAGESERVER_SERVE: &str = "pageserver.serve";
+    /// XStore writes (`write_at` / `write_batch` / `append`).
+    pub const XSTORE_PUT: &str = "xstore.put";
+    /// XStore reads (`read_at`).
+    pub const XSTORE_GET: &str = "xstore.get";
+
+    /// Every site wired through the workspace (the catalog).
+    pub const ALL: &[&str] =
+        &[RBIO_SEND, RBIO_RECV, LZ_WRITE, XLOG_FEED_POLL, PAGESERVER_SERVE, XSTORE_PUT, XSTORE_GET];
+}
+
+/// The error flavour an [`FaultAction::Error`] rule returns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultErrorKind {
+    /// `Error::Unavailable` — transient, retried/failed over.
+    Unavailable,
+    /// `Error::Timeout` — transient, looks like a lost message.
+    Timeout,
+    /// `Error::Io` — permanent, propagates to the caller.
+    Io,
+}
+
+impl FaultErrorKind {
+    fn to_error(self, site: &str) -> Error {
+        match self {
+            FaultErrorKind::Unavailable => Error::Unavailable(format!("fault injected at {site}")),
+            FaultErrorKind::Timeout => Error::Timeout(format!("fault injected at {site}")),
+            FaultErrorKind::Io => Error::Io(format!("fault injected at {site}")),
+        }
+    }
+}
+
+/// What happens when a rule's schedule fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Return an error of the given flavour from the site.
+    Error(FaultErrorKind),
+    /// Sleep a latency sampled from the model, then proceed normally.
+    /// Reuses [`LatencyModel`], so calibrated device shapes apply.
+    Latency(LatencyModel),
+    /// Drop the message: the site behaves as if it was lost in transit
+    /// (transport sites time out; the feed silently discards the block).
+    Drop,
+    /// Crash the node hosting the site. Honoured where a node exists to
+    /// crash (`pageserver.serve` stops the server); elsewhere it degrades
+    /// to `Unavailable`.
+    Crash,
+}
+
+impl FaultAction {
+    /// Short tag used in the fired-event log and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultAction::Error(_) => "error",
+            FaultAction::Latency(_) => "latency",
+            FaultAction::Drop => "drop",
+            FaultAction::Crash => "crash",
+        }
+    }
+}
+
+/// When a rule fires, relative to the site's call counter (1-based) or the
+/// call's LSN context.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSchedule {
+    /// Exactly the nth call at the site.
+    Nth(u64),
+    /// Every nth call (n, 2n, 3n, ...).
+    EveryNth(u64),
+    /// The first n calls.
+    FirstN(u64),
+    /// Each call independently with probability `p` (seeded, so the fired
+    /// set is a pure function of the registry seed and the call order).
+    Probability(f64),
+    /// Calls whose LSN context lies in `[from, to)`. Sites without an LSN
+    /// context never match.
+    LsnWindow {
+        /// Window start (inclusive).
+        from: Lsn,
+        /// Window end (exclusive).
+        to: Lsn,
+    },
+    /// Every call.
+    Always,
+}
+
+/// One armed fault: where, when, what.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRule {
+    /// The site this rule arms (see [`sites`]).
+    pub site: String,
+    /// When it fires.
+    pub schedule: FaultSchedule,
+    /// What it does.
+    pub action: FaultAction,
+}
+
+/// What a site must do because a fault fired. Latency faults are served
+/// inside [`FaultRegistry::check_at`] (the sleep happens there) and never
+/// surface as an outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultOutcome {
+    /// Return this error.
+    Err(Error),
+    /// Behave as if the message was lost.
+    Drop,
+    /// Crash the hosting node (sites without one treat this as `Drop`
+    /// plus unavailability).
+    Crash,
+}
+
+/// One fired fault, recorded for determinism assertions and artifacts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The site that fired.
+    pub site: String,
+    /// The site's call counter when it fired (1-based).
+    pub call: u64,
+    /// The action tag (`error`/`latency`/`drop`/`crash`).
+    pub action: &'static str,
+}
+
+impl FaultEvent {
+    /// One-line rendering for schedule artifacts.
+    pub fn render(&self) -> String {
+        format!("{}#{} -> {}", self.site, self.call, self.action)
+    }
+}
+
+struct RuleState {
+    rule: FaultRule,
+    rng: Mutex<Rng>,
+}
+
+struct SiteState {
+    calls: AtomicU64,
+    fired: Arc<Counter>,
+    rules: Vec<Arc<RuleState>>,
+}
+
+struct Inner {
+    seed: u64,
+    /// Number of armed rules across all sites — the hot-path gate.
+    armed: AtomicUsize,
+    sites: RwLock<HashMap<String, Arc<SiteState>>>,
+    log: Mutex<Vec<FaultEvent>>,
+    /// Hub to register per-site fired counters into, once bound.
+    hub: Mutex<Option<(MetricsHub, NodeId)>>,
+}
+
+/// A seeded, deterministic fault-injection registry. Cheap to clone
+/// (`Arc` inside); one per deployment, shared by every tier.
+#[derive(Clone)]
+pub struct FaultRegistry {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FaultRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultRegistry")
+            .field("seed", &self.inner.seed)
+            .field("armed", &self.inner.armed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for FaultRegistry {
+    fn default() -> Self {
+        FaultRegistry::disabled()
+    }
+}
+
+impl FaultRegistry {
+    /// A registry with no rules, seeded for later installs.
+    pub fn new(seed: u64) -> FaultRegistry {
+        FaultRegistry {
+            inner: Arc::new(Inner {
+                seed,
+                armed: AtomicUsize::new(0),
+                sites: RwLock::new(HashMap::new()),
+                log: Mutex::new(Vec::new()),
+                hub: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A permanently-quiet registry (the default everywhere).
+    pub fn disabled() -> FaultRegistry {
+        FaultRegistry::new(0)
+    }
+
+    /// The registry's seed.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// Whether any rule is armed (the hot-path gate, one atomic load).
+    #[inline]
+    pub fn is_armed(&self) -> bool {
+        self.inner.armed.load(Ordering::Relaxed) > 0
+    }
+
+    /// Bind a metrics hub: every site with rules (present and future)
+    /// registers a `fault_injected_total.<site>` counter under `node`.
+    pub fn bind_hub(&self, hub: &MetricsHub, node: NodeId) {
+        let mut guard = self.inner.hub.lock();
+        *guard = Some((hub.clone(), node));
+        for (name, site) in self.inner.sites.read().iter() {
+            hub.register_counter(node, &format!("fault_injected_total.{name}"), site.fired());
+        }
+    }
+
+    /// Arm `rule`. Rules at one site are evaluated in install order; the
+    /// first whose schedule matches a call fires (one fault per call).
+    pub fn install(&self, rule: FaultRule) {
+        let mut sites = self.inner.sites.write();
+        let n_sites = sites.len() as u64;
+        let site = sites.entry(rule.site.clone()).or_insert_with(|| {
+            let state = Arc::new(SiteState {
+                calls: AtomicU64::new(0),
+                fired: Arc::new(Counter::new()),
+                rules: Vec::new(),
+            });
+            if let Some((hub, node)) = self.inner.hub.lock().as_ref() {
+                hub.register_counter(
+                    *node,
+                    &format!("fault_injected_total.{}", rule.site),
+                    Arc::clone(&state.fired),
+                );
+            }
+            state
+        });
+        // Per-rule RNG seeded from (registry seed, site hash, rule index):
+        // draws at one site never perturb another site's sequence, so the
+        // schedule is deterministic per-site regardless of cross-site
+        // interleaving.
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a over the site name
+        for b in rule.site.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        let rule_seed = self
+            .inner
+            .seed
+            .wrapping_add(h)
+            .wrapping_add((site.rules.len() as u64) << 32)
+            .wrapping_add(n_sites);
+        let state = Arc::new(RuleState { rule, rng: Mutex::new(Rng::new(rule_seed)) });
+        // SiteState is shared behind Arc; rebuild with the extra rule so
+        // concurrent `check` calls see a consistent snapshot.
+        let mut rules = site.rules.clone();
+        rules.push(state);
+        let replacement = Arc::new(SiteState {
+            calls: AtomicU64::new(site.calls.load(Ordering::Relaxed)),
+            fired: Arc::clone(&site.fired),
+            rules,
+        });
+        *site = replacement;
+        self.inner.armed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Disarm every rule (call counters, fired counters, and the event log
+    /// survive so post-window assertions still see the history).
+    pub fn clear(&self) {
+        let mut sites = self.inner.sites.write();
+        let mut disarmed = 0usize;
+        for site in sites.values_mut() {
+            disarmed += site.rules.len();
+            let replacement = Arc::new(SiteState {
+                calls: AtomicU64::new(site.calls.load(Ordering::Relaxed)),
+                fired: Arc::clone(&site.fired),
+                rules: Vec::new(),
+            });
+            *site = replacement;
+        }
+        self.inner.armed.fetch_sub(disarmed, Ordering::Relaxed);
+    }
+
+    /// Consult a site with no LSN context.
+    #[inline]
+    pub fn check(&self, site: &str) -> Option<FaultOutcome> {
+        if !self.is_armed() {
+            return None;
+        }
+        self.check_slow(site, None)
+    }
+
+    /// Consult a site with an LSN context (GetPage@LSN's `min_lsn`, a log
+    /// block's start LSN) so `LsnWindow` schedules can match.
+    #[inline]
+    pub fn check_at(&self, site: &str, lsn: Option<Lsn>) -> Option<FaultOutcome> {
+        if !self.is_armed() {
+            return None;
+        }
+        self.check_slow(site, lsn)
+    }
+
+    fn check_slow(&self, site: &str, lsn: Option<Lsn>) -> Option<FaultOutcome> {
+        let state = self.inner.sites.read().get(site).cloned()?;
+        if state.rules.is_empty() {
+            return None;
+        }
+        let call = state.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        for rule_state in &state.rules {
+            let matches = match &rule_state.rule.schedule {
+                FaultSchedule::Nth(n) => call == *n,
+                FaultSchedule::EveryNth(n) => *n > 0 && call % *n == 0,
+                FaultSchedule::FirstN(n) => call <= *n,
+                FaultSchedule::Probability(p) => rule_state.rng.lock().gen_bool(*p),
+                FaultSchedule::LsnWindow { from, to } => lsn.is_some_and(|l| l >= *from && l < *to),
+                FaultSchedule::Always => true,
+            };
+            if !matches {
+                continue;
+            }
+            let action = rule_state.rule.action.clone();
+            state.fired.incr();
+            self.inner.log.lock().push(FaultEvent {
+                site: site.to_string(),
+                call,
+                action: action.name(),
+            });
+            return match action {
+                FaultAction::Error(kind) => Some(FaultOutcome::Err(kind.to_error(site))),
+                FaultAction::Latency(model) => {
+                    let d = {
+                        let mut rng = rule_state.rng.lock();
+                        model.sample(&mut rng)
+                    };
+                    precise_sleep(d);
+                    None // the operation proceeds, just late
+                }
+                FaultAction::Drop => Some(FaultOutcome::Drop),
+                FaultAction::Crash => Some(FaultOutcome::Crash),
+            };
+        }
+        None
+    }
+
+    /// Total faults fired at `site`.
+    pub fn fired_count(&self, site: &str) -> u64 {
+        self.inner.sites.read().get(site).map_or(0, |s| s.fired.get())
+    }
+
+    /// Total faults fired across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.inner.sites.read().values().map(|s| s.fired.get()).sum()
+    }
+
+    /// The fired-event log, in fire order — the reproducible fault
+    /// schedule the chaos suites compare across runs and dump as a CI
+    /// artifact on failure.
+    pub fn fired_log(&self) -> Vec<FaultEvent> {
+        self.inner.log.lock().clone()
+    }
+
+    /// The fired log rendered one event per line (artifact format).
+    pub fn render_schedule(&self) -> String {
+        let log = self.inner.log.lock();
+        let mut out = String::with_capacity(log.len() * 32);
+        for e in log.iter() {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Install rules from a spec string: `site@schedule=action` clauses
+    /// separated by `;`. Returns the number of rules installed.
+    ///
+    /// Schedules: `nth:N`, `every:N`, `first:N`, `p:0.01`,
+    /// `lsn:FROM..TO`, `always`. Actions: `error:unavailable`,
+    /// `error:timeout`, `error:io`, `latency:500us` (or `ms`/`s`),
+    /// `drop`, `crash`.
+    pub fn install_spec(&self, spec: &str) -> Result<usize> {
+        let mut n = 0;
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            self.install(parse_clause(clause)?);
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+fn parse_clause(clause: &str) -> Result<FaultRule> {
+    let bad = |what: &str| Error::InvalidArgument(format!("fault spec '{clause}': {what}"));
+    let (site, rest) =
+        clause.split_once('@').ok_or_else(|| bad("expected site@schedule=action"))?;
+    let (sched, action) = rest.split_once('=').ok_or_else(|| bad("expected schedule=action"))?;
+    let schedule = match sched.split_once(':') {
+        Some(("nth", n)) => FaultSchedule::Nth(n.parse().map_err(|_| bad("bad nth count"))?),
+        Some(("every", n)) => {
+            FaultSchedule::EveryNth(n.parse().map_err(|_| bad("bad every count"))?)
+        }
+        Some(("first", n)) => FaultSchedule::FirstN(n.parse().map_err(|_| bad("bad first count"))?),
+        Some(("p", p)) => {
+            let p: f64 = p.parse().map_err(|_| bad("bad probability"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(bad("probability outside [0, 1]"));
+            }
+            FaultSchedule::Probability(p)
+        }
+        Some(("lsn", range)) => {
+            let (from, to) = range.split_once("..").ok_or_else(|| bad("bad lsn range"))?;
+            FaultSchedule::LsnWindow {
+                from: Lsn::new(from.parse().map_err(|_| bad("bad lsn range start"))?),
+                to: Lsn::new(to.parse().map_err(|_| bad("bad lsn range end"))?),
+            }
+        }
+        None if sched == "always" => FaultSchedule::Always,
+        _ => return Err(bad("unknown schedule")),
+    };
+    let action = match action.split_once(':') {
+        Some(("error", kind)) => FaultAction::Error(match kind {
+            "unavailable" => FaultErrorKind::Unavailable,
+            "timeout" => FaultErrorKind::Timeout,
+            "io" => FaultErrorKind::Io,
+            _ => return Err(bad("unknown error kind")),
+        }),
+        Some(("latency", dur)) => {
+            let us = if let Some(v) = dur.strip_suffix("us") {
+                v.parse::<u64>().map_err(|_| bad("bad latency"))?
+            } else if let Some(v) = dur.strip_suffix("ms") {
+                v.parse::<u64>().map_err(|_| bad("bad latency"))? * 1_000
+            } else if let Some(v) = dur.strip_suffix('s') {
+                v.parse::<u64>().map_err(|_| bad("bad latency"))? * 1_000_000
+            } else {
+                return Err(bad("latency needs a us/ms/s suffix"));
+            };
+            FaultAction::Latency(LatencyModel::fixed(us))
+        }
+        None if action == "drop" => FaultAction::Drop,
+        None if action == "crash" => FaultAction::Crash,
+        _ => return Err(bad("unknown action")),
+    };
+    Ok(FaultRule { site: site.trim().to_string(), schedule, action })
+}
+
+impl SiteState {
+    fn fired(&self) -> Arc<Counter> {
+        Arc::clone(&self.fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(site: &str, schedule: FaultSchedule, action: FaultAction) -> FaultRule {
+        FaultRule { site: site.into(), schedule, action }
+    }
+
+    #[test]
+    fn disabled_registry_is_quiet() {
+        let f = FaultRegistry::disabled();
+        assert!(!f.is_armed());
+        for _ in 0..1000 {
+            assert_eq!(f.check(sites::LZ_WRITE), None);
+        }
+        assert_eq!(f.total_fired(), 0);
+        assert!(f.fired_log().is_empty());
+    }
+
+    #[test]
+    fn nth_and_every_nth_fire_on_schedule() {
+        let f = FaultRegistry::new(1);
+        f.install(rule("a", FaultSchedule::Nth(3), FaultAction::Drop));
+        let fired: Vec<bool> = (0..6).map(|_| f.check("a").is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+
+        let g = FaultRegistry::new(1);
+        g.install(rule("b", FaultSchedule::EveryNth(2), FaultAction::Drop));
+        let fired: Vec<bool> = (0..6).map(|_| g.check("b").is_some()).collect();
+        assert_eq!(fired, vec![false, true, false, true, false, true]);
+        assert_eq!(g.fired_count("b"), 3);
+    }
+
+    #[test]
+    fn first_n_and_always() {
+        let f = FaultRegistry::new(2);
+        f.install(rule("a", FaultSchedule::FirstN(2), FaultAction::Drop));
+        let fired: Vec<bool> = (0..4).map(|_| f.check("a").is_some()).collect();
+        assert_eq!(fired, vec![true, true, false, false]);
+        f.install(rule("b", FaultSchedule::Always, FaultAction::Crash));
+        assert_eq!(f.check("b"), Some(FaultOutcome::Crash));
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed() {
+        let run = |seed| {
+            let f = FaultRegistry::new(seed);
+            f.install(rule("a", FaultSchedule::Probability(0.3), FaultAction::Drop));
+            (0..200).map(|_| f.check("a").is_some()).collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must reproduce the schedule");
+        assert_ne!(a, run(8), "different seeds should differ");
+        let hits = a.iter().filter(|b| **b).count();
+        assert!(hits > 30 && hits < 90, "p=0.3 over 200 calls fired {hits} times");
+    }
+
+    #[test]
+    fn lsn_window_uses_context() {
+        let f = FaultRegistry::new(3);
+        f.install(rule(
+            "a",
+            FaultSchedule::LsnWindow { from: Lsn::new(100), to: Lsn::new(200) },
+            FaultAction::Error(FaultErrorKind::Unavailable),
+        ));
+        assert_eq!(f.check_at("a", Some(Lsn::new(50))), None);
+        assert!(matches!(
+            f.check_at("a", Some(Lsn::new(150))),
+            Some(FaultOutcome::Err(Error::Unavailable(_)))
+        ));
+        assert_eq!(f.check_at("a", Some(Lsn::new(200))), None, "window end is exclusive");
+        assert_eq!(f.check_at("a", None), None, "no context never matches");
+    }
+
+    #[test]
+    fn error_kinds_map_to_variants() {
+        let f = FaultRegistry::new(4);
+        f.install(rule("a", FaultSchedule::Always, FaultAction::Error(FaultErrorKind::Timeout)));
+        match f.check("a") {
+            Some(FaultOutcome::Err(e)) => {
+                assert_eq!(e.kind(), "timeout");
+                assert!(e.is_transient());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_action_sleeps_and_proceeds() {
+        let f = FaultRegistry::new(5);
+        f.install(rule("a", FaultSchedule::Always, FaultAction::Latency(LatencyModel::fixed(300))));
+        let t0 = std::time::Instant::now();
+        assert_eq!(f.check("a"), None, "latency faults let the operation proceed");
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(250));
+        assert_eq!(f.fired_count("a"), 1, "but they count as injected");
+    }
+
+    #[test]
+    fn clear_disarms_but_keeps_history() {
+        let f = FaultRegistry::new(6);
+        f.install(rule("a", FaultSchedule::Always, FaultAction::Drop));
+        f.check("a");
+        f.clear();
+        assert!(!f.is_armed());
+        assert_eq!(f.check("a"), None);
+        assert_eq!(f.fired_count("a"), 1);
+        assert_eq!(f.fired_log().len(), 1);
+    }
+
+    #[test]
+    fn fired_log_records_site_call_action() {
+        let f = FaultRegistry::new(7);
+        f.install(rule("a", FaultSchedule::EveryNth(2), FaultAction::Drop));
+        for _ in 0..4 {
+            f.check("a");
+        }
+        let log = f.fired_log();
+        assert_eq!(
+            log,
+            vec![
+                FaultEvent { site: "a".into(), call: 2, action: "drop" },
+                FaultEvent { site: "a".into(), call: 4, action: "drop" },
+            ]
+        );
+        assert_eq!(f.render_schedule(), "a#2 -> drop\na#4 -> drop\n");
+    }
+
+    #[test]
+    fn spec_grammar_roundtrip() {
+        let f = FaultRegistry::new(8);
+        let n = f
+            .install_spec(
+                "lz.write@nth:5=error:unavailable; rbio.transport.send@p:0.25=drop; \
+                 pageserver.serve@lsn:100..900=crash; xstore.get@every:10=latency:2ms",
+            )
+            .unwrap();
+        assert_eq!(n, 4);
+        assert!(f.is_armed());
+        // The nth:5 error rule fires exactly once.
+        for i in 1..=10u64 {
+            let out = f.check(sites::LZ_WRITE);
+            assert_eq!(out.is_some(), i == 5, "call {i}");
+        }
+        // Crash inside the LSN window only.
+        assert_eq!(f.check_at(sites::PAGESERVER_SERVE, Some(Lsn::new(99))), None);
+        assert_eq!(
+            f.check_at(sites::PAGESERVER_SERVE, Some(Lsn::new(100))),
+            Some(FaultOutcome::Crash)
+        );
+    }
+
+    #[test]
+    fn spec_errors_are_reported() {
+        let f = FaultRegistry::new(9);
+        assert!(f.install_spec("no-at-sign").is_err());
+        assert!(f.install_spec("a@nth:x=drop").is_err());
+        assert!(f.install_spec("a@p:1.5=drop").is_err());
+        assert!(f.install_spec("a@always=explode").is_err());
+        assert!(f.install_spec("a@always=latency:5").is_err(), "latency needs a suffix");
+        assert!(f.install_spec("a@lsn:10=drop").is_err());
+        assert!(!f.is_armed(), "failed specs must not partially arm... ");
+    }
+
+    #[test]
+    fn hub_binding_exports_per_site_counters() {
+        let hub = MetricsHub::new();
+        let f = FaultRegistry::new(10);
+        f.install(rule("x.y", FaultSchedule::Always, FaultAction::Drop));
+        f.bind_hub(&hub, NodeId::FAULT);
+        // Sites installed after binding register too.
+        f.install(rule("z.w", FaultSchedule::Always, FaultAction::Drop));
+        f.check("x.y");
+        f.check("x.y");
+        f.check("z.w");
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.get(NodeId::FAULT, "fault_injected_total.x.y"),
+            Some(&crate::obs::MetricValue::Counter(2))
+        );
+        assert_eq!(
+            snap.get(NodeId::FAULT, "fault_injected_total.z.w"),
+            Some(&crate::obs::MetricValue::Counter(1))
+        );
+        let full: Vec<String> = snap.samples.iter().map(|s| s.full_name()).collect();
+        assert!(full.contains(&"fault.0.fault_injected_total.x.y".to_string()));
+    }
+
+    #[test]
+    fn rules_at_one_site_fire_first_match() {
+        let f = FaultRegistry::new(11);
+        f.install(rule("a", FaultSchedule::Nth(2), FaultAction::Drop));
+        f.install(rule("a", FaultSchedule::Always, FaultAction::Crash));
+        assert_eq!(f.check("a"), Some(FaultOutcome::Crash), "call 1: second rule");
+        assert_eq!(f.check("a"), Some(FaultOutcome::Drop), "call 2: first rule wins");
+        assert_eq!(f.check("a"), Some(FaultOutcome::Crash), "call 3: second rule again");
+    }
+}

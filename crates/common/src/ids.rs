@@ -145,6 +145,8 @@ pub enum NodeKind {
     XStore,
     /// A benchmark client driver.
     Client,
+    /// The fault-injection registry (owns `fault_injected_total.*`).
+    Fault,
 }
 
 impl NodeKind {
@@ -157,6 +159,7 @@ impl NodeKind {
             NodeKind::PageServer => "pageserver",
             NodeKind::XStore => "xstore",
             NodeKind::Client => "client",
+            NodeKind::Fault => "fault",
         }
     }
 }
@@ -168,6 +171,8 @@ impl NodeId {
     pub const XLOG: NodeId = NodeId { kind: NodeKind::XLog, index: 0 };
     /// The (single) XStore service node.
     pub const XSTORE: NodeId = NodeId { kind: NodeKind::XStore, index: 0 };
+    /// The (single) fault-injection registry pseudo-node.
+    pub const FAULT: NodeId = NodeId { kind: NodeKind::Fault, index: 0 };
 
     /// Secondary compute node `i`.
     pub const fn secondary(i: u32) -> NodeId {

@@ -14,6 +14,7 @@
 
 pub mod checksum;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod latency;
 pub mod lsn;

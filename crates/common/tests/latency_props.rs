@@ -1,0 +1,74 @@
+//! Property tests for the latency model: every sample respects the
+//! configured bounds, degenerate models are exact, and sampling is a pure
+//! function of the seed (the determinism the fault-injection layer and
+//! benchmark reproducibility both build on).
+
+use proptest::prelude::*;
+use socrates_common::latency::LatencyModel;
+use socrates_common::rng::Rng;
+use std::time::Duration;
+
+fn model_strategy() -> impl Strategy<Value = LatencyModel> {
+    // min <= median <= max by construction; sigma and spike_p over their
+    // whole useful ranges, including the degenerate zeros.
+    (0u64..2_000, 0u64..2_000, 0u64..20_000, 0.0f64..2.5, 0.0f64..1.0).prop_map(
+        |(min, body, tail, sigma, spike_p)| LatencyModel {
+            min_us: min,
+            median_us: min + body,
+            sigma,
+            max_us: min + body + tail,
+            spike_p,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sample_stays_within_bounds(
+        model in model_strategy(),
+        seed in any::<u64>(),
+        draws in 1usize..64,
+    ) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..draws {
+            let d = model.sample(&mut rng);
+            prop_assert!(
+                d >= Duration::from_micros(model.min_us) || model.max_us == 0,
+                "sample {d:?} below min_us {}",
+                model.min_us
+            );
+            prop_assert!(
+                d <= Duration::from_micros(model.max_us),
+                "sample {d:?} above max_us {}",
+                model.max_us
+            );
+        }
+    }
+
+    #[test]
+    fn zero_model_is_exactly_zero(seed in any::<u64>(), draws in 1usize..32) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..draws {
+            prop_assert_eq!(LatencyModel::zero().sample(&mut rng), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn fixed_model_is_exact(us in 0u64..1_000_000, seed in any::<u64>(), draws in 1usize..32) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..draws {
+            prop_assert_eq!(LatencyModel::fixed(us).sample(&mut rng), Duration::from_micros(us));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence(model in model_strategy(), seed in any::<u64>()) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        let sa: Vec<Duration> = (0..32).map(|_| model.sample(&mut a)).collect();
+        let sb: Vec<Duration> = (0..32).map(|_| model.sample(&mut b)).collect();
+        prop_assert_eq!(sa, sb);
+    }
+}

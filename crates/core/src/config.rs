@@ -73,6 +73,12 @@ pub struct SocratesConfig {
     /// Sampling interval of the LSN-lag watcher thread, which completes
     /// the async commit-trace stages and updates deployment lag gauges.
     pub watcher_interval: Duration,
+    /// Seed for the fault-injection registry (independent of `seed` so a
+    /// fault schedule can be varied without perturbing the workload).
+    pub fault_seed: u64,
+    /// Fault rules installed at launch, in `common::fault` spec grammar
+    /// (`site@schedule=action; ...`). Empty = no faults armed.
+    pub fault_spec: String,
     /// Deterministic seed for all randomness.
     pub seed: u64,
 }
@@ -104,6 +110,8 @@ impl SocratesConfig {
             trace_capacity: 1024,
             read_trace_capacity: 1024,
             watcher_interval: Duration::from_millis(1),
+            fault_seed: 0,
+            fault_spec: String::new(),
             seed: 42,
         }
     }
@@ -163,6 +171,14 @@ impl SocratesConfig {
     /// tracing-overhead A/B knob).
     pub fn with_read_trace_capacity(mut self, capacity: usize) -> SocratesConfig {
         self.read_trace_capacity = capacity;
+        self
+    }
+
+    /// Arm fault injection: `spec` uses the `common::fault` grammar and
+    /// `seed` drives the probabilistic schedules.
+    pub fn with_fault_spec(mut self, seed: u64, spec: &str) -> SocratesConfig {
+        self.fault_seed = seed;
+        self.fault_spec = spec.to_string();
         self
     }
 }

@@ -8,18 +8,19 @@
 
 use crate::config::SocratesConfig;
 use parking_lot::{Condvar, Mutex, RwLock};
+use socrates_common::fault::FaultRegistry;
 use socrates_common::latency::LatencyInjector;
 use socrates_common::lsn::AtomicLsn;
-use socrates_common::metrics::{CpuAccountant, CpuRegistry};
+use socrates_common::metrics::{Counter, CpuAccountant, CpuRegistry};
 use socrates_common::obs::{MetricsHub, ReadStage, ReadTraceRecorder, Stage, TraceRecorder};
-use socrates_common::{Error, Lsn, NodeId, PageId, PartitionId, Result};
+use socrates_common::{BlobId, Error, Lsn, NodeId, PageId, PartitionId, Result};
 use socrates_engine::PageAccess;
 use socrates_pageserver::{PageServer, PageServerHandler, PartitionSpec};
 use socrates_rbio::replica::ReplicaSet;
 use socrates_rbio::transport::{NetworkConfig, RbioServer};
 use socrates_storage::cache::{FetchMeta, PageRef, PageSource};
 use socrates_storage::fcb::{Fcb, LatencyFcb, MemFcb};
-use socrates_storage::page::Page;
+use socrates_storage::page::{Page, PAGE_SIZE};
 use socrates_storage::sched::RangedPageSource;
 use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
 use socrates_xlog::XLogService;
@@ -40,6 +41,26 @@ pub struct PartitionHandle {
     /// The observability node id of each server (parallel to `servers`);
     /// used to unregister its metrics when the partition is killed.
     pub nodes: Vec<NodeId>,
+}
+
+/// What survives a partition's death: its XStore blob ids and the apply
+/// watermark its last shipped checkpoint is known to cover. Every page
+/// write at or below `checkpoint_lsn` is reflected in the data blob.
+#[derive(Clone, Copy)]
+struct PartitionDurable {
+    data_blob: BlobId,
+    meta_blob: BlobId,
+    checkpoint_lsn: Lsn,
+}
+
+/// One computed freshness index for [`Fabric::read_page_degraded`]: for
+/// every page written after `from` (up to the released frontier at build
+/// time), the LSN of its first such write — the point past which the
+/// checkpoint image is provably stale for that page.
+struct DegradedIndex {
+    from: Lsn,
+    released: Lsn,
+    first_write_after: HashMap<PageId, Lsn>,
 }
 
 /// Condvar rendezvous between page-server apply threads and fabric-side
@@ -79,7 +100,24 @@ pub struct Fabric {
     /// The read-path span recorder (GetPage miss attribution), shared by
     /// every primary for the same reason.
     pub read_trace: Arc<ReadTraceRecorder>,
+    /// The deployment-wide fault-injection registry. Every site — LZ
+    /// writes, the lossy feed, RBIO legs, page-server serving, XStore ops
+    /// — consults this one registry, so a single spec string describes a
+    /// whole failure scenario. Disabled (one atomic load per site) unless
+    /// `config.fault_spec` armed it or a test installs rules directly.
+    pub faults: FaultRegistry,
     partitions: RwLock<HashMap<PartitionId, Arc<PartitionHandle>>>,
+    /// Last-known durable state of every partition that ever ran, kept
+    /// across `kill_partition` so the fabric can restart a partition from
+    /// XStore ([`Fabric::restart_partition`]) and serve degraded reads
+    /// while no page server is up ([`Fabric::read_page_degraded`]).
+    partition_blobs: RwLock<HashMap<PartitionId, PartitionDurable>>,
+    /// Cache for the degraded read path: page → first post-watermark write
+    /// LSN, valid for one (watermark, released-frontier) pair.
+    degraded_index: Mutex<Option<DegradedIndex>>,
+    /// Pages served straight from XStore checkpoints because every replica
+    /// of the owning partition was down or unreachable.
+    degraded_reads: Arc<Counter>,
     next_ps_index: AtomicU32,
     /// Apply-progress signal: every page server's apply listener notifies
     /// here, so [`Fabric::wait_applied`] sleeps instead of busy-polling.
@@ -191,6 +229,19 @@ impl Fabric {
                 move || t.stage_snapshot(stage),
             );
         }
+        // One fault registry for the whole deployment: shared by the LZ,
+        // XStore, every RBIO client, every page-server handler, and the
+        // primary's lossy feed. `fault_injected_total.<site>` counters
+        // land under the dedicated fault node.
+        let faults = FaultRegistry::new(config.fault_seed);
+        faults.bind_hub(&hub, NodeId::FAULT);
+        if !config.fault_spec.is_empty() {
+            faults.install_spec(&config.fault_spec)?;
+        }
+        lz.set_fault_registry(faults.clone());
+        xstore.set_fault_registry(faults.clone());
+        let degraded_reads = Arc::new(Counter::new());
+        hub.register_counter(NodeId::PRIMARY, "degraded_reads_total", Arc::clone(&degraded_reads));
         Ok(Arc::new(Fabric {
             config,
             lz,
@@ -200,7 +251,11 @@ impl Fabric {
             hub,
             trace,
             read_trace,
+            faults,
             partitions: RwLock::new(HashMap::new()),
+            partition_blobs: RwLock::new(HashMap::new()),
+            degraded_index: Mutex::new(None),
+            degraded_reads,
             next_ps_index: AtomicU32::new(0),
             apply_signal: Arc::new(ApplySignal { lock: Mutex::new(()), cv: Condvar::new() }),
             last_checkpoint: AtomicLsn::new(start),
@@ -265,6 +320,11 @@ impl Fabric {
         )?;
         ps.start();
         self.xlog.register_consumer(&name, cursor);
+        let (data_blob, meta_blob) = ps.blobs();
+        self.partition_blobs.write().insert(
+            partition,
+            PartitionDurable { data_blob, meta_blob, checkpoint_lsn: Lsn::ZERO },
+        );
         let handle = self.wrap_servers(vec![(NodeId::page_server(idx), ps)])?;
         parts.insert(partition, Arc::clone(&handle));
         Ok(handle)
@@ -314,6 +374,13 @@ impl Fabric {
             .into_iter()
             .map(|ps| (NodeId::page_server(self.next_ps_index.fetch_add(1, Ordering::SeqCst)), ps))
             .collect();
+        if let Some((_, first)) = servers.first() {
+            let (data_blob, meta_blob) = first.blobs();
+            self.partition_blobs.write().insert(
+                partition,
+                PartitionDurable { data_blob, meta_blob, checkpoint_lsn: first.checkpointed_lsn() },
+            );
+        }
         let handle = self.wrap_servers(servers)?;
         let replaced = self.partitions.write().insert(partition, Arc::clone(&handle));
         if let Some(old) = replaced {
@@ -336,6 +403,12 @@ impl Fabric {
     pub fn kill_partition(&self, partition: PartitionId) -> Option<Arc<PartitionHandle>> {
         let removed = self.partitions.write().remove(&partition);
         if let Some(h) = &removed {
+            // Remember how far the blob's checkpoint coverage got before
+            // the servers die: degraded reads and restarts key off it.
+            let wm = h.servers.iter().map(|s| s.checkpointed_lsn()).max().unwrap_or(Lsn::ZERO);
+            if let Some(d) = self.partition_blobs.write().get_mut(&partition) {
+                d.checkpoint_lsn = d.checkpoint_lsn.max(wm);
+            }
             for s in &h.servers {
                 s.stop();
             }
@@ -344,6 +417,114 @@ impl Fabric {
             }
         }
         removed
+    }
+
+    /// Restart a partition that was previously killed: attach a fresh page
+    /// server to the partition's remembered XStore checkpoint blobs, start
+    /// its apply loop, and install it as the new server set. This is the
+    /// paper's page-server recovery story — state lives in XStore + log,
+    /// so a replacement node only needs the blob ids and a log cursor.
+    pub fn restart_partition(&self, partition: PartitionId) -> Result<()> {
+        let PartitionDurable { data_blob, meta_blob, .. } = self
+            .partition_blobs
+            .read()
+            .get(&partition)
+            .copied()
+            .ok_or_else(|| Error::NotFound(format!("{partition} has never run")))?;
+        let idx = self.next_ps_index.fetch_add(1, Ordering::SeqCst);
+        let name = format!("ps-{}-{idx}", partition.raw());
+        let ps = PageServer::attach(
+            &name,
+            self.partition_spec(partition),
+            self.config.page_server.clone(),
+            self.ps_device(&name, "ssd", idx),
+            self.ps_device(&name, "meta", idx),
+            Arc::clone(&self.xstore),
+            data_blob,
+            meta_blob,
+            Arc::clone(&self.xlog),
+            self.cpu.accountant(NodeId::page_server(idx)),
+        )?;
+        ps.start();
+        self.xlog.register_consumer(&name, ps.applied_lsn());
+        self.install_partition(partition, vec![ps])
+    }
+
+    /// Degraded read: serve `id` straight from the partition's last XStore
+    /// checkpoint, bypassing the page-server tier entirely. The GetPage@LSN
+    /// freshness contract still holds: the image reflects every write up to
+    /// the blob's checkpoint watermark, and for a floor beyond it the log
+    /// is consulted — the image is served only if no write to this page
+    /// exists in `(watermark, min_lsn]`. Used by [`RemotePageSource`] when
+    /// every replica of a partition is down or unreachable.
+    pub fn read_page_degraded(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
+        let partition = self.partition_of(id);
+        let durable =
+            self.partition_blobs.read().get(&partition).copied().ok_or_else(|| {
+                Error::Unavailable(format!("{partition} has no checkpoint blobs"))
+            })?;
+        // A still-running (but unreachable) server keeps advancing the
+        // blob's coverage; take the freshest watermark available.
+        let live_wm = self
+            .partition(partition)
+            .and_then(|h| h.servers.iter().map(|s| s.checkpointed_lsn()).max());
+        let covered = durable.checkpoint_lsn.max(live_wm.unwrap_or(Lsn::ZERO));
+        if min_lsn > covered {
+            if let Some(w) = self.first_page_write_after(covered, id)? {
+                if min_lsn >= w {
+                    return Err(Error::Unavailable(format!(
+                        "degraded read of {id} would be stale: write at {w} past checkpoint \
+                         coverage {covered}, floor {min_lsn}"
+                    )));
+                }
+            }
+        }
+        let spec = self.partition_spec(partition);
+        let off = (id.raw() - spec.base_page) * PAGE_SIZE as u64;
+        let len = self.xstore.blob_len(durable.data_blob)?;
+        if off + PAGE_SIZE as u64 > len {
+            return Err(Error::NotFound(format!("{id} is beyond the checkpoint")));
+        }
+        let bytes = self.xstore.read_at(durable.data_blob, off, PAGE_SIZE)?;
+        if bytes.iter().all(|&b| b == 0) {
+            return Err(Error::NotFound(format!("{id} has never been checkpointed")));
+        }
+        let page = Page::from_io_bytes(id, &bytes)?;
+        self.degraded_reads.incr();
+        Ok(page)
+    }
+
+    /// First write to `id` strictly after `from` in the released log, if
+    /// any. Backed by a one-shot index over the log tail, cached until
+    /// either endpoint of the scanned window moves.
+    fn first_page_write_after(&self, from: Lsn, id: PageId) -> Result<Option<Lsn>> {
+        let released = self.xlog.released_lsn();
+        let mut cache = self.degraded_index.lock();
+        let valid = matches!(&*cache, Some(ix) if ix.from == from && ix.released == released);
+        if !valid {
+            let mut first_write_after: HashMap<PageId, Lsn> = HashMap::new();
+            let pull = self.xlog.pull_blocks(from, usize::MAX, None)?;
+            for block in &pull.blocks {
+                for rec in block.records()? {
+                    if rec.lsn <= from {
+                        continue;
+                    }
+                    if let socrates_wal::record::LogPayload::PageWrite { page_id, .. } =
+                        &rec.record.payload
+                    {
+                        first_write_after.entry(*page_id).or_insert(rec.lsn);
+                    }
+                }
+            }
+            *cache = Some(DegradedIndex { from, released, first_write_after });
+        }
+        Ok(cache.as_ref().expect("just built").first_write_after.get(&id).copied())
+    }
+
+    /// Pages served from XStore checkpoints while a partition had no
+    /// reachable page server.
+    pub fn degraded_read_count(&self) -> u64 {
+        self.degraded_reads.get()
     }
 
     /// The minimum applied LSN across all page servers — the frontier the
@@ -430,16 +611,17 @@ impl Fabric {
             let signal = Arc::clone(&self.apply_signal);
             ps.set_apply_listener(Arc::new(move |_lsn| signal.notify()));
             let server = Arc::new(RbioServer::start(
-                Arc::new(PageServerHandler(Arc::clone(ps))),
+                Arc::new(PageServerHandler::with_faults(Arc::clone(ps), self.faults.clone())),
                 self.config.rbio_workers,
             ));
             let net = NetworkConfig {
                 profile: self.config.net_profile.clone(),
                 mode: self.config.latency_mode,
-                request_loss_p: 0.0,
                 timeout: std::time::Duration::from_secs(15),
                 retries: 2,
                 seed: self.config.seed ^ (i as u64) ^ 0xBEEF,
+                faults: self.faults.clone(),
+                ..NetworkConfig::instant()
             };
             clients.push(server.connect(net));
             endpoints.push(server);
@@ -478,6 +660,46 @@ impl RemotePageSource {
             .partition(partition)
             .ok_or_else(|| Error::Unavailable(format!("{partition} has no page server")))
     }
+
+    /// Last-resort fallback after the RBIO path failed with `orig`: serve
+    /// the page from the partition's XStore checkpoint (graceful
+    /// degradation — availability survives total replica loss, at
+    /// checkpoint freshness). If the checkpoint cannot satisfy the read
+    /// either, the original — more diagnostic — error is returned.
+    fn fetch_degraded(&self, id: PageId, min_lsn: Lsn, orig: Error) -> Result<(Page, FetchMeta)> {
+        let t0 = std::time::Instant::now();
+        match self.fabric.read_page_degraded(id, min_lsn) {
+            Ok(page) => {
+                let meta = FetchMeta {
+                    net_ns: (t0.elapsed().as_nanos() as u64).max(1),
+                    range_width: 1,
+                    ..FetchMeta::default()
+                };
+                Ok((page, meta))
+            }
+            Err(_) => Err(orig),
+        }
+    }
+
+    /// Degraded fill of a whole range segment, page by page. Any page the
+    /// checkpoint cannot serve fails the segment with `orig`.
+    fn fetch_segment_degraded(
+        &self,
+        cursor: u64,
+        seg: u32,
+        min_lsn: Lsn,
+        pages: &mut Vec<Page>,
+        orig: Error,
+    ) -> Result<()> {
+        for i in 0..seg as u64 {
+            let id = PageId::new(cursor + i);
+            match self.fabric.read_page_degraded(id, min_lsn) {
+                Ok(p) => pages.push(p),
+                Err(_) => return Err(orig),
+            }
+        }
+        Ok(())
+    }
 }
 
 impl PageSource for RemotePageSource {
@@ -486,12 +708,25 @@ impl PageSource for RemotePageSource {
     }
 
     fn fetch_page_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
-        let handle = self.route_for(id)?;
+        let handle = match self.route_for(id) {
+            Ok(h) => h,
+            // No partition handle at all (killed, not yet restarted):
+            // degrade straight to the checkpoint.
+            Err(e) => return self.fetch_degraded(id, min_lsn, e),
+        };
         self.cpu.charge_us(8);
         let t0 = std::time::Instant::now();
-        let (resp, call) = handle
+        let (resp, call) = match handle
             .route
-            .call_traced(socrates_rbio::proto::RbioRequest::GetPage { page_id: id, min_lsn })?;
+            .call_traced(socrates_rbio::proto::RbioRequest::GetPage { page_id: id, min_lsn })
+        {
+            Ok(v) => v,
+            // Transient exhaustion (every replica timed out / refused):
+            // degrade rather than fail the fetch chain. Hard errors
+            // (NotFound, InvalidArgument, ...) propagate untouched.
+            Err(e) if e.is_transient() => return self.fetch_degraded(id, min_lsn, e),
+            Err(e) => return Err(e),
+        };
         let elapsed_ns = t0.elapsed().as_nanos() as u64;
         match resp {
             socrates_rbio::proto::RbioResponse::Page { bytes, serve_us } => {
@@ -534,43 +769,64 @@ impl RangedPageSource for RemotePageSource {
         let end = first.raw() + count as u64;
         let mut cursor = first.raw();
         while cursor < end {
-            let handle = self.route_for(PageId::new(cursor))?;
             let span = self.fabric.config.pages_per_partition;
             let partition_end = (cursor / span + 1) * span;
             let seg = (end.min(partition_end) - cursor) as u32;
             self.cpu.charge_us(8 + seg as u64 / 4);
             if seg == 1 {
+                // The single-page path degrades internally.
                 let (page, one) = self.fetch_page_traced(PageId::new(cursor), min_lsn)?;
                 meta.serve_ns += one.serve_ns;
                 meta.hedge_fired |= one.hedge_fired;
                 meta.hedge_won |= one.hedge_won;
                 pages.push(page);
             } else {
-                let req = socrates_rbio::proto::RbioRequest::GetPageRange {
-                    first: PageId::new(cursor),
-                    count: seg,
-                    min_lsn,
-                };
-                let (resp, call) = handle.route.call_traced(req)?;
-                meta.hedge_fired |= call.hedge_fired;
-                meta.hedge_won |= call.hedge_won;
-                match resp {
-                    socrates_rbio::proto::RbioResponse::PageRange { pages: raw, serve_us } => {
-                        if raw.len() != seg as usize {
-                            return Err(Error::Protocol(format!(
-                                "GetPageRange returned {} pages, expected {seg}",
-                                raw.len()
-                            )));
-                        }
-                        meta.serve_ns += serve_us.saturating_mul(1_000);
-                        for (i, bytes) in raw.iter().enumerate() {
-                            pages.push(Page::from_io_bytes(PageId::new(cursor + i as u64), bytes)?);
-                        }
+                match self.route_for(PageId::new(cursor)) {
+                    Err(e) if e.is_transient() => {
+                        self.fetch_segment_degraded(cursor, seg, min_lsn, &mut pages, e)?;
                     }
-                    other => {
-                        return Err(Error::Protocol(format!(
-                            "unexpected GetPageRange response: {other:?}"
-                        )))
+                    Err(e) => return Err(e),
+                    Ok(handle) => {
+                        let req = socrates_rbio::proto::RbioRequest::GetPageRange {
+                            first: PageId::new(cursor),
+                            count: seg,
+                            min_lsn,
+                        };
+                        match handle.route.call_traced(req) {
+                            Err(e) if e.is_transient() => {
+                                self.fetch_segment_degraded(cursor, seg, min_lsn, &mut pages, e)?;
+                            }
+                            Err(e) => return Err(e),
+                            Ok((resp, call)) => {
+                                meta.hedge_fired |= call.hedge_fired;
+                                meta.hedge_won |= call.hedge_won;
+                                match resp {
+                                    socrates_rbio::proto::RbioResponse::PageRange {
+                                        pages: raw,
+                                        serve_us,
+                                    } => {
+                                        if raw.len() != seg as usize {
+                                            return Err(Error::Protocol(format!(
+                                                "GetPageRange returned {} pages, expected {seg}",
+                                                raw.len()
+                                            )));
+                                        }
+                                        meta.serve_ns += serve_us.saturating_mul(1_000);
+                                        for (i, bytes) in raw.iter().enumerate() {
+                                            pages.push(Page::from_io_bytes(
+                                                PageId::new(cursor + i as u64),
+                                                bytes,
+                                            )?);
+                                        }
+                                    }
+                                    other => {
+                                        return Err(Error::Protocol(format!(
+                                            "unexpected GetPageRange response: {other:?}"
+                                        )))
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             }

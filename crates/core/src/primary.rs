@@ -100,7 +100,11 @@ impl Primary {
             config.pipeline.clone(),
             start_lsn,
         ));
-        let feed = Arc::new(XLogFeed::start(Arc::clone(&fabric.xlog), config.lossy_feed.clone()));
+        let feed = Arc::new(XLogFeed::start_with_faults(
+            Arc::clone(&fabric.xlog),
+            config.lossy_feed.clone(),
+            fabric.faults.clone(),
+        ));
         pipeline.add_disseminator(Arc::clone(&feed) as Arc<dyn LogDisseminator>);
 
         // Tiered cache: memory over (optional) RBPEX over GetPage@LSN.

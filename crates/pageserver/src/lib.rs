@@ -24,6 +24,7 @@
 //! requests (misses fall through to XStore until seeding completes).
 
 use parking_lot::{Condvar, Mutex};
+use socrates_common::fault::{sites as fault_sites, FaultOutcome, FaultRegistry};
 use socrates_common::lsn::AtomicLsn;
 use socrates_common::metrics::{Counter, CpuAccountant};
 use socrates_common::{BlobId, Error, Lsn, PageId, PartitionId, Result};
@@ -741,14 +742,53 @@ impl Drop for PageServer {
 
 /// RBIO adapter: lets compute nodes reach the page server over the typed
 /// protocol.
-pub struct PageServerHandler(pub Arc<PageServer>);
+pub struct PageServerHandler {
+    ps: Arc<PageServer>,
+    faults: FaultRegistry,
+}
+
+impl PageServerHandler {
+    /// Adapter with fault injection disabled.
+    pub fn new(ps: Arc<PageServer>) -> PageServerHandler {
+        PageServerHandler::with_faults(ps, FaultRegistry::disabled())
+    }
+
+    /// Adapter consulting the `pageserver.serve` site on every request.
+    /// This is the one site with true crash semantics: a `Crash` action
+    /// stops the page server's threads, so subsequent requests fail until
+    /// the fabric restarts the partition.
+    pub fn with_faults(ps: Arc<PageServer>, faults: FaultRegistry) -> PageServerHandler {
+        PageServerHandler { ps, faults }
+    }
+
+    fn check_serve_fault(&self, req: &RbioRequest) -> Result<()> {
+        let lsn = match req {
+            RbioRequest::GetPage { min_lsn, .. } | RbioRequest::GetPageRange { min_lsn, .. } => {
+                Some(*min_lsn)
+            }
+            _ => None,
+        };
+        match self.faults.check_at(fault_sites::PAGESERVER_SERVE, lsn) {
+            Some(FaultOutcome::Err(e)) => Err(e),
+            Some(FaultOutcome::Drop) => {
+                Err(Error::Unavailable("fault: page server dropped the request".into()))
+            }
+            Some(FaultOutcome::Crash) => {
+                self.ps.stop();
+                Err(Error::Unavailable("fault: page server crashed".into()))
+            }
+            None => Ok(()),
+        }
+    }
+}
 
 impl RbioHandler for PageServerHandler {
     fn handle(&self, req: RbioRequest) -> Result<RbioResponse> {
+        self.check_serve_fault(&req)?;
         match req {
             RbioRequest::GetPage { page_id, min_lsn } => {
                 let t0 = std::time::Instant::now();
-                let page = self.0.get_page(page_id, min_lsn)?;
+                let page = self.ps.get_page(page_id, min_lsn)?;
                 Ok(RbioResponse::Page {
                     bytes: page.to_io_bytes().to_vec(),
                     serve_us: (t0.elapsed().as_micros() as u64).max(1),
@@ -756,7 +796,7 @@ impl RbioHandler for PageServerHandler {
             }
             RbioRequest::GetPageRange { first, count, min_lsn } => {
                 let t0 = std::time::Instant::now();
-                let pages = self.0.get_page_range(first, count, min_lsn)?;
+                let pages = self.ps.get_page_range(first, count, min_lsn)?;
                 Ok(RbioResponse::PageRange {
                     pages: pages.iter().map(|p| p.to_io_bytes().to_vec()).collect(),
                     serve_us: (t0.elapsed().as_micros() as u64).max(1),
@@ -764,7 +804,7 @@ impl RbioHandler for PageServerHandler {
             }
             RbioRequest::Ping => Ok(RbioResponse::Pong),
             RbioRequest::GetAppliedLsn => {
-                Ok(RbioResponse::AppliedLsn { lsn: self.0.applied_lsn() })
+                Ok(RbioResponse::AppliedLsn { lsn: self.ps.applied_lsn() })
             }
         }
     }

@@ -221,7 +221,6 @@ impl ReplicaSet {
     fn call_serial(&self, req: RbioRequest) -> Result<RbioResponse> {
         let first = self.pick();
         let n = self.clients.len();
-        let mut last_err = Error::Unavailable("no replica attempted".into());
         for k in 0..n {
             let idx = (first + k) % n;
             let t0 = Instant::now();
@@ -234,12 +233,13 @@ impl ReplicaSet {
                 }
                 Err(e) if e.is_transient() => {
                     self.observe(idx, FAILURE_PENALTY_US);
-                    last_err = e;
                 }
                 Err(e) => return Err(e),
             }
         }
-        Err(last_err)
+        // Every replica failed transiently: report the exhaustion as a
+        // typed error so degradation paths can match on it.
+        Err(Error::AllReplicasFailed { attempts: n as u32 })
     }
 
     fn spawn_attempt(
@@ -268,6 +268,7 @@ impl ReplicaSet {
         let primary = self.pick();
         let (tx, rx) = mpsc::channel();
         self.spawn_attempt(primary, false, &req, &tx);
+        let mut attempts = 1u32;
         let mut outstanding = 1usize;
         let mut second_sent = false;
         let mut fired = false;
@@ -281,6 +282,7 @@ impl ReplicaSet {
                         self.hedges_fired.incr();
                         fired = true;
                         self.spawn_attempt(self.pick_excluding(primary), true, &req, &tx);
+                        attempts += 1;
                         outstanding += 1;
                         second_sent = true;
                         continue;
@@ -291,9 +293,7 @@ impl ReplicaSet {
                 }
             } else {
                 if outstanding == 0 {
-                    return Err(last_err.unwrap_or_else(|| {
-                        Error::Unavailable("all hedged attempts failed".into())
-                    }));
+                    return Err(Error::AllReplicasFailed { attempts });
                 }
                 match rx.recv_timeout(Duration::from_secs(30)) {
                     Ok(m) => m,
@@ -326,10 +326,11 @@ impl ReplicaSet {
                         // Primary failed before the hedge delay expired:
                         // fail over immediately (not counted as a hedge).
                         self.spawn_attempt(self.pick_excluding(primary), true, &req, &tx);
+                        attempts += 1;
                         outstanding += 1;
                         second_sent = true;
                     } else if outstanding == 0 {
-                        return Err(last_err.unwrap());
+                        return Err(Error::AllReplicasFailed { attempts });
                     }
                 }
                 Err(e) => return Err(e),
@@ -381,10 +382,10 @@ mod tests {
         let slow_cfg = NetworkConfig {
             profile: slow_profile,
             mode: socrates_common::latency::LatencyMode::real(),
-            request_loss_p: 0.0,
             timeout: std::time::Duration::from_secs(1),
             retries: 0,
             seed: 1,
+            ..NetworkConfig::instant()
         };
         let set =
             ReplicaSet::new(vec![s1.connect(slow_cfg), s2.connect(NetworkConfig::instant())], 42);
@@ -415,9 +416,11 @@ mod tests {
             set.call(RbioRequest::Ping).unwrap();
         }
         assert!(h2.calls.load(Ordering::SeqCst) >= 20);
-        // Both down: transient error surfaces.
+        // Both down: the typed exhaustion error surfaces, still transient.
         h2.down.store(true, Ordering::SeqCst);
-        assert!(set.call(RbioRequest::Ping).unwrap_err().is_transient());
+        let err = set.call(RbioRequest::Ping).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(err, Error::AllReplicasFailed { attempts: 2 });
         // Recovery: calls succeed again (exploration re-finds the replica).
         h1.down.store(false, Ordering::SeqCst);
         for _ in 0..10 {
@@ -451,6 +454,25 @@ mod tests {
     }
 
     #[test]
+    fn hedged_total_failure_reports_typed_error() {
+        let (s1, h1) = server();
+        let (s2, h2) = server();
+        h1.down.store(true, Ordering::SeqCst);
+        h2.down.store(true, Ordering::SeqCst);
+        let mut cfg = NetworkConfig::instant();
+        cfg.retries = 0;
+        let set = ReplicaSet::with_hedging(
+            vec![s1.connect(cfg.clone()), s2.connect(cfg)],
+            7,
+            HedgeConfig::default(),
+        );
+        match set.call(RbioRequest::Ping).unwrap_err() {
+            Error::AllReplicasFailed { attempts } => assert!(attempts >= 2),
+            other => panic!("expected AllReplicasFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn hedged_reads_bound_tail_latency_under_one_slow_replica() {
         let (slow_server, _h1) = server();
         let (fast_server, _h2) = server();
@@ -464,10 +486,10 @@ mod tests {
         let slow_cfg = NetworkConfig {
             profile: slow_profile,
             mode: socrates_common::latency::LatencyMode::real(),
-            request_loss_p: 0.0,
             timeout: std::time::Duration::from_secs(1),
             retries: 0,
             seed: 3,
+            ..NetworkConfig::instant()
         };
         let hedge = HedgeConfig {
             enabled: true,

@@ -4,13 +4,57 @@
 use crate::proto::{Envelope, RbioRequest, RbioResponse};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use socrates_common::fault::{sites, FaultOutcome, FaultRegistry};
 use socrates_common::latency::{DeviceProfile, LatencyInjector, LatencyMode};
 use socrates_common::metrics::{Counter, Histogram};
 use socrates_common::rng::Rng;
-use socrates_common::{Error, Result};
+use socrates_common::{Error, Lsn, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Exponential-backoff policy applied between retry attempts of one call.
+///
+/// The wait before attempt `k` (k ≥ 1) is `base * multiplier^(k-1)`,
+/// capped at `max`, with a symmetric jitter of ±`jitter` (fraction of the
+/// wait) drawn from the client's seeded RNG so retry storms decorrelate
+/// deterministically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Wait before the first retry.
+    pub base: Duration,
+    /// Growth factor per further retry.
+    pub multiplier: f64,
+    /// Ceiling on any single wait.
+    pub max: Duration,
+    /// Jitter fraction in `[0, 1]`: the wait is scaled by a uniform
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl BackoffPolicy {
+    /// Backoff suited to the instant in-process transport: microsecond
+    /// waits that decorrelate retries without slowing tests.
+    pub fn instant() -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_micros(100),
+            multiplier: 2.0,
+            max: Duration::from_millis(50),
+            jitter: 0.2,
+        }
+    }
+
+    /// Backoff suited to LAN timeouts (milliseconds, capped well below the
+    /// per-call timeout).
+    pub fn lan() -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_millis(1),
+            multiplier: 2.0,
+            max: Duration::from_millis(200),
+            jitter: 0.2,
+        }
+    }
+}
 
 /// Network behaviour for one client↔server link.
 #[derive(Clone)]
@@ -27,6 +71,14 @@ pub struct NetworkConfig {
     pub timeout: Duration,
     /// Retries after the first attempt (transient failures only).
     pub retries: u32,
+    /// Wait policy between retry attempts.
+    pub backoff: BackoffPolicy,
+    /// Total wall-clock budget for one call including retries and backoff
+    /// waits; once exceeded, no further attempts are made.
+    pub call_budget: Duration,
+    /// Fault-injection registry consulted on the send and recv legs
+    /// (disabled by default).
+    pub faults: FaultRegistry,
     /// RNG seed.
     pub seed: u64,
 }
@@ -40,6 +92,9 @@ impl NetworkConfig {
             request_loss_p: 0.0,
             timeout: Duration::from_secs(5),
             retries: 2,
+            backoff: BackoffPolicy::instant(),
+            call_budget: Duration::from_secs(10),
+            faults: FaultRegistry::disabled(),
             seed: 0,
         }
     }
@@ -52,8 +107,21 @@ impl NetworkConfig {
             request_loss_p: 0.0,
             timeout: Duration::from_secs(2),
             retries: 3,
+            backoff: BackoffPolicy::lan(),
+            call_budget: Duration::from_secs(10),
+            faults: FaultRegistry::disabled(),
             seed,
         }
+    }
+}
+
+/// The LSN context a request carries, for `LsnWindow` fault schedules.
+fn lsn_context(req: &RbioRequest) -> Option<Lsn> {
+    match req {
+        RbioRequest::GetPage { min_lsn, .. } | RbioRequest::GetPageRange { min_lsn, .. } => {
+            Some(*min_lsn)
+        }
+        _ => None,
     }
 }
 
@@ -155,6 +223,10 @@ pub struct RbioClientMetrics {
     pub calls_failed: Counter,
     /// Individual attempts that timed out (lost or slow messages).
     pub timeouts: Counter,
+    /// Retry attempts made after a transient failure.
+    pub retries: Counter,
+    /// Backoff waits between attempts, µs.
+    pub backoff_us: Histogram,
     /// End-to-end call latency, µs (successful calls).
     pub call_latency: Histogram,
 }
@@ -175,11 +247,32 @@ impl RbioClient {
         &self.metrics
     }
 
-    /// Issue `req`, retrying transient failures per the link config.
+    /// Issue `req`, retrying transient failures per the link config with
+    /// jittered exponential backoff, bounded by the call budget.
     pub fn call(&self, req: RbioRequest) -> Result<RbioResponse> {
         let t0 = Instant::now();
         let mut last_err = Error::Unavailable("rbio: no attempt made".into());
-        for _attempt in 0..=self.config.retries {
+        let mut wait = self.config.backoff.base;
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                // Budget check before spending more time: count both the
+                // upcoming wait and the attempt's worst case conservatively
+                // by requiring the wait itself to fit.
+                if t0.elapsed() + wait >= self.config.call_budget {
+                    break;
+                }
+                let jitter = self.config.backoff.jitter.clamp(0.0, 1.0);
+                let factor = if jitter > 0.0 {
+                    1.0 + jitter * (2.0 * self.rng.lock().gen_f64() - 1.0)
+                } else {
+                    1.0
+                };
+                let jittered = wait.mul_f64(factor.max(0.0));
+                self.metrics.retries.incr();
+                self.metrics.backoff_us.record_duration(jittered);
+                std::thread::sleep(jittered);
+                wait = wait.mul_f64(self.config.backoff.multiplier).min(self.config.backoff.max);
+            }
             match self.try_once(req.clone()) {
                 Ok(resp) => {
                     self.metrics.calls_ok.incr();
@@ -197,8 +290,29 @@ impl RbioClient {
         Err(last_err)
     }
 
+    /// Map a fault outcome on a transport leg to the client-visible error:
+    /// dropped (or crashed-link) messages look like timeouts.
+    fn leg_fault(&self, outcome: FaultOutcome, leg: &str) -> Error {
+        match outcome {
+            FaultOutcome::Err(e) => {
+                if matches!(e, Error::Timeout(_)) {
+                    self.metrics.timeouts.incr();
+                }
+                e
+            }
+            FaultOutcome::Drop | FaultOutcome::Crash => {
+                self.metrics.timeouts.incr();
+                Error::Timeout(format!("fault: rbio {leg} message dropped"))
+            }
+        }
+    }
+
     fn try_once(&self, req: RbioRequest) -> Result<RbioResponse> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let lsn = lsn_context(&req);
+        if let Some(outcome) = self.config.faults.check_at(sites::RBIO_SEND, lsn) {
+            return Err(self.leg_fault(outcome, "request"));
+        }
         // Request leg latency.
         self.latency.read_delay();
         // Simulated packet loss: the request never reaches the server.
@@ -225,6 +339,9 @@ impl RbioClient {
                         "response for request {} on call {id}",
                         env.request_id
                     )));
+                }
+                if let Some(outcome) = self.config.faults.check_at(sites::RBIO_RECV, lsn) {
+                    return Err(self.leg_fault(outcome, "response"));
                 }
                 // Response leg latency.
                 self.latency.read_delay();
@@ -358,5 +475,101 @@ mod tests {
         drop(server);
         let err = client.call(RbioRequest::Ping).unwrap_err();
         assert!(err.is_transient());
+    }
+
+    #[test]
+    fn retries_are_counted_and_backed_off() {
+        let server =
+            RbioServer::start(Arc::new(FlakyHandler { failures_left: AtomicU64::new(2) }), 1);
+        let client = server.connect(NetworkConfig::instant());
+        assert_eq!(client.call(RbioRequest::Ping).unwrap(), RbioResponse::Pong);
+        assert_eq!(client.metrics().retries.get(), 2);
+        assert_eq!(client.metrics().backoff_us.count(), 2);
+    }
+
+    #[test]
+    fn call_budget_bounds_retry_time() {
+        let server = RbioServer::start(
+            Arc::new(FlakyHandler { failures_left: AtomicU64::new(u64::MAX) }),
+            1,
+        );
+        let mut cfg = NetworkConfig::instant();
+        cfg.retries = 1_000;
+        cfg.backoff.base = Duration::from_millis(20);
+        cfg.backoff.multiplier = 1.0;
+        cfg.call_budget = Duration::from_millis(100);
+        let client = server.connect(cfg);
+        let t0 = Instant::now();
+        let err = client.call(RbioRequest::Ping).unwrap_err();
+        assert!(err.is_transient());
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "budget must stop the retry loop well before 1000 retries"
+        );
+        assert!(client.metrics().retries.get() < 20);
+    }
+
+    #[test]
+    fn send_fault_error_is_retried_through() {
+        use socrates_common::fault::{FaultAction, FaultErrorKind, FaultRule, FaultSchedule};
+        let server = RbioServer::start(Arc::new(EchoHandler), 1);
+        let mut cfg = NetworkConfig::instant();
+        cfg.faults = FaultRegistry::new(1);
+        cfg.faults.install(FaultRule {
+            site: sites::RBIO_SEND.into(),
+            schedule: FaultSchedule::FirstN(2),
+            action: FaultAction::Error(FaultErrorKind::Unavailable),
+        });
+        let client = server.connect(cfg.clone());
+        // retries: 2, so the first two injected failures are absorbed.
+        assert_eq!(client.call(RbioRequest::Ping).unwrap(), RbioResponse::Pong);
+        assert_eq!(cfg.faults.fired_count(sites::RBIO_SEND), 2);
+        assert_eq!(client.metrics().retries.get(), 2);
+    }
+
+    #[test]
+    fn recv_fault_drop_times_out() {
+        use socrates_common::fault::{FaultAction, FaultRule, FaultSchedule};
+        let server = RbioServer::start(Arc::new(EchoHandler), 1);
+        let mut cfg = NetworkConfig::instant();
+        cfg.retries = 0;
+        cfg.faults = FaultRegistry::new(2);
+        cfg.faults.install(FaultRule {
+            site: sites::RBIO_RECV.into(),
+            schedule: FaultSchedule::Always,
+            action: FaultAction::Drop,
+        });
+        let client = server.connect(cfg.clone());
+        let err = client.call(RbioRequest::Ping).unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+        assert_eq!(client.metrics().timeouts.get(), 1);
+        // The request did reach the server; only the response was lost.
+        assert_eq!(server.requests_served.get(), 1);
+    }
+
+    #[test]
+    fn lsn_window_fault_only_hits_matching_reads() {
+        use socrates_common::fault::{FaultAction, FaultErrorKind, FaultRule, FaultSchedule};
+        let server = RbioServer::start(Arc::new(EchoHandler), 1);
+        let mut cfg = NetworkConfig::instant();
+        cfg.retries = 0;
+        cfg.faults = FaultRegistry::new(3);
+        cfg.faults.install(FaultRule {
+            site: sites::RBIO_SEND.into(),
+            schedule: FaultSchedule::LsnWindow { from: Lsn::new(100), to: Lsn::new(200) },
+            action: FaultAction::Error(FaultErrorKind::Io),
+        });
+        let client = server.connect(cfg);
+        // Ping has no LSN context: never faulted.
+        assert!(client.call(RbioRequest::Ping).is_ok());
+        // GetPage below the window: fine.
+        assert!(client
+            .call(RbioRequest::GetPage { page_id: PageId::new(1), min_lsn: Lsn::new(50) })
+            .is_ok());
+        // Inside the window: the (non-transient) injected error surfaces.
+        let err = client
+            .call(RbioRequest::GetPage { page_id: PageId::new(1), min_lsn: Lsn::new(150) })
+            .unwrap_err();
+        assert_eq!(err.kind(), "io");
     }
 }

@@ -18,7 +18,8 @@
 //! writer beyond wraparound protection, as in the paper.
 
 use crate::block::{LogBlock, BLOCK_HEADER};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use socrates_common::fault::{sites, FaultOutcome, FaultRegistry};
 use socrates_common::{Error, Lsn, Result};
 use socrates_storage::Fcb;
 use std::sync::mpsc;
@@ -63,6 +64,7 @@ pub struct LandingZone {
     worker_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     config: LandingZoneConfig,
     state: Mutex<LzState>,
+    faults: RwLock<FaultRegistry>,
 }
 
 impl LandingZone {
@@ -101,7 +103,13 @@ impl LandingZone {
             worker_handles: Mutex::new(handles),
             config,
             state: Mutex::new(LzState { head: Lsn::ZERO, tail: Lsn::ZERO }),
+            faults: RwLock::new(FaultRegistry::disabled()),
         }
+    }
+
+    /// Attach a fault registry; `write_block` consults the `lz.write` site.
+    pub fn set_fault_registry(&self, faults: FaultRegistry) {
+        *self.faults.write() = faults;
     }
 
     /// Create an LZ whose first block will start at `start` instead of
@@ -148,6 +156,16 @@ impl LandingZone {
     /// [`Error::Unavailable`] when the LZ is full (destage backpressure) or
     /// quorum cannot be reached.
     pub fn write_block(&self, block: &LogBlock) -> Result<()> {
+        match self.faults.read().check_at(sites::LZ_WRITE, Some(block.start_lsn())) {
+            Some(FaultOutcome::Err(e)) => return Err(e),
+            // The LZ has no single node to crash (it is a replicated
+            // service); dropped/crashed writes surface as a transient
+            // failure the pipeline's commit path retries.
+            Some(FaultOutcome::Drop) | Some(FaultOutcome::Crash) => {
+                return Err(Error::Unavailable("fault: LZ write dropped".into()));
+            }
+            None => {}
+        }
         let (start, len) = {
             let s = self.state.lock();
             if block.start_lsn() != s.head {

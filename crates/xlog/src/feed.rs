@@ -9,6 +9,7 @@
 //! [`XLogService::report_hardened`] directly.
 
 use crate::service::XLogService;
+use socrates_common::fault::{sites, FaultRegistry};
 use socrates_rbio::lossy::{LossyChannel, LossyConfig};
 use socrates_wal::block::LogBlock;
 use socrates_wal::pipeline::LogDisseminator;
@@ -29,7 +30,19 @@ impl XLogFeed {
     /// Spawn the pump thread delivering blocks from the lossy channel into
     /// the service.
     pub fn start(svc: Arc<XLogService>, lossy: LossyConfig) -> XLogFeed {
-        let (channel, rx) = LossyChannel::new(lossy);
+        XLogFeed::start_with_faults(svc, lossy, FaultRegistry::disabled())
+    }
+
+    /// [`XLogFeed::start`], with a fault registry consulted at the
+    /// `xlog.feed.poll` site for every delivered block. Any fired fault
+    /// discards the block — safe by design: the feed is lossy and XLOG
+    /// gap-fills from the landing zone.
+    pub fn start_with_faults(
+        svc: Arc<XLogService>,
+        lossy: LossyConfig,
+        faults: FaultRegistry,
+    ) -> XLogFeed {
+        let (channel, rx) = LossyChannel::<LogBlock>::new(lossy);
         let stop = Arc::new(AtomicBool::new(false));
         let pump = {
             let svc = Arc::clone(&svc);
@@ -39,6 +52,12 @@ impl XLogFeed {
                 .spawn(move || {
                     while !stop.load(Ordering::SeqCst) {
                         if let Some(block) = rx.recv_timeout(Duration::from_millis(10)) {
+                            if faults
+                                .check_at(sites::XLOG_FEED_POLL, Some(block.start_lsn()))
+                                .is_some()
+                            {
+                                continue; // injected loss; LZ gap fill recovers
+                            }
                             svc.offer_block(block);
                         }
                     }

@@ -2,6 +2,7 @@
 
 use crate::blob::{Blob, SnapshotId};
 use parking_lot::RwLock;
+use socrates_common::fault::{sites, FaultOutcome, FaultRegistry};
 use socrates_common::latency::{DeviceProfile, LatencyInjector, LatencyMode};
 use socrates_common::metrics::Counter;
 use socrates_common::{BlobId, Error, Result};
@@ -61,6 +62,7 @@ pub struct XStore {
     available: AtomicBool,
     latency: LatencyInjector,
     metrics: XStoreMetrics,
+    faults: RwLock<FaultRegistry>,
 }
 
 impl XStore {
@@ -77,6 +79,27 @@ impl XStore {
             available: AtomicBool::new(true),
             latency: LatencyInjector::new(config.profile, config.mode, config.seed),
             metrics: XStoreMetrics::default(),
+            faults: RwLock::new(FaultRegistry::disabled()),
+        }
+    }
+
+    /// Attach a fault registry; writes consult `xstore.put`, reads
+    /// `xstore.get`.
+    pub fn set_fault_registry(&self, faults: FaultRegistry) {
+        *self.faults.write() = faults;
+    }
+
+    /// Consult a fault site. The store is a replicated service with no
+    /// single node to crash, so drop/crash degrade to an outage-style
+    /// transient failure callers already tolerate (checkpoints defer,
+    /// destaging retries).
+    fn check_fault(&self, site: &str) -> Result<()> {
+        match self.faults.read().check(site) {
+            Some(FaultOutcome::Err(e)) => Err(e),
+            Some(FaultOutcome::Drop) | Some(FaultOutcome::Crash) => {
+                Err(Error::Unavailable(format!("fault: xstore op dropped at {site}")))
+            }
+            None => Ok(()),
         }
     }
 
@@ -145,6 +168,7 @@ impl XStore {
     /// [`Blob::write_at`]).
     pub fn write_at(&self, id: BlobId, offset: u64, data: &[u8]) -> Result<()> {
         self.check_available()?;
+        self.check_fault(sites::XSTORE_PUT)?;
         self.latency.write_delay();
         let mut inner = self.inner.write();
         let blob = inner.blobs.get_mut(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;
@@ -159,6 +183,7 @@ impl XStore {
     /// extent replacements.
     pub fn write_batch(&self, id: BlobId, writes: &[(u64, &[u8])]) -> Result<()> {
         self.check_available()?;
+        self.check_fault(sites::XSTORE_PUT)?;
         self.latency.write_delay();
         let mut inner = self.inner.write();
         let blob = inner.blobs.get_mut(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;
@@ -174,6 +199,7 @@ impl XStore {
     /// Append `data` to the blob, returning the offset written.
     pub fn append(&self, id: BlobId, data: &[u8]) -> Result<u64> {
         self.check_available()?;
+        self.check_fault(sites::XSTORE_PUT)?;
         self.latency.write_delay();
         let mut inner = self.inner.write();
         let blob = inner.blobs.get_mut(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;
@@ -185,6 +211,7 @@ impl XStore {
     /// Read `len` bytes at `offset`.
     pub fn read_at(&self, id: BlobId, offset: u64, len: usize) -> Result<Vec<u8>> {
         self.check_available()?;
+        self.check_fault(sites::XSTORE_GET)?;
         self.latency.read_delay();
         let inner = self.inner.read();
         let blob = inner.blobs.get(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?;

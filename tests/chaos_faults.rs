@@ -1,0 +1,294 @@
+//! Chaos suite I: deterministic fault injection at every site, one failure
+//! mode at a time.
+//!
+//! Each test arms the deployment-wide [`FaultRegistry`] at one of the
+//! Socrates failure points (LZ writes, the lossy feed, RBIO transport,
+//! page-server serving, XStore ops) and asserts the paper's separation of
+//! durability from availability: acknowledged commits survive, reads stay
+//! fresh, convergence resumes once the fault window closes, and every
+//! injected fault is visible in the metrics hub.
+
+use socrates::{Socrates, SocratesConfig};
+use socrates_common::fault::sites;
+use socrates_common::obs::MetricValue;
+use socrates_common::NodeId;
+use socrates_engine::value::{ColumnType, Schema, Value};
+use std::time::Duration;
+
+fn schema() -> Schema {
+    Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Str)], 1)
+}
+
+fn row(id: i64, tag: &str) -> Vec<Value> {
+    vec![Value::Int(id), Value::Str(format!("{tag}-{id}"))]
+}
+
+/// `fault_injected_total.<site>` from the hub, as a plain number.
+fn hub_fault_count(sys: &Socrates, site: &str) -> u64 {
+    match sys.hub().snapshot().get(NodeId::FAULT, &format!("fault_injected_total.{site}")) {
+        Some(MetricValue::Counter(v)) => *v,
+        other => panic!("fault counter for {site} missing or wrong type: {other:?}"),
+    }
+}
+
+/// Assert the hub counter for `site` agrees with the registry's own count.
+fn assert_hub_matches_registry(sys: &Socrates, site: &str) {
+    assert_eq!(
+        hub_fault_count(sys, site),
+        sys.fabric().faults.fired_count(site),
+        "hub and registry disagree for {site}"
+    );
+}
+
+/// A row wide enough that 2000 of them overflow a 24-page cache.
+fn wide_row(id: i64) -> Vec<Value> {
+    vec![Value::Int(id), Value::Str(format!("{id}-{}", "pad".repeat(60)))]
+}
+
+/// One fully deterministic run: single-threaded reads against a tiny
+/// cache with the I/O scheduler off, faults armed on the RBIO send leg.
+/// Returns the rendered per-site fired log.
+fn deterministic_send_fault_run(fault_seed: u64) -> Vec<String> {
+    let config = SocratesConfig::fast_test()
+        .with_cache(24, 0)
+        .with_scheduler(false)
+        .with_fault_spec(fault_seed, "rbio.transport.send@every:5=error:unavailable");
+    let sys = Socrates::launch(config).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    // Enough padded rows that the 24-page cache cannot hold the table:
+    // the reads below must generate GetPage traffic.
+    for batch in 0..20i64 {
+        let h = db.begin();
+        for i in 0..100 {
+            db.insert(&h, "t", &wide_row(batch * 100 + i)).unwrap();
+        }
+        db.commit(h).unwrap();
+    }
+    // Point reads in a fixed scattered order; every miss is a GetPage and
+    // every 5th send leg errors, exercising the client's retry loop.
+    let h = db.begin();
+    let mut rng = socrates_common::rng::Rng::new(7);
+    for _ in 0..200 {
+        let id = rng.gen_range(2000) as i64;
+        assert_eq!(
+            db.get(&h, "t", &[Value::Int(id)]).unwrap(),
+            Some(wide_row(id)),
+            "read of committed row {id} failed under send faults"
+        );
+    }
+    assert!(
+        p.io().cache().stats().fetches.get() > 0,
+        "the cache held everything; no remote traffic to fault"
+    );
+    let log: Vec<String> = sys
+        .fabric()
+        .faults
+        .fired_log()
+        .iter()
+        .filter(|e| e.site == sites::RBIO_SEND)
+        .map(|e| e.render())
+        .collect();
+    assert_hub_matches_registry(&sys, sites::RBIO_SEND);
+    sys.shutdown();
+    log
+}
+
+#[test]
+fn same_seed_gives_identical_fault_schedule() {
+    let a = deterministic_send_fault_run(0xC0FFEE);
+    let b = deterministic_send_fault_run(0xC0FFEE);
+    assert!(!a.is_empty(), "the schedule never fired");
+    assert_eq!(a, b, "same seed must give an identical fault schedule");
+    // A different seed still fires (every:5 is seed-independent), so the
+    // comparison above is not vacuous about the log plumbing.
+    let c = deterministic_send_fault_run(0xBAD5EED);
+    assert_eq!(a.len(), c.len(), "nth-call schedules are count-deterministic across seeds");
+}
+
+#[test]
+fn lz_write_faults_are_absorbed_and_commits_stay_durable() {
+    let config =
+        SocratesConfig::fast_test().with_fault_spec(11, "lz.write@every:6=error:unavailable");
+    let sys = Socrates::launch(config).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    for batch in 0..20i64 {
+        let h = db.begin();
+        for i in 0..10 {
+            db.insert(&h, "t", &row(batch * 10 + i, "lz")).unwrap();
+        }
+        // The flusher sees periodic LZ write failures; the commit path
+        // must retry through them, never acknowledge a lost commit.
+        db.commit(h).unwrap();
+    }
+    assert!(
+        sys.fabric().faults.fired_count(sites::LZ_WRITE) > 0,
+        "the LZ fault schedule never fired"
+    );
+    assert_hub_matches_registry(&sys, sites::LZ_WRITE);
+    // Durability: a cold replacement primary recovers every acknowledged
+    // commit from the (fault-scarred but quorum-written) log.
+    sys.kill_primary();
+    let p2 = sys.failover().unwrap();
+    let r = p2.db().begin();
+    assert_eq!(p2.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 200);
+    sys.shutdown();
+}
+
+#[test]
+fn feed_drops_converge_via_lz_gap_fill() {
+    let config = SocratesConfig::fast_test().with_fault_spec(23, "xlog.feed.poll@p:0.4=drop");
+    let sys = Socrates::launch(config).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    for batch in 0..10i64 {
+        let h = db.begin();
+        for i in 0..30 {
+            db.insert(&h, "t", &row(batch * 30 + i, "feed")).unwrap();
+        }
+        db.commit(h).unwrap();
+    }
+    let lsn = p.pipeline().hardened_lsn();
+    // Dropped feed blocks are the lossy path by design: XLOG must gap-fill
+    // from the landing zone and the page servers still converge.
+    sys.fabric().wait_applied(lsn, Duration::from_secs(15)).unwrap();
+    assert!(
+        sys.fabric().faults.fired_count(sites::XLOG_FEED_POLL) > 0,
+        "the feed fault schedule never fired"
+    );
+    assert_hub_matches_registry(&sys, sites::XLOG_FEED_POLL);
+    sys.kill_primary();
+    let p2 = sys.failover().unwrap();
+    let r = p2.db().begin();
+    assert_eq!(p2.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 300);
+    sys.shutdown();
+}
+
+#[test]
+fn pageserver_faults_degrade_reads_to_the_checkpoint() {
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    let h = db.begin();
+    for i in 0..200i64 {
+        db.insert(&h, "t", &row(i, "deg")).unwrap();
+    }
+    db.commit(h).unwrap();
+    let lsn = p.pipeline().hardened_lsn();
+    sys.fabric().wait_applied(lsn, Duration::from_secs(10)).unwrap();
+    sys.checkpoint().unwrap();
+
+    // From here every page-server request fails. The compute tier must
+    // keep answering from the XStore checkpoint instead of failing the
+    // fetch chain (availability survives total replica loss).
+    sys.fabric().faults.install_spec("pageserver.serve@always=error:unavailable").unwrap();
+    sys.kill_primary();
+    let p2 = sys.failover().unwrap();
+    let r = p2.db().begin();
+    assert_eq!(p2.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 200);
+    assert!(
+        sys.fabric().degraded_read_count() > 0,
+        "the scan should have been served from the checkpoint"
+    );
+    assert!(sys.fabric().faults.fired_count(sites::PAGESERVER_SERVE) > 0);
+    assert_hub_matches_registry(&sys, sites::PAGESERVER_SERVE);
+
+    // Close the fault window: the page servers serve again.
+    sys.fabric().faults.clear();
+    let before = sys.fabric().degraded_read_count();
+    sys.kill_primary();
+    let p3 = sys.failover().unwrap();
+    let r = p3.db().begin();
+    assert_eq!(p3.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 200);
+    assert_eq!(sys.fabric().degraded_read_count(), before, "healthy replicas must not be bypassed");
+    sys.shutdown();
+}
+
+#[test]
+fn xstore_put_faults_defer_checkpoints_until_cleared() {
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    let h = db.begin();
+    for i in 0..100i64 {
+        db.insert(&h, "t", &row(i, "xs")).unwrap();
+    }
+    db.commit(h).unwrap();
+    let lsn = p.pipeline().hardened_lsn();
+    sys.fabric().wait_applied(lsn, Duration::from_secs(10)).unwrap();
+
+    sys.fabric().faults.install_spec("xstore.put@always=error:unavailable").unwrap();
+    assert!(sys.checkpoint().is_err(), "checkpoint must fail while XStore rejects writes");
+    assert!(sys.fabric().faults.fired_count(sites::XSTORE_PUT) > 0);
+    assert_hub_matches_registry(&sys, sites::XSTORE_PUT);
+
+    // The deferred checkpoint succeeds once the outage clears, and the
+    // data it shipped is complete (cold scan through a fresh primary).
+    sys.fabric().faults.clear();
+    sys.checkpoint().unwrap();
+    sys.kill_primary();
+    let p2 = sys.failover().unwrap();
+    let r = p2.db().begin();
+    assert_eq!(p2.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 100);
+    sys.shutdown();
+}
+
+#[test]
+fn kill_partition_unregisters_metrics_and_restart_reregisters() {
+    let sys = Socrates::launch(SocratesConfig::fast_test()).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    let h = db.begin();
+    for i in 0..150i64 {
+        db.insert(&h, "t", &row(i, "m")).unwrap();
+    }
+    db.commit(h).unwrap();
+    let lsn = p.pipeline().hardened_lsn();
+    let fabric = sys.fabric();
+    fabric.wait_applied(lsn, Duration::from_secs(10)).unwrap();
+    sys.checkpoint().unwrap();
+
+    let pid = fabric.partition_ids()[0];
+    let old_nodes = fabric.partition(pid).unwrap().nodes.clone();
+    for node in &old_nodes {
+        assert!(
+            sys.hub().snapshot().get(*node, "records_applied").is_some(),
+            "live server {node:?} should export metrics"
+        );
+    }
+
+    // Kill: every `tier.index.*` series of the dead servers must leave
+    // the hub — no stale snapshots from stopped nodes.
+    fabric.kill_partition(pid).unwrap();
+    let snap = sys.hub().snapshot();
+    for node in &old_nodes {
+        assert!(snap.get(*node, "records_applied").is_none(), "stale metrics for {node:?}");
+        assert!(!snap.nodes().contains(node), "{node:?} still listed in the hub");
+    }
+
+    // Restart from the remembered XStore blobs: a fresh node id appears,
+    // the old ones stay gone, and the data is all there.
+    fabric.restart_partition(pid).unwrap();
+    let new_nodes = fabric.partition(pid).unwrap().nodes.clone();
+    assert!(new_nodes.iter().all(|n| !old_nodes.contains(n)), "node ids must not be reused");
+    let snap = sys.hub().snapshot();
+    for node in &new_nodes {
+        assert!(snap.get(*node, "records_applied").is_some(), "restarted {node:?} not registered");
+    }
+    for node in &old_nodes {
+        assert!(!snap.nodes().contains(node), "{node:?} resurrected in the hub");
+    }
+    fabric.wait_applied(lsn, Duration::from_secs(10)).unwrap();
+    sys.kill_primary();
+    let p2 = sys.failover().unwrap();
+    let r = p2.db().begin();
+    assert_eq!(p2.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 150);
+    sys.shutdown();
+}
