@@ -18,7 +18,8 @@ struct SleepSink {
 impl BlockSink for SleepSink {
     fn harden(&self, block: &LogBlock) -> socrates_common::Result<()> {
         std::thread::sleep(Duration::from_micros(self.us));
-        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.flushes.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — bench statistic
+                                                      // ordering: relaxed — bench statistic
         self.records.fetch_add(block.record_count() as u64, Ordering::Relaxed);
         Ok(())
     }
@@ -46,26 +47,28 @@ fn main() {
                 let commits = Arc::clone(&commits);
                 let stop = Arc::clone(&stop);
                 s.spawn(move || {
+                    // ordering: relaxed — shutdown poll
                     while !stop.load(Ordering::Relaxed) {
                         let lsn = pipeline.append(&LogRecord {
                             txn: TxnId::new(t as u64),
                             payload: LogPayload::TxnCommit { commit_ts: 1 },
                         });
                         pipeline.commit_wait(lsn).unwrap();
-                        commits.fetch_add(1, Ordering::Relaxed);
+                        commits.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — bench statistic
                     }
                 });
             }
             std::thread::sleep(Duration::from_secs(2));
-            stop.store(true, Ordering::SeqCst);
+            stop.store(true, Ordering::Relaxed); // ordering: relaxed — scope join is the sync point
         });
         let secs = t0.elapsed().as_secs_f64();
         println!(
             "threads {threads:>3}: {:.0} commits/s, {:.0} flushes/s, {:.1} records/flush, commit p50 {}us",
-            commits.load(Ordering::Relaxed) as f64 / secs,
-            sink.flushes.load(Ordering::Relaxed) as f64 / secs,
+            commits.load(Ordering::Relaxed) as f64 / secs, // ordering: relaxed — after join
+            sink.flushes.load(Ordering::Relaxed) as f64 / secs, // ordering: relaxed — after join
+            // ordering: relaxed — after join
             sink.records.load(Ordering::Relaxed) as f64
-                / sink.flushes.load(Ordering::Relaxed).max(1) as f64,
+                / sink.flushes.load(Ordering::Relaxed).max(1) as f64, // ordering: relaxed — after join
             pipeline.metrics().commit_latency.percentile(0.5),
         );
     }

@@ -123,20 +123,26 @@ pub fn run(
             let seed = config.seed ^ ((client as u64) << 32);
             scope.spawn(move || {
                 let mut rng = Rng::new(seed);
+                // ordering: relaxed — shutdown flag poll; workers only need to notice eventually
                 while !stop.load(Ordering::Relaxed) {
                     let t0 = Instant::now();
                     match workload.execute_one(db, &mut rng, &cpu) {
                         Ok(kind) => {
+                            // ordering: relaxed — window edges are approximate by design
                             if measuring.load(Ordering::Relaxed) {
                                 latency.record_duration(t0.elapsed());
                                 match kind {
+                                    // ordering: relaxed — throughput statistic
                                     TxnKind::Read => reads.fetch_add(1, Ordering::Relaxed),
+                                    // ordering: relaxed — throughput statistic
                                     TxnKind::Write => writes.fetch_add(1, Ordering::Relaxed),
                                 };
                             }
                         }
                         Err(e) if e.kind() == "write_conflict" => {
+                            // ordering: relaxed — window edges are approximate by design
                             if measuring.load(Ordering::Relaxed) {
+                                // ordering: relaxed — throughput statistic
                                 conflicts.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -156,16 +162,17 @@ pub fn run(
         let log_bytes_before = system.log_metrics().bytes_hardened.get();
         system.log_metrics().commit_latency.reset();
         system.reset_cache_stats();
-        measuring.store(true, Ordering::SeqCst);
+        measuring.store(true, Ordering::Relaxed); // ordering: relaxed — a worker straddling the window edge skews one sample
         let t0 = Instant::now();
         std::thread::sleep(config.duration);
-        measuring.store(false, Ordering::SeqCst);
+        measuring.store(false, Ordering::Relaxed); // ordering: relaxed — a worker straddling the window edge skews one sample
         let wall = t0.elapsed();
-        stop.store(true, Ordering::SeqCst);
-        // Scope join happens implicitly.
+        stop.store(true, Ordering::Relaxed); // ordering: relaxed — scope join below is the real synchronization point
+                                             // Scope join happens implicitly.
 
-        let read_count = reads.load(Ordering::SeqCst);
-        let write_count = writes.load(Ordering::SeqCst);
+        // ordering: relaxed — scope join already happens-before these reads
+        let read_count = reads.load(Ordering::Relaxed);
+        let write_count = writes.load(Ordering::Relaxed); // ordering: relaxed — after join
         let secs = wall.as_secs_f64();
         let log_bytes = system.log_metrics().bytes_hardened.get() - log_bytes_before;
         RunReport {
@@ -173,7 +180,7 @@ pub fn run(
             read_tps: read_count as f64 / secs,
             write_tps: write_count as f64 / secs,
             total_tps: (read_count + write_count) as f64 / secs,
-            conflicts: conflicts.load(Ordering::SeqCst),
+            conflicts: conflicts.load(Ordering::Relaxed), // ordering: relaxed — after join
             txn_latency: latency.snapshot(),
             commit_latency: system.log_metrics().commit_latency.snapshot(),
             log_mb_s: log_bytes as f64 / 1e6 / secs,

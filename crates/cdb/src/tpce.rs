@@ -102,6 +102,7 @@ impl Workload for TpceWorkload {
                 // Trade order: insert a trade.
                 cpu.charge_us(130);
                 let h = db.begin();
+                // ordering: relaxed — id uniqueness needs only RMW atomicity
                 let id = self.trade_seq.fetch_add(1, Ordering::Relaxed);
                 let mut detail = vec![0u8; 96];
                 rng.fill_bytes(&mut detail);

@@ -92,6 +92,7 @@ impl CdbWorkload {
             hot_access_p: 0.1,
             hot_set_frac: 0.02,
             history_seq: AtomicU64::new(
+                // ordering: relaxed — range-id uniqueness needs only RMW atomicity
                 (1 << 40) + (HISTORY_RANGE.fetch_add(1, Ordering::Relaxed) << 32),
             ),
             update_padding: 100,
@@ -215,6 +216,7 @@ impl Workload for CdbWorkload {
             TxnClass::InsertHistory => {
                 cpu.charge_us(55);
                 let h = db.begin();
+                // ordering: relaxed — id uniqueness needs only RMW atomicity
                 let id = self.history_seq.fetch_add(1, Ordering::Relaxed);
                 db.insert(&h, T_HISTORY, &[Value::Int(id as i64), self.payload(rng, 80)])?;
                 db.commit(h)?;

@@ -18,6 +18,8 @@
 //! The disabled path is one relaxed atomic load: a registry with no armed
 //! rules adds no measurable overhead to the hot paths that consult it.
 
+#![doc = "soclint:hot"]
+
 use crate::latency::{precise_sleep, LatencyModel};
 use crate::lsn::Lsn;
 use crate::metrics::Counter;
@@ -65,6 +67,7 @@ pub enum FaultErrorKind {
 }
 
 impl FaultErrorKind {
+    // soclint-allow: hot-path error construction only runs when a fault actually fires
     fn to_error(self, site: &str) -> Error {
         match self {
             FaultErrorKind::Unavailable => Error::Unavailable(format!("fault injected at {site}")),
@@ -166,6 +169,7 @@ pub struct FaultEvent {
 
 impl FaultEvent {
     /// One-line rendering for schedule artifacts.
+    // soclint-allow: hot-path debug rendering, never on the I/O path
     pub fn render(&self) -> String {
         format!("{}#{} -> {}", self.site, self.call, self.action)
     }
@@ -203,6 +207,7 @@ impl std::fmt::Debug for FaultRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FaultRegistry")
             .field("seed", &self.inner.seed)
+            // ordering: relaxed — debug print; staleness fine
             .field("armed", &self.inner.armed.load(Ordering::Relaxed))
             .finish()
     }
@@ -216,14 +221,19 @@ impl Default for FaultRegistry {
 
 impl FaultRegistry {
     /// A registry with no rules, seeded for later installs.
+    // soclint-allow: hot-path one-time construction
     pub fn new(seed: u64) -> FaultRegistry {
         FaultRegistry {
             inner: Arc::new(Inner {
                 seed,
                 armed: AtomicUsize::new(0),
-                sites: RwLock::new(HashMap::new()),
-                log: Mutex::new(Vec::new()),
-                hub: Mutex::new(None),
+                sites: RwLock::with_rank(
+                    HashMap::new(),
+                    crate::lock_rank::COMMON_FAULT_SITES,
+                    "fault.sites",
+                ),
+                log: Mutex::with_rank(Vec::new(), crate::lock_rank::COMMON_FAULT_LOG, "fault.log"),
+                hub: Mutex::with_rank(None, crate::lock_rank::COMMON_FAULT_HUB, "fault.hub"),
             }),
         }
     }
@@ -241,14 +251,22 @@ impl FaultRegistry {
     /// Whether any rule is armed (the hot-path gate, one atomic load).
     #[inline]
     pub fn is_armed(&self) -> bool {
+        // ordering: relaxed — fast-path gate; arming happens-before injected calls
+        // via the sites mutex taken in install/clear
         self.inner.armed.load(Ordering::Relaxed) > 0
     }
 
     /// Bind a metrics hub: every site with rules (present and future)
     /// registers a `fault_injected_total.<site>` counter under `node`.
+    // soclint-allow: hot-path registration-time control plane
     pub fn bind_hub(&self, hub: &MetricsHub, node: NodeId) {
-        let mut guard = self.inner.hub.lock();
-        *guard = Some((hub.clone(), node));
+        // Lock order (soclint lock-order): `install` nests sites → hub,
+        // so the hub guard must be released before `sites` is taken —
+        // holding both in the opposite order here would be a deadlock. A
+        // concurrent `install` between the two statements at worst
+        // re-registers the same shared counter, which the hub's
+        // keep-first semantics make a no-op.
+        *self.inner.hub.lock() = Some((hub.clone(), node));
         for (name, site) in self.inner.sites.read().iter() {
             hub.register_counter(node, &format!("fault_injected_total.{name}"), site.fired());
         }
@@ -256,6 +274,7 @@ impl FaultRegistry {
 
     /// Arm `rule`. Rules at one site are evaluated in install order; the
     /// first whose schedule matches a call fires (one fault per call).
+    // soclint-allow: hot-path installing a rule is test setup, not the I/O path
     pub fn install(&self, rule: FaultRule) {
         let mut sites = self.inner.sites.write();
         let n_sites = sites.len() as u64;
@@ -294,29 +313,32 @@ impl FaultRegistry {
         let mut rules = site.rules.clone();
         rules.push(state);
         let replacement = Arc::new(SiteState {
+            // ordering: relaxed — statistic carried across a spec reinstall
             calls: AtomicU64::new(site.calls.load(Ordering::Relaxed)),
             fired: Arc::clone(&site.fired),
             rules,
         });
         *site = replacement;
-        self.inner.armed.fetch_add(1, Ordering::Relaxed);
+        self.inner.armed.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — see is_armed
     }
 
     /// Disarm every rule (call counters, fired counters, and the event log
     /// survive so post-window assertions still see the history).
+    // soclint-allow: hot-path control plane, runs between test phases
     pub fn clear(&self) {
         let mut sites = self.inner.sites.write();
         let mut disarmed = 0usize;
         for site in sites.values_mut() {
             disarmed += site.rules.len();
             let replacement = Arc::new(SiteState {
+                // ordering: relaxed — statistic carried across a spec reinstall
                 calls: AtomicU64::new(site.calls.load(Ordering::Relaxed)),
                 fired: Arc::clone(&site.fired),
                 rules: Vec::new(),
             });
             *site = replacement;
         }
-        self.inner.armed.fetch_sub(disarmed, Ordering::Relaxed);
+        self.inner.armed.fetch_sub(disarmed, Ordering::Relaxed); // ordering: relaxed — see is_armed
     }
 
     /// Consult a site with no LSN context.
@@ -338,11 +360,14 @@ impl FaultRegistry {
         self.check_slow(site, lsn)
     }
 
+    // soclint-allow: hot-path only reached when the registry is armed; check() is the hot gate
     fn check_slow(&self, site: &str, lsn: Option<Lsn>) -> Option<FaultOutcome> {
         let state = self.inner.sites.read().get(site).cloned()?;
         if state.rules.is_empty() {
             return None;
         }
+        // ordering: relaxed — per-site call counter; the sites mutex orders spec
+        // installs against this path
         let call = state.calls.fetch_add(1, Ordering::Relaxed) + 1;
         for rule_state in &state.rules {
             let matches = match &rule_state.rule.schedule {
@@ -429,6 +454,7 @@ impl FaultRegistry {
     }
 }
 
+// soclint-allow: hot-path spec parsing is test setup
 fn parse_clause(clause: &str) -> Result<FaultRule> {
     let bad = |what: &str| Error::InvalidArgument(format!("fault spec '{clause}': {what}"));
     let (site, rest) =

@@ -17,6 +17,7 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod latency;
+pub mod lock_rank;
 pub mod lsn;
 pub mod metrics;
 pub mod obs;

@@ -1,0 +1,282 @@
+//! The workspace lock-rank table.
+//!
+//! Every long-lived lock is constructed with
+//! `parking_lot::Mutex::with_rank` / `RwLock::with_rank` using a constant
+//! from this module. In debug builds the shim panics when a thread's
+//! blocking acquisitions do not strictly increase in rank — the runtime
+//! enforcement of the acquisition order that `soclint`'s `lock-order`
+//! rule checks statically (run `soclint --edges` for the live graph).
+//!
+//! Rank bands follow the **call graph by acquisition depth**: a tier may
+//! call into any band with a *higher* rank while holding its own locks,
+//! never the reverse. Note this is not the paper's tier order — it is
+//! who-holds-while-calling-whom, measured by running the suites with the
+//! checker on. The load-bearing chains:
+//!
+//! ```text
+//! deployment → fabric → engine → cache.mem → wal flush → xlog → LZ/xstore
+//! pageserver.mem → rbpex / xlog                 (apply + checkpoint)
+//! wal.disseminators → hadr shipper              (log dissemination)
+//! sched.sink → cache.mem                        (prefetch completion)
+//! ```
+//!
+//! | band | locks |
+//! |------|------------------------------------------|
+//! | 100s | core (deployment slots, fabric, secondaries) |
+//! | 200s | engine (catalog, txn, io, version, btree)    |
+//! | 300s | pageserver (apply, checkpoint, handles)      |
+//! | 500s | storage (scheduler, cache, rbpex)            |
+//! | 600s | wal pipeline, then hadr (660s, shipped to from the pipeline) |
+//! | 700s | xlog (710s), then the landing zone (750s, written from xlog) |
+//! | 800s | rbio (replication transport)                 |
+//! | 900s | xstore (page store service)                  |
+//! | 1000s| common leaves (fault registry, obs)          |
+//!
+//! Fine-grained, dynamically created locks — per-page latches
+//! (`PageRef`), per-fetch pendings, per-rule RNGs, per-blob FCBs — stay
+//! *unranked* (rank 0, the `new()` default): they are never nested
+//! against each other and ranking them would impose a global order on
+//! objects whose population changes at runtime. The `MetricsHub`
+//! registry lock is also deliberately unranked: `snapshot()` runs
+//! caller-supplied sampling closures under its read guard, so its
+//! effective position in the order depends on what those closures lock;
+//! it is kept a leaf by review (closures must only read atomics).
+
+// --- core (100s) ------------------------------------------------------
+// Deployment-level slots are the *outermost* acquisitions (failover and
+// restart paths hold them while driving the whole stack), so they sit at
+// the bottom of the band.
+/// `core::deployment::Socrates.primary` — the primary slot.
+pub const CORE_DEPLOYMENT_PRIMARY: u32 = 101;
+/// `core::deployment` secondary list (shared `SecondaryList`).
+pub const CORE_DEPLOYMENT_SECONDARIES: u32 = 102;
+/// `core::fabric::ApplySignal.lock` — the apply-watermark condvar mutex.
+pub const CORE_APPLY_SIGNAL: u32 = 110;
+/// `core::obs::LagWatcher.handle` — watcher join handle.
+pub const CORE_LAG_WATCHER_HANDLE: u32 = 150;
+/// `core::secondary` apply-loop join handle.
+pub const CORE_SECONDARY_APPLY_HANDLE: u32 = 165;
+
+// --- engine (200s) ----------------------------------------------------
+/// `engine::db::Database.catalog` — table catalog. Held across table
+/// create/open, which allocates pages (hence below the io hooks).
+pub const ENGINE_CATALOG: u32 = 205;
+/// `engine::txn::TxnManager.prepare_mutex` — commit-prepare serializer.
+pub const ENGINE_TXN_PREPARE: u32 = 210;
+/// `engine::txn::TxnManager.table` — live transaction table.
+pub const ENGINE_TXN_TABLE: u32 = 220;
+/// `engine::txn::TxnManager.aborted_map` — aborted-txn set.
+pub const ENGINE_TXN_ABORTED: u32 = 230;
+/// `engine::btree::BTree.lock` — tree structure latch. Held across node
+/// splits, which allocate pages (hence below the io hook slots).
+pub const ENGINE_BTREE: u32 = 235;
+/// `engine::version::VersionStore.current` — current version slot. Held
+/// across version-page allocation (hence below the io hook slots).
+pub const ENGINE_VERSION_CURRENT: u32 = 238;
+/// `engine::io::LoggedPageIo.trace` — commit-trace sink.
+pub const ENGINE_IO_TRACE: u32 = 240;
+/// `engine::io::LoggedPageIo.txn_begun` — begun-txn dedup map.
+pub const ENGINE_IO_TXN_BEGUN: u32 = 250;
+/// `engine::io::LoggedPageIo.on_allocate` — allocation hook slot.
+pub const ENGINE_IO_ON_ALLOCATE: u32 = 255;
+/// `engine::io::MemIo.pages` — in-memory page store map.
+pub const ENGINE_MEM_PAGES: u32 = 290;
+
+// --- fabric partition directory (300s, below pageserver) --------------
+// These live in `core` but are acquired *beneath* engine locks: the
+// engine's allocate hook upcalls into `Fabric::ensure_partition` while
+// the caller holds `db.catalog`. They stay below the pageserver band
+// because ensure/kill/restart hold them while starting and stopping
+// page servers.
+/// `core::fabric::Fabric.partitions` — partition handle map.
+pub const CORE_FABRIC_PARTITIONS: u32 = 300;
+/// `core::fabric::Fabric.partition_blobs` — partition blob directory.
+pub const CORE_FABRIC_PARTITION_BLOBS: u32 = 304;
+/// `core::fabric::Fabric.degraded_index` — degraded-secondary marker.
+pub const CORE_FABRIC_DEGRADED: u32 = 308;
+
+// --- pageserver (300s) ------------------------------------------------
+// Below storage and xlog: the apply and checkpoint paths hold `mem` /
+// `checkpoint_lock` while writing to the rbpex cache and reading xlog.
+/// `pageserver::PageServer.checkpoint_lock` — single-checkpointer gate.
+pub const PS_CHECKPOINT: u32 = 310;
+/// `pageserver::PageServer.apply_mutex` — apply-loop serializer.
+pub const PS_APPLY: u32 = 315;
+/// `pageserver::PageServer.mem` — applied-page memory map.
+pub const PS_MEM: u32 = 320;
+/// `pageserver::PageServer.dirty` — dirty-page set.
+pub const PS_DIRTY: u32 = 330;
+/// `pageserver::PageServer.apply_listener` — apply-progress listener.
+pub const PS_APPLY_LISTENER: u32 = 340;
+/// `pageserver::PageServer.apply_handle` — apply worker handle.
+pub const PS_APPLY_HANDLE: u32 = 350;
+/// `pageserver::PageServer.ckpt_handle` — checkpoint worker handle.
+pub const PS_CKPT_HANDLE: u32 = 360;
+/// `pageserver::PageServer.seed_handle` — seeding worker handle.
+pub const PS_SEED_HANDLE: u32 = 370;
+
+// --- secondary fetch dedup (400s, below storage) ----------------------
+/// `core::secondary::PendingFetches.map` — in-flight page fetches.
+/// Lives in `core` but is consulted on the secondary read path *under*
+/// engine locks (btree descent → cache miss → fetch dedup), so it ranks
+/// between the engine and storage bands.
+pub const CORE_SECONDARY_PENDING: u32 = 450;
+
+// --- storage (500s) ---------------------------------------------------
+/// `storage::sched::IoScheduler.inflight` — in-flight request map.
+pub const STORAGE_SCHED_INFLIGHT: u32 = 510;
+/// `storage::sched::IoScheduler.q` — request queue.
+pub const STORAGE_SCHED_QUEUE: u32 = 520;
+/// `storage::sched::IoScheduler.sink` — completion sink (held while
+/// installing completed prefetches into the cache, hence below `mem`).
+pub const STORAGE_SCHED_SINK: u32 = 530;
+/// `storage::sched::IoScheduler.workers` — worker join handles.
+pub const STORAGE_SCHED_WORKERS: u32 = 540;
+/// `storage::cache::TieredCache.mem` — memory-tier map + clock. Held
+/// across dirty-page eviction, which forces a WAL flush (hence below
+/// the pipeline locks).
+pub const STORAGE_CACHE_MEM: u32 = 550;
+/// `storage::cache::TieredCache.read_trace` — read-trace sink.
+pub const STORAGE_CACHE_TRACE: u32 = 560;
+/// `storage::rbpex::Rbpex.dir` — resilient-cache directory.
+pub const STORAGE_RBPEX_DIR: u32 = 570;
+/// `engine::evicted::EvictedLsnMap.buckets` — eviction LSN buckets.
+/// Lives in `engine` but is updated from the cache's eviction listener
+/// *while `cache.mem` is held*, so it ranks just above the cache.
+pub const ENGINE_EVICTED_BUCKETS: u32 = 580;
+
+// --- wal pipeline (600s) ----------------------------------------------
+/// `wal::pipeline::LogPipeline.flush_lock` — single-flusher gate.
+pub const WAL_FLUSH_LOCK: u32 = 605;
+/// `wal::pipeline::LogPipeline.buf` — append buffer.
+pub const WAL_BUF: u32 = 610;
+/// `wal::pipeline::LogPipeline.unflushed` — unflushed block queue.
+pub const WAL_UNFLUSHED: u32 = 620;
+/// `wal::pipeline::LogPipeline.wait_mutex` — durability-wait condvar mutex.
+pub const WAL_WAIT: u32 = 630;
+/// `wal::pipeline::LogPipeline.disseminators` — dissemination fan-out
+/// list (held while offering blocks to the HADR shipper, hence below
+/// the hadr band).
+pub const WAL_DISSEMINATORS: u32 = 640;
+
+// --- hadr (660s) ------------------------------------------------------
+/// `hadr::Hadr.retained` — retained-page list for failback.
+pub const HADR_RETAINED: u32 = 660;
+/// `hadr::Replica.handle` — replica worker handle.
+pub const HADR_HANDLE: u32 = 670;
+/// `hadr::Hadr.rng` — failover jitter RNG.
+pub const HADR_RNG: u32 = 680;
+/// `hadr::ReplicaStore.pages` — replica page map.
+pub const HADR_REPLICA_PAGES: u32 = 690;
+
+// --- xlog (700s) ------------------------------------------------------
+/// `xlog::service::XLogService.broker` — block broker state (held while
+/// writing to the landing zone, hence below the LZ band).
+pub const XLOG_BROKER: u32 = 710;
+/// `xlog::service::XLogService.leases` — destage lease table.
+pub const XLOG_LEASES: u32 = 720;
+/// `xlog::service::XLogService.destager` — destager worker slot.
+pub const XLOG_DESTAGER: u32 = 730;
+
+// --- wal landing zone (750s) ------------------------------------------
+/// `wal::landing_zone::LandingZone.worker_handles` — LZ worker handles.
+pub const WAL_LZ_WORKERS: u32 = 750;
+/// `wal::landing_zone::LandingZone.state` — LZ head/tail watermarks.
+pub const WAL_LZ_STATE: u32 = 760;
+/// `wal::landing_zone::LandingZone.faults` — fault registry slot.
+pub const WAL_LZ_FAULTS: u32 = 770;
+
+// --- rbio (800s) ------------------------------------------------------
+/// `rbio::replica::ReplicaSet.states` — per-replica delivery states.
+pub const RBIO_REPLICA_STATES: u32 = 850;
+/// `rbio::transport::RbioClient.rng` — loss/delay decision RNG.
+pub const RBIO_TRANSPORT_RNG: u32 = 860;
+
+// --- xstore (900s) ----------------------------------------------------
+/// `xstore::service::XStore.inner` — blob map + version index.
+pub const XSTORE_INNER: u32 = 910;
+/// `xstore::service::XStore.faults` — fault registry slot.
+pub const XSTORE_FAULTS: u32 = 920;
+
+// --- common leaves (1000s) --------------------------------------------
+/// `common::fault::FaultRegistry.sites` — fault-site table (every tier
+/// calls `check` under its own locks, so this must outrank them all).
+pub const COMMON_FAULT_SITES: u32 = 1010;
+/// `common::fault::FaultRegistry.hub` — bound metrics hub slot.
+pub const COMMON_FAULT_HUB: u32 = 1020;
+/// `common::fault::FaultRegistry.log` — injection log.
+pub const COMMON_FAULT_LOG: u32 = 1030;
+/// `common::obs::span::SlowRing` — slow-op admission ring.
+pub const COMMON_OBS_SLOW: u32 = 1050;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ranks_are_unique() {
+        let all: &[u32] = &[
+            super::CORE_DEPLOYMENT_PRIMARY,
+            super::CORE_DEPLOYMENT_SECONDARIES,
+            super::CORE_APPLY_SIGNAL,
+            super::CORE_FABRIC_PARTITIONS,
+            super::CORE_FABRIC_PARTITION_BLOBS,
+            super::CORE_FABRIC_DEGRADED,
+            super::CORE_LAG_WATCHER_HANDLE,
+            super::CORE_SECONDARY_PENDING,
+            super::CORE_SECONDARY_APPLY_HANDLE,
+            super::ENGINE_CATALOG,
+            super::ENGINE_TXN_PREPARE,
+            super::ENGINE_TXN_TABLE,
+            super::ENGINE_TXN_ABORTED,
+            super::ENGINE_IO_TRACE,
+            super::ENGINE_IO_TXN_BEGUN,
+            super::ENGINE_IO_ON_ALLOCATE,
+            super::ENGINE_VERSION_CURRENT,
+            super::ENGINE_BTREE,
+            super::ENGINE_MEM_PAGES,
+            super::ENGINE_EVICTED_BUCKETS,
+            super::PS_CHECKPOINT,
+            super::PS_APPLY,
+            super::PS_MEM,
+            super::PS_DIRTY,
+            super::PS_APPLY_LISTENER,
+            super::PS_APPLY_HANDLE,
+            super::PS_CKPT_HANDLE,
+            super::PS_SEED_HANDLE,
+            super::STORAGE_SCHED_INFLIGHT,
+            super::STORAGE_SCHED_QUEUE,
+            super::STORAGE_SCHED_SINK,
+            super::STORAGE_SCHED_WORKERS,
+            super::STORAGE_CACHE_MEM,
+            super::STORAGE_CACHE_TRACE,
+            super::STORAGE_RBPEX_DIR,
+            super::WAL_FLUSH_LOCK,
+            super::WAL_BUF,
+            super::WAL_UNFLUSHED,
+            super::WAL_WAIT,
+            super::WAL_DISSEMINATORS,
+            super::HADR_RETAINED,
+            super::HADR_HANDLE,
+            super::HADR_RNG,
+            super::HADR_REPLICA_PAGES,
+            super::XLOG_BROKER,
+            super::XLOG_LEASES,
+            super::XLOG_DESTAGER,
+            super::WAL_LZ_WORKERS,
+            super::WAL_LZ_STATE,
+            super::WAL_LZ_FAULTS,
+            super::RBIO_REPLICA_STATES,
+            super::RBIO_TRANSPORT_RNG,
+            super::XSTORE_INNER,
+            super::XSTORE_FAULTS,
+            super::COMMON_FAULT_SITES,
+            super::COMMON_FAULT_HUB,
+            super::COMMON_FAULT_LOG,
+            super::COMMON_OBS_SLOW,
+        ];
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "duplicate rank constant");
+        assert!(all.iter().all(|&r| r > 0), "rank 0 is reserved for unranked locks");
+    }
+}

@@ -129,18 +129,23 @@ impl AtomicLsn {
     /// Read the current watermark.
     #[inline]
     pub fn load(&self) -> Lsn {
+        // ordering: acquire — a watermark read also acquires whatever the
+        // advancing thread published before moving it (log bytes, applied pages)
         Lsn(self.0.load(std::sync::atomic::Ordering::Acquire))
     }
 
     /// Unconditionally set the watermark.
     #[inline]
     pub fn store(&self, lsn: Lsn) {
+        // ordering: release — publishes the state the new watermark covers
         self.0.store(lsn.0, std::sync::atomic::Ordering::Release)
     }
 
     /// Advance the watermark to `lsn` if it is currently behind it.
     /// Returns the previous value.
     pub fn advance_to(&self, lsn: Lsn) -> Lsn {
+        // ordering: acqrel — monotone advance must both publish covered state
+        // and observe a concurrent advancer's, whichever wins the max
         Lsn(self.0.fetch_max(lsn.0, std::sync::atomic::Ordering::AcqRel))
     }
 }

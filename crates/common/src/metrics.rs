@@ -30,18 +30,18 @@ impl Counter {
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // ordering: relaxed — pure statistic; no reader infers other state from it
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: relaxed — monitoring read; staleness is acceptable
     }
 
     /// Reset to zero, returning the previous value.
     pub fn reset(&self) -> u64 {
-        self.0.swap(0, Ordering::Relaxed)
+        self.0.swap(0, Ordering::Relaxed) // ordering: relaxed — reporting reset; races only smear one sample
     }
 }
 
@@ -61,25 +61,25 @@ impl Gauge {
     /// Overwrite the value.
     #[inline]
     pub fn set(&self, v: i64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.store(v, Ordering::Relaxed); // ordering: relaxed — gauge overwrite; last-writer-wins is the semantics
     }
 
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: i64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // ordering: relaxed — pure statistic; no reader infers other state from it
     }
 
     /// Subtract `n`.
     #[inline]
     pub fn sub(&self, n: i64) {
-        self.0.fetch_sub(n, Ordering::Relaxed);
+        self.0.fetch_sub(n, Ordering::Relaxed); // ordering: relaxed — pure statistic; no reader infers other state from it
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: relaxed — monitoring read; staleness is acceptable
     }
 }
 
@@ -146,23 +146,23 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed); // ordering: relaxed — independent statistic cells; snapshot tearing is fine
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — independent statistic cells; snapshot tearing is fine
+        self.sum.fetch_add(v, Ordering::Relaxed); // ordering: relaxed — independent statistic cells; snapshot tearing is fine
         let sq = v.saturating_mul(v);
         // Saturating accumulate: a plain fetch_add would wrap once the sum
         // of squares exceeds u64::MAX and corrupt the stddev.
-        let mut cur = self.sumsq.load(Ordering::Relaxed);
+        let mut cur = self.sumsq.load(Ordering::Relaxed); // ordering: relaxed — CAS loop re-reads on failure; value-only, no publication
         loop {
             let next = cur.saturating_add(sq);
-            match self.sumsq.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            match self.sumsq.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) // ordering: relaxed — saturating stat accumulate; CAS needs no fences
             {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }
         }
-        self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed); // ordering: relaxed — monotone min; ordering with other cells not needed
+        self.max.fetch_max(v, Ordering::Relaxed); // ordering: relaxed — monotone max; ordering with other cells not needed
     }
 
     /// Record a [`Duration`] in microseconds.
@@ -172,7 +172,7 @@ impl Histogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: relaxed — monitoring read; staleness is acceptable
     }
 
     /// Value at quantile `q` in `[0, 1]` (bucket floor; ≤ 6% relative error).
@@ -184,26 +184,26 @@ impl Histogram {
         let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            seen += b.load(Ordering::Relaxed); // ordering: relaxed — bucket scan may tear vs. count; ≤1 sample skew
             if seen >= target {
                 return Self::bucket_floor(i);
             }
         }
-        self.max.load(Ordering::Relaxed)
+        self.max.load(Ordering::Relaxed) // ordering: relaxed — monitoring read; staleness is acceptable
     }
 
     /// A point-in-time summary.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count();
-        let sum = self.sum.load(Ordering::Relaxed);
-        let sumsq = self.sumsq.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed); // ordering: relaxed — snapshot tolerates torn cells by construction
+        let sumsq = self.sumsq.load(Ordering::Relaxed); // ordering: relaxed — snapshot tolerates torn cells by construction
         let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
         let var =
             if count == 0 { 0.0 } else { (sumsq as f64 / count as f64 - mean * mean).max(0.0) };
         HistogramSnapshot {
             count,
-            min_us: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
-            max_us: self.max.load(Ordering::Relaxed),
+            min_us: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) }, // ordering: relaxed — snapshot tolerates torn cells by construction
+            max_us: self.max.load(Ordering::Relaxed), // ordering: relaxed — snapshot tolerates torn cells by construction
             mean_us: mean,
             stddev_us: var.sqrt(),
             p50_us: self.percentile(0.50),
@@ -215,13 +215,13 @@ impl Histogram {
     /// Forget all samples.
     pub fn reset(&self) {
         for b in self.buckets.iter() {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.sumsq.store(0, Ordering::Relaxed);
-        self.min.store(u64::MAX, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
+        self.sum.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
+        self.sumsq.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
+        self.min.store(u64::MAX, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
+        self.max.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
     }
 }
 
@@ -268,7 +268,7 @@ impl CpuAccountant {
     /// Charge `us` microseconds of modelled CPU.
     #[inline]
     pub fn charge_us(&self, us: u64) {
-        self.busy_us.fetch_add(us, Ordering::Relaxed);
+        self.busy_us.fetch_add(us, Ordering::Relaxed); // ordering: relaxed — pure statistic; no reader infers other state from it
     }
 
     /// Charge a [`Duration`] of modelled CPU.
@@ -279,7 +279,7 @@ impl CpuAccountant {
 
     /// Total charged microseconds.
     pub fn busy_us(&self) -> u64 {
-        self.busy_us.load(Ordering::Relaxed)
+        self.busy_us.load(Ordering::Relaxed) // ordering: relaxed — monitoring read; staleness is acceptable
     }
 
     /// CPU utilisation over `wall` on a `cores`-core node, as a percentage
@@ -294,7 +294,7 @@ impl CpuAccountant {
 
     /// Reset to zero, returning the previous total.
     pub fn reset(&self) -> u64 {
-        self.busy_us.swap(0, Ordering::Relaxed)
+        self.busy_us.swap(0, Ordering::Relaxed) // ordering: relaxed — reporting reset; races only smear one sample
     }
 }
 

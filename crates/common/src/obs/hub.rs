@@ -109,11 +109,23 @@ impl MetricSnapshot {
     }
 }
 
+/// The hub's registry plus the duplicate-registration ledger.
+#[derive(Default)]
+struct HubInner {
+    sources: BTreeMap<(NodeId, String), Source>,
+    /// `(node, name)` pairs that were registered twice without an
+    /// intervening [`MetricsHub::unregister_node`]. The first source
+    /// wins; the duplicate is recorded (and warned about) instead of
+    /// silently shadowing it — soclint's metric-name rule and every
+    /// exporter assume `tier.index.metric` names are unique.
+    duplicates: Vec<(NodeId, String)>,
+}
+
 /// The workspace-wide metric registry. Cheap to clone (`Arc` inside);
 /// every tier of a deployment registers into the same hub.
 #[derive(Clone, Default)]
 pub struct MetricsHub {
-    inner: Arc<RwLock<BTreeMap<(NodeId, String), Source>>>,
+    inner: Arc<RwLock<HubInner>>,
 }
 
 impl MetricsHub {
@@ -123,7 +135,31 @@ impl MetricsHub {
     }
 
     fn insert(&self, node: NodeId, name: &str, source: Source) {
-        self.inner.write().insert((node, name.to_string()), source);
+        let mut inner = self.inner.write();
+        match inner.sources.entry((node, name.to_string())) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(source);
+            }
+            std::collections::btree_map::Entry::Occupied(_) => {
+                // Keep the first registration: a shadowed source would
+                // silently freeze the metric it displaced. Nodes that
+                // legitimately come back (failover, restart_partition)
+                // call `unregister_node` first, which frees the name.
+                eprintln!(
+                    "[metrics] duplicate registration of {}.{}.{name} ignored (first wins)",
+                    node.kind.tier_name(),
+                    node.index
+                );
+                inner.duplicates.push((node, name.to_string()));
+            }
+        }
+    }
+
+    /// `(node, name)` pairs rejected as duplicates since the last
+    /// `unregister_node` of that node. Non-empty means a registration
+    /// bug: two sources raced for one `tier.index.metric` name.
+    pub fn duplicate_registrations(&self) -> Vec<(NodeId, String)> {
+        self.inner.read().duplicates.clone()
     }
 
     /// Register a shared [`Counter`].
@@ -178,23 +214,40 @@ impl MetricsHub {
     /// the deployment (secondary removed, page server killed) so its
     /// closures (which capture the node's state) are released.
     pub fn unregister_node(&self, node: NodeId) {
-        self.inner.write().retain(|(n, _), _| *n != node);
+        let mut inner = self.inner.write();
+        inner.sources.retain(|(n, _), _| *n != node);
+        // The node's names are free again; stale duplicate records would
+        // make a clean re-registration after failover look like a bug.
+        inner.duplicates.retain(|(n, _)| *n != node);
+    }
+
+    /// Drop the subset of `node`'s metrics whose name matches `pred`.
+    /// Needed when a node id is shared by sources with different lifetimes
+    /// (e.g. the primary process's metrics vs. deployment-lifetime trace
+    /// histograms that are merely *exported* under the primary): a failover
+    /// must free the former so the successor can re-register, while the
+    /// latter survive.
+    pub fn unregister_where(&self, node: NodeId, pred: impl Fn(&str) -> bool) {
+        let mut inner = self.inner.write();
+        inner.sources.retain(|(n, name), _| *n != node || !pred(name));
+        inner.duplicates.retain(|(n, name)| *n != node || !pred(name));
     }
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().sources.len()
     }
 
     /// Whether the hub has no registrations.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().sources.is_empty()
     }
 
     /// Sample every registered source.
     pub fn snapshot(&self) -> MetricSnapshot {
         let inner = self.inner.read();
         let samples = inner
+            .sources
             .iter()
             .map(|((node, name), source)| MetricSample {
                 node: *node,
@@ -296,11 +349,27 @@ mod tests {
     }
 
     #[test]
-    fn reregistration_replaces_source() {
+    fn duplicate_registration_keeps_first_and_is_recorded() {
         let hub = MetricsHub::new();
         hub.register_gauge_fn(NodeId::XLOG, "lag", || 1);
         hub.register_gauge_fn(NodeId::XLOG, "lag", || 2);
         assert_eq!(hub.len(), 1);
-        assert_eq!(hub.snapshot().get(NodeId::XLOG, "lag"), Some(&MetricValue::Gauge(2)));
+        // First registration wins; the shadow attempt is ledgered.
+        assert_eq!(hub.snapshot().get(NodeId::XLOG, "lag"), Some(&MetricValue::Gauge(1)));
+        assert_eq!(hub.duplicate_registrations(), vec![(NodeId::XLOG, "lag".to_string())]);
+    }
+
+    #[test]
+    fn unregister_clears_duplicates_and_frees_names() {
+        let hub = MetricsHub::new();
+        hub.register_gauge_fn(NodeId::XLOG, "lag", || 1);
+        hub.register_gauge_fn(NodeId::XLOG, "lag", || 2);
+        assert_eq!(hub.duplicate_registrations().len(), 1);
+        hub.unregister_node(NodeId::XLOG);
+        assert!(hub.duplicate_registrations().is_empty());
+        // A node that re-registers after leaving is not a duplicate.
+        hub.register_gauge_fn(NodeId::XLOG, "lag", || 3);
+        assert_eq!(hub.snapshot().get(NodeId::XLOG, "lag"), Some(&MetricValue::Gauge(3)));
+        assert!(hub.duplicate_registrations().is_empty());
     }
 }

@@ -32,6 +32,8 @@
 //! spans for postmortem queries (`socmon --reads`); the hot path pays one
 //! relaxed atomic load to decide whether a span qualifies.
 
+#![doc = "soclint:hot"]
+
 use crate::lsn::Lsn;
 use crate::metrics::Histogram;
 use crate::PageId;
@@ -211,12 +213,17 @@ pub struct ReadTraceRecorder {
 impl ReadTraceRecorder {
     /// A recorder retaining the last `capacity` spans (and the
     /// [`SLOW_OP_CAPACITY`] slowest, separately).
+    // soclint-allow: hot-path one-time construction
     pub fn new(capacity: usize) -> ReadTraceRecorder {
         ReadTraceRecorder {
             slots: (0..capacity).map(|_| Slot::empty()).collect(),
             next: AtomicU64::new(0),
             stage_hist: std::array::from_fn(|_| Histogram::new()),
-            slow: Mutex::new(SlowRing::default()),
+            slow: Mutex::with_rank(
+                SlowRing::default(),
+                crate::lock_rank::COMMON_OBS_SLOW,
+                "obs.slow_ring",
+            ),
             slow_floor_ns: AtomicU64::new(0),
             slow_capacity: if capacity == 0 { 0 } else { SLOW_OP_CAPACITY.min(capacity) },
         }
@@ -239,7 +246,7 @@ impl ReadTraceRecorder {
 
     /// Total spans recorded since creation.
     pub fn spans_recorded(&self) -> u64 {
-        self.next.load(Ordering::Relaxed)
+        self.next.load(Ordering::Relaxed) // ordering: relaxed — generation counter read for sizing; staleness fine
     }
 
     /// Record a completed miss-path span. Every stage is clamped to ≥ 1 ns
@@ -255,20 +262,20 @@ impl ReadTraceRecorder {
             *ns = (*ns).max(1);
         }
         trace.range_width = trace.range_width.max(1);
-        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let n = self.next.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — ring cursor; slot exclusivity comes from the seqlock
         let slot = &self.slots[(n % self.slots.len() as u64) as usize];
         // Invalidate while rewriting so a concurrent reader never mixes
         // generations.
-        slot.seq.store(0, Ordering::Release);
-        slot.page.store(trace.page.raw(), Ordering::Relaxed);
-        slot.min_lsn.store(trace.min_lsn.offset(), Ordering::Relaxed);
-        slot.hedge.store(trace.hedge as u64, Ordering::Relaxed);
-        slot.range_width.store(trace.range_width as u64, Ordering::Relaxed);
-        slot.range_fallback.store(trace.range_fallback as u64, Ordering::Relaxed);
+        slot.seq.store(0, Ordering::Release); // ordering: release — seqlock write-begin: readers must see the slot invalid before any torn payload
+        slot.page.store(trace.page.raw(), Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.min_lsn.store(trace.min_lsn.offset(), Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.hedge.store(trace.hedge as u64, Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.range_width.store(trace.range_width as u64, Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.range_fallback.store(trace.range_fallback as u64, Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
         for (i, ns) in trace.stage_ns.iter().enumerate() {
-            slot.stage_ns[i].store(*ns, Ordering::Relaxed);
+            slot.stage_ns[i].store(*ns, Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
         }
-        slot.seq.store(n + 1, Ordering::Release);
+        slot.seq.store(n + 1, Ordering::Release); // ordering: release — seqlock publish: payload stores must not sink below this
         for (i, ns) in trace.stage_ns.iter().enumerate() {
             self.stage_hist[i].record(ns / 1_000);
         }
@@ -280,6 +287,8 @@ impl ReadTraceRecorder {
             return;
         }
         let total = trace.total_ns();
+        // ordering: relaxed — admission heuristic; a stale floor only admits one
+        // extra span
         if total <= self.slow_floor_ns.load(Ordering::Relaxed) {
             return;
         }
@@ -290,27 +299,32 @@ impl ReadTraceRecorder {
             slow.entries.remove(0);
         }
         if slow.entries.len() == self.slow_capacity {
+            // ordering: relaxed — floor refresh under the slow-list lock; readers
+            // tolerate lag
             self.slow_floor_ns.store(slow.entries[0].total_ns(), Ordering::Relaxed);
         }
     }
 
     /// The retained spans, oldest first. Slots being rewritten mid-read
     /// are skipped (generation check).
+    // soclint-allow: hot-path snapshot export for exporters and tests
     pub fn traces(&self) -> Vec<ReadTrace> {
         let mut out: Vec<(u64, ReadTrace)> = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
-            let seq = slot.seq.load(Ordering::Acquire);
+            let seq = slot.seq.load(Ordering::Acquire); // ordering: acquire — seqlock read-begin: payload loads must not hoist above this
             if seq == 0 {
                 continue;
             }
             let trace = ReadTrace {
-                page: PageId::new(slot.page.load(Ordering::Relaxed)),
-                min_lsn: Lsn::new(slot.min_lsn.load(Ordering::Relaxed)),
-                stage_ns: std::array::from_fn(|i| slot.stage_ns[i].load(Ordering::Relaxed)),
-                hedge: HedgeOutcome::from_raw(slot.hedge.load(Ordering::Relaxed)),
-                range_width: slot.range_width.load(Ordering::Relaxed) as u32,
-                range_fallback: slot.range_fallback.load(Ordering::Relaxed) != 0,
+                page: PageId::new(slot.page.load(Ordering::Relaxed)), // ordering: relaxed — payload read; validated by the seq re-check
+                min_lsn: Lsn::new(slot.min_lsn.load(Ordering::Relaxed)), // ordering: relaxed — payload read; validated by the seq re-check
+                stage_ns: std::array::from_fn(|i| slot.stage_ns[i].load(Ordering::Relaxed)), // ordering: relaxed — payload read; validated by the seq re-check
+                hedge: HedgeOutcome::from_raw(slot.hedge.load(Ordering::Relaxed)), // ordering: relaxed — payload read; validated by the seq re-check
+                range_width: slot.range_width.load(Ordering::Relaxed) as u32, // ordering: relaxed — payload read; validated by the seq re-check
+                range_fallback: slot.range_fallback.load(Ordering::Relaxed) != 0, // ordering: relaxed — payload read; validated by the seq re-check
             };
+            // ordering: acquire — seqlock re-check: orders payload reads before
+            // validation
             if slot.seq.load(Ordering::Acquire) == seq {
                 out.push((seq, trace));
             }
@@ -322,6 +336,7 @@ impl ReadTraceRecorder {
     /// Retained spans that carry every stage, oldest first. With a live
     /// recorder this is all of them — spans publish complete — so a
     /// shortfall against [`ReadTraceRecorder::traces`] indicates a bug.
+    // soclint-allow: hot-path snapshot export for exporters and tests
     pub fn completed_traces(&self) -> Vec<ReadTrace> {
         self.traces().into_iter().filter(ReadTrace::is_complete).collect()
     }

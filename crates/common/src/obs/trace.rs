@@ -25,6 +25,8 @@
 //! instrumentation never perturbs the hot path. The ring retains the last
 //! `capacity` traces for percentile and outlier queries.
 
+#![doc = "soclint:hot"]
+
 use crate::lsn::Lsn;
 use crate::metrics::Histogram;
 use crate::TxnId;
@@ -142,6 +144,7 @@ pub struct TraceRecorder {
 
 impl TraceRecorder {
     /// A recorder retaining the last `capacity` commit traces.
+    // soclint-allow: hot-path one-time construction
     pub fn new(capacity: usize) -> TraceRecorder {
         TraceRecorder {
             slots: (0..capacity).map(|_| Slot::empty()).collect(),
@@ -168,7 +171,7 @@ impl TraceRecorder {
 
     /// Total commits recorded since creation.
     pub fn commits_recorded(&self) -> u64 {
-        self.next.load(Ordering::Relaxed)
+        self.next.load(Ordering::Relaxed) // ordering: relaxed — generation counter read for sizing; staleness fine
     }
 
     /// Nanoseconds since the recorder's epoch.
@@ -190,20 +193,20 @@ impl TraceRecorder {
         // as completed.
         let engine_ns = engine_ns.max(1);
         let harden_ns = harden_ns.max(1);
-        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let n = self.next.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — ring cursor; slot exclusivity comes from the seqlock
         let slot = &self.slots[(n % self.slots.len() as u64) as usize];
         // Invalidate the slot while rewriting so a concurrent reader or
         // frontier watcher never mixes generations.
-        slot.seq.store(0, Ordering::Release);
-        slot.txn.store(txn.raw(), Ordering::Relaxed);
-        slot.lsn.store(lsn.offset(), Ordering::Relaxed);
-        slot.hardened_at_ns.store(self.now_ns(), Ordering::Relaxed);
-        slot.stage_ns[Stage::Engine as usize].store(engine_ns, Ordering::Relaxed);
-        slot.stage_ns[Stage::Harden as usize].store(harden_ns, Ordering::Relaxed);
+        slot.seq.store(0, Ordering::Release); // ordering: release — seqlock write-begin: readers must see the slot invalid before any torn payload
+        slot.txn.store(txn.raw(), Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.lsn.store(lsn.offset(), Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.hardened_at_ns.store(self.now_ns(), Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.stage_ns[Stage::Engine as usize].store(engine_ns, Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.stage_ns[Stage::Harden as usize].store(harden_ns, Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
         for async_stage in Stage::ASYNC {
-            slot.stage_ns[async_stage as usize].store(0, Ordering::Relaxed);
+            slot.stage_ns[async_stage as usize].store(0, Ordering::Relaxed); // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
         }
-        slot.seq.store(n + 1, Ordering::Release);
+        slot.seq.store(n + 1, Ordering::Release); // ordering: release — seqlock publish: payload stores must not sink below this
         self.stage_hist[Stage::Engine as usize].record(engine_ns / 1_000);
         self.stage_hist[Stage::Harden as usize].record(harden_ns / 1_000);
     }
@@ -220,20 +223,25 @@ impl TraceRecorder {
         let now = self.now_ns();
         let idx = stage as usize;
         for slot in self.slots.iter() {
-            let seq = slot.seq.load(Ordering::Acquire);
+            let seq = slot.seq.load(Ordering::Acquire); // ordering: acquire — seqlock read-begin: payload loads must not hoist above this
             if seq == 0 {
                 continue;
             }
+            // ordering: relaxed — payload read; validated by the seq re-check
             if slot.stage_ns[idx].load(Ordering::Relaxed) != 0 {
                 continue; // already completed
             }
+            // ordering: relaxed — payload read; validated by the seq re-check
             if slot.lsn.load(Ordering::Relaxed) > frontier.offset() {
                 continue; // frontier hasn't reached this commit yet
             }
+            // ordering: relaxed — payload read; validated by the seq re-check
             let elapsed = now.saturating_sub(slot.hardened_at_ns.load(Ordering::Relaxed)).max(1);
             // Only publish if the slot wasn't recycled underneath us.
+            // ordering: acquire — seqlock re-check: orders payload reads before
+            // validation
             if slot.seq.load(Ordering::Acquire) == seq {
-                slot.stage_ns[idx].store(elapsed, Ordering::Relaxed);
+                slot.stage_ns[idx].store(elapsed, Ordering::Relaxed); // ordering: relaxed — stage stamp; the next seqlock cycle publishes it
                 self.stage_hist[idx].record(elapsed / 1_000);
             }
         }
@@ -241,18 +249,21 @@ impl TraceRecorder {
 
     /// The retained traces, oldest first. Slots being rewritten mid-read
     /// are skipped (generation check), so the result is always consistent.
+    // soclint-allow: hot-path snapshot export for exporters and tests
     pub fn traces(&self) -> Vec<CommitTrace> {
         let mut out: Vec<(u64, CommitTrace)> = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
-            let seq = slot.seq.load(Ordering::Acquire);
+            let seq = slot.seq.load(Ordering::Acquire); // ordering: acquire — seqlock read-begin: payload loads must not hoist above this
             if seq == 0 {
                 continue;
             }
             let trace = CommitTrace {
-                txn: TxnId::new(slot.txn.load(Ordering::Relaxed)),
-                lsn: Lsn::new(slot.lsn.load(Ordering::Relaxed)),
-                stage_ns: std::array::from_fn(|i| slot.stage_ns[i].load(Ordering::Relaxed)),
+                txn: TxnId::new(slot.txn.load(Ordering::Relaxed)), // ordering: relaxed — payload read; validated by the seq re-check
+                lsn: Lsn::new(slot.lsn.load(Ordering::Relaxed)), // ordering: relaxed — payload read; validated by the seq re-check
+                stage_ns: std::array::from_fn(|i| slot.stage_ns[i].load(Ordering::Relaxed)), // ordering: relaxed — payload read; validated by the seq re-check
             };
+            // ordering: acquire — seqlock re-check: orders payload reads before
+            // validation
             if slot.seq.load(Ordering::Acquire) == seq {
                 out.push((seq, trace));
             }
@@ -262,6 +273,7 @@ impl TraceRecorder {
     }
 
     /// Retained traces that have completed every stage, oldest first.
+    // soclint-allow: hot-path snapshot export for exporters and tests
     pub fn completed_traces(&self) -> Vec<CommitTrace> {
         self.traces().into_iter().filter(CommitTrace::is_complete).collect()
     }
@@ -279,6 +291,7 @@ impl TraceRecorder {
 
     /// Retained traces whose total time exceeds `threshold_ns`, oldest
     /// first — the outlier query backing `socmon`'s slow-commit list.
+    // soclint-allow: hot-path snapshot export for exporters and tests
     pub fn outliers(&self, threshold_ns: u64) -> Vec<CommitTrace> {
         self.traces().into_iter().filter(|t| t.total_ns() > threshold_ns).collect()
     }
@@ -303,6 +316,7 @@ pub struct SpanGuard<'a> {
 
 impl<'a> SpanGuard<'a> {
     /// Start timing into `hist`.
+    // soclint-allow: hot-path a timing guard's contract is to read the clock; callers opt in per stage
     pub fn new(hist: &'a Histogram) -> SpanGuard<'a> {
         SpanGuard { hist, start: Instant::now() }
     }

@@ -1,0 +1,204 @@
+//! Concurrency invariants of the lock-free observability rings, written
+//! to run under Miri (`cargo +nightly miri test -p socrates-common
+//! --test ring_invariants`) as well as natively. Miri executes these
+//! with real threads and checks every atomic access against the memory
+//! model, so a missing fence or a torn seqlock read shows up as UB, not
+//! as a once-a-month flake.
+//!
+//! The payloads are self-checking: every recorded span/commit stores the
+//! same value in all of its cells, so any torn read (mixing two
+//! generations of one slot) breaks an equality the assertions check.
+
+use socrates_common::metrics::{Counter, Histogram};
+use socrates_common::obs::span::{HedgeOutcome, ReadTrace, ReadTraceRecorder, SLOW_OP_CAPACITY};
+use socrates_common::obs::trace::{Stage, TraceRecorder};
+use socrates_common::{Lsn, PageId, TxnId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Iteration scale: Miri is ~two orders of magnitude slower than native,
+/// so keep the schedules short there — the interleavings it explores are
+/// what matter, not the volume.
+const fn per_thread() -> u64 {
+    if cfg!(miri) {
+        12
+    } else {
+        200
+    }
+}
+
+const WRITERS: u64 = 4;
+
+/// A span whose cells all encode the same tag, so readers can detect
+/// generation mixing.
+fn tagged_span(tag: u64) -> ReadTrace {
+    ReadTrace {
+        page: PageId::new(tag),
+        min_lsn: Lsn::new(tag),
+        stage_ns: [tag; 6],
+        hedge: HedgeOutcome::None,
+        range_width: 1,
+        range_fallback: false,
+    }
+}
+
+/// Check one snapshot for generation mixing: every cell of every span
+/// must carry the span's own tag.
+fn assert_untorn(traces: &[ReadTrace]) {
+    for t in traces {
+        let tag = t.page.raw();
+        assert_eq!(t.min_lsn.offset(), tag, "page/lsn cells from different generations");
+        assert!(
+            t.stage_ns.iter().all(|&ns| ns == tag),
+            "stage cells from different generations: tag {tag}, stages {:?}",
+            t.stage_ns
+        );
+    }
+}
+
+#[test]
+fn span_ring_readers_never_observe_torn_slots() {
+    let rec = Arc::new(ReadTraceRecorder::new(8));
+    let done = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|s| {
+        for w in 0..WRITERS {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for i in 0..per_thread() {
+                    // Tags start at 1: a zero tag would be clamped to 1ns
+                    // by the recorder and break the equality check.
+                    rec.record(tagged_span(w * 1_000_000 + i + 1));
+                }
+            });
+        }
+        let reader_rec = Arc::clone(&rec);
+        let reader_done = Arc::clone(&done);
+        let reader = s.spawn(move || {
+            let mut snapshots = 0u64;
+            // Always snapshot at least once, even if the writers finish
+            // before this thread is first scheduled.
+            loop {
+                assert_untorn(&reader_rec.traces());
+                snapshots += 1;
+                if reader_done.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            snapshots
+        });
+        // Scope exit joins every thread, including the reader — so stop
+        // the reader once all writers have published their last span.
+        while rec.spans_recorded() < WRITERS * per_thread() {
+            thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+        assert!(reader.join().unwrap() > 0, "reader never snapshotted");
+    });
+
+    // Quiescent state: full ring, everything consistent and complete.
+    let traces = rec.traces();
+    assert_eq!(traces.len(), 8, "ring retains exactly its capacity once full");
+    assert_untorn(&traces);
+    assert!(traces.iter().all(ReadTrace::is_complete));
+    assert_eq!(rec.spans_recorded(), WRITERS * per_thread());
+    assert_eq!(rec.completed_traces().len(), traces.len());
+}
+
+#[test]
+fn slow_ring_keeps_the_exact_global_top_k() {
+    // Totals are distinct across all writers (w*per_thread + i + 1 in
+    // nanoseconds per stage), so the top-K retained set is unique and
+    // the admission-floor heuristic must converge on exactly it: the
+    // floor only ever rises to the smallest retained total, so it can
+    // admit a doomed span early but can never reject a top-K span.
+    let rec = Arc::new(ReadTraceRecorder::new(64));
+    thread::scope(|s| {
+        for w in 0..WRITERS {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for i in 0..per_thread() {
+                    rec.record(tagged_span(w * per_thread() + i + 1));
+                }
+            });
+        }
+    });
+    let total = WRITERS * per_thread();
+    let slow = rec.slow_ops();
+    assert_eq!(slow.len(), SLOW_OP_CAPACITY.min(total as usize));
+    // Slowest first, and exactly the top-K tags: total_ns = 6 * tag.
+    let expected: Vec<u64> = (0..slow.len() as u64).map(|k| (total - k) * 6).collect();
+    let got: Vec<u64> = slow.iter().map(ReadTrace::total_ns).collect();
+    assert_eq!(got, expected, "slow ring must retain exactly the global top-K");
+}
+
+#[test]
+fn commit_ring_frontier_completion_is_consistent() {
+    let rec = Arc::new(TraceRecorder::new(8));
+    let done = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|s| {
+        for w in 0..WRITERS {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for i in 0..per_thread() {
+                    let tag = w * 1_000_000 + i + 1;
+                    rec.record_commit(TxnId::new(tag), Lsn::new(tag), 10, 10);
+                }
+            });
+        }
+        // A frontier watcher racing the writers: completes async stages
+        // on whatever commits it catches; seqlock re-checks must keep it
+        // from stamping recycled slots.
+        let watcher_rec = Arc::clone(&rec);
+        let watcher_done = Arc::clone(&done);
+        let watcher = s.spawn(move || {
+            while !watcher_done.load(Ordering::Acquire) {
+                for stage in Stage::ASYNC {
+                    watcher_rec.note_frontier(stage, Lsn::new(u64::MAX / 2));
+                }
+                thread::yield_now();
+            }
+        });
+        while rec.commits_recorded() < WRITERS * per_thread() {
+            thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+        watcher.join().unwrap();
+    });
+
+    // Drain: one more frontier pass completes every retained trace.
+    for stage in Stage::ASYNC {
+        rec.note_frontier(stage, Lsn::new(u64::MAX / 2));
+    }
+    let traces = rec.traces();
+    assert_eq!(traces.len(), 8);
+    for t in &traces {
+        assert_eq!(t.txn.raw(), t.lsn.offset(), "txn/lsn cells from different generations");
+        assert!(t.is_complete(), "post-drain trace missing a stage: {t:?}");
+    }
+    assert_eq!(rec.commits_recorded(), WRITERS * per_thread());
+}
+
+#[test]
+fn counters_and_histograms_lose_no_updates_under_contention() {
+    let counter = Arc::new(Counter::default());
+    let hist = Arc::new(Histogram::new());
+    thread::scope(|s| {
+        for _ in 0..WRITERS {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            s.spawn(move || {
+                for i in 0..per_thread() {
+                    counter.incr();
+                    counter.add(2);
+                    hist.record(i);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), WRITERS * per_thread() * 3);
+    assert_eq!(hist.count(), WRITERS * per_thread());
+    assert_eq!(hist.snapshot().count, WRITERS * per_thread());
+}

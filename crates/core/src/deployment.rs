@@ -13,6 +13,7 @@ use crate::obs::{LagWatcher, SecondaryList};
 use crate::primary::Primary;
 use crate::secondary::Secondary;
 use parking_lot::RwLock;
+use socrates_common::lock_rank;
 use socrates_common::obs::{MetricsHub, ReadTraceRecorder, TraceRecorder};
 use socrates_common::{BlobId, Error, Lsn, PartitionId, Result};
 use socrates_engine::recovery::{analyze, find_last_checkpoint};
@@ -58,7 +59,11 @@ impl Socrates {
         let n_secondaries = config.secondaries;
         let fabric = Fabric::new(config)?;
         let primary = Primary::bootstrap(Arc::clone(&fabric))?;
-        let secondaries: SecondaryList = Arc::new(RwLock::new(Vec::new()));
+        let secondaries: SecondaryList = Arc::new(RwLock::with_rank(
+            Vec::new(),
+            lock_rank::CORE_DEPLOYMENT_SECONDARIES,
+            "deployment.secondaries",
+        ));
         let watcher = LagWatcher::start(
             Arc::clone(&fabric),
             Arc::clone(&secondaries),
@@ -66,7 +71,11 @@ impl Socrates {
         );
         let deployment = Socrates {
             fabric,
-            primary: RwLock::new(Some(primary)),
+            primary: RwLock::with_rank(
+                Some(primary),
+                lock_rank::CORE_DEPLOYMENT_PRIMARY,
+                "deployment.primary",
+            ),
             secondaries,
             next_secondary: AtomicU32::new(0),
             restore_nonce: AtomicU32::new(0),
@@ -127,11 +136,18 @@ impl Socrates {
     /// stateless.
     pub fn kill_primary(&self) {
         *self.primary.write() = None;
+        // A dead node must not keep reporting: free its metric names so
+        // the replacement primary's registrations are not dropped by the
+        // hub's keep-first duplicate rule.
+        self.fabric.unregister_primary_process_metrics();
     }
 
     /// Bring up a replacement primary (ADR analysis-only recovery). Any
     /// number of page servers keep serving throughout.
     pub fn failover(&self) -> Result<Arc<Primary>> {
+        // Idempotent with kill_primary's unregister; covers a failover
+        // issued while the old primary is still installed.
+        self.fabric.unregister_primary_process_metrics();
         let new_primary = Primary::recover(Arc::clone(&self.fabric))?;
         *self.primary.write() = Some(Arc::clone(&new_primary));
         Ok(new_primary)
@@ -140,7 +156,8 @@ impl Socrates {
     /// Add a read-only secondary (scale-out). O(1) in database size: the
     /// node starts with a cold cache and warms on demand.
     pub fn add_secondary(&self) -> Result<usize> {
-        let index = self.next_secondary.fetch_add(1, Ordering::SeqCst);
+        // ordering: relaxed — index uniqueness needs only RMW atomicity
+        let index = self.next_secondary.fetch_add(1, Ordering::Relaxed);
         let start = self.fabric.xlog.released_lsn();
         let sec = Secondary::launch(Arc::clone(&self.fabric), index, start)?;
         let mut secs = self.secondaries.write();
@@ -234,7 +251,8 @@ impl Socrates {
             )));
         }
         self.wait_destaged(target_lsn, Duration::from_secs(30))?;
-        let nonce = self.restore_nonce.fetch_add(1, Ordering::SeqCst);
+        // ordering: relaxed — nonce uniqueness needs only RMW atomicity
+        let nonce = self.restore_nonce.fetch_add(1, Ordering::Relaxed);
         let tag = format!("restore{nonce}");
 
         // The restored deployment: fresh LZ/XLOG starting at the target
@@ -307,7 +325,11 @@ impl Socrates {
             Primary::with_state(Arc::clone(&new_fabric), tm, analysis.next_page_id, target_lsn)?;
         new_fabric.last_checkpoint.store(target_lsn);
 
-        let secondaries: SecondaryList = Arc::new(RwLock::new(Vec::new()));
+        let secondaries: SecondaryList = Arc::new(RwLock::with_rank(
+            Vec::new(),
+            lock_rank::CORE_DEPLOYMENT_SECONDARIES,
+            "deployment.secondaries",
+        ));
         let watcher = LagWatcher::start(
             Arc::clone(&new_fabric),
             Arc::clone(&secondaries),
@@ -315,7 +337,11 @@ impl Socrates {
         );
         Ok(Socrates {
             fabric: new_fabric,
-            primary: RwLock::new(Some(primary)),
+            primary: RwLock::with_rank(
+                Some(primary),
+                lock_rank::CORE_DEPLOYMENT_PRIMARY,
+                "deployment.primary",
+            ),
             secondaries,
             next_secondary: AtomicU32::new(0),
             restore_nonce: AtomicU32::new(0),

@@ -10,6 +10,7 @@ use crate::config::SocratesConfig;
 use parking_lot::{Condvar, Mutex, RwLock};
 use socrates_common::fault::FaultRegistry;
 use socrates_common::latency::LatencyInjector;
+use socrates_common::lock_rank;
 use socrates_common::lsn::AtomicLsn;
 use socrates_common::metrics::{Counter, CpuAccountant, CpuRegistry};
 use socrates_common::obs::{MetricsHub, ReadStage, ReadTraceRecorder, Stage, TraceRecorder};
@@ -252,12 +253,27 @@ impl Fabric {
             trace,
             read_trace,
             faults,
-            partitions: RwLock::new(HashMap::new()),
-            partition_blobs: RwLock::new(HashMap::new()),
-            degraded_index: Mutex::new(None),
+            partitions: RwLock::with_rank(
+                HashMap::new(),
+                lock_rank::CORE_FABRIC_PARTITIONS,
+                "fabric.partitions",
+            ),
+            partition_blobs: RwLock::with_rank(
+                HashMap::new(),
+                lock_rank::CORE_FABRIC_PARTITION_BLOBS,
+                "fabric.partition_blobs",
+            ),
+            degraded_index: Mutex::with_rank(
+                None,
+                lock_rank::CORE_FABRIC_DEGRADED,
+                "fabric.degraded_index",
+            ),
             degraded_reads,
             next_ps_index: AtomicU32::new(0),
-            apply_signal: Arc::new(ApplySignal { lock: Mutex::new(()), cv: Condvar::new() }),
+            apply_signal: Arc::new(ApplySignal {
+                lock: Mutex::with_rank((), lock_rank::CORE_APPLY_SIGNAL, "fabric.apply_signal"),
+                cv: Condvar::new(),
+            }),
             last_checkpoint: AtomicLsn::new(start),
         }))
     }
@@ -304,7 +320,8 @@ impl Fabric {
         if let Some(h) = parts.get(&partition) {
             return Ok(Arc::clone(h));
         }
-        let idx = self.next_ps_index.fetch_add(1, Ordering::SeqCst);
+        // ordering: relaxed — index uniqueness needs only RMW atomicity
+        let idx = self.next_ps_index.fetch_add(1, Ordering::Relaxed);
         let name = format!("ps-{}-{idx}", partition.raw());
         let spec = self.partition_spec(partition);
         let ps = PageServer::create(
@@ -340,7 +357,8 @@ impl Fabric {
         let (data_blob, meta_blob) = existing.servers[0].blobs();
         // Replicas need a consistent XStore image to seed from.
         existing.servers[0].checkpoint()?;
-        let idx = self.next_ps_index.fetch_add(1, Ordering::SeqCst);
+        // ordering: relaxed — index uniqueness needs only RMW atomicity
+        let idx = self.next_ps_index.fetch_add(1, Ordering::Relaxed);
         let name = format!("ps-{}-{idx}", partition.raw());
         let ps = PageServer::attach(
             &name,
@@ -359,6 +377,12 @@ impl Fabric {
         let mut servers: Vec<(NodeId, Arc<PageServer>)> =
             existing.nodes.iter().copied().zip(existing.servers.iter().cloned()).collect();
         servers.push((NodeId::page_server(idx), ps));
+        // The carried-over nodes (and the partition's route telemetry) are
+        // about to re-register under the same names; free them first so
+        // the hub's keep-first rule doesn't pin the old route's counters.
+        for node in &existing.nodes {
+            self.hub.unregister_node(*node);
+        }
         let handle = self.wrap_servers(servers)?;
         self.partitions.write().insert(partition, handle);
         Ok(())
@@ -372,7 +396,8 @@ impl Fabric {
     ) -> Result<()> {
         let servers: Vec<(NodeId, Arc<PageServer>)> = servers
             .into_iter()
-            .map(|ps| (NodeId::page_server(self.next_ps_index.fetch_add(1, Ordering::SeqCst)), ps))
+            // ordering: relaxed — index uniqueness needs only RMW atomicity
+            .map(|ps| (NodeId::page_server(self.next_ps_index.fetch_add(1, Ordering::Relaxed)), ps))
             .collect();
         if let Some((_, first)) = servers.first() {
             let (data_blob, meta_blob) = first.blobs();
@@ -400,6 +425,20 @@ impl Fabric {
 
     /// Kill every server of a partition (availability experiments). The
     /// partition's data survives in XStore + log.
+    /// Free the primary *process*'s metric names after a crash or failover
+    /// so the successor's registrations are not dropped by the hub's
+    /// keep-first rule. Deployment-lifetime metrics exported under the
+    /// primary node id (commit/read stage histograms, the degraded-read
+    /// counter) are spared: their recorders live in the fabric and outlive
+    /// any one primary.
+    pub fn unregister_primary_process_metrics(&self) {
+        self.hub.unregister_where(NodeId::PRIMARY, |name| {
+            !(name.starts_with("commit_stage_")
+                || name.starts_with("read_stage_")
+                || name == "degraded_reads_total")
+        });
+    }
+
     pub fn kill_partition(&self, partition: PartitionId) -> Option<Arc<PartitionHandle>> {
         let removed = self.partitions.write().remove(&partition);
         if let Some(h) = &removed {
@@ -431,7 +470,8 @@ impl Fabric {
             .get(&partition)
             .copied()
             .ok_or_else(|| Error::NotFound(format!("{partition} has never run")))?;
-        let idx = self.next_ps_index.fetch_add(1, Ordering::SeqCst);
+        // ordering: relaxed — index uniqueness needs only RMW atomicity
+        let idx = self.next_ps_index.fetch_add(1, Ordering::Relaxed);
         let name = format!("ps-{}-{idx}", partition.raw());
         let ps = PageServer::attach(
             &name,

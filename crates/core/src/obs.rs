@@ -52,7 +52,8 @@ impl LagWatcher {
         let handle = std::thread::Builder::new()
             .name("lsn-lag-watcher".into())
             .spawn(move || {
-                while !stop2.load(Ordering::SeqCst) {
+                // ordering: relaxed — shutdown poll; one extra tick is harmless
+                while !stop2.load(Ordering::Relaxed) {
                     Self::sample(&fabric, &secondaries, &ps_lag, &sec_lag);
                     std::thread::sleep(interval);
                 }
@@ -61,7 +62,14 @@ impl LagWatcher {
                 Self::sample(&fabric, &secondaries, &ps_lag, &sec_lag);
             })
             .expect("spawn lsn-lag watcher");
-        LagWatcher { stop, handle: Mutex::new(Some(handle)) }
+        LagWatcher {
+            stop,
+            handle: Mutex::with_rank(
+                Some(handle),
+                socrates_common::lock_rank::CORE_LAG_WATCHER_HANDLE,
+                "obs.lag_watcher.handle",
+            ),
+        }
     }
 
     fn sample(fabric: &Fabric, secondaries: &SecondaryList, ps_lag: &Gauge, sec_lag: &Gauge) {
@@ -90,7 +98,8 @@ impl LagWatcher {
 
     /// Stop the watcher thread and join it (idempotent).
     pub fn stop(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the join below is the real sync point
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.lock().take() {
             let _ = h.join();
         }

@@ -164,7 +164,13 @@ impl Secondary {
         evicted.raise_floor(start_lsn);
         let applied = Arc::new(AtomicLsn::new(start_lsn));
         let metrics = Arc::new(SecondaryMetrics::default());
-        let pending = Arc::new(PendingFetches { map: Mutex::new(HashMap::new()) });
+        let pending = Arc::new(PendingFetches {
+            map: Mutex::with_rank(
+                HashMap::new(),
+                socrates_common::lock_rank::CORE_SECONDARY_PENDING,
+                "secondary.pending_fetches",
+            ),
+        });
 
         let rbpex = if config.rbpex_pages > 0 {
             let dev: Arc<dyn Fcb> = Arc::new(socrates_storage::fcb::LatencyFcb::new(
@@ -225,7 +231,11 @@ impl Secondary {
             metrics,
             cpu,
             stop: Arc::new(AtomicBool::new(false)),
-            apply_handle: Mutex::new(None),
+            apply_handle: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::CORE_SECONDARY_APPLY_HANDLE,
+                "secondary.apply_handle",
+            ),
         });
         sec.register_metrics();
         // Start applying *before* opening the catalog: the catalog fetch
@@ -311,7 +321,8 @@ impl Secondary {
     /// Stop the apply loop (failover promotion, scale-down) and retire
     /// this node's metrics from the hub.
     pub fn stop(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the join below is the real sync point
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.apply_handle.lock().take() {
             let _ = h.join();
         }
@@ -321,7 +332,8 @@ impl Secondary {
     fn apply_loop(self: Arc<Self>) {
         let name = format!("{}", self.node);
         self.fabric.xlog.register_consumer(&name, self.applied.load());
-        while !self.stop.load(Ordering::SeqCst) {
+        // ordering: relaxed — shutdown poll; a late observation costs one iteration
+        while !self.stop.load(Ordering::Relaxed) {
             match self.apply_once() {
                 Ok(0) => std::thread::sleep(Duration::from_millis(2)),
                 Ok(_) => {}
@@ -411,7 +423,8 @@ impl Secondary {
 
 impl Drop for Secondary {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the join below is the real sync point
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.apply_handle.lock().take() {
             let _ = h.join();
         }

@@ -151,7 +151,14 @@ impl BTree {
 
     /// Open an existing tree by root page id.
     pub fn open(root: PageId) -> BTree {
-        BTree { root, lock: std::sync::Arc::new(RwLock::new(())) }
+        BTree {
+            root,
+            lock: std::sync::Arc::new(RwLock::with_rank(
+                (),
+                socrates_common::lock_rank::ENGINE_BTREE,
+                "btree.lock",
+            )),
+        }
     }
 
     /// The root page id (stable for the tree's lifetime).

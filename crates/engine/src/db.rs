@@ -58,7 +58,16 @@ impl Database {
     /// share it.
     pub fn open(io: Arc<dyn PageMutator>, txns: Arc<TxnManager>) -> Result<Database> {
         let catalog = Catalog::load(&*io)?;
-        Ok(Database { io, txns, catalog: RwLock::new(catalog), vstore: VersionStore::new() })
+        Ok(Database {
+            io,
+            txns,
+            catalog: RwLock::with_rank(
+                catalog,
+                socrates_common::lock_rank::ENGINE_CATALOG,
+                "db.catalog",
+            ),
+            vstore: VersionStore::new(),
+        })
     }
 
     /// The transaction manager (shared with apply loops).

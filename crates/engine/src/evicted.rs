@@ -19,7 +19,13 @@ impl EvictedLsnMap {
     /// Create with `buckets` hash buckets (power of two recommended).
     pub fn new(buckets: usize) -> EvictedLsnMap {
         assert!(buckets > 0);
-        EvictedLsnMap { buckets: RwLock::new(vec![Lsn::ZERO; buckets]) }
+        EvictedLsnMap {
+            buckets: RwLock::with_rank(
+                vec![Lsn::ZERO; buckets],
+                socrates_common::lock_rank::ENGINE_EVICTED_BUCKETS,
+                "evicted.buckets",
+            ),
+        }
     }
 
     fn index(&self, id: PageId, n: usize) -> usize {

@@ -109,9 +109,21 @@ impl LoggedPageIo {
             evicted,
             data_hits: Counter::new(),
             data_misses: Counter::new(),
-            on_allocate: parking_lot::RwLock::new(None),
-            trace: parking_lot::RwLock::new(None),
-            txn_begun: Mutex::new(HashMap::new()),
+            on_allocate: parking_lot::RwLock::with_rank(
+                None,
+                socrates_common::lock_rank::ENGINE_IO_ON_ALLOCATE,
+                "io.on_allocate",
+            ),
+            trace: parking_lot::RwLock::with_rank(
+                None,
+                socrates_common::lock_rank::ENGINE_IO_TRACE,
+                "io.trace",
+            ),
+            txn_begun: Mutex::with_rank(
+                HashMap::new(),
+                socrates_common::lock_rank::ENGINE_IO_TXN_BEGUN,
+                "io.txn_begun",
+            ),
         }
     }
 
@@ -183,7 +195,9 @@ impl LoggedPageIo {
 
     /// Highest allocated page id + 1 (diagnostics, recovery).
     pub fn next_page_id(&self) -> u64 {
-        self.next_page.load(Ordering::SeqCst)
+        // ordering: relaxed — allocator watermark read for checkpoint metadata;
+        // the caller orders it against page writes via the engine locks
+        self.next_page.load(Ordering::Relaxed)
     }
 }
 
@@ -220,8 +234,13 @@ impl PageAccess for LoggedPageIo {
 
 impl PageMutator for LoggedPageIo {
     fn allocate(&self, txn: TxnId) -> Result<PageId> {
-        let id = PageId::new(self.next_page.fetch_add(1, Ordering::SeqCst));
-        if let Some(f) = self.on_allocate.read().as_ref() {
+        // ordering: relaxed — id uniqueness needs only RMW atomicity
+        let id = PageId::new(self.next_page.fetch_add(1, Ordering::Relaxed));
+        // Lock order: clone the hook out so the upcall into the deployment
+        // (which takes fabric locks, ranked *below* engine locks) runs
+        // without this guard held — holding it was a rank inversion.
+        let hook = self.on_allocate.read().clone();
+        if let Some(f) = hook {
             f(id);
         }
         self.pipeline
@@ -281,7 +300,9 @@ impl PageMutator for LoggedPageIo {
     }
 
     fn allocator_watermark(&self) -> u64 {
-        self.next_page.load(Ordering::SeqCst)
+        // ordering: relaxed — allocator watermark read for checkpoint metadata;
+        // the caller orders it against page writes via the engine locks
+        self.next_page.load(Ordering::Relaxed)
     }
 }
 
@@ -297,7 +318,11 @@ impl MemIo {
     /// Fresh store; page ids start at `first_page`.
     pub fn new(first_page: u64) -> MemIo {
         MemIo {
-            pages: Mutex::new(HashMap::new()),
+            pages: Mutex::with_rank(
+                HashMap::new(),
+                socrates_common::lock_rank::ENGINE_MEM_PAGES,
+                "io.mem_pages",
+            ),
             next_page: AtomicU64::new(first_page),
             next_lsn: AtomicU64::new(1),
         }
@@ -330,13 +355,15 @@ impl PageAccess for MemIo {
 
 impl PageMutator for MemIo {
     fn allocate(&self, _txn: TxnId) -> Result<PageId> {
-        let id = PageId::new(self.next_page.fetch_add(1, Ordering::SeqCst));
+        // ordering: relaxed — id uniqueness needs only RMW atomicity
+        let id = PageId::new(self.next_page.fetch_add(1, Ordering::Relaxed));
         self.install(Page::new(id, PageType::Free));
         Ok(id)
     }
 
     fn mutate(&self, _txn: TxnId, page: &mut Page, op: &PageOp) -> Result<Lsn> {
-        let lsn = Lsn::new(self.next_lsn.fetch_add(1, Ordering::SeqCst));
+        // ordering: relaxed — test-only LSN ticker; uniqueness needs only atomicity
+        let lsn = Lsn::new(self.next_lsn.fetch_add(1, Ordering::Relaxed));
         apply_page_op(page, op, lsn)?;
         // Keep the canonical copy in the map in sync: the caller holds a
         // write lock on the same Arc, so the map entry already reflects the

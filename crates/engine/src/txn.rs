@@ -130,9 +130,21 @@ impl TxnManager {
         TxnManager {
             next_txn: AtomicU64::new(1),
             clock: AtomicU64::new(1),
-            table: RwLock::new(HashMap::new()),
-            aborted_map: RwLock::new(HashSet::new()),
-            prepare_mutex: Mutex::new(()),
+            table: RwLock::with_rank(
+                HashMap::new(),
+                socrates_common::lock_rank::ENGINE_TXN_TABLE,
+                "txn.table",
+            ),
+            aborted_map: RwLock::with_rank(
+                HashSet::new(),
+                socrates_common::lock_rank::ENGINE_TXN_ABORTED,
+                "txn.aborted_map",
+            ),
+            prepare_mutex: Mutex::with_rank(
+                (),
+                socrates_common::lock_rank::ENGINE_TXN_PREPARE,
+                "txn.prepare_mutex",
+            ),
             prepare_cv: Condvar::new(),
         }
     }
@@ -144,20 +156,26 @@ impl TxnManager {
     /// base range in practice (primary ids are small).
     pub fn with_base(base: u64) -> TxnManager {
         let tm = TxnManager::new();
-        tm.next_txn.store(base.max(1), Ordering::SeqCst);
+        tm.next_txn.store(base.max(1), Ordering::Relaxed); // ordering: relaxed — construction; no other thread holds the manager yet
         tm
     }
 
     /// Begin a transaction: allocate an id and take a snapshot timestamp.
     pub fn begin(&self) -> (TxnId, u64) {
-        let id = TxnId::new(self.next_txn.fetch_add(1, Ordering::SeqCst));
+        // ordering: relaxed — id uniqueness needs only RMW atomicity, not ordering
+        let id = TxnId::new(self.next_txn.fetch_add(1, Ordering::Relaxed));
         self.table.write().insert(id, TxnStatus::InProgress);
+        // ordering: seqcst — the snapshot timestamp must sit in the commit clock's
+        // single total order, or a begin() could serve a pre-causal snapshot and
+        // break external consistency (read-your-writes across threads)
         let read_ts = self.clock.load(Ordering::SeqCst);
         (id, read_ts)
     }
 
     /// The current commit clock value.
     pub fn clock_now(&self) -> u64 {
+        // ordering: seqcst — same total-order argument as begin(): callers use
+        // this as a causally-consistent watermark, not a statistic
         self.clock.load(Ordering::SeqCst)
     }
 
@@ -196,6 +214,8 @@ impl TxnManager {
     /// Enter the prepare phase: allocate the commit timestamp and mark the
     /// transaction `Preparing`.
     pub fn start_commit(&self, txn: TxnId) -> Result<u64> {
+        // ordering: seqcst — commit timestamps form the serialization order every
+        // visibility check reasons about; keep the oracle sequentially consistent
         let cts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let mut t = self.table.write();
         match t.get(&txn) {
@@ -227,12 +247,16 @@ impl TxnManager {
     /// Apply a Begin record.
     pub fn apply_begin(&self, txn: TxnId) {
         self.table.write().entry(txn).or_insert(TxnStatus::InProgress);
-        self.next_txn.fetch_max(txn.raw() + 1, Ordering::SeqCst);
+        // ordering: relaxed — monotone allocator watermark; merged under the table lock
+        self.next_txn.fetch_max(txn.raw() + 1, Ordering::Relaxed);
     }
 
     /// Apply a Commit record (advances the clock watermark).
     pub fn apply_commit(&self, txn: TxnId, cts: u64) {
         self.table.write().insert(txn, TxnStatus::Committed(cts));
+        // ordering: seqcst — replayed commit timestamps join the same total order the
+        // live oracle maintains; a weaker merge could let clock_now run backwards
+        // relative to an observed commit
         self.clock.fetch_max(cts, Ordering::SeqCst);
         let _g = self.prepare_mutex.lock();
         self.prepare_cv.notify_all();
@@ -258,8 +282,8 @@ impl TxnManager {
         TxnCheckpointMeta {
             active,
             aborted,
-            next_txn_id: self.next_txn.load(Ordering::SeqCst),
-            commit_clock: self.clock.load(Ordering::SeqCst),
+            next_txn_id: self.next_txn.load(Ordering::Relaxed), // ordering: relaxed — checkpoint sample; exactness not required
+            commit_clock: self.clock.load(Ordering::SeqCst), // ordering: seqcst — checkpointed clock must not precede any committed cts
             next_page_id,
         }
     }
@@ -269,8 +293,8 @@ impl TxnManager {
     /// log tail then decides their fate, and [`TxnManager::finish_analysis`]
     /// aborts the survivors.
     pub fn restore_from_meta(&self, meta: &TxnCheckpointMeta) {
-        self.next_txn.store(meta.next_txn_id, Ordering::SeqCst);
-        self.clock.store(meta.commit_clock, Ordering::SeqCst);
+        self.next_txn.store(meta.next_txn_id, Ordering::Relaxed); // ordering: relaxed — recovery is single-threaded
+        self.clock.store(meta.commit_clock, Ordering::Relaxed); // ordering: relaxed — recovery is single-threaded
         let mut t = self.table.write();
         t.clear();
         for id in &meta.active {

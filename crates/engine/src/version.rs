@@ -126,7 +126,13 @@ impl Default for VersionStore {
 impl VersionStore {
     /// A fresh version store (no pages yet; they are allocated on demand).
     pub fn new() -> VersionStore {
-        VersionStore { current: Mutex::new(None) }
+        VersionStore {
+            current: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::ENGINE_VERSION_CURRENT,
+                "version.current",
+            ),
+        }
     }
 
     /// Append `version`, returning its stable pointer.

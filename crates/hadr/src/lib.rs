@@ -113,7 +113,13 @@ pub struct ReplicaStore {
 
 impl ReplicaStore {
     fn new() -> ReplicaStore {
-        ReplicaStore { pages: Mutex::new(HashMap::new()) }
+        ReplicaStore {
+            pages: Mutex::with_rank(
+                HashMap::new(),
+                socrates_common::lock_rank::HADR_REPLICA_PAGES,
+                "hadr.replica_pages",
+            ),
+        }
     }
 
     /// Number of pages (the full database).
@@ -180,7 +186,11 @@ impl HadrReplica {
             applied: AtomicLsn::new(Lsn::ZERO),
             tx,
             stop: Arc::new(AtomicBool::new(false)),
-            handle: Mutex::new(None),
+            handle: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::HADR_HANDLE,
+                "hadr.replica_handle",
+            ),
         });
         let me = Arc::clone(&replica);
         *replica.handle.lock() = Some(
@@ -188,7 +198,9 @@ impl HadrReplica {
                 .name(format!("hadr-replica-{index}"))
                 .spawn(move || {
                     while let Ok((block, ack)) = rx.recv() {
-                        if me.stop.load(Ordering::SeqCst) {
+                        // ordering: relaxed — shutdown poll; a late observation
+                        // ships at most one extra block
+                        if me.stop.load(Ordering::Relaxed) {
                             break;
                         }
                         let _ = me.apply_block(&block);
@@ -249,7 +261,8 @@ impl HadrReplica {
     }
 
     fn shutdown(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the join below is the real sync point
+        self.stop.store(true, Ordering::Relaxed);
     }
 }
 
@@ -376,10 +389,18 @@ impl Hadr {
                 config.seed ^ 2,
             ),
             throttle_bytes_per_us: config.backup_bandwidth_mb_s * 1e6 / 1e6, // MB/s == bytes/µs
-            retained: Mutex::new(Vec::new()),
+            retained: Mutex::with_rank(
+                Vec::new(),
+                socrates_common::lock_rank::HADR_RETAINED,
+                "hadr.retained",
+            ),
             metrics: Arc::clone(&metrics),
             primary_cpu: Arc::clone(&primary_cpu),
-            rng: Mutex::new(Rng::new(config.seed ^ 3)),
+            rng: Mutex::with_rank(
+                Rng::new(config.seed ^ 3),
+                socrates_common::lock_rank::HADR_RNG,
+                "hadr.rng",
+            ),
             latency_on,
         });
         let pipeline = Arc::new(LogPipeline::new(

@@ -1,0 +1,225 @@
+//! soclint — static analysis for the workspace's concurrency invariants.
+//!
+//! The repo carries four tiers of hand-rolled concurrency: ~200 atomic
+//! ordering sites, lock-free generation-counted rings in
+//! `common::obs::{trace,span}`, condvar handshakes in `core::fabric`, and
+//! chaos suites that race kill/restart against the commit path. The
+//! availability argument only holds if the orderings, lock-acquisition
+//! orders, and hot-path hygiene rules stay consistent — soclint is the
+//! gate that proves they do on every change.
+//!
+//! Rules (see [`report::Rule`]):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `ordering-comment` | every `Ordering::*` use carries an adjacent `// ordering:` justification |
+//! | `seqcst-default`   | `SeqCst` must be argued for explicitly, not defaulted to |
+//! | `lock-order`       | the cross-crate lock-acquisition graph is acyclic |
+//! | `hot-path`         | `soclint:hot` modules never panic, read the clock, or allocate |
+//! | `fault-site`       | fault sites are unique, listed in `sites::ALL`, declared before use |
+//! | `metric-name`      | registered metric names follow `tier.index.metric` |
+//! | `std-sync`         | locks come from the parking_lot shim (rank tracking) |
+//!
+//! Findings are suppressed with `// soclint-allow: <rule> <reason>` on
+//! the offending line, the line above, or a `fn` header (which extends
+//! the suppression over the whole function body). Suppressed findings
+//! still appear in the JSON artifact.
+
+pub mod lexer;
+pub mod locks;
+pub mod report;
+pub mod rules;
+
+use lexer::SourceFile;
+use report::{Finding, Report, Rule};
+use rules::{Allows, SiteCatalog};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// What to analyze.
+pub struct Config {
+    /// Workspace root (the directory holding the root `Cargo.toml`).
+    pub root: PathBuf,
+    /// Extra source roots to scan *instead of* the workspace defaults —
+    /// used by the self-test to point soclint at fixture crates.
+    pub scan_override: Option<Vec<PathBuf>>,
+}
+
+impl Config {
+    /// Analyze the workspace at `root`.
+    pub fn workspace(root: impl Into<PathBuf>) -> Config {
+        Config { root: root.into(), scan_override: None }
+    }
+}
+
+/// Run the analyzer.
+pub fn run(cfg: &Config) -> std::io::Result<Report> {
+    // Discover the .rs files to scan. Default: every workspace crate's
+    // src tree (crates/*, shims/*) plus the root package's src/.
+    // Integration tests and benches are deliberately out of scope — the
+    // invariants target production code — but tests/ is still read for
+    // fault-site *reference* collection so a site consulted only by the
+    // chaos suites does not read as dead.
+    let scan_roots: Vec<PathBuf> = match &cfg.scan_override {
+        Some(roots) => roots.clone(),
+        None => {
+            let mut roots = Vec::new();
+            for group in ["crates", "shims"] {
+                let dir = cfg.root.join(group);
+                if let Ok(entries) = std::fs::read_dir(&dir) {
+                    let mut members: Vec<PathBuf> =
+                        entries.filter_map(|e| e.ok()).map(|e| e.path().join("src")).collect();
+                    members.sort();
+                    roots.extend(members.into_iter().filter(|p| p.is_dir()));
+                }
+            }
+            let root_src = cfg.root.join("src");
+            if root_src.is_dir() {
+                roots.push(root_src);
+            }
+            roots
+        }
+    };
+
+    let mut files: Vec<SourceFile> = Vec::new();
+    for root in &scan_roots {
+        let mut paths = Vec::new();
+        collect_rs(root, &mut paths)?;
+        paths.sort();
+        for p in paths {
+            let rel = rel_path(&cfg.root, &p);
+            if rel.contains("/fixtures/") {
+                continue;
+            }
+            let crate_name = crate_of(&rel);
+            let text = std::fs::read_to_string(&p)?;
+            files.push(SourceFile::scan(rel, p, crate_name, &text));
+        }
+    }
+
+    // Reference-only pass over tests/ and examples/ for fault sites.
+    let mut site_refs: BTreeSet<String> = BTreeSet::new();
+    if cfg.scan_override.is_none() {
+        for extra in ["tests", "examples"] {
+            let dir = cfg.root.join(extra);
+            let mut paths = Vec::new();
+            if dir.is_dir() {
+                collect_rs(&dir, &mut paths)?;
+            }
+            for p in paths {
+                let rel = rel_path(&cfg.root, &p);
+                let text = std::fs::read_to_string(&p)?;
+                let f = SourceFile::scan(rel, p, "tests".into(), &text);
+                rules::collect_site_refs(&f, &mut site_refs);
+            }
+        }
+    }
+
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut catalog = SiteCatalog::default();
+    let mut all_edges: Vec<locks::Edge> = Vec::new();
+    let mut allow_index: Vec<(String, Allows)> = Vec::new();
+
+    for file in &files {
+        let allows = Allows::collect(file);
+        report.ordering_sites += rules::check_orderings(file, &allows, &mut report.findings);
+        rules::check_hot_path(file, &allows, &mut report.findings);
+        rules::check_std_sync(file, &allows, &mut report.findings);
+        rules::check_metric_names(file, &allows, &mut report.findings);
+        rules::parse_site_catalog(file, &allows, &mut catalog, &mut report.findings);
+        rules::collect_site_refs(file, &mut site_refs);
+        if !file.rel.starts_with("shims/") {
+            all_edges.extend(locks::extract_edges(file));
+        }
+        allow_index.push((file.rel.clone(), allows));
+    }
+    // Literal-site checks need the finished catalog.
+    for file in &files {
+        let allows = &allow_index.iter().find(|(r, _)| *r == file.rel).expect("indexed").1;
+        rules::check_site_literals(file, &catalog, allows, &mut report.findings);
+    }
+    rules::check_site_catalog(&catalog, &site_refs, &mut report.findings);
+
+    // Lock-order: cycles over the cross-crate acquisition graph. A cycle
+    // is suppressed when any of its edges carries an allow.
+    report.lock_edges = all_edges.len();
+    report.edges = all_edges
+        .iter()
+        .map(|e| {
+            format!(
+                "{} -> {} ({}:{} in {})",
+                e.outer.lock, e.inner.lock, e.file, e.inner.line, e.func
+            )
+        })
+        .collect();
+    for cycle in locks::find_cycles(&all_edges) {
+        let suppressed = cycle.edges.iter().any(|e| {
+            allow_index
+                .iter()
+                .find(|(r, _)| *r == e.file)
+                .is_some_and(|(_, a)| a.covers(Rule::LockOrder, e.inner.line))
+        });
+        let anchor = &cycle.edges[0];
+        let mut path = String::new();
+        for e in cycle.edges.iter().take(6) {
+            path.push_str(&format!(
+                " {} -> {} ({}:{} in {});",
+                e.outer.lock, e.inner.lock, e.file, e.inner.line, e.func
+            ));
+        }
+        report.findings.push(Finding {
+            rule: Rule::LockOrder,
+            file: anchor.file.clone(),
+            line: anchor.inner.line,
+            message: format!(
+                "potential deadlock: lock-acquisition cycle over {{{}}} —{}",
+                cycle.locks.join(", "),
+                path
+            ),
+            suppressed,
+        });
+    }
+
+    report.finalize();
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/")
+}
+
+/// The crate a workspace-relative path belongs to (`crates/foo/...` →
+/// `foo`), falling back to the first path segment.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") | Some("shims") => parts.next().unwrap_or("root").to_string(),
+        Some(first) => first.to_string(),
+        None => "root".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_paths() {
+        assert_eq!(crate_of("crates/common/src/fault.rs"), "common");
+        assert_eq!(crate_of("shims/parking_lot/src/lib.rs"), "parking_lot");
+        assert_eq!(crate_of("src/lib.rs"), "src");
+    }
+}

@@ -1,0 +1,419 @@
+//! Lock-acquisition-order analysis.
+//!
+//! Per function, the analyzer extracts every `*.lock()` / `*.read()` /
+//! `*.write()` call (empty argument list only, so `io::Read::read(&mut
+//! buf)` never matches), determines how long the returned guard plausibly
+//! lives, and records an edge `A → B` whenever lock `B` is acquired while
+//! a guard for lock `A` is still live. The union of those edges over
+//! every crate is the cross-crate acquisition graph; any non-trivial
+//! strongly connected component is a potential deadlock and is reported
+//! under the `lock-order` rule.
+//!
+//! Lock identity is lexical: a `self.field.lock()` receiver is keyed as
+//! `crate::ImplType.field`, any other receiver as `crate::name`. That is
+//! deliberately coarse — two locks that *could* be the same object must
+//! be assumed to be — so the graph over-approximates, never misses an
+//! edge it can see. Guard liveness is also over-approximated: `let`-bound
+//! guards live to the end of their block (or an explicit `drop(var)`),
+//! un-bound (temporary) guards to the end of their statement, and `match`
+//! scrutinee temporaries to the end of the match — mirroring the
+//! language's actual temporary-lifetime rules closely enough for a lint.
+
+use crate::lexer::{SourceFile, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lock-acquisition site.
+#[derive(Clone, Debug)]
+pub struct Acquire {
+    /// Canonical lock key (`crate::Type.field` or `crate::name`).
+    pub lock: String,
+    /// `lock`, `read`, or `write`.
+    pub method: String,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// One nesting edge: `inner` acquired while `outer` held.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// The already-held lock.
+    pub outer: Acquire,
+    /// The lock acquired under it.
+    pub inner: Acquire,
+    /// Workspace-relative file of the inner acquisition.
+    pub file: String,
+    /// Function containing the nesting.
+    pub func: String,
+}
+
+/// Extract nesting edges from one file. `tokens` must come from
+/// [`SourceFile::scan`]. Test regions are skipped.
+pub fn extract_edges(file: &SourceFile) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    let toks = &file.tokens;
+    struct Guard {
+        acq: Acquire,
+        /// Brace depth at acquisition; dies when depth drops below this.
+        depth: i32,
+        /// `let`-bound variable name, if any (killed by `drop(var)`).
+        var: Option<String>,
+        /// For temporaries: statement index bound — dies at the next `;`
+        /// at or below `depth` (or block end for `match` scrutinees,
+        /// handled via `depth` of the match block).
+        temp: bool,
+    }
+    let mut depth = 0i32;
+    let mut live: Vec<Guard> = Vec::new();
+    // Statement-start token index at the current depth, for `let` lookback.
+    let mut stmt_start = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if file.is_test.get(t.line - 1).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            "}" => {
+                depth -= 1;
+                // Block exit kills guards scoped inside it, and also ends
+                // the statement a temporary scrutinee guard belongs to
+                // (`if let`/`match` headers): a temp at the now-current
+                // depth dies with its attached block.
+                live.retain(|g| g.depth <= depth && !(g.temp && g.depth == depth));
+                stmt_start = i + 1;
+            }
+            ";" => {
+                live.retain(|g| !(g.temp && g.depth >= depth));
+                stmt_start = i + 1;
+            }
+            // `drop(var)` explicitly releases a bound guard.
+            "drop" if toks.get(i + 1).map(|t| t.text.as_str()) == Some("(") => {
+                if let Some(v) = toks.get(i + 2) {
+                    live.retain(|g| g.var.as_deref() != Some(v.text.as_str()));
+                }
+            }
+            "lock" | "read" | "write" => {
+                let is_call = i >= 1
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+                    && toks.get(i + 2).map(|t| t.text.as_str()) == Some(")");
+                if is_call {
+                    if let Some(lock) = receiver_key(file, toks, i - 1) {
+                        let acq = Acquire { lock, method: t.text.clone(), line: t.line };
+                        for g in &live {
+                            if g.acq.lock != acq.lock
+                                || !(g.acq.method == "read" && acq.method == "read")
+                            {
+                                edges.push(Edge {
+                                    outer: g.acq.clone(),
+                                    inner: acq.clone(),
+                                    file: file.rel.clone(),
+                                    func: file
+                                        .enclosing_fn(t.line)
+                                        .map(|f| f.name.clone())
+                                        .unwrap_or_else(|| "<top>".into()),
+                                });
+                            }
+                        }
+                        // Liveness classification from the statement shape.
+                        let stmt = &toks[stmt_start..=i];
+                        let let_var = stmt_let_binding(stmt);
+                        let bound = let_var.is_some();
+                        live.push(Guard { acq, depth, var: let_var, temp: !bound });
+                        i += 3; // skip `( )`
+                        continue;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    edges
+}
+
+/// Walk backwards from the `.` before the method to build the receiver
+/// key. Returns `None` for receivers that are clearly not lock fields
+/// (e.g. call results we cannot name).
+fn receiver_key(file: &SourceFile, toks: &[Token], dot_idx: usize) -> Option<String> {
+    // Collect `ident (. ident)*` right-to-left, allowing tuple indices.
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot_idx; // points at `.`
+    loop {
+        if j == 0 {
+            break;
+        }
+        let prev = &toks[j - 1];
+        if prev.text == ")" {
+            // `self.shard(i).lock()` — name the producing call instead.
+            let mut pdepth = 0i32;
+            let mut k = j - 1;
+            loop {
+                match toks[k].text.as_str() {
+                    ")" => pdepth += 1,
+                    "(" => {
+                        pdepth -= 1;
+                        if pdepth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if k == 0 {
+                    return None;
+                }
+                k -= 1;
+            }
+            if k >= 1 && ident_like(&toks[k - 1]) {
+                segs.push(toks[k - 1].text.clone());
+            }
+            break;
+        }
+        if !ident_like(prev) {
+            break;
+        }
+        segs.push(prev.text.clone());
+        if j >= 2 && toks[j - 2].text == "." {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    segs.reverse();
+    let last = segs.last()?.clone();
+    if last == "self" {
+        return None;
+    }
+    let key = if segs.first().map(String::as_str) == Some("self") {
+        let line = toks[dot_idx].line;
+        let ty = file
+            .enclosing_fn(line)
+            .and_then(|f| f.impl_type.clone())
+            .unwrap_or_else(|| "Self".into());
+        format!("{}::{}.{}", file.crate_name, ty, last)
+    } else {
+        format!("{}::{}", file.crate_name, last)
+    };
+    Some(key)
+}
+
+fn ident_like(t: &Token) -> bool {
+    t.text.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Find a `let [mut] name =` binding in a statement slice. `if let` /
+/// `while let` scrutinee guards are temporaries (dropped when the
+/// attached block ends), not bindings.
+fn stmt_let_binding(stmt: &[Token]) -> Option<String> {
+    let pos = stmt.iter().position(|t| t.text == "let")?;
+    if pos > 0 && matches!(stmt[pos - 1].text.as_str(), "if" | "while") {
+        return None;
+    }
+    let mut j = pos + 1;
+    while let Some(t) = stmt.get(j) {
+        match t.text.as_str() {
+            "mut" => j += 1,
+            s if ident_like(t) => return Some(s.to_string()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// A strongly connected component with more than one lock (or a self
+/// edge): a potential deadlock.
+#[derive(Clone, Debug)]
+pub struct Cycle {
+    /// The locks participating, sorted.
+    pub locks: Vec<String>,
+    /// One representative edge per ordered pair observed, for reporting
+    /// and suppression lookup.
+    pub edges: Vec<Edge>,
+}
+
+/// Build the cross-crate graph from `edges` and return its non-trivial
+/// SCCs (Tarjan) plus self-edges.
+pub fn find_cycles(edges: &[Edge]) -> Vec<Cycle> {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        nodes.insert(&e.outer.lock);
+        nodes.insert(&e.inner.lock);
+    }
+    let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let names: Vec<&str> = nodes.into_iter().collect();
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); names.len()];
+    for e in edges {
+        adj[index[e.outer.lock.as_str()]].insert(index[e.inner.lock.as_str()]);
+    }
+
+    // Iterative Tarjan.
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        idx: i64,
+        low: i64,
+        on_stack: bool,
+    }
+    let n = names.len();
+    let mut st = vec![NodeState { idx: -1, low: 0, on_stack: false }; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut counter = 0i64;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    for root in 0..n {
+        if st[root].idx != -1 {
+            continue;
+        }
+        // (node, iterator position)
+        let mut call: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        call.push((root, adj[root].iter().copied().collect(), 0));
+        st[root].idx = counter;
+        st[root].low = counter;
+        counter += 1;
+        st[root].on_stack = true;
+        stack.push(root);
+        while let Some((v, succs, pos)) = call.last_mut() {
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if st[w].idx == -1 {
+                    st[w].idx = counter;
+                    st[w].low = counter;
+                    counter += 1;
+                    st[w].on_stack = true;
+                    stack.push(w);
+                    call.push((w, adj[w].iter().copied().collect(), 0));
+                } else if st[w].on_stack {
+                    let v = *v;
+                    st[v].low = st[v].low.min(st[w].idx);
+                }
+            } else {
+                let v = *v;
+                call.pop();
+                if let Some((p, _, _)) = call.last() {
+                    let p = *p;
+                    st[p].low = st[p].low.min(st[v].low);
+                }
+                if st[v].low == st[v].idx {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        st[w].on_stack = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+
+    let mut cycles = Vec::new();
+    for comp in sccs {
+        let in_comp: BTreeSet<usize> = comp.iter().copied().collect();
+        let self_loop = comp.len() == 1 && adj[comp[0]].contains(&comp[0]);
+        if comp.len() < 2 && !self_loop {
+            continue;
+        }
+        let mut locks: Vec<String> = comp.iter().map(|&i| names[i].to_string()).collect();
+        locks.sort();
+        let comp_edges: Vec<Edge> = edges
+            .iter()
+            .filter(|e| {
+                in_comp.contains(&index[e.outer.lock.as_str()])
+                    && in_comp.contains(&index[e.inner.lock.as_str()])
+            })
+            .cloned()
+            .collect();
+        cycles.push(Cycle { locks, edges: comp_edges });
+    }
+    cycles.sort_by(|a, b| a.locks.cmp(&b.locks));
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+    use std::path::PathBuf;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan("t.rs".into(), PathBuf::from("t.rs"), "t".into(), src)
+    }
+
+    #[test]
+    fn nested_bound_guards_make_an_edge() {
+        let f = scan("impl S { fn f(&self) {\n let a = self.alpha.lock();\n let b = self.beta.lock();\n} }\n");
+        let e = extract_edges(&f);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].outer.lock, "t::S.alpha");
+        assert_eq!(e[0].inner.lock, "t::S.beta");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let f = scan(
+            "impl S { fn f(&self) {\n self.alpha.lock().touch();\n let b = self.beta.lock();\n} }\n",
+        );
+        assert!(extract_edges(&f).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_bound_guard() {
+        let f = scan(
+            "impl S { fn f(&self) {\n let a = self.alpha.lock();\n drop(a);\n let b = self.beta.lock();\n} }\n",
+        );
+        assert!(extract_edges(&f).is_empty());
+    }
+
+    #[test]
+    fn read_read_same_lock_is_not_an_edge_but_write_is() {
+        let f = scan(
+            "impl S { fn f(&self) {\n let a = self.m.read();\n let b = self.m.read();\n let c = self.m.write();\n} }\n",
+        );
+        let e = extract_edges(&f);
+        // read->write and read->write (from both reads); no read->read.
+        assert_eq!(e.len(), 2);
+        assert!(e.iter().all(|e| e.inner.method == "write"));
+    }
+
+    #[test]
+    fn match_scrutinee_guard_lives_through_the_match() {
+        let f = scan(
+            "impl S { fn f(&self) {\n match self.alpha.lock().kind {\n K::A => { let b = self.beta.lock(); }\n _ => {}\n }\n} }\n",
+        );
+        let e = extract_edges(&f);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].outer.lock, "t::S.alpha");
+    }
+
+    #[test]
+    fn cycle_detection_finds_ab_ba() {
+        let f1 = scan("impl S { fn f(&self) {\n let a = self.alpha.lock();\n let b = self.beta.lock();\n} }\n");
+        let f2 = scan("impl S { fn g(&self) {\n let b = self.beta.lock();\n let a = self.alpha.lock();\n} }\n");
+        let mut edges = extract_edges(&f1);
+        edges.extend(extract_edges(&f2));
+        let cycles = find_cycles(&edges);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].locks, vec!["t::S.alpha".to_string(), "t::S.beta".to_string()]);
+    }
+
+    #[test]
+    fn acyclic_graph_reports_nothing() {
+        let f = scan("impl S { fn f(&self) {\n let a = self.alpha.lock();\n let b = self.beta.lock();\n let c = self.gamma.lock();\n} }\n");
+        assert!(find_cycles(&extract_edges(&f)).is_empty());
+    }
+
+    #[test]
+    fn same_lock_nesting_is_a_self_cycle() {
+        let f =
+            scan("impl S { fn f(&self) {\n let a = self.m.lock();\n let b = self.m.lock();\n} }\n");
+        let cycles = find_cycles(&extract_edges(&f));
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].locks, vec!["t::S.m".to_string()]);
+    }
+}

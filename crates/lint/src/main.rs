@@ -1,0 +1,90 @@
+//! `soclint` — the workspace concurrency-invariant gate.
+//!
+//! ```text
+//! soclint [--root DIR] [--json PATH] [--quiet]
+//! ```
+//!
+//! Exits 0 when every finding is suppressed (or there are none), 1 when
+//! unsuppressed findings remain, 2 on usage/IO errors. `--json` writes
+//! the machine-readable report (the CI artifact) regardless of outcome.
+
+use socrates_lint::{run, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut edges = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = args.next().map(PathBuf::from),
+            "--quiet" | "-q" => quiet = true,
+            "--edges" => edges = true,
+            "--help" | "-h" => {
+                println!("usage: soclint [--root DIR] [--json PATH] [--edges] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("soclint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("soclint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run(&Config::workspace(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("soclint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("soclint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if edges {
+        for e in &report.edges {
+            println!("{e}");
+        }
+    }
+    if !quiet || report.unsuppressed_count() > 0 {
+        print!("{}", report.render_text());
+    }
+    if report.unsuppressed_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walk upward from the current directory to the first `Cargo.toml`
+/// declaring a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Findings, suppression accounting, and report rendering (text + JSON).
+
+use std::fmt;
+
+/// The rule catalog. Every finding carries one of these identifiers, and
+/// `// soclint-allow: <rule> <reason>` comments name them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// `Ordering::*` use without an adjacent `// ordering:` comment.
+    OrderingComment,
+    /// `Ordering::SeqCst` whose justification does not argue for SeqCst
+    /// specifically — the "I didn't think about it" default.
+    SeqCstDefault,
+    /// Cycle (or same-lock nesting) in the lock-acquisition graph.
+    LockOrder,
+    /// Panic/clock/allocation in a `soclint:hot`-marked module.
+    HotPath,
+    /// Fault-site catalog violation (undeclared, duplicate, or unlisted).
+    FaultSite,
+    /// Metric name violating the `tier.index.metric` convention.
+    MetricName,
+    /// `std::sync` lock primitive outside the parking_lot shim.
+    StdSync,
+}
+
+impl Rule {
+    /// Every rule, report order.
+    pub const ALL: [Rule; 7] = [
+        Rule::OrderingComment,
+        Rule::SeqCstDefault,
+        Rule::LockOrder,
+        Rule::HotPath,
+        Rule::FaultSite,
+        Rule::MetricName,
+        Rule::StdSync,
+    ];
+
+    /// Stable kebab-case identifier (used in reports and allow comments).
+    pub const fn id(self) -> &'static str {
+        match self {
+            Rule::OrderingComment => "ordering-comment",
+            Rule::SeqCstDefault => "seqcst-default",
+            Rule::LockOrder => "lock-order",
+            Rule::HotPath => "hot-path",
+            Rule::FaultSite => "fault-site",
+            Rule::MetricName => "metric-name",
+            Rule::StdSync => "std-sync",
+        }
+    }
+
+    /// Parse an identifier as written in an allow comment.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding at a source location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// Suppressed by a `// soclint-allow:` comment (still reported in the
+    /// JSON artifact, but does not fail the gate).
+    pub suppressed: bool,
+}
+
+/// The full analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed or not, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of `Ordering::` sites inspected (test code excluded).
+    pub ordering_sites: usize,
+    /// Number of lock-acquisition edges in the cross-crate graph.
+    pub lock_edges: usize,
+    /// Rendered acquisition edges (`outer -> inner (file:line in fn)`),
+    /// for `--edges` and the JSON artifact.
+    pub edges: Vec<String>,
+}
+
+impl Report {
+    /// Findings that fail the gate.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Number of gate-failing findings.
+    pub fn unsuppressed_count(&self) -> usize {
+        self.unsuppressed().count()
+    }
+
+    /// Sort findings into the stable report order.
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        });
+    }
+
+    /// Render the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let tag = if f.suppressed { " (suppressed)" } else { "" };
+            out.push_str(&format!(
+                "{}:{}: [{}]{} {}\n",
+                f.file,
+                f.line,
+                f.rule.id(),
+                tag,
+                f.message
+            ));
+        }
+        let suppressed = self.findings.len() - self.unsuppressed_count();
+        out.push_str(&format!(
+            "soclint: {} file(s), {} ordering site(s), {} lock edge(s); {} finding(s), {} suppressed, {} failing\n",
+            self.files_scanned,
+            self.ordering_sites,
+            self.lock_edges,
+            self.findings.len(),
+            suppressed,
+            self.unsuppressed_count()
+        ));
+        out
+    }
+
+    /// Render the machine-readable JSON artifact.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"ordering_sites\": {},\n", self.ordering_sites));
+        out.push_str(&format!("  \"lock_edges\": {},\n", self.lock_edges));
+        out.push_str(&format!("  \"failing\": {},\n", self.unsuppressed_count()));
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i + 1 == self.findings.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"suppressed\": {}, \"message\": \"{}\"}}{}\n",
+                f.rule.id(),
+                json_escape(&f.file),
+                f.line,
+                f.suppressed,
+                json_escape(&f.message),
+                sep
+            ));
+        }
+        out.push_str("  ],\n  \"lock_graph\": [\n");
+        for (i, e) in self.edges.iter().enumerate() {
+            let sep = if i + 1 == self.edges.len() { "" } else { "," };
+            out.push_str(&format!("    \"{}\"{}\n", json_escape(e), sep));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("nope"), None);
+    }
+
+    #[test]
+    fn report_counts_and_json() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: Rule::OrderingComment,
+            file: "b.rs".into(),
+            line: 2,
+            message: "msg \"quoted\"".into(),
+            suppressed: true,
+        });
+        r.findings.push(Finding {
+            rule: Rule::HotPath,
+            file: "a.rs".into(),
+            line: 1,
+            message: "m".into(),
+            suppressed: false,
+        });
+        r.finalize();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.unsuppressed_count(), 1);
+        let json = r.render_json();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"failing\": 1"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Hot-module fixture: marked `soclint:hot`, then panics anyway.
+
+#![doc = "soclint:hot"]
+
+use std::collections::HashMap;
+
+/// planted violation: `.unwrap()` can panic on the hot path.
+pub fn lookup(map: &HashMap<u64, u64>, key: u64) -> u64 {
+    *map.get(&key).unwrap()
+}

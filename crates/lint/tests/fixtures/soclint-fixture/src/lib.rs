@@ -1,0 +1,60 @@
+//! soclint self-test fixture.
+//!
+//! Each file in this crate plants exactly one rule violation; the
+//! selftest asserts soclint reports each of them and nothing else.
+//! This file plants four: a bare atomic ordering, a defaulted SeqCst,
+//! a `std::sync` lock, and a malformed metric name.
+
+pub mod hot;
+pub mod locks;
+pub mod sites_catalog;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters with deliberately sloppy ordering discipline.
+pub struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Counters {
+    pub fn new() -> Counters {
+        Counters { hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    pub fn hit(&self) {
+        // planted violation: no justification comment on this site.
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn miss(&self) {
+        // ordering: counter increment
+        self.misses.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters::new()
+    }
+}
+
+/// planted violation: a lock the rank tracker cannot see.
+pub fn guarded() -> Mutex<u64> {
+    Mutex::new(0)
+}
+
+/// A stand-in for the workspace metrics hub, so the fixture compiles
+/// without depending on it. soclint's metric-name rule is lexical and
+/// matches the `register_counter("...")` call shape below either way.
+pub struct Hub;
+
+impl Hub {
+    pub fn register_counter(&self, _name: &str, _value: u64) {}
+}
+
+pub fn export(hub: &Hub) {
+    // planted violation: uppercase segment in a registered metric name.
+    hub.register_counter("commit.Latency_MS", 0);
+}

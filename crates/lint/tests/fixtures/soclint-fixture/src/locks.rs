@@ -1,0 +1,42 @@
+//! Lock-order fixture: two paths acquire the same pair of locks in
+//! opposite orders — the classic AB/BA deadlock shape.
+
+use std::cell::{RefCell, RefMut};
+
+/// Minimal lock stand-in so the fixture compiles without the workspace
+/// shim; soclint's edge extraction is lexical and only sees `.lock()`.
+pub struct FixMutex<T>(RefCell<T>);
+
+impl<T> FixMutex<T> {
+    pub fn with(value: T) -> FixMutex<T> {
+        FixMutex(RefCell::new(value))
+    }
+
+    pub fn lock(&self) -> RefMut<'_, T> {
+        self.0.borrow_mut()
+    }
+}
+
+pub struct Pair {
+    alpha: FixMutex<u64>,
+    beta: FixMutex<u64>,
+}
+
+impl Pair {
+    pub fn with(a: u64, b: u64) -> Pair {
+        Pair { alpha: FixMutex::with(a), beta: FixMutex::with(b) }
+    }
+
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    /// planted violation: acquires beta before alpha, closing the cycle.
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *b - *a
+    }
+}

@@ -1,0 +1,17 @@
+//! Fault-site catalog fixture: two constants share one site string.
+
+pub mod sites {
+    /// The primary injection point.
+    pub const PRIMARY: &str = "fx.probe";
+    /// planted violation: duplicate of PRIMARY's site string.
+    pub const ECHO: &str = "fx.probe";
+
+    /// Catalog listing, mirroring `common::fault::sites::ALL`.
+    pub const ALL: &[&str] = &[PRIMARY, ECHO];
+}
+
+/// Both sites are "consulted" here so the declared-but-never-consulted
+/// check stays quiet; the duplicate string is the only planted finding.
+pub fn consult_all() -> (&'static str, &'static str) {
+    (sites::PRIMARY, sites::ECHO)
+}

@@ -1,0 +1,76 @@
+//! soclint self-test: run the analyzer over the planted-violation
+//! fixture crate and assert it finds exactly one violation per rule —
+//! and nothing else. This is the end-to-end guard that keeps the rules
+//! honest: a regression that stops a rule from firing shows up here as
+//! a missing finding, and an over-eager rule shows up as an extra one.
+
+use socrates_lint::report::Rule;
+use socrates_lint::{run, Config};
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/soclint-fixture")
+}
+
+fn fixture_report() -> socrates_lint::report::Report {
+    let root = fixture_root();
+    let cfg = Config { root: root.clone(), scan_override: Some(vec![root.join("src")]) };
+    run(&cfg).expect("fixture scan")
+}
+
+#[test]
+fn every_rule_fires_exactly_once_on_the_fixture() {
+    let report = fixture_report();
+    for rule in Rule::ALL {
+        let hits: Vec<_> = report.findings.iter().filter(|f| f.rule == rule).collect();
+        assert_eq!(
+            hits.len(),
+            1,
+            "rule {rule} should fire exactly once on the fixture, got {}: {:#?}",
+            hits.len(),
+            hits
+        );
+    }
+    assert_eq!(report.findings.len(), Rule::ALL.len(), "no findings beyond the planted ones");
+    assert_eq!(report.unsuppressed_count(), Rule::ALL.len(), "no plant is suppressed");
+}
+
+#[test]
+fn findings_land_on_the_planted_files() {
+    let report = fixture_report();
+    let file_of = |rule: Rule| -> &str {
+        &report.findings.iter().find(|f| f.rule == rule).expect("fires").file
+    };
+    assert_eq!(file_of(Rule::OrderingComment), "src/lib.rs");
+    assert_eq!(file_of(Rule::SeqCstDefault), "src/lib.rs");
+    assert_eq!(file_of(Rule::StdSync), "src/lib.rs");
+    assert_eq!(file_of(Rule::MetricName), "src/lib.rs");
+    assert_eq!(file_of(Rule::HotPath), "src/hot.rs");
+    assert_eq!(file_of(Rule::LockOrder), "src/locks.rs");
+    assert_eq!(file_of(Rule::FaultSite), "src/sites_catalog.rs");
+}
+
+#[test]
+fn fixture_scan_counts_are_stable() {
+    let report = fixture_report();
+    assert_eq!(report.files_scanned, 4);
+    assert_eq!(report.ordering_sites, 2, "the Relaxed and SeqCst plants");
+    assert_eq!(report.lock_edges, 2, "alpha->beta and beta->alpha");
+}
+
+#[test]
+fn scans_never_pick_up_fixture_files() {
+    // The real workspace run must never trip over the planted
+    // violations: any path containing /fixtures/ is dropped. Point a
+    // scan at the tests tree (which contains the fixture) and check
+    // nothing under fixtures/ survives the filter.
+    let crate_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let tests_dir = crate_root.join("tests");
+    let cfg = Config { root: crate_root, scan_override: Some(vec![tests_dir]) };
+    let report = run(&cfg).expect("tests tree scan");
+    assert!(
+        report.findings.iter().all(|f| !f.file.contains("fixtures")),
+        "fixture files leaked into a scan: {:#?}",
+        report.findings
+    );
+}

@@ -175,7 +175,7 @@ impl PageServer {
             name: name.to_string(),
             spec,
             config,
-            mem: Mutex::new(HashMap::new()),
+            mem: Mutex::with_rank(HashMap::new(), socrates_common::lock_rank::PS_MEM, "ps.mem"),
             rbpex,
             xstore,
             data_blob,
@@ -183,18 +183,46 @@ impl PageServer {
             xlog,
             applied: AtomicLsn::new(start_lsn),
             checkpointed: AtomicLsn::new(start_lsn),
-            dirty: Mutex::new(HashSet::new()),
-            checkpoint_lock: Mutex::new(()),
+            dirty: Mutex::with_rank(
+                HashSet::new(),
+                socrates_common::lock_rank::PS_DIRTY,
+                "ps.dirty",
+            ),
+            checkpoint_lock: Mutex::with_rank(
+                (),
+                socrates_common::lock_rank::PS_CHECKPOINT,
+                "ps.checkpoint_lock",
+            ),
             cpu,
             metrics: PageServerMetrics::default(),
-            apply_mutex: Mutex::new(()),
+            apply_mutex: Mutex::with_rank(
+                (),
+                socrates_common::lock_rank::PS_APPLY,
+                "ps.apply_mutex",
+            ),
             apply_cv: Condvar::new(),
-            apply_listener: Mutex::new(None),
+            apply_listener: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::PS_APPLY_LISTENER,
+                "ps.apply_listener",
+            ),
             stop: AtomicBool::new(false),
             seeded: AtomicBool::new(true),
-            apply_handle: Mutex::new(None),
-            ckpt_handle: Mutex::new(None),
-            seed_handle: Mutex::new(None),
+            apply_handle: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::PS_APPLY_HANDLE,
+                "ps.apply_handle",
+            ),
+            ckpt_handle: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::PS_CKPT_HANDLE,
+                "ps.ckpt_handle",
+            ),
+            seed_handle: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::PS_SEED_HANDLE,
+                "ps.seed_handle",
+            ),
         }))
     }
 
@@ -226,7 +254,7 @@ impl PageServer {
             name: name.to_string(),
             spec,
             config,
-            mem: Mutex::new(HashMap::new()),
+            mem: Mutex::with_rank(HashMap::new(), socrates_common::lock_rank::PS_MEM, "ps.mem"),
             rbpex,
             xstore,
             data_blob,
@@ -234,18 +262,46 @@ impl PageServer {
             xlog,
             applied: AtomicLsn::new(start_lsn),
             checkpointed: AtomicLsn::new(start_lsn),
-            dirty: Mutex::new(HashSet::new()),
-            checkpoint_lock: Mutex::new(()),
+            dirty: Mutex::with_rank(
+                HashSet::new(),
+                socrates_common::lock_rank::PS_DIRTY,
+                "ps.dirty",
+            ),
+            checkpoint_lock: Mutex::with_rank(
+                (),
+                socrates_common::lock_rank::PS_CHECKPOINT,
+                "ps.checkpoint_lock",
+            ),
             cpu,
             metrics: PageServerMetrics::default(),
-            apply_mutex: Mutex::new(()),
+            apply_mutex: Mutex::with_rank(
+                (),
+                socrates_common::lock_rank::PS_APPLY,
+                "ps.apply_mutex",
+            ),
             apply_cv: Condvar::new(),
-            apply_listener: Mutex::new(None),
+            apply_listener: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::PS_APPLY_LISTENER,
+                "ps.apply_listener",
+            ),
             stop: AtomicBool::new(false),
             seeded: AtomicBool::new(false),
-            apply_handle: Mutex::new(None),
-            ckpt_handle: Mutex::new(None),
-            seed_handle: Mutex::new(None),
+            apply_handle: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::PS_APPLY_HANDLE,
+                "ps.apply_handle",
+            ),
+            ckpt_handle: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::PS_CKPT_HANDLE,
+                "ps.ckpt_handle",
+            ),
+            seed_handle: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::PS_SEED_HANDLE,
+                "ps.seed_handle",
+            ),
         }))
     }
 
@@ -331,7 +387,9 @@ impl PageServer {
 
     /// Whether asynchronous seeding has completed.
     pub fn is_seeded(&self) -> bool {
-        self.seeded.load(Ordering::SeqCst)
+        // ordering: acquire — pairs with the release store in seed_loop so a
+        // true result also publishes the seeded pages
+        self.seeded.load(Ordering::Acquire)
     }
 
     /// The XStore blobs backing this partition (restore workflows).
@@ -369,7 +427,8 @@ impl PageServer {
 
     /// Stop background threads and join them.
     pub fn stop(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the joins below are the real sync point
+        self.stop.store(true, Ordering::Relaxed);
         for handle in [&self.apply_handle, &self.ckpt_handle, &self.seed_handle] {
             if let Some(h) = handle.lock().take() {
                 let _ = h.join();
@@ -380,7 +439,8 @@ impl PageServer {
     // ---- log apply ----
 
     fn apply_loop(self: Arc<Self>) {
-        while !self.stop.load(Ordering::SeqCst) {
+        // ordering: relaxed — shutdown poll; a late observation costs one iteration
+        while !self.stop.load(Ordering::Relaxed) {
             match self.apply_once() {
                 Ok(0) => std::thread::sleep(self.config.idle_sleep),
                 Ok(_) => {}
@@ -392,7 +452,8 @@ impl PageServer {
     /// The background checkpointer: runs on its own thread so slow XStore
     /// writes never stall log apply (which would stall GetPage@LSN).
     fn checkpoint_loop(self: Arc<Self>) {
-        while !self.stop.load(Ordering::SeqCst) {
+        // ordering: relaxed — shutdown poll; a late observation costs one iteration
+        while !self.stop.load(Ordering::Relaxed) {
             let dirty_count = self.dirty.lock().len();
             if dirty_count >= self.config.checkpoint_dirty_pages {
                 let _ = self.checkpoint(); // deferred on outage
@@ -699,7 +760,8 @@ impl PageServer {
 
     fn seed_loop(self: Arc<Self>) {
         for off in 0..self.spec.span {
-            if self.stop.load(Ordering::SeqCst) {
+            // ordering: relaxed — shutdown poll; a late observation costs one page
+            if self.stop.load(Ordering::Relaxed) {
                 return;
             }
             let page_id = PageId::new(self.spec.base_page + off);
@@ -720,7 +782,9 @@ impl PageServer {
                 }
             }
         }
-        self.seeded.store(true, Ordering::SeqCst);
+        // ordering: release — publishes every rbpex page stored above to readers
+        // that observe is_seeded() == true
+        self.seeded.store(true, Ordering::Release);
     }
 
     /// Drive seeding synchronously (deterministic tests).
@@ -731,7 +795,8 @@ impl PageServer {
 
 impl Drop for PageServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the joins below are the real sync point
+        self.stop.store(true, Ordering::Relaxed);
         for handle in [&self.apply_handle, &self.ckpt_handle, &self.seed_handle] {
             if let Some(h) = handle.lock().take() {
                 let _ = h.join();

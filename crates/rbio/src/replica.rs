@@ -107,7 +107,11 @@ impl ReplicaSet {
         let states = clients.iter().map(|_| ReplicaState { ewma_us: 0.0 }).collect();
         ReplicaSet {
             clients: clients.into_iter().map(Arc::new).collect(),
-            states: Mutex::new((states, Rng::new(seed))),
+            states: Mutex::with_rank(
+                (states, Rng::new(seed)),
+                socrates_common::lock_rank::RBIO_REPLICA_STATES,
+                "rbio.replica_states",
+            ),
             hedge,
             latency: Arc::new(Histogram::new()),
             hedges_fired: Arc::new(Counter::new()),

@@ -174,7 +174,10 @@ impl RbioServer {
                                 let _ = reply.send(Envelope::new(env.request_id, result));
                             }
                             Err(RecvTimeoutError::Timeout) => {
-                                if stopping.load(Ordering::SeqCst) {
+                                // ordering: relaxed — shutdown poll on the
+                                // delivery thread; a late observation only
+                                // delays teardown one message
+                                if stopping.load(Ordering::Relaxed) {
                                     return;
                                 }
                             }
@@ -193,7 +196,11 @@ impl RbioServer {
         RbioClient {
             tx: self.tx.clone(),
             latency: LatencyInjector::new(config.profile.clone(), config.mode, config.seed),
-            rng: Mutex::new(Rng::new(config.seed ^ 0x5EED)),
+            rng: Mutex::with_rank(
+                Rng::new(config.seed ^ 0x5EED),
+                socrates_common::lock_rank::RBIO_TRANSPORT_RNG,
+                "rbio.client_rng",
+            ),
             config,
             next_id: AtomicU64::new(1),
             metrics: RbioClientMetrics::default(),
@@ -203,7 +210,8 @@ impl RbioServer {
 
 impl Drop for RbioServer {
     fn drop(&mut self) {
-        self.stopping.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the thread joins below synchronize
+        self.stopping.store(true, Ordering::Relaxed);
         // Also drop our sender so workers exit immediately once the last
         // client is gone.
         let (dead_tx, _) = unbounded();
@@ -308,6 +316,7 @@ impl RbioClient {
     }
 
     fn try_once(&self, req: RbioRequest) -> Result<RbioResponse> {
+        // ordering: relaxed — request-id uniqueness needs only RMW atomicity
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let lsn = lsn_context(&req);
         if let Some(outcome) = self.config.faults.check_at(sites::RBIO_SEND, lsn) {
@@ -388,9 +397,12 @@ mod tests {
 
     impl RbioHandler for FlakyHandler {
         fn handle(&self, _req: RbioRequest) -> Result<RbioResponse> {
+            // ordering: seqcst — fault arming is a test control plane; the check
+            // must sit in the same total order as the arming store (load + store
+            // is race-benign here: tests arm before issuing traffic)
             let left = self.failures_left.load(Ordering::SeqCst);
             if left > 0 {
-                self.failures_left.store(left - 1, Ordering::SeqCst);
+                self.failures_left.store(left - 1, Ordering::SeqCst); // ordering: seqcst — see the load above
                 return Err(Error::Unavailable("warming up".into()));
             }
             Ok(RbioResponse::Pong)

@@ -18,6 +18,8 @@
 //! * **Hit-rate accounting** — Tables 3 and 4 of the paper report the
 //!   "local cache hit %", i.e. (memory + SSD hits) / all page reads.
 
+#![doc = "soclint:hot"]
+
 use crate::page::Page;
 use crate::rbpex::Rbpex;
 use crate::sched::{IoScheduler, IoSchedulerConfig, RangedPageSource};
@@ -167,6 +169,7 @@ pub struct TieredCache {
 impl TieredCache {
     /// Build a cache holding at most `mem_capacity` pages in memory, spilling
     /// to `rbpex` when present, missing to `source`.
+    // soclint-allow: hot-path one-time construction
     pub fn new(
         mem_capacity: usize,
         rbpex: Option<Arc<Rbpex>>,
@@ -177,14 +180,22 @@ impl TieredCache {
         assert!(mem_capacity > 0, "cache needs at least one frame");
         TieredCache {
             mem_capacity,
-            mem: Mutex::new(MemTier { map: HashMap::new(), clock: VecDeque::new() }),
+            mem: Mutex::with_rank(
+                MemTier { map: HashMap::new(), clock: VecDeque::new() },
+                socrates_common::lock_rank::STORAGE_CACHE_MEM,
+                "cache.mem",
+            ),
             rbpex,
             source,
             sched: None,
             wal_flush,
             on_evict,
             stats: CacheStats::default(),
-            read_trace: RwLock::new(None),
+            read_trace: RwLock::with_rank(
+                None,
+                socrates_common::lock_rank::STORAGE_CACHE_TRACE,
+                "cache.read_trace",
+            ),
             trace_on: AtomicBool::new(false),
         }
     }
@@ -243,6 +254,7 @@ impl TieredCache {
     /// (capacity 0) leaves the miss path untraced — no clock reads, no
     /// allocation — which is the `read_trace_capacity = 0` contract.
     pub fn set_read_trace(&self, recorder: Arc<ReadTraceRecorder>) {
+        // ordering: relaxed — sampling toggle; reads tolerate a stale value
         self.trace_on.store(recorder.is_enabled(), Ordering::Relaxed);
         *self.read_trace.write() = Some(recorder);
     }
@@ -326,12 +338,14 @@ impl TieredCache {
     /// When read tracing is on, every remote miss records a complete span
     /// (probe → queue → gather → network → serve → sink) into the node's
     /// [`ReadTraceRecorder`].
+    // soclint-allow: hot-path clock reads sit behind the trace_on sampling gate; untraced reads early-return without touching the clock
     pub fn get_traced(
         &self,
         id: PageId,
         min_lsn: impl FnOnce() -> Lsn,
     ) -> Result<(PageRef, CacheTier)> {
         let probe_t0 =
+            // ordering: relaxed — sampling toggle; worst case one unstamped span
             if self.trace_on.load(Ordering::Relaxed) { Some(Instant::now()) } else { None };
         if let Some(p) = self.mem_lookup(id) {
             self.stats.mem_hits.incr();
@@ -476,7 +490,7 @@ impl TieredCache {
                 mem.clock.push_back(id); // pinned
                 continue;
             }
-            let entry = mem.map.remove(&id).expect("checked above");
+            let Some(entry) = mem.map.remove(&id) else { continue };
             let page = entry.page.read().clone();
             let lsn = page.page_lsn();
             match &self.rbpex {

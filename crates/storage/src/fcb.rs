@@ -210,26 +210,34 @@ impl<F: Fcb> FaultFcb<F> {
 
     /// Make every operation fail with [`Error::Unavailable`] until restored.
     pub fn set_unavailable(&self, v: bool) {
+        // ordering: seqcst — fault controls are a test control plane: arming must
+        // be totally ordered with the I/O checks on every worker thread, or an
+        // injection can be missed and a chaos test turns nondeterministic
         self.unavailable.store(v, Ordering::SeqCst);
     }
 
     /// Fail the next `n` writes with [`Error::Io`].
     pub fn fail_next_writes(&self, n: u64) {
+        // ordering: seqcst — see set_unavailable: total order with worker checks
         self.fail_next_writes.store(n, Ordering::SeqCst);
     }
 
     /// Fail the next `n` reads with [`Error::Io`].
     pub fn fail_next_reads(&self, n: u64) {
+        // ordering: seqcst — see set_unavailable: total order with worker checks
         self.fail_next_reads.store(n, Ordering::SeqCst);
     }
 
     fn check(&self, armed: &AtomicU64, what: &str) -> Result<()> {
+        // ordering: seqcst — pairs with the seqcst arming stores above
         if self.unavailable.load(Ordering::SeqCst) {
             return Err(Error::Unavailable(format!("{}: device offline", self.inner.name())));
         }
         // Decrement-if-positive without underflow.
-        let mut cur = armed.load(Ordering::SeqCst);
+        let mut cur = armed.load(Ordering::SeqCst); // ordering: seqcst — same total order as the arming store
         while cur > 0 {
+            // ordering: seqcst — each armed failure fires exactly once, in the
+            // control plane's total order
             match armed.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => {
                     return Err(Error::Io(format!(
@@ -260,6 +268,7 @@ impl<F: Fcb> Fcb for FaultFcb<F> {
     }
 
     fn flush(&self) -> Result<()> {
+        // ordering: seqcst — pairs with the seqcst arming stores above
         if self.unavailable.load(Ordering::SeqCst) {
             return Err(Error::Unavailable(format!("{}: device offline", self.inner.name())));
         }

@@ -110,7 +110,7 @@ impl Rbpex {
             device: PageFile::new(device),
             meta,
             policy,
-            dir: Mutex::new(dir),
+            dir: Mutex::with_rank(dir, socrates_common::lock_rank::STORAGE_RBPEX_DIR, "rbpex.dir"),
             stats: RbpexStats::default(),
         };
         // Terminate any stale journal from a previous life of the device.
@@ -141,7 +141,7 @@ impl Rbpex {
             device: PageFile::new(device),
             meta,
             policy,
-            dir: Mutex::new(dir),
+            dir: Mutex::with_rank(dir, socrates_common::lock_rank::STORAGE_RBPEX_DIR, "rbpex.dir"),
             stats: RbpexStats::default(),
         };
         {

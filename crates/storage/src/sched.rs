@@ -235,10 +235,22 @@ impl IoScheduler {
         let shared = Arc::new(Shared {
             backend,
             cfg,
-            q: Mutex::new(Queue::default()),
+            q: Mutex::with_rank(
+                Queue::default(),
+                socrates_common::lock_rank::STORAGE_SCHED_QUEUE,
+                "sched.q",
+            ),
             q_cv: Condvar::new(),
-            inflight: Mutex::new(HashMap::new()),
-            sink: RwLock::new(None),
+            inflight: Mutex::with_rank(
+                HashMap::new(),
+                socrates_common::lock_rank::STORAGE_SCHED_INFLIGHT,
+                "sched.inflight",
+            ),
+            sink: RwLock::with_rank(
+                None,
+                socrates_common::lock_rank::STORAGE_SCHED_SINK,
+                "sched.sink",
+            ),
             stats: SchedStats::default(),
             stop: AtomicBool::new(false),
         });
@@ -252,7 +264,14 @@ impl IoScheduler {
                     .expect("spawn io scheduler worker"),
             );
         }
-        Arc::new(IoScheduler { shared, workers: Mutex::new(workers) })
+        Arc::new(IoScheduler {
+            shared,
+            workers: Mutex::with_rank(
+                workers,
+                socrates_common::lock_rank::STORAGE_SCHED_WORKERS,
+                "sched.workers",
+            ),
+        })
     }
 
     /// Wire the cache completed prefetches are installed into.
@@ -310,7 +329,9 @@ impl IoScheduler {
     pub fn fetch_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
         let s = &self.shared;
         s.stats.submitted.incr();
-        if s.stop.load(Ordering::SeqCst) {
+        // ordering: relaxed — stopped scheduler degrades to direct fetch; any
+        // interleaving with stop() is benign
+        if s.stop.load(Ordering::Relaxed) {
             return s.backend.fetch_page_traced(id, min_lsn);
         }
         let mut fl = s.inflight.lock();
@@ -321,6 +342,9 @@ impl IoScheduler {
                 // least as fresh as we need.
                 drop(fl);
                 s.stats.joined.incr();
+                // ordering: seqcst — the promotion must be totally ordered with
+                // complete_one's demand check on the worker: if the pair reordered,
+                // a promoted waiter could be treated as a prefetch and never woken
                 if !e.demand.swap(true, Ordering::SeqCst) {
                     // Promote a queued prefetch to demand priority.
                     let mut q = s.q.lock();
@@ -362,7 +386,8 @@ impl IoScheduler {
     /// dropped entirely when the queue is saturated.
     pub fn prefetch(&self, first: PageId, count: u32, min_lsn: Lsn) {
         let s = &self.shared;
-        if s.stop.load(Ordering::SeqCst) || count == 0 {
+        // ordering: relaxed — dropping a hint during shutdown is fine
+        if s.stop.load(Ordering::Relaxed) || count == 0 {
             return;
         }
         let mut added = false;
@@ -397,7 +422,9 @@ impl IoScheduler {
     /// Stop the workers (joined on drop). Outstanding demand waiters are
     /// failed with `Unavailable`.
     pub fn stop(&self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — workers re-check stop under the queue mutex after
+        // the wakeup below, which provides the happens-before
+        self.shared.stop.store(true, Ordering::Relaxed);
         self.shared.q_cv.notify_all();
         for h in self.workers.lock().drain(..) {
             let _ = h.join();
@@ -442,7 +469,8 @@ fn worker_loop(s: Arc<Shared>) {
 fn next_batch(s: &Shared) -> Option<Batch> {
     let mut q = s.q.lock();
     loop {
-        if s.stop.load(Ordering::SeqCst) {
+        // ordering: relaxed — checked under the queue mutex; the mutex orders it
+        if s.stop.load(Ordering::Relaxed) {
             return None;
         }
         let now = Instant::now();
@@ -583,6 +611,8 @@ fn execute(s: &Shared, batch: Batch) {
 fn complete_one(s: &Shared, id: PageId, res: Result<(Page, FetchMeta)>) {
     let entry = s.inflight.lock().remove(&id);
     let Some(entry) = entry else { return };
+    // ordering: seqcst — pairs with the seqcst demand promotion in fetch_traced;
+    // see the comment there
     if !entry.demand.load(Ordering::SeqCst) {
         // Pure prefetch: no waiter; land the page in the cache.
         if let Ok((page, _)) = &res {
@@ -631,7 +661,7 @@ mod tests {
 
     impl PageSource for TestSource {
         fn fetch_page(&self, id: PageId, _min_lsn: Lsn) -> Result<Page> {
-            self.single_calls.fetch_add(1, Ordering::SeqCst);
+            self.single_calls.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — test statistic
             std::thread::sleep(self.delay);
             self.pages.lock().get(&id).cloned().ok_or_else(|| Error::NotFound(format!("{id}")))
         }
@@ -639,8 +669,8 @@ mod tests {
 
     impl RangedPageSource for TestSource {
         fn fetch_page_range(&self, first: PageId, count: u32, _min_lsn: Lsn) -> Result<Vec<Page>> {
-            self.range_calls.fetch_add(1, Ordering::SeqCst);
-            self.range_pages.fetch_add(count as u64, Ordering::SeqCst);
+            self.range_calls.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — test statistic
+            self.range_pages.fetch_add(count as u64, Ordering::Relaxed); // ordering: relaxed — test statistic
             std::thread::sleep(self.delay);
             let pages = self.pages.lock();
             (first.raw()..first.raw() + count as u64)
@@ -685,7 +715,8 @@ mod tests {
                 assert_eq!(h.join().unwrap().body()[0], 1);
             }
         });
-        assert_eq!(src.single_calls.load(Ordering::SeqCst), 1, "exactly one backend call");
+        // ordering: relaxed — asserted after the fetches returned
+        assert_eq!(src.single_calls.load(Ordering::Relaxed), 1, "exactly one backend call");
         assert_eq!(s.stats().joined.get(), 7);
     }
 
@@ -706,7 +737,7 @@ mod tests {
             }
         });
         assert!(
-            src.range_calls.load(Ordering::SeqCst) >= 1,
+            src.range_calls.load(Ordering::Relaxed) >= 1, // ordering: relaxed — after completion
             "adjacent misses should produce a range call"
         );
         assert!(s.stats().coalesce_ratio() > 0.0);
@@ -724,7 +755,8 @@ mod tests {
         }
         assert_eq!(s.depth(), 0, "hints serviced");
         assert_eq!(s.stats().prefetch_hints.get(), 8);
-        assert!(src.range_calls.load(Ordering::SeqCst) >= 1, "hints coalesce into range reads");
+        // ordering: relaxed — asserted after the fetches returned
+        assert!(src.range_calls.load(Ordering::Relaxed) >= 1, "hints coalesce into range reads");
         // A later demand fetch for a hinted page joins/refetches cleanly.
         assert_eq!(s.fetch(PageId::new(12), Lsn::ZERO).unwrap().body()[0], 12);
     }
@@ -845,7 +877,8 @@ mod tests {
             scope.spawn(move || s2.fetch(PageId::new(3), Lsn::new(50)).unwrap());
         });
         assert_eq!(s.stats().joined.get(), 0);
-        assert_eq!(src.single_calls.load(Ordering::SeqCst), 2);
+        // ordering: relaxed — asserted after the fetches returned
+        assert_eq!(src.single_calls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

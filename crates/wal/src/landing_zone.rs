@@ -100,10 +100,22 @@ impl LandingZone {
         LandingZone {
             replicas,
             writers,
-            worker_handles: Mutex::new(handles),
+            worker_handles: Mutex::with_rank(
+                handles,
+                socrates_common::lock_rank::WAL_LZ_WORKERS,
+                "lz.worker_handles",
+            ),
             config,
-            state: Mutex::new(LzState { head: Lsn::ZERO, tail: Lsn::ZERO }),
-            faults: RwLock::new(FaultRegistry::disabled()),
+            state: Mutex::with_rank(
+                LzState { head: Lsn::ZERO, tail: Lsn::ZERO },
+                socrates_common::lock_rank::WAL_LZ_STATE,
+                "lz.state",
+            ),
+            faults: RwLock::with_rank(
+                FaultRegistry::disabled(),
+                socrates_common::lock_rank::WAL_LZ_FAULTS,
+                "lz.faults",
+            ),
         }
     }
 

@@ -118,17 +118,33 @@ impl LogPipeline {
         start: Lsn,
     ) -> LogPipeline {
         LogPipeline {
-            buf: Mutex::new(BufState {
-                builder: None,
-                sealed: VecDeque::new(),
-                next_block_start: start,
-            }),
-            unflushed: Mutex::new(VecDeque::new()),
-            flush_lock: Mutex::new(()),
-            wait_mutex: Mutex::new(()),
+            buf: Mutex::with_rank(
+                BufState { builder: None, sealed: VecDeque::new(), next_block_start: start },
+                socrates_common::lock_rank::WAL_BUF,
+                "wal.buf",
+            ),
+            unflushed: Mutex::with_rank(
+                VecDeque::new(),
+                socrates_common::lock_rank::WAL_UNFLUSHED,
+                "wal.unflushed",
+            ),
+            flush_lock: Mutex::with_rank(
+                (),
+                socrates_common::lock_rank::WAL_FLUSH_LOCK,
+                "wal.flush_lock",
+            ),
+            wait_mutex: Mutex::with_rank(
+                (),
+                socrates_common::lock_rank::WAL_WAIT,
+                "wal.wait_mutex",
+            ),
             wait_cv: Condvar::new(),
             sink,
-            disseminators: RwLock::new(Vec::new()),
+            disseminators: RwLock::with_rank(
+                Vec::new(),
+                socrates_common::lock_rank::WAL_DISSEMINATORS,
+                "wal.disseminators",
+            ),
             hardened: AtomicLsn::new(start),
             partition_of,
             config,

@@ -50,7 +50,9 @@ impl XLogFeed {
             std::thread::Builder::new()
                 .name("xlog-feed-pump".into())
                 .spawn(move || {
-                    while !stop.load(Ordering::SeqCst) {
+                    // ordering: relaxed — shutdown poll; the channel drain below
+                    // the loop delivers anything in flight
+                    while !stop.load(Ordering::Relaxed) {
                         if let Some(block) = rx.recv_timeout(Duration::from_millis(10)) {
                             if faults
                                 .check_at(sites::XLOG_FEED_POLL, Some(block.start_lsn()))
@@ -85,7 +87,8 @@ impl LogDisseminator for XLogFeed {
 
 impl Drop for XLogFeed {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the pump join is the real sync point
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.pump.take() {
             let _ = h.join();
         }

@@ -134,20 +134,32 @@ impl XLogService {
             lt_blob,
             lt_base: start,
             ssd_cache,
-            broker: Mutex::new(Broker {
-                seq: BTreeMap::new(),
-                seq_bytes: 0,
-                pending: BTreeMap::new(),
-                released_upto: start,
-                destage_queue: VecDeque::new(),
-            }),
+            broker: Mutex::with_rank(
+                Broker {
+                    seq: BTreeMap::new(),
+                    seq_bytes: 0,
+                    pending: BTreeMap::new(),
+                    released_upto: start,
+                    destage_queue: VecDeque::new(),
+                },
+                socrates_common::lock_rank::XLOG_BROKER,
+                "xlog.broker",
+            ),
             hardened: AtomicLsn::new(start),
             destaged: AtomicLsn::new(start),
-            leases: Mutex::new(HashMap::new()),
+            leases: Mutex::with_rank(
+                HashMap::new(),
+                socrates_common::lock_rank::XLOG_LEASES,
+                "xlog.leases",
+            ),
             config,
             metrics: XLogMetrics::default(),
             stop: AtomicBool::new(false),
-            destager: Mutex::new(None),
+            destager: Mutex::with_rank(
+                None,
+                socrates_common::lock_rank::XLOG_DESTAGER,
+                "xlog.destager",
+            ),
         }))
     }
 
@@ -159,7 +171,8 @@ impl XLogService {
         let handle = std::thread::Builder::new()
             .name("xlog-destager".into())
             .spawn(move || {
-                while !svc.stop.load(Ordering::SeqCst) {
+                // ordering: relaxed — shutdown poll; one extra destage pass is fine
+                while !svc.stop.load(Ordering::Relaxed) {
                     match svc.destage_once() {
                         Ok(0) => std::thread::sleep(svc.config.destage_idle),
                         Ok(_) => {}
@@ -179,7 +192,8 @@ impl XLogService {
 
     /// Stop the destaging thread (idempotent).
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the destager join is the real sync point
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.destager.lock().take() {
             let _ = h.join();
         }
@@ -544,7 +558,8 @@ impl XLogService {
 
 impl Drop for XLogService {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: relaxed — poll flag; the destager join is the real sync point
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.destager.lock().take() {
             let _ = h.join();
         }

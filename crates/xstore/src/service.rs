@@ -69,17 +69,21 @@ impl XStore {
     /// Create an empty store.
     pub fn new(config: XStoreConfig) -> XStore {
         XStore {
-            inner: RwLock::new(Inner {
-                blobs: HashMap::new(),
-                names: HashMap::new(),
-                snapshots: HashMap::new(),
-            }),
+            inner: RwLock::with_rank(
+                Inner { blobs: HashMap::new(), names: HashMap::new(), snapshots: HashMap::new() },
+                socrates_common::lock_rank::XSTORE_INNER,
+                "xstore.inner",
+            ),
             next_blob: AtomicU64::new(1),
             next_snapshot: AtomicU64::new(1),
             available: AtomicBool::new(true),
             latency: LatencyInjector::new(config.profile, config.mode, config.seed),
             metrics: XStoreMetrics::default(),
-            faults: RwLock::new(FaultRegistry::disabled()),
+            faults: RwLock::with_rank(
+                FaultRegistry::disabled(),
+                socrates_common::lock_rank::XSTORE_FAULTS,
+                "xstore.faults",
+            ),
         }
     }
 
@@ -112,12 +116,15 @@ impl XStore {
     /// [`Error::Unavailable`]; page servers must keep serving from RBPEX
     /// and catch checkpointing up later (paper §4.6).
     pub fn set_available(&self, v: bool) {
+        // ordering: seqcst — outage toggles are a test control plane: they must be
+        // totally ordered with every worker's availability check or a chaos test
+        // sees a nondeterministic outage window
         self.available.store(v, Ordering::SeqCst);
     }
 
     /// Whether the service is currently reachable.
     pub fn is_available(&self) -> bool {
-        self.available.load(Ordering::SeqCst)
+        self.available.load(Ordering::SeqCst) // ordering: seqcst — pairs with set_available's seqcst store
     }
 
     fn check_available(&self) -> Result<()> {
@@ -135,6 +142,7 @@ impl XStore {
         if inner.names.contains_key(name) {
             return Err(Error::InvalidArgument(format!("blob name '{name}' already exists")));
         }
+        // ordering: relaxed — id uniqueness needs only RMW atomicity
         let id = BlobId::new(self.next_blob.fetch_add(1, Ordering::Relaxed));
         inner.blobs.insert(id, Blob::new());
         inner.names.insert(name.to_string(), id);
@@ -235,6 +243,7 @@ impl XStore {
         self.check_available()?;
         let mut inner = self.inner.write();
         let blob = inner.blobs.get(&id).ok_or_else(|| Error::NotFound(format!("{id}")))?.clone();
+        // ordering: relaxed — id uniqueness needs only RMW atomicity
         let sid = SnapshotId(self.next_snapshot.fetch_add(1, Ordering::Relaxed));
         inner.snapshots.insert(sid, blob);
         self.metrics.snapshots_taken.incr();
@@ -251,6 +260,7 @@ impl XStore {
         if inner.names.contains_key(name) {
             return Err(Error::InvalidArgument(format!("blob name '{name}' already exists")));
         }
+        // ordering: relaxed — id uniqueness needs only RMW atomicity
         let id = BlobId::new(self.next_blob.fetch_add(1, Ordering::Relaxed));
         inner.blobs.insert(id, blob);
         inner.names.insert(name.to_string(), id);

@@ -152,6 +152,8 @@ pub mod channel {
             let inner = &*self.inner;
             let mut queue = inner.lock();
             loop {
+                // ordering: acquire — pairs with the AcqRel drop of the last
+                // receiver; senders must not observe 0 before its queue effects
                 if inner.receivers.load(Ordering::Acquire) == 0 {
                     return Err(SendError(msg));
                 }
@@ -181,6 +183,8 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            // ordering: acqrel — refcount; the last drop's release pairs with the
+            // acquire checks in recv paths
             self.inner.senders.fetch_add(1, Ordering::AcqRel);
             Sender { inner: Arc::clone(&self.inner) }
         }
@@ -188,6 +192,8 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
+            // ordering: acqrel — the final decrement releases all prior sends to
+            // whichever receiver observes disconnection
             if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last sender gone: wake blocked receivers so they observe
                 // disconnection.
@@ -214,6 +220,8 @@ pub mod channel {
                     inner.cond.notify_all();
                     return Ok(msg);
                 }
+                // ordering: acquire — pairs with the AcqRel drop of the last sender:
+                // observing 0 must also show every message they queued
                 if inner.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
@@ -233,6 +241,8 @@ pub mod channel {
                 inner.cond.notify_all();
                 return Ok(msg);
             }
+            // ordering: acquire — pairs with the AcqRel drop of the last sender:
+            // observing 0 must also show every message they queued
             if inner.senders.load(Ordering::Acquire) == 0 {
                 Err(TryRecvError::Disconnected)
             } else {
@@ -251,6 +261,8 @@ pub mod channel {
                     inner.cond.notify_all();
                     return Ok(msg);
                 }
+                // ordering: acquire — pairs with the AcqRel drop of the last sender:
+                // observing 0 must also show every message they queued
                 if inner.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvTimeoutError::Disconnected);
                 }
@@ -279,6 +291,7 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            // ordering: acqrel — refcount; see the senders counterpart above
             self.inner.receivers.fetch_add(1, Ordering::AcqRel);
             Receiver { inner: Arc::clone(&self.inner) }
         }
@@ -286,6 +299,8 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
+            // ordering: acqrel — the final decrement releases the drain to senders
+            // that observe disconnection
             if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last receiver gone: wake blocked senders so they observe
                 // disconnection.

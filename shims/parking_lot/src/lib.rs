@@ -6,33 +6,163 @@
 //! matters here: guards are returned directly (no `Result`), poisoning is
 //! transparently ignored (a panicking holder does not poison the lock for
 //! everyone else), and `Condvar::wait_for` takes the guard by `&mut`.
+//!
+//! On top of the parking_lot surface the shim adds **runtime lock-rank
+//! checking** (debug builds only — see [`lock_rank`]). Long-lived locks
+//! are constructed with [`Mutex::with_rank`] / [`RwLock::with_rank`];
+//! every blocking acquisition of a ranked lock panics unless its rank
+//! strictly exceeds every rank the thread already holds. This turns the
+//! static acquisition-order analysis done by `soclint` into an invariant
+//! the test suites exercise on every run: a new call path that nests
+//! locks against the documented order dies loudly in CI instead of
+//! deadlocking once in production. The rank table itself lives in
+//! `common::lock_rank` (the shim sits below `common` in the dependency
+//! graph and cannot name it).
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+/// Debug-only runtime lock-rank tracking.
+///
+/// Each thread keeps a stack of `(rank, name)` pairs for the ranked
+/// guards it currently holds. The rules:
+///
+/// - rank `0` means *unranked* (the default from `Mutex::new`): never
+///   tracked, never checked. Fine-grained per-object locks (per-page
+///   latches, per-entry states) stay unranked; ranking them would force
+///   a global order on objects that are never nested.
+/// - a **blocking** acquire (`lock`, `read`, `write`) of a ranked lock
+///   panics unless its rank is strictly greater than every rank held.
+/// - `try_lock` never panics on rank (it cannot deadlock — it fails
+///   instead of blocking) but still pushes, so locks acquired *after*
+///   it are checked against it.
+/// - `Condvar::wait`/`wait_for` pop the guard's rank for the duration
+///   of the wait (the mutex really is released) and re-push it on
+///   re-acquisition without re-checking.
+/// - guards may be dropped in any order; release removes the matching
+///   entry wherever it sits in the stack.
+///
+/// Release builds compile all of this away: the rank fields remain (so
+/// layouts match) but no thread-local is touched.
+pub mod lock_rank {
+    #[cfg(debug_assertions)]
+    use std::cell::RefCell;
+
+    #[cfg(debug_assertions)]
+    thread_local! {
+        static HELD: RefCell<Vec<(u32, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// The `(rank, name)` pairs this thread currently holds, acquisition
+    /// order. Always empty in release builds.
+    pub fn held() -> Vec<(u32, &'static str)> {
+        #[cfg(debug_assertions)]
+        {
+            HELD.with(|h| h.borrow().clone())
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Blocking-acquire path: panic on rank inversion, then push.
+    pub(crate) fn check_and_push(rank: u32, name: &'static str) {
+        if rank == 0 {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(&(top, top_name)) = h.iter().max_by_key(|&&(r, _)| r) {
+                if rank <= top {
+                    panic!(
+                        "lock-rank inversion: blocking acquire of `{name}` (rank {rank}) \
+                         while holding `{top_name}` (rank {top}); ranks must strictly \
+                         increase on nested acquisition — see common::lock_rank for the \
+                         workspace rank table"
+                    );
+                }
+            }
+            h.push((rank, name));
+        });
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = name;
+        }
+    }
+
+    /// Non-checking push (try_lock, condvar re-acquire).
+    pub(crate) fn push(rank: u32, name: &'static str) {
+        if rank == 0 {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        HELD.with(|h| h.borrow_mut().push((rank, name)));
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = name;
+        }
+    }
+
+    /// Remove the most recent matching entry (guards drop in any order).
+    pub(crate) fn release(rank: u32, name: &'static str) {
+        if rank == 0 {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(pos) = h.iter().rposition(|&(r, n)| r == rank && n == name) {
+                h.remove(pos);
+            }
+        });
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = name;
+        }
+    }
+}
+
 /// A mutual-exclusion lock. `lock()` returns the guard directly.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    rank: u32,
+    name: &'static str,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
 
 /// RAII guard for [`Mutex`]. The inner `Option` exists so
 /// [`Condvar::wait_for`] can move the std guard out and back in.
 pub struct MutexGuard<'a, T: ?Sized> {
+    rank: u32,
+    name: &'static str,
     inner: Option<std::sync::MutexGuard<'a, T>>,
-    // Condvar identity check (parking_lot panics on mixed-mutex waits;
-    // we simply don't check) — not needed, kept out.
 }
 
 impl<T> Mutex<T> {
-    /// Create a new mutex.
+    /// Create a new (unranked) mutex.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex { rank: 0, name: "", inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Create a mutex participating in [`lock_rank`] checking. `rank`
+    /// must come from the workspace rank table (`common::lock_rank`);
+    /// `name` is reported in inversion panics.
+    pub const fn with_rank(value: T, rank: u32, name: &'static str) -> Mutex<T> {
+        Mutex { rank, name, inner: std::sync::Mutex::new(value) }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -42,27 +172,30 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        let inner = match self.0.lock() {
+        lock_rank::check_and_push(self.rank, self.name);
+        let inner = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        MutexGuard { inner: Some(inner) }
+        MutexGuard { rank: self.rank, name: self.name, inner: Some(inner) }
     }
 
-    /// Try to acquire the lock without blocking.
+    /// Try to acquire the lock without blocking. Exempt from the rank
+    /// *check* (a failed try cannot deadlock) but the returned guard is
+    /// still tracked so later blocking acquires are checked against it.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { inner: Some(p.into_inner()) })
-            }
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        lock_rank::push(self.rank, self.name);
+        Some(MutexGuard { rank: self.rank, name: self.name, inner: Some(inner) })
     }
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -91,24 +224,54 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_rank::release(self.rank, self.name);
+    }
+}
+
 /// A reader-writer lock with parking_lot's panic-free guard API.
-#[derive(Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    rank: u32,
+    name: &'static str,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
 
 /// Shared-read guard for [`RwLock`].
-pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    rank: u32,
+    name: &'static str,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
 /// Exclusive-write guard for [`RwLock`].
-pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    rank: u32,
+    name: &'static str,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
-    /// Create a new reader-writer lock.
+    /// Create a new (unranked) reader-writer lock.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock { rank: 0, name: "", inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Create a reader-writer lock participating in [`lock_rank`]
+    /// checking; see [`Mutex::with_rank`].
+    pub const fn with_rank(value: T, rank: u32, name: &'static str) -> RwLock<T> {
+        RwLock { rank, name, inner: std::sync::RwLock::new(value) }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -118,23 +281,27 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.0.read() {
-            Ok(g) => RwLockReadGuard(g),
-            Err(p) => RwLockReadGuard(p.into_inner()),
-        }
+        lock_rank::check_and_push(self.rank, self.name);
+        let inner = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard { rank: self.rank, name: self.name, inner }
     }
 
     /// Acquire an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.0.write() {
-            Ok(g) => RwLockWriteGuard(g),
-            Err(p) => RwLockWriteGuard(p.into_inner()),
-        }
+        lock_rank::check_and_push(self.rank, self.name);
+        let inner = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard { rank: self.rank, name: self.name, inner }
     }
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -150,20 +317,32 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_rank::release(self.rank, self.name);
     }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_rank::release(self.rank, self.name);
     }
 }
 
@@ -202,10 +381,16 @@ impl Condvar {
     /// re-acquired before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let g = guard.inner.take().expect("guard holds the lock");
+        // The mutex really is released while we sleep: pop its rank so
+        // the thread's held-set reflects reality, and re-push (without
+        // re-checking — the nesting was validated at first acquire) once
+        // the wait hands the lock back.
+        lock_rank::release(guard.rank, guard.name);
         let g = match self.0.wait(g) {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
+        lock_rank::push(guard.rank, guard.name);
         guard.inner = Some(g);
     }
 
@@ -216,6 +401,8 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let g = guard.inner.take().expect("guard holds the lock");
+        // Same rank bookkeeping as `wait` above.
+        lock_rank::release(guard.rank, guard.name);
         let (g, res) = match self.0.wait_timeout(g, timeout) {
             Ok((g, res)) => (g, res),
             Err(p) => {
@@ -223,6 +410,7 @@ impl Condvar {
                 (g, res)
             }
         };
+        lock_rank::push(guard.rank, guard.name);
         guard.inner = Some(g);
         WaitTimeoutResult(res.timed_out())
     }
@@ -250,12 +438,16 @@ impl Once {
     pub fn call_once<F: FnOnce()>(&self, f: F) {
         self.inner.call_once(|| {
             f();
+            // ordering: Release publishes the init closure's writes to any
+            // thread whose `state_done` Acquire load sees `true`.
             self.done.store(true, Ordering::Release);
         });
     }
 
     /// Whether `call_once` has completed.
     pub fn state_done(&self) -> bool {
+        // ordering: Acquire pairs with the Release store in `call_once`,
+        // so done == true implies the initialized state is visible.
         self.done.load(Ordering::Acquire)
     }
 }
@@ -330,5 +522,83 @@ mod tests {
         .join();
         // parking_lot semantics: no poisoning, the value is still there.
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn rank_ordered_nesting_allowed_and_fully_released() {
+        let a = Mutex::with_rank(1u32, 100, "test.a");
+        let b = RwLock::with_rank(2u32, 200, "test.b");
+        {
+            let _ga = a.lock();
+            let _gb = b.read();
+            #[cfg(debug_assertions)]
+            assert_eq!(lock_rank::held(), vec![(100, "test.a"), (200, "test.b")]);
+        }
+        assert!(lock_rank::held().is_empty());
+    }
+
+    #[test]
+    fn rank_out_of_order_drop_releases_correct_entry() {
+        let a = Mutex::with_rank(1u32, 100, "test.a");
+        let b = Mutex::with_rank(2u32, 200, "test.b");
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // dropped out of acquisition order
+        #[cfg(debug_assertions)]
+        assert_eq!(lock_rank::held(), vec![(200, "test.b")]);
+        drop(gb);
+        assert!(lock_rank::held().is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-rank inversion")]
+    fn rank_inversion_panics() {
+        let hi = Mutex::with_rank(1u32, 200, "test.hi");
+        let lo = Mutex::with_rank(2u32, 100, "test.lo");
+        let _g_hi = hi.lock();
+        let _g_lo = lo.lock(); // 100 <= 200 while held → inversion
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-rank inversion")]
+    fn rank_equal_rank_nesting_panics() {
+        let a = RwLock::with_rank(1u32, 300, "test.same");
+        let _r1 = a.read();
+        let _r2 = a.read(); // same-rank re-entry: deadlock-prone under writer priority
+    }
+
+    #[test]
+    fn try_lock_is_exempt_from_rank_check_but_tracked() {
+        let hi = Mutex::with_rank(1u32, 200, "test.hi");
+        let lo = Mutex::with_rank(2u32, 100, "test.lo");
+        let _g_hi = hi.lock();
+        let g_lo = lo.try_lock().expect("uncontended"); // no panic: try_lock cannot deadlock
+        #[cfg(debug_assertions)]
+        assert_eq!(lock_rank::held(), vec![(200, "test.hi"), (100, "test.lo")]);
+        drop(g_lo);
+    }
+
+    #[test]
+    fn condvar_wait_pops_and_repushes_rank() {
+        let m = Arc::new(Mutex::with_rank(false, 150, "test.cv"));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = std::thread::spawn(move || {
+            // This thread's blocking acquire succeeds only because the
+            // waiter's rank entry is popped for the wait's duration.
+            *m2.lock() = true;
+            cv2.notify_all();
+        });
+        let mut g = m.lock();
+        while !*g {
+            cv.wait_for(&mut g, Duration::from_millis(50));
+        }
+        #[cfg(debug_assertions)]
+        assert_eq!(lock_rank::held(), vec![(150, "test.cv")]);
+        drop(g);
+        assert!(lock_rank::held().is_empty());
+        t.join().unwrap();
     }
 }
