@@ -2,21 +2,23 @@
 //!
 //! Runs the telemetry scenarios (cold-scan and steady-state read
 //! workloads), snapshots read/commit stage percentiles and every hub
-//! metric after each one, and writes the versioned `BENCH_PR3.json`
-//! document (schema: `socrates_bench::telemetry`). CI uploads the file
-//! as an artifact and re-invokes `benchrec --check` on it to assert the
-//! schema with the in-tree JSON parser.
+//! metric after each one, and writes the versioned `BENCH_PR6.json`
+//! document (schema: `socrates_bench::telemetry`) stamped with run
+//! provenance (git SHA, config fingerprint, host cores). CI uploads the
+//! file as an artifact and re-invokes `benchrec --check` on it to assert
+//! the schema with the in-tree JSON parser.
 //!
 //! ```text
-//! benchrec                        # full scenarios -> BENCH_PR3.json
+//! benchrec                        # full scenarios -> BENCH_PR6.json
 //! benchrec --quick                # CI-sized scenarios
 //! benchrec --out path/to.json     # alternate output path
-//! benchrec --check BENCH_PR3.json # parse + schema-validate an existing file
-//! benchrec --overhead             # tracing-on vs tracing-off A/B only
+//! benchrec --check BENCH_PR6.json # parse + schema-validate an existing file
+//! benchrec --overhead             # read-trace and span-ring on/off A/Bs
 //! ```
 
 use socrates_bench::telemetry::{
-    check_schema, cold_scan_scenario, steady_state_scenario, trace_overhead_ab, RunRecorder,
+    check_schema, cold_scan_scenario, span_overhead_ab, steady_state_scenario, trace_overhead_ab,
+    RunRecorder,
 };
 use socrates_bench::Effort;
 use socrates_common::obs::testjson;
@@ -33,7 +35,7 @@ fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().collect();
     let mut opts = Options {
         quick: false,
-        out: PathBuf::from("BENCH_PR3.json"),
+        out: PathBuf::from("BENCH_PR6.json"),
         check: None,
         overhead: false,
     };
@@ -85,6 +87,10 @@ fn main() {
     }
 
     let mut run = RunRecorder::new();
+    eprintln!(
+        "[meta: git {} config {} cores {}]",
+        run.meta.git_sha, run.meta.config_fingerprint, run.meta.host_cores
+    );
     for (name, f) in [
         ("cold_scan", cold_scan_scenario as fn(Effort) -> socrates_common::Result<_>),
         ("steady_state", steady_state_scenario),
@@ -141,7 +147,7 @@ fn run_overhead(effort: Effort) {
     match trace_overhead_ab(effort) {
         Ok(ab) => {
             println!(
-                "tracing on:  {:.3}s ({} spans)\ntracing off: {:.3}s ({} spans)\ndelta: {:+.1}%",
+                "read tracing on:  {:.3}s ({} spans)\nread tracing off: {:.3}s ({} spans)\ndelta: {:+.1}%",
                 ab.on_secs,
                 ab.on_spans,
                 ab.off_secs,
@@ -152,6 +158,25 @@ fn run_overhead(effort: Effort) {
                 die("tracing-off arm recorded spans; read_trace_capacity=0 must disable tracing");
             }
         }
-        Err(e) => die(&format!("overhead A/B failed: {e}")),
+        Err(e) => die(&format!("read-trace overhead A/B failed: {e}")),
+    }
+    match span_overhead_ab(effort) {
+        Ok(ab) => {
+            println!(
+                "span ring on:  {:.3}s ({} spans)\nspan ring off: {:.3}s ({} spans)\ndelta: {:+.1}%",
+                ab.on_secs,
+                ab.on_spans,
+                ab.off_secs,
+                ab.off_spans,
+                ab.delta_pct()
+            );
+            if ab.off_spans != 0 {
+                die("span-ring-off arm recorded spans; trace_sample=0 must disarm the ring");
+            }
+            if ab.on_spans == 0 {
+                die("span-ring-on arm recorded no spans; sampling every commit must record");
+            }
+        }
+        Err(e) => die(&format!("span-ring overhead A/B failed: {e}")),
     }
 }

@@ -14,24 +14,55 @@
 //! socmon --reads              # also fail over and cold-read the table,
 //!                             # then show the read-path span breakdown
 //!                             # and the slowest GetPage spans
+//! socmon --export-chrome [P]  # sample every commit/GetPage, write the
+//!                             # causal cross-tier spans as a Chrome
+//!                             # trace-event file (chrome://tracing)
+//! socmon --slo "SPEC"         # evaluate SLOs over the run's time-series
+//!                             # history; exit 3 if any is breaching
+//! socmon --watch N            # N live refreshes of the history view
+//! socmon --plain              # line-oriented output (no headers/ANSI);
+//!                             # auto-selected when stdout is not a TTY
 //! ```
 
 use socrates::{Socrates, SocratesConfig};
-use socrates_common::obs::{json_snapshot, json_trace_summary, prometheus_text, ReadStage, Stage};
+use socrates_common::obs::{
+    chrome_trace_json, json_snapshot, json_trace_summary, prometheus_text, ReadStage, Stage,
+};
 use socrates_engine::value::{ColumnType, Schema};
 use socrates_engine::Value;
+use std::io::IsTerminal;
 use std::time::Duration;
+
+/// Exit code when any SLO is breaching at the end of the run.
+const EXIT_SLO_BREACH: i32 = 3;
 
 struct Options {
     format: String,
     commits: u64,
     secondaries: usize,
     reads: bool,
+    /// Chrome trace-event output path (`--export-chrome`).
+    chrome: Option<String>,
+    /// SLO spec string (`--slo`); empty means no SLO evaluation.
+    slo: String,
+    /// Live-view refresh count (`--watch`).
+    watch: u64,
+    /// Line-oriented output, stable for scripts.
+    plain: bool,
 }
 
 fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().collect();
-    let mut opts = Options { format: "table".into(), commits: 200, secondaries: 1, reads: false };
+    let mut opts = Options {
+        format: "table".into(),
+        commits: 200,
+        secondaries: 1,
+        reads: false,
+        chrome: None,
+        slo: String::new(),
+        watch: 0,
+        plain: !std::io::stdout().is_terminal(),
+    };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,9 +81,35 @@ fn parse_args() -> Options {
             "--reads" | "-r" => {
                 opts.reads = true;
             }
+            "--export-chrome" => {
+                // Optional path operand; defaults next to the cwd.
+                match args.get(i + 1) {
+                    Some(p) if !p.starts_with('-') => {
+                        opts.chrome = Some(p.clone());
+                        i += 1;
+                    }
+                    _ => opts.chrome = Some("chrome-trace.json".into()),
+                }
+            }
+            "--slo" => {
+                i += 1;
+                match args.get(i) {
+                    Some(spec) => opts.slo = spec.clone(),
+                    None => {
+                        eprintln!("socmon: --slo requires a spec string");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--watch" | "-w" => {
+                i += 1;
+                opts.watch = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(5);
+            }
+            "--plain" => opts.plain = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: socmon [--format table|prom|json] [--commits N] [--secondaries N] [--reads]"
+                    "usage: socmon [--format table|prom|json] [--commits N] [--secondaries N] \
+                     [--reads] [--export-chrome [PATH]] [--slo SPEC] [--watch N] [--plain]"
                 );
                 std::process::exit(0);
             }
@@ -80,6 +137,10 @@ fn main() {
         }
     };
 
+    if opts.watch > 0 {
+        watch(&sys, &opts);
+    }
+
     match opts.format.as_str() {
         "prom" => print!("{}", prometheus_text(&sys.hub().snapshot())),
         "json" => {
@@ -90,6 +151,7 @@ fn main() {
             let trace = json_trace_summary(sys.trace());
             println!("{},\"trace\":{}}}", &metrics[..metrics.len() - 1], trace);
         }
+        _ if opts.plain => render_plain(&sys),
         _ => {
             render_table(&sys);
             if opts.reads {
@@ -97,7 +159,21 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = &opts.chrome {
+        if let Err(e) = export_chrome(&sys, path) {
+            eprintln!("socmon: chrome export failed: {e}");
+            sys.shutdown();
+            std::process::exit(1);
+        }
+    }
+
+    let mut exit = 0;
+    if !opts.slo.is_empty() && render_slo(&sys) {
+        exit = EXIT_SLO_BREACH;
+    }
     sys.shutdown();
+    std::process::exit(exit);
 }
 
 /// Launch, create a table, push `commits` single-row transactions through
@@ -105,6 +181,18 @@ fn main() {
 fn run_workload(opts: &Options) -> socrates_common::Result<Socrates> {
     let mut config = SocratesConfig::fast_test();
     config.secondaries = opts.secondaries;
+    if opts.chrome.is_some() {
+        // Sample every commit/GetPage so even a tiny workload yields a
+        // renderable flamegraph.
+        config.trace_sample = 1;
+    }
+    if !opts.slo.is_empty() || opts.watch > 0 {
+        config.hub_history_capacity = 1024;
+        config.hub_history_interval = Duration::from_millis(10);
+    }
+    if !opts.slo.is_empty() {
+        config.slo_spec = opts.slo.clone();
+    }
     let sys = Socrates::launch(config)?;
     {
         let primary = sys.primary()?;
@@ -150,6 +238,71 @@ fn run_workload(opts: &Options) -> socrates_common::Result<Socrates> {
     Ok(sys)
 }
 
+/// Write the sampled causal spans as a Chrome trace-event file and report
+/// what landed in it (span count, distinct traces, distinct tiers).
+fn export_chrome(sys: &Socrates, path: &str) -> std::io::Result<()> {
+    let spans = sys.fabric().spans.spans();
+    let json = chrome_trace_json(&spans);
+    std::fs::write(path, &json)?;
+    let mut traces: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+    traces.sort_unstable();
+    traces.dedup();
+    let mut tiers: Vec<&str> = spans.iter().map(|s| s.node.kind.tier_name()).collect();
+    tiers.sort_unstable();
+    tiers.dedup();
+    eprintln!(
+        "wrote {path}: {} spans, {} traces, {} tiers ({})",
+        spans.len(),
+        traces.len(),
+        tiers.len(),
+        tiers.join(",")
+    );
+    Ok(())
+}
+
+/// Print SLO status lines; returns true when any objective is breaching.
+fn render_slo(sys: &Socrates) -> bool {
+    let statuses = sys.fabric().slo_statuses();
+    if statuses.is_empty() {
+        println!("slo: no objectives configured");
+        return false;
+    }
+    let mut breaching = false;
+    println!("\n== slo ==");
+    for status in &statuses {
+        println!("{}", status.render());
+        breaching |= status.breaching;
+    }
+    breaching
+}
+
+/// The `--watch` live view: `n` refreshes of the time-series history at
+/// the watcher cadence. In TTY mode each frame repaints the screen; in
+/// plain mode frames append as stable `watch.*` lines.
+fn watch(sys: &Socrates, opts: &Options) {
+    let fabric = sys.fabric();
+    let window = Duration::from_secs(1);
+    for frame in 0..opts.watch {
+        if !opts.plain {
+            // ANSI clear + home; only ever emitted on a real terminal.
+            print!("\x1b[2J\x1b[H");
+        }
+        let ticks = fabric.history.len();
+        let rate = fabric
+            .history
+            .rate(socrates_common::NodeId::PRIMARY, "log_bytes_appended", window)
+            .unwrap_or(0.0);
+        println!(
+            "watch.frame {frame} ticks {ticks} log_bytes_per_sec {rate:.0} spans {}",
+            fabric.spans.spans_recorded()
+        );
+        for status in fabric.slo_statuses() {
+            println!("{}", status.render());
+        }
+        std::thread::sleep(fabric.config.watcher_interval.max(Duration::from_millis(10)));
+    }
+}
+
 /// The `--reads` view: per-stage GetPage latency attribution plus the
 /// slow-op ring (the postmortem query surface).
 fn render_reads(sys: &Socrates) {
@@ -191,6 +344,37 @@ fn render_reads(sys: &Socrates) {
             t.hedge.name(),
             if t.range_fallback { "yes" } else { "no" },
         );
+    }
+}
+
+/// Plain mode: one `key value` line per datum, no headers, no alignment,
+/// no ANSI — stable output for pipes, greps, and CI logs.
+fn render_plain(sys: &Socrates) {
+    let trace = sys.trace();
+    for stage in Stage::ALL {
+        let s = trace.stage_snapshot(stage);
+        let name = stage.name();
+        println!("commit_stage.{name}.count {}", s.count);
+        println!("commit_stage.{name}.mean_us {:.1}", s.mean_us);
+        println!("commit_stage.{name}.p50_us {}", s.p50_us);
+        println!("commit_stage.{name}.p99_us {}", s.p99_us);
+    }
+    println!("commits_traced {}", trace.commits_recorded());
+    for sample in &sys.hub().snapshot().samples {
+        match &sample.value {
+            socrates_common::obs::MetricValue::Counter(v) => {
+                println!("metric.{}.{} {v}", sample.node, sample.name);
+            }
+            socrates_common::obs::MetricValue::Gauge(v) => {
+                println!("metric.{}.{} {v}", sample.node, sample.name);
+            }
+            socrates_common::obs::MetricValue::Histogram(h) => {
+                println!(
+                    "metric.{}.{} count {} mean_us {:.1} p50_us {} p99_us {}",
+                    sample.node, sample.name, h.count, h.mean_us, h.p50_us, h.p99_us
+                );
+            }
+        }
     }
 }
 

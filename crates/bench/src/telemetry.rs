@@ -1,4 +1,4 @@
-//! Structured bench-run telemetry: the `BENCH_PR3.json` pipeline.
+//! Structured bench-run telemetry: the `BENCH_PR6.json` pipeline.
 //!
 //! A [`RunRecorder`] snapshots a live deployment after each bench scenario
 //! — read-path span percentiles, commit-trace percentiles, and every
@@ -6,12 +6,21 @@
 //! JSON document that CI uploads as an artifact and re-parses with
 //! [`socrates_common::obs::testjson`] to assert the schema.
 //!
-//! # Schema (version 1)
+//! # Schema (version 2)
+//!
+//! Version 2 adds the `meta` header: enough provenance to tell whether
+//! two bench documents are comparable (same tree, same config shape,
+//! same-sized host) before comparing their numbers.
 //!
 //! ```json
 //! {
-//!   "version": 1,
-//!   "bench": "BENCH_PR3",
+//!   "version": 2,
+//!   "bench": "BENCH_PR6",
+//!   "meta": {
+//!     "git_sha": "1a2b3c4d5e6f",
+//!     "config_fingerprint": "fnv:9f8e7d6c5b4a3210",
+//!     "host_cores": 16
+//!   },
 //!   "scenarios": [
 //!     {
 //!       "name": "cold_scan",
@@ -48,9 +57,81 @@ use std::time::{Duration, Instant};
 use crate::Effort;
 
 /// Schema version stamped into every document.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 /// The `bench` tag stamped into every document.
-pub const BENCH_TAG: &str = "BENCH_PR3";
+pub const BENCH_TAG: &str = "BENCH_PR6";
+
+/// Run provenance stamped into the document header: is this bench output
+/// comparable to another one?
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// `git rev-parse --short=12 HEAD`, or `"unknown"` outside a repo.
+    pub git_sha: String,
+    /// FNV-1a fingerprint of the benchmark config's load-bearing knobs
+    /// (see [`config_fingerprint`]).
+    pub config_fingerprint: String,
+    /// Host parallelism (`std::thread::available_parallelism`).
+    pub host_cores: usize,
+}
+
+impl RunMeta {
+    /// Capture the current environment.
+    pub fn capture() -> RunMeta {
+        let git_sha = std::process::Command::new("git")
+            .args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".into());
+        RunMeta {
+            git_sha,
+            config_fingerprint: config_fingerprint(&SocratesConfig::realistic(0)),
+            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0),
+        }
+    }
+}
+
+impl Default for RunMeta {
+    fn default() -> RunMeta {
+        RunMeta::capture()
+    }
+}
+
+/// FNV-1a over the config knobs that change what a bench number means.
+/// Latency profiles and fault specs are deliberately excluded — scenarios
+/// override those per run; this fingerprints the *shape* of the system.
+pub fn config_fingerprint(c: &SocratesConfig) -> String {
+    let canon = format!(
+        "secondaries={};pages_per_partition={};mem={};rbpex={};lz_replicas={};lz_quorum={};\
+         lz_capacity={};sched={};cores={};rbio_workers={};trace={};read_trace={};\
+         trace_sample={};span_capacity={};history={};watcher_us={}",
+        c.secondaries,
+        c.pages_per_partition,
+        c.mem_cache_pages,
+        c.rbpex_pages,
+        c.lz_replicas,
+        c.lz_quorum,
+        c.lz_capacity,
+        c.sched.enabled,
+        c.compute_cores,
+        c.rbio_workers,
+        c.trace_capacity,
+        c.read_trace_capacity,
+        c.trace_sample,
+        c.span_capacity,
+        c.hub_history_capacity,
+        c.watcher_interval.as_micros(),
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canon.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    format!("fnv:{h:016x}")
+}
 
 /// Per-stage latency summary (one row of `read_stages`/`commit_stages`).
 #[derive(Clone, Debug, PartialEq)]
@@ -138,12 +219,14 @@ impl ScenarioRecord {
 /// Accumulates [`ScenarioRecord`]s and serialises the run document.
 #[derive(Clone, Debug, Default)]
 pub struct RunRecorder {
+    /// Run provenance for the `meta` header.
+    pub meta: RunMeta,
     /// Recorded scenarios, in run order.
     pub scenarios: Vec<ScenarioRecord>,
 }
 
 impl RunRecorder {
-    /// An empty run.
+    /// An empty run (metadata captured from the current environment).
     pub fn new() -> RunRecorder {
         RunRecorder::default()
     }
@@ -157,6 +240,12 @@ impl RunRecorder {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str(&format!("{{\"version\":{SCHEMA_VERSION},\"bench\":\"{BENCH_TAG}\""));
+        out.push_str(&format!(
+            ",\"meta\":{{\"git_sha\":\"{}\",\"config_fingerprint\":\"{}\",\"host_cores\":{}}}",
+            escape(&self.meta.git_sha),
+            escape(&self.meta.config_fingerprint),
+            self.meta.host_cores
+        ));
         out.push_str(",\"scenarios\":[");
         for (i, sc) in self.scenarios.iter().enumerate() {
             if i > 0 {
@@ -239,6 +328,13 @@ pub fn check_schema(doc: &testjson::Value) -> std::result::Result<(), String> {
     if doc.get("bench").and_then(|v| v.as_str()) != Some(BENCH_TAG) {
         return Err(format!("missing or wrong \"bench\" (want {BENCH_TAG:?})"));
     }
+    let meta = doc.get("meta").ok_or("missing \"meta\" header")?;
+    for field in ["git_sha", "config_fingerprint"] {
+        if meta.get(field).and_then(|v| v.as_str()).is_none() {
+            return Err(format!("meta missing {field:?}"));
+        }
+    }
+    meta.get("host_cores").and_then(|v| v.as_i64()).ok_or("meta missing \"host_cores\"")?;
     let scenarios =
         doc.get("scenarios").and_then(|v| v.as_array()).ok_or("\"scenarios\" not an array")?;
     if scenarios.is_empty() {
@@ -425,6 +521,47 @@ fn trace_overhead_arm(effort: Effort, capacity: usize) -> Result<(f64, u64)> {
     Ok((secs, spans))
 }
 
+/// Commit-path wall time with cross-tier span sampling + history + SLOs
+/// armed vs everything disarmed, identical workloads (`EXPERIMENTS.md`).
+/// The disarmed arm must record zero spans — its per-commit cost is one
+/// relaxed load at each sampling site.
+pub fn span_overhead_ab(effort: Effort) -> Result<TraceOverhead> {
+    let (on_secs, on_spans) = span_overhead_arm(effort, true)?;
+    let (off_secs, off_spans) = span_overhead_arm(effort, false)?;
+    Ok(TraceOverhead { on_secs, off_secs, on_spans, off_spans })
+}
+
+fn span_overhead_arm(effort: Effort, armed: bool) -> Result<(f64, u64)> {
+    let rows = match effort {
+        Effort::Quick => 2_000,
+        Effort::Full => 8_000,
+    };
+    let mut config = SocratesConfig::realistic(404).with_secondaries(0);
+    if armed {
+        config = config
+            .with_trace_sample(1, 8192)
+            .with_hub_history(256, Duration::from_millis(5))
+            .with_slo_spec("primary.0.commit_stage_harden_us.p99 < 60s over 10s");
+    }
+    let sys = Socrates::launch(config)?;
+    let p = sys.primary()?;
+    let schema =
+        Schema::new(vec![("id".into(), ColumnType::Int), ("pad".into(), ColumnType::Str)], 1);
+    p.db().create_table("bench", schema)?;
+    let pad = "x".repeat(200);
+    let t0 = Instant::now();
+    for i in 0..rows {
+        let h = p.db().begin();
+        p.db().insert(&h, "bench", &[Value::Int(i as i64), Value::Str(pad.clone())])?;
+        p.db().commit(h)?;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    sys.fabric().wait_applied(p.pipeline().hardened_lsn(), Duration::from_secs(120))?;
+    let spans = sys.fabric().spans.spans_recorded();
+    sys.shutdown();
+    Ok((secs, spans))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +591,10 @@ mod tests {
         run.scenarios.push(synthetic_record("steady_state"));
         let doc = testjson::parse(&run.to_json()).expect("valid JSON");
         check_schema(&doc).expect("schema holds");
+        let meta = doc.get("meta").expect("meta header");
+        assert!(meta.get("git_sha").unwrap().as_str().is_some());
+        assert!(meta.get("config_fingerprint").unwrap().as_str().unwrap().starts_with("fnv:"));
+        assert!(meta.get("host_cores").unwrap().as_i64().unwrap() >= 0);
         let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
         assert_eq!(scenarios.len(), 2);
         assert_eq!(scenarios[0].get("name").unwrap().as_str(), Some("cold_scan"));
@@ -475,8 +616,26 @@ mod tests {
         assert!(err.contains("net_rbio"), "unexpected error: {err}");
 
         let doc =
-            testjson::parse("{\"version\":2,\"bench\":\"BENCH_PR3\",\"scenarios\":[]}").unwrap();
-        assert!(check_schema(&doc).is_err());
+            testjson::parse("{\"version\":1,\"bench\":\"BENCH_PR6\",\"scenarios\":[]}").unwrap();
+        assert!(check_schema(&doc).is_err(), "stale schema version must be rejected");
+
+        // A current header without the meta block is rejected too.
+        let doc = testjson::parse(
+            "{\"version\":2,\"bench\":\"BENCH_PR6\",\"scenarios\":[{\"name\":\"x\"}]}",
+        )
+        .unwrap();
+        assert!(check_schema(&doc).unwrap_err().contains("meta"));
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_load_bearing_knobs_only() {
+        let a = config_fingerprint(&SocratesConfig::realistic(0));
+        // The workload seed is provenance, not shape.
+        assert_eq!(a, config_fingerprint(&SocratesConfig::realistic(99)));
+        // Cache geometry is shape.
+        assert_ne!(a, config_fingerprint(&SocratesConfig::realistic(0).with_cache(16, 0)));
+        // Arming the span ring is shape (it changes what tps means).
+        assert_ne!(a, config_fingerprint(&SocratesConfig::realistic(0).with_trace_sample(1, 8192)));
     }
 
     #[test]

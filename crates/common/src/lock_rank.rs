@@ -138,6 +138,8 @@ pub const STORAGE_SCHED_WORKERS: u32 = 540;
 pub const STORAGE_CACHE_MEM: u32 = 550;
 /// `storage::cache::TieredCache.read_trace` — read-trace sink.
 pub const STORAGE_CACHE_TRACE: u32 = 560;
+/// `storage::cache::TieredCache.spans` — causal span-ring slot.
+pub const STORAGE_CACHE_SPANS: u32 = 565;
 /// `storage::rbpex::Rbpex.dir` — resilient-cache directory.
 pub const STORAGE_RBPEX_DIR: u32 = 570;
 /// `engine::evicted::EvictedLsnMap.buckets` — eviction LSN buckets.
@@ -158,6 +160,8 @@ pub const WAL_WAIT: u32 = 630;
 /// list (held while offering blocks to the HADR shipper, hence below
 /// the hadr band).
 pub const WAL_DISSEMINATORS: u32 = 640;
+/// `wal::pipeline::LogPipeline.spans` — causal span-ring slot.
+pub const WAL_SPANS: u32 = 645;
 
 // --- hadr (660s) ------------------------------------------------------
 /// `hadr::Hadr.retained` — retained-page list for failback.
@@ -208,6 +212,10 @@ pub const COMMON_FAULT_HUB: u32 = 1020;
 pub const COMMON_FAULT_LOG: u32 = 1030;
 /// `common::obs::span::SlowRing` — slow-op admission ring.
 pub const COMMON_OBS_SLOW: u32 = 1050;
+/// `common::obs::history::HubHistory.ring` — retained hub snapshots.
+/// The hub snapshot itself runs *before* this lock is taken, so the
+/// ring stays a leaf below every sampling closure's own locks.
+pub const COMMON_OBS_HISTORY: u32 = 1060;
 
 #[cfg(test)]
 mod tests {
@@ -248,12 +256,14 @@ mod tests {
             super::STORAGE_SCHED_WORKERS,
             super::STORAGE_CACHE_MEM,
             super::STORAGE_CACHE_TRACE,
+            super::STORAGE_CACHE_SPANS,
             super::STORAGE_RBPEX_DIR,
             super::WAL_FLUSH_LOCK,
             super::WAL_BUF,
             super::WAL_UNFLUSHED,
             super::WAL_WAIT,
             super::WAL_DISSEMINATORS,
+            super::WAL_SPANS,
             super::HADR_RETAINED,
             super::HADR_HANDLE,
             super::HADR_RNG,
@@ -272,6 +282,7 @@ mod tests {
             super::COMMON_FAULT_HUB,
             super::COMMON_FAULT_LOG,
             super::COMMON_OBS_SLOW,
+            super::COMMON_OBS_HISTORY,
         ];
         let mut sorted = all.to_vec();
         sorted.sort_unstable();

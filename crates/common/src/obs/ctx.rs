@@ -1,0 +1,516 @@
+//! Causal cross-tier trace-context propagation.
+//!
+//! The per-tier rings ([`trace`](super::trace), [`span`](super::span))
+//! answer "how long does each stage take *in aggregate*" — but Socrates
+//! splits one commit across four processes-worth of machinery, and
+//! aggregate rings cannot reconstruct *one* request's causal path
+//! (primary → log pipeline → XLOG feed → page-server apply). This module
+//! adds exactly that:
+//!
+//! - [`TraceCtx`] is the compact context minted at commit/GetPage entry:
+//!   a trace id and the current span id, 16 bytes, `Copy`. The zero
+//!   context means "not sampled" and is what every boundary forwards on
+//!   the unsampled fast path. On the wire (RBIO envelopes) it travels as
+//!   two little-endian `u64`s; in-process handoffs (log blocks riding
+//!   the lossy feed) carry it as a plain field that is *not* serialized —
+//!   a block re-decoded from the landing zone has lost its context, by
+//!   design (gap-fill is a recovery path, not the traced path).
+//! - [`SpanRing`] is the workspace-wide seqlock ring the per-tier spans
+//!   land in. Sampling is 1-in-N (`sample_every`, 0 = off): the disarmed
+//!   fast path is a single immutable-field compare, no atomics, no
+//!   allocation. Span ids are minted eagerly — a parent allocates its id
+//!   before children record — so causal links hold even though spans
+//!   complete (and publish) children-first.
+//! - [`SpanEvent`] is the read-side snapshot; the Chrome trace-event
+//!   exporter over a batch of events lives in
+//!   [`export::chrome_trace_json`](super::export::chrome_trace_json)
+//!   (`socmon --export-chrome`).
+
+#![doc = "soclint:hot"]
+
+use crate::ids::{NodeId, NodeKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The propagated trace context: which trace this request belongs to and
+/// the span the next child should parent under. The zero value (see
+/// [`TraceCtx::NONE`]) means "not sampled" and makes forwarding free.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace id (0 = not sampled). Equals the root span's id.
+    pub trace_id: u64,
+    /// The span id children of this context parent under.
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The unsampled context every boundary forwards for free.
+    pub const NONE: TraceCtx = TraceCtx { trace_id: 0, span_id: 0 };
+
+    /// Whether this context selects the request for span recording.
+    #[inline]
+    pub const fn sampled(self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// Wire encoding: two `u64`s stamped on RBIO envelopes.
+    #[inline]
+    pub const fn to_wire(self) -> (u64, u64) {
+        (self.trace_id, self.span_id)
+    }
+
+    /// Decode the RBIO wire form.
+    #[inline]
+    pub const fn from_wire(trace_id: u64, span_id: u64) -> TraceCtx {
+        TraceCtx { trace_id, span_id }
+    }
+}
+
+/// What a recorded span measured. Discriminants are the ring's storage
+/// encoding; names are stable and used by the exporters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u64)]
+pub enum SpanKind {
+    /// Whole commit: append → durable (root span, primary).
+    Commit = 0,
+    /// Engine time from txn begin to the commit append (primary).
+    CommitEngine = 1,
+    /// `commit_wait` — the durability wait (primary).
+    CommitHarden = 2,
+    /// One block's landing-zone harden inside the flush loop (primary).
+    WalHarden = 3,
+    /// Lossy-feed pump delivering one block into XLOG (xlog).
+    XlogFeed = 4,
+    /// Page-server apply of one pulled block (pageserver).
+    PsApply = 5,
+    /// Server-side GetPage serve (pageserver).
+    PsServe = 6,
+    /// Whole GetPage miss: probe → install (root span, compute node).
+    GetPage = 7,
+    /// RBIO round trip as seen by the client (compute node).
+    RbioNet = 8,
+    /// Page-server read falling through to XStore (xstore).
+    XstoreRead = 9,
+    /// Checkpoint blob write into XStore (xstore).
+    XstorePut = 10,
+    /// Whole checkpoint: dirty scan → blob durable (root span, pageserver).
+    PsCheckpoint = 11,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanKind::Commit => "commit",
+            SpanKind::CommitEngine => "commit.engine",
+            SpanKind::CommitHarden => "commit.harden",
+            SpanKind::WalHarden => "wal.harden",
+            SpanKind::XlogFeed => "xlog.feed",
+            SpanKind::PsApply => "ps.apply",
+            SpanKind::PsServe => "ps.serve",
+            SpanKind::GetPage => "getpage",
+            SpanKind::RbioNet => "rbio.net",
+            SpanKind::XstoreRead => "xstore.read",
+            SpanKind::XstorePut => "xstore.put",
+            SpanKind::PsCheckpoint => "ps.checkpoint",
+        }
+    }
+
+    fn from_raw(v: u64) -> SpanKind {
+        match v {
+            1 => SpanKind::CommitEngine,
+            2 => SpanKind::CommitHarden,
+            3 => SpanKind::WalHarden,
+            4 => SpanKind::XlogFeed,
+            5 => SpanKind::PsApply,
+            6 => SpanKind::PsServe,
+            7 => SpanKind::GetPage,
+            8 => SpanKind::RbioNet,
+            9 => SpanKind::XstoreRead,
+            10 => SpanKind::XstorePut,
+            11 => SpanKind::PsCheckpoint,
+            _ => SpanKind::Commit,
+        }
+    }
+}
+
+/// Pack a [`NodeId`] into one `u64` ring cell (kind in the high half,
+/// index in the low).
+const fn pack_node(node: NodeId) -> u64 {
+    let kind = match node.kind {
+        NodeKind::Primary => 0u64,
+        NodeKind::Secondary => 1,
+        NodeKind::XLog => 2,
+        NodeKind::PageServer => 3,
+        NodeKind::XStore => 4,
+        NodeKind::Client => 5,
+        NodeKind::Fault => 6,
+    };
+    (kind << 32) | node.index as u64
+}
+
+fn unpack_node(v: u64) -> NodeId {
+    let kind = match v >> 32 {
+        1 => NodeKind::Secondary,
+        2 => NodeKind::XLog,
+        3 => NodeKind::PageServer,
+        4 => NodeKind::XStore,
+        5 => NodeKind::Client,
+        6 => NodeKind::Fault,
+        _ => NodeKind::Primary,
+    };
+    NodeId { kind, index: v as u32 }
+}
+
+/// Snapshot of one recorded span, as returned by [`SpanRing::spans`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The trace this span belongs to (equals the root span's id).
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Causal parent span id (0 for a root span).
+    pub parent_id: u64,
+    /// What was measured.
+    pub kind: SpanKind,
+    /// The node (tier + index) that did the work.
+    pub node: NodeId,
+    /// Start, nanoseconds since the ring's epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds (clamped to ≥ 1 when recorded).
+    pub dur_ns: u64,
+}
+
+/// One ring slot; same generation discipline as the commit recorder.
+struct Slot {
+    /// Generation: `claim_counter + 1` while occupied, 0 while empty.
+    seq: AtomicU64,
+    trace_id: AtomicU64,
+    span_id: AtomicU64,
+    parent_id: AtomicU64,
+    kind: AtomicU64,
+    node: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            span_id: AtomicU64::new(0),
+            parent_id: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            node: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            dur_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The workspace-wide cross-tier span ring.
+///
+/// One instance per deployment (all tiers share it — they share a
+/// process, and a shared epoch is what makes the timeline assemble).
+/// `sample_every == 0` or capacity 0 disables tracing entirely: minting
+/// returns [`TraceCtx::NONE`], every boundary forwards the zero context,
+/// and no recording site takes a single atomic — the knob behind
+/// `SocratesConfig::trace_sample` and the overhead baseline.
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    /// Total spans ever recorded; `next % capacity` is the ring index.
+    next: AtomicU64,
+    /// Shared id allocator for traces and spans (ids start at 1; a trace
+    /// id is its root span's id).
+    ids: AtomicU64,
+    /// Commit/GetPage entries seen, for the 1-in-N selection.
+    sample_tick: AtomicU64,
+    /// Mint a context every N entries; 0 disables sampling. Immutable, so
+    /// the disarmed check is a plain field load.
+    sample_every: u64,
+    /// All `start_ns` values are relative to this instant.
+    epoch: Instant,
+}
+
+impl SpanRing {
+    /// A ring retaining the last `capacity` spans, minting a context for
+    /// one in `sample_every` entries.
+    // soclint-allow: hot-path one-time construction
+    pub fn new(capacity: usize, sample_every: u64) -> SpanRing {
+        SpanRing {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            next: AtomicU64::new(0),
+            ids: AtomicU64::new(1),
+            sample_tick: AtomicU64::new(0),
+            sample_every: if capacity == 0 { 0 } else { sample_every },
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A ring that samples nothing (the overhead baseline).
+    pub fn disabled() -> SpanRing {
+        SpanRing::new(0, 0)
+    }
+
+    /// Whether any context can ever be minted.
+    pub fn is_enabled(&self) -> bool {
+        self.sample_every != 0
+    }
+
+    /// The 1-in-N sampling divisor (0 = disabled).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Number of span slots retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans recorded since creation.
+    pub fn spans_recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed) // ordering: relaxed — generation counter read for sizing; staleness fine
+    }
+
+    /// Nanoseconds since the ring's epoch — the timebase every recording
+    /// site stamps `start_ns` with.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Mint a context at a trace entry point (commit, GetPage miss).
+    /// Returns `None` for the other N-1 requests — and always, with zero
+    /// atomics, when sampling is disabled.
+    #[inline]
+    pub fn try_sample(&self) -> Option<TraceCtx> {
+        if self.sample_every == 0 {
+            return None; // disarmed fast path: one immutable-field compare
+        }
+        // ordering: relaxed — sampling tick; 1-in-N selection needs only RMW atomicity
+        let tick = self.sample_tick.fetch_add(1, Ordering::Relaxed);
+        if !tick.is_multiple_of(self.sample_every) {
+            return None;
+        }
+        // ordering: relaxed — id uniqueness needs only RMW atomicity
+        let id = self.ids.fetch_add(1, Ordering::Relaxed);
+        Some(TraceCtx { trace_id: id, span_id: id })
+    }
+
+    /// Allocate a span id before the work it will measure starts, so the
+    /// id can be propagated (e.g. stamped on an RBIO envelope) while the
+    /// span is still open. Record it later with [`SpanRing::record`].
+    #[inline]
+    pub fn next_span_id(&self) -> u64 {
+        // ordering: relaxed — id uniqueness needs only RMW atomicity
+        self.ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Publish one finished span. Duration is clamped to ≥ 1 ns so a span
+    /// always reads as present even on a coarse clock. Ignores the zero
+    /// trace (unsampled contexts may reach shared recording sites).
+    #[allow(clippy::too_many_arguments)] // the seven span fields, each explicit
+    pub fn record(
+        &self,
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+        kind: SpanKind,
+        node: NodeId,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        if trace_id == 0 || self.slots.is_empty() {
+            return;
+        }
+        // ordering: relaxed — ring cursor; slot exclusivity comes from the seqlock
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        // ordering: release — seqlock write-begin: readers must see the slot invalid before any torn payload
+        slot.seq.store(0, Ordering::Release);
+        // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+        // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.span_id.store(span_id, Ordering::Relaxed);
+        // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.parent_id.store(parent_id, Ordering::Relaxed);
+        // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.node.store(pack_node(node), Ordering::Relaxed);
+        // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.start_ns.store(start_ns, Ordering::Relaxed);
+        // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+        slot.dur_ns.store(dur_ns.max(1), Ordering::Relaxed);
+        // ordering: release — seqlock publish: payload stores must not sink below this
+        slot.seq.store(n + 1, Ordering::Release);
+    }
+
+    /// Record the trace's root span (parent 0, span id = the minted id).
+    pub fn record_root(
+        &self,
+        ctx: TraceCtx,
+        kind: SpanKind,
+        node: NodeId,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        self.record(ctx.trace_id, ctx.span_id, 0, kind, node, start_ns, dur_ns);
+    }
+
+    /// Record a finished child of `ctx`, allocating its span id. Returns
+    /// the child's id so the caller can parent further work under it.
+    pub fn record_child(
+        &self,
+        ctx: TraceCtx,
+        kind: SpanKind,
+        node: NodeId,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> u64 {
+        if !ctx.sampled() {
+            return 0;
+        }
+        let id = self.next_span_id();
+        self.record(ctx.trace_id, id, ctx.span_id, kind, node, start_ns, dur_ns);
+        id
+    }
+
+    /// Snapshot every currently-readable span, oldest first. Slots being
+    /// rewritten concurrently are skipped (seqlock read protocol).
+    // soclint-allow: hot-path cold read-side snapshot (exporters, blackbox), not a recording path
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            // ordering: acquire — seqlock read-begin: pairs with the publish store
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 {
+                continue;
+            }
+            let ev = SpanEvent {
+                // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+                trace_id: slot.trace_id.load(Ordering::Relaxed),
+                // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+                span_id: slot.span_id.load(Ordering::Relaxed),
+                // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+                parent_id: slot.parent_id.load(Ordering::Relaxed),
+                // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+                kind: SpanKind::from_raw(slot.kind.load(Ordering::Relaxed)),
+                // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+                node: unpack_node(slot.node.load(Ordering::Relaxed)),
+                // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+                start_ns: slot.start_ns.load(Ordering::Relaxed),
+                // ordering: relaxed — payload cell; ordered by the seq release/acquire pair
+                dur_ns: slot.dur_ns.load(Ordering::Relaxed),
+            };
+            // ordering: acquire — seqlock read-end: a changed seq means the payload tore
+            if slot.seq.load(Ordering::Acquire) != seq {
+                continue;
+            }
+            out.push((seq, ev));
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, ev)| ev).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_ctx_is_unsampled_and_wire_roundtrips() {
+        assert!(!TraceCtx::NONE.sampled());
+        let ctx = TraceCtx { trace_id: 7, span_id: 9 };
+        assert!(ctx.sampled());
+        let (t, s) = ctx.to_wire();
+        assert_eq!(TraceCtx::from_wire(t, s), ctx);
+    }
+
+    #[test]
+    fn disabled_ring_mints_and_records_nothing() {
+        let ring = SpanRing::disabled();
+        assert!(!ring.is_enabled());
+        for _ in 0..100 {
+            assert_eq!(ring.try_sample(), None);
+        }
+        let ctx = TraceCtx { trace_id: 1, span_id: 1 };
+        ring.record_root(ctx, SpanKind::Commit, NodeId::PRIMARY, 0, 10);
+        assert!(ring.spans().is_empty());
+        assert_eq!(ring.spans_recorded(), 0);
+    }
+
+    #[test]
+    fn one_in_n_sampling() {
+        let ring = SpanRing::new(64, 4);
+        let minted = (0..40).filter(|_| ring.try_sample().is_some()).count();
+        assert_eq!(minted, 10);
+        // sample_every == 1 traces everything.
+        let all = SpanRing::new(64, 1);
+        assert!((0..10).all(|_| all.try_sample().is_some()));
+    }
+
+    #[test]
+    fn child_spans_link_to_their_parent() {
+        let ring = SpanRing::new(64, 1);
+        let ctx = ring.try_sample().unwrap();
+        assert_eq!(ctx.trace_id, ctx.span_id, "trace id is the root span id");
+        let child = ring.record_child(ctx, SpanKind::CommitHarden, NodeId::PRIMARY, 10, 5);
+        assert_ne!(child, 0);
+        ring.record_root(ctx, SpanKind::Commit, NodeId::PRIMARY, 0, 20);
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.span_id == ctx.span_id).unwrap();
+        let kid = spans.iter().find(|s| s.span_id == child).unwrap();
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(kid.parent_id, root.span_id);
+        assert_eq!(kid.trace_id, root.trace_id);
+        assert_eq!(kid.kind, SpanKind::CommitHarden);
+    }
+
+    #[test]
+    fn unsampled_ctx_never_lands_in_the_ring() {
+        let ring = SpanRing::new(8, 1);
+        assert_eq!(ring.record_child(TraceCtx::NONE, SpanKind::PsApply, NodeId::XLOG, 1, 1), 0);
+        ring.record_root(TraceCtx::NONE, SpanKind::Commit, NodeId::PRIMARY, 1, 1);
+        assert!(ring.spans().is_empty());
+    }
+
+    #[test]
+    fn ring_retains_most_recent_capacity_spans() {
+        let ring = SpanRing::new(4, 1);
+        for i in 0..10u64 {
+            let ctx = ring.try_sample().unwrap();
+            ring.record_root(ctx, SpanKind::GetPage, NodeId::secondary(0), i * 100, 10);
+        }
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 4);
+        // Oldest-first, and only the last four survive.
+        let starts: Vec<u64> = spans.iter().map(|s| s.start_ns).collect();
+        assert_eq!(starts, vec![600, 700, 800, 900]);
+    }
+
+    #[test]
+    fn node_packing_roundtrips_every_kind() {
+        for node in [
+            NodeId::PRIMARY,
+            NodeId::secondary(3),
+            NodeId::XLOG,
+            NodeId::page_server(7),
+            NodeId::XSTORE,
+            NodeId::client(2),
+            NodeId::FAULT,
+        ] {
+            assert_eq!(unpack_node(pack_node(node)), node);
+        }
+    }
+
+    #[test]
+    fn durations_clamp_to_one() {
+        let ring = SpanRing::new(4, 1);
+        let ctx = ring.try_sample().unwrap();
+        ring.record_root(ctx, SpanKind::Commit, NodeId::PRIMARY, 5, 0);
+        assert_eq!(ring.spans()[0].dur_ns, 1);
+    }
+}

@@ -1,0 +1,452 @@
+//! Declarative SLO specs evaluated over the hub history.
+//!
+//! An SLO is one line of grammar:
+//!
+//! ```text
+//! <tier>.<index>.<metric>[.<agg>] <op> <threshold>[unit] over <window>
+//! ```
+//!
+//! - `<tier>.<index>.<metric>` is the hub's full metric name
+//!   (`primary.0.commit_latency`);
+//! - `<agg>` is `p50`/`p90`/`p99`/`mean` (histograms), `rate`
+//!   (counters, per second), or `value` (counters and gauges; the
+//!   default when omitted);
+//! - `<op>` is `<`, `<=`, `>`, or `>=`;
+//! - `<threshold>` takes `us`/`ms`/`s` suffixes for latency metrics
+//!   (normalised to µs, the histogram unit) or a bare number;
+//! - `<window>` is `Nms`/`Ns`/`Nm`.
+//!
+//! Multiple SLOs are separated by `;`. Example:
+//!
+//! ```text
+//! primary.0.commit_latency.p99 < 5ms over 30s; xlog.0.feed_drops.rate < 100 over 10s
+//! ```
+//!
+//! Evaluation is conservative: the *worst* in-window point reading is
+//! compared against the threshold (max for upper bounds, min for lower
+//! bounds), and the **burn rate** is the fraction of in-window samples
+//! violating — 1.0 means the whole window burned, the signal the
+//! blackbox recorder and `socmon --watch` act on. A metric with no
+//! in-window samples is *not* breaching (absence of telemetry is a
+//! different alarm than a missed objective).
+
+use super::history::HubHistory;
+use super::hub::MetricValue;
+use crate::ids::{NodeId, NodeKind};
+use std::time::Duration;
+
+/// How the per-sample scalar is derived from a metric value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloAgg {
+    /// Histogram median (µs).
+    P50,
+    /// Histogram 90th percentile (µs).
+    P90,
+    /// Histogram 99th percentile (µs).
+    P99,
+    /// Histogram mean (µs).
+    Mean,
+    /// Counter increase per second over the window.
+    Rate,
+    /// The raw counter/gauge reading.
+    Value,
+}
+
+impl SloAgg {
+    fn parse(s: &str) -> Option<SloAgg> {
+        match s {
+            "p50" => Some(SloAgg::P50),
+            "p90" => Some(SloAgg::P90),
+            "p99" => Some(SloAgg::P99),
+            "mean" => Some(SloAgg::Mean),
+            "rate" => Some(SloAgg::Rate),
+            "value" => Some(SloAgg::Value),
+            _ => None,
+        }
+    }
+
+    /// The grammar keyword.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SloAgg::P50 => "p50",
+            SloAgg::P90 => "p90",
+            SloAgg::P99 => "p99",
+            SloAgg::Mean => "mean",
+            SloAgg::Rate => "rate",
+            SloAgg::Value => "value",
+        }
+    }
+}
+
+/// The comparison the objective asserts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloOp {
+    /// Objective holds while the reading stays strictly below.
+    Lt,
+    /// Objective holds while the reading stays at or below.
+    Le,
+    /// Objective holds while the reading stays strictly above.
+    Gt,
+    /// Objective holds while the reading stays at or above.
+    Ge,
+}
+
+impl SloOp {
+    /// Whether `reading` satisfies the objective.
+    pub fn holds(self, reading: f64, threshold: f64) -> bool {
+        match self {
+            SloOp::Lt => reading < threshold,
+            SloOp::Le => reading <= threshold,
+            SloOp::Gt => reading > threshold,
+            SloOp::Ge => reading >= threshold,
+        }
+    }
+
+    /// Whether the objective bounds the reading from above (the worst
+    /// in-window reading is then the max, else the min).
+    pub fn is_upper_bound(self) -> bool {
+        matches!(self, SloOp::Lt | SloOp::Le)
+    }
+
+    /// The grammar token.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SloOp::Lt => "<",
+            SloOp::Le => "<=",
+            SloOp::Gt => ">",
+            SloOp::Ge => ">=",
+        }
+    }
+}
+
+/// One parsed objective.
+#[derive(Clone, Debug)]
+pub struct SloSpec {
+    /// The node owning the metric.
+    pub node: NodeId,
+    /// The metric's short name (hub registration name).
+    pub metric: String,
+    /// Per-sample scalar derivation.
+    pub agg: SloAgg,
+    /// The asserted comparison.
+    pub op: SloOp,
+    /// Threshold, in the metric's unit (µs for histogram aggregates).
+    pub threshold: f64,
+    /// Evaluation window.
+    pub window: Duration,
+}
+
+impl SloSpec {
+    /// The spec in canonical grammar form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}.{}.{}.{} {} {} over {}ms",
+            self.node.kind.tier_name(),
+            self.node.index,
+            self.metric,
+            self.agg.name(),
+            self.op.name(),
+            self.threshold,
+            self.window.as_millis()
+        )
+    }
+}
+
+/// One objective's current standing.
+#[derive(Clone, Debug)]
+pub struct SloStatus {
+    /// The evaluated objective.
+    pub spec: SloSpec,
+    /// Worst in-window reading (`None` when no in-window samples carry
+    /// the metric).
+    pub current: Option<f64>,
+    /// Whether the objective is currently missed.
+    pub breaching: bool,
+    /// Fraction of in-window samples violating, in `[0, 1]`.
+    pub burn_rate: f64,
+    /// In-window samples that carried the metric.
+    pub samples: usize,
+}
+
+impl SloStatus {
+    /// One status line (`socmon --watch`, CI logs).
+    pub fn render(&self) -> String {
+        let state = if self.breaching { "BREACH" } else { "ok" };
+        let current = match self.current {
+            Some(v) => format!("{v:.1}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "[{state}] {} (current {current}, burn {:.0}%, {} samples)",
+            self.spec.render(),
+            self.burn_rate * 100.0,
+            self.samples
+        )
+    }
+}
+
+fn parse_tier(s: &str) -> Option<NodeKind> {
+    match s {
+        "primary" => Some(NodeKind::Primary),
+        "secondary" => Some(NodeKind::Secondary),
+        "xlog" => Some(NodeKind::XLog),
+        "pageserver" => Some(NodeKind::PageServer),
+        "xstore" => Some(NodeKind::XStore),
+        "client" => Some(NodeKind::Client),
+        "fault" => Some(NodeKind::Fault),
+        _ => None,
+    }
+}
+
+fn parse_threshold(s: &str) -> Result<f64, String> {
+    let (num, scale) = if let Some(n) = s.strip_suffix("us") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000.0)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000.0)
+    } else {
+        (s, 1.0)
+    };
+    num.parse::<f64>().map(|v| v * scale).map_err(|_| format!("bad threshold `{s}`"))
+}
+
+fn parse_window(s: &str) -> Result<Duration, String> {
+    if let Some(n) = s.strip_suffix("ms") {
+        n.parse::<u64>().map(Duration::from_millis)
+    } else if let Some(n) = s.strip_suffix('s') {
+        n.parse::<u64>().map(Duration::from_secs)
+    } else if let Some(n) = s.strip_suffix('m') {
+        n.parse::<u64>().map(|m| Duration::from_secs(m * 60))
+    } else {
+        return Err(format!("bad window `{s}` (want Nms, Ns, or Nm)"));
+    }
+    .map_err(|_| format!("bad window `{s}`"))
+}
+
+/// Parse one objective line (see the module grammar).
+pub fn parse_spec(line: &str) -> Result<SloSpec, String> {
+    let (cmp, window) =
+        line.rsplit_once(" over ").ok_or_else(|| format!("missing `over <window>` in `{line}`"))?;
+    let window = parse_window(window.trim())?;
+    let mut parts = cmp.split_whitespace();
+    let path = parts.next().ok_or_else(|| format!("missing metric in `{line}`"))?;
+    let op = match parts.next().ok_or_else(|| format!("missing comparison in `{line}`"))? {
+        "<" => SloOp::Lt,
+        "<=" => SloOp::Le,
+        ">" => SloOp::Gt,
+        ">=" => SloOp::Ge,
+        other => return Err(format!("bad comparison `{other}` in `{line}`")),
+    };
+    let threshold =
+        parse_threshold(parts.next().ok_or_else(|| format!("missing threshold in `{line}`"))?)?;
+    if parts.next().is_some() {
+        return Err(format!("trailing tokens in `{line}`"));
+    }
+
+    let mut segs: Vec<&str> = path.split('.').collect();
+    let agg = match segs.last().and_then(|s| SloAgg::parse(s)) {
+        Some(a) => {
+            segs.pop();
+            a
+        }
+        None => SloAgg::Value,
+    };
+    if segs.len() < 3 {
+        return Err(format!("metric `{path}` is not tier.index.name"));
+    }
+    let kind = parse_tier(segs[0]).ok_or_else(|| format!("unknown tier `{}`", segs[0]))?;
+    let index: u32 = segs[1].parse().map_err(|_| format!("bad node index `{}`", segs[1]))?;
+    Ok(SloSpec {
+        node: NodeId { kind, index },
+        metric: segs[2..].join("."),
+        agg,
+        op,
+        threshold,
+        window,
+    })
+}
+
+/// A parsed set of objectives.
+#[derive(Clone, Debug, Default)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+}
+
+impl SloEngine {
+    /// Parse a `;`-separated spec string (empty input → no objectives).
+    pub fn parse(spec: &str) -> Result<SloEngine, String> {
+        let mut specs = Vec::new();
+        for line in spec.split(';') {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            specs.push(parse_spec(line)?);
+        }
+        Ok(SloEngine { specs })
+    }
+
+    /// The parsed objectives.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Whether any objectives are configured.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Evaluate every objective against the history's current window.
+    pub fn evaluate(&self, history: &HubHistory) -> Vec<SloStatus> {
+        self.specs.iter().map(|spec| evaluate_one(spec, history)).collect()
+    }
+}
+
+fn scalar(value: &MetricValue, agg: SloAgg) -> Option<f64> {
+    match (agg, value) {
+        (SloAgg::Value, MetricValue::Counter(v)) => Some(*v as f64),
+        (SloAgg::Value, MetricValue::Gauge(v)) => Some(*v as f64),
+        (SloAgg::P50, MetricValue::Histogram(h)) if h.count > 0 => Some(h.p50_us as f64),
+        (SloAgg::P90, MetricValue::Histogram(h)) if h.count > 0 => Some(h.p90_us as f64),
+        (SloAgg::P99, MetricValue::Histogram(h)) if h.count > 0 => Some(h.p99_us as f64),
+        (SloAgg::Mean, MetricValue::Histogram(h)) if h.count > 0 => Some(h.mean_us),
+        _ => None,
+    }
+}
+
+fn evaluate_one(spec: &SloSpec, history: &HubHistory) -> SloStatus {
+    if spec.agg == SloAgg::Rate {
+        let current = history.rate(spec.node, &spec.metric, spec.window);
+        let samples = if current.is_some() { 2 } else { 0 };
+        let breaching = current.map(|c| !spec.op.holds(c, spec.threshold)).unwrap_or(false);
+        return SloStatus {
+            spec: spec.clone(),
+            current,
+            breaching,
+            burn_rate: if breaching { 1.0 } else { 0.0 },
+            samples,
+        };
+    }
+    let readings: Vec<f64> = history
+        .window(spec.window)
+        .iter()
+        .filter_map(|s| s.snapshot.get(spec.node, &spec.metric).and_then(|v| scalar(v, spec.agg)))
+        .collect();
+    let current = if readings.is_empty() {
+        None
+    } else if spec.op.is_upper_bound() {
+        readings.iter().cloned().fold(f64::MIN, f64::max).into()
+    } else {
+        readings.iter().cloned().fold(f64::MAX, f64::min).into()
+    };
+    let violating = readings.iter().filter(|&&r| !spec.op.holds(r, spec.threshold)).count();
+    SloStatus {
+        spec: spec.clone(),
+        current,
+        breaching: current.map(|c| !spec.op.holds(c, spec.threshold)).unwrap_or(false),
+        burn_rate: if readings.is_empty() { 0.0 } else { violating as f64 / readings.len() as f64 },
+        samples: readings.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Gauge, Histogram};
+    use crate::obs::hub::MetricsHub;
+    use std::sync::Arc;
+
+    #[test]
+    fn grammar_parses_units_aggs_and_defaults() {
+        let s = parse_spec("primary.0.commit_latency.p99 < 5ms over 30s").unwrap();
+        assert_eq!(s.node, NodeId::PRIMARY);
+        assert_eq!(s.metric, "commit_latency");
+        assert_eq!(s.agg, SloAgg::P99);
+        assert_eq!(s.op, SloOp::Lt);
+        assert!((s.threshold - 5_000.0).abs() < 1e-9, "ms normalises to µs");
+        assert_eq!(s.window, Duration::from_secs(30));
+
+        let s = parse_spec("pageserver.2.apply_lag_bytes <= 1000 over 5m").unwrap();
+        assert_eq!(s.node, NodeId::page_server(2));
+        assert_eq!(s.agg, SloAgg::Value, "agg defaults to value");
+        assert_eq!(s.window, Duration::from_secs(300));
+
+        // Dotted metric names keep their dots.
+        let s = parse_spec("xlog.0.feed.drops.rate >= 1 over 100ms").unwrap();
+        assert_eq!(s.metric, "feed.drops");
+        assert_eq!(s.agg, SloAgg::Rate);
+    }
+
+    #[test]
+    fn grammar_rejects_malformed_lines() {
+        for bad in [
+            "primary.0.x < 5ms",             // no window
+            "primary.0.x ~ 5 over 1s",       // bad op
+            "primary.x < 5 over 1s",         // not tier.index.name
+            "granary.0.x < 5 over 1s",       // unknown tier
+            "primary.0.x < banana over 1s",  // bad threshold
+            "primary.0.x < 5 over 1parsec",  // bad window unit
+            "primary.0.x < 5 extra over 1s", // trailing token
+        ] {
+            assert!(parse_spec(bad).is_err(), "`{bad}` must not parse");
+        }
+        // Empty engine parses to no objectives.
+        assert!(SloEngine::parse("").unwrap().is_empty());
+        assert!(SloEngine::parse(" ; ; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn breach_and_burn_rate_over_history() {
+        let hub = MetricsHub::new();
+        let g = Arc::new(Gauge::new());
+        hub.register_gauge(NodeId::XLOG, "lag", Arc::clone(&g));
+        let history = HubHistory::new(16, Duration::ZERO);
+        // Three good samples, one bad.
+        for v in [10, 20, 30, 500] {
+            g.set(v);
+            history.tick(&hub);
+        }
+        let engine = SloEngine::parse("xlog.0.lag < 100 over 1m").unwrap();
+        let st = &engine.evaluate(&history)[0];
+        assert!(st.breaching, "worst in-window reading (500) misses the objective");
+        assert_eq!(st.samples, 4);
+        assert!((st.burn_rate - 0.25).abs() < 1e-9, "one of four samples burned");
+        assert_eq!(st.current, Some(500.0));
+        assert!(st.render().contains("BREACH"));
+
+        // A lower-bound objective takes the window min.
+        let engine = SloEngine::parse("xlog.0.lag >= 5 over 1m").unwrap();
+        let st = &engine.evaluate(&history)[0];
+        assert!(!st.breaching);
+        assert_eq!(st.current, Some(10.0));
+    }
+
+    #[test]
+    fn histogram_percentile_objective() {
+        let hub = MetricsHub::new();
+        let h = Arc::new(Histogram::new());
+        hub.register_histogram(NodeId::PRIMARY, "commit_latency", Arc::clone(&h));
+        let history = HubHistory::new(16, Duration::ZERO);
+        history.tick(&hub); // empty histogram: no reading, not breaching
+        for _ in 0..100 {
+            h.record(20_000); // 20ms commits
+        }
+        history.tick(&hub);
+        let engine = SloEngine::parse("primary.0.commit_latency.p99 < 5ms over 1m").unwrap();
+        let st = &engine.evaluate(&history)[0];
+        assert!(st.breaching, "20ms p99 misses a 5ms objective");
+        assert_eq!(st.samples, 1, "the empty-histogram sample contributes no reading");
+    }
+
+    #[test]
+    fn missing_metric_is_not_a_breach() {
+        let history = HubHistory::new(4, Duration::ZERO);
+        history.tick(&MetricsHub::new());
+        let engine = SloEngine::parse("primary.0.ghost.p99 < 5ms over 1m").unwrap();
+        let st = &engine.evaluate(&history)[0];
+        assert!(!st.breaching);
+        assert_eq!(st.current, None);
+        assert_eq!(st.burn_rate, 0.0);
+    }
+}

@@ -12,7 +12,8 @@
 use socrates_common::metrics::{Counter, Histogram};
 use socrates_common::obs::span::{HedgeOutcome, ReadTrace, ReadTraceRecorder, SLOW_OP_CAPACITY};
 use socrates_common::obs::trace::{Stage, TraceRecorder};
-use socrates_common::{Lsn, PageId, TxnId};
+use socrates_common::obs::{SpanKind, SpanRing};
+use socrates_common::{Lsn, NodeId, PageId, TxnId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -179,6 +180,150 @@ fn commit_ring_frontier_completion_is_consistent() {
         assert!(t.is_complete(), "post-drain trace missing a stage: {t:?}");
     }
     assert_eq!(rec.commits_recorded(), WRITERS * per_thread());
+}
+
+/// Record a cross-tier span whose every cell carries `tag`, so readers
+/// can detect generation mixing the same way `tagged_span` does for the
+/// read-trace ring. Tags must be ≥ 1 (0 is the "unsampled" sentinel).
+fn record_tagged(ring: &SpanRing, tag: u64) {
+    ring.record(tag, tag, tag, SpanKind::WalHarden, NodeId::XLOG, tag, tag);
+}
+
+fn assert_spans_untorn(spans: &[socrates_common::obs::SpanEvent]) {
+    for s in spans {
+        let tag = s.trace_id;
+        assert!(tag != 0, "unsampled span leaked into the ring");
+        assert!(
+            s.span_id == tag && s.parent_id == tag && s.start_ns == tag && s.dur_ns == tag,
+            "span cells from different generations: {s:?}"
+        );
+        assert_eq!(s.kind, SpanKind::WalHarden);
+        assert_eq!(s.node, NodeId::XLOG);
+    }
+}
+
+#[test]
+fn cross_tier_span_ring_wraps_at_exact_capacity_boundaries() {
+    const CAP: u64 = 8;
+    let ring = SpanRing::new(CAP as usize, 1);
+
+    // Exactly one capacity's worth: every span retained, oldest first.
+    for tag in 1..=CAP {
+        record_tagged(&ring, tag);
+    }
+    let tags: Vec<u64> = ring.spans().iter().map(|s| s.trace_id).collect();
+    assert_eq!(tags, (1..=CAP).collect::<Vec<_>>());
+    assert_eq!(ring.spans_recorded(), CAP);
+
+    // Exactly one more capacity's worth: the first generation is fully
+    // evicted, order still oldest-first across the wrap seam.
+    for tag in CAP + 1..=2 * CAP {
+        record_tagged(&ring, tag);
+    }
+    let tags: Vec<u64> = ring.spans().iter().map(|s| s.trace_id).collect();
+    assert_eq!(tags, (CAP + 1..=2 * CAP).collect::<Vec<_>>());
+    assert_eq!(ring.spans_recorded(), 2 * CAP);
+
+    // One past the boundary evicts exactly the oldest survivor.
+    record_tagged(&ring, 2 * CAP + 1);
+    let tags: Vec<u64> = ring.spans().iter().map(|s| s.trace_id).collect();
+    assert_eq!(tags, (CAP + 2..=2 * CAP + 1).collect::<Vec<_>>());
+
+    // Degenerate capacities: a one-slot ring holds the latest span; a
+    // zero-slot ring records nothing and never panics on the modulus.
+    let one = SpanRing::new(1, 1);
+    for tag in 1..=5 {
+        record_tagged(&one, tag);
+    }
+    assert_eq!(one.spans().len(), 1);
+    assert_eq!(one.spans()[0].trace_id, 5);
+    let zero = SpanRing::new(0, 1);
+    record_tagged(&zero, 1);
+    assert!(zero.spans().is_empty());
+    assert!(!zero.is_enabled(), "capacity 0 forces sampling off");
+}
+
+#[test]
+fn cross_tier_span_ring_survives_concurrent_writers_at_capacity() {
+    // Capacity equals the total write count divided evenly, so the ring
+    // wraps many times and writers collide on slots while a reader races
+    // them (the seqlock must make it skip, never mix, a mid-write slot).
+    let ring = Arc::new(SpanRing::new(16, 1));
+    let done = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|s| {
+        for w in 0..WRITERS {
+            let ring = Arc::clone(&ring);
+            s.spawn(move || {
+                for i in 0..per_thread() {
+                    record_tagged(&ring, w * 1_000_000 + i + 1);
+                }
+            });
+        }
+        let reader_ring = Arc::clone(&ring);
+        let reader_done = Arc::clone(&done);
+        let reader = s.spawn(move || {
+            let mut snapshots = 0u64;
+            loop {
+                let spans = reader_ring.spans();
+                assert!(spans.len() <= 16, "snapshot larger than the ring");
+                assert_spans_untorn(&spans);
+                snapshots += 1;
+                if reader_done.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            snapshots
+        });
+        while ring.spans_recorded() < WRITERS * per_thread() {
+            thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+        assert!(reader.join().unwrap() > 0, "reader never snapshotted");
+    });
+
+    // Quiescent: full ring, every survivor consistent and distinct.
+    let spans = ring.spans();
+    assert_eq!(spans.len(), 16, "ring retains exactly its capacity once full");
+    assert_spans_untorn(&spans);
+    let mut tags: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(tags.len(), 16, "a slot published two copies of one span");
+    assert_eq!(ring.spans_recorded(), WRITERS * per_thread());
+}
+
+#[test]
+fn span_id_minting_is_unique_under_contention() {
+    // Ids parent causal links across tiers; a duplicate id would splice
+    // two unrelated spans into one trace. Mint from all writers at once
+    // and check global uniqueness (and that sampled mints interleaved
+    // with explicit mints never collide either).
+    let ring = Arc::new(SpanRing::new(8, 1));
+    let ids = thread::scope(|s| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..per_thread() {
+                        if (w + i) % 2 == 0 {
+                            got.push(ring.next_span_id());
+                        } else {
+                            got.push(ring.try_sample().expect("1-in-1 always mints").span_id);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect::<Vec<u64>>()
+    });
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "span id allocator produced a duplicate");
+    assert!(!sorted.contains(&0), "id 0 is the unsampled sentinel and must never be minted");
 }
 
 #[test]

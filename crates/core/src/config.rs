@@ -70,6 +70,31 @@ pub struct SocratesConfig {
     /// and the slow-op ring (0 disables read tracing entirely; the miss
     /// path then takes no clock reads and allocates nothing for tracing).
     pub read_trace_capacity: usize,
+    /// Cross-tier causal tracing: sample every Nth commit / GetPage miss
+    /// into the span ring (0 disables tracing entirely; the disarmed path
+    /// is one relaxed load per sampling site and copies zeros on the wire).
+    pub trace_sample: u64,
+    /// Cross-tier span-ring capacity (events retained for `socmon
+    /// --export-chrome` and blackbox bundles).
+    pub span_capacity: usize,
+    /// Metric-history ring capacity in snapshots (0 disables time-series
+    /// telemetry, SLO evaluation, and `socmon --watch` rates).
+    pub hub_history_capacity: usize,
+    /// Minimum spacing between history snapshots (the time-series
+    /// resolution; retention ≈ `hub_history_capacity × hub_history_interval`).
+    pub hub_history_interval: Duration,
+    /// Declarative SLOs in the `common::obs::slo` grammar
+    /// (`tier.index.metric[.agg] <op> <threshold> over <window>; ...`).
+    /// Empty = none. Breaches flip the deployment's SLO gauge and trigger
+    /// the blackbox flight recorder on the ok→breach edge.
+    pub slo_spec: String,
+    /// Whether the blackbox flight recorder writes bundles on panic,
+    /// chaos-invariant violation, or SLO breach.
+    pub blackbox_enabled: bool,
+    /// Directory blackbox bundles are written into.
+    pub blackbox_dir: std::path::PathBuf,
+    /// Ring entries retained per section in a blackbox bundle.
+    pub blackbox_last_n: usize,
     /// Sampling interval of the LSN-lag watcher thread, which completes
     /// the async commit-trace stages and updates deployment lag gauges.
     pub watcher_interval: Duration,
@@ -109,6 +134,14 @@ impl SocratesConfig {
             rbio_workers: 4,
             trace_capacity: 1024,
             read_trace_capacity: 1024,
+            trace_sample: 0,
+            span_capacity: 4096,
+            hub_history_capacity: 0,
+            hub_history_interval: Duration::from_millis(100),
+            slo_spec: String::new(),
+            blackbox_enabled: false,
+            blackbox_dir: std::path::PathBuf::from("target/blackbox"),
+            blackbox_last_n: 64,
             watcher_interval: Duration::from_millis(1),
             fault_seed: 0,
             fault_spec: String::new(),
@@ -171,6 +204,36 @@ impl SocratesConfig {
     /// tracing-overhead A/B knob).
     pub fn with_read_trace_capacity(mut self, capacity: usize) -> SocratesConfig {
         self.read_trace_capacity = capacity;
+        self
+    }
+
+    /// Arm cross-tier causal tracing: sample every `sample`-th commit /
+    /// GetPage miss into a `capacity`-event span ring (0 disables).
+    pub fn with_trace_sample(mut self, sample: u64, capacity: usize) -> SocratesConfig {
+        self.trace_sample = sample;
+        self.span_capacity = capacity;
+        self
+    }
+
+    /// Enable time-series telemetry: keep `capacity` hub snapshots taken
+    /// at most every `interval`.
+    pub fn with_hub_history(mut self, capacity: usize, interval: Duration) -> SocratesConfig {
+        self.hub_history_capacity = capacity;
+        self.hub_history_interval = interval;
+        self
+    }
+
+    /// Install declarative SLOs (`common::obs::slo` grammar). History must
+    /// be enabled for them to evaluate.
+    pub fn with_slo_spec(mut self, spec: &str) -> SocratesConfig {
+        self.slo_spec = spec.to_string();
+        self
+    }
+
+    /// Arm the blackbox flight recorder, writing bundles into `dir`.
+    pub fn with_blackbox(mut self, dir: impl Into<std::path::PathBuf>) -> SocratesConfig {
+        self.blackbox_enabled = true;
+        self.blackbox_dir = dir.into();
         self
     }
 

@@ -13,7 +13,10 @@ use socrates_common::latency::LatencyInjector;
 use socrates_common::lock_rank;
 use socrates_common::lsn::AtomicLsn;
 use socrates_common::metrics::{Counter, CpuAccountant, CpuRegistry};
-use socrates_common::obs::{MetricsHub, ReadStage, ReadTraceRecorder, Stage, TraceRecorder};
+use socrates_common::obs::{
+    BlackboxRecorder, BlackboxSources, HubHistory, MetricsHub, ReadStage, ReadTraceRecorder,
+    SloEngine, SloStatus, SpanKind, SpanRing, Stage, TraceCtx, TraceRecorder,
+};
 use socrates_common::{BlobId, Error, Lsn, NodeId, PageId, PartitionId, Result};
 use socrates_engine::PageAccess;
 use socrates_pageserver::{PageServer, PageServerHandler, PartitionSpec};
@@ -27,7 +30,7 @@ use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
 use socrates_xlog::XLogService;
 use socrates_xstore::{XStore, XStoreConfig};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// A running partition: its page server(s) and the RBIO route to them.
@@ -101,6 +104,20 @@ pub struct Fabric {
     /// The read-path span recorder (GetPage miss attribution), shared by
     /// every primary for the same reason.
     pub read_trace: Arc<ReadTraceRecorder>,
+    /// The cross-tier causal span ring: every tier of the deployment
+    /// records its leg of a sampled commit or GetPage here. Disabled
+    /// (`trace_sample = 0`) it is a single relaxed load per sampling site.
+    pub spans: Arc<SpanRing>,
+    /// Periodic hub snapshots (time-series telemetry; capacity 0 = off).
+    pub history: Arc<HubHistory>,
+    /// Declarative SLOs evaluated over `history` each [`Fabric::obs_tick`].
+    pub slo: SloEngine,
+    /// The blackbox flight recorder; armed deployments snapshot every ring
+    /// on panic, chaos-invariant violation, or SLO breach.
+    pub blackbox: Arc<BlackboxRecorder>,
+    /// Whether any SLO was breaching at the last `obs_tick` (edge
+    /// detection for the blackbox trigger; also `socmon`'s exit status).
+    slo_breach: AtomicBool,
     /// The deployment-wide fault-injection registry. Every site — LZ
     /// writes, the lossy feed, RBIO legs, page-server serving, XStore ops
     /// — consults this one registry, so a single spec string describes a
@@ -243,6 +260,26 @@ impl Fabric {
         xstore.set_fault_registry(faults.clone());
         let degraded_reads = Arc::new(Counter::new());
         hub.register_counter(NodeId::PRIMARY, "degraded_reads_total", Arc::clone(&degraded_reads));
+        let spans = Arc::new(SpanRing::new(config.span_capacity, config.trace_sample));
+        let history =
+            Arc::new(HubHistory::new(config.hub_history_capacity, config.hub_history_interval));
+        let slo = SloEngine::parse(&config.slo_spec)
+            .map_err(|e| Error::InvalidArgument(format!("bad slo_spec: {e}")))?;
+        let blackbox = if config.blackbox_enabled {
+            Arc::new(BlackboxRecorder::new(
+                BlackboxSources {
+                    hub: hub.clone(),
+                    commits: Some(Arc::clone(&trace)),
+                    reads: Some(Arc::clone(&read_trace)),
+                    spans: Some(Arc::clone(&spans)),
+                    faults: Some(faults.clone()),
+                },
+                config.blackbox_dir.clone(),
+                config.blackbox_last_n,
+            ))
+        } else {
+            Arc::new(BlackboxRecorder::disabled())
+        };
         Ok(Arc::new(Fabric {
             config,
             lz,
@@ -252,6 +289,11 @@ impl Fabric {
             hub,
             trace,
             read_trace,
+            spans,
+            history,
+            slo,
+            blackbox,
+            slo_breach: AtomicBool::new(false),
             faults,
             partitions: RwLock::with_rank(
                 HashMap::new(),
@@ -276,6 +318,40 @@ impl Fabric {
             }),
             last_checkpoint: AtomicLsn::new(start),
         }))
+    }
+
+    /// One observability heartbeat, driven by the LSN-lag watcher thread:
+    /// append a history snapshot when the interval has elapsed, evaluate
+    /// the SLOs over the refreshed window, and — on the ok→breach edge —
+    /// trigger the blackbox flight recorder. Free when history is
+    /// disabled (one branch).
+    pub fn obs_tick(&self) {
+        if !self.history.is_enabled() {
+            return;
+        }
+        self.history.tick(&self.hub);
+        if self.slo.is_empty() {
+            return;
+        }
+        let breaching = self.slo.evaluate(&self.history).iter().any(|s| s.breaching);
+        // ordering: relaxed — breach edge detection; the watcher is the
+        // only writer and a lost race costs one duplicate/missed bundle
+        let was = self.slo_breach.swap(breaching, Ordering::Relaxed);
+        if breaching && !was {
+            self.blackbox.trigger("slo-breach");
+        }
+    }
+
+    /// Whether any SLO was breaching at the last [`Fabric::obs_tick`].
+    pub fn slo_breaching(&self) -> bool {
+        // ordering: relaxed — diagnostic read of the watcher's edge state
+        self.slo_breach.load(Ordering::Relaxed)
+    }
+
+    /// Evaluate the configured SLOs right now (socmon, tests). Empty when
+    /// no SLOs are configured.
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        self.slo.evaluate(&self.history)
     }
 
     /// The partition owning `page`.
@@ -647,6 +723,9 @@ impl Fabric {
         let mut clients = Vec::with_capacity(servers.len());
         for (i, (node, ps)) in servers.iter().enumerate() {
             ps.register_metrics(&self.hub, *node);
+            if self.spans.is_enabled() {
+                ps.set_span_ring(Arc::clone(&self.spans), *node);
+            }
             // Every apply advance wakes the fabric's wait_applied sleepers.
             let signal = Arc::clone(&self.apply_signal);
             ps.set_apply_listener(Arc::new(move |_lsn| signal.notify()));
@@ -683,13 +762,26 @@ impl Fabric {
 pub struct RemotePageSource {
     fabric: Arc<Fabric>,
     cpu: Arc<CpuAccountant>,
+    /// The compute node the client-side `rbio.net` wire span is
+    /// attributed to.
+    node: NodeId,
 }
 
 impl RemotePageSource {
     /// A source for one compute node (its accountant pays the network
-    /// driver cost).
+    /// driver cost). Wire spans are attributed to the primary; replicas
+    /// use [`RemotePageSource::with_node`].
     pub fn new(fabric: Arc<Fabric>, cpu: Arc<CpuAccountant>) -> RemotePageSource {
-        RemotePageSource { fabric, cpu }
+        RemotePageSource::with_node(fabric, cpu, NodeId::PRIMARY)
+    }
+
+    /// [`RemotePageSource::new`] with an explicit span-attribution node.
+    pub fn with_node(
+        fabric: Arc<Fabric>,
+        cpu: Arc<CpuAccountant>,
+        node: NodeId,
+    ) -> RemotePageSource {
+        RemotePageSource { fabric, cpu, node }
     }
 }
 
@@ -742,12 +834,26 @@ impl RemotePageSource {
     }
 }
 
-impl PageSource for RemotePageSource {
-    fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
-        self.fetch_page_traced(id, min_lsn).map(|(page, _)| page)
+impl RemotePageSource {
+    /// Record the client-side `rbio.net` wire child for a sampled fetch
+    /// that started at `start` (ring timebase).
+    fn record_net_span(&self, ctx: TraceCtx, start: u64) {
+        let ring = &self.fabric.spans;
+        ring.record_child(ctx, SpanKind::RbioNet, self.node, start, {
+            ring.now_ns().saturating_sub(start)
+        });
     }
 
-    fn fetch_page_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
+    /// The minting single-page fetch body: `ctx` is the GetPage root
+    /// identity ([`TraceCtx::NONE`] when unsampled). The root span itself
+    /// is closed by the *cache* (it sees the full miss duration) from the
+    /// ids stamped into the returned meta.
+    fn fetch_page_traced_ctx(
+        &self,
+        id: PageId,
+        min_lsn: Lsn,
+        ctx: TraceCtx,
+    ) -> Result<(Page, FetchMeta)> {
         let handle = match self.route_for(id) {
             Ok(h) => h,
             // No partition handle at all (killed, not yet restarted):
@@ -755,11 +861,12 @@ impl PageSource for RemotePageSource {
             Err(e) => return self.fetch_degraded(id, min_lsn, e),
         };
         self.cpu.charge_us(8);
+        let net_start = if ctx.sampled() { Some(self.fabric.spans.now_ns()) } else { None };
         let t0 = std::time::Instant::now();
-        let (resp, call) = match handle
-            .route
-            .call_traced(socrates_rbio::proto::RbioRequest::GetPage { page_id: id, min_lsn })
-        {
+        let (resp, call) = match handle.route.call_traced_ctx(
+            socrates_rbio::proto::RbioRequest::GetPage { page_id: id, min_lsn },
+            ctx,
+        ) {
             Ok(v) => v,
             // Transient exhaustion (every replica timed out / refused):
             // degrade rather than fail the fetch chain. Hard errors
@@ -768,6 +875,9 @@ impl PageSource for RemotePageSource {
             Err(e) => return Err(e),
         };
         let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        if let Some(start) = net_start {
+            self.record_net_span(ctx, start);
+        }
         match resp {
             socrates_rbio::proto::RbioResponse::Page { bytes, serve_us } => {
                 let serve_ns = serve_us.saturating_mul(1_000);
@@ -777,12 +887,25 @@ impl PageSource for RemotePageSource {
                     range_width: 1,
                     hedge_fired: call.hedge_fired,
                     hedge_won: call.hedge_won,
+                    trace_id: ctx.trace_id,
+                    root_span: ctx.span_id,
                     ..FetchMeta::default()
                 };
                 Page::from_io_bytes(id, &bytes).map(|page| (page, meta))
             }
             other => Err(Error::Protocol(format!("unexpected GetPage response: {other:?}"))),
         }
+    }
+}
+
+impl PageSource for RemotePageSource {
+    fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
+        self.fetch_page_traced(id, min_lsn).map(|(page, _)| page)
+    }
+
+    fn fetch_page_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
+        let ctx = self.fabric.spans.try_sample().unwrap_or(TraceCtx::NONE);
+        self.fetch_page_traced_ctx(id, min_lsn, ctx)
     }
 }
 
@@ -803,8 +926,16 @@ impl RangedPageSource for RemotePageSource {
         let mut pages = Vec::with_capacity(count as usize);
         // One meta covers the whole range: serve time sums over segments,
         // hedge outcomes OR together, and the caller charges wall-clock
-        // minus serve as the network stage.
-        let mut meta = FetchMeta { range_width: count, ..FetchMeta::default() };
+        // minus serve as the network stage. One trace ctx likewise — the
+        // whole range is one GetPage root, with an `rbio.net` child per
+        // wire call.
+        let ctx = self.fabric.spans.try_sample().unwrap_or(TraceCtx::NONE);
+        let mut meta = FetchMeta {
+            range_width: count,
+            trace_id: ctx.trace_id,
+            root_span: ctx.span_id,
+            ..FetchMeta::default()
+        };
         let t0 = std::time::Instant::now();
         let end = first.raw() + count as u64;
         let mut cursor = first.raw();
@@ -815,7 +946,7 @@ impl RangedPageSource for RemotePageSource {
             self.cpu.charge_us(8 + seg as u64 / 4);
             if seg == 1 {
                 // The single-page path degrades internally.
-                let (page, one) = self.fetch_page_traced(PageId::new(cursor), min_lsn)?;
+                let (page, one) = self.fetch_page_traced_ctx(PageId::new(cursor), min_lsn, ctx)?;
                 meta.serve_ns += one.serve_ns;
                 meta.hedge_fired |= one.hedge_fired;
                 meta.hedge_won |= one.hedge_won;
@@ -832,12 +963,17 @@ impl RangedPageSource for RemotePageSource {
                             count: seg,
                             min_lsn,
                         };
-                        match handle.route.call_traced(req) {
+                        let net_start =
+                            if ctx.sampled() { Some(self.fabric.spans.now_ns()) } else { None };
+                        match handle.route.call_traced_ctx(req, ctx) {
                             Err(e) if e.is_transient() => {
                                 self.fetch_segment_degraded(cursor, seg, min_lsn, &mut pages, e)?;
                             }
                             Err(e) => return Err(e),
                             Ok((resp, call)) => {
+                                if let Some(start) = net_start {
+                                    self.record_net_span(ctx, start);
+                                }
                                 meta.hedge_fired |= call.hedge_fired;
                                 meta.hedge_won |= call.hedge_won;
                                 match resp {

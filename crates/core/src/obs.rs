@@ -94,6 +94,10 @@ impl LagWatcher {
         } else {
             sec_lag.set(0);
         }
+
+        // Time-series + SLO heartbeat: history snapshot, SLO evaluation,
+        // and the breach-edge blackbox trigger all ride this thread.
+        fabric.obs_tick();
     }
 
     /// Stop the watcher thread and join it (idempotent).

@@ -100,12 +100,16 @@ impl Primary {
             config.pipeline.clone(),
             start_lsn,
         ));
-        let feed = Arc::new(XLogFeed::start_with_faults(
+        let feed = Arc::new(XLogFeed::start_with_obs(
             Arc::clone(&fabric.xlog),
             config.lossy_feed.clone(),
             fabric.faults.clone(),
+            fabric.spans.is_enabled().then(|| Arc::clone(&fabric.spans)),
         ));
         pipeline.add_disseminator(Arc::clone(&feed) as Arc<dyn LogDisseminator>);
+        if fabric.spans.is_enabled() {
+            pipeline.set_span_ring(Arc::clone(&fabric.spans), NodeId::PRIMARY);
+        }
 
         // Tiered cache: memory over (optional) RBPEX over GetPage@LSN.
         let rbpex = if config.rbpex_pages > 0 {
@@ -171,6 +175,9 @@ impl Primary {
         if fabric.read_trace.is_enabled() {
             cache.set_read_trace(Arc::clone(&fabric.read_trace));
         }
+        if fabric.spans.is_enabled() {
+            cache.set_span_ring(Arc::clone(&fabric.spans), NodeId::PRIMARY);
+        }
 
         let io = Arc::new(LoggedPageIo::new(
             cache,
@@ -183,6 +190,9 @@ impl Primary {
         // the dead node's sources.
         if fabric.trace.is_enabled() {
             io.set_trace_recorder(Arc::clone(&fabric.trace));
+        }
+        if fabric.spans.is_enabled() {
+            io.set_span_ring(Arc::clone(&fabric.spans), NodeId::PRIMARY);
         }
         pipeline.register_metrics(&fabric.hub, NodeId::PRIMARY);
         io.register_metrics(&fabric.hub, NodeId::PRIMARY);

@@ -193,7 +193,8 @@ impl Secondary {
             None
         };
         let evicted_cb = Arc::clone(&evicted);
-        let source = Arc::new(RemotePageSource::new(Arc::clone(&fabric), Arc::clone(&cpu)));
+        let source =
+            Arc::new(RemotePageSource::with_node(Arc::clone(&fabric), Arc::clone(&cpu), node));
         let wal_flush: Arc<dyn Fn(Lsn) + Send + Sync> = Arc::new(|_| {}); // read-only node
         let on_evict: Arc<dyn Fn(PageId, Lsn) + Send + Sync> =
             Arc::new(move |id, lsn| evicted_cb.note_eviction(id, lsn));
@@ -212,6 +213,9 @@ impl Secondary {
         } else {
             Arc::new(TieredCache::new(config.mem_cache_pages, rbpex, source, wal_flush, on_evict))
         };
+        if fabric.spans.is_enabled() {
+            cache.set_span_ring(Arc::clone(&fabric.spans), node);
+        }
         let io = Arc::new(SecondaryIo {
             cache,
             evicted: Arc::clone(&evicted),

@@ -11,9 +11,9 @@
 use crate::evicted::EvictedLsnMap;
 use parking_lot::Mutex;
 use socrates_common::metrics::Counter;
-use socrates_common::obs::TraceRecorder;
+use socrates_common::obs::{SpanKind, SpanRing, TraceRecorder};
 use socrates_common::TxnId;
-use socrates_common::{Error, Lsn, PageId, Result};
+use socrates_common::{Error, Lsn, NodeId, PageId, Result};
 use socrates_storage::cache::{PageRef, TieredCache};
 use socrates_storage::page::{Page, PageType};
 use socrates_storage::pageops::{apply_page_op, PageOp};
@@ -90,6 +90,12 @@ pub struct LoggedPageIo {
     /// recorder is installed (the map stays empty — and the commit path
     /// lock-free — otherwise).
     txn_begun: Mutex<HashMap<TxnId, std::time::Instant>>,
+    /// Cross-tier span ring plus this node's identity, set once at fabric
+    /// wiring time (lock-free read; no new lock rank). Commits mint their
+    /// causal [`TraceCtx`](socrates_common::obs::TraceCtx) here — the ring
+    /// owns the sampling decision, so an unsampled commit pays one relaxed
+    /// load and a compare.
+    spans: std::sync::OnceLock<(Arc<SpanRing>, NodeId)>,
 }
 
 impl LoggedPageIo {
@@ -124,7 +130,20 @@ impl LoggedPageIo {
                 socrates_common::lock_rank::ENGINE_IO_TXN_BEGUN,
                 "io.txn_begun",
             ),
+            spans: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Route cross-tier commit spans into `ring`, attributed to `node`.
+    /// First caller wins; later calls are ignored (fabric wiring happens
+    /// once per node).
+    pub fn set_span_ring(&self, ring: Arc<SpanRing>, node: NodeId) {
+        let _ = self.spans.set((ring, node));
+    }
+
+    /// Whether the cross-tier span ring is armed (commits may sample).
+    fn spans_armed(&self) -> bool {
+        self.spans.get().is_some_and(|(ring, _)| ring.is_enabled())
     }
 
     /// Install the commit trace recorder. Transactions that begin after
@@ -261,7 +280,7 @@ impl PageMutator for LoggedPageIo {
     }
 
     fn log_txn_begin(&self, txn: TxnId) {
-        if self.trace.read().is_some() {
+        if self.trace.read().is_some() || self.spans_armed() {
             self.txn_begun.lock().insert(txn, std::time::Instant::now());
         }
         self.pipeline.append(&LogRecord { txn, payload: LogPayload::TxnBegin });
@@ -269,14 +288,42 @@ impl PageMutator for LoggedPageIo {
 
     fn log_txn_commit(&self, txn: TxnId, commit_ts: u64) -> Result<()> {
         let trace = self.trace.read().clone();
-        let engine_ns = trace
-            .as_ref()
-            .and_then(|_| self.txn_begun.lock().remove(&txn))
-            .map_or(0, |t0| t0.elapsed().as_nanos() as u64);
-        let lsn =
-            self.pipeline.append(&LogRecord { txn, payload: LogPayload::TxnCommit { commit_ts } });
+        let engine_ns = if trace.is_some() || self.spans_armed() {
+            self.txn_begun.lock().remove(&txn).map_or(0, |t0| t0.elapsed().as_nanos() as u64)
+        } else {
+            0
+        };
+        // Mint the cross-tier trace ctx; the ring owns the sampling
+        // decision, and the ctx rides the commit's log block across every
+        // tier boundary downstream.
+        let ctx_sink = self
+            .spans
+            .get()
+            .and_then(|(ring, node)| ring.try_sample().map(|ctx| (Arc::clone(ring), *node, ctx)));
+        let record = LogRecord { txn, payload: LogPayload::TxnCommit { commit_ts } };
+        let lsn = match &ctx_sink {
+            Some((_, _, ctx)) => self.pipeline.append_traced(&record, *ctx),
+            None => self.pipeline.append(&record),
+        };
         let harden_start = std::time::Instant::now();
         self.pipeline.commit_wait(lsn)?;
+        if let Some((ring, node, ctx)) = ctx_sink {
+            let harden_ns = harden_start.elapsed().as_nanos() as u64;
+            let end_ns = ring.now_ns();
+            let root_ns = engine_ns + harden_ns;
+            let root_start = end_ns.saturating_sub(root_ns);
+            ring.record_root(ctx, SpanKind::Commit, node, root_start, root_ns);
+            if engine_ns > 0 {
+                ring.record_child(ctx, SpanKind::CommitEngine, node, root_start, engine_ns);
+            }
+            ring.record_child(
+                ctx,
+                SpanKind::CommitHarden,
+                node,
+                end_ns.saturating_sub(harden_ns),
+                harden_ns,
+            );
+        }
         if let Some(recorder) = trace {
             recorder.record_commit(txn, lsn, engine_ns, harden_start.elapsed().as_nanos() as u64);
         }
@@ -284,7 +331,7 @@ impl PageMutator for LoggedPageIo {
     }
 
     fn log_txn_abort(&self, txn: TxnId) {
-        if self.trace.read().is_some() {
+        if self.trace.read().is_some() || self.spans_armed() {
             self.txn_begun.lock().remove(&txn);
         }
         self.pipeline.append(&LogRecord { txn, payload: LogPayload::TxnAbort });
@@ -376,6 +423,65 @@ impl PageMutator for MemIo {
 mod tests {
     use super::*;
     use socrates_storage::slotted::Slotted;
+
+    #[test]
+    fn traced_commit_records_commit_and_harden_spans() {
+        use socrates_storage::{Fcb, MemFcb};
+        use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
+        use socrates_wal::pipeline::{BlockSink, LogPipelineConfig};
+
+        /// Commit path never fetches; any miss is a test bug.
+        struct NoRemote;
+        impl socrates_storage::cache::PageSource for NoRemote {
+            fn fetch_page(&self, id: PageId, _min_lsn: Lsn) -> Result<Page> {
+                Err(Error::NotFound(format!("{id}")))
+            }
+        }
+
+        let lz = Arc::new(LandingZone::new(
+            vec![Arc::new(MemFcb::new("lz")) as Arc<dyn Fcb>],
+            LandingZoneConfig { capacity: 1 << 20, write_quorum: 1 },
+        ));
+        let pipeline = Arc::new(LogPipeline::new(
+            Arc::clone(&lz) as Arc<dyn BlockSink>,
+            Arc::new(|_p: PageId| socrates_common::PartitionId::new(0)),
+            LogPipelineConfig::default(),
+            Lsn::ZERO,
+        ));
+        let cache = Arc::new(TieredCache::with_defaults(8, None, Arc::new(NoRemote)));
+        let io = LoggedPageIo::new(
+            Arc::clone(&cache),
+            Arc::clone(&pipeline),
+            Arc::new(EvictedLsnMap::new(16)),
+            1,
+        );
+        let ring = Arc::new(SpanRing::new(64, 1));
+        io.set_span_ring(Arc::clone(&ring), NodeId::PRIMARY);
+        pipeline.set_span_ring(Arc::clone(&ring), NodeId::PRIMARY);
+
+        io.log_txn_begin(TxnId::new(1));
+        io.log_txn_commit(TxnId::new(1), 42).unwrap();
+
+        let spans = ring.spans();
+        let root = spans.iter().find(|s| s.kind == SpanKind::Commit).expect("commit root");
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(root.trace_id, root.span_id);
+        for kind in [SpanKind::CommitEngine, SpanKind::CommitHarden, SpanKind::WalHarden] {
+            let child = spans
+                .iter()
+                .find(|s| s.kind == kind)
+                .unwrap_or_else(|| panic!("missing {kind:?} child"));
+            assert_eq!(child.trace_id, root.trace_id);
+            assert_eq!(child.parent_id, root.span_id);
+        }
+        // Sampling off (ring disabled): nothing new is recorded.
+        let before = spans.len();
+        let quiet = LoggedPageIo::new(cache, pipeline, Arc::new(EvictedLsnMap::new(16)), 1);
+        quiet.set_span_ring(Arc::new(SpanRing::disabled()), NodeId::PRIMARY);
+        quiet.log_txn_begin(TxnId::new(2));
+        quiet.log_txn_commit(TxnId::new(2), 43).unwrap();
+        assert_eq!(ring.spans().len(), before);
+    }
 
     #[test]
     fn memio_allocate_and_mutate() {

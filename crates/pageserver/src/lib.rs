@@ -27,7 +27,8 @@ use parking_lot::{Condvar, Mutex};
 use socrates_common::fault::{sites as fault_sites, FaultOutcome, FaultRegistry};
 use socrates_common::lsn::AtomicLsn;
 use socrates_common::metrics::{Counter, CpuAccountant};
-use socrates_common::{BlobId, Error, Lsn, PageId, PartitionId, Result};
+use socrates_common::obs::{SpanKind, SpanRing, TraceCtx};
+use socrates_common::{BlobId, Error, Lsn, NodeId, PageId, PartitionId, Result};
 use socrates_rbio::proto::{RbioRequest, RbioResponse};
 use socrates_rbio::transport::RbioHandler;
 use socrates_storage::fcb::Fcb;
@@ -146,6 +147,11 @@ pub struct PageServer {
     apply_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
     ckpt_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
     seed_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Causal span sink + this server's node identity. Set once at fabric
+    /// wiring time; a lock-free `OnceLock` read on the hot paths (one
+    /// atomic load when tracing is wired, and the recording sites only
+    /// dereference it for ctx-carrying work).
+    spans: std::sync::OnceLock<(Arc<SpanRing>, NodeId)>,
 }
 
 impl PageServer {
@@ -223,6 +229,7 @@ impl PageServer {
                 socrates_common::lock_rank::PS_SEED_HANDLE,
                 "ps.seed_handle",
             ),
+            spans: std::sync::OnceLock::new(),
         }))
     }
 
@@ -302,6 +309,7 @@ impl PageServer {
                 socrates_common::lock_rank::PS_SEED_HANDLE,
                 "ps.seed_handle",
             ),
+            spans: std::sync::OnceLock::new(),
         }))
     }
 
@@ -352,6 +360,22 @@ impl PageServer {
         hub.register_gauge_fn(node, "apply_lag_bytes", move || {
             (ps.xlog.released_lsn().offset() as i64 - ps.applied.load().offset() as i64).max(0)
         });
+    }
+
+    /// Attach the causal span sink; spans are attributed to `node` (this
+    /// server's fabric identity). First call wins — re-wiring a running
+    /// server would tear spans across rings.
+    pub fn set_span_ring(&self, ring: Arc<SpanRing>, node: NodeId) {
+        let _ = self.spans.set((ring, node));
+    }
+
+    /// The span sink for ctx-carrying work, or `None` when tracing is
+    /// unwired or `ctx` is unsampled.
+    fn span_sink(&self, ctx: TraceCtx) -> Option<&(Arc<SpanRing>, NodeId)> {
+        if !ctx.sampled() {
+            return None;
+        }
+        self.spans.get()
     }
 
     /// The log-apply watermark.
@@ -471,6 +495,9 @@ impl PageServer {
             self.xlog.pull_blocks(cursor, self.config.pull_batch_bytes, Some(self.spec.id))?;
         let mut applied = 0usize;
         for block in &pull.blocks {
+            let span = self
+                .span_sink(block.ctx())
+                .map(|(ring, node)| (Arc::clone(ring), *node, ring.now_ns()));
             for rec in block.records()? {
                 if let LogPayload::PageWrite { page_id, op } = &rec.record.payload {
                     if self.spec.contains(*page_id) {
@@ -478,6 +505,15 @@ impl PageServer {
                         applied += 1;
                     }
                 }
+            }
+            if let Some((ring, node, start)) = span {
+                ring.record_child(
+                    block.ctx(),
+                    SpanKind::PsApply,
+                    node,
+                    start,
+                    ring.now_ns().saturating_sub(start),
+                );
             }
         }
         if pull.next_lsn > cursor {
@@ -566,6 +602,13 @@ impl PageServer {
     /// The GetPage@LSN protocol (paper §4.4): wait until applied ≥
     /// `min_lsn`, then serve the page.
     pub fn get_page(&self, page_id: PageId, min_lsn: Lsn) -> Result<Page> {
+        self.get_page_ctx(page_id, min_lsn, TraceCtx::NONE)
+    }
+
+    /// [`get_page`](Self::get_page) carrying the caller's trace context,
+    /// so an XStore fallback read lands in the trace as an `xstore.read`
+    /// child span.
+    pub fn get_page_ctx(&self, page_id: PageId, min_lsn: Lsn, ctx: TraceCtx) -> Result<Page> {
         if !self.spec.contains(page_id) {
             return Err(Error::InvalidArgument(format!(
                 "{page_id} is not in partition {} [{}, {})",
@@ -582,7 +625,7 @@ impl PageServer {
         }
         let page = match self.rbpex.get(page_id)? {
             Some(p) => p,
-            None => match self.read_page_from_xstore(page_id)? {
+            None => match self.read_page_from_xstore_ctx(page_id, ctx)? {
                 Some(p) => {
                     // Adopt into the covering cache for next time.
                     self.rbpex.put(&p)?;
@@ -684,6 +727,11 @@ impl PageServer {
             self.metrics.checkpoints_deferred.incr();
             return Err(Error::Unavailable("xstore outage; checkpoint deferred".into()));
         }
+        // Checkpoints are trace roots of their own: they are not caused by
+        // any one commit, so they self-sample at the ring's rate.
+        let ckpt_span = self.spans.get().and_then(|(ring, node)| {
+            ring.try_sample().map(|ctx| (Arc::clone(ring), *node, ctx, ring.now_ns()))
+        });
         // Aggregate the dirty pages into large batched writes (§4.6).
         let mut shipped: Vec<(PageId, Lsn)> = Vec::with_capacity(batch.len());
         for chunk in batch.chunks(128) {
@@ -709,7 +757,17 @@ impl PageServer {
             }
             let writes: Vec<(u64, &[u8])> =
                 images.iter().map(|(off, img)| (*off, img.as_slice())).collect();
+            let put_start = ckpt_span.as_ref().map(|(ring, ..)| ring.now_ns());
             self.xstore.write_batch(self.data_blob, &writes)?;
+            if let (Some((ring, _, ctx, _)), Some(start)) = (&ckpt_span, put_start) {
+                ring.record_child(
+                    *ctx,
+                    SpanKind::XstorePut,
+                    NodeId::XSTORE,
+                    start,
+                    ring.now_ns().saturating_sub(start),
+                );
+            }
             self.metrics.pages_checkpointed.add(writes.len() as u64);
         }
         {
@@ -726,6 +784,15 @@ impl PageServer {
             }
         }
         self.write_checkpoint_meta(at)?;
+        if let Some((ring, node, ctx, start)) = ckpt_span {
+            ring.record_root(
+                ctx,
+                SpanKind::PsCheckpoint,
+                node,
+                start,
+                ring.now_ns().saturating_sub(start),
+            );
+        }
         Ok(at)
     }
 
@@ -745,12 +812,27 @@ impl PageServer {
     }
 
     fn read_page_from_xstore(&self, page_id: PageId) -> Result<Option<Page>> {
+        self.read_page_from_xstore_ctx(page_id, TraceCtx::NONE)
+    }
+
+    fn read_page_from_xstore_ctx(&self, page_id: PageId, ctx: TraceCtx) -> Result<Option<Page>> {
         let off = (page_id.raw() - self.spec.base_page) * PAGE_SIZE as u64;
+        let span = self.span_sink(ctx).map(|(ring, _)| (Arc::clone(ring), ring.now_ns()));
         let len = self.xstore.blob_len(self.data_blob)?;
         if off + PAGE_SIZE as u64 > len {
             return Ok(None);
         }
         let bytes = self.xstore.read_at(self.data_blob, off, PAGE_SIZE)?;
+        if let Some((ring, start)) = span {
+            // Attributed to the XStore tier: the blob service did the work.
+            ring.record_child(
+                ctx,
+                SpanKind::XstoreRead,
+                NodeId::XSTORE,
+                start,
+                ring.now_ns().saturating_sub(start),
+            );
+        }
         if bytes.iter().all(|&b| b == 0) {
             return Ok(None); // never-written hole
         }
@@ -849,23 +931,47 @@ impl PageServerHandler {
 
 impl RbioHandler for PageServerHandler {
     fn handle(&self, req: RbioRequest) -> Result<RbioResponse> {
+        self.handle_ctx(req, TraceCtx::NONE)
+    }
+
+    fn handle_ctx(&self, req: RbioRequest, ctx: TraceCtx) -> Result<RbioResponse> {
         self.check_serve_fault(&req)?;
+        // A sampled GetPage records a `ps.serve` child under the caller's
+        // span; its XStore fallback (if any) nests a further child.
+        let span =
+            self.ps.span_sink(ctx).map(|(ring, node)| (Arc::clone(ring), *node, ring.now_ns()));
+        let record_serve = |resp: &Result<RbioResponse>| {
+            if let (Some((ring, node, start)), Ok(_)) = (&span, resp) {
+                ring.record_child(
+                    ctx,
+                    SpanKind::PsServe,
+                    *node,
+                    *start,
+                    ring.now_ns().saturating_sub(*start),
+                );
+            }
+        };
         match req {
             RbioRequest::GetPage { page_id, min_lsn } => {
                 let t0 = std::time::Instant::now();
-                let page = self.ps.get_page(page_id, min_lsn)?;
-                Ok(RbioResponse::Page {
-                    bytes: page.to_io_bytes().to_vec(),
-                    serve_us: (t0.elapsed().as_micros() as u64).max(1),
-                })
+                let resp =
+                    self.ps.get_page_ctx(page_id, min_lsn, ctx).map(|page| RbioResponse::Page {
+                        bytes: page.to_io_bytes().to_vec(),
+                        serve_us: (t0.elapsed().as_micros() as u64).max(1),
+                    });
+                record_serve(&resp);
+                resp
             }
             RbioRequest::GetPageRange { first, count, min_lsn } => {
                 let t0 = std::time::Instant::now();
-                let pages = self.ps.get_page_range(first, count, min_lsn)?;
-                Ok(RbioResponse::PageRange {
-                    pages: pages.iter().map(|p| p.to_io_bytes().to_vec()).collect(),
-                    serve_us: (t0.elapsed().as_micros() as u64).max(1),
-                })
+                let resp = self.ps.get_page_range(first, count, min_lsn).map(|pages| {
+                    RbioResponse::PageRange {
+                        pages: pages.iter().map(|p| p.to_io_bytes().to_vec()).collect(),
+                        serve_us: (t0.elapsed().as_micros() as u64).max(1),
+                    }
+                });
+                record_serve(&resp);
+                resp
             }
             RbioRequest::Ping => Ok(RbioResponse::Pong),
             RbioRequest::GetAppliedLsn => {
@@ -1149,6 +1255,59 @@ mod tests {
         }
         // Out-of-partition ranges rejected.
         assert!(ps.get_page_range(PageId::new(95), 10, Lsn::ZERO).is_err());
+    }
+
+    #[test]
+    fn ctx_carrying_blocks_record_apply_and_serve_spans() {
+        let f = Fixture::new();
+        let ps = f.server("ps0", spec(0));
+        let ring = Arc::new(SpanRing::new(32, 1));
+        let node = NodeId::page_server(0);
+        ps.set_span_ring(Arc::clone(&ring), node);
+        let root = ring.try_sample().expect("1-in-1 sampling");
+        // Emit a block carrying the sampled ctx.
+        let mut b = BlockBuilder::new(f.next_lsn, 1 << 16);
+        let mut bytes = Vec::new();
+        PageOp::Format { ptype: PageType::BTreeLeaf }.encode(&mut bytes);
+        b.append(
+            &LogRecord {
+                txn: TxnId::new(1),
+                payload: LogPayload::PageWrite { page_id: PageId::new(5), op: bytes },
+            },
+            Some(PartitionId::new(0)),
+        );
+        b.set_ctx(root);
+        let block = b.seal();
+        f.lz.write_block(&block).unwrap();
+        f.xlog.offer_block(block.clone());
+        f.xlog.report_hardened(block.end_lsn());
+        ps.apply_once().unwrap();
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 1, "apply must record one ps.apply span");
+        assert_eq!(spans[0].kind, SpanKind::PsApply);
+        assert_eq!(spans[0].trace_id, root.trace_id);
+        assert_eq!(spans[0].parent_id, root.span_id);
+        // Serving with a ctx records ps.serve under the caller's span.
+        let handler = PageServerHandler::new(Arc::clone(&ps));
+        let serve_ctx = ring.try_sample().expect("sampled");
+        handler
+            .handle_ctx(
+                RbioRequest::GetPage { page_id: PageId::new(5), min_lsn: Lsn::ZERO },
+                serve_ctx,
+            )
+            .unwrap();
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].kind, SpanKind::PsServe);
+        assert_eq!(spans[1].parent_id, serve_ctx.span_id);
+        // An unsampled request records nothing.
+        handler
+            .handle_ctx(
+                RbioRequest::GetPage { page_id: PageId::new(5), min_lsn: Lsn::ZERO },
+                TraceCtx::NONE,
+            )
+            .unwrap();
+        assert_eq!(ring.spans().len(), 2);
     }
 
     #[test]

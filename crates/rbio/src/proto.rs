@@ -6,6 +6,7 @@
 //! messages cover what Socrates moves over RBIO: pages (single and
 //! stride-preserving ranges), applied-LSN probes, and health pings.
 
+use socrates_common::obs::TraceCtx;
 use socrates_common::{Error, Lsn, PageId, Result};
 
 /// Protocol version spoken by this build.
@@ -73,6 +74,10 @@ pub struct Envelope<T> {
     pub version: u16,
     /// Correlates responses to requests.
     pub request_id: u64,
+    /// Causal trace context (two u64 words on the wire;
+    /// [`TraceCtx::NONE`] — all zeros — when the caller is unsampled, so
+    /// the disarmed path costs nothing but copying zeros).
+    pub ctx: TraceCtx,
     /// The message.
     pub body: T,
 }
@@ -80,7 +85,12 @@ pub struct Envelope<T> {
 impl<T> Envelope<T> {
     /// Wrap `body` for the current protocol version.
     pub fn new(request_id: u64, body: T) -> Envelope<T> {
-        Envelope { version: RBIO_VERSION, request_id, body }
+        Envelope { version: RBIO_VERSION, request_id, ctx: TraceCtx::NONE, body }
+    }
+
+    /// Wrap `body` carrying a causal trace context.
+    pub fn with_ctx(request_id: u64, body: T, ctx: TraceCtx) -> Envelope<T> {
+        Envelope { version: RBIO_VERSION, request_id, ctx, body }
     }
 
     /// Reject envelopes from a different protocol version.
@@ -104,7 +114,12 @@ mod tests {
         let env = Envelope::new(7, RbioRequest::Ping);
         assert_eq!(env.version, RBIO_VERSION);
         env.check_version().unwrap();
-        let bad = Envelope { version: RBIO_VERSION + 1, request_id: 7, body: RbioRequest::Ping };
+        let bad = Envelope {
+            version: RBIO_VERSION + 1,
+            request_id: 7,
+            ctx: TraceCtx::NONE,
+            body: RbioRequest::Ping,
+        };
         assert_eq!(bad.check_version().unwrap_err().kind(), "protocol");
     }
 }

@@ -16,7 +16,7 @@ use crate::proto::{RbioRequest, RbioResponse};
 use crate::transport::RbioClient;
 use parking_lot::Mutex;
 use socrates_common::metrics::{Counter, Histogram};
-use socrates_common::obs::MetricsHub;
+use socrates_common::obs::{MetricsHub, TraceCtx};
 use socrates_common::rng::Rng;
 use socrates_common::{Error, NodeId, Result};
 use std::sync::mpsc::{self, RecvTimeoutError, Sender};
@@ -215,20 +215,30 @@ impl ReplicaSet {
 
     /// [`ReplicaSet::call`], plus the hedge outcome for span tracing.
     pub fn call_traced(&self, req: RbioRequest) -> Result<(RbioResponse, CallMeta)> {
+        self.call_traced_ctx(req, TraceCtx::NONE)
+    }
+
+    /// [`ReplicaSet::call_traced`], stamping `ctx` into every attempt's
+    /// envelope (hedges and failovers carry the same causal identity).
+    pub fn call_traced_ctx(
+        &self,
+        req: RbioRequest,
+        ctx: TraceCtx,
+    ) -> Result<(RbioResponse, CallMeta)> {
         if self.hedge.enabled && self.clients.len() > 1 {
-            self.call_hedged(req)
+            self.call_hedged(req, ctx)
         } else {
-            self.call_serial(req).map(|resp| (resp, CallMeta::default()))
+            self.call_serial(req, ctx).map(|resp| (resp, CallMeta::default()))
         }
     }
 
-    fn call_serial(&self, req: RbioRequest) -> Result<RbioResponse> {
+    fn call_serial(&self, req: RbioRequest, ctx: TraceCtx) -> Result<RbioResponse> {
         let first = self.pick();
         let n = self.clients.len();
         for k in 0..n {
             let idx = (first + k) % n;
             let t0 = Instant::now();
-            match self.clients[idx].call(req.clone()) {
+            match self.clients[idx].call_with_ctx(req.clone(), ctx) {
                 Ok(resp) => {
                     let us = t0.elapsed().as_micros() as u64;
                     self.observe(idx, us as f64);
@@ -251,6 +261,7 @@ impl ReplicaSet {
         idx: usize,
         was_hedge: bool,
         req: &RbioRequest,
+        ctx: TraceCtx,
         tx: &Sender<(usize, bool, Duration, Result<RbioResponse>)>,
     ) {
         let client = Arc::clone(&self.clients[idx]);
@@ -260,7 +271,7 @@ impl ReplicaSet {
             .name("rbio-hedge".into())
             .spawn(move || {
                 let t0 = Instant::now();
-                let res = client.call(req);
+                let res = client.call_with_ctx(req, ctx);
                 // The caller may already have returned with the other
                 // attempt's response; a closed channel is fine.
                 let _ = tx.send((idx, was_hedge, t0.elapsed(), res));
@@ -268,10 +279,10 @@ impl ReplicaSet {
             .expect("spawn rbio attempt");
     }
 
-    fn call_hedged(&self, req: RbioRequest) -> Result<(RbioResponse, CallMeta)> {
+    fn call_hedged(&self, req: RbioRequest, ctx: TraceCtx) -> Result<(RbioResponse, CallMeta)> {
         let primary = self.pick();
         let (tx, rx) = mpsc::channel();
-        self.spawn_attempt(primary, false, &req, &tx);
+        self.spawn_attempt(primary, false, &req, ctx, &tx);
         let mut attempts = 1u32;
         let mut outstanding = 1usize;
         let mut second_sent = false;
@@ -285,7 +296,7 @@ impl ReplicaSet {
                         // Primary is slower than the quantile: hedge.
                         self.hedges_fired.incr();
                         fired = true;
-                        self.spawn_attempt(self.pick_excluding(primary), true, &req, &tx);
+                        self.spawn_attempt(self.pick_excluding(primary), true, &req, ctx, &tx);
                         attempts += 1;
                         outstanding += 1;
                         second_sent = true;
@@ -329,7 +340,7 @@ impl ReplicaSet {
                     if !second_sent {
                         // Primary failed before the hedge delay expired:
                         // fail over immediately (not counted as a hedge).
-                        self.spawn_attempt(self.pick_excluding(primary), true, &req, &tx);
+                        self.spawn_attempt(self.pick_excluding(primary), true, &req, ctx, &tx);
                         attempts += 1;
                         outstanding += 1;
                         second_sent = true;

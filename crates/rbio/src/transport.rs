@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 use socrates_common::fault::{sites, FaultOutcome, FaultRegistry};
 use socrates_common::latency::{DeviceProfile, LatencyInjector, LatencyMode};
 use socrates_common::metrics::{Counter, Histogram};
+use socrates_common::obs::TraceCtx;
 use socrates_common::rng::Rng;
 use socrates_common::{Error, Lsn, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,6 +131,15 @@ fn lsn_context(req: &RbioRequest) -> Option<Lsn> {
 pub trait RbioHandler: Send + Sync + 'static {
     /// Handle one request.
     fn handle(&self, req: RbioRequest) -> Result<RbioResponse>;
+
+    /// Handle one request carrying the caller's trace context. The
+    /// default discards the context, so handlers that don't trace are
+    /// unaffected; span-aware handlers (the page server) override this
+    /// to parent their serve spans under the caller's.
+    fn handle_ctx(&self, req: RbioRequest, ctx: TraceCtx) -> Result<RbioResponse> {
+        let _ = ctx;
+        self.handle(req)
+    }
 }
 
 type WireResult = std::result::Result<RbioResponse, Error>;
@@ -165,7 +175,7 @@ impl RbioServer {
                         match rx.recv_timeout(Duration::from_millis(50)) {
                             Ok((env, reply)) => {
                                 let result = match env.check_version() {
-                                    Ok(()) => handler.handle(env.body),
+                                    Ok(()) => handler.handle_ctx(env.body, env.ctx),
                                     Err(e) => Err(e),
                                 };
                                 served.incr();
@@ -258,6 +268,12 @@ impl RbioClient {
     /// Issue `req`, retrying transient failures per the link config with
     /// jittered exponential backoff, bounded by the call budget.
     pub fn call(&self, req: RbioRequest) -> Result<RbioResponse> {
+        self.call_with_ctx(req, TraceCtx::NONE)
+    }
+
+    /// [`call`](Self::call), stamping the caller's trace context on every
+    /// attempt's envelope so the server parents its spans under it.
+    pub fn call_with_ctx(&self, req: RbioRequest, ctx: TraceCtx) -> Result<RbioResponse> {
         let t0 = Instant::now();
         let mut last_err = Error::Unavailable("rbio: no attempt made".into());
         let mut wait = self.config.backoff.base;
@@ -281,7 +297,7 @@ impl RbioClient {
                 std::thread::sleep(jittered);
                 wait = wait.mul_f64(self.config.backoff.multiplier).min(self.config.backoff.max);
             }
-            match self.try_once(req.clone()) {
+            match self.try_once(req.clone(), ctx) {
                 Ok(resp) => {
                     self.metrics.calls_ok.incr();
                     self.metrics.call_latency.record_duration(t0.elapsed());
@@ -315,7 +331,7 @@ impl RbioClient {
         }
     }
 
-    fn try_once(&self, req: RbioRequest) -> Result<RbioResponse> {
+    fn try_once(&self, req: RbioRequest, ctx: TraceCtx) -> Result<RbioResponse> {
         // ordering: relaxed — request-id uniqueness needs only RMW atomicity
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let lsn = lsn_context(&req);
@@ -338,7 +354,7 @@ impl RbioClient {
         }
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
-            .send((Envelope::new(id, req), reply_tx))
+            .send((Envelope::with_ctx(id, req, ctx), reply_tx))
             .map_err(|_| Error::Unavailable("rbio server is gone".into()))?;
         match reply_rx.recv_timeout(self.config.timeout) {
             Ok(env) => {
@@ -427,6 +443,35 @@ mod tests {
         }
         assert_eq!(client.metrics().calls_ok.get(), 3);
         assert_eq!(server.requests_served.get(), 3);
+    }
+
+    #[test]
+    fn trace_ctx_crosses_the_wire() {
+        struct CtxCapture {
+            trace: AtomicU64,
+            span: AtomicU64,
+        }
+        impl RbioHandler for CtxCapture {
+            fn handle(&self, _req: RbioRequest) -> Result<RbioResponse> {
+                Ok(RbioResponse::Pong)
+            }
+            fn handle_ctx(&self, req: RbioRequest, ctx: TraceCtx) -> Result<RbioResponse> {
+                // ordering: seqcst — test capture, no perf concern
+                self.trace.store(ctx.trace_id, Ordering::SeqCst);
+                self.span.store(ctx.span_id, Ordering::SeqCst);
+                self.handle(req)
+            }
+        }
+        let handler = Arc::new(CtxCapture { trace: AtomicU64::new(0), span: AtomicU64::new(0) });
+        let server = RbioServer::start(Arc::clone(&handler) as Arc<dyn RbioHandler>, 1);
+        let client = server.connect(NetworkConfig::instant());
+        let ctx = TraceCtx { trace_id: 7, span_id: 9 };
+        client.call_with_ctx(RbioRequest::Ping, ctx).unwrap();
+        assert_eq!(handler.trace.load(Ordering::SeqCst), 7);
+        assert_eq!(handler.span.load(Ordering::SeqCst), 9);
+        // A plain call carries the zero context.
+        client.call(RbioRequest::Ping).unwrap();
+        assert_eq!(handler.trace.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -26,7 +26,8 @@ use crate::sched::{IoScheduler, IoSchedulerConfig, RangedPageSource};
 use parking_lot::{Mutex, RwLock};
 use socrates_common::metrics::Counter;
 use socrates_common::obs::span::{HedgeOutcome, ReadTrace, ReadTraceRecorder};
-use socrates_common::{Error, Lsn, PageId, Result};
+use socrates_common::obs::{SpanKind, SpanRing};
+use socrates_common::{Error, Lsn, NodeId, PageId, Result};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -54,6 +55,12 @@ pub struct FetchMeta {
     pub hedge_fired: bool,
     /// The hedged attempt produced the winning response.
     pub hedge_won: bool,
+    /// Causal trace id minted by a sampling remote source (0 = untraced;
+    /// the disarmed path only ever copies zeros).
+    pub trace_id: u64,
+    /// Pre-allocated span id for the `getpage` root span; the source's
+    /// own child spans (`rbio.net`, server-side legs) hang off it.
+    pub root_span: u64,
 }
 
 /// Where cache misses are satisfied from (page servers, a local file, or a
@@ -164,6 +171,9 @@ pub struct TieredCache {
     /// pays exactly one relaxed load, and a disabled recorder costs the
     /// miss path nothing (no clocks, no allocation).
     trace_on: AtomicBool,
+    /// Cross-tier span ring plus this node's identity, set once at fabric
+    /// wiring time. Lock-free read on the miss path; no new lock rank.
+    spans: std::sync::OnceLock<(Arc<SpanRing>, NodeId)>,
 }
 
 impl TieredCache {
@@ -197,6 +207,7 @@ impl TieredCache {
                 "cache.read_trace",
             ),
             trace_on: AtomicBool::new(false),
+            spans: std::sync::OnceLock::new(),
         }
     }
 
@@ -262,6 +273,13 @@ impl TieredCache {
     /// The read-span recorder, if tracing was wired up.
     pub fn read_trace(&self) -> Option<Arc<ReadTraceRecorder>> {
         self.read_trace.read().clone()
+    }
+
+    /// Route cross-tier `getpage` root spans into `ring`, attributed to
+    /// `node`. First caller wins; later calls are ignored (fabric wiring
+    /// happens once per node).
+    pub fn set_span_ring(&self, ring: Arc<SpanRing>, node: NodeId) {
+        let _ = self.spans.set((ring, node));
     }
 
     /// Fetch a page from the remote source, through the scheduler when
@@ -344,9 +362,10 @@ impl TieredCache {
         id: PageId,
         min_lsn: impl FnOnce() -> Lsn,
     ) -> Result<(PageRef, CacheTier)> {
-        let probe_t0 =
-            // ordering: relaxed — sampling toggle; worst case one unstamped span
-            if self.trace_on.load(Ordering::Relaxed) { Some(Instant::now()) } else { None };
+        // ordering: relaxed — sampling toggle; worst case one unstamped span
+        let traced = self.trace_on.load(Ordering::Relaxed)
+            || self.spans.get().is_some_and(|(ring, _)| ring.is_enabled());
+        let probe_t0 = if traced { Some(Instant::now()) } else { None };
         if let Some(p) = self.mem_lookup(id) {
             self.stats.mem_hits.incr();
             return Ok((p, CacheTier::Memory));
@@ -376,6 +395,23 @@ impl TieredCache {
         let sink_t0 = Instant::now();
         let page_ref = self.install(page)?;
         let sink_ns = sink_t0.elapsed().as_nanos() as u64;
+        if meta.trace_id != 0 {
+            // The source sampled this miss: close out the `getpage` root
+            // span (the source's own child spans hang off `root_span`).
+            if let Some((ring, node)) = self.spans.get() {
+                let dur_ns = probe_ns + fetch_ns + sink_ns;
+                let end_ns = ring.now_ns();
+                ring.record(
+                    meta.trace_id,
+                    meta.root_span,
+                    0,
+                    SpanKind::GetPage,
+                    *node,
+                    end_ns.saturating_sub(dur_ns),
+                    dur_ns,
+                );
+            }
+        }
         if let Some(rec) = self.read_trace.read().as_ref() {
             rec.record(ReadTrace {
                 page: id,
@@ -669,6 +705,49 @@ mod tests {
             cache.get(PageId::new(i), || Lsn::ZERO).unwrap();
         }
         assert!((cache.stats().local_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_miss_records_a_getpage_root_span() {
+        /// A source that mints a trace ctx per fetch, the way the fabric's
+        /// remote source does, and stamps it into the meta.
+        struct TracingSource {
+            inner: Arc<MapSource>,
+            ring: Arc<SpanRing>,
+        }
+        impl PageSource for TracingSource {
+            fn fetch_page(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
+                self.inner.fetch_page(id, min_lsn)
+            }
+            fn fetch_page_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
+                let ctx = self.ring.try_sample().unwrap();
+                let page = self.inner.fetch_page(id, min_lsn)?;
+                Ok((
+                    page,
+                    FetchMeta {
+                        range_width: 1,
+                        trace_id: ctx.trace_id,
+                        root_span: ctx.span_id,
+                        ..FetchMeta::default()
+                    },
+                ))
+            }
+        }
+
+        let ring = Arc::new(SpanRing::new(16, 1));
+        let src = Arc::new(TracingSource { inner: MapSource::new(0..10), ring: Arc::clone(&ring) });
+        let cache = TieredCache::with_defaults(4, None, src);
+        cache.set_span_ring(Arc::clone(&ring), NodeId::PRIMARY);
+        cache.get(PageId::new(3), || Lsn::ZERO).unwrap();
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::GetPage);
+        assert_eq!(spans[0].parent_id, 0, "getpage is the trace root");
+        assert_eq!(spans[0].trace_id, spans[0].span_id);
+        assert_eq!(spans[0].node, NodeId::PRIMARY);
+        // A memory hit must not record anything.
+        cache.get(PageId::new(3), || Lsn::ZERO).unwrap();
+        assert_eq!(ring.spans().len(), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::record::{LogRecord, SequencedRecord};
 use socrates_common::checksum::crc32;
+use socrates_common::obs::TraceCtx;
 use socrates_common::{Error, Lsn, PartitionId, Result};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -34,6 +35,11 @@ pub struct LogBlock {
     bytes: Arc<Vec<u8>>,
     partitions: Arc<Vec<PartitionId>>,
     record_count: u32,
+    /// Causal trace context of the sampled commit (if any) grouped into
+    /// this block. In-memory only — not part of the encoded image, so a
+    /// block recovered from the landing zone decodes to
+    /// [`TraceCtx::NONE`] (the trace ends where durability begins).
+    ctx: TraceCtx,
 }
 
 impl PartialEq for LogBlock {
@@ -76,6 +82,12 @@ impl LogBlock {
     /// Partitions whose pages are modified by records in this block.
     pub fn partitions(&self) -> &[PartitionId] {
         &self.partitions
+    }
+
+    /// The causal trace context riding on this block ([`TraceCtx::NONE`]
+    /// when no grouped commit was sampled).
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx
     }
 
     /// Whether this block contains any record relevant to `p`.
@@ -163,6 +175,7 @@ impl LogBlock {
             bytes: Arc::new(bytes),
             partitions: Arc::new(partitions),
             record_count,
+            ctx: TraceCtx::NONE,
         })
     }
 }
@@ -184,6 +197,7 @@ pub struct BlockBuilder {
     record_count: u32,
     partitions: BTreeSet<PartitionId>,
     max_record_bytes: usize,
+    ctx: TraceCtx,
 }
 
 impl BlockBuilder {
@@ -196,6 +210,16 @@ impl BlockBuilder {
             record_count: 0,
             partitions: BTreeSet::new(),
             max_record_bytes,
+            ctx: TraceCtx::NONE,
+        }
+    }
+
+    /// Attach a sampled commit's trace context. One ctx per block: the
+    /// first sampled commit wins (group commit batches many commits into
+    /// one harden; tracing follows the one that triggered sampling).
+    pub fn set_ctx(&mut self, ctx: TraceCtx) {
+        if !self.ctx.sampled() {
+            self.ctx = ctx;
         }
     }
 
@@ -253,6 +277,7 @@ impl BlockBuilder {
             bytes: Arc::new(self.buf),
             partitions: Arc::new(partitions),
             record_count: self.record_count,
+            ctx: self.ctx,
         }
     }
 }
@@ -292,6 +317,21 @@ mod tests {
         assert_eq!(recs[0].record, r1);
         assert_eq!(recs[1].lsn, lsn2);
         assert_eq!(recs[1].record, r2);
+    }
+
+    #[test]
+    fn trace_ctx_rides_in_memory_only() {
+        let mut b = BlockBuilder::new(Lsn::ZERO, 1 << 16);
+        b.append(&page_write(1, b"x"), None);
+        b.set_ctx(TraceCtx { trace_id: 5, span_id: 5 });
+        // First sampled ctx wins across a group-commit batch.
+        b.set_ctx(TraceCtx { trace_id: 9, span_id: 9 });
+        let block = b.seal();
+        assert_eq!(block.ctx().trace_id, 5);
+        // Clones share it; decoding the image does not resurrect it.
+        assert_eq!(block.clone().ctx().trace_id, 5);
+        let decoded = LogBlock::decode(block.as_bytes().to_vec()).unwrap();
+        assert!(!decoded.ctx().sampled());
     }
 
     #[test]

@@ -23,7 +23,8 @@ use crate::record::{LogPayload, LogRecord};
 use parking_lot::{Condvar, Mutex, RwLock};
 use socrates_common::lsn::AtomicLsn;
 use socrates_common::metrics::{Counter, Histogram};
-use socrates_common::{Lsn, PageId, PartitionId, Result};
+use socrates_common::obs::{SpanKind, SpanRing, TraceCtx};
+use socrates_common::{Lsn, NodeId, PageId, PartitionId, Result};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
@@ -106,6 +107,10 @@ pub struct LogPipeline {
     partition_of: PartitionMap,
     config: LogPipelineConfig,
     metrics: LogPipelineMetrics,
+    /// Causal span sink + the node identity harden spans are attributed
+    /// to. `None` until [`set_span_ring`](Self::set_span_ring); read once
+    /// per flushed block, never on the append path.
+    spans: RwLock<Option<(Arc<SpanRing>, NodeId)>>,
 }
 
 impl LogPipeline {
@@ -149,7 +154,14 @@ impl LogPipeline {
             partition_of,
             config,
             metrics: LogPipelineMetrics::default(),
+            spans: RwLock::with_rank(None, socrates_common::lock_rank::WAL_SPANS, "wal.spans"),
         }
+    }
+
+    /// Attach the causal span ring; harden spans are recorded against
+    /// `node` (the primary that owns this pipeline).
+    pub fn set_span_ring(&self, ring: Arc<SpanRing>, node: NodeId) {
+        *self.spans.write() = Some((ring, node));
     }
 
     /// Attach a consumer. Consumers added later simply see later blocks;
@@ -214,6 +226,14 @@ impl LogPipeline {
 
     /// Append `record`, returning its LSN. Does not wait for durability.
     pub fn append(&self, record: &LogRecord) -> Lsn {
+        self.append_traced(record, TraceCtx::NONE)
+    }
+
+    /// [`append`](Self::append), tagging the record's block with a
+    /// sampled commit's trace context so the harden and every downstream
+    /// consumer (XLOG feed, page-server apply) parent their spans under
+    /// it. A [`TraceCtx::NONE`] ctx makes this identical to `append`.
+    pub fn append_traced(&self, record: &LogRecord, ctx: TraceCtx) -> Lsn {
         let partition = match &record.payload {
             LogPayload::PageWrite { page_id, .. } => Some((self.partition_of)(*page_id)),
             _ => None,
@@ -231,7 +251,11 @@ impl LogPipeline {
             buf.builder =
                 Some(BlockBuilder::new(buf.next_block_start, self.config.max_block_bytes));
         }
-        buf.builder.as_mut().expect("just created").append(record, partition)
+        let builder = buf.builder.as_mut().expect("just created");
+        if ctx.sampled() {
+            builder.set_ctx(ctx);
+        }
+        builder.append(record, partition)
     }
 
     /// Harden everything appended so far; returns the new hardened LSN.
@@ -272,9 +296,22 @@ impl LogPipeline {
                 d.offer_block(&block);
             }
             let t0 = Instant::now();
+            // Resolve the span sink only for ctx-carrying blocks: the
+            // untraced path never touches the lock.
+            let span_sink = if block.ctx().sampled() { self.spans.read().clone() } else { None };
+            let span_start = span_sink.as_ref().map(|(ring, _)| ring.now_ns());
             match self.sink.harden(&block) {
                 Ok(()) => {
                     self.metrics.harden_latency.record_duration(t0.elapsed());
+                    if let (Some((ring, node)), Some(start)) = (&span_sink, span_start) {
+                        ring.record_child(
+                            block.ctx(),
+                            SpanKind::WalHarden,
+                            *node,
+                            start,
+                            ring.now_ns().saturating_sub(start),
+                        );
+                    }
                     self.metrics.bytes_hardened.add(block.len() as u64);
                     self.metrics.blocks_hardened.incr();
                     let end = block.end_lsn();
@@ -516,6 +553,29 @@ mod tests {
         assert!(blocks.len() < 400, "group commit should batch ({} blocks)", blocks.len());
         // All commits observed durability.
         assert_eq!(p.metrics().commit_latency.count(), 400);
+    }
+
+    #[test]
+    fn traced_append_records_a_harden_span() {
+        let sink = Arc::new(TestSink::default());
+        let p = pipeline(Arc::clone(&sink), 1 << 16);
+        let ring = Arc::new(SpanRing::new(16, 1));
+        p.set_span_ring(Arc::clone(&ring), NodeId::PRIMARY);
+        let ctx = ring.try_sample().expect("1-in-1 sampling");
+        let lsn = p.append_traced(&record(1, 10), ctx);
+        p.commit_wait(lsn).unwrap();
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::WalHarden);
+        assert_eq!(spans[0].trace_id, ctx.trace_id);
+        assert_eq!(spans[0].parent_id, ctx.span_id);
+        assert_eq!(spans[0].node, NodeId::PRIMARY);
+        // The ctx reached the hardened block for downstream consumers.
+        assert_eq!(sink.hardened.lock()[0].ctx(), ctx);
+        // Untraced appends stay untraced.
+        let lsn = p.append(&record(2, 10));
+        p.commit_wait(lsn).unwrap();
+        assert_eq!(ring.spans().len(), 1);
     }
 
     #[test]

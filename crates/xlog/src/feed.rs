@@ -10,6 +10,8 @@
 
 use crate::service::XLogService;
 use socrates_common::fault::{sites, FaultRegistry};
+use socrates_common::obs::{SpanKind, SpanRing};
+use socrates_common::NodeId;
 use socrates_rbio::lossy::{LossyChannel, LossyConfig};
 use socrates_wal::block::LogBlock;
 use socrates_wal::pipeline::LogDisseminator;
@@ -42,6 +44,18 @@ impl XLogFeed {
         lossy: LossyConfig,
         faults: FaultRegistry,
     ) -> XLogFeed {
+        XLogFeed::start_with_obs(svc, lossy, faults, None)
+    }
+
+    /// [`XLogFeed::start_with_faults`], recording an `xlog.feed` child
+    /// span into `spans` for every delivered ctx-carrying block (the
+    /// XLOG leg of a sampled commit's cross-tier trace).
+    pub fn start_with_obs(
+        svc: Arc<XLogService>,
+        lossy: LossyConfig,
+        faults: FaultRegistry,
+        spans: Option<Arc<SpanRing>>,
+    ) -> XLogFeed {
         let (channel, rx) = LossyChannel::<LogBlock>::new(lossy);
         let stop = Arc::new(AtomicBool::new(false));
         let pump = {
@@ -60,7 +74,21 @@ impl XLogFeed {
                             {
                                 continue; // injected loss; LZ gap fill recovers
                             }
+                            let span_start = match (&spans, block.ctx().sampled()) {
+                                (Some(ring), true) => Some(ring.now_ns()),
+                                _ => None,
+                            };
+                            let ctx = block.ctx();
                             svc.offer_block(block);
+                            if let (Some(ring), Some(start)) = (&spans, span_start) {
+                                ring.record_child(
+                                    ctx,
+                                    SpanKind::XlogFeed,
+                                    NodeId::XLOG,
+                                    start,
+                                    ring.now_ns().saturating_sub(start),
+                                );
+                            }
                         }
                     }
                 })

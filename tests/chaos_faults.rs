@@ -292,3 +292,103 @@ fn kill_partition_unregisters_metrics_and_restart_reregisters() {
     assert_eq!(p2.db().scan_table(&r, "t", usize::MAX).unwrap().len(), 150);
     sys.shutdown();
 }
+
+/// Chaos + blackbox: a faulted run with SLOs armed must write a flight-
+/// recorder bundle on the breach edge, and the bundle must round-trip
+/// through the in-tree JSON parser with every section populated — the
+/// postmortem artifact CI uploads when a chaos suite fails.
+#[test]
+fn blackbox_bundle_from_a_faulted_run_roundtrips() {
+    let dir = std::env::temp_dir().join(format!("bb-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = SocratesConfig::fast_test()
+        .with_fault_spec(31, "lz.write@every:6=error:unavailable")
+        .with_trace_sample(1, 4096)
+        .with_hub_history(256, Duration::from_millis(1))
+        // An objective the workload is guaranteed to miss: appending any
+        // log at all breaches it, so the ok→breach edge fires once the
+        // watcher ticks — exercising the automatic trigger path.
+        .with_slo_spec("primary.0.log_bytes_appended < 1 over 1m")
+        .with_blackbox(&dir);
+    config.blackbox_last_n = 32;
+    let sys = Socrates::launch(config).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    for i in 0..60i64 {
+        let h = db.begin();
+        db.insert(&h, "t", &row(i, "bb")).unwrap();
+        db.commit(h).unwrap();
+    }
+    sys.fabric().wait_applied(p.pipeline().hardened_lsn(), Duration::from_secs(30)).unwrap();
+
+    // The watcher thread drives obs_tick; wait for the breach edge.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while sys.fabric().blackbox.bundles_written() == 0 {
+        assert!(std::time::Instant::now() < deadline, "SLO breach never triggered the blackbox");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(sys.fabric().slo_breaching(), "breach edge fired but the gauge reads ok");
+
+    // Quiesce the async commit stages (destage, applies) so the explicit
+    // bundle retains completed commit traces, then trigger what a chaos
+    // harness calls on invariant violation — it gets its own sequence.
+    sys.fabric().xlog.destage_all().unwrap();
+    std::thread::sleep(sys.fabric().config.watcher_interval * 4 + Duration::from_millis(20));
+    let explicit = sys.fabric().blackbox.trigger("chaos-invariant").unwrap();
+    sys.shutdown();
+
+    let auto = dir.join("slo-breach-0.json");
+    assert!(auto.exists(), "missing automatic bundle {}", auto.display());
+    for (path, quiesced) in [(auto, false), (explicit, true)] {
+        let doc = socrates_common::obs::testjson::parse(&std::fs::read_to_string(&path).unwrap())
+            .unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
+        assert_eq!(
+            doc.get("version").and_then(|v| v.as_i64()),
+            Some(socrates_common::obs::BLACKBOX_VERSION as i64)
+        );
+        // Every ring section is present in both bundles. The breach-edge
+        // bundle fires on the watcher's first tick — milliseconds into
+        // the run — so only the quiesced explicit bundle guarantees the
+        // rings it snapshots are populated: metrics, completed commit
+        // traces, cross-tier spans (sample_every=1), fired fault events
+        // (lz.write every 6th call).
+        let section = |key: &str| {
+            doc.get(key)
+                .and_then(|v| v.as_array())
+                .unwrap_or_else(|| panic!("{}: missing section {key:?}", path.display()))
+                .len()
+        };
+        for key in ["metrics", "commit_traces", "read_spans", "slow_ops", "spans", "fault_events"] {
+            let n = section(key);
+            if quiesced && key != "read_spans" && key != "slow_ops" {
+                assert!(n > 0, "{}: section {key:?} is empty after quiesce", path.display());
+            }
+        }
+        assert!(section("commit_traces") <= 32, "last_n must bound the section");
+        if quiesced {
+            // The spans section carries causal links the deserializer
+            // can walk: some span names a parent also in the bundle.
+            let spans = doc.get("spans").unwrap().as_array().unwrap();
+            let ids: Vec<i64> =
+                spans.iter().filter_map(|s| s.get("span").and_then(|v| v.as_i64())).collect();
+            assert!(
+                spans.iter().any(|s| {
+                    s.get("parent")
+                        .and_then(|v| v.as_i64())
+                        .is_some_and(|p| p != 0 && ids.contains(&p))
+                }),
+                "{}: no causally-linked span pair in the bundle",
+                path.display()
+            );
+            // And a fired fault round-trips with its site name intact.
+            let faults = doc.get("fault_events").unwrap().as_array().unwrap();
+            assert!(
+                faults.iter().any(|e| e.get("site").and_then(|s| s.as_str()) == Some("lz.write")),
+                "{}: lz.write fault missing from the bundle",
+                path.display()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

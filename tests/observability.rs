@@ -9,10 +9,12 @@
 use socrates::{Socrates, SocratesConfig};
 use socrates_common::ids::NodeKind;
 use socrates_common::obs::{
-    json_snapshot, json_trace_summary, prometheus_text, testjson, MetricValue, Stage,
+    chrome_trace_json, json_snapshot, json_trace_summary, prometheus_text, testjson, MetricValue,
+    SpanKind, Stage,
 };
 use socrates_common::NodeId;
 use socrates_engine::value::{ColumnType, Schema, Value};
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 const COMMITS: u64 = 120;
@@ -188,6 +190,107 @@ fn exporters_emit_parseable_output() {
         let s = stages.get(stage.name()).expect("stage entry");
         assert!(s.get("count").and_then(|c| c.as_i64()).unwrap() > 0);
     }
+    sys.shutdown();
+}
+
+#[test]
+fn traced_commit_yields_causally_linked_spans_across_tiers() {
+    // Sample every commit/GetPage into the cross-tier span ring.
+    let mut config = SocratesConfig::fast_test();
+    config.secondaries = 1;
+    config.trace_sample = 1;
+    let sys = Socrates::launch(config).unwrap();
+    let primary = sys.primary().unwrap();
+    let db = primary.db();
+    db.create_table("t", schema()).unwrap();
+    for i in 0..COMMITS {
+        let h = db.begin();
+        db.insert(&h, "t", &[Value::Int(i as i64), Value::Str(format!("v{i}"))]).unwrap();
+        db.commit(h).unwrap();
+    }
+    let frontier = primary.pipeline().hardened_lsn();
+    sys.fabric().wait_applied(frontier, Duration::from_secs(30)).unwrap();
+    sys.secondary(0).unwrap().wait_applied(frontier, Duration::from_secs(30)).unwrap();
+
+    // The feed pump and page-server apply record their spans
+    // asynchronously; wait until at least one trace has grown a
+    // page-server apply span.
+    let spans_of = |trace: u64| -> Vec<socrates_common::obs::SpanEvent> {
+        sys.fabric().spans.spans().into_iter().filter(|s| s.trace_id == trace).collect()
+    };
+    let pick_trace = || -> Option<u64> {
+        sys.fabric()
+            .spans
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::PsApply)
+            .map(|s| s.trace_id)
+            .find(|&t| spans_of(t).iter().any(|s| s.kind == SpanKind::Commit))
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let trace_id = loop {
+        if let Some(t) = pick_trace() {
+            break t;
+        }
+        assert!(Instant::now() < deadline, "no trace grew a cross-tier apply span");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    // Acceptance: one traced commit renders ≥5 causally-linked spans
+    // spanning ≥3 tiers.
+    let trace = spans_of(trace_id);
+    assert!(trace.len() >= 5, "only {} spans in trace {trace_id}: {trace:?}", trace.len());
+    let tiers: HashSet<NodeKind> = trace.iter().map(|s| s.node.kind).collect();
+    assert!(tiers.len() >= 3, "trace {trace_id} spans only {tiers:?}");
+
+    // Causal linkage: exactly one root (the commit), and every other
+    // span's parent is a span of the same trace.
+    let ids: HashSet<u64> = trace.iter().map(|s| s.span_id).collect();
+    let roots: Vec<_> = trace.iter().filter(|s| s.parent_id == 0).collect();
+    assert_eq!(roots.len(), 1, "trace {trace_id} has {} roots", roots.len());
+    assert_eq!(roots[0].kind, SpanKind::Commit);
+    assert_eq!(roots[0].span_id, trace_id, "trace id is the root span id");
+    for s in &trace {
+        if s.parent_id != 0 {
+            assert!(
+                ids.contains(&s.parent_id),
+                "span {:?} parents outside its trace",
+                s.kind.name()
+            );
+        }
+    }
+    // The commit's stage children all surface.
+    for kind in [SpanKind::CommitEngine, SpanKind::CommitHarden, SpanKind::WalHarden] {
+        assert!(
+            trace.iter().any(|s| s.kind == kind),
+            "trace {trace_id} missing a {} span",
+            kind.name()
+        );
+    }
+    assert!(
+        trace.iter().any(|s| s.node.kind == NodeKind::XLog),
+        "trace {trace_id} never crossed into the XLOG tier"
+    );
+
+    // The Chrome exporter renders the same events as valid JSON with one
+    // complete-event entry per span (plus thread-name metadata).
+    let all = sys.fabric().spans.spans();
+    let doc = testjson::parse(&chrome_trace_json(&all)).expect("valid chrome trace JSON");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+    let complete =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).count();
+    assert_eq!(complete, all.len(), "one X event per recorded span");
+    sys.shutdown();
+}
+
+#[test]
+fn disarmed_span_ring_stays_empty() {
+    // fast_test leaves trace_sample = 0: the whole workload must not
+    // record a single cross-tier span or mint an id.
+    let sys = observed_deployment();
+    assert!(!sys.fabric().spans.is_enabled());
+    assert_eq!(sys.fabric().spans.spans_recorded(), 0);
+    assert!(sys.fabric().spans.spans().is_empty());
     sys.shutdown();
 }
 
