@@ -1,7 +1,7 @@
 //! `benchrec` — structured bench-telemetry recorder.
 //!
-//! Runs the telemetry scenarios (cold-scan and steady-state read
-//! workloads), snapshots read/commit stage percentiles and every hub
+//! Runs the telemetry scenarios (cold-scan, steady-state, and
+//! historical-read workloads), snapshots read/commit stage percentiles and every hub
 //! metric after each one, and writes the versioned `BENCH_PR6.json`
 //! document (schema: `socrates_bench::telemetry`) stamped with run
 //! provenance (git SHA, config fingerprint, host cores). CI uploads the
@@ -17,8 +17,8 @@
 //! ```
 
 use socrates_bench::telemetry::{
-    check_schema, cold_scan_scenario, span_overhead_ab, steady_state_scenario, trace_overhead_ab,
-    RunRecorder,
+    check_schema, cold_scan_scenario, historical_read_scenario, span_overhead_ab,
+    steady_state_scenario, trace_overhead_ab, RunRecorder,
 };
 use socrates_bench::Effort;
 use socrates_common::obs::testjson;
@@ -94,6 +94,7 @@ fn main() {
     for (name, f) in [
         ("cold_scan", cold_scan_scenario as fn(Effort) -> socrates_common::Result<_>),
         ("steady_state", steady_state_scenario),
+        ("historical_read", historical_read_scenario),
     ] {
         let t0 = std::time::Instant::now();
         match f(effort) {
@@ -135,7 +136,7 @@ fn run_check(path: &std::path::Path) {
         .and_then(|v| v.as_array())
         .map(|s| s.iter().filter_map(|sc| sc.get("name").and_then(|n| n.as_str())).collect())
         .unwrap_or_default();
-    for want in ["cold_scan", "steady_state"] {
+    for want in ["cold_scan", "steady_state", "historical_read"] {
         if !names.contains(&want) {
             die(&format!("{} is missing scenario {want:?}", path.display()));
         }

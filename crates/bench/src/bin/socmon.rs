@@ -19,6 +19,10 @@
 //!                             # trace-event file (chrome://tracing)
 //! socmon --slo "SPEC"         # evaluate SLOs over the run's time-series
 //!                             # history; exit 3 if any is breaching
+//! socmon --layers             # drive seals/checkpoint/compaction/GC and
+//!                             # render the layered-store view: per-page-
+//!                             # server layer counts, compaction backlog,
+//!                             # and the GC horizon
 //! socmon --watch N            # N live refreshes of the history view
 //! socmon --plain              # line-oriented output (no headers/ANSI);
 //!                             # auto-selected when stdout is not a TTY
@@ -26,8 +30,10 @@
 
 use socrates::{Socrates, SocratesConfig};
 use socrates_common::obs::{
-    chrome_trace_json, json_snapshot, json_trace_summary, prometheus_text, ReadStage, Stage,
+    chrome_trace_json, json_snapshot, json_trace_summary, prometheus_text, MetricValue, ReadStage,
+    Stage,
 };
+use socrates_common::{Error, Lsn, PageId};
 use socrates_engine::value::{ColumnType, Schema};
 use socrates_engine::Value;
 use std::io::IsTerminal;
@@ -49,6 +55,9 @@ struct Options {
     watch: u64,
     /// Line-oriented output, stable for scripts.
     plain: bool,
+    /// Layered-store view (`--layers`): seal aggressively, checkpoint,
+    /// compact and GC, then render the per-partition layer metrics.
+    layers: bool,
 }
 
 fn parse_args() -> Options {
@@ -62,6 +71,7 @@ fn parse_args() -> Options {
         slo: String::new(),
         watch: 0,
         plain: !std::io::stdout().is_terminal(),
+        layers: false,
     };
     let mut i = 1;
     while i < args.len() {
@@ -106,10 +116,12 @@ fn parse_args() -> Options {
                 opts.watch = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(5);
             }
             "--plain" => opts.plain = true,
+            "--layers" | "-L" => opts.layers = true,
             "--help" | "-h" => {
                 println!(
                     "usage: socmon [--format table|prom|json] [--commits N] [--secondaries N] \
-                     [--reads] [--export-chrome [PATH]] [--slo SPEC] [--watch N] [--plain]"
+                     [--reads] [--layers] [--export-chrome [PATH]] [--slo SPEC] [--watch N] \
+                     [--plain]"
                 );
                 std::process::exit(0);
             }
@@ -151,11 +163,19 @@ fn main() {
             let trace = json_trace_summary(sys.trace());
             println!("{},\"trace\":{}}}", &metrics[..metrics.len() - 1], trace);
         }
-        _ if opts.plain => render_plain(&sys),
+        _ if opts.plain => {
+            render_plain(&sys);
+            if opts.layers {
+                render_layers(&sys, true);
+            }
+        }
         _ => {
             render_table(&sys);
             if opts.reads {
                 render_reads(&sys);
+            }
+            if opts.layers {
+                render_layers(&sys, false);
             }
         }
     }
@@ -193,6 +213,12 @@ fn run_workload(opts: &Options) -> socrates_common::Result<Socrates> {
     if !opts.slo.is_empty() {
         config.slo_spec = opts.slo.clone();
     }
+    if opts.layers {
+        // Seal the open L0 every few KiB of per-page log so even a small
+        // workload banks sealed layers, and keep a finite retention window
+        // so the GC pass below has a horizon to act on.
+        config = config.with_layer_knobs(4 << 10, usize::MAX >> 1).with_retention_window(64 << 10);
+    }
     let sys = Socrates::launch(config)?;
     {
         let primary = sys.primary()?;
@@ -212,6 +238,32 @@ fn run_workload(opts: &Options) -> socrates_common::Result<Socrates> {
         sys.fabric().wait_applied(frontier, Duration::from_secs(30))?;
         sys.fabric().xlog.destage_all()?;
         std::thread::sleep(sys.fabric().config.watcher_interval * 4);
+    }
+    if opts.layers {
+        // Drive the layer machinery end to end so the view has something
+        // to show: a checkpoint, an explicit compaction merging the
+        // sealed L0s into an L1 image, a GC pass against the retention
+        // horizon, and a handful of time-travel reads.
+        sys.checkpoint()?;
+        let fabric = sys.fabric();
+        for pid in fabric.partition_ids() {
+            let Some(handle) = fabric.partition(pid) else { continue };
+            let ps = &handle.servers[0];
+            ps.compact_blocking()?;
+            ps.gc()?;
+            let spec = fabric.partition_spec(pid);
+            let frontier = ps.applied_lsn();
+            let mid = Lsn::new((ps.gc_floor_lsn().offset() + frontier.offset()).div_ceil(2).max(1));
+            for i in 0..8 {
+                let page = PageId::new(spec.base_page + i);
+                for lsn in [mid, frontier] {
+                    match ps.get_page_at(page, lsn) {
+                        Ok(_) | Err(Error::NotFound(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
     }
     if opts.reads {
         // Fail over so the replacement primary starts with a cold cache:
@@ -374,6 +426,82 @@ fn render_plain(sys: &Socrates) {
                     sample.node, sample.name, h.count, h.mean_us, h.p50_us, h.p99_us
                 );
             }
+        }
+    }
+}
+
+/// The ten layered-store metrics every page server registers, render order.
+const LAYER_METRICS: [&str; 10] = [
+    "layer_l0_count",
+    "layers_sealed",
+    "layer_l1_images",
+    "layer_merged_deltas",
+    "layer_open_bytes",
+    "compaction_backlog",
+    "compactions_run",
+    "gc_layers_dropped",
+    "historical_reads",
+    "gc_horizon_lsn",
+];
+
+/// The `--layers` view: the layered page-version store per page server —
+/// layer counts and open-layer fill, compaction backlog and runs, GC
+/// horizon and drops, and how many reads took the time-travel path. All
+/// numbers come from the metrics hub, so `--format prom|json` consumers
+/// see the same series.
+fn render_layers(sys: &Socrates, plain: bool) {
+    let snapshot = sys.hub().snapshot();
+    if !plain {
+        println!("\n== layered store (per page server) ==");
+        println!(
+            "{:<16} {:>4} {:>7} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>8} {:>12}",
+            "node",
+            "l0",
+            "sealed",
+            "images",
+            "merged",
+            "open_b",
+            "backlog",
+            "compacts",
+            "gc_drop",
+            "hist_rd",
+            "gc_horizon"
+        );
+    }
+    for node in snapshot.nodes() {
+        let mut values = std::collections::HashMap::new();
+        for sample in snapshot.for_node(node) {
+            let v = match &sample.value {
+                MetricValue::Counter(c) => (*c).min(i64::MAX as u64) as i64,
+                MetricValue::Gauge(g) => *g,
+                MetricValue::Histogram(_) => continue,
+            };
+            values.insert(sample.name.as_str(), v);
+        }
+        // Only page servers (and their branches) register the layer gauges.
+        if !values.contains_key("layer_l0_count") {
+            continue;
+        }
+        let get = |name: &str| values.get(name).copied().unwrap_or(0);
+        if plain {
+            for name in LAYER_METRICS {
+                println!("layers.{node}.{name} {}", get(name));
+            }
+        } else {
+            println!(
+                "{:<16} {:>4} {:>7} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>8} {:>12}",
+                node.to_string(),
+                get("layer_l0_count"),
+                get("layers_sealed"),
+                get("layer_l1_images"),
+                get("layer_merged_deltas"),
+                get("layer_open_bytes"),
+                get("compaction_backlog"),
+                get("compactions_run"),
+                get("gc_layers_dropped"),
+                get("historical_reads"),
+                get("gc_horizon_lsn"),
+            );
         }
     }
 }

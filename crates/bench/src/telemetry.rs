@@ -49,7 +49,7 @@
 
 use socrates::{Socrates, SocratesConfig};
 use socrates_common::obs::{testjson, MetricValue, ReadStage, Stage};
-use socrates_common::Result;
+use socrates_common::{Lsn, PageId, Result};
 use socrates_engine::value::{ColumnType, Schema};
 use socrates_engine::Value;
 use std::time::{Duration, Instant};
@@ -420,6 +420,51 @@ pub fn steady_state_scenario(effort: Effort) -> Result<ScenarioRecord> {
     scan_all(&p, rows)?;
     scan_all(&p, rows)?;
     let record = ScenarioRecord::capture("steady_state", tps, &sys);
+    sys.shutdown();
+    Ok(record)
+}
+
+/// The `historical_read` telemetry scenario: the commit workload runs
+/// over a layered store sealing its open L0 every few KiB, a checkpoint
+/// and an explicit compaction build L1 images, and then a seeded sweep of
+/// `GetPage@LSN` probes at random historical LSNs exercises the
+/// time-travel read path — LayerMap resolution through images and merged
+/// deltas under realistic device latencies. The layer gauges
+/// (`layer_*`, `compaction_backlog`, `gc_horizon_lsn`) and the
+/// `historical_reads` counter land in the scenario's `metrics` map.
+pub fn historical_read_scenario(effort: Effort) -> Result<ScenarioRecord> {
+    let (rows, probes) = match effort {
+        Effort::Quick => (400, 256),
+        Effort::Full => (2_000, 1_024),
+    };
+    let config = SocratesConfig::realistic(405)
+        .with_secondaries(0)
+        .with_scheduler(true)
+        .with_layer_knobs(4 << 10, usize::MAX >> 1);
+    let sys = Socrates::launch(config)?;
+    let tps = run_commit_workload(&sys, rows)?;
+    sys.checkpoint()?;
+    let fabric = sys.fabric();
+    let mut rng = socrates_common::rng::Rng::new(405);
+    for pid in fabric.partition_ids() {
+        let Some(handle) = fabric.partition(pid) else { continue };
+        let ps = &handle.servers[0];
+        ps.compact_blocking()?;
+        let spec = fabric.partition_spec(pid);
+        let frontier = ps.applied_lsn();
+        for _ in 0..probes {
+            let page = PageId::new(spec.base_page + rng.gen_range(spec.span));
+            let lsn = Lsn::new(1 + rng.gen_range(frontier.offset()));
+            match ps.get_page_at(page, lsn) {
+                // A random (page, lsn) may predate the page or the
+                // replacement server's history floor; only real failures
+                // abort the scenario.
+                Ok(_) | Err(socrates_common::Error::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    let record = ScenarioRecord::capture("historical_read", tps, &sys);
     sys.shutdown();
     Ok(record)
 }

@@ -45,14 +45,29 @@ pub mod sites {
     pub const XLOG_FEED_POLL: &str = "xlog.feed.poll";
     /// Page-server RBIO request handling (GetPage@LSN and friends).
     pub const PAGESERVER_SERVE: &str = "pageserver.serve";
+    /// Page-server compaction: sealed L0 delta layers merging into an L1
+    /// image (`PageServer::compact_blocking`, checked before the swap).
+    pub const PS_COMPACT_MERGE: &str = "ps.compact.merge";
+    /// Page-server retention GC dropping layers below the PITR horizon
+    /// (`PageServer::gc`, checked before any layer is dropped).
+    pub const PS_GC_DROP: &str = "ps.gc.drop";
     /// XStore writes (`write_at` / `write_batch` / `append`).
     pub const XSTORE_PUT: &str = "xstore.put";
     /// XStore reads (`read_at`).
     pub const XSTORE_GET: &str = "xstore.get";
 
     /// Every site wired through the workspace (the catalog).
-    pub const ALL: &[&str] =
-        &[RBIO_SEND, RBIO_RECV, LZ_WRITE, XLOG_FEED_POLL, PAGESERVER_SERVE, XSTORE_PUT, XSTORE_GET];
+    pub const ALL: &[&str] = &[
+        RBIO_SEND,
+        RBIO_RECV,
+        LZ_WRITE,
+        XLOG_FEED_POLL,
+        PAGESERVER_SERVE,
+        PS_COMPACT_MERGE,
+        PS_GC_DROP,
+        XSTORE_PUT,
+        XSTORE_GET,
+    ];
 }
 
 /// The error flavour an [`FaultAction::Error`] rule returns.

@@ -94,18 +94,25 @@ pub const CORE_FABRIC_PARTITIONS: u32 = 300;
 pub const CORE_FABRIC_PARTITION_BLOBS: u32 = 304;
 /// `core::fabric::Fabric.degraded_index` — degraded-secondary marker.
 pub const CORE_FABRIC_DEGRADED: u32 = 308;
+/// `core::fabric::Fabric.branches` — copy-on-write branch directory.
+pub const CORE_FABRIC_BRANCHES: u32 = 306;
 
 // --- pageserver (300s) ------------------------------------------------
 // Below storage and xlog: the apply and checkpoint paths hold `mem` /
 // `checkpoint_lock` while writing to the rbpex cache and reading xlog.
 /// `pageserver::PageServer.checkpoint_lock` — single-checkpointer gate.
 pub const PS_CHECKPOINT: u32 = 310;
+/// `pageserver::PageServer.compact_lock` — single-compactor gate (held
+/// while materializing pages through the layer map, hence below it).
+pub const PS_COMPACT: u32 = 312;
 /// `pageserver::PageServer.apply_mutex` — apply-loop serializer.
 pub const PS_APPLY: u32 = 315;
 /// `pageserver::PageServer.mem` — applied-page memory map.
 pub const PS_MEM: u32 = 320;
 /// `pageserver::PageServer.dirty` — dirty-page set.
 pub const PS_DIRTY: u32 = 330;
+/// `pageserver::PageServer.open` — the open (unsealed) L0 delta layer.
+pub const PS_OPEN_LAYER: u32 = 335;
 /// `pageserver::PageServer.apply_listener` — apply-progress listener.
 pub const PS_APPLY_LISTENER: u32 = 340;
 /// `pageserver::PageServer.apply_handle` — apply worker handle.
@@ -130,8 +137,15 @@ pub const STORAGE_SCHED_QUEUE: u32 = 520;
 /// `storage::sched::IoScheduler.sink` — completion sink (held while
 /// installing completed prefetches into the cache, hence below `mem`).
 pub const STORAGE_SCHED_SINK: u32 = 530;
+/// `storage::sched::IoScheduler.tasks` — background task lane queue.
+pub const STORAGE_SCHED_TASKS: u32 = 535;
 /// `storage::sched::IoScheduler.workers` — worker join handles.
 pub const STORAGE_SCHED_WORKERS: u32 = 540;
+/// `storage::layermap::LayerMap.inner` — the layer index (images + delta
+/// layers). Held only to snapshot/swap `Arc`'d layers; all page I/O
+/// against a layer's backing store happens after release, so it sits
+/// above the pageserver band and below the rbpex directory.
+pub const STORAGE_LAYERMAP: u32 = 545;
 /// `storage::cache::TieredCache.mem` — memory-tier map + clock. Held
 /// across dirty-page eviction, which forces a WAL flush (hence below
 /// the pipeline locks).
@@ -228,6 +242,7 @@ mod tests {
             super::CORE_FABRIC_PARTITIONS,
             super::CORE_FABRIC_PARTITION_BLOBS,
             super::CORE_FABRIC_DEGRADED,
+            super::CORE_FABRIC_BRANCHES,
             super::CORE_LAG_WATCHER_HANDLE,
             super::CORE_SECONDARY_PENDING,
             super::CORE_SECONDARY_APPLY_HANDLE,
@@ -243,9 +258,11 @@ mod tests {
             super::ENGINE_MEM_PAGES,
             super::ENGINE_EVICTED_BUCKETS,
             super::PS_CHECKPOINT,
+            super::PS_COMPACT,
             super::PS_APPLY,
             super::PS_MEM,
             super::PS_DIRTY,
+            super::PS_OPEN_LAYER,
             super::PS_APPLY_LISTENER,
             super::PS_APPLY_HANDLE,
             super::PS_CKPT_HANDLE,
@@ -253,7 +270,9 @@ mod tests {
             super::STORAGE_SCHED_INFLIGHT,
             super::STORAGE_SCHED_QUEUE,
             super::STORAGE_SCHED_SINK,
+            super::STORAGE_SCHED_TASKS,
             super::STORAGE_SCHED_WORKERS,
+            super::STORAGE_LAYERMAP,
             super::STORAGE_CACHE_MEM,
             super::STORAGE_CACHE_TRACE,
             super::STORAGE_CACHE_SPANS,

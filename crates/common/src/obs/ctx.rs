@@ -95,6 +95,9 @@ pub enum SpanKind {
     XstorePut = 10,
     /// Whole checkpoint: dirty scan → blob durable (root span, pageserver).
     PsCheckpoint = 11,
+    /// One compaction pass: sealed L0s merged into an L1 image (root
+    /// span, pageserver).
+    PsCompact = 12,
 }
 
 impl SpanKind {
@@ -113,6 +116,7 @@ impl SpanKind {
             SpanKind::XstoreRead => "xstore.read",
             SpanKind::XstorePut => "xstore.put",
             SpanKind::PsCheckpoint => "ps.checkpoint",
+            SpanKind::PsCompact => "ps.compact",
         }
     }
 
@@ -129,6 +133,7 @@ impl SpanKind {
             9 => SpanKind::XstoreRead,
             10 => SpanKind::XstorePut,
             11 => SpanKind::PsCheckpoint,
+            12 => SpanKind::PsCompact,
             _ => SpanKind::Commit,
         }
     }

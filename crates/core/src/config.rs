@@ -244,4 +244,21 @@ impl SocratesConfig {
         self.fault_spec = spec.to_string();
         self
     }
+
+    /// Tune the layered page-version store: seal the open L0 delta layer
+    /// at `seal_bytes`, and schedule a background compaction once
+    /// `compact_threshold` sealed L0s accumulate.
+    pub fn with_layer_knobs(mut self, seal_bytes: u64, compact_threshold: usize) -> SocratesConfig {
+        self.page_server.layer_seal_bytes = seal_bytes;
+        self.page_server.layer_compact_threshold = compact_threshold;
+        self
+    }
+
+    /// Set the PITR retention window in log bytes behind the applied
+    /// frontier; history older than this may be garbage-collected.
+    /// `u64::MAX` (the default) retains everything.
+    pub fn with_retention_window(mut self, bytes: u64) -> SocratesConfig {
+        self.page_server.retention_window_bytes = bytes;
+        self
+    }
 }

@@ -25,7 +25,7 @@ use socrates_rbio::transport::{NetworkConfig, RbioServer};
 use socrates_storage::cache::{FetchMeta, PageRef, PageSource};
 use socrates_storage::fcb::{Fcb, LatencyFcb, MemFcb};
 use socrates_storage::page::{Page, PAGE_SIZE};
-use socrates_storage::sched::RangedPageSource;
+use socrates_storage::sched::{IoScheduler, RangedPageSource};
 use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
 use socrates_xlog::XLogService;
 use socrates_xstore::{XStore, XStoreConfig};
@@ -124,6 +124,15 @@ pub struct Fabric {
     /// whole failure scenario. Disabled (one atomic load per site) unless
     /// `config.fault_spec` armed it or a test installs rules directly.
     pub faults: FaultRegistry,
+    /// Background compaction lane shared by every page server: merges of
+    /// sealed L0 delta layers into L1 images run here at the scheduler's
+    /// lowest priority, so foreground GetPage traffic always wins.
+    compaction_sched: Arc<IoScheduler>,
+    /// Copy-on-write branches created by [`Fabric::branch_partition`],
+    /// keyed by the server index baked into their name. Branches share
+    /// their parent's immutable layers zero-copy and are stopped at
+    /// shutdown alongside the partition fleet.
+    branches: Mutex<HashMap<u32, Arc<PageServer>>>,
     partitions: RwLock<HashMap<PartitionId, Arc<PartitionHandle>>>,
     /// Last-known durable state of every partition that ever ran, kept
     /// across `kill_partition` so the fabric can restart a partition from
@@ -295,6 +304,12 @@ impl Fabric {
             blackbox,
             slo_breach: AtomicBool::new(false),
             faults,
+            compaction_sched: IoScheduler::start_tasks_only(1),
+            branches: Mutex::with_rank(
+                HashMap::new(),
+                lock_rank::CORE_FABRIC_BRANCHES,
+                "fabric.branches",
+            ),
             partitions: RwLock::with_rank(
                 HashMap::new(),
                 lock_rank::CORE_FABRIC_PARTITIONS,
@@ -693,13 +708,51 @@ impl Fabric {
         }
     }
 
-    /// Shut down all page servers and the XLOG destager.
+    /// Fork a copy-on-write branch of `partition` frozen at `at_lsn`
+    /// (Socrates §4's "cheap copies" made literal): the branch shares the
+    /// parent's immutable layer files and base image zero-copy and serves
+    /// `GetPage(X, lsn ≤ at_lsn)` from them; writes applied to the branch
+    /// via [`PageServer::ingest`] land in its own open L0 layers and are
+    /// invisible to the parent. The branch is not wired into the XLOG
+    /// feed or the RBIO route — it is a read/ingest handle.
+    pub fn branch_partition(&self, partition: PartitionId, at_lsn: Lsn) -> Result<Arc<PageServer>> {
+        let handle = self
+            .partitions
+            .read()
+            .get(&partition)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("partition {partition} is not running")))?;
+        // ordering: relaxed — index uniqueness needs only RMW atomicity
+        let idx = self.next_ps_index.fetch_add(1, Ordering::Relaxed);
+        let name = format!("branch-{}-{idx}", partition.raw());
+        let branch = PageServer::branch_from(
+            &handle.servers[0],
+            &name,
+            at_lsn,
+            self.cpu.accountant(NodeId::page_server(idx)),
+        )?;
+        branch.register_metrics(&self.hub, NodeId::page_server(idx));
+        if self.spans.is_enabled() {
+            branch.set_span_ring(Arc::clone(&self.spans), NodeId::page_server(idx));
+        }
+        branch.set_faults(self.faults.clone());
+        branch.set_compaction_scheduler(Arc::clone(&self.compaction_sched));
+        self.branches.lock().insert(idx, Arc::clone(&branch));
+        Ok(branch)
+    }
+
+    /// Shut down all page servers (branches included), the background
+    /// compaction lane, and the XLOG destager.
     pub fn shutdown(&self) {
         for h in self.partitions.read().values() {
             for s in &h.servers {
                 s.stop();
             }
         }
+        for b in self.branches.lock().values() {
+            b.stop();
+        }
+        self.compaction_sched.stop();
         self.xlog.shutdown();
     }
 
@@ -726,6 +779,8 @@ impl Fabric {
             if self.spans.is_enabled() {
                 ps.set_span_ring(Arc::clone(&self.spans), *node);
             }
+            ps.set_faults(self.faults.clone());
+            ps.set_compaction_scheduler(Arc::clone(&self.compaction_sched));
             // Every apply advance wakes the fabric's wait_applied sleepers.
             let signal = Arc::clone(&self.apply_signal);
             ps.set_apply_listener(Arc::new(move |_lsn| signal.notify()));

@@ -5,12 +5,19 @@
 //!
 //! 1. **Apply log.** It pulls only the log blocks relevant to its
 //!    partition from XLOG (using the blocks' out-of-band partition
-//!    annotations) and replays them into its covering RBPEX cache.
+//!    annotations) and slices each record into the partition's **layered
+//!    page-version store**: deltas accumulate in an open L0 layer, seal
+//!    into immutable L0 delta layers, and background compaction merges
+//!    them into sorted L1 image layers (RBPEX demoted to the L1 on-disk
+//!    representation). Retention GC retires layers wholly below the PITR
+//!    horizon.
 //! 2. **Serve GetPage@LSN.** A request `getPage(X, X-LSN)` waits until the
 //!    server's applied LSN reaches `X-LSN`, then returns the page — the
 //!    freshness contract the compute tier's evicted-LSN map relies on.
-//!    Multi-page range reads are served from the stride-preserving covering
-//!    cache in one device I/O.
+//!    `get_page_at` serves **arbitrary historical LSNs** (newest image ≤
+//!    LSN + ordered delta replay); multi-page range reads are served from
+//!    the stride-preserving image layer in one device I/O. Copy-on-write
+//!    branches share parent layers zero-copy and diverge via `ingest`.
 //! 3. **Checkpoint & back up.** It regularly ships modified pages to its
 //!    XStore data blob, records the checkpointed LSN, and takes backups as
 //!    constant-time XStore snapshots. During an XStore outage it keeps
@@ -32,15 +39,17 @@ use socrates_common::{BlobId, Error, Lsn, NodeId, PageId, PartitionId, Result};
 use socrates_rbio::proto::{RbioRequest, RbioResponse};
 use socrates_rbio::transport::RbioHandler;
 use socrates_storage::fcb::Fcb;
+use socrates_storage::layer::{Delta, DeltaLayer, ImageLayer, LayerDeviceFactory, OpenLayer};
+use socrates_storage::layermap::{LayerCounts, LayerMap};
 use socrates_storage::page::{Page, PAGE_SIZE};
 use socrates_storage::pageops::{apply_page_op, PageOp};
-use socrates_storage::rbpex::{Rbpex, RbpexPolicy};
+use socrates_storage::sched::IoScheduler;
 use socrates_wal::record::LogPayload;
 use socrates_xlog::XLogService;
 use socrates_xstore::{SnapshotId, XStore};
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 /// Pages held in the apply buffer before spilling to RBPEX.
@@ -75,6 +84,18 @@ pub struct PageServerConfig {
     pub idle_sleep: Duration,
     /// GetPage@LSN wait deadline.
     pub get_page_timeout: Duration,
+    /// Seal the open L0 delta layer once it retains this many bytes.
+    pub layer_seal_bytes: u64,
+    /// Schedule a background compaction once this many sealed L0s
+    /// accumulate.
+    pub layer_compact_threshold: usize,
+    /// PITR retention: history further than this many log bytes behind
+    /// the applied frontier may be garbage-collected. `u64::MAX`
+    /// disables GC (retain everything).
+    pub retention_window_bytes: u64,
+    /// How long `branch_from` waits for the parent to apply up to the
+    /// requested branch point.
+    pub branch_wait: Duration,
 }
 
 impl Default for PageServerConfig {
@@ -84,6 +105,10 @@ impl Default for PageServerConfig {
             checkpoint_dirty_pages: 256,
             idle_sleep: Duration::from_micros(500),
             get_page_timeout: Duration::from_secs(10),
+            layer_seal_bytes: 64 << 10,
+            layer_compact_threshold: 4,
+            retention_window_bytes: u64::MAX,
+            branch_wait: Duration::from_secs(5),
         }
     }
 }
@@ -107,6 +132,14 @@ pub struct PageServerMetrics {
     pub range_requests: Counter,
     /// Pages served through GetPageRange (vs. one-page GetPage).
     pub range_pages_served: Counter,
+    /// Open L0 layers sealed into immutable delta layers.
+    pub layers_sealed: Counter,
+    /// Compaction passes that published an L1 image.
+    pub compactions_run: Counter,
+    /// Layer files dropped by retention GC.
+    pub gc_layers_dropped: Counter,
+    /// GetPage@LSN requests at an explicitly historical LSN.
+    pub historical_reads: Counter,
 }
 
 /// Apply-progress callback: invoked with the new applied LSN after every
@@ -119,12 +152,19 @@ pub struct PageServer {
     name: String,
     spec: PartitionSpec,
     config: PageServerConfig,
-    /// Hot apply buffer: the most recently applied pages live in memory
-    /// and spill to RBPEX in batches ("Page Servers keep all their data in
-    /// main memory or locally attached SSDs", §4.2). Without it every log
-    /// record would pay a full SSD write.
+    /// Latest-page cache: the most recently applied or served versions.
+    /// Purely an accelerator now — every entry is reconstructible from
+    /// the layer stack, so eviction is a plain drop, not a spill.
     mem: Mutex<HashMap<PageId, Page>>,
-    rbpex: Rbpex,
+    /// The mutable head of the delta stack: WAL slices land here until
+    /// the layer crosses `layer_seal_bytes` and is sealed into the map.
+    open: Mutex<OpenLayer>,
+    /// The immutable layer set: L1 images, sealed L0s, merged deltas.
+    layers: LayerMap,
+    /// The image layer backing the external base (RBPEX demoted to the
+    /// L1 on-disk representation): attach-time blob content is seeded
+    /// into it; blob fallback reads are adopted into it.
+    base_image: Arc<ImageLayer>,
     xstore: Arc<XStore>,
     data_blob: BlobId,
     meta_blob: BlobId,
@@ -132,8 +172,27 @@ pub struct PageServer {
     applied: AtomicLsn,
     /// LSN up to which everything is durably checkpointed in XStore.
     checkpointed: AtomicLsn,
+    /// Reads strictly below this LSN are no longer materializable: GC
+    /// dropped the layers that held their history.
+    gc_floor: AtomicLsn,
     dirty: Mutex<HashSet<PageId>>,
     checkpoint_lock: Mutex<()>,
+    /// Serializes compaction passes; held while materializing pages
+    /// through the layer map, hence ranked below it.
+    compact_lock: Mutex<()>,
+    /// At most one queued/running background compaction task.
+    compacting: AtomicBool,
+    /// Name sequence for L1 image devices.
+    l1_seq: AtomicU64,
+    /// Devices for new L1 images; defaults to in-memory devices.
+    device_factory: OnceLock<LayerDeviceFactory>,
+    /// Background-task lane that runs scheduled compactions.
+    compactor: OnceLock<Arc<IoScheduler>>,
+    /// Self-reference handed to scheduled compaction closures.
+    self_weak: OnceLock<Weak<PageServer>>,
+    /// Fault sites consulted by compaction (`ps.compact.merge`) and GC
+    /// (`ps.gc.drop`).
+    faults: OnceLock<FaultRegistry>,
     cpu: Arc<CpuAccountant>,
     metrics: PageServerMetrics,
     /// Condvar protocol for GetPage@LSN freshness waits: `wait_applied`
@@ -169,68 +228,27 @@ impl PageServer {
         cpu: Arc<CpuAccountant>,
         start_lsn: Lsn,
     ) -> Result<Arc<PageServer>> {
-        let rbpex = Rbpex::create(
-            ssd,
-            ssd_meta,
-            RbpexPolicy::Covering { base: spec.base_page, span: spec.span },
-        )?;
+        let base_image = ImageLayer::create(start_lsn, ssd, ssd_meta, spec.base_page, spec.span)?;
         let data_blob = xstore.create_blob(&format!("data/{name}"))?;
         let meta_blob = xstore.create_blob(&format!("data/{name}.meta"))?;
         xstore.write_at(meta_blob, 0, &start_lsn.offset().to_le_bytes())?;
-        Ok(Arc::new(PageServer {
-            name: name.to_string(),
+        let layers = LayerMap::new();
+        layers.add_image(Arc::clone(&base_image));
+        Ok(PageServer::build(
+            name,
             spec,
             config,
-            mem: Mutex::with_rank(HashMap::new(), socrates_common::lock_rank::PS_MEM, "ps.mem"),
-            rbpex,
+            base_image,
+            layers,
             xstore,
             data_blob,
             meta_blob,
             xlog,
-            applied: AtomicLsn::new(start_lsn),
-            checkpointed: AtomicLsn::new(start_lsn),
-            dirty: Mutex::with_rank(
-                HashSet::new(),
-                socrates_common::lock_rank::PS_DIRTY,
-                "ps.dirty",
-            ),
-            checkpoint_lock: Mutex::with_rank(
-                (),
-                socrates_common::lock_rank::PS_CHECKPOINT,
-                "ps.checkpoint_lock",
-            ),
             cpu,
-            metrics: PageServerMetrics::default(),
-            apply_mutex: Mutex::with_rank(
-                (),
-                socrates_common::lock_rank::PS_APPLY,
-                "ps.apply_mutex",
-            ),
-            apply_cv: Condvar::new(),
-            apply_listener: Mutex::with_rank(
-                None,
-                socrates_common::lock_rank::PS_APPLY_LISTENER,
-                "ps.apply_listener",
-            ),
-            stop: AtomicBool::new(false),
-            seeded: AtomicBool::new(true),
-            apply_handle: Mutex::with_rank(
-                None,
-                socrates_common::lock_rank::PS_APPLY_HANDLE,
-                "ps.apply_handle",
-            ),
-            ckpt_handle: Mutex::with_rank(
-                None,
-                socrates_common::lock_rank::PS_CKPT_HANDLE,
-                "ps.ckpt_handle",
-            ),
-            seed_handle: Mutex::with_rank(
-                None,
-                socrates_common::lock_rank::PS_SEED_HANDLE,
-                "ps.seed_handle",
-            ),
-            spans: std::sync::OnceLock::new(),
-        }))
+            start_lsn,
+            true,
+            Lsn::ZERO,
+        ))
     }
 
     /// Attach to an *existing* partition blob (replacement after a page
@@ -250,25 +268,118 @@ impl PageServer {
         xlog: Arc<XLogService>,
         cpu: Arc<CpuAccountant>,
     ) -> Result<Arc<PageServer>> {
-        let rbpex = Rbpex::create(
-            ssd,
-            ssd_meta,
-            RbpexPolicy::Covering { base: spec.base_page, span: spec.span },
-        )?;
         let meta = xstore.read_at(meta_blob, 0, 8)?;
         let start_lsn = Lsn::new(u64::from_le_bytes(meta[0..8].try_into().unwrap()));
-        Ok(Arc::new(PageServer {
+        let base_image = ImageLayer::create(start_lsn, ssd, ssd_meta, spec.base_page, spec.span)?;
+        let layers = LayerMap::new();
+        layers.add_image(Arc::clone(&base_image));
+        Ok(PageServer::build(
+            name,
+            spec,
+            config,
+            base_image,
+            layers,
+            xstore,
+            data_blob,
+            meta_blob,
+            xlog,
+            cpu,
+            start_lsn,
+            false,
+            Lsn::ZERO,
+        ))
+    }
+
+    /// Fork a copy-on-write branch of `parent` at `at_lsn`: the child
+    /// shares every parent layer at or below the branch point zero-copy
+    /// (`Arc` clones, caps clipped to `at_lsn`) and diverges through its
+    /// own open layer via [`ingest`](Self::ingest). The child checkpoints
+    /// to its own fresh XStore blobs and is never attached to the log —
+    /// do not call [`start`](Self::start) on it.
+    pub fn branch_from(
+        parent: &Arc<PageServer>,
+        name: &str,
+        at_lsn: Lsn,
+        cpu: Arc<CpuAccountant>,
+    ) -> Result<Arc<PageServer>> {
+        if !parent.is_seeded() {
+            return Err(Error::InvalidState(format!(
+                "cannot branch {}: its base image is still seeding",
+                parent.name
+            )));
+        }
+        let floor = parent.gc_floor.load();
+        if at_lsn < floor {
+            return Err(Error::InvalidArgument(format!(
+                "branch point {at_lsn} is below the GC horizon {floor}"
+            )));
+        }
+        parent.wait_applied_for(at_lsn, parent.config.branch_wait)?;
+        // Seal the parent's open layer so every pre-branch delta is in
+        // the shareable immutable set.
+        let sealed = parent.open.lock().seal();
+        if let Some(l) = sealed {
+            parent.metrics.layers_sealed.incr();
+            parent.layers.add_sealed(l);
+        }
+        let layers = parent.layers.fork_at(at_lsn);
+        let data_blob = parent.xstore.create_blob(&format!("data/{name}"))?;
+        let meta_blob = parent.xstore.create_blob(&format!("data/{name}.meta"))?;
+        parent.xstore.write_at(meta_blob, 0, &at_lsn.offset().to_le_bytes())?;
+        let child = PageServer::build(
+            name,
+            parent.spec,
+            parent.config.clone(),
+            Arc::clone(&parent.base_image),
+            layers,
+            Arc::clone(&parent.xstore),
+            data_blob,
+            meta_blob,
+            Arc::clone(&parent.xlog),
+            cpu,
+            at_lsn,
+            true,
+            floor,
+        );
+        let _ = child.device_factory.set(parent.layer_devices());
+        Ok(child)
+    }
+
+    #[allow(clippy::too_many_arguments)] // single assembly point for all three constructors
+    fn build(
+        name: &str,
+        spec: PartitionSpec,
+        config: PageServerConfig,
+        base_image: Arc<ImageLayer>,
+        layers: LayerMap,
+        xstore: Arc<XStore>,
+        data_blob: BlobId,
+        meta_blob: BlobId,
+        xlog: Arc<XLogService>,
+        cpu: Arc<CpuAccountant>,
+        start_lsn: Lsn,
+        seeded: bool,
+        gc_floor: Lsn,
+    ) -> Arc<PageServer> {
+        let ps = Arc::new(PageServer {
             name: name.to_string(),
             spec,
             config,
             mem: Mutex::with_rank(HashMap::new(), socrates_common::lock_rank::PS_MEM, "ps.mem"),
-            rbpex,
+            open: Mutex::with_rank(
+                OpenLayer::new(),
+                socrates_common::lock_rank::PS_OPEN_LAYER,
+                "ps.open",
+            ),
+            layers,
+            base_image,
             xstore,
             data_blob,
             meta_blob,
             xlog,
             applied: AtomicLsn::new(start_lsn),
             checkpointed: AtomicLsn::new(start_lsn),
+            gc_floor: AtomicLsn::new(gc_floor),
             dirty: Mutex::with_rank(
                 HashSet::new(),
                 socrates_common::lock_rank::PS_DIRTY,
@@ -279,6 +390,17 @@ impl PageServer {
                 socrates_common::lock_rank::PS_CHECKPOINT,
                 "ps.checkpoint_lock",
             ),
+            compact_lock: Mutex::with_rank(
+                (),
+                socrates_common::lock_rank::PS_COMPACT,
+                "ps.compact_lock",
+            ),
+            compacting: AtomicBool::new(false),
+            l1_seq: AtomicU64::new(0),
+            device_factory: OnceLock::new(),
+            compactor: OnceLock::new(),
+            self_weak: OnceLock::new(),
+            faults: OnceLock::new(),
             cpu,
             metrics: PageServerMetrics::default(),
             apply_mutex: Mutex::with_rank(
@@ -293,7 +415,7 @@ impl PageServer {
                 "ps.apply_listener",
             ),
             stop: AtomicBool::new(false),
-            seeded: AtomicBool::new(false),
+            seeded: AtomicBool::new(seeded),
             apply_handle: Mutex::with_rank(
                 None,
                 socrates_common::lock_rank::PS_APPLY_HANDLE,
@@ -310,7 +432,9 @@ impl PageServer {
                 "ps.seed_handle",
             ),
             spans: std::sync::OnceLock::new(),
-        }))
+        });
+        let _ = ps.self_weak.set(Arc::downgrade(&ps));
+        ps
     }
 
     /// The server's diagnostic name.
@@ -350,6 +474,26 @@ impl PageServer {
         counter!("xstore_fallback_reads", xstore_fallback_reads);
         counter!("range_requests", range_requests);
         counter!("range_pages_served", range_pages_served);
+        counter!("layers_sealed", layers_sealed);
+        counter!("compactions_run", compactions_run);
+        counter!("gc_layers_dropped", gc_layers_dropped);
+        counter!("historical_reads", historical_reads);
+        let ps = Arc::clone(self);
+        hub.register_gauge_fn(node, "layer_l0_count", move || ps.layers.counts().l0 as i64);
+        let ps = Arc::clone(self);
+        hub.register_gauge_fn(node, "layer_l1_images", move || ps.layers.counts().images as i64);
+        let ps = Arc::clone(self);
+        hub.register_gauge_fn(node, "layer_merged_deltas", move || {
+            ps.layers.counts().merged as i64
+        });
+        let ps = Arc::clone(self);
+        hub.register_gauge_fn(node, "layer_open_bytes", move || ps.open.lock().bytes() as i64);
+        let ps = Arc::clone(self);
+        hub.register_gauge_fn(node, "compaction_backlog", move || {
+            ps.layers.counts().l0.saturating_sub(ps.config.layer_compact_threshold) as i64
+        });
+        let ps = Arc::clone(self);
+        hub.register_gauge_fn(node, "gc_horizon_lsn", move || ps.gc_floor.load().offset() as i64);
         let ps = Arc::clone(self);
         hub.register_gauge_fn(node, "applied_lsn", move || ps.applied.load().offset() as i64);
         let ps = Arc::clone(self);
@@ -419,6 +563,44 @@ impl PageServer {
     /// The XStore blobs backing this partition (restore workflows).
     pub fn blobs(&self) -> (BlobId, BlobId) {
         (self.data_blob, self.meta_blob)
+    }
+
+    /// Install the fault registry consulted by compaction and GC.
+    /// First call wins.
+    pub fn set_faults(&self, faults: FaultRegistry) {
+        let _ = self.faults.set(faults);
+    }
+
+    /// Install the background-task scheduler that runs compactions.
+    /// First call wins; without one, compaction only runs when driven
+    /// explicitly via [`compact_blocking`](Self::compact_blocking).
+    pub fn set_compaction_scheduler(&self, sched: Arc<IoScheduler>) {
+        let _ = self.compactor.set(sched);
+    }
+
+    /// Install the device factory for new L1 image layers. First call
+    /// wins; the default hands out in-memory devices.
+    pub fn set_layer_devices(&self, factory: LayerDeviceFactory) {
+        let _ = self.device_factory.set(factory);
+    }
+
+    fn layer_devices(&self) -> LayerDeviceFactory {
+        Arc::clone(self.device_factory.get_or_init(socrates_storage::layer::mem_device_factory))
+    }
+
+    /// The layer index (tests assert zero-copy sharing against it).
+    pub fn layers(&self) -> &LayerMap {
+        &self.layers
+    }
+
+    /// Current layer-set sizes.
+    pub fn layer_counts(&self) -> LayerCounts {
+        self.layers.counts()
+    }
+
+    /// Reads strictly below this LSN error: GC dropped their history.
+    pub fn gc_floor_lsn(&self) -> Lsn {
+        self.gc_floor.load()
     }
 
     /// Start the background apply loop (and the seeding thread for
@@ -560,41 +742,73 @@ impl PageServer {
     fn apply_page_write(&self, page_id: PageId, op_bytes: &[u8], lsn: Lsn) -> Result<()> {
         // Model the apply CPU cost (decode + page edit).
         self.cpu.charge_us(2 + (op_bytes.len() as u64) / 512);
-        let mut mem = self.mem.lock();
-        let mut page = match mem.remove(&page_id) {
-            Some(p) => p,
-            None => match self.rbpex.get(page_id)? {
+        let mut sealed = None;
+        {
+            let mut mem = self.mem.lock();
+            let mut page = match mem.remove(&page_id) {
                 Some(p) => p,
-                None => match self.read_page_from_xstore(page_id)? {
+                None => match self.materialize(page_id, Lsn::MAX, TraceCtx::NONE)? {
                     Some(p) => p,
                     None => Page::new(page_id, socrates_storage::page::PageType::Free),
                 },
-            },
+            };
+            if page.page_lsn() < lsn {
+                let (op, _) = PageOp::decode(op_bytes)?;
+                apply_page_op(&mut page, &op, lsn)?;
+                self.dirty.lock().insert(page_id);
+                let mut open = self.open.lock();
+                open.push(page_id, lsn, op_bytes);
+                if open.bytes() >= self.config.layer_seal_bytes {
+                    sealed = open.seal();
+                }
+            }
+            mem.insert(page_id, page);
+            if mem.len() >= MEM_TIER_PAGES {
+                // Evict by dropping: every version is reconstructible
+                // from the layer stack (no spill tier anymore).
+                mem.clear();
+            }
+        }
+        if let Some(l) = sealed {
+            self.metrics.layers_sealed.incr();
+            self.layers.add_sealed(l);
+            self.maybe_schedule_compaction();
+        }
+        Ok(())
+    }
+
+    /// Queue a background compaction on the task lane once enough sealed
+    /// L0s accumulate. At most one task is in flight per server.
+    fn maybe_schedule_compaction(&self) {
+        if self.layers.counts().l0 < self.config.layer_compact_threshold {
+            return;
+        }
+        let Some(sched) = self.compactor.get() else { return };
+        if self
+            .compacting
+            // ordering: acqrel CAS — the winner owns the single task slot; the
+            // release store in the task closure reopens it, failure acquire
+            // observes that reopen
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let Some(me) = self.self_weak.get().and_then(Weak::upgrade) else {
+            // ordering: release — reopen the task slot for the next scheduler
+            self.compacting.store(false, Ordering::Release);
+            return;
         };
-        if page.page_lsn() < lsn {
-            let (op, _) = PageOp::decode(op_bytes)?;
-            apply_page_op(&mut page, &op, lsn)?;
-            self.dirty.lock().insert(page_id);
+        let queued = sched.submit_task(Box::new(move || {
+            let _ = me.compact_blocking();
+            let _ = me.gc();
+            // ordering: release — reopen the task slot after the pass
+            me.compacting.store(false, Ordering::Release);
+        }));
+        if !queued {
+            // ordering: release — reopen the task slot; the task never ran
+            self.compacting.store(false, Ordering::Release);
         }
-        mem.insert(page_id, page);
-        if mem.len() >= MEM_TIER_PAGES {
-            self.spill_mem_locked(&mut mem)?;
-        }
-        Ok(())
-    }
-
-    /// Write every memory-tier page down to RBPEX and clear the tier.
-    fn spill_mem_locked(&self, mem: &mut HashMap<PageId, Page>) -> Result<()> {
-        for (_, page) in mem.drain() {
-            self.rbpex.put(&page)?;
-        }
-        Ok(())
-    }
-
-    /// Flush the memory tier (before checkpoints and backups).
-    fn flush_mem(&self) -> Result<()> {
-        let mut mem = self.mem.lock();
-        self.spill_mem_locked(&mut mem)
     }
 
     // ---- GetPage@LSN ----
@@ -609,6 +823,54 @@ impl PageServer {
     /// so an XStore fallback read lands in the trace as an `xstore.read`
     /// child span.
     pub fn get_page_ctx(&self, page_id: PageId, min_lsn: Lsn, ctx: TraceCtx) -> Result<Page> {
+        self.check_partition(page_id)?;
+        self.wait_applied(min_lsn)?;
+        self.cpu.charge_us(5);
+        if let Some(p) = self.mem.lock().get(&page_id) {
+            self.metrics.pages_served.incr();
+            return Ok(p.clone());
+        }
+        let at = self.applied.load();
+        match self.materialize(page_id, at, ctx)? {
+            Some(p) => {
+                self.cache_latest(&p);
+                self.metrics.pages_served.incr();
+                Ok(p)
+            }
+            None => Err(Error::NotFound(format!("{page_id} has never been written"))),
+        }
+    }
+
+    /// GetPage at an **arbitrary historical LSN** between the GC horizon
+    /// and the applied frontier: resolved as the newest image at or
+    /// below `lsn` plus ordered replay of the deltas in
+    /// `(image, lsn]`. Errors cleanly below the GC horizon.
+    pub fn get_page_at(&self, page_id: PageId, lsn: Lsn) -> Result<Page> {
+        self.get_page_at_ctx(page_id, lsn, TraceCtx::NONE)
+    }
+
+    /// [`get_page_at`](Self::get_page_at) carrying a trace context.
+    pub fn get_page_at_ctx(&self, page_id: PageId, lsn: Lsn, ctx: TraceCtx) -> Result<Page> {
+        self.check_partition(page_id)?;
+        let floor = self.gc_floor.load();
+        if lsn < floor {
+            return Err(Error::InvalidArgument(format!(
+                "{page_id}@{lsn}: below the GC horizon {floor}; that history was retired"
+            )));
+        }
+        self.wait_applied(lsn)?;
+        self.cpu.charge_us(5);
+        self.metrics.historical_reads.incr();
+        match self.materialize(page_id, lsn, ctx)? {
+            Some(p) => {
+                self.metrics.pages_served.incr();
+                Ok(p)
+            }
+            None => Err(Error::NotFound(format!("{page_id} has no version at or below {lsn}"))),
+        }
+    }
+
+    fn check_partition(&self, page_id: PageId) -> Result<()> {
         if !self.spec.contains(page_id) {
             return Err(Error::InvalidArgument(format!(
                 "{page_id} is not in partition {} [{}, {})",
@@ -617,33 +879,90 @@ impl PageServer {
                 self.spec.base_page + self.spec.span
             )));
         }
-        self.wait_applied(min_lsn)?;
-        self.cpu.charge_us(5);
-        if let Some(p) = self.mem.lock().get(&page_id) {
-            self.metrics.pages_served.incr();
-            return Ok(p.clone());
-        }
-        let page = match self.rbpex.get(page_id)? {
-            Some(p) => p,
-            None => match self.read_page_from_xstore_ctx(page_id, ctx)? {
-                Some(p) => {
-                    // Adopt into the covering cache for next time.
-                    self.rbpex.put(&p)?;
-                    p
-                }
-                None => return Err(Error::NotFound(format!("{page_id} has never been written"))),
-            },
-        };
-        self.metrics.pages_served.incr();
-        Ok(page)
+        Ok(())
     }
 
-    /// Stride-preserving multi-page read: one covering-cache device I/O for
-    /// the whole range, with the memory tier overlaid on top. A page applied
-    /// since its last spill lives only in `mem` and its RBPEX frame may be
-    /// stale, so the overlay always wins; flushing `mem` here instead would
-    /// put a burst of device writes on the read path and stall every
-    /// concurrent GetPage behind the `mem` lock.
+    /// Reconstruct `page_id` as of `lsn` from the layer stack: open-layer
+    /// deltas first, then the immutable plan (a seal between the two
+    /// reads duplicates deltas — harmless, replay is LSN-guarded — and
+    /// never loses any), then the base (image layer, else the XStore
+    /// blob, else an empty page under the deltas). Returns `None` when
+    /// the page has no version at or below `lsn`.
+    fn materialize(&self, page_id: PageId, lsn: Lsn, ctx: TraceCtx) -> Result<Option<Page>> {
+        let mut deltas: Vec<Delta> = Vec::new();
+        self.open.lock().deltas_for(page_id, Lsn::ZERO, lsn, &mut deltas);
+        let (image, _base_lsn) = self.layers.plan_into(page_id, lsn, &mut deltas);
+        let mut base_page = match &image {
+            Some(img) => img.get(page_id)?,
+            None => None,
+        };
+        if base_page.is_none() {
+            // The external base: this partition's blob. A page absent
+            // from the chosen image has no *local* history at or below
+            // the image's LSN (superset-image invariant), so the blob
+            // copy — if it is not from the future — is the right base.
+            base_page = match self.read_page_from_xstore_ctx(page_id, ctx)? {
+                Some(p) if p.page_lsn() <= lsn => Some(p),
+                Some(p) => {
+                    if self.is_seeded() {
+                        // Seeding completed, so a page missing from the
+                        // base image was born after attach: its delta
+                        // history is complete and replays from empty.
+                        None
+                    } else {
+                        return Err(Error::NotFound(format!(
+                            "{page_id}@{lsn}: the base blob already holds {} and local \
+                             history does not reach back",
+                            p.page_lsn()
+                        )));
+                    }
+                }
+                None => None,
+            };
+            if let (Some(img), Some(p)) = (&image, &base_page) {
+                // Adopt the blob read into the image so the next miss is
+                // a local device read (the async-seeding fast path).
+                if p.page_lsn() <= img.at_lsn() && !img.contains(page_id) {
+                    let _ = img.put(p);
+                }
+            }
+        }
+        let mut page = match base_page {
+            Some(p) => p,
+            None if deltas.is_empty() => return Ok(None),
+            None => Page::new(page_id, socrates_storage::page::PageType::Free),
+        };
+        for (l, op_bytes) in &deltas {
+            if *l > page.page_lsn() {
+                let (op, _) = PageOp::decode(op_bytes)?;
+                apply_page_op(&mut page, &op, *l)?;
+            }
+        }
+        Ok(Some(page))
+    }
+
+    /// Insert a freshly materialized latest page into the memory cache —
+    /// but never overwrite a newer version raced in by the apply loop,
+    /// and never trigger eviction from the read path.
+    fn cache_latest(&self, page: &Page) {
+        let mut mem = self.mem.lock();
+        if mem.len() >= MEM_TIER_PAGES {
+            return;
+        }
+        match mem.get(&page.page_id()) {
+            Some(cur) if cur.page_lsn() >= page.page_lsn() => {}
+            _ => {
+                mem.insert(page.page_id(), page.clone());
+            }
+        }
+    }
+
+    /// Stride-preserving multi-page read: one image-layer device I/O for
+    /// the whole range, the memory tier overlaid on top, and any deltas
+    /// newer than the image replayed per page. A page missing from the
+    /// newest image falls back to the single-page path (which reaches
+    /// the external base); so does a page whose resolution plan races a
+    /// concurrent compaction publishing a newer image mid-read.
     pub fn get_page_range(&self, first: PageId, count: u32, min_lsn: Lsn) -> Result<Vec<Page>> {
         let ids: Vec<PageId> = (first.raw()..first.raw() + count as u64).map(PageId::new).collect();
         for id in &ids {
@@ -657,20 +976,46 @@ impl PageServer {
         self.wait_applied(min_lsn)?;
         self.cpu.charge_us(5 + count as u64);
         self.metrics.range_requests.incr();
+        let at = self.applied.load();
         let overlay: Vec<Option<Page>> = {
             let mem = self.mem.lock();
             ids.iter().map(|id| mem.get(id).cloned()).collect()
         };
-        let ssd = self.rbpex.get_range_partial(&ids)?;
+        let image = self.layers.newest_image(at);
+        let imaged: Vec<Option<Page>> = match &image {
+            Some(img) => img.get_range_partial(&ids)?,
+            None => vec![None; ids.len()],
+        };
         let mut out = Vec::with_capacity(ids.len());
         let mut fallbacks = 0u64;
-        for ((id, mem_page), ssd_page) in ids.iter().zip(overlay).zip(ssd) {
-            match mem_page.or(ssd_page) {
+        for ((id, mem_page), img_page) in ids.iter().zip(overlay).zip(imaged) {
+            if let Some(p) = mem_page {
+                out.push(p);
+                continue;
+            }
+            let mut served = None;
+            if let Some(mut p) = img_page {
+                let mut deltas: Vec<Delta> = Vec::new();
+                self.open.lock().deltas_for(*id, Lsn::ZERO, at, &mut deltas);
+                let (plan_img, _) = self.layers.plan_into(*id, at, &mut deltas);
+                let stable = match (&image, &plan_img) {
+                    (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                    _ => false,
+                };
+                if stable {
+                    for (l, op_bytes) in &deltas {
+                        if *l > p.page_lsn() {
+                            let (op, _) = PageOp::decode(op_bytes)?;
+                            apply_page_op(&mut p, &op, *l)?;
+                        }
+                    }
+                    served = Some(p);
+                }
+            }
+            match served {
                 Some(p) => out.push(p),
                 None => {
-                    // Neither tier has it (e.g. checkpointed long ago and
-                    // dropped): the single-page path reaches XStore. It
-                    // counts itself in `pages_served`.
+                    // The single-page path counts itself in `pages_served`.
                     fallbacks += 1;
                     out.push(self.get_page(*id, Lsn::ZERO)?);
                 }
@@ -682,11 +1027,15 @@ impl PageServer {
     }
 
     fn wait_applied(&self, min_lsn: Lsn) -> Result<()> {
+        self.wait_applied_for(min_lsn, self.config.get_page_timeout)
+    }
+
+    fn wait_applied_for(&self, min_lsn: Lsn, timeout: Duration) -> Result<()> {
         if self.applied.load() >= min_lsn {
             return Ok(());
         }
         self.metrics.get_page_waits.incr();
-        let deadline = Instant::now() + self.config.get_page_timeout;
+        let deadline = Instant::now() + timeout;
         let mut guard = self.apply_mutex.lock();
         // Re-check under the lock: `note_applied` notifies while holding
         // it, so an advance between the check and the wait cannot be lost.
@@ -712,7 +1061,6 @@ impl PageServer {
     /// dirty set intact (the insulation mode of §4.6).
     pub fn checkpoint(&self) -> Result<Lsn> {
         let _g = self.checkpoint_lock.lock();
-        self.flush_mem()?;
         let at = self.applied.load();
         let batch: Vec<PageId> = {
             let dirty = self.dirty.lock();
@@ -737,15 +1085,15 @@ impl PageServer {
         for chunk in batch.chunks(128) {
             let mut images = Vec::with_capacity(chunk.len());
             for page_id in chunk {
-                // Freshest tier wins: the apply loop keeps running while we
-                // checkpoint, so a page updated since flush_mem lives only
-                // in `mem` and its RBPEX image is stale. Shipping the stale
-                // image and clearing the dirty bit would lose the update in
-                // XStore — a replacement server attaching at the recorded
-                // LSN would never replay it.
+                // Freshest-at-`at` wins: serve the memory tier if it still
+                // holds the page, else rebuild the version at `at` through
+                // the layer stack. Shipping a stale image and clearing the
+                // dirty bit would lose the update in XStore — a replacement
+                // server attaching at the recorded LSN would never replay
+                // it — hence the LSN-checked clear below.
                 let page = match self.mem.lock().get(page_id).cloned() {
                     Some(p) => p,
-                    None => match self.rbpex.get(*page_id)? {
+                    None => match self.materialize(*page_id, at, TraceCtx::NONE)? {
                         Some(p) => p,
                         None => continue,
                     },
@@ -773,11 +1121,20 @@ impl PageServer {
         {
             // Clear dirty bits only for pages whose shipped image is still
             // current; a page re-applied mid-checkpoint stays dirty so the
-            // next checkpoint ships the newer version.
+            // next checkpoint ships the newer version. "Current" is the
+            // newest LSN any tier knows: memory, the open layer, or any
+            // delta layer in the map.
             let mem = self.mem.lock();
             let mut dirty = self.dirty.lock();
+            let open = self.open.lock();
             for (p, lsn) in &shipped {
-                let current = mem.get(p).map(|pg| pg.page_lsn()).or_else(|| self.rbpex.lsn_of(*p));
+                let current = mem
+                    .get(p)
+                    .map(|pg| pg.page_lsn())
+                    .into_iter()
+                    .chain(open.latest_lsn_of(*p))
+                    .chain(self.layers.latest_delta_lsn_of(*p))
+                    .max();
                 if current.is_none_or(|c| c <= *lsn) {
                     dirty.remove(p);
                 }
@@ -847,14 +1204,19 @@ impl PageServer {
                 return;
             }
             let page_id = PageId::new(self.spec.base_page + off);
-            if self.rbpex.contains(page_id) {
-                continue; // already fetched by a request or log apply
+            if self.base_image.contains(page_id) {
+                continue; // already adopted by a fallback read
             }
             match self.read_page_from_xstore(page_id) {
                 Ok(Some(page)) => {
-                    // Don't clobber a newer page applied by the log.
-                    if !self.rbpex.contains(page_id) {
-                        let _ = self.rbpex.put(&page);
+                    // A checkpoint racing the seeder may have overwritten
+                    // the blob with a version newer than the base LSN;
+                    // that version is reachable through the delta stack,
+                    // so never fold it into the attach-time image.
+                    if page.page_lsn() <= self.base_image.at_lsn()
+                        && !self.base_image.contains(page_id)
+                    {
+                        let _ = self.base_image.put(&page);
                     }
                 }
                 Ok(None) => {}
@@ -864,14 +1226,132 @@ impl PageServer {
                 }
             }
         }
-        // ordering: release — publishes every rbpex page stored above to readers
-        // that observe is_seeded() == true
+        // ordering: release — publishes every base-image page stored above to
+        // readers that observe is_seeded() == true
         self.seeded.store(true, Ordering::Release);
     }
 
     /// Drive seeding synchronously (deterministic tests).
     pub fn seed_blocking(self: &Arc<Self>) {
         Arc::clone(self).seed_loop();
+    }
+
+    // ---- compaction, GC, branches ----
+
+    /// Run one compaction pass synchronously: merge every currently
+    /// sealed L0 (clipped to its cap) into one sorted delta layer, and
+    /// publish a new L1 image at the cutoff LSN materializing the prior
+    /// image's pages ∪ every delta-touched page (the superset-image
+    /// invariant the resolution planner relies on). Returns whether a
+    /// pass ran. Consults the `ps.compact.merge` fault site.
+    pub fn compact_blocking(&self) -> Result<bool> {
+        if !self.is_seeded() {
+            // Never fold an incompletely seeded base image into an L1:
+            // the superset invariant would be silently violated.
+            return Ok(false);
+        }
+        let _g = self.compact_lock.lock();
+        if let Some(faults) = self.faults.get() {
+            match faults.check(fault_sites::PS_COMPACT_MERGE) {
+                Some(FaultOutcome::Err(e)) => return Err(e),
+                Some(FaultOutcome::Drop) => return Ok(false),
+                Some(FaultOutcome::Crash) => {
+                    self.stop();
+                    return Err(Error::Unavailable(
+                        "fault: page server crashed mid-compaction".into(),
+                    ));
+                }
+                None => {}
+            }
+        }
+        let (input, prior) = self.layers.compaction_input();
+        if input.is_empty() {
+            return Ok(false);
+        }
+        // Compactions are trace roots of their own (like checkpoints):
+        // not caused by any one commit, so they self-sample.
+        let span = self.spans.get().and_then(|(ring, node)| {
+            ring.try_sample().map(|ctx| (Arc::clone(ring), *node, ctx, ring.now_ns()))
+        });
+        let cutoff = input.iter().map(|(l, cap)| l.end().min(*cap)).max().unwrap_or(Lsn::ZERO);
+        let mut pages: BTreeSet<PageId> = input.iter().flat_map(|(l, _)| l.pages()).collect();
+        if let Some(img) = &prior {
+            pages.extend(img.page_ids());
+        }
+        // ordering: relaxed — a device-name sequence, not a sync point
+        let seq = self.l1_seq.fetch_add(1, Ordering::Relaxed);
+        let (data, meta) = (self.layer_devices())(&format!("{}-l1-{seq}", self.name));
+        let image = ImageLayer::create(cutoff, data, meta, self.spec.base_page, self.spec.span)?;
+        for page_id in &pages {
+            if let Some(p) = self.materialize(*page_id, cutoff, TraceCtx::NONE)? {
+                image.put(&p)?;
+            }
+            self.cpu.charge_us(4);
+        }
+        let merged = DeltaLayer::merge(&input);
+        self.layers.apply_compaction(&input, merged, image);
+        self.metrics.compactions_run.incr();
+        if let Some((ring, node, ctx, start)) = span {
+            ring.record_root(
+                ctx,
+                SpanKind::PsCompact,
+                node,
+                start,
+                ring.now_ns().saturating_sub(start),
+            );
+        }
+        Ok(true)
+    }
+
+    /// Retention GC: compute the horizon (`applied - retention window`),
+    /// pick the newest image at or below it as the floor, and drop every
+    /// layer wholly below the floor. Returns the new floor when anything
+    /// was retired. Consults the `ps.gc.drop` fault site.
+    pub fn gc(&self) -> Result<Option<Lsn>> {
+        if self.config.retention_window_bytes == u64::MAX {
+            return Ok(None); // retention disabled: keep all history
+        }
+        if let Some(faults) = self.faults.get() {
+            match faults.check(fault_sites::PS_GC_DROP) {
+                Some(FaultOutcome::Err(e)) => return Err(e),
+                Some(FaultOutcome::Drop) => return Ok(None),
+                Some(FaultOutcome::Crash) => {
+                    self.stop();
+                    return Err(Error::Unavailable("fault: page server crashed during gc".into()));
+                }
+                None => {}
+            }
+        }
+        let horizon = Lsn::new(
+            self.applied.load().offset().saturating_sub(self.config.retention_window_bytes),
+        );
+        match self.layers.gc(horizon) {
+            Some((dropped, floor)) => {
+                self.metrics.gc_layers_dropped.add(dropped as u64);
+                self.gc_floor.advance_to(floor);
+                Ok(Some(floor))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Apply one divergent write to a branch (the branch's analogue of
+    /// log apply — branches are not attached to the shared log).
+    pub fn ingest(&self, page_id: PageId, op: &PageOp, lsn: Lsn) -> Result<()> {
+        self.check_partition(page_id)?;
+        if lsn <= self.applied.load() {
+            return Err(Error::InvalidArgument(format!(
+                "ingest at {lsn} does not advance the branch frontier {}",
+                self.applied.load()
+            )));
+        }
+        let mut bytes = Vec::new();
+        op.encode(&mut bytes);
+        self.apply_page_write(page_id, &bytes, lsn)?;
+        self.applied.advance_to(lsn);
+        self.metrics.records_applied.incr();
+        self.note_applied(lsn);
+        Ok(())
     }
 }
 
@@ -1308,6 +1788,224 @@ mod tests {
             )
             .unwrap();
         assert_eq!(ring.spans().len(), 2);
+    }
+
+    /// A config that seals the open layer after every few small ops.
+    fn tiny_layer_config() -> PageServerConfig {
+        PageServerConfig { layer_seal_bytes: 64, layer_compact_threshold: 2, ..Default::default() }
+    }
+
+    fn layered_server(f: &Fixture, name: &str, spec: PartitionSpec) -> Arc<PageServer> {
+        PageServer::create(
+            name,
+            spec,
+            tiny_layer_config(),
+            Arc::new(MemFcb::new(format!("{name}-ssd"))) as Arc<dyn Fcb>,
+            Arc::new(MemFcb::new(format!("{name}-meta"))) as Arc<dyn Fcb>,
+            Arc::clone(&f.xstore),
+            Arc::clone(&f.xlog),
+            Arc::new(CpuAccountant::new()),
+            Lsn::ZERO,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_page_at_returns_each_retained_version() {
+        let mut f = Fixture::new();
+        let ps = layered_server(&f, "ps0", spec(0));
+        // Version 0: format. Versions 1..=5: one insert each.
+        let mut frontiers = vec![f.emit(&[(9, PageOp::Format { ptype: PageType::BTreeLeaf })])];
+        for i in 1..=5u8 {
+            frontiers.push(f.emit(&[(9, insert_op(&[i; 8]))]));
+        }
+        ps.apply_once().unwrap();
+        assert!(
+            ps.metrics().layers_sealed.get() >= 1,
+            "tiny seal threshold must have produced L0s"
+        );
+        // Compact mid-history so resolution exercises image + replay.
+        assert!(ps.compact_blocking().unwrap());
+        for (i, at) in frontiers.iter().enumerate() {
+            let p = ps.get_page_at(PageId::new(9), *at).unwrap();
+            assert_eq!(Slotted::slot_count(&p), i, "version at frontier {i}");
+        }
+        // An LSN *between* two versions resolves to the older one.
+        let mid = Lsn::new(frontiers[2].offset() + 1);
+        assert!(mid < frontiers[3]);
+        let p = ps.get_page_at(PageId::new(9), mid).unwrap();
+        assert_eq!(Slotted::slot_count(&p), 2);
+        // Reading a page before it existed is a clean NotFound.
+        assert_eq!(ps.get_page_at(PageId::new(10), frontiers[5]).unwrap_err().kind(), "not_found");
+        assert_eq!(ps.metrics().historical_reads.get(), 8);
+    }
+
+    #[test]
+    fn compaction_preserves_latest_and_history() {
+        let mut f = Fixture::new();
+        let ps = layered_server(&f, "ps0", spec(0));
+        let mut ops = vec![(11u64, PageOp::Format { ptype: PageType::BTreeLeaf })];
+        for i in 0..20u8 {
+            ops.push((11, insert_op(&[i; 16])));
+        }
+        let v1 = f.emit(&ops);
+        ps.apply_once().unwrap();
+        let before = ps.layer_counts();
+        assert!(before.l0 >= 2, "several sealed L0s expected, got {before:?}");
+        assert!(ps.compact_blocking().unwrap());
+        let after = ps.layer_counts();
+        assert_eq!(after.l0, 0, "compaction consumes every sealed L0");
+        assert_eq!(after.images, before.images + 1);
+        assert_eq!(after.merged, 1);
+        // Latest read is image-backed now (mem may have been evicted).
+        let p = ps.get_page(PageId::new(11), v1).unwrap();
+        assert_eq!(Slotted::slot_count(&p), 20);
+        // History below the new image still resolves through the merged
+        // delta layer.
+        let hist = ps.get_page_at(PageId::new(11), Lsn::new(v1.offset() / 2)).unwrap();
+        assert!(Slotted::slot_count(&hist) < 20);
+        // A second pass with no new L0s is a no-op.
+        assert!(!ps.compact_blocking().unwrap());
+    }
+
+    #[test]
+    fn gc_retires_history_and_floors_reads() {
+        let mut f = Fixture::new();
+        let ps = PageServer::create(
+            "ps0",
+            spec(0),
+            PageServerConfig {
+                layer_seal_bytes: 64,
+                layer_compact_threshold: 2,
+                retention_window_bytes: 1, // nearly everything is past retention
+                ..Default::default()
+            },
+            Arc::new(MemFcb::new("ssd")) as Arc<dyn Fcb>,
+            Arc::new(MemFcb::new("meta")) as Arc<dyn Fcb>,
+            Arc::clone(&f.xstore),
+            Arc::clone(&f.xlog),
+            Arc::new(CpuAccountant::new()),
+            Lsn::ZERO,
+        )
+        .unwrap();
+        let early = f.emit(&[(5, PageOp::Format { ptype: PageType::BTreeLeaf })]);
+        let mut ops = Vec::new();
+        for i in 0..20u8 {
+            ops.push((5u64, insert_op(&[i; 16])));
+        }
+        let v = f.emit(&ops);
+        ps.apply_once().unwrap();
+        assert!(ps.compact_blocking().unwrap());
+        let floor = ps.gc().unwrap().expect("an image below the horizon exists");
+        assert!(floor > Lsn::ZERO);
+        assert_eq!(ps.gc_floor_lsn(), floor);
+        assert!(ps.metrics().gc_layers_dropped.get() >= 1);
+        // Below the floor: clean error, not a wrong page.
+        let err = ps.get_page_at(PageId::new(5), early).unwrap_err();
+        assert_eq!(err.kind(), "invalid_argument");
+        // At and above the floor: still correct.
+        let p = ps.get_page_at(PageId::new(5), v).unwrap();
+        assert_eq!(Slotted::slot_count(&p), 20);
+    }
+
+    #[test]
+    fn branch_shares_layers_zero_copy_and_diverges() {
+        let mut f = Fixture::new();
+        let parent = layered_server(&f, "ps0", spec(0));
+        let mut ops = vec![(7u64, PageOp::Format { ptype: PageType::BTreeLeaf })];
+        for i in 0..10u8 {
+            ops.push((7, insert_op(&[i; 16])));
+        }
+        let branch_point = f.emit(&ops);
+        parent.apply_once().unwrap();
+        let child = PageServer::branch_from(
+            &parent,
+            "branch0",
+            branch_point,
+            Arc::new(CpuAccountant::new()),
+        )
+        .unwrap();
+        // Zero-copy: every child delta layer is the parent's allocation.
+        let parent_layers = parent.layers().delta_layers();
+        let child_layers = child.layers().delta_layers();
+        assert!(!child_layers.is_empty());
+        for cl in &child_layers {
+            assert!(
+                parent_layers.iter().any(|pl| Arc::ptr_eq(pl, cl)),
+                "child delta layer not shared with parent"
+            );
+        }
+        for ci in &child.layers().image_layers() {
+            assert!(parent.layers().image_layers().iter().any(|pi| Arc::ptr_eq(pi, ci)));
+        }
+        // Pre-branch history serves identically from both.
+        let from_parent = parent.get_page_at(PageId::new(7), branch_point).unwrap();
+        let from_child = child.get_page_at(PageId::new(7), branch_point).unwrap();
+        assert_eq!(from_parent.body(), from_child.body());
+        // Parent moves on; the child does not see post-branch writes.
+        let parent_v2 = f.emit(&[(7, insert_op(b"parent-only"))]);
+        parent.apply_once().unwrap();
+        assert_eq!(Slotted::slot_count(&parent.get_page(PageId::new(7), parent_v2).unwrap()), 11);
+        assert_eq!(
+            Slotted::slot_count(&child.get_page(PageId::new(7), Lsn::ZERO).unwrap()),
+            10,
+            "branch is isolated from parent's divergent future"
+        );
+        // The child diverges via ingest; the parent does not see it.
+        let child_lsn = Lsn::new(branch_point.offset() + 1000);
+        child
+            .ingest(PageId::new(8), &PageOp::Format { ptype: PageType::BTreeLeaf }, child_lsn)
+            .unwrap();
+        child
+            .ingest(PageId::new(8), &insert_op(b"child-only"), Lsn::new(child_lsn.offset() + 1))
+            .unwrap();
+        let p8 = child.get_page(PageId::new(8), Lsn::ZERO).unwrap();
+        assert_eq!(Slotted::get(&p8, 0).unwrap(), b"child-only");
+        assert_eq!(parent.get_page(PageId::new(8), Lsn::ZERO).unwrap_err().kind(), "not_found");
+        // Child compaction stays private: parent layer set is unchanged.
+        let parent_counts = parent.layer_counts();
+        child.compact_blocking().unwrap();
+        assert_eq!(parent.layer_counts(), parent_counts);
+        // Stale ingest LSNs are rejected.
+        assert!(child.ingest(PageId::new(8), &insert_op(b"x"), child_lsn).is_err());
+    }
+
+    #[test]
+    fn compact_and_gc_fault_sites_fire() {
+        use socrates_common::fault::sites;
+        let mut f = Fixture::new();
+        let ps = layered_server(&f, "ps0", spec(0));
+        let faults = FaultRegistry::new(7);
+        faults
+            .install_spec(&format!("{}@always=error:unavailable", sites::PS_COMPACT_MERGE))
+            .unwrap();
+        faults.install_spec(&format!("{}@always=error:unavailable", sites::PS_GC_DROP)).unwrap();
+        ps.set_faults(faults.clone());
+        let mut ops = vec![(3u64, PageOp::Format { ptype: PageType::BTreeLeaf })];
+        for i in 0..10u8 {
+            ops.push((3, insert_op(&[i; 16])));
+        }
+        f.emit(&ops);
+        ps.apply_once().unwrap();
+        assert!(ps.compact_blocking().unwrap_err().is_transient());
+        assert_eq!(faults.fired_count(sites::PS_COMPACT_MERGE), 1);
+        assert_eq!(ps.metrics().compactions_run.get(), 0);
+        // GC checks its own site (force a finite window so it gets there).
+        let ps2 = PageServer::create(
+            "ps2",
+            spec(1),
+            PageServerConfig { retention_window_bytes: 1, ..tiny_layer_config() },
+            Arc::new(MemFcb::new("ssd2")) as Arc<dyn Fcb>,
+            Arc::new(MemFcb::new("meta2")) as Arc<dyn Fcb>,
+            Arc::clone(&f.xstore),
+            Arc::clone(&f.xlog),
+            Arc::new(CpuAccountant::new()),
+            Lsn::ZERO,
+        )
+        .unwrap();
+        ps2.set_faults(faults.clone());
+        assert!(ps2.gc().unwrap_err().is_transient());
+        assert_eq!(faults.fired_count(sites::PS_GC_DROP), 1);
     }
 
     #[test]

@@ -12,14 +12,21 @@
 //!   many devices (memory, file, latency-injecting, fault-injecting).
 //! * [`rbpex`] — the Resilient Buffer Pool Extension (paper §3.3): a
 //!   recoverable SSD page cache with sparse and covering policies.
+//! * [`layer`] — immutable layer files for the page server's versioned
+//!   store: open/sealed L0 delta layers and RBPEX-backed L1 image layers.
+//! * [`layermap`] — the page-range × LSN-range index resolving
+//!   `GetPage(X, lsn)` for arbitrary historical LSNs (image lookup +
+//!   ordered delta replay) with zero-copy branch forks.
 //! * [`cache`] — the compute node's tiered cache (memory → RBPEX → remote
 //!   page source) with WAL discipline and evicted-LSN tracking.
 //! * [`sched`] — the I/O scheduler between the cache and the remote
-//!   source: single-flight GetPage@LSN, range coalescing, and background
-//!   prefetch.
+//!   source: single-flight GetPage@LSN, range coalescing, background
+//!   prefetch, and a lowest-priority background task lane (compaction).
 
 pub mod cache;
 pub mod fcb;
+pub mod layer;
+pub mod layermap;
 pub mod page;
 pub mod pageops;
 pub mod rbpex;
@@ -28,6 +35,8 @@ pub mod slotted;
 
 pub use cache::{FetchMeta, PageRef, PageSource, TieredCache};
 pub use fcb::{FaultFcb, Fcb, FileFcb, LatencyFcb, MemFcb, PageFile};
+pub use layer::{mem_device_factory, DeltaLayer, ImageLayer, LayerDeviceFactory, OpenLayer};
+pub use layermap::{LayerCounts, LayerMap};
 pub use page::{Page, PageType, PAGE_HEADER_SIZE, PAGE_SIZE};
 pub use pageops::{apply_page_op, PageOp};
 pub use rbpex::{Rbpex, RbpexPolicy};

@@ -355,15 +355,22 @@ impl Rbpex {
             let dir = self.dir.lock();
             ids.iter().map(|&id| (id, dir.map.contains_key(&id))).collect()
         };
-        // Read only up to the last present frame: frames past it may lie
-        // beyond the device's high-water mark.
-        let Some(last) = flagged.iter().rposition(|&(_, p)| p) else {
+        // Trim the device window to [first present, last present]: frames
+        // past the last may lie beyond the device's high-water mark, and
+        // frames before the first are known absent — reading them would be
+        // redundant I/O for a range that merely straddles the covered
+        // region. Presence is still reported per page over the full range.
+        let Some(first) = flagged.iter().position(|&(_, p)| p) else {
             self.stats.misses.add(ids.len() as u64);
             return Ok(vec![None; ids.len()]);
         };
-        let first_frame = ids[0].raw() - base;
-        let mut pages = self.device.read_page_range_partial(first_frame, &flagged[..=last])?;
-        pages.resize(ids.len(), None);
+        let last = flagged.iter().rposition(|&(_, p)| p).expect("a first present implies a last");
+        let first_frame = ids[first].raw() - base;
+        let window = self.device.read_page_range_partial(first_frame, &flagged[first..=last])?;
+        let mut pages = vec![None; ids.len()];
+        for (i, p) in window.into_iter().enumerate() {
+            pages[first + i] = p;
+        }
         for p in &pages {
             if p.is_some() {
                 self.stats.hits.incr();
@@ -578,6 +585,40 @@ mod tests {
         // Out-of-range put rejected.
         assert!(r.put(&page(99, 0, 0)).is_err());
         assert!(r.put(&page(116, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn partial_range_straddling_covered_boundary_reports_presence() {
+        let dev = Arc::new(MemFcb::new("ssd"));
+        let meta = Arc::new(MemFcb::new("meta"));
+        let r = Rbpex::create(
+            dev as Arc<dyn Fcb>,
+            meta as Arc<dyn Fcb>,
+            RbpexPolicy::Covering { base: 100, span: 16 },
+        )
+        .unwrap();
+        // Cover only the middle of the span: pages 104..108.
+        for i in 4..8u64 {
+            r.put(&page(100 + i, i, i as u8)).unwrap();
+        }
+        // A range straddling both boundaries: absent prefix (102, 103),
+        // present middle (104..108), absent suffix (108, 109).
+        let ids: Vec<PageId> = (102..110).map(PageId::new).collect();
+        let pages = r.get_range_partial(&ids).unwrap();
+        assert_eq!(pages.len(), 8);
+        assert!(pages[0].is_none() && pages[1].is_none());
+        for i in 2..6 {
+            let p = pages[i].as_ref().expect("covered page must be present");
+            assert_eq!(p.body()[0], (i + 2) as u8);
+            assert_eq!(p.page_id(), ids[i]);
+        }
+        assert!(pages[6].is_none() && pages[7].is_none());
+        assert_eq!(r.stats().hits.get(), 4);
+        assert_eq!(r.stats().misses.get(), 4);
+        // Fully absent range -> all None, no device I/O panic even past
+        // the high-water mark.
+        let ids2: Vec<PageId> = (110..114).map(PageId::new).collect();
+        assert!(r.get_range_partial(&ids2).unwrap().iter().all(Option::is_none));
     }
 
     #[test]
