@@ -741,6 +741,28 @@ impl Fabric {
         Ok(branch)
     }
 
+    /// Discard a branch created by
+    /// [`branch_partition`](Self::branch_partition): stop its threads,
+    /// drop it from the branch directory, and unregister its metrics node
+    /// (whose gauge closures hold strong `Arc`s to the branch). Without
+    /// this, every branch — and the parent layers it pins — would live
+    /// for the fabric's lifetime. Returns `false` if `branch` is not a
+    /// live branch of this fabric.
+    pub fn drop_branch(&self, branch: &Arc<PageServer>) -> bool {
+        let idx = {
+            let mut branches = self.branches.lock();
+            let Some(idx) = branches.iter().find_map(|(i, b)| Arc::ptr_eq(b, branch).then_some(*i))
+            else {
+                return false;
+            };
+            branches.remove(&idx);
+            idx
+        };
+        branch.stop();
+        self.hub.unregister_node(NodeId::page_server(idx));
+        true
+    }
+
     /// Shut down all page servers (branches included), the background
     /// compaction lane, and the XLOG destager.
     pub fn shutdown(&self) {

@@ -316,13 +316,28 @@ impl PageServer {
         }
         parent.wait_applied_for(at_lsn, parent.config.branch_wait)?;
         // Seal the parent's open layer so every pre-branch delta is in
-        // the shareable immutable set.
-        let sealed = parent.open.lock().seal();
-        if let Some(l) = sealed {
-            parent.metrics.layers_sealed.incr();
-            parent.layers.add_sealed(l);
+        // the shareable immutable set. As on the apply path, the sealed
+        // L0 is published into the map under the open-layer lock so no
+        // concurrent parent read observes the deltas in neither place.
+        {
+            let mut open = parent.open.lock();
+            if let Some(l) = open.seal() {
+                parent.metrics.layers_sealed.incr();
+                parent.layers.add_sealed(l);
+            }
         }
         let layers = parent.layers.fork_at(at_lsn);
+        // A GC pass racing the wait/seal/fork above may have advanced the
+        // floor and retired layers at or below `at_lsn`, leaving the fork
+        // with a hole the floor check at entry did not see. Re-validate
+        // against the post-fork floor so the child's recorded horizon
+        // never understates the layer set it actually inherited.
+        let floor = parent.gc_floor.load();
+        if at_lsn < floor {
+            return Err(Error::InvalidArgument(format!(
+                "branch point {at_lsn} fell below the GC horizon {floor} while forking"
+            )));
+        }
         let data_blob = parent.xstore.create_blob(&format!("data/{name}"))?;
         let meta_blob = parent.xstore.create_blob(&format!("data/{name}.meta"))?;
         parent.xstore.write_at(meta_blob, 0, &at_lsn.offset().to_le_bytes())?;
@@ -742,7 +757,7 @@ impl PageServer {
     fn apply_page_write(&self, page_id: PageId, op_bytes: &[u8], lsn: Lsn) -> Result<()> {
         // Model the apply CPU cost (decode + page edit).
         self.cpu.charge_us(2 + (op_bytes.len() as u64) / 512);
-        let mut sealed = None;
+        let mut sealed = false;
         {
             let mut mem = self.mem.lock();
             let mut page = match mem.remove(&page_id) {
@@ -759,7 +774,18 @@ impl PageServer {
                 let mut open = self.open.lock();
                 open.push(page_id, lsn, op_bytes);
                 if open.bytes() >= self.config.layer_seal_bytes {
-                    sealed = open.seal();
+                    // Publish into the map while still holding the open-layer
+                    // lock (rank: PS_OPEN_LAYER 335 < STORAGE_LAYERMAP 545):
+                    // sealing empties the open layer, and these deltas cover
+                    // already-applied records, so `wait_applied` does not
+                    // gate a concurrent reader. Publishing after release
+                    // would open a window where the deltas are visible in
+                    // neither the open layer nor the map, letting a read or
+                    // a checkpoint materialize a stale older version.
+                    if let Some(l) = open.seal() {
+                        self.layers.add_sealed(l);
+                        sealed = true;
+                    }
                 }
             }
             mem.insert(page_id, page);
@@ -769,9 +795,8 @@ impl PageServer {
                 mem.clear();
             }
         }
-        if let Some(l) = sealed {
+        if sealed {
             self.metrics.layers_sealed.incr();
-            self.layers.add_sealed(l);
             self.maybe_schedule_compaction();
         }
         Ok(())
@@ -861,7 +886,18 @@ impl PageServer {
         self.wait_applied(lsn)?;
         self.cpu.charge_us(5);
         self.metrics.historical_reads.incr();
-        match self.materialize(page_id, lsn, ctx)? {
+        let page = self.materialize(page_id, lsn, ctx)?;
+        // The floor check above is only a snapshot: a GC pass racing the
+        // materialization can retire the image/delta layers it was reading,
+        // making the result a replay over a partial history. Re-check and
+        // fail closed rather than return a silently wrong page.
+        let floor = self.gc_floor.load();
+        if lsn < floor {
+            return Err(Error::InvalidArgument(format!(
+                "{page_id}@{lsn}: below the GC horizon {floor}; that history was retired"
+            )));
+        }
+        match page {
             Some(p) => {
                 self.metrics.pages_served.incr();
                 Ok(p)

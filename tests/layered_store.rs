@@ -253,5 +253,18 @@ fn fabric_branches_share_history_and_survive_parent_crash() {
         revived.get_page_at(own_page, revived.applied_lsn()),
         Err(Error::NotFound(_))
     ));
+
+    // Dropping the branch releases the parent layers it pinned (and its
+    // metrics-node gauges, which hold strong Arcs to the branch).
+    let pinned = Arc::clone(&branch_deltas[0]);
+    let before = Arc::strong_count(&pinned);
+    assert!(fabric.drop_branch(&branch));
+    assert!(!fabric.drop_branch(&branch), "double drop must be a no-op");
+    drop(branch);
+    drop(branch_deltas);
+    assert!(
+        Arc::strong_count(&pinned) < before,
+        "dropping the branch released none of the layers it pinned"
+    );
     sys.shutdown();
 }
