@@ -1,21 +1,29 @@
 //! `benchrec` — structured bench-telemetry recorder.
 //!
 //! Runs the telemetry scenarios (cold-scan, steady-state, and
-//! historical-read workloads), snapshots read/commit stage percentiles and every hub
-//! metric after each one, and writes the versioned `BENCH_PR6.json`
-//! document (schema: `socrates_bench::telemetry`) stamped with run
-//! provenance (git SHA, config fingerprint, host cores). CI uploads the
-//! file as an artifact and re-invokes `benchrec --check` on it to assert
-//! the schema with the in-tree JSON parser.
+//! historical-read workloads) plus the open-loop load-observatory
+//! scenarios (ramp-to-knee, secondary-kill, compaction-interference),
+//! snapshots read/commit stage percentiles, every hub metric, and the
+//! per-phase intended-latency curves and bottleneck attribution, and
+//! writes the versioned `BENCH_PR8.json` document (schema:
+//! `socrates_bench::telemetry`) stamped with run provenance (git SHA,
+//! config fingerprint, host cores). CI uploads the file as an artifact
+//! and re-invokes `benchrec --check` on it to assert the schema with
+//! the in-tree JSON parser.
 //!
 //! ```text
-//! benchrec                        # full scenarios -> BENCH_PR6.json
+//! benchrec                        # full scenarios -> BENCH_PR8.json
 //! benchrec --quick                # CI-sized scenarios
+//! benchrec --seed N               # load-scenario schedule seed (default 8)
 //! benchrec --out path/to.json     # alternate output path
-//! benchrec --check BENCH_PR6.json # parse + schema-validate an existing file
+//! benchrec --check BENCH_PR8.json # parse + schema-validate an existing file
 //! benchrec --overhead             # read-trace and span-ring on/off A/Bs
 //! ```
 
+use socrates_bench::loadgen::{
+    compaction_interference_scenario, ramp_to_knee_scenario, secondary_kill_scenario,
+    LoadScenarioRecord,
+};
 use socrates_bench::telemetry::{
     check_schema, cold_scan_scenario, historical_read_scenario, span_overhead_ab,
     steady_state_scenario, trace_overhead_ab, RunRecorder,
@@ -29,15 +37,18 @@ struct Options {
     out: PathBuf,
     check: Option<PathBuf>,
     overhead: bool,
+    /// Load-scenario schedule seed (deterministic offered schedules).
+    seed: u64,
 }
 
 fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().collect();
     let mut opts = Options {
         quick: false,
-        out: PathBuf::from("BENCH_PR6.json"),
+        out: PathBuf::from("BENCH_PR8.json"),
         check: None,
         overhead: false,
+        seed: 8,
     };
     let mut i = 1;
     while i < args.len() {
@@ -51,6 +62,13 @@ fn parse_args() -> Options {
                     None => die("--out requires a path"),
                 }
             }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(s) => opts.seed = s,
+                    None => die("--seed requires an integer"),
+                }
+            }
             "--check" | "-c" => {
                 i += 1;
                 match args.get(i) {
@@ -59,7 +77,9 @@ fn parse_args() -> Options {
                 }
             }
             "--help" | "-h" => {
-                println!("usage: benchrec [--quick] [--out PATH] [--check PATH] [--overhead]");
+                println!(
+                    "usage: benchrec [--quick] [--seed N] [--out PATH] [--check PATH] [--overhead]"
+                );
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument: {other} (try --help)")),
@@ -110,6 +130,24 @@ fn main() {
             Err(e) => die(&format!("scenario {name} failed: {e}")),
         }
     }
+    for (name, f) in [
+        ("ramp_to_knee", ramp_to_knee_scenario as fn(Effort, u64) -> socrates_common::Result<_>),
+        ("secondary_kill", secondary_kill_scenario),
+        ("compaction_interference", compaction_interference_scenario),
+    ] {
+        let t0 = std::time::Instant::now();
+        match f(effort, opts.seed) {
+            Ok(record) => {
+                eprintln!(
+                    "[{name} done in {:.1}s: {}]",
+                    t0.elapsed().as_secs_f64(),
+                    summarize_load(&record)
+                );
+                run.load_scenarios.push(record);
+            }
+            Err(e) => die(&format!("load scenario {name} failed: {e}")),
+        }
+    }
     if let Err(e) = run.write_to(&opts.out) {
         die(&format!("writing {}: {e}", opts.out.display()));
     }
@@ -117,6 +155,27 @@ fn main() {
     // and pass the same validation CI applies.
     run_check(&opts.out);
     println!("wrote {}", opts.out.display());
+}
+
+/// One log line per load scenario: per-phase achieved rate + intended
+/// p99 + top bottleneck, and the knee when the ramp found one.
+fn summarize_load(record: &LoadScenarioRecord) -> String {
+    let mut parts: Vec<String> = record
+        .phases
+        .iter()
+        .map(|p| {
+            let p99 = p.intended.iter().find(|c| c.q == 0.99).map(|c| c.us).unwrap_or(0);
+            let top = p.attribution.first().map(|r| r.stage).unwrap_or("-");
+            format!(
+                "{}: {:.0}/{:.0} Hz p99={}µs top={}",
+                p.name, p.achieved_hz, p.offered_hz, p99, top
+            )
+        })
+        .collect();
+    if let Some(knee) = record.knee_hz {
+        parts.push(format!("knee={knee:.0} Hz"));
+    }
+    parts.join("; ")
 }
 
 fn run_check(path: &std::path::Path) {
@@ -141,7 +200,24 @@ fn run_check(path: &std::path::Path) {
             die(&format!("{} is missing scenario {want:?}", path.display()));
         }
     }
-    println!("{}: schema ok ({} scenarios: {})", path.display(), names.len(), names.join(", "));
+    let load_names: Vec<&str> = doc
+        .get("load_scenarios")
+        .and_then(|v| v.as_array())
+        .map(|s| s.iter().filter_map(|sc| sc.get("name").and_then(|n| n.as_str())).collect())
+        .unwrap_or_default();
+    for want in ["ramp_to_knee", "secondary_kill", "compaction_interference"] {
+        if !load_names.contains(&want) {
+            die(&format!("{} is missing load scenario {want:?}", path.display()));
+        }
+    }
+    println!(
+        "{}: schema ok ({} scenarios: {}; {} load scenarios: {})",
+        path.display(),
+        names.len(),
+        names.join(", "),
+        load_names.len(),
+        load_names.join(", ")
+    );
 }
 
 fn run_overhead(effort: Effort) {

@@ -1,0 +1,1395 @@
+//! The open-loop workload observatory.
+//!
+//! A closed-loop driver (issue, wait, issue again) silently *stops
+//! offering load* whenever the system stalls, so its latency numbers
+//! omit exactly the requests a real open-loop client population would
+//! have queued behind the stall — the coordinated-omission trap. This
+//! module drives load the open-loop way:
+//!
+//! 1. An [`Arrival`] process (Poisson, uniform, or bursty) is expanded
+//!    into a fixed schedule of *intended* start times before the run
+//!    begins. The schedule never reacts to the system under test, so
+//!    offered load is constant by construction.
+//! 2. A small worker pool multiplexes the schedule's simulated sessions.
+//!    A worker that falls behind never skips an op — it executes it late
+//!    and the lateness is *measured*, not discarded.
+//! 3. Every completion records two latencies into lock-free
+//!    [`HdrShards`]: **intended** (completion − scheduled start, what an
+//!    open-loop client experiences) and **service** (completion − actual
+//!    start, what a closed-loop driver would have reported). Their
+//!    divergence under a stall is the coordinated-omission correction,
+//!    proven by a unit test below.
+//! 4. Per-phase results flow through the existing observability spine:
+//!    a [`LoadRecorder`] registers `client.0.load_*` metrics in the hub
+//!    so the time-series history and the SLO engine score the run live,
+//!    and [`attribute_window`] ranks each tier's saturation signals into
+//!    a bottleneck table per measurement window.
+//!
+//! Three scripted scenarios ride on the driver: a ramp that finds the
+//! throughput knee, a secondary kill under full read load, and
+//! compaction/GC churn interfering with historical reads on a PR 7
+//! branch.
+
+use crate::setup::Effort;
+use parking_lot::Mutex;
+use socrates::{Socrates, SocratesConfig};
+use socrates_common::lock_rank;
+use socrates_common::metrics::Counter;
+use socrates_common::obs::hdr::{CurvePoint, HdrShards};
+use socrates_common::obs::{MetricSnapshot, MetricValue, MetricsHub, TraceCtx};
+use socrates_common::rng::Rng;
+use socrates_common::{Error, Lsn, NodeId, PageId, Result};
+use socrates_engine::value::{ColumnType, Schema};
+use socrates_engine::Value;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shards per phase histogram. Eight covers the worker pools used here
+/// without contention; merge cost on snapshot stays trivial.
+const HDR_SHARDS: usize = 8;
+/// HDR resolution for load latencies (relative error ≤ 1/32).
+const HDR_SUB_BITS: u32 = 5;
+/// Slowest ops retained per phase for breach postmortems.
+const SLOW_TABLE: usize = 16;
+
+// ---------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------
+
+/// The arrival process offered to the system — fixed before the run so
+/// the schedule cannot coordinate with server stalls.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrival {
+    /// Memoryless arrivals at `rate_hz` (exponential inter-arrivals) —
+    /// the open-system default.
+    Poisson {
+        /// Mean arrival rate, ops per second.
+        rate_hz: f64,
+    },
+    /// Evenly spaced arrivals at exactly `rate_hz`.
+    Uniform {
+        /// Arrival rate, ops per second.
+        rate_hz: f64,
+    },
+    /// Poisson arrivals whose rate multiplies by `mult` for the first
+    /// `duty_pct`% of every `period_ms` window (on/off burst pattern).
+    Burst {
+        /// Base arrival rate outside bursts, ops per second.
+        rate_hz: f64,
+        /// Rate multiplier during the burst window.
+        mult: f64,
+        /// Burst cycle length in milliseconds.
+        period_ms: u64,
+        /// Percent of each period spent bursting, 1..=99.
+        duty_pct: u64,
+    },
+}
+
+impl Arrival {
+    /// Parse the `load_arrival` knob: `poisson:RATE`, `uniform:RATE`, or
+    /// `burst:RATE:MULT:PERIOD_MS[:DUTY_PCT]` (duty defaults to 20).
+    pub fn parse(s: &str) -> Option<Arrival> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let rate: f64 = parts.get(1)?.parse().ok()?;
+        if !rate.is_finite() || rate <= 0.0 {
+            return None;
+        }
+        match parts[0] {
+            "poisson" if parts.len() == 2 => Some(Arrival::Poisson { rate_hz: rate }),
+            "uniform" if parts.len() == 2 => Some(Arrival::Uniform { rate_hz: rate }),
+            "burst" if parts.len() == 4 || parts.len() == 5 => {
+                let mult: f64 = parts[2].parse().ok()?;
+                let period_ms: u64 = parts[3].parse().ok()?;
+                let duty_pct: u64 = match parts.get(4) {
+                    Some(d) => d.parse().ok()?,
+                    None => 20,
+                };
+                if mult < 1.0 || period_ms == 0 || !(1..=99).contains(&duty_pct) {
+                    return None;
+                }
+                Some(Arrival::Burst { rate_hz: rate, mult, period_ms, duty_pct })
+            }
+            _ => None,
+        }
+    }
+
+    /// The mean offered rate in ops per second.
+    pub fn rate_hz(&self) -> f64 {
+        match *self {
+            Arrival::Poisson { rate_hz } | Arrival::Uniform { rate_hz } => rate_hz,
+            Arrival::Burst { rate_hz, mult, duty_pct, .. } => {
+                let duty = duty_pct as f64 / 100.0;
+                rate_hz * ((1.0 - duty) + mult * duty)
+            }
+        }
+    }
+
+    /// Expand into intended start offsets (ns from phase epoch) covering
+    /// `duration`. Deterministic for a given seed.
+    pub fn offsets_ns(&self, duration: Duration, seed: u64) -> Vec<u64> {
+        let horizon = duration.as_nanos() as u64;
+        let mut rng = Rng::new(seed ^ 0x00a1_10ad);
+        let mut out = Vec::new();
+        let mut t = 0f64; // ns
+        loop {
+            let step = match *self {
+                Arrival::Uniform { rate_hz } => 1e9 / rate_hz,
+                Arrival::Poisson { rate_hz } => exp_interval_ns(&mut rng, rate_hz),
+                Arrival::Burst { rate_hz, mult, period_ms, duty_pct } => {
+                    let period = period_ms as f64 * 1e6;
+                    let phase = (t % period) / period * 100.0;
+                    let rate = if (phase as u64) < duty_pct { rate_hz * mult } else { rate_hz };
+                    exp_interval_ns(&mut rng, rate)
+                }
+            };
+            t += step;
+            if t as u64 >= horizon {
+                return out;
+            }
+            out.push(t as u64);
+        }
+    }
+}
+
+/// One exponential inter-arrival draw at `rate_hz`, in nanoseconds.
+fn exp_interval_ns(rng: &mut Rng, rate_hz: f64) -> f64 {
+    // Inverse-CDF sampling; clamp the uniform away from 0 so ln stays
+    // finite.
+    let u = rng.gen_f64().max(1e-12);
+    -u.ln() / rate_hz * 1e9
+}
+
+// ---------------------------------------------------------------------
+// Operation mix
+// ---------------------------------------------------------------------
+
+/// What one scheduled arrival asks the system to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Single-row insert + commit on the primary (full durability path).
+    Commit,
+    /// Point `get` on a secondary (primary when none are up).
+    PointRead,
+    /// Short range scan on a secondary (primary when none are up).
+    Scan,
+    /// `GetPage@LSN` time-travel read against a page server or branch.
+    HistoricalRead,
+}
+
+impl OpKind {
+    /// All kinds, mix-weight order.
+    pub const ALL: [OpKind; 4] =
+        [OpKind::Commit, OpKind::PointRead, OpKind::Scan, OpKind::HistoricalRead];
+
+    /// Stable name (records, `socmon --load`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpKind::Commit => "commit",
+            OpKind::PointRead => "read",
+            OpKind::Scan => "scan",
+            OpKind::HistoricalRead => "hist",
+        }
+    }
+}
+
+/// Relative op-kind weights (`load_mix` knob).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpMix {
+    /// Weights in [`OpKind::ALL`] order; need not sum to anything.
+    pub weights: [f64; 4],
+}
+
+impl OpMix {
+    /// Parse `commit=20,read=70,scan=5,hist=5`. Omitted kinds weigh 0;
+    /// at least one weight must be positive.
+    pub fn parse(s: &str) -> Option<OpMix> {
+        let mut weights = [0f64; 4];
+        for part in s.split(',') {
+            let (k, v) = part.split_once('=')?;
+            let w: f64 = v.trim().parse().ok()?;
+            if w < 0.0 {
+                return None;
+            }
+            let idx = OpKind::ALL.iter().position(|kind| kind.name() == k.trim())?;
+            weights[idx] = w;
+        }
+        if weights.iter().sum::<f64>() > 0.0 {
+            Some(OpMix { weights })
+        } else {
+            None
+        }
+    }
+
+    /// A read-heavy default mix (70% point reads).
+    pub fn read_heavy() -> OpMix {
+        OpMix { weights: [20.0, 70.0, 10.0, 0.0] }
+    }
+
+    fn pick(&self, rng: &mut Rng) -> OpKind {
+        OpKind::ALL[rng.pick_weighted(&self.weights)]
+    }
+}
+
+/// One scheduled operation: its intended start, kind, and the simulated
+/// session issuing it (sessions drive key/replica affinity only — many
+/// thousands multiplex onto the worker pool).
+#[derive(Clone, Copy, Debug)]
+pub struct Op {
+    /// Intended start, ns after the phase epoch.
+    pub at_ns: u64,
+    /// What to execute.
+    pub kind: OpKind,
+    /// Simulated session id in `0..sessions`.
+    pub session: u64,
+}
+
+/// A full load specification: arrival process, session population, op
+/// mix, duration, and determinism seed.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// The offered arrival process.
+    pub arrival: Arrival,
+    /// Simulated session population (key/replica affinity domain).
+    pub sessions: u64,
+    /// Op-kind mix.
+    pub mix: OpMix,
+    /// Phase length.
+    pub duration: Duration,
+    /// Schedule seed (same seed → same schedule).
+    pub seed: u64,
+    /// Worker threads multiplexing the sessions.
+    pub workers: usize,
+}
+
+/// Expand a spec into its deterministic schedule.
+pub fn build_schedule(spec: &LoadSpec) -> Vec<Op> {
+    let mut rng = Rng::new(spec.seed ^ 0x5e55_1011);
+    spec.arrival
+        .offsets_ns(spec.duration, spec.seed)
+        .into_iter()
+        .map(|at_ns| Op {
+            at_ns,
+            kind: spec.mix.pick(&mut rng),
+            session: rng.gen_range(spec.sessions.max(1)),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Phases and the recorder
+// ---------------------------------------------------------------------
+
+/// One of the slowest ops of a phase, kept for postmortems. `trace_id`
+/// links into the span ring / flight recorder when the op was sampled
+/// (0 otherwise — match by `offset_ns` against span timestamps instead).
+#[derive(Clone, Copy, Debug)]
+pub struct SlowOp {
+    /// Op kind.
+    pub kind: OpKind,
+    /// Intended-to-completion latency, µs.
+    pub intended_us: u64,
+    /// Intended start, ns after the phase epoch.
+    pub offset_ns: u64,
+    /// Sampled trace id (0 = unsampled).
+    pub trace_id: u64,
+}
+
+/// One measurement phase: latency shards plus progress counters. All
+/// recording paths are lock-free except the bounded slowest-op table.
+pub struct Phase {
+    /// Phase label (`ramp@800`, `kill`, …).
+    pub name: String,
+    /// Mean offered rate of the schedule driving this phase.
+    pub offered_hz: f64,
+    intended: HdrShards,
+    service: HdrShards,
+    dispatched: Counter,
+    completed: Counter,
+    errors: Counter,
+    by_kind: [Counter; 4],
+    /// Slowest ops by intended latency, ascending; index 0 evicts first.
+    slow: Mutex<Vec<SlowOp>>,
+    /// Wall-clock length once the phase finishes, µs (0 = running).
+    wall_us: AtomicU64,
+}
+
+impl Phase {
+    fn new(name: &str, offered_hz: f64) -> Arc<Phase> {
+        Arc::new(Phase {
+            name: name.to_string(),
+            offered_hz,
+            intended: HdrShards::new(HDR_SHARDS, HDR_SUB_BITS),
+            service: HdrShards::new(HDR_SHARDS, HDR_SUB_BITS),
+            dispatched: Counter::new(),
+            completed: Counter::new(),
+            errors: Counter::new(),
+            by_kind: [Counter::new(), Counter::new(), Counter::new(), Counter::new()],
+            slow: Mutex::with_rank(
+                Vec::with_capacity(SLOW_TABLE + 1),
+                lock_rank::BENCH_LOAD_SLOW,
+                "loadgen.phase.slow",
+            ),
+            wall_us: AtomicU64::new(0),
+        })
+    }
+
+    /// Record one completed op.
+    pub fn record(&self, op: &Op, intended_us: u64, service_us: u64, ok: bool, ctx: TraceCtx) {
+        self.intended.record(intended_us);
+        self.service.record(service_us);
+        self.completed.incr();
+        if !ok {
+            self.errors.incr();
+        }
+        let kind_idx = OpKind::ALL.iter().position(|k| *k == op.kind).unwrap_or(0);
+        self.by_kind[kind_idx].incr();
+        let mut slow = self.slow.lock();
+        if slow.len() < SLOW_TABLE || intended_us > slow[0].intended_us {
+            let entry =
+                SlowOp { kind: op.kind, intended_us, offset_ns: op.at_ns, trace_id: ctx.trace_id };
+            let pos = slow.partition_point(|s| s.intended_us < intended_us);
+            slow.insert(pos, entry);
+            if slow.len() > SLOW_TABLE {
+                slow.remove(0);
+            }
+        }
+    }
+
+    /// Ops dispatched so far (== schedule length once the phase ends).
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.get()
+    }
+
+    /// Ops completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.get()
+    }
+
+    /// Ops that returned an error.
+    pub fn errors(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// Merged intended-latency distribution.
+    pub fn intended_snapshot(&self) -> socrates_common::obs::hdr::HdrSnapshot {
+        self.intended.snapshot()
+    }
+
+    /// Merged service-time distribution.
+    pub fn service_snapshot(&self) -> socrates_common::obs::hdr::HdrSnapshot {
+        self.service.snapshot()
+    }
+
+    /// Completions per wall second (0 while the phase is running).
+    pub fn achieved_hz(&self) -> f64 {
+        // ordering: relaxed — published once by the driver after its
+        // worker joins; readers only ever see 0 or the final value
+        let wall_us = self.wall_us.load(Ordering::Relaxed);
+        if wall_us == 0 {
+            return 0.0;
+        }
+        self.completed.get() as f64 / (wall_us as f64 / 1e6)
+    }
+
+    /// The slowest-op table, slowest last.
+    pub fn slowest(&self) -> Vec<SlowOp> {
+        self.slow.lock().clone()
+    }
+}
+
+/// The per-run registry of phases, wired into the metrics hub so the
+/// history/SLO/socmon spine scores the live run. Registered names (all
+/// under `client.0`): `load_intended_us`, `load_service_us` (histograms
+/// of the *current* phase), `load_offered_hz` (gauge), and the
+/// `load_dispatched_total` / `load_completed_total` / `load_errors_total`
+/// counters summed across phases.
+pub struct LoadRecorder {
+    phases: Mutex<Vec<Arc<Phase>>>,
+}
+
+impl LoadRecorder {
+    /// New empty recorder.
+    pub fn new() -> Arc<LoadRecorder> {
+        Arc::new(LoadRecorder {
+            phases: Mutex::with_rank(
+                Vec::new(),
+                lock_rank::BENCH_LOAD_PHASES,
+                "loadgen.recorder.phases",
+            ),
+        })
+    }
+
+    /// Open a new phase; it becomes the current one the hub metrics show.
+    pub fn begin_phase(&self, name: &str, offered_hz: f64) -> Arc<Phase> {
+        let phase = Phase::new(name, offered_hz);
+        self.phases.lock().push(Arc::clone(&phase));
+        phase
+    }
+
+    /// All phases, oldest first.
+    pub fn phases(&self) -> Vec<Arc<Phase>> {
+        self.phases.lock().clone()
+    }
+
+    /// The newest phase.
+    pub fn current(&self) -> Option<Arc<Phase>> {
+        self.phases.lock().last().cloned()
+    }
+
+    /// Register the load metrics under `client.0`.
+    pub fn register(self: &Arc<Self>, hub: &MetricsHub) {
+        let node = NodeId::client(0);
+        let r = Arc::clone(self);
+        hub.register_histogram_fn(node, "load_intended_us", move || {
+            r.current().map(|p| p.intended_snapshot().to_summary()).unwrap_or_default()
+        });
+        let r = Arc::clone(self);
+        hub.register_histogram_fn(node, "load_service_us", move || {
+            r.current().map(|p| p.service_snapshot().to_summary()).unwrap_or_default()
+        });
+        let r = Arc::clone(self);
+        hub.register_gauge_fn(node, "load_offered_hz", move || {
+            r.current().map(|p| p.offered_hz as i64).unwrap_or(0)
+        });
+        let r = Arc::clone(self);
+        hub.register_counter_fn(node, "load_dispatched_total", move || {
+            r.phases().iter().map(|p| p.dispatched()).sum()
+        });
+        let r = Arc::clone(self);
+        hub.register_counter_fn(node, "load_completed_total", move || {
+            r.phases().iter().map(|p| p.completed()).sum()
+        });
+        let r = Arc::clone(self);
+        hub.register_counter_fn(node, "load_errors_total", move || {
+            r.phases().iter().map(|p| p.errors()).sum()
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// The open-loop driver
+// ---------------------------------------------------------------------
+
+/// What the driver executes. Implementations return the trace context
+/// they propagated (for slow-op linking) — [`TraceCtx::NONE`] when the
+/// op was not sampled.
+pub trait OpExecutor: Sync {
+    /// Execute one op against the system under test.
+    fn execute(&self, op: &Op) -> Result<TraceCtx>;
+}
+
+/// Drive `schedule` through `exec` with `workers` threads, recording
+/// into `phase`. Open-loop: each op waits for its intended time, late
+/// ops run immediately (never skipped), and intended latency is measured
+/// from the *scheduled* start.
+pub fn run_phase(phase: &Arc<Phase>, schedule: &[Op], workers: usize, exec: &dyn OpExecutor) {
+    let epoch = Instant::now();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.max(1) {
+            s.spawn(|| loop {
+                // ordering: relaxed — ticket uniqueness needs only RMW
+                // atomicity
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(op) = schedule.get(i) else { break };
+                let intended = epoch + Duration::from_nanos(op.at_ns);
+                let now = Instant::now();
+                if intended > now {
+                    std::thread::sleep(intended - now);
+                }
+                phase.dispatched.incr();
+                let started = Instant::now();
+                let res = exec.execute(op);
+                let end = Instant::now();
+                let intended_us = end.saturating_duration_since(intended).as_micros() as u64;
+                let service_us = end.saturating_duration_since(started).as_micros() as u64;
+                let (ok, ctx) = match res {
+                    Ok(ctx) => (true, ctx),
+                    Err(_) => (false, TraceCtx::NONE),
+                };
+                phase.record(op, intended_us, service_us, ok, ctx);
+            });
+        }
+    });
+    // ordering: relaxed — single writer after the scope joined all workers
+    phase.wall_us.store(epoch.elapsed().as_micros().max(1) as u64, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Bottleneck attribution
+// ---------------------------------------------------------------------
+
+/// One ranked row of the bottleneck table. `score` is a dimensionless
+/// saturation estimate in `[0, 1]`: queue-backed stages use normalized
+/// drain time (end-of-window backlog ÷ the window's own throughput),
+/// busy-loop stages use utilization, event stages use event rate.
+#[derive(Clone, Debug)]
+pub struct StageScore {
+    /// Stage label (`wal.harden`, `pageserver.apply`, …).
+    pub stage: &'static str,
+    /// Saturation in `[0, 1]`; 1.0 means the stage cannot drain its
+    /// window backlog within another window.
+    pub score: f64,
+    /// Human-readable evidence behind the score.
+    pub detail: String,
+}
+
+/// Sum of counter deltas (end − start) for `name` across every node of
+/// `tier`.
+fn counter_delta(start: &MetricSnapshot, end: &MetricSnapshot, tier: &str, name: &str) -> u64 {
+    let sum = |snap: &MetricSnapshot| -> u64 {
+        snap.samples
+            .iter()
+            .filter(|s| s.node.kind.tier_name() == tier && s.name == name)
+            .filter_map(|s| match s.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    };
+    sum(end).saturating_sub(sum(start))
+}
+
+/// Max end-of-window gauge reading for `name` across every node of
+/// `tier` (gauges are levels; max picks the worst replica).
+fn gauge_max(end: &MetricSnapshot, tier: &str, name: &str) -> i64 {
+    end.samples
+        .iter()
+        .filter(|s| s.node.kind.tier_name() == tier && s.name == name)
+        .filter_map(|s| match s.value {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Gauge delta (end − start), summed across the tier's nodes — for
+/// monotone gauges like LSN frontiers, this is window throughput.
+fn gauge_delta(start: &MetricSnapshot, end: &MetricSnapshot, tier: &str, name: &str) -> i64 {
+    let sum = |snap: &MetricSnapshot| -> i64 {
+        snap.samples
+            .iter()
+            .filter(|s| s.node.kind.tier_name() == tier && s.name == name)
+            .filter_map(|s| match s.value {
+                MetricValue::Gauge(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    };
+    sum(end).saturating_sub(sum(start))
+}
+
+/// Drain-time saturation: backlog at window end over the window's own
+/// throughput, clamped to 1. A stage that ends the window with more
+/// backlog than it moved in the whole window scores 1.0.
+fn drain_score(backlog: i64, moved_in_window: u64) -> f64 {
+    if backlog <= 0 {
+        return 0.0;
+    }
+    (backlog as f64 / (moved_in_window.max(1) as f64)).min(1.0)
+}
+
+/// Rank every tier's saturation signals over a measurement window.
+/// `start`/`end` are hub snapshots bracketing the window of length
+/// `wall`. Returns rows sorted most-saturated first.
+pub fn attribute_window(
+    start: &MetricSnapshot,
+    end: &MetricSnapshot,
+    wall: Duration,
+) -> Vec<StageScore> {
+    let secs = wall.as_secs_f64().max(1e-6);
+    let mut rows = Vec::new();
+
+    // Primary log pipeline: appended-but-unhardened bytes vs the bytes
+    // the LZ hardened this window.
+    let backlog = gauge_max(end, "primary", "log_append_backlog_bytes");
+    let hardened = counter_delta(start, end, "primary", "log_bytes_hardened");
+    rows.push(StageScore {
+        stage: "wal.harden",
+        score: drain_score(backlog, hardened),
+        detail: format!("backlog {backlog} B, hardened {hardened} B in window"),
+    });
+
+    // Primary → XLOG lossy feed: blocks queued behind the pump, plus
+    // drops (a dropping feed forces LZ gap-fill on every consumer).
+    let feed_q = gauge_max(end, "primary", "feed_queue_depth");
+    let drops = counter_delta(start, end, "primary", "feed_dropped_blocks");
+    rows.push(StageScore {
+        stage: "xlog.feed",
+        score: (feed_q as f64 / 64.0).min(1.0).max((drops as f64 / 100.0).min(1.0)),
+        detail: format!("queue {feed_q} blocks, {drops} dropped in window"),
+    });
+
+    // XLOG destage: bytes awaiting the LT archive vs the destage
+    // frontier's advance this window.
+    let destage_lag = gauge_max(end, "xlog", "destage_lag_bytes");
+    let destaged = gauge_delta(start, end, "xlog", "destaged_lsn").max(0) as u64;
+    rows.push(StageScore {
+        stage: "xlog.destage",
+        score: drain_score(destage_lag, destaged),
+        detail: format!("lag {destage_lag} B, destaged {destaged} B in window"),
+    });
+
+    // Page-server apply loops: true utilization (busy-µs delta over the
+    // window) on the worst server, plus how far behind the log frontier
+    // the worst server's applied LSN sits.
+    let busy_us = end
+        .samples
+        .iter()
+        .filter(|s| s.node.kind.tier_name() == "pageserver" && s.name == "apply_busy_us")
+        .filter_map(|s| {
+            let e = match s.value {
+                MetricValue::Counter(v) => v,
+                _ => return None,
+            };
+            let b = match start.get(s.node, "apply_busy_us") {
+                Some(MetricValue::Counter(v)) => *v,
+                _ => 0,
+            };
+            Some(e.saturating_sub(b))
+        })
+        .max()
+        .unwrap_or(0);
+    let util = (busy_us as f64 / (secs * 1e6)).min(1.0);
+    let ps_lag = gauge_max(end, "xlog", "max_pageserver_lag_bytes");
+    let appended = counter_delta(start, end, "primary", "log_bytes_appended");
+    let lag_score = drain_score(ps_lag, appended);
+    rows.push(StageScore {
+        stage: "pageserver.apply",
+        score: util.max(lag_score),
+        detail: format!("util {:.0}%, lag {ps_lag} B", util * 100.0),
+    });
+
+    // Secondary apply loops: lag behind the released frontier.
+    let sec_lag = gauge_max(end, "xlog", "max_secondary_lag_bytes");
+    rows.push(StageScore {
+        stage: "secondary.apply",
+        score: drain_score(sec_lag, appended),
+        detail: format!("lag {sec_lag} B behind released frontier"),
+    });
+
+    // Compute-side I/O scheduler: queued read requests. Depth is already
+    // a queue length, so normalize against a nominal healthy depth.
+    let sched_q = gauge_max(end, "primary", "sched_queue_depth")
+        + gauge_max(end, "secondary", "sched_queue_depth");
+    rows.push(StageScore {
+        stage: "io.sched",
+        score: sched_q as f64 / (sched_q as f64 + 16.0),
+        detail: format!("queue {sched_q} requests"),
+    });
+
+    // Layered-store maintenance: L0 files above the compaction
+    // threshold on the worst page server.
+    let backlog_l0 = gauge_max(end, "pageserver", "compaction_backlog");
+    rows.push(StageScore {
+        stage: "ps.compaction",
+        score: (backlog_l0 as f64 / 8.0).clamp(0.0, 1.0),
+        detail: format!("{backlog_l0} L0 layers above threshold"),
+    });
+
+    // Read-path stress escape valves: hedges fired and degraded
+    // (quorum-relaxed) reads — event rates, scored per second.
+    let hedges = counter_delta(start, end, "primary", "hedge_fired");
+    let hedge_rate = hedges as f64 / secs;
+    rows.push(StageScore {
+        stage: "rbio.hedge",
+        score: hedge_rate / (hedge_rate + 50.0),
+        detail: format!("{hedges} hedges in window ({hedge_rate:.1}/s)"),
+    });
+    let degraded = counter_delta(start, end, "primary", "degraded_reads_total");
+    let degraded_rate = degraded as f64 / secs;
+    rows.push(StageScore {
+        stage: "read.degraded",
+        score: degraded_rate / (degraded_rate + 50.0),
+        detail: format!("{degraded} degraded reads in window ({degraded_rate:.1}/s)"),
+    });
+
+    rows.sort_by(|a, b| b.score.total_cmp(&a.score));
+    rows
+}
+
+// ---------------------------------------------------------------------
+// The fabric executor
+// ---------------------------------------------------------------------
+
+/// Time-travel read target: a page server (or PR 7 branch) plus the
+/// LSN and page range historical reads probe.
+pub struct HistTarget {
+    /// The server answering `GetPage@LSN` (may be a zero-copy branch).
+    pub ps: Arc<socrates_pageserver::PageServer>,
+    /// First page of the probed range.
+    pub base_page: u64,
+    /// Pages probed (reads pick `base_page + session % span`).
+    pub span: u64,
+    /// The historical LSN to read at.
+    pub lsn: Lsn,
+}
+
+/// Executes scheduled ops against a live deployment. Commits go to the
+/// primary; point reads and scans prefer secondaries (session affinity)
+/// and fall back to the primary when a secondary is missing mid-kill;
+/// historical reads go to the configured [`HistTarget`].
+pub struct FabricExecutor<'a> {
+    sys: &'a Socrates,
+    /// Seeded keyspace `[0, rows)` reads stay inside.
+    rows: u64,
+    /// Insert-key allocator (commits append beyond the seeded range).
+    next_insert: AtomicU64,
+    /// Historical-read target; `None` downgrades hist ops to point reads.
+    hist: Option<HistTarget>,
+}
+
+/// The table driven by load scenarios.
+const LOAD_TABLE: &str = "load";
+
+impl<'a> FabricExecutor<'a> {
+    /// New executor over a deployment whose [`LOAD_TABLE`] holds keys
+    /// `[0, rows)` (see [`seed_load_table`]).
+    pub fn new(sys: &'a Socrates, rows: u64, hist: Option<HistTarget>) -> FabricExecutor<'a> {
+        FabricExecutor { sys, rows, next_insert: AtomicU64::new(rows), hist }
+    }
+
+    fn do_commit(&self, op: &Op) -> Result<TraceCtx> {
+        let p = self.sys.primary()?;
+        // ordering: relaxed — key uniqueness needs only RMW atomicity
+        let key = self.next_insert.fetch_add(1, Ordering::Relaxed);
+        let h = p.db().begin();
+        p.db().insert(
+            &h,
+            LOAD_TABLE,
+            &[Value::Int(key as i64), Value::Str(format!("s{}", op.session))],
+        )?;
+        p.db().commit(h)?;
+        Ok(TraceCtx::NONE)
+    }
+
+    fn do_point_read(&self, op: &Op) -> Result<TraceCtx> {
+        let key = Value::Int((op.session % self.rows) as i64);
+        let n = self.sys.secondary_count();
+        if n > 0 {
+            // Session affinity; a killed replica routes to its neighbour
+            // and only then falls back to the primary.
+            for attempt in 0..n {
+                let i = (op.session as usize + attempt) % n;
+                let Ok(sec) = self.sys.secondary(i) else { continue };
+                let h = sec.db().begin();
+                match sec.db().get(&h, LOAD_TABLE, std::slice::from_ref(&key)) {
+                    Ok(_) => return Ok(TraceCtx::NONE),
+                    Err(_) => continue,
+                }
+            }
+        }
+        let p = self.sys.primary()?;
+        let h = p.db().begin();
+        p.db().get(&h, LOAD_TABLE, std::slice::from_ref(&key))?;
+        Ok(TraceCtx::NONE)
+    }
+
+    fn do_scan(&self, op: &Op) -> Result<TraceCtx> {
+        let lo = op.session % self.rows.saturating_sub(16).max(1);
+        let lo_v = [Value::Int(lo as i64)];
+        let hi_v = [Value::Int((lo + 16) as i64)];
+        let n = self.sys.secondary_count();
+        if n > 0 {
+            let i = op.session as usize % n;
+            if let Ok(sec) = self.sys.secondary(i) {
+                let h = sec.db().begin();
+                if sec.db().scan_range(&h, LOAD_TABLE, &lo_v, &hi_v, 32).is_ok() {
+                    return Ok(TraceCtx::NONE);
+                }
+            }
+        }
+        let p = self.sys.primary()?;
+        let h = p.db().begin();
+        p.db().scan_range(&h, LOAD_TABLE, &lo_v, &hi_v, 32)?;
+        Ok(TraceCtx::NONE)
+    }
+
+    fn do_hist(&self, op: &Op) -> Result<TraceCtx> {
+        let Some(hist) = &self.hist else { return self.do_point_read(op) };
+        let page = PageId::new(hist.base_page + op.session % hist.span.max(1));
+        let ctx = self.sys.fabric().spans.try_sample().unwrap_or(TraceCtx::NONE);
+        match hist.ps.get_page_at_ctx(page, hist.lsn, ctx) {
+            // Sparse page ranges are expected — the probe span is a
+            // guess over the seeded table's pages.
+            Ok(_) | Err(Error::NotFound(_)) => Ok(ctx),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl OpExecutor for FabricExecutor<'_> {
+    fn execute(&self, op: &Op) -> Result<TraceCtx> {
+        match op.kind {
+            OpKind::Commit => self.do_commit(op),
+            OpKind::PointRead => self.do_point_read(op),
+            OpKind::Scan => self.do_scan(op),
+            OpKind::HistoricalRead => self.do_hist(op),
+        }
+    }
+}
+
+/// Create [`LOAD_TABLE`] and seed keys `[0, rows)`, then wait for the
+/// storage tier to absorb the load (runs start from a settled system).
+pub fn seed_load_table(sys: &Socrates, rows: u64) -> Result<()> {
+    let p = sys.primary()?;
+    p.db().create_table(
+        LOAD_TABLE,
+        Schema::new(vec![("id".into(), ColumnType::Int), ("v".into(), ColumnType::Str)], 1),
+    )?;
+    for i in 0..rows {
+        let h = p.db().begin();
+        p.db().insert(&h, LOAD_TABLE, &[Value::Int(i as i64), Value::Str(format!("seed{i}"))])?;
+        p.db().commit(h)?;
+    }
+    sys.fabric().wait_applied(p.pipeline().hardened_lsn(), Duration::from_secs(120))
+}
+
+// ---------------------------------------------------------------------
+// Scenario records
+// ---------------------------------------------------------------------
+
+/// One phase's results, flattened for `benchrec`.
+#[derive(Clone, Debug)]
+pub struct PhaseRecord {
+    /// Phase label.
+    pub name: String,
+    /// Mean offered rate (constant through the phase by construction).
+    pub offered_hz: f64,
+    /// Completions per wall second.
+    pub achieved_hz: f64,
+    /// Wall length, seconds.
+    pub duration_s: f64,
+    /// Ops dispatched (== schedule length; never drops under stalls).
+    pub dispatched: u64,
+    /// Ops completed.
+    pub completed: u64,
+    /// Ops that errored.
+    pub errors: u64,
+    /// Full intended-latency percentile curve, µs.
+    pub intended: Vec<CurvePoint>,
+    /// Full service-time percentile curve, µs.
+    pub service: Vec<CurvePoint>,
+    /// Ranked bottleneck table for the phase window.
+    pub attribution: Vec<StageScore>,
+    /// SLO status lines at phase end.
+    pub slo: Vec<String>,
+    /// Slowest ops (postmortem links into the span ring).
+    pub slowest: Vec<SlowOp>,
+}
+
+/// A full scenario: its phases plus the ramp's knee when applicable.
+#[derive(Clone, Debug)]
+pub struct LoadScenarioRecord {
+    /// Scenario name (`ramp_to_knee`, `secondary_kill`,
+    /// `compaction_interference`).
+    pub name: String,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Highest offered rate that still met the knee criteria (ramp
+    /// scenario only).
+    pub knee_hz: Option<f64>,
+    /// Per-phase results, run order.
+    pub phases: Vec<PhaseRecord>,
+}
+
+/// Drive one phase end to end: schedule, snapshot brackets, execution,
+/// attribution, SLO capture.
+fn measured_phase(
+    sys: &Socrates,
+    recorder: &Arc<LoadRecorder>,
+    name: &str,
+    spec: &LoadSpec,
+    exec: &dyn OpExecutor,
+) -> PhaseRecord {
+    let schedule = build_schedule(spec);
+    let phase = recorder.begin_phase(name, spec.arrival.rate_hz());
+    let start_snap = sys.hub().snapshot();
+    let t0 = Instant::now();
+    run_phase(&phase, &schedule, spec.workers, exec);
+    let wall = t0.elapsed();
+    let end_snap = sys.hub().snapshot();
+    let attribution = attribute_window(&start_snap, &end_snap, wall);
+    let slo = sys.fabric().slo_statuses().iter().map(|s| s.render()).collect();
+    PhaseRecord {
+        name: name.to_string(),
+        offered_hz: phase.offered_hz,
+        achieved_hz: phase.achieved_hz(),
+        duration_s: wall.as_secs_f64(),
+        dispatched: phase.dispatched(),
+        completed: phase.completed(),
+        errors: phase.errors(),
+        intended: phase.intended_snapshot().curve(),
+        service: phase.service_snapshot().curve(),
+        attribution,
+        slo,
+        slowest: phase.slowest(),
+    }
+}
+
+fn load_config(effort: Effort, seed: u64, secondaries: usize) -> SocratesConfig {
+    let _ = effort;
+    SocratesConfig::realistic(seed)
+        .with_secondaries(secondaries)
+        .with_hub_history(1024, Duration::from_millis(25))
+        .with_trace_sample(16, 4096)
+}
+
+fn phase_duration(effort: Effort) -> Duration {
+    Duration::from_millis(effort.window_ms())
+}
+
+/// Rows seeded into the load table before driving.
+fn seeded_rows(effort: Effort) -> u64 {
+    match effort {
+        Effort::Quick => 400,
+        Effort::Full => 2000,
+    }
+}
+
+/// Scenario 1 — steady-state ramp to the knee. Offered rate doubles
+/// each phase; the knee is the last rate the system absorbed (achieved
+/// ≥ 90% of offered **and** intended p99 under 50ms).
+pub fn ramp_to_knee_scenario(effort: Effort, seed: u64) -> Result<LoadScenarioRecord> {
+    let config =
+        load_config(effort, seed, 1).with_slo_spec("client.0.load_intended_us.p99 < 50ms over 2s");
+    let sys = Socrates::launch(config)?;
+    let rows = seeded_rows(effort);
+    seed_load_table(&sys, rows)?;
+    let recorder = LoadRecorder::new();
+    recorder.register(sys.hub());
+    let exec = FabricExecutor::new(&sys, rows, None);
+
+    let rates: &[f64] = match effort {
+        Effort::Quick => &[100.0, 200.0, 400.0, 800.0],
+        Effort::Full => &[250.0, 500.0, 1000.0, 2000.0, 4000.0],
+    };
+    let mut phases = Vec::new();
+    let mut knee_hz = None;
+    for (step, &rate) in rates.iter().enumerate() {
+        let spec = LoadSpec {
+            arrival: Arrival::Poisson { rate_hz: rate },
+            sessions: 10_000,
+            mix: OpMix { weights: [30.0, 55.0, 15.0, 0.0] },
+            duration: phase_duration(effort),
+            seed: seed ^ (step as u64 + 1),
+            workers: 8,
+        };
+        let rec = measured_phase(&sys, &recorder, &format!("ramp@{rate:.0}"), &spec, &exec);
+        let intended_p99 =
+            rec.intended.iter().find(|c| c.q == 0.99).map(|c| c.us).unwrap_or(u64::MAX);
+        if rec.achieved_hz >= 0.9 * rec.offered_hz && intended_p99 < 50_000 {
+            knee_hz = Some(rate);
+        }
+        phases.push(rec);
+    }
+    sys.shutdown();
+    Ok(LoadScenarioRecord { name: "ramp_to_knee".into(), seed, knee_hz, phases })
+}
+
+/// Scenario 2 — kill a secondary under full read load. Three phases:
+/// steady, kill (a secondary is removed mid-phase; reads route around
+/// it), recovered (a replacement secondary is added). The open-loop
+/// schedule keeps offered load identical through all three.
+pub fn secondary_kill_scenario(effort: Effort, seed: u64) -> Result<LoadScenarioRecord> {
+    let config = load_config(effort, seed, 2)
+        .with_slo_spec("client.0.load_intended_us.p99 < 100ms over 2s; client.0.load_errors_total.rate < 10 over 2s");
+    let sys = Socrates::launch(config)?;
+    let rows = seeded_rows(effort);
+    seed_load_table(&sys, rows)?;
+    let recorder = LoadRecorder::new();
+    recorder.register(sys.hub());
+    let exec = FabricExecutor::new(&sys, rows, None);
+
+    let rate = match effort {
+        Effort::Quick => 300.0,
+        Effort::Full => 1000.0,
+    };
+    let spec_for = |step: u64| LoadSpec {
+        arrival: Arrival::Poisson { rate_hz: rate },
+        sessions: 10_000,
+        mix: OpMix::read_heavy(),
+        duration: phase_duration(effort),
+        seed: seed ^ step,
+        workers: 8,
+    };
+
+    let mut phases = Vec::new();
+    phases.push(measured_phase(&sys, &recorder, "steady", &spec_for(1), &exec));
+
+    // The kill lands mid-phase, while the schedule keeps arriving.
+    let spec = spec_for(2);
+    let half = spec.duration / 2;
+    let rec = std::thread::scope(|s| {
+        let killer = s.spawn(|| {
+            std::thread::sleep(half);
+            let _ = sys.remove_secondary(1);
+        });
+        let rec = measured_phase(&sys, &recorder, "kill", &spec, &exec);
+        let _ = killer.join();
+        rec
+    });
+    phases.push(rec);
+
+    sys.add_secondary()?;
+    phases.push(measured_phase(&sys, &recorder, "recovered", &spec_for(3), &exec));
+    sys.shutdown();
+    Ok(LoadScenarioRecord { name: "secondary_kill".into(), seed, knee_hz: None, phases })
+}
+
+/// Scenario 3 — compaction/GC interference on historical reads. Time-
+/// travel reads run against a PR 7 zero-copy branch while phase two
+/// adds write churn plus explicit compaction and GC passes on the base
+/// server.
+pub fn compaction_interference_scenario(effort: Effort, seed: u64) -> Result<LoadScenarioRecord> {
+    let config = load_config(effort, seed, 0)
+        .with_slo_spec("client.0.load_intended_us.p99 < 100ms over 2s")
+        .with_layer_knobs(16 << 10, 4)
+        .with_retention_window(256 << 10);
+    let sys = Socrates::launch(config)?;
+    let rows = seeded_rows(effort);
+    seed_load_table(&sys, rows)?;
+
+    // Branch partition 0 at the settled frontier: historical reads
+    // answer from the branch at that exact LSN while the base server
+    // keeps compacting under churn.
+    let fabric = sys.fabric();
+    let pid = fabric.partition_ids()[0];
+    let spec0 = fabric.partition_spec(pid);
+    let frontier = sys.primary()?.pipeline().hardened_lsn();
+    let branch = fabric.branch_partition(pid, frontier)?;
+    let hist =
+        HistTarget { ps: Arc::clone(&branch), base_page: spec0.base_page, span: 32, lsn: frontier };
+
+    let recorder = LoadRecorder::new();
+    recorder.register(sys.hub());
+    let exec = FabricExecutor::new(&sys, rows, Some(hist));
+
+    let rate = match effort {
+        Effort::Quick => 200.0,
+        Effort::Full => 800.0,
+    };
+    let spec_for = |step: u64| LoadSpec {
+        arrival: Arrival::Poisson { rate_hz: rate },
+        sessions: 10_000,
+        mix: OpMix { weights: [0.0, 30.0, 0.0, 70.0] },
+        duration: phase_duration(effort),
+        seed: seed ^ step,
+        workers: 8,
+    };
+
+    let mut phases = Vec::new();
+    phases.push(measured_phase(&sys, &recorder, "quiet", &spec_for(1), &exec));
+
+    // Churn phase: a background writer floods the log (every write is a
+    // future L0 delta) and the base server compacts + GCs repeatedly
+    // while the branch serves the same historical reads.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let rec = std::thread::scope(|s| {
+        let churn = s.spawn(|| {
+            let Ok(p) = sys.primary() else { return };
+            let Some(handle) = fabric.partition(pid) else { return };
+            let base = &handle.servers[0];
+            let mut key = 10_000_000u64;
+            // ordering: relaxed — stop flag; staleness only lengthens
+            // the churn loop by one iteration
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..32 {
+                    let h = p.db().begin();
+                    let row = [Value::Int(key as i64), Value::Str("churn".repeat(8))];
+                    if p.db().insert(&h, LOAD_TABLE, &row).is_err() {
+                        return;
+                    }
+                    let _ = p.db().commit(h);
+                    key += 1;
+                }
+                let _ = base.compact_blocking();
+                let _ = base.gc();
+            }
+        });
+        let rec = measured_phase(&sys, &recorder, "churn", &spec_for(2), &exec);
+        // ordering: relaxed — join below is the sync point
+        stop.store(true, Ordering::Relaxed);
+        let _ = churn.join();
+        rec
+    });
+    phases.push(rec);
+
+    fabric.drop_branch(&branch);
+    sys.shutdown();
+    Ok(LoadScenarioRecord { name: "compaction_interference".into(), seed, knee_hz: None, phases })
+}
+
+/// All three scenarios, the order `benchrec` records them.
+pub fn all_load_scenarios(effort: Effort, seed: u64) -> Result<Vec<LoadScenarioRecord>> {
+    Ok(vec![
+        ramp_to_knee_scenario(effort, seed)?,
+        secondary_kill_scenario(effort, seed)?,
+        compaction_interference_scenario(effort, seed)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_parse_round_trip() {
+        assert_eq!(Arrival::parse("poisson:2000"), Some(Arrival::Poisson { rate_hz: 2000.0 }));
+        assert_eq!(Arrival::parse("uniform:500"), Some(Arrival::Uniform { rate_hz: 500.0 }));
+        assert_eq!(
+            Arrival::parse("burst:1000:4:200:25"),
+            Some(Arrival::Burst { rate_hz: 1000.0, mult: 4.0, period_ms: 200, duty_pct: 25 })
+        );
+        assert_eq!(
+            Arrival::parse("burst:1000:4:200"),
+            Some(Arrival::Burst { rate_hz: 1000.0, mult: 4.0, period_ms: 200, duty_pct: 20 })
+        );
+        assert_eq!(Arrival::parse("poisson:0"), None);
+        assert_eq!(Arrival::parse("poisson"), None);
+        assert_eq!(Arrival::parse("sawtooth:5"), None);
+        assert_eq!(Arrival::parse("burst:1000:0.5:200"), None);
+    }
+
+    #[test]
+    fn mix_parse_and_pick() {
+        let mix = OpMix::parse("commit=20,read=70,scan=5,hist=5").unwrap();
+        assert_eq!(mix.weights, [20.0, 70.0, 5.0, 5.0]);
+        let sparse = OpMix::parse("read=1").unwrap();
+        let mut rng = Rng::new(7);
+        for _ in 0..50 {
+            assert_eq!(sparse.pick(&mut rng), OpKind::PointRead);
+        }
+        assert!(OpMix::parse("read=0").is_none());
+        assert!(OpMix::parse("warp=3").is_none());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_cover_the_duration() {
+        let spec = LoadSpec {
+            arrival: Arrival::Poisson { rate_hz: 5000.0 },
+            sessions: 100_000,
+            mix: OpMix::read_heavy(),
+            duration: Duration::from_millis(400),
+            seed: 42,
+            workers: 4,
+        };
+        let a = build_schedule(&spec);
+        let b = build_schedule(&spec);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.at_ns == y.at_ns && x.session == y.session));
+        // ~5000 Hz over 0.4 s ⇒ ~2000 arrivals; Poisson noise is ~±3·√2000.
+        assert!((1800..2200).contains(&a.len()), "got {} arrivals", a.len());
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns), "offsets must be sorted");
+        assert!(a.iter().all(|op| op.at_ns < 400_000_000));
+        assert!(a.iter().all(|op| op.session < 100_000));
+    }
+
+    #[test]
+    fn uniform_schedule_is_evenly_spaced() {
+        let offsets =
+            Arrival::Uniform { rate_hz: 1000.0 }.offsets_ns(Duration::from_millis(100), 1);
+        assert_eq!(offsets.len(), 99); // arrivals strictly inside (0, 100ms)
+        for (k, &off) in offsets.iter().enumerate() {
+            assert_eq!(off, (k as u64 + 1) * 1_000_000);
+        }
+    }
+
+    #[test]
+    fn burst_mean_rate_accounts_for_duty_cycle() {
+        let a = Arrival::Burst { rate_hz: 1000.0, mult: 4.0, period_ms: 50, duty_pct: 25 };
+        assert!((a.rate_hz() - 1750.0).abs() < 1e-9);
+        let offsets = a.offsets_ns(Duration::from_secs(2), 3);
+        let measured = offsets.len() as f64 / 2.0;
+        assert!((measured - 1750.0).abs() < 200.0, "burst schedule mean {measured} Hz, want ≈1750");
+    }
+
+    /// The coordinated-omission demonstration the issue requires: a
+    /// single injected 100ms server stall must appear in the intended
+    /// (open-loop) percentiles and stay invisible in naive service-time
+    /// percentiles.
+    #[test]
+    fn injected_stall_shows_in_intended_not_service_percentiles() {
+        struct StallExecutor {
+            epoch: Instant,
+            stall_from: Duration,
+            stall_until: Duration,
+        }
+        impl OpExecutor for StallExecutor {
+            fn execute(&self, _op: &Op) -> Result<TraceCtx> {
+                // A server-side stall: any op reaching the server inside
+                // the stall window blocks until the window ends. Ops
+                // *scheduled* during the window but stuck behind busy
+                // workers never see the stall itself — only the queue —
+                // which is exactly the latency a closed-loop driver
+                // forgets to measure.
+                let now = self.epoch.elapsed();
+                if now >= self.stall_from && now < self.stall_until {
+                    std::thread::sleep(self.stall_until - now);
+                }
+                Ok(TraceCtx::NONE)
+            }
+        }
+
+        let spec = LoadSpec {
+            arrival: Arrival::Uniform { rate_hz: 2000.0 },
+            sessions: 1000,
+            mix: OpMix { weights: [0.0, 1.0, 0.0, 0.0] },
+            duration: Duration::from_millis(1500),
+            seed: 9,
+            workers: 2,
+        };
+        let schedule = build_schedule(&spec);
+        let recorder = LoadRecorder::new();
+        let phase = recorder.begin_phase("co", spec.arrival.rate_hz());
+        let exec = StallExecutor {
+            epoch: Instant::now(),
+            stall_from: Duration::from_millis(500),
+            stall_until: Duration::from_millis(600),
+        };
+        run_phase(&phase, &schedule, spec.workers, &exec);
+
+        // Offered load never dropped: every scheduled op was dispatched.
+        assert_eq!(phase.dispatched(), schedule.len() as u64);
+        assert_eq!(phase.completed(), schedule.len() as u64);
+
+        // ~200 of ~3000 ops queue behind the stall ⇒ intended p99 (and
+        // even p95) carries tens of milliseconds of queue delay…
+        let intended = phase.intended_snapshot();
+        let service = phase.service_snapshot();
+        assert!(
+            intended.percentile(0.99) >= 20_000,
+            "intended p99 {}µs must surface the 100ms stall",
+            intended.percentile(0.99)
+        );
+        // …while at most `workers` ops actually slept in the server, so
+        // naive service time calls the system healthy at p99.
+        assert!(
+            service.percentile(0.99) < 20_000,
+            "service p99 {}µs should hide the stall (that is the trap)",
+            service.percentile(0.99)
+        );
+        assert!(
+            intended.percentile(0.99) > 5 * service.percentile(0.99).max(1),
+            "intended vs service divergence is the CO correction"
+        );
+    }
+
+    #[test]
+    fn late_ops_are_executed_not_skipped() {
+        struct SlowExecutor;
+        impl OpExecutor for SlowExecutor {
+            fn execute(&self, _op: &Op) -> Result<TraceCtx> {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(TraceCtx::NONE)
+            }
+        }
+        // 1000 Hz offered against one worker that sustains 500 Hz: the
+        // driver must still dispatch the whole schedule, late.
+        let spec = LoadSpec {
+            arrival: Arrival::Uniform { rate_hz: 1000.0 },
+            sessions: 10,
+            mix: OpMix { weights: [0.0, 1.0, 0.0, 0.0] },
+            duration: Duration::from_millis(200),
+            seed: 1,
+            workers: 1,
+        };
+        let schedule = build_schedule(&spec);
+        let recorder = LoadRecorder::new();
+        let phase = recorder.begin_phase("late", spec.arrival.rate_hz());
+        run_phase(&phase, &schedule, spec.workers, &SlowExecutor);
+        assert_eq!(phase.completed(), schedule.len() as u64);
+        // The final ops queued the whole overload: intended max far
+        // exceeds the 2ms service ceiling.
+        let intended = phase.intended_snapshot();
+        assert!(intended.max() > 50_000, "intended max {}µs", intended.max());
+    }
+
+    #[test]
+    fn phase_slow_table_keeps_the_slowest() {
+        let recorder = LoadRecorder::new();
+        let phase = recorder.begin_phase("slow", 1.0);
+        for i in 0..100u64 {
+            let op = Op { at_ns: i, kind: OpKind::PointRead, session: i };
+            phase.record(&op, i * 10, 1, true, TraceCtx::NONE);
+        }
+        let slow = phase.slowest();
+        assert_eq!(slow.len(), SLOW_TABLE);
+        assert!(slow.windows(2).all(|w| w[0].intended_us <= w[1].intended_us));
+        assert_eq!(slow.last().unwrap().intended_us, 990);
+        assert_eq!(slow[0].intended_us, (100 - SLOW_TABLE as u64) * 10);
+    }
+
+    #[test]
+    fn recorder_metrics_follow_the_current_phase() {
+        let hub = MetricsHub::new();
+        let recorder = LoadRecorder::new();
+        recorder.register(&hub);
+        let p1 = recorder.begin_phase("a", 100.0);
+        let op = Op { at_ns: 0, kind: OpKind::Commit, session: 0 };
+        p1.record(&op, 500, 400, true, TraceCtx::NONE);
+        let snap = hub.snapshot();
+        let client = NodeId::client(0);
+        match snap.get(client, "load_intended_us") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("load_intended_us missing: {other:?}"),
+        }
+        match snap.get(client, "load_offered_hz") {
+            Some(MetricValue::Gauge(g)) => assert_eq!(*g, 100),
+            other => panic!("load_offered_hz missing: {other:?}"),
+        }
+        // A new phase resets the live histograms but not the totals.
+        let _p2 = recorder.begin_phase("b", 200.0);
+        let snap = hub.snapshot();
+        match snap.get(client, "load_intended_us") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 0),
+            other => panic!("load_intended_us missing: {other:?}"),
+        }
+        match snap.get(client, "load_completed_total") {
+            Some(MetricValue::Counter(c)) => assert_eq!(*c, 1),
+            other => panic!("load_completed_total missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribution_ranks_the_saturated_stage_first() {
+        use socrates_common::obs::MetricSample;
+        let mk = |samples: Vec<MetricSample>| MetricSnapshot { samples };
+        let primary = NodeId::PRIMARY;
+        let start = mk(vec![
+            MetricSample {
+                node: primary,
+                name: "log_bytes_hardened".into(),
+                value: MetricValue::Counter(0),
+            },
+            MetricSample {
+                node: primary,
+                name: "log_append_backlog_bytes".into(),
+                value: MetricValue::Gauge(0),
+            },
+        ]);
+        // Window hardened 1000 bytes but ends with a 64 KiB backlog:
+        // wal.harden must outrank every idle stage.
+        let end = mk(vec![
+            MetricSample {
+                node: primary,
+                name: "log_bytes_hardened".into(),
+                value: MetricValue::Counter(1000),
+            },
+            MetricSample {
+                node: primary,
+                name: "log_append_backlog_bytes".into(),
+                value: MetricValue::Gauge(64 << 10),
+            },
+        ]);
+        let rows = attribute_window(&start, &end, Duration::from_secs(1));
+        assert_eq!(rows[0].stage, "wal.harden");
+        assert!((rows[0].score - 1.0).abs() < 1e-9, "score {}", rows[0].score);
+        assert!(rows.iter().skip(1).all(|r| r.score <= rows[0].score));
+        // Every stage reports, even idle ones (score 0 rows are how the
+        // table says "not this tier").
+        assert_eq!(rows.len(), 9);
+    }
+}

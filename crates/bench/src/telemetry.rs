@@ -1,4 +1,4 @@
-//! Structured bench-run telemetry: the `BENCH_PR6.json` pipeline.
+//! Structured bench-run telemetry: the `BENCH_PR8.json` pipeline.
 //!
 //! A [`RunRecorder`] snapshots a live deployment after each bench scenario
 //! — read-path span percentiles, commit-trace percentiles, and every
@@ -6,16 +6,21 @@
 //! JSON document that CI uploads as an artifact and re-parses with
 //! [`socrates_common::obs::testjson`] to assert the schema.
 //!
-//! # Schema (version 2)
+//! # Schema (version 3)
 //!
-//! Version 2 adds the `meta` header: enough provenance to tell whether
+//! Version 2 added the `meta` header: enough provenance to tell whether
 //! two bench documents are comparable (same tree, same config shape,
-//! same-sized host) before comparing their numbers.
+//! same-sized host) before comparing their numbers. Version 3 adds the
+//! `load_scenarios` array from the open-loop load observatory
+//! ([`crate::loadgen`]): per-phase offered/achieved rates, the full
+//! intended- and service-latency percentile curves (coordinated-
+//! omission-safe), the ranked bottleneck-attribution table, SLO status
+//! lines, and the slowest-op postmortem links.
 //!
 //! ```json
 //! {
-//!   "version": 2,
-//!   "bench": "BENCH_PR6",
+//!   "version": 3,
+//!   "bench": "BENCH_PR8",
 //!   "meta": {
 //!     "git_sha": "1a2b3c4d5e6f",
 //!     "config_fingerprint": "fnv:9f8e7d6c5b4a3210",
@@ -38,6 +43,24 @@
 //!       },
 //!       "metrics": {"primary/fetches": 231, "pageserver[0]/pages_served": 231, ...}
 //!     }
+//!   ],
+//!   "load_scenarios": [
+//!     {
+//!       "name": "ramp_to_knee",
+//!       "seed": 8,
+//!       "knee_hz": 400.0,
+//!       "phases": [
+//!         {
+//!           "name": "ramp@100", "offered_hz": 100.0, "achieved_hz": 99.1,
+//!           "duration_s": 1.21, "dispatched": 119, "completed": 119, "errors": 0,
+//!           "intended": [{"q": 0.0, "us": 180}, ..., {"q": 1.0, "us": 9300}],
+//!           "service": [{"q": 0.0, "us": 170}, ...],
+//!           "attribution": [{"stage": "wal.harden", "score": 0.4, "detail": "..."}, ...],
+//!           "slo": ["[ok] client.0.load_intended_us.p99 < 50000 over 2000ms ..."],
+//!           "slowest": [{"kind": "commit", "intended_us": 9300, "offset_ns": 41, "trace_id": 0}]
+//!         }
+//!       ]
+//!     }
 //!   ]
 //! }
 //! ```
@@ -45,7 +68,10 @@
 //! `read_stages` always contains all six [`ReadStage`]s and
 //! `commit_stages` all five commit [`Stage`]s, even when a stage recorded
 //! nothing (`count: 0`). `metrics` holds counters and gauges only —
-//! histograms are already summarised by the stage objects.
+//! histograms are already summarised by the stage objects. `knee_hz` is
+//! `null` for scenarios without a ramp. `intended`/`service` are full
+//! percentile curves ([`socrates_common::obs::hdr::CURVE_QUANTILES`]),
+//! not just p50/p99.
 
 use socrates::{Socrates, SocratesConfig};
 use socrates_common::obs::{testjson, MetricValue, ReadStage, Stage};
@@ -54,12 +80,13 @@ use socrates_engine::value::{ColumnType, Schema};
 use socrates_engine::Value;
 use std::time::{Duration, Instant};
 
+use crate::loadgen::LoadScenarioRecord;
 use crate::Effort;
 
 /// Schema version stamped into every document.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 /// The `bench` tag stamped into every document.
-pub const BENCH_TAG: &str = "BENCH_PR6";
+pub const BENCH_TAG: &str = "BENCH_PR8";
 
 /// Run provenance stamped into the document header: is this bench output
 /// comparable to another one?
@@ -223,6 +250,8 @@ pub struct RunRecorder {
     pub meta: RunMeta,
     /// Recorded scenarios, in run order.
     pub scenarios: Vec<ScenarioRecord>,
+    /// Open-loop load-observatory scenarios, in run order.
+    pub load_scenarios: Vec<LoadScenarioRecord>,
 }
 
 impl RunRecorder {
@@ -268,6 +297,13 @@ impl RunRecorder {
             }
             out.push_str("}}");
         }
+        out.push_str("],\"load_scenarios\":[");
+        for (i, sc) in self.load_scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_load_scenario(&mut out, sc);
+        }
         out.push_str("]}");
         out
     }
@@ -276,6 +312,75 @@ impl RunRecorder {
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
     }
+}
+
+fn push_load_scenario(out: &mut String, sc: &LoadScenarioRecord) {
+    out.push_str(&format!("{{\"name\":\"{}\",\"seed\":{}", escape(&sc.name), sc.seed));
+    match sc.knee_hz {
+        Some(knee) => out.push_str(&format!(",\"knee_hz\":{}", num(knee))),
+        None => out.push_str(",\"knee_hz\":null"),
+    }
+    out.push_str(",\"phases\":[");
+    for (i, p) in sc.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"offered_hz\":{},\"achieved_hz\":{},\"duration_s\":{},\
+             \"dispatched\":{},\"completed\":{},\"errors\":{}",
+            escape(&p.name),
+            num(p.offered_hz),
+            num(p.achieved_hz),
+            num(p.duration_s),
+            p.dispatched,
+            p.completed,
+            p.errors
+        ));
+        for (key, curve) in [("intended", &p.intended), ("service", &p.service)] {
+            out.push_str(&format!(",\"{key}\":["));
+            for (j, c) in curve.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"q\":{},\"us\":{}}}", num(c.q), c.us));
+            }
+            out.push(']');
+        }
+        out.push_str(",\"attribution\":[");
+        for (j, row) in p.attribution.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":\"{}\",\"score\":{},\"detail\":\"{}\"}}",
+                escape(row.stage),
+                num(row.score),
+                escape(&row.detail)
+            ));
+        }
+        out.push_str("],\"slo\":[");
+        for (j, line) in p.slo.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape(line)));
+        }
+        out.push_str("],\"slowest\":[");
+        for (j, s) in p.slowest.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"kind\":\"{}\",\"intended_us\":{},\"offset_ns\":{},\"trace_id\":{}}}",
+                s.kind.name(),
+                s.intended_us,
+                s.offset_ns,
+                s.trace_id
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
 }
 
 fn push_stages(out: &mut String, key: &str, stages: &[StageStat]) {
@@ -360,6 +465,92 @@ pub fn check_schema(doc: &testjson::Value) -> std::result::Result<(), String> {
         }
         if sc.get("metrics").and_then(|v| v.get("")).is_some() {
             return Err(format!("scenario {name:?} has an empty metric key"));
+        }
+    }
+    let load = doc
+        .get("load_scenarios")
+        .and_then(|v| v.as_array())
+        .ok_or("\"load_scenarios\" not an array")?;
+    if load.is_empty() {
+        return Err("\"load_scenarios\" is empty".into());
+    }
+    for sc in load {
+        let name = sc
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("load scenario missing \"name\"")?
+            .to_string();
+        sc.get("seed")
+            .and_then(|v| v.as_i64())
+            .ok_or(format!("load scenario {name:?} missing \"seed\""))?;
+        if sc.get("knee_hz").is_none() {
+            return Err(format!("load scenario {name:?} missing \"knee_hz\" (null is fine)"));
+        }
+        let phases = sc
+            .get("phases")
+            .and_then(|v| v.as_array())
+            .ok_or(format!("load scenario {name:?} \"phases\" not an array"))?;
+        if phases.is_empty() {
+            return Err(format!("load scenario {name:?} has no phases"));
+        }
+        for phase in phases {
+            let pname = phase
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or(format!("load scenario {name:?}: phase missing \"name\""))?
+                .to_string();
+            for field in ["offered_hz", "achieved_hz", "duration_s"] {
+                phase
+                    .get(field)
+                    .and_then(|v| v.as_f64())
+                    .ok_or(format!("phase {pname:?} missing {field:?}"))?;
+            }
+            for field in ["dispatched", "completed", "errors"] {
+                phase
+                    .get(field)
+                    .and_then(|v| v.as_i64())
+                    .ok_or(format!("phase {pname:?} missing {field:?}"))?;
+            }
+            for curve in ["intended", "service"] {
+                let points = phase
+                    .get(curve)
+                    .and_then(|v| v.as_array())
+                    .ok_or(format!("phase {pname:?} {curve:?} not an array"))?;
+                if points.is_empty() {
+                    return Err(format!("phase {pname:?} has an empty {curve:?} curve"));
+                }
+                for point in points {
+                    point
+                        .get("q")
+                        .and_then(|v| v.as_f64())
+                        .ok_or(format!("phase {pname:?} {curve:?} point missing \"q\""))?;
+                    point
+                        .get("us")
+                        .and_then(|v| v.as_i64())
+                        .ok_or(format!("phase {pname:?} {curve:?} point missing \"us\""))?;
+                }
+            }
+            let attribution = phase
+                .get("attribution")
+                .and_then(|v| v.as_array())
+                .ok_or(format!("phase {pname:?} \"attribution\" not an array"))?;
+            if attribution.is_empty() {
+                return Err(format!("phase {pname:?} has an empty attribution table"));
+            }
+            for row in attribution {
+                row.get("stage")
+                    .and_then(|v| v.as_str())
+                    .ok_or(format!("phase {pname:?} attribution row missing \"stage\""))?;
+                row.get("score")
+                    .and_then(|v| v.as_f64())
+                    .ok_or(format!("phase {pname:?} attribution row missing \"score\""))?;
+            }
+            for field in ["slo", "slowest"] {
+                phase
+                    .get(field)
+                    .and_then(|v| v.as_array())
+                    .ok_or(format!("phase {pname:?} {field:?} not an array"))?;
+            }
         }
     }
     Ok(())
@@ -611,6 +802,47 @@ fn span_overhead_arm(effort: Effort, armed: bool) -> Result<(f64, u64)> {
 mod tests {
     use super::*;
 
+    fn synthetic_load_scenario(name: &str, knee_hz: Option<f64>) -> LoadScenarioRecord {
+        use crate::loadgen::{OpKind, PhaseRecord, SlowOp, StageScore};
+        use socrates_common::obs::hdr::CurvePoint;
+        LoadScenarioRecord {
+            name: name.into(),
+            seed: 8,
+            knee_hz,
+            phases: vec![PhaseRecord {
+                name: "ramp@100".into(),
+                offered_hz: 100.0,
+                achieved_hz: 99.1,
+                duration_s: 1.21,
+                dispatched: 119,
+                completed: 119,
+                errors: 0,
+                intended: vec![
+                    CurvePoint { q: 0.0, us: 180 },
+                    CurvePoint { q: 0.99, us: 4100 },
+                    CurvePoint { q: 1.0, us: 9300 },
+                ],
+                service: vec![
+                    CurvePoint { q: 0.0, us: 170 },
+                    CurvePoint { q: 0.99, us: 3900 },
+                    CurvePoint { q: 1.0, us: 9000 },
+                ],
+                attribution: vec![StageScore {
+                    stage: "wal.harden",
+                    score: 0.4,
+                    detail: "backlog 4096 B, hardened 10240 B in window".into(),
+                }],
+                slo: vec!["[ok] client.0.load_intended_us.p99 < 50000 over 2000ms".into()],
+                slowest: vec![SlowOp {
+                    kind: OpKind::Commit,
+                    intended_us: 9300,
+                    offset_ns: 41,
+                    trace_id: 0,
+                }],
+            }],
+        }
+    }
+
     fn synthetic_record(name: &str) -> ScenarioRecord {
         let stat = |n: &'static str| StageStat {
             name: n,
@@ -634,6 +866,8 @@ mod tests {
         let mut run = RunRecorder::new();
         run.scenarios.push(synthetic_record("cold_scan"));
         run.scenarios.push(synthetic_record("steady_state"));
+        run.load_scenarios.push(synthetic_load_scenario("ramp_to_knee", Some(400.0)));
+        run.load_scenarios.push(synthetic_load_scenario("secondary_kill", None));
         let doc = testjson::parse(&run.to_json()).expect("valid JSON");
         check_schema(&doc).expect("schema holds");
         let meta = doc.get("meta").expect("meta header");
@@ -648,6 +882,34 @@ mod tests {
         assert_eq!(probe.get("p99_us").unwrap().as_i64(), Some(40));
         let m = scenarios[1].get("metrics").unwrap();
         assert_eq!(m.get("pageserver[0]/pages_served").unwrap().as_i64(), Some(7));
+        let load = doc.get("load_scenarios").unwrap().as_array().unwrap();
+        assert_eq!(load.len(), 2);
+        assert!((load[0].get("knee_hz").unwrap().as_f64().unwrap() - 400.0).abs() < 1e-9);
+        assert_eq!(load[1].get("knee_hz"), Some(&testjson::Value::Null));
+        let phase = &load[0].get("phases").unwrap().as_array().unwrap()[0];
+        let intended = phase.get("intended").unwrap().as_array().unwrap();
+        assert_eq!(intended.last().unwrap().get("us").unwrap().as_i64(), Some(9300));
+        let attr = phase.get("attribution").unwrap().as_array().unwrap();
+        assert_eq!(attr[0].get("stage").unwrap().as_str(), Some("wal.harden"));
+    }
+
+    #[test]
+    fn schema_check_rejects_missing_load_scenarios() {
+        // A run with the old-style scenarios but no load observatory
+        // output is not a valid v3 document.
+        let mut run = RunRecorder::new();
+        run.scenarios.push(synthetic_record("cold_scan"));
+        let doc = testjson::parse(&run.to_json()).unwrap();
+        assert!(check_schema(&doc).unwrap_err().contains("load_scenarios"));
+
+        // An empty curve in a phase is rejected too.
+        let mut run = RunRecorder::new();
+        run.scenarios.push(synthetic_record("cold_scan"));
+        let mut sc = synthetic_load_scenario("ramp_to_knee", None);
+        sc.phases[0].intended.clear();
+        run.load_scenarios.push(sc);
+        let doc = testjson::parse(&run.to_json()).unwrap();
+        assert!(check_schema(&doc).unwrap_err().contains("intended"));
     }
 
     #[test]
@@ -661,12 +923,12 @@ mod tests {
         assert!(err.contains("net_rbio"), "unexpected error: {err}");
 
         let doc =
-            testjson::parse("{\"version\":1,\"bench\":\"BENCH_PR6\",\"scenarios\":[]}").unwrap();
+            testjson::parse("{\"version\":2,\"bench\":\"BENCH_PR6\",\"scenarios\":[]}").unwrap();
         assert!(check_schema(&doc).is_err(), "stale schema version must be rejected");
 
         // A current header without the meta block is rejected too.
         let doc = testjson::parse(
-            "{\"version\":2,\"bench\":\"BENCH_PR6\",\"scenarios\":[{\"name\":\"x\"}]}",
+            "{\"version\":3,\"bench\":\"BENCH_PR8\",\"scenarios\":[{\"name\":\"x\"}]}",
         )
         .unwrap();
         assert!(check_schema(&doc).unwrap_err().contains("meta"));

@@ -231,6 +231,14 @@ pub const COMMON_OBS_SLOW: u32 = 1050;
 /// ring stays a leaf below every sampling closure's own locks.
 pub const COMMON_OBS_HISTORY: u32 = 1060;
 
+// --- bench load observatory (1100s) -----------------------------------
+/// `bench::loadgen::LoadRecorder.phases` — phase registry; hub sampling
+/// closures read the current phase under it, so it sits above every
+/// tier lock and below only other bench leaves.
+pub const BENCH_LOAD_PHASES: u32 = 1110;
+/// `bench::loadgen::Phase.slow` — slowest-op table of one phase.
+pub const BENCH_LOAD_SLOW: u32 = 1120;
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -302,6 +310,8 @@ mod tests {
             super::COMMON_FAULT_LOG,
             super::COMMON_OBS_SLOW,
             super::COMMON_OBS_HISTORY,
+            super::BENCH_LOAD_PHASES,
+            super::BENCH_LOAD_SLOW,
         ];
         let mut sorted = all.to_vec();
         sorted.sort_unstable();

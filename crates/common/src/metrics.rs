@@ -83,21 +83,22 @@ impl Gauge {
     }
 }
 
-const BUCKETS_PER_POW2: usize = 16;
-const NUM_BUCKETS: usize = 64 * BUCKETS_PER_POW2;
+/// Resolution of the hub-facing histogram: 32 linear sub-buckets per power
+/// of two. The original fixed layout used 16 and saturated percentile
+/// accuracy at 1/16 in the tails; the shared HDR core halves that error
+/// while keeping the identical snapshot/exporter surface.
+const SUB_BITS: u32 = crate::obs::hdr::DEFAULT_SUB_BITS;
+#[cfg(test)]
+const NUM_BUCKETS: usize = crate::obs::hdr::num_buckets(SUB_BITS);
 
 /// A lock-free, log-bucketed histogram of `u64` samples (microseconds by
-/// convention). Relative bucket error is ≤ 1/16, plenty for latency
-/// percentiles; exact min/max/mean/stddev are tracked on the side.
+/// convention). A thin facade over [`crate::obs::hdr::HdrHistogram`] at
+/// 1/32 relative bucket error; exact min/max/mean/stddev are tracked on
+/// the side. Callers that need full percentile curves or sharded
+/// recording use the HDR type directly.
 #[derive(Debug)]
 pub struct Histogram {
-    /// Log-bucketed counts; see `bucket_index`.
-    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    sumsq: AtomicU64, // sum of squares, saturating
-    min: AtomicU64,
-    max: AtomicU64,
+    inner: crate::obs::hdr::HdrHistogram,
 }
 
 impl Default for Histogram {
@@ -109,60 +110,24 @@ impl Default for Histogram {
 impl Histogram {
     /// New, empty histogram.
     pub fn new() -> Histogram {
-        // Box<[AtomicU64; N]> without unstable array init helpers.
-        let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        let buckets = v.into_boxed_slice().try_into().expect("bucket count");
-        Histogram {
-            buckets,
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            sumsq: AtomicU64::new(0),
-            min: AtomicU64::new(u64::MAX),
-            max: AtomicU64::new(0),
-        }
+        Histogram { inner: crate::obs::hdr::HdrHistogram::new(SUB_BITS) }
     }
 
-    #[inline]
+    #[cfg(test)]
     fn bucket_index(v: u64) -> usize {
-        if v < BUCKETS_PER_POW2 as u64 {
-            return v as usize;
-        }
-        let pow = 63 - v.leading_zeros() as usize;
-        let sub = ((v >> (pow - 4)) & (BUCKETS_PER_POW2 as u64 - 1)) as usize;
-        pow * BUCKETS_PER_POW2 + sub
+        crate::obs::hdr::bucket_index(SUB_BITS, v)
     }
 
     /// The smallest value that maps to bucket `i` (used when reporting).
+    #[cfg(test)]
     fn bucket_floor(i: usize) -> u64 {
-        let pow = i / BUCKETS_PER_POW2;
-        if pow < 4 {
-            // Values below 16 map to index == value; indices 16..63 are
-            // unreachable, so the identity keeps the floor monotone there.
-            return i as u64;
-        }
-        let sub = (i % BUCKETS_PER_POW2) as u64;
-        (1u64 << pow) + (sub << (pow - 4))
+        crate::obs::hdr::bucket_floor(SUB_BITS, i)
     }
 
     /// Record one sample.
+    #[inline]
     pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed); // ordering: relaxed — independent statistic cells; snapshot tearing is fine
-        self.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — independent statistic cells; snapshot tearing is fine
-        self.sum.fetch_add(v, Ordering::Relaxed); // ordering: relaxed — independent statistic cells; snapshot tearing is fine
-        let sq = v.saturating_mul(v);
-        // Saturating accumulate: a plain fetch_add would wrap once the sum
-        // of squares exceeds u64::MAX and corrupt the stddev.
-        let mut cur = self.sumsq.load(Ordering::Relaxed); // ordering: relaxed — CAS loop re-reads on failure; value-only, no publication
-        loop {
-            let next = cur.saturating_add(sq);
-            match self.sumsq.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) // ordering: relaxed — saturating stat accumulate; CAS needs no fences
-            {
-                Ok(_) => break,
-                Err(actual) => cur = actual,
-            }
-        }
-        self.min.fetch_min(v, Ordering::Relaxed); // ordering: relaxed — monotone min; ordering with other cells not needed
-        self.max.fetch_max(v, Ordering::Relaxed); // ordering: relaxed — monotone max; ordering with other cells not needed
+        self.inner.record(v);
     }
 
     /// Record a [`Duration`] in microseconds.
@@ -172,56 +137,29 @@ impl Histogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed) // ordering: relaxed — monitoring read; staleness is acceptable
+        self.inner.count()
     }
 
-    /// Value at quantile `q` in `[0, 1]` (bucket floor; ≤ 6% relative error).
+    /// Value at quantile `q` in `[0, 1]` (bucket floor; ≤ 1/32 relative
+    /// error).
     pub fn percentile(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed); // ordering: relaxed — bucket scan may tear vs. count; ≤1 sample skew
-            if seen >= target {
-                return Self::bucket_floor(i);
-            }
-        }
-        self.max.load(Ordering::Relaxed) // ordering: relaxed — monitoring read; staleness is acceptable
+        self.inner.percentile(q)
     }
 
     /// A point-in-time summary.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let count = self.count();
-        let sum = self.sum.load(Ordering::Relaxed); // ordering: relaxed — snapshot tolerates torn cells by construction
-        let sumsq = self.sumsq.load(Ordering::Relaxed); // ordering: relaxed — snapshot tolerates torn cells by construction
-        let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
-        let var =
-            if count == 0 { 0.0 } else { (sumsq as f64 / count as f64 - mean * mean).max(0.0) };
-        HistogramSnapshot {
-            count,
-            min_us: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) }, // ordering: relaxed — snapshot tolerates torn cells by construction
-            max_us: self.max.load(Ordering::Relaxed), // ordering: relaxed — snapshot tolerates torn cells by construction
-            mean_us: mean,
-            stddev_us: var.sqrt(),
-            p50_us: self.percentile(0.50),
-            p90_us: self.percentile(0.90),
-            p99_us: self.percentile(0.99),
-        }
+        self.inner.summary()
+    }
+
+    /// An owned full-resolution snapshot (bucket counts + percentile
+    /// curves), for callers that need more than the fixed summary.
+    pub fn hdr_snapshot(&self) -> crate::obs::hdr::HdrSnapshot {
+        self.inner.snapshot()
     }
 
     /// Forget all samples.
     pub fn reset(&self) {
-        for b in self.buckets.iter() {
-            b.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
-        }
-        self.count.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
-        self.sum.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
-        self.sumsq.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
-        self.min.store(u64::MAX, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
-        self.max.store(0, Ordering::Relaxed); // ordering: relaxed — reset races smear into neighbouring windows, by design
+        self.inner.reset();
     }
 }
 

@@ -1,0 +1,171 @@
+//! Property tests for the HDR log-linear histogram (`obs::hdr`): the
+//! bucket-layout invariants every percentile read depends on, merge
+//! algebra, percentile monotonicity, and a Miri-sized concurrent-shard
+//! merge exercising the lock-free recording path under real threads.
+
+use proptest::prelude::*;
+use socrates_common::obs::hdr::{
+    bucket_floor, bucket_index, num_buckets, HdrHistogram, HdrShards, HdrSnapshot,
+};
+use socrates_common::rng::Rng;
+use std::sync::Arc;
+
+fn snapshot_of(sub_bits: u32, vals: &[u64]) -> HdrSnapshot {
+    let h = HdrHistogram::new(sub_bits);
+    for &v in vals {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// value → bucket → floor round-trip: the floor never exceeds the
+    /// value and is within the documented relative-error bound of it.
+    #[test]
+    fn round_trip_floor_bounds_value(v in any::<u64>(), sub_bits in 1u32..=8) {
+        let i = bucket_index(sub_bits, v);
+        prop_assert!(i < num_buckets(sub_bits), "index {i} out of table");
+        let floor = bucket_floor(sub_bits, i);
+        prop_assert!(floor <= v, "floor {floor} above value {v}");
+        // Relative error bound: v - floor < 2^-sub_bits * 2^(pow+1), i.e.
+        // floor >= v - (v >> sub_bits) up to one sub-bucket of rounding.
+        let max_err = (v >> sub_bits).max(1);
+        prop_assert!(
+            v - floor <= max_err,
+            "v={v} floor={floor} err={} bound={max_err}",
+            v - floor
+        );
+    }
+
+    /// The floor of every reachable bucket maps back to the same bucket
+    /// (the fixed point that makes repeated quantisation stable).
+    #[test]
+    fn floor_is_fixed_point(v in any::<u64>(), sub_bits in 1u32..=8) {
+        let i = bucket_index(sub_bits, v);
+        let floor = bucket_floor(sub_bits, i);
+        prop_assert_eq!(bucket_index(sub_bits, floor), i);
+    }
+
+    /// Bucket index is monotone in the value.
+    #[test]
+    fn index_monotone(a in any::<u64>(), b in any::<u64>(), sub_bits in 1u32..=8) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(bucket_index(sub_bits, lo) <= bucket_index(sub_bits, hi));
+    }
+
+    /// Merge is associative and commutative: any grouping of the same
+    /// shard snapshots yields identical buckets and side-stats.
+    #[test]
+    fn merge_associative_commutative(
+        xs in proptest::collection::vec(any::<u64>(), 0..40),
+        ys in proptest::collection::vec(any::<u64>(), 0..40),
+        zs in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (a, b, c) = (snapshot_of(5, &xs), snapshot_of(5, &ys), snapshot_of(5, &zs));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // c ⊕ b ⊕ a (commuted)
+        let mut comm = c.clone();
+        comm.merge(&b);
+        comm.merge(&a);
+
+        for other in [&right, &comm] {
+            prop_assert_eq!(left.count(), other.count());
+            prop_assert_eq!(left.min(), other.min());
+            prop_assert_eq!(left.max(), other.max());
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                prop_assert_eq!(left.percentile(q), other.percentile(q));
+            }
+        }
+        // And the merge equals recording the concatenation directly.
+        let mut all = xs.clone();
+        all.extend(&ys);
+        all.extend(&zs);
+        let direct = snapshot_of(5, &all);
+        prop_assert_eq!(left.count(), direct.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
+            prop_assert_eq!(left.percentile(q), direct.percentile(q));
+        }
+    }
+
+    /// Percentiles are monotone in the quantile and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone_and_bracketed(
+        vals in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        seed in any::<u64>(),
+    ) {
+        let snap = snapshot_of(5, &vals);
+        let mut rng = Rng::new(seed);
+        let mut qs: Vec<f64> = (0..16).map(|_| rng.gen_f64()).collect();
+        qs.extend([0.0, 1.0]);
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = snap.percentile(qs[0]);
+        prop_assert!(last >= snap.min() || qs[0] > 0.0);
+        for &q in &qs[1..] {
+            let p = snap.percentile(q);
+            prop_assert!(p >= last, "p({q}) = {p} < previous {last}");
+            prop_assert!(p <= snap.max());
+            last = p;
+        }
+        let curve = snap.curve();
+        for w in curve.windows(2) {
+            prop_assert!(w[0].us <= w[1].us, "curve not monotone");
+        }
+    }
+}
+
+/// Concurrent recorders on independent shards lose no samples and the
+/// merged snapshot equals the sequential reference. Sized to run under
+/// Miri (few threads, few records).
+#[test]
+fn concurrent_shard_merge_loses_nothing() {
+    let threads = 4usize;
+    let per_thread = if cfg!(miri) { 50u64 } else { 5_000 };
+    let shards = Arc::new(HdrShards::new(threads, 5));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let shards = Arc::clone(&shards);
+            std::thread::spawn(move || {
+                let mut rng = Rng::new(0xC0FFEE + t as u64);
+                for _ in 0..per_thread {
+                    // Spread over 6 decades so many buckets are hit.
+                    let v = 1u64 << rng.gen_range(20);
+                    shards.record(v + rng.gen_range(v.max(1)));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let merged = shards.snapshot();
+    assert_eq!(merged.count(), threads as u64 * per_thread, "samples lost in shard merge");
+
+    // Sequential reference with the same per-thread streams.
+    let reference = HdrHistogram::new(5);
+    for t in 0..threads {
+        let mut rng = Rng::new(0xC0FFEE + t as u64);
+        for _ in 0..per_thread {
+            let v = 1u64 << rng.gen_range(20);
+            reference.record(v + rng.gen_range(v.max(1)));
+        }
+    }
+    let ref_snap = reference.snapshot();
+    assert_eq!(merged.min(), ref_snap.min());
+    assert_eq!(merged.max(), ref_snap.max());
+    for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        assert_eq!(merged.percentile(q), ref_snap.percentile(q), "divergence at q={q}");
+    }
+}

@@ -110,6 +110,11 @@ impl Primary {
         if fabric.spans.is_enabled() {
             pipeline.set_span_ring(Arc::clone(&fabric.spans), NodeId::PRIMARY);
         }
+        // Feed health (drop count, queue depth) lands under the PRIMARY
+        // node: the pump belongs to this primary process, so failover's
+        // unregister_primary_process_metrics retires the closures with it
+        // and the successor can re-register its own feed.
+        feed.register_metrics(&fabric.hub, NodeId::PRIMARY);
 
         // Tiered cache: memory over (optional) RBPEX over GetPage@LSN.
         let rbpex = if config.rbpex_pages > 0 {

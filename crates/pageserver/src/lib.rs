@@ -140,6 +140,11 @@ pub struct PageServerMetrics {
     pub gc_layers_dropped: Counter,
     /// GetPage@LSN requests at an explicitly historical LSN.
     pub historical_reads: Counter,
+    /// Wall time the apply loop spent doing productive work (pulling and
+    /// applying non-empty batches), in microseconds. Delta over a window ÷
+    /// window length = apply-loop utilization, the saturation signal the
+    /// load observatory's bottleneck attribution reads.
+    pub apply_busy_us: Counter,
 }
 
 /// Apply-progress callback: invoked with the new applied LSN after every
@@ -493,6 +498,7 @@ impl PageServer {
         counter!("compactions_run", compactions_run);
         counter!("gc_layers_dropped", gc_layers_dropped);
         counter!("historical_reads", historical_reads);
+        counter!("apply_busy_us", apply_busy_us);
         let ps = Arc::clone(self);
         hub.register_gauge_fn(node, "layer_l0_count", move || ps.layers.counts().l0 as i64);
         let ps = Arc::clone(self);
@@ -687,6 +693,7 @@ impl PageServer {
     /// Pull and apply one batch; returns the number of records applied.
     /// Public so deterministic tests can drive the server without threads.
     pub fn apply_once(&self) -> Result<usize> {
+        let busy_t0 = std::time::Instant::now();
         let cursor = self.applied.load();
         let pull =
             self.xlog.pull_blocks(cursor, self.config.pull_batch_bytes, Some(self.spec.id))?;
@@ -719,6 +726,9 @@ impl PageServer {
             self.note_applied(pull.next_lsn);
         }
         self.metrics.records_applied.add(applied as u64);
+        if applied > 0 {
+            self.metrics.apply_busy_us.add(busy_t0.elapsed().as_micros() as u64);
+        }
         Ok(applied)
     }
 

@@ -100,6 +100,12 @@ impl<T: Send + 'static> LossyChannel<T> {
             let _ = self.tx.send(held);
         }
     }
+
+    /// Messages sent but not yet received — the channel's queue depth.
+    /// A saturation signal: a receiver keeping up holds this near zero.
+    pub fn pending(&self) -> usize {
+        self.tx.len()
+    }
 }
 
 impl<T> LossyReceiver<T> {

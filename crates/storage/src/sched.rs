@@ -367,6 +367,11 @@ impl IoScheduler {
         counter!("sched_tasks_run", tasks_run);
         let s = Arc::clone(&self.shared);
         hub.register_gauge_fn(node, "sched_depth", move || s.inflight.lock().len() as i64);
+        // Saturation signal for the load observatory: requests parked in
+        // the dispatch queue, i.e. demand the worker pool has not yet
+        // picked up. Sustained growth means the read path is the choke.
+        let s = Arc::clone(&self.shared);
+        hub.register_gauge_fn(node, "sched_queue_depth", move || s.q.lock().pending.len() as i64);
         let s = Arc::clone(&self.shared);
         hub.register_gauge_fn(node, "sched_coalesce_ratio_pct", move || {
             s.stats.coalesce_ratio_pct()

@@ -201,6 +201,15 @@ impl LogPipeline {
         });
         let m = Arc::clone(self);
         hub.register_gauge_fn(node, "hardened_lsn", move || m.hardened.load().offset() as i64);
+        // Saturation signal for the load observatory: bytes accepted by
+        // append() but not yet hardened. A pipeline keeping up hovers near
+        // one block; a saturated landing zone grows without bound.
+        let m = Arc::clone(self);
+        hub.register_gauge_fn(node, "log_append_backlog_bytes", move || {
+            let appended = m.metrics.bytes_appended.get();
+            let hardened = m.metrics.bytes_hardened.get();
+            appended.saturating_sub(hardened) as i64
+        });
     }
 
     /// Everything strictly below this LSN is durable.

@@ -101,6 +101,26 @@ impl XLogFeed {
     pub fn dropped_blocks(&self) -> u64 {
         self.channel.dropped.get()
     }
+
+    /// Blocks sitting in the feed channel waiting for the pump thread —
+    /// the feed's queue depth (saturation signal for the load observatory;
+    /// a pump keeping up with the primary holds this near zero).
+    pub fn queue_depth(&self) -> usize {
+        self.channel.pending()
+    }
+
+    /// Register the feed's health metrics into the hub under `node`
+    /// (conventionally [`NodeId::XLOG`], the tier the feed delivers to).
+    pub fn register_metrics(
+        self: &Arc<Self>,
+        hub: &socrates_common::obs::MetricsHub,
+        node: NodeId,
+    ) {
+        let f = Arc::clone(self);
+        hub.register_counter_fn(node, "feed_dropped_blocks", move || f.dropped_blocks());
+        let f = Arc::clone(self);
+        hub.register_gauge_fn(node, "feed_queue_depth", move || f.queue_depth() as i64);
+    }
 }
 
 impl LogDisseminator for XLogFeed {
