@@ -21,8 +21,8 @@
 //! ```
 
 use socrates_bench::loadgen::{
-    compaction_interference_scenario, ramp_to_knee_scenario, secondary_kill_scenario,
-    LoadScenarioRecord,
+    acceptor_kill_scenario, compaction_interference_scenario, ramp_to_knee_scenario,
+    secondary_kill_scenario, LoadScenarioRecord,
 };
 use socrates_bench::telemetry::{
     check_schema, cold_scan_scenario, historical_read_scenario, span_overhead_ab,
@@ -134,6 +134,7 @@ fn main() {
         ("ramp_to_knee", ramp_to_knee_scenario as fn(Effort, u64) -> socrates_common::Result<_>),
         ("secondary_kill", secondary_kill_scenario),
         ("compaction_interference", compaction_interference_scenario),
+        ("acceptor_kill", acceptor_kill_scenario),
     ] {
         let t0 = std::time::Instant::now();
         match f(effort, opts.seed) {
@@ -205,7 +206,7 @@ fn run_check(path: &std::path::Path) {
         .and_then(|v| v.as_array())
         .map(|s| s.iter().filter_map(|sc| sc.get("name").and_then(|n| n.as_str())).collect())
         .unwrap_or_default();
-    for want in ["ramp_to_knee", "secondary_kill", "compaction_interference"] {
+    for want in ["ramp_to_knee", "secondary_kill", "compaction_interference", "acceptor_kill"] {
         if !load_names.contains(&want) {
             die(&format!("{} is missing load scenario {want:?}", path.display()));
         }

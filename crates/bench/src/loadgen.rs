@@ -1039,6 +1039,74 @@ pub fn secondary_kill_scenario(effort: Effort, seed: u64) -> Result<LoadScenario
     Ok(LoadScenarioRecord { name: "secondary_kill".into(), seed, knee_hz: None, phases })
 }
 
+/// Scenario 4 — kill a quorum WAL acceptor under commit-heavy load.
+/// Three phases: steady, kill (one of the three acceptors dies
+/// mid-phase; commits ride the surviving majority), recovered (the
+/// acceptor rejoins and catches up mid-phase). The open-loop schedule
+/// keeps offered load identical throughout; the scenario shows intended
+/// p99 staying bounded through single-acceptor loss.
+pub fn acceptor_kill_scenario(effort: Effort, seed: u64) -> Result<LoadScenarioRecord> {
+    let config = load_config(effort, seed, 1)
+        .with_quorum(3, 0)
+        .with_slo_spec("client.0.load_intended_us.p99 < 100ms over 2s; client.0.load_errors_total.rate < 10 over 2s");
+    let sys = Socrates::launch(config)?;
+    let rows = seeded_rows(effort);
+    seed_load_table(&sys, rows)?;
+    let recorder = LoadRecorder::new();
+    recorder.register(sys.hub());
+    let exec = FabricExecutor::new(&sys, rows, None);
+
+    let rate = match effort {
+        Effort::Quick => 300.0,
+        Effort::Full => 1000.0,
+    };
+    // Commit-heavy: every commit fans out to the acceptors, so the
+    // quorum tier is squarely on the latency path being measured.
+    let spec_for = |step: u64| LoadSpec {
+        arrival: Arrival::Poisson { rate_hz: rate },
+        sessions: 10_000,
+        mix: OpMix { weights: [60.0, 35.0, 5.0, 0.0] },
+        duration: phase_duration(effort),
+        seed: seed ^ step,
+        workers: 8,
+    };
+
+    let mut phases = Vec::new();
+    phases.push(measured_phase(&sys, &recorder, "steady", &spec_for(1), &exec));
+
+    // The kill lands mid-phase; commits keep acking on the remaining two.
+    let victim = (seed as usize) % 3;
+    let spec = spec_for(2);
+    let half = spec.duration / 2;
+    let rec = std::thread::scope(|s| {
+        let killer = s.spawn(|| {
+            std::thread::sleep(half);
+            let _ = sys.fabric().kill_acceptor(victim);
+        });
+        let rec = measured_phase(&sys, &recorder, "kill", &spec, &exec);
+        let _ = killer.join();
+        rec
+    });
+    phases.push(rec);
+
+    // Rejoin mid-phase: catch-up streams from a peer while the schedule
+    // keeps arriving, then the tier is back at full redundancy.
+    let spec = spec_for(3);
+    let half = spec.duration / 2;
+    let rec = std::thread::scope(|s| {
+        let rejoiner = s.spawn(|| {
+            std::thread::sleep(half);
+            let _ = sys.fabric().restart_acceptor(victim);
+        });
+        let rec = measured_phase(&sys, &recorder, "recovered", &spec, &exec);
+        let _ = rejoiner.join();
+        rec
+    });
+    phases.push(rec);
+    sys.shutdown();
+    Ok(LoadScenarioRecord { name: "acceptor_kill".into(), seed, knee_hz: None, phases })
+}
+
 /// Scenario 3 — compaction/GC interference on historical reads. Time-
 /// travel reads run against a PR 7 zero-copy branch while phase two
 /// adds write churn plus explicit compaction and GC passes on the base
@@ -1128,6 +1196,7 @@ pub fn all_load_scenarios(effort: Effort, seed: u64) -> Result<Vec<LoadScenarioR
         ramp_to_knee_scenario(effort, seed)?,
         secondary_kill_scenario(effort, seed)?,
         compaction_interference_scenario(effort, seed)?,
+        acceptor_kill_scenario(effort, seed)?,
     ])
 }
 

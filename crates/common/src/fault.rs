@@ -55,6 +55,15 @@ pub mod sites {
     pub const XSTORE_PUT: &str = "xstore.put";
     /// XStore reads (`read_at`).
     pub const XSTORE_GET: &str = "xstore.get";
+    /// Quorum log tier: one acceptor receiving an `AppendReq` (checked
+    /// per acceptor, so a latency rule delays a single acceptor's ack).
+    pub const LZ_QUORUM_APPEND: &str = "lz.quorum.append";
+    /// Quorum log tier: the proposer collecting an acceptor's append ack
+    /// (drop = the ack is lost even though the acceptor flushed).
+    pub const LZ_QUORUM_ACK: &str = "lz.quorum.ack";
+    /// Quorum log tier: one acceptor receiving a `VoteReq` during a
+    /// proposer campaign.
+    pub const LZ_QUORUM_VOTE: &str = "lz.quorum.vote";
 
     /// Every site wired through the workspace (the catalog).
     pub const ALL: &[&str] = &[
@@ -67,6 +76,9 @@ pub mod sites {
         PS_GC_DROP,
         XSTORE_PUT,
         XSTORE_GET,
+        LZ_QUORUM_APPEND,
+        LZ_QUORUM_ACK,
+        LZ_QUORUM_VOTE,
     ];
 }
 

@@ -147,6 +147,8 @@ pub enum NodeKind {
     Client,
     /// The fault-injection registry (owns `fault_injected_total.*`).
     Fault,
+    /// A quorum WAL acceptor (safekeeper-style log node).
+    Acceptor,
 }
 
 impl NodeKind {
@@ -160,6 +162,7 @@ impl NodeKind {
             NodeKind::XStore => "xstore",
             NodeKind::Client => "client",
             NodeKind::Fault => "fault",
+            NodeKind::Acceptor => "acceptor",
         }
     }
 }
@@ -187,6 +190,11 @@ impl NodeId {
     /// Benchmark client `i`.
     pub const fn client(i: u32) -> NodeId {
         NodeId { kind: NodeKind::Client, index: i }
+    }
+
+    /// Quorum WAL acceptor `i`.
+    pub const fn acceptor(i: u32) -> NodeId {
+        NodeId { kind: NodeKind::Acceptor, index: i }
     }
 }
 

@@ -196,6 +196,25 @@ pub const XLOG_LEASES: u32 = 720;
 /// `xlog::service::XLogService.destager` — destager worker slot.
 pub const XLOG_DESTAGER: u32 = 730;
 
+// --- wal quorum log (740s) --------------------------------------------
+// The quorum tier sits between xlog (700s, truncates it while holding
+// the broker lock) and the landing zone band: the proposer's locks are
+// taken on the pipeline's harden path and while campaigning, and the
+// per-acceptor state lock is the innermost (taken by replication
+// workers). Acceptor state locks are never nested against each other —
+// catch-up reads the donor's block, releases, then appends to the
+// laggard.
+/// `wal::quorum::QuorumLog.write_gate` — single-writer append gate.
+pub const WAL_QUORUM_WRITE: u32 = 740;
+/// `wal::quorum::QuorumLog.state` — proposer term/history/head.
+pub const WAL_QUORUM_STATE: u32 = 742;
+/// `wal::quorum::QuorumLog.worker_handles` — replication worker handles.
+pub const WAL_QUORUM_WORKERS: u32 = 744;
+/// `wal::quorum::Acceptor.state` — per-acceptor log + term state.
+pub const WAL_ACCEPTOR_STATE: u32 = 746;
+/// `wal::quorum::QuorumLog.faults` — fault registry slot.
+pub const WAL_QUORUM_FAULTS: u32 = 748;
+
 // --- wal landing zone (750s) ------------------------------------------
 /// `wal::landing_zone::LandingZone.worker_handles` — LZ worker handles.
 pub const WAL_LZ_WORKERS: u32 = 750;

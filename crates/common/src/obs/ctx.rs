@@ -150,6 +150,7 @@ const fn pack_node(node: NodeId) -> u64 {
         NodeKind::XStore => 4,
         NodeKind::Client => 5,
         NodeKind::Fault => 6,
+        NodeKind::Acceptor => 7,
     };
     (kind << 32) | node.index as u64
 }
@@ -162,6 +163,7 @@ fn unpack_node(v: u64) -> NodeId {
         4 => NodeKind::XStore,
         5 => NodeKind::Client,
         6 => NodeKind::Fault,
+        7 => NodeKind::Acceptor,
         _ => NodeKind::Primary,
     };
     NodeId { kind, index: v as u32 }

@@ -205,6 +205,7 @@ fn chrome_lane(node: NodeId) -> u32 {
         NodeKind::Fault => 4,
         NodeKind::Client => 5,
         NodeKind::PageServer => 10 + node.index,
+        NodeKind::Acceptor => 50 + node.index,
         NodeKind::Secondary => 100 + node.index,
     }
 }

@@ -194,6 +194,7 @@ fn parse_tier(s: &str) -> Option<NodeKind> {
         "xstore" => Some(NodeKind::XStore),
         "client" => Some(NodeKind::Client),
         "fault" => Some(NodeKind::Fault),
+        "acceptor" => Some(NodeKind::Acceptor),
         _ => None,
     }
 }

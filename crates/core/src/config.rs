@@ -37,6 +37,14 @@ pub struct SocratesConfig {
     /// The storage service implementing the landing zone (XIO vs
     /// DirectDrive in the paper's Appendix A).
     pub lz_profile: DeviceProfile,
+    /// Quorum WAL acceptor count. `1` (the default) keeps the classic
+    /// single-writer landing zone; `>= 2` mounts the safekeeper-style
+    /// quorum tier ([`socrates_wal::QuorumLog`]) in its place, with this
+    /// many acceptor nodes.
+    pub quorum_acceptors: usize,
+    /// Acceptor acks required to commit a block. `0` = majority
+    /// (`n/2 + 1`). Ignored when `quorum_acceptors` is 1.
+    pub quorum_ack_required: usize,
     /// Local SSD profile (RBPEX, XLOG block cache).
     pub ssd_profile: DeviceProfile,
     /// XStore profile.
@@ -120,6 +128,8 @@ impl SocratesConfig {
             lz_quorum: 2,
             lz_capacity: 64 << 20,
             lz_profile: DeviceProfile::instant(),
+            quorum_acceptors: 1,
+            quorum_ack_required: 0,
             ssd_profile: DeviceProfile::instant(),
             xstore_profile: DeviceProfile::instant(),
             net_profile: DeviceProfile::instant(),
@@ -171,6 +181,14 @@ impl SocratesConfig {
     /// Swap the landing-zone storage service (the Appendix A experiment).
     pub fn with_lz_profile(mut self, profile: DeviceProfile) -> SocratesConfig {
         self.lz_profile = profile;
+        self
+    }
+
+    /// Mount the quorum WAL tier: `acceptors` nodes, committing at `ack`
+    /// acks (`0` = majority).
+    pub fn with_quorum(mut self, acceptors: usize, ack: usize) -> SocratesConfig {
+        self.quorum_acceptors = acceptors;
+        self.quorum_ack_required = ack;
         self
     }
 

@@ -27,6 +27,8 @@ use socrates_storage::fcb::{Fcb, LatencyFcb, MemFcb};
 use socrates_storage::page::{Page, PAGE_SIZE};
 use socrates_storage::sched::{IoScheduler, RangedPageSource};
 use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
+use socrates_wal::quorum::{Acceptor, QuorumConfig, QuorumLog};
+use socrates_wal::store::LogStore;
 use socrates_xlog::XLogService;
 use socrates_xstore::{XStore, XStoreConfig};
 use std::collections::HashMap;
@@ -87,8 +89,13 @@ impl ApplySignal {
 pub struct Fabric {
     /// Deployment configuration.
     pub config: SocratesConfig,
-    /// The landing zone.
-    pub lz: Arc<LandingZone>,
+    /// The durable log store: the landing zone, or — when
+    /// `config.quorum_acceptors >= 2` — the quorum WAL tier mounted in
+    /// its place.
+    pub lz: Arc<dyn LogStore>,
+    /// The quorum tier, when mounted (acceptor kill/restart and the
+    /// campaign path go through this handle; `None` in classic LZ mode).
+    pub quorum: Option<Arc<QuorumLog>>,
     /// XStore.
     pub xstore: Arc<XStore>,
     /// The XLOG service.
@@ -190,24 +197,57 @@ impl Fabric {
         // zone service profile; the device CPU cost lands on the primary
         // (it drives the writes — XIO's REST calls vs DD's syscalls,
         // Table 7).
-        let lz_replicas: Vec<Arc<dyn Fcb>> = (0..config.lz_replicas)
-            .map(|i| {
-                Arc::new(LatencyFcb::new(
-                    MemFcb::new(format!("lz-{i}")),
-                    LatencyInjector::new(
-                        config.lz_profile.clone(),
-                        config.latency_mode,
-                        config.seed ^ (i as u64 + 1),
-                    ),
-                    Some(Arc::clone(&primary_cpu)),
-                )) as Arc<dyn Fcb>
-            })
-            .collect();
-        let lz = Arc::new(LandingZone::with_start(
-            lz_replicas,
-            LandingZoneConfig { capacity: config.lz_capacity, write_quorum: config.lz_quorum },
-            start,
-        ));
+        let (lz, quorum): (Arc<dyn LogStore>, Option<Arc<QuorumLog>>) = if config.quorum_acceptors
+            >= 2
+        {
+            // Quorum WAL tier: one acceptor node per index, each with its
+            // own seeded device latency stream (like the LZ replicas).
+            let acceptors = (0..config.quorum_acceptors)
+                .map(|i| {
+                    Arc::new(Acceptor::new(
+                        i,
+                        start,
+                        Some(LatencyInjector::new(
+                            config.lz_profile.clone(),
+                            config.latency_mode,
+                            config.seed ^ (i as u64 + 1),
+                        )),
+                    ))
+                })
+                .collect();
+            let q = Arc::new(QuorumLog::with_acceptors(
+                acceptors,
+                QuorumConfig {
+                    acceptors: config.quorum_acceptors,
+                    ack_required: config.quorum_ack_required,
+                    capacity: config.lz_capacity,
+                },
+            ));
+            // Initial election (term 1) so the bootstrap primary may
+            // append; later primaries campaign again via recover().
+            q.campaign()?;
+            (Arc::clone(&q) as Arc<dyn LogStore>, Some(q))
+        } else {
+            let lz_replicas: Vec<Arc<dyn Fcb>> = (0..config.lz_replicas)
+                .map(|i| {
+                    Arc::new(LatencyFcb::new(
+                        MemFcb::new(format!("lz-{i}")),
+                        LatencyInjector::new(
+                            config.lz_profile.clone(),
+                            config.latency_mode,
+                            config.seed ^ (i as u64 + 1),
+                        ),
+                        Some(Arc::clone(&primary_cpu)),
+                    )) as Arc<dyn Fcb>
+                })
+                .collect();
+            let lz = Arc::new(LandingZone::with_start(
+                lz_replicas,
+                LandingZoneConfig { capacity: config.lz_capacity, write_quorum: config.lz_quorum },
+                start,
+            ));
+            (lz as Arc<dyn LogStore>, None)
+        };
         let xlog_ssd: Arc<dyn Fcb> = Arc::new(LatencyFcb::new(
             MemFcb::new("xlog-ssd"),
             LatencyInjector::new(
@@ -228,6 +268,12 @@ impl Fabric {
         xlog.start_destager();
         let hub = MetricsHub::new();
         xlog.register_metrics(&hub, NodeId::XLOG);
+        if let Some(q) = &quorum {
+            // Per-acceptor flush/term/lag gauges plus quorum-wide commit
+            // watermark and election counters. Registered under XLOG,
+            // which (like the log itself) survives compute failover.
+            q.register_metrics(&hub, NodeId::XLOG);
+        }
         {
             let lz2 = Arc::clone(&lz);
             hub.register_gauge_fn(NodeId::XLOG, "lz_used_bytes", move || {
@@ -292,6 +338,7 @@ impl Fabric {
         Ok(Arc::new(Fabric {
             config,
             lz,
+            quorum,
             xstore,
             xlog,
             cpu,
@@ -512,6 +559,35 @@ impl Fabric {
             }
         }
         Ok(())
+    }
+
+    /// Crash quorum acceptor `idx`: it stops answering votes, appends,
+    /// and reads, but keeps its durable state — the counterpart of
+    /// [`Fabric::kill_partition`] for the log tier. Errors in classic
+    /// (single-LZ) mode.
+    pub fn kill_acceptor(&self, idx: usize) -> Result<()> {
+        let q = self
+            .quorum
+            .as_ref()
+            .ok_or_else(|| Error::InvalidState("no quorum WAL tier mounted".into()))?;
+        if idx >= q.acceptors().len() {
+            return Err(Error::InvalidArgument(format!("no acceptor {idx}")));
+        }
+        q.kill_acceptor(idx);
+        Ok(())
+    }
+
+    /// Restart a crashed acceptor and stream it forward to the current
+    /// head from its surviving peers. Returns its flush LSN afterwards.
+    pub fn restart_acceptor(&self, idx: usize) -> Result<Lsn> {
+        let q = self
+            .quorum
+            .as_ref()
+            .ok_or_else(|| Error::InvalidState("no quorum WAL tier mounted".into()))?;
+        if idx >= q.acceptors().len() {
+            return Err(Error::InvalidArgument(format!("no acceptor {idx}")));
+        }
+        q.reconnect_acceptor(idx)
     }
 
     /// Kill every server of a partition (availability experiments). The

@@ -47,9 +47,13 @@ impl Primary {
     /// Spin up a replacement primary after a failure: analysis-only
     /// recovery from the last checkpoint plus the log tail.
     pub fn recover(fabric: Arc<Fabric>) -> Result<Arc<Primary>> {
+        // Re-establish the right to append: in quorum mode this campaigns
+        // at a higher term (fencing out the dead primary's proposer); on
+        // the classic landing zone it is a no-op returning the head.
+        let head = fabric.lz.recover()?;
         // Anything the dead primary hardened but never reported is released
-        // by telling XLOG about the landing zone's true head.
-        fabric.xlog.report_hardened(fabric.lz.head());
+        // by telling XLOG about the log store's true head.
+        fabric.xlog.report_hardened(head);
         let cursor = fabric.last_checkpoint.load();
         let pull = fabric.xlog.pull_blocks(cursor, usize::MAX, None)?;
         let mut records: Vec<SequencedRecord> = Vec::new();
@@ -62,7 +66,7 @@ impl Primary {
         };
         let tm = Arc::new(TxnManager::new());
         let analysis = analyze(&tm, &meta, redo, &records)?;
-        Self::build(fabric.clone(), tm, analysis.next_page_id, fabric.lz.head(), false)
+        Self::build(fabric.clone(), tm, analysis.next_page_id, head, false)
     }
 
     /// Build a primary with explicit recovered state (the PITR path, which

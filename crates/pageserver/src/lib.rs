@@ -1535,7 +1535,7 @@ mod tests {
             ));
             let xstore = Arc::new(XStore::new(XStoreConfig::instant()));
             let xlog = XLogService::new(
-                Arc::clone(&lz),
+                Arc::clone(&lz) as Arc<dyn socrates_wal::LogStore>,
                 Arc::new(MemFcb::new("xlog-ssd")) as Arc<dyn Fcb>,
                 Arc::clone(&xstore),
                 XLogConfig::default(),

@@ -11,9 +11,13 @@
 pub mod block;
 pub mod landing_zone;
 pub mod pipeline;
+pub mod quorum;
 pub mod record;
+pub mod store;
 
 pub use block::{BlockBuilder, BlockInfo, LogBlock, BLOCK_HEADER};
 pub use landing_zone::{LandingZone, LandingZoneConfig};
 pub use pipeline::{BlockSink, LogDisseminator, LogPipeline, LogPipelineConfig, PartitionMap};
+pub use quorum::{Acceptor, QuorumConfig, QuorumLog};
 pub use record::{LogPayload, LogRecord, SequencedRecord};
+pub use store::LogStore;

@@ -1,0 +1,986 @@
+//! Deterministic step-function simulator for the quorum log protocol.
+//!
+//! No threads, no wall clock: the entire distributed system — proposers,
+//! acceptors, and the network between them — is a single state machine
+//! advanced one event at a time by a seeded [`Rng`]. Every message is an
+//! element of an in-flight pool; delivery order, drops, duplicates,
+//! crashes, restarts, and partitions are all schedule events, so any
+//! interleaving the real tier could experience (and many it practically
+//! never will) is reachable by some seed.
+//!
+//! After **every** step the simulator checks the protocol's safety
+//! invariants:
+//!
+//! 1. the global committed watermark never regresses — in particular, a
+//!    newly elected proposer's start position is at or beyond it;
+//! 2. no two proposers ever commit conflicting entries for the same LSN
+//!    range (checked against a global record of committed content);
+//! 3. a write quorum of acceptors always holds every committed LSN in
+//!    its flushed prefix, with matching content.
+//!
+//! A run ends with a *quiesce* phase — all acceptors healed, a fresh
+//! proposer started, messages delivered in order — that asserts
+//! liveness: the system must elect, catch up, and commit new entries
+//! once chaos stops. The step trace is kept for replay artifacts.
+
+use super::protocol::{
+    choose_donor, AcceptorCore, AppendVerdict, ElectedResp, Entry, Term, TermHistory, VoteResp,
+};
+use socrates_common::rng::Rng;
+use socrates_common::Lsn;
+use std::collections::BTreeMap;
+
+/// Simulator shape knobs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of acceptors.
+    pub acceptors: usize,
+    /// Acks required to commit (the write quorum).
+    pub ack_required: usize,
+    /// Random schedule steps before the quiesce phase.
+    pub steps: usize,
+    /// Maximum entry length in bytes (lengths are 1..=this).
+    pub max_entry_len: u64,
+}
+
+impl SimConfig {
+    /// The default 3-acceptor majority-commit shape.
+    pub fn small(steps: usize) -> SimConfig {
+        SimConfig { acceptors: 3, ack_required: 2, steps, max_entry_len: 64 }
+    }
+
+    /// A 5-acceptor shape (tolerates two losses).
+    pub fn five(steps: usize) -> SimConfig {
+        SimConfig { acceptors: 5, ack_required: 3, steps, max_entry_len: 64 }
+    }
+}
+
+/// What a run produced: counters for the fixed-seed tests, violations
+/// (must be empty), and the replayable step trace.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// The schedule seed.
+    pub seed: u64,
+    /// Random steps executed.
+    pub steps: usize,
+    /// Elections completed (a proposer reached Leading).
+    pub elections: usize,
+    /// Committed entries recorded in the global content map.
+    pub commits: usize,
+    /// Final global committed watermark.
+    pub watermark: Lsn,
+    /// Invariant violations (empty on a correct protocol).
+    pub violations: Vec<String>,
+    /// Human-readable step trace for replay artifacts.
+    pub trace: Vec<String>,
+    /// Whether the quiesce phase committed fresh entries.
+    pub quiesce_converged: bool,
+}
+
+impl SimReport {
+    /// Render the trace (plus violations) for a replay artifact file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# quorum-sim seed={} steps={} elections={} commits={} watermark={} converged={}\n",
+            self.seed,
+            self.steps,
+            self.elections,
+            self.commits,
+            self.watermark,
+            self.quiesce_converged
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("VIOLATION: {v}\n"));
+        }
+        for line in &self.trace {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Req {
+    Vote { term: Term },
+    Elected { term: Term, history: TermHistory },
+    Append { term: Term, entry: Entry },
+    Fetch { from: Lsn },
+}
+
+#[derive(Clone, Debug)]
+enum Resp {
+    Vote(VoteResp),
+    Elected(ElectedResp),
+    Append { term: Term, verdict: AppendVerdict, flush: Lsn },
+    Fetch { elected_term: Term, entries: Vec<Entry> },
+}
+
+#[derive(Clone, Debug)]
+enum Body {
+    Req(Req),
+    Resp(Resp),
+}
+
+#[derive(Clone, Debug)]
+struct Msg {
+    proposer: usize,
+    acceptor: usize,
+    body: Body,
+}
+
+struct SimAcceptor {
+    core: AcceptorCore,
+    /// Crashed acceptors keep their durable core but process nothing.
+    up: bool,
+    /// Partitioned acceptors are up but unreachable.
+    reachable: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Campaigning,
+    Leading,
+    Stopped,
+}
+
+struct SimProposer {
+    term: Term,
+    phase: Phase,
+    votes: Vec<(usize, VoteResp)>,
+    history: TermHistory,
+    /// Election start position (donor flush).
+    start: Lsn,
+    /// Next append position.
+    head: Lsn,
+    /// This proposer's committed watermark.
+    commit: Lsn,
+    /// Entries this proposer can stream: its own appends plus backfill
+    /// fetched from peers, keyed by start LSN.
+    log: BTreeMap<Lsn, Entry>,
+    /// Which acceptors acknowledged this term's election announcement.
+    synced: Vec<bool>,
+    /// Highest flush LSN each acceptor reported *in this term*.
+    known_flush: Vec<Lsn>,
+}
+
+/// The simulated deployment.
+pub struct Sim {
+    cfg: SimConfig,
+    rng: Rng,
+    seed: u64,
+    acceptors: Vec<SimAcceptor>,
+    proposers: Vec<SimProposer>,
+    flight: Vec<Msg>,
+    /// Global record of committed content, keyed by entry start.
+    committed: BTreeMap<Lsn, Entry>,
+    /// Global committed watermark (max over all proposers, monotone).
+    watermark: Lsn,
+    /// Highest term observed anywhere (a new proposer's campaign hint).
+    term_hint: Term,
+    next_payload: u64,
+    elections: usize,
+    violations: Vec<String>,
+    trace: Vec<String>,
+    step_no: usize,
+}
+
+impl Sim {
+    /// A fresh deployment with one campaigning proposer.
+    pub fn new(seed: u64, cfg: SimConfig) -> Sim {
+        assert!(cfg.acceptors >= 1 && cfg.ack_required >= 1 && cfg.ack_required <= cfg.acceptors);
+        let acceptors = (0..cfg.acceptors)
+            .map(|_| SimAcceptor { core: AcceptorCore::new(Lsn::ZERO), up: true, reachable: true })
+            .collect();
+        let mut sim = Sim {
+            cfg,
+            rng: Rng::new(seed ^ 0x51_6d_u64),
+            seed,
+            acceptors,
+            proposers: Vec::new(),
+            flight: Vec::new(),
+            committed: BTreeMap::new(),
+            watermark: Lsn::ZERO,
+            term_hint: 0,
+            next_payload: 1,
+            elections: 0,
+            violations: Vec::new(),
+            trace: Vec::new(),
+            step_no: 0,
+        };
+        sim.start_proposer();
+        sim
+    }
+
+    /// Run the full schedule plus quiesce and return the report.
+    pub fn run(mut self) -> SimReport {
+        for _ in 0..self.cfg.steps {
+            self.step();
+        }
+        let converged = self.quiesce();
+        SimReport {
+            seed: self.seed,
+            steps: self.step_no,
+            elections: self.elections,
+            commits: self.committed.len(),
+            watermark: self.watermark,
+            violations: self.violations,
+            trace: self.trace,
+            quiesce_converged: converged,
+        }
+    }
+
+    fn note(&mut self, line: String) {
+        let n = self.step_no;
+        self.trace.push(format!("{n:>5}: {line}"));
+    }
+
+    fn violation(&mut self, what: String) {
+        let n = self.step_no;
+        self.violations.push(format!("step {n}: {what}"));
+        self.trace.push(format!("{n:>5}: VIOLATION {what}"));
+    }
+
+    // --- schedule ------------------------------------------------------
+
+    fn step(&mut self) {
+        self.step_no += 1;
+        // Candidate actions with weights; availability depends on state.
+        let mut acts: Vec<(u8, f64)> = Vec::with_capacity(11);
+        let alive = self.proposers.iter().filter(|p| p.phase != Phase::Stopped).count();
+        if !self.flight.is_empty() {
+            acts.push((0, 55.0)); // deliver
+            acts.push((1, 4.0)); // drop
+            acts.push((2, 3.0)); // duplicate
+        }
+        if self.proposers.iter().any(|p| p.phase == Phase::Leading) {
+            acts.push((3, 16.0)); // propose
+        }
+        if alive > 0 {
+            acts.push((4, 8.0)); // pump
+        }
+        if self.acceptors.iter().any(|a| a.up) {
+            acts.push((5, 3.0)); // crash acceptor
+        }
+        if self.acceptors.iter().any(|a| !a.up) {
+            acts.push((6, 7.0)); // restart acceptor
+        }
+        if self.acceptors.iter().any(|a| a.reachable) {
+            acts.push((7, 2.0)); // partition acceptor
+        }
+        if self.acceptors.iter().any(|a| !a.reachable) {
+            acts.push((8, 6.0)); // heal acceptor
+        }
+        if alive > 0 {
+            acts.push((9, 2.0)); // crash proposer
+        }
+        if alive < 2 {
+            acts.push((10, if alive == 0 { 30.0 } else { 4.0 })); // start proposer
+        }
+        let weights: Vec<f64> = acts.iter().map(|(_, w)| *w).collect();
+        let pick = acts[self.rng.pick_weighted(&weights)].0;
+        match pick {
+            0 => {
+                let i = self.rng.gen_range(self.flight.len() as u64) as usize;
+                self.deliver(i);
+            }
+            1 => {
+                let i = self.rng.gen_range(self.flight.len() as u64) as usize;
+                let m = self.flight.swap_remove(i);
+                self.note(format!("drop {}", describe(&m)));
+            }
+            2 => {
+                let i = self.rng.gen_range(self.flight.len() as u64) as usize;
+                let m = self.flight[i].clone();
+                self.note(format!("dup {}", describe(&m)));
+                self.flight.push(m);
+            }
+            3 => {
+                let leaders: Vec<usize> = self
+                    .proposers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.phase == Phase::Leading)
+                    .map(|(i, _)| i)
+                    .collect();
+                let p = leaders[self.rng.gen_range(leaders.len() as u64) as usize];
+                self.propose(p);
+            }
+            4 => {
+                let live: Vec<usize> = self
+                    .proposers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.phase != Phase::Stopped)
+                    .map(|(i, _)| i)
+                    .collect();
+                let p = live[self.rng.gen_range(live.len() as u64) as usize];
+                self.pump(p);
+            }
+            5 => {
+                let ups: Vec<usize> = self
+                    .acceptors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.up)
+                    .map(|(i, _)| i)
+                    .collect();
+                let a = ups[self.rng.gen_range(ups.len() as u64) as usize];
+                self.acceptors[a].up = false;
+                self.note(format!("crash acceptor {a}"));
+            }
+            6 => {
+                let downs: Vec<usize> = self
+                    .acceptors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !a.up)
+                    .map(|(i, _)| i)
+                    .collect();
+                let a = downs[self.rng.gen_range(downs.len() as u64) as usize];
+                self.acceptors[a].up = true;
+                self.note(format!("restart acceptor {a}"));
+            }
+            7 => {
+                let r: Vec<usize> = self
+                    .acceptors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.reachable)
+                    .map(|(i, _)| i)
+                    .collect();
+                let a = r[self.rng.gen_range(r.len() as u64) as usize];
+                self.acceptors[a].reachable = false;
+                self.note(format!("partition acceptor {a}"));
+            }
+            8 => {
+                let r: Vec<usize> = self
+                    .acceptors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !a.reachable)
+                    .map(|(i, _)| i)
+                    .collect();
+                let a = r[self.rng.gen_range(r.len() as u64) as usize];
+                self.acceptors[a].reachable = true;
+                self.note(format!("heal acceptor {a}"));
+            }
+            9 => {
+                let live: Vec<usize> = self
+                    .proposers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.phase != Phase::Stopped)
+                    .map(|(i, _)| i)
+                    .collect();
+                let p = live[self.rng.gen_range(live.len() as u64) as usize];
+                self.proposers[p].phase = Phase::Stopped;
+                self.note(format!("crash proposer {p}"));
+            }
+            _ => {
+                self.start_proposer();
+            }
+        }
+        self.check_invariants();
+    }
+
+    fn start_proposer(&mut self) -> usize {
+        let id = self.proposers.len();
+        let term = self.term_hint + 1;
+        self.term_hint = term;
+        let n = self.cfg.acceptors;
+        self.proposers.push(SimProposer {
+            term,
+            phase: Phase::Campaigning,
+            votes: Vec::new(),
+            history: TermHistory::new(),
+            start: Lsn::ZERO,
+            head: Lsn::ZERO,
+            commit: Lsn::ZERO,
+            log: BTreeMap::new(),
+            synced: vec![false; n],
+            known_flush: vec![Lsn::ZERO; n],
+        });
+        self.note(format!("start proposer {id} campaigning at term {term}"));
+        for a in 0..n {
+            self.flight.push(Msg {
+                proposer: id,
+                acceptor: a,
+                body: Body::Req(Req::Vote { term }),
+            });
+        }
+        id
+    }
+
+    fn propose(&mut self, p: usize) {
+        let len = 1 + self.rng.gen_range(self.cfg.max_entry_len);
+        let payload = self.next_payload;
+        self.next_payload += 1;
+        let (entry, term) = {
+            let pr = &mut self.proposers[p];
+            let entry = Entry { start: pr.head, end: pr.head + len, term: pr.term, payload };
+            pr.log.insert(entry.start, entry);
+            pr.head = entry.end;
+            (entry, pr.term)
+        };
+        self.note(format!(
+            "proposer {p} proposes [{},{}) term {term} payload {payload}",
+            entry.start, entry.end
+        ));
+        for a in 0..self.cfg.acceptors {
+            self.flight.push(Msg {
+                proposer: p,
+                acceptor: a,
+                body: Body::Req(Req::Append { term, entry }),
+            });
+        }
+    }
+
+    /// Re-drive whatever the proposer is waiting on (covers dropped
+    /// messages; the live tier's equivalent is retry + resync).
+    fn pump(&mut self, p: usize) {
+        let mut sends: Vec<(usize, Req)> = Vec::new();
+        {
+            let pr = &self.proposers[p];
+            match pr.phase {
+                Phase::Stopped => return,
+                Phase::Campaigning => {
+                    for a in 0..self.cfg.acceptors {
+                        sends.push((a, Req::Vote { term: pr.term }));
+                    }
+                }
+                Phase::Leading => {
+                    for a in 0..self.cfg.acceptors {
+                        if !pr.synced[a] {
+                            sends.push((
+                                a,
+                                Req::Elected { term: pr.term, history: pr.history.clone() },
+                            ));
+                        } else if pr.known_flush[a] < pr.head {
+                            let f = pr.known_flush[a];
+                            if let Some(e) = pr.log.get(&f) {
+                                sends.push((a, Req::Append { term: pr.term, entry: *e }));
+                            } else if let Some(src) = self.fetch_source(p, f, a) {
+                                sends.push((src, Req::Fetch { from: f }));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !sends.is_empty() {
+            self.note(format!("pump proposer {p} ({} sends)", sends.len()));
+        }
+        for (a, req) in sends {
+            self.flight.push(Msg { proposer: p, acceptor: a, body: Body::Req(req) });
+        }
+    }
+
+    /// A peer that can serve backfill at `from` for proposer `p`
+    /// (synced into this term, flushed past `from`, not the laggard).
+    fn fetch_source(&self, p: usize, from: Lsn, laggard: usize) -> Option<usize> {
+        let pr = &self.proposers[p];
+        (0..self.cfg.acceptors).find(|&j| j != laggard && pr.synced[j] && pr.known_flush[j] > from)
+    }
+
+    // --- delivery ------------------------------------------------------
+
+    fn deliver(&mut self, i: usize) {
+        let m = self.flight.swap_remove(i);
+        match &m.body {
+            Body::Req(_) => {
+                let a = &self.acceptors[m.acceptor];
+                if !(a.up && a.reachable) {
+                    self.note(format!("lost (acceptor down) {}", describe(&m)));
+                    return;
+                }
+                self.deliver_req(m);
+            }
+            Body::Resp(_) => {
+                if self.proposers[m.proposer].phase == Phase::Stopped {
+                    self.note(format!("lost (proposer stopped) {}", describe(&m)));
+                    return;
+                }
+                self.deliver_resp(m);
+            }
+        }
+    }
+
+    fn deliver_req(&mut self, m: Msg) {
+        let desc = describe(&m);
+        let Body::Req(req) = m.body else { unreachable!() };
+        let resp = {
+            let core = &mut self.acceptors[m.acceptor].core;
+            match req {
+                Req::Vote { term } => Resp::Vote(core.handle_vote(term)),
+                Req::Elected { term, history } => {
+                    Resp::Elected(core.handle_elected(term, &history))
+                }
+                Req::Append { term, entry } => {
+                    let verdict = core.handle_append(term, entry);
+                    Resp::Append { term: core.term(), verdict, flush: core.flush() }
+                }
+                Req::Fetch { from } => {
+                    // Serve a bounded batch so catch-up spans several
+                    // rounds (more interleavings to explore).
+                    let entries: Vec<Entry> = core
+                        .entries()
+                        .iter()
+                        .filter(|e| e.start >= from)
+                        .take(4)
+                        .copied()
+                        .collect();
+                    Resp::Fetch { elected_term: core.elected_term(), entries }
+                }
+            }
+        };
+        self.note(format!("deliver {desc} -> {}", describe_resp(&resp)));
+        self.flight.push(Msg {
+            proposer: m.proposer,
+            acceptor: m.acceptor,
+            body: Body::Resp(resp),
+        });
+    }
+
+    fn deliver_resp(&mut self, m: Msg) {
+        let desc = describe(&m);
+        self.note(format!("deliver {desc}"));
+        let Body::Resp(resp) = m.body else { unreachable!() };
+        let (p, a) = (m.proposer, m.acceptor);
+        match resp {
+            Resp::Vote(v) => self.on_vote(p, a, v),
+            Resp::Elected(e) => self.on_elected_resp(p, a, e),
+            Resp::Append { term, verdict, flush } => {
+                self.on_append_resp(p, a, term, verdict, flush)
+            }
+            Resp::Fetch { elected_term, entries } => self.on_fetch_resp(p, elected_term, entries),
+        }
+    }
+
+    fn on_vote(&mut self, p: usize, a: usize, v: VoteResp) {
+        let quorum = self.cfg.ack_required;
+        let recamp = {
+            let pr = &mut self.proposers[p];
+            if pr.phase != Phase::Campaigning {
+                return;
+            }
+            if v.granted && v.term == pr.term {
+                if !pr.votes.iter().any(|(i, _)| *i == a) {
+                    pr.votes.push((a, v));
+                }
+                false
+            } else if !v.granted && v.term >= pr.term {
+                // Outvoted: bump past the observed term and start over.
+                pr.term = v.term + 1;
+                pr.votes.clear();
+                true
+            } else {
+                false
+            }
+        };
+        if recamp {
+            let term = self.proposers[p].term;
+            self.term_hint = self.term_hint.max(term);
+            self.note(format!("proposer {p} re-campaigns at term {term}"));
+            for i in 0..self.cfg.acceptors {
+                self.flight.push(Msg {
+                    proposer: p,
+                    acceptor: i,
+                    body: Body::Req(Req::Vote { term }),
+                });
+            }
+            return;
+        }
+        if self.proposers[p].votes.len() >= quorum && self.proposers[p].phase == Phase::Campaigning
+        {
+            self.finish_election(p);
+        }
+    }
+
+    fn finish_election(&mut self, p: usize) {
+        let (term, start, history) = {
+            let pr = &mut self.proposers[p];
+            let donor = choose_donor(&pr.votes);
+            let (_, dv) = &pr.votes[donor];
+            let start = dv.flush;
+            let history = dv.history.with_switch(pr.term, start);
+            pr.phase = Phase::Leading;
+            pr.history = history.clone();
+            pr.start = start;
+            pr.head = start;
+            pr.synced = vec![false; self.cfg.acceptors];
+            pr.known_flush = vec![Lsn::ZERO; self.cfg.acceptors];
+            pr.log.clear();
+            (pr.term, start, history)
+        };
+        self.elections += 1;
+        self.note(format!("proposer {p} elected at term {term}, start {start}"));
+        // Invariant 1 (the sharp half): quorum intersection must place
+        // the new stream at or beyond everything ever committed.
+        if start < self.watermark {
+            self.violation(format!(
+                "election start {start} regresses below committed watermark {}",
+                self.watermark
+            ));
+        }
+        for a in 0..self.cfg.acceptors {
+            self.flight.push(Msg {
+                proposer: p,
+                acceptor: a,
+                body: Body::Req(Req::Elected { term, history: history.clone() }),
+            });
+        }
+    }
+
+    fn on_elected_resp(&mut self, p: usize, a: usize, e: ElectedResp) {
+        if e.term > self.proposers[p].term {
+            self.depose(p, e.term);
+            return;
+        }
+        let pr = &mut self.proposers[p];
+        if pr.phase != Phase::Leading || !e.accepted || e.term != pr.term {
+            return;
+        }
+        pr.synced[a] = true;
+        pr.known_flush[a] = pr.known_flush[a].max(e.flush);
+        self.advance_commit(p);
+        self.stream_next(p, a);
+    }
+
+    fn on_append_resp(
+        &mut self,
+        p: usize,
+        a: usize,
+        term: Term,
+        verdict: AppendVerdict,
+        flush: Lsn,
+    ) {
+        if term > self.proposers[p].term {
+            self.depose(p, term);
+            return;
+        }
+        if self.proposers[p].phase != Phase::Leading {
+            return;
+        }
+        match verdict {
+            AppendVerdict::Stale { term: t } => {
+                if t > self.proposers[p].term {
+                    self.depose(p, t);
+                }
+            }
+            AppendVerdict::NotElected => {
+                let (term, history) = {
+                    let pr = &self.proposers[p];
+                    (pr.term, pr.history.clone())
+                };
+                self.flight.push(Msg {
+                    proposer: p,
+                    acceptor: a,
+                    body: Body::Req(Req::Elected { term, history }),
+                });
+            }
+            AppendVerdict::Appended | AppendVerdict::Duplicate => {
+                let pr = &mut self.proposers[p];
+                pr.known_flush[a] = pr.known_flush[a].max(flush);
+                self.advance_commit(p);
+                self.stream_next(p, a);
+            }
+            AppendVerdict::Gap { flush: f } => {
+                let pr = &mut self.proposers[p];
+                if pr.synced[a] {
+                    pr.known_flush[a] = pr.known_flush[a].max(f);
+                }
+                self.stream_next(p, a);
+            }
+        }
+    }
+
+    fn on_fetch_resp(&mut self, p: usize, elected_term: Term, entries: Vec<Entry>) {
+        let merged = {
+            let pr = &mut self.proposers[p];
+            if pr.phase != Phase::Leading || elected_term != pr.term {
+                return;
+            }
+            // The source acknowledged this term's election, so its
+            // retained log lies on our announced history: safe backfill.
+            let mut n = 0;
+            for e in entries {
+                if e.end <= pr.head && !pr.log.contains_key(&e.start) {
+                    pr.log.insert(e.start, e);
+                    n += 1;
+                }
+            }
+            n
+        };
+        if merged > 0 {
+            self.note(format!("proposer {p} merged {merged} backfill entries"));
+            for a in 0..self.cfg.acceptors {
+                if self.proposers[p].synced[a] {
+                    self.stream_next(p, a);
+                }
+            }
+        }
+    }
+
+    /// Send acceptor `a` the next entry it is missing, or a fetch for
+    /// backfill the proposer itself does not hold.
+    fn stream_next(&mut self, p: usize, a: usize) {
+        let send: Option<(usize, Req)> = {
+            let pr = &self.proposers[p];
+            if pr.phase != Phase::Leading || !pr.synced[a] || pr.known_flush[a] >= pr.head {
+                None
+            } else {
+                let f = pr.known_flush[a];
+                if let Some(e) = pr.log.get(&f) {
+                    Some((a, Req::Append { term: pr.term, entry: *e }))
+                } else {
+                    self.fetch_source(p, f, a).map(|src| (src, Req::Fetch { from: f }))
+                }
+            }
+        };
+        if let Some((to, req)) = send {
+            self.flight.push(Msg { proposer: p, acceptor: to, body: Body::Req(req) });
+        }
+    }
+
+    fn depose(&mut self, p: usize, newer: Term) {
+        self.term_hint = self.term_hint.max(newer);
+        self.proposers[p].phase = Phase::Stopped;
+        self.note(format!("proposer {p} deposed by term {newer}"));
+    }
+
+    /// Recompute proposer `p`'s committed watermark from per-acceptor
+    /// flush positions (rule 2) and record newly committed content.
+    fn advance_commit(&mut self, p: usize) {
+        let (new_commit, term) = {
+            let pr = &self.proposers[p];
+            let mut points: Vec<Lsn> = vec![pr.start];
+            points.extend(pr.log.values().map(|e| e.end).filter(|e| *e <= pr.head));
+            points.sort();
+            let mut best = pr.commit;
+            for &e in points.iter().rev() {
+                if e <= best {
+                    break;
+                }
+                let acks = pr.known_flush.iter().filter(|f| **f >= e).count();
+                if acks >= self.cfg.ack_required {
+                    best = e;
+                    break;
+                }
+            }
+            (best, pr.term)
+        };
+        if new_commit <= self.proposers[p].commit {
+            return;
+        }
+        self.proposers[p].commit = new_commit;
+        self.note(format!("proposer {p} commit -> {new_commit} (term {term})"));
+        // Record newly committed entries in the global content map and
+        // check invariant 2 (no conflicting commits).
+        let newly: Vec<Entry> = self.proposers[p]
+            .log
+            .values()
+            .filter(|e| e.end <= new_commit && !self.committed.contains_key(&e.start))
+            .copied()
+            .collect();
+        for e in newly {
+            // Conflict: any previously committed entry overlapping this
+            // range must be the identical entry.
+            let overlap = self
+                .committed
+                .range(..e.end)
+                .next_back()
+                .map(|(_, o)| o.end > e.start && *o != e)
+                .unwrap_or(false);
+            if overlap {
+                self.violation(format!(
+                    "conflicting commit at [{},{}) term {} payload {}",
+                    e.start, e.end, e.term, e.payload
+                ));
+            }
+            self.committed.insert(e.start, e);
+        }
+        if new_commit > self.watermark {
+            self.watermark = new_commit;
+        }
+    }
+
+    // --- invariants ----------------------------------------------------
+
+    fn check_invariants(&mut self) {
+        // Invariant 1: per-proposer watermarks are monotone by
+        // construction (advance_commit only raises them); the global
+        // watermark is their running max, and elections are checked at
+        // finish_election. What remains: committed coverage.
+        //
+        // Invariant 3: a write quorum of acceptors holds every committed
+        // LSN flushed, with matching content.
+        if self.watermark > Lsn::ZERO {
+            let covered =
+                self.acceptors.iter().filter(|a| a.core.flush() >= self.watermark).count();
+            if covered < self.cfg.ack_required {
+                self.violation(format!(
+                    "only {covered} acceptors flush >= watermark {} (need {})",
+                    self.watermark, self.cfg.ack_required
+                ));
+            }
+        }
+        let mut bad: Vec<String> = Vec::new();
+        for e in self.committed.values() {
+            let holders = self
+                .acceptors
+                .iter()
+                .filter(|a| a.core.entry_at(e.start).map(|h| h == e).unwrap_or(false))
+                .count();
+            if holders < self.cfg.ack_required {
+                bad.push(format!(
+                    "committed [{},{}) payload {} held by only {holders} acceptors",
+                    e.start, e.end, e.payload
+                ));
+            }
+        }
+        for b in bad {
+            self.violation(b);
+        }
+    }
+
+    // --- quiesce (liveness) --------------------------------------------
+
+    /// Heal everything, start a fresh proposer, drain the network in
+    /// order, and require the system to elect, catch up, and commit new
+    /// entries. Returns whether it converged.
+    fn quiesce(&mut self) -> bool {
+        for a in &mut self.acceptors {
+            a.up = true;
+            a.reachable = true;
+        }
+        // Only one proposer process survives into quiesce — a lingering
+        // campaigner could otherwise outbid the fresh proposer forever.
+        for pr in &mut self.proposers {
+            pr.phase = Phase::Stopped;
+        }
+        self.note("quiesce: heal all, start fresh proposer".to_string());
+        let p = self.start_proposer();
+        let mut proposed = false;
+        for _ in 0..800 {
+            self.step_no += 1;
+            if self.flight.is_empty() {
+                self.pump(p);
+            } else {
+                self.deliver(0);
+            }
+            if self.proposers[p].phase == Phase::Leading && !proposed {
+                self.propose(p);
+                self.propose(p);
+                proposed = true;
+            }
+            if self.proposers[p].phase == Phase::Stopped {
+                self.violation("quiesce: fresh proposer was deposed".to_string());
+                return false;
+            }
+            self.check_invariants();
+            let pr = &self.proposers[p];
+            if proposed && pr.commit >= pr.head && pr.head > pr.start {
+                self.note(format!("quiesce: converged at commit {}", pr.commit));
+                return true;
+            }
+        }
+        let pr = &self.proposers[p];
+        let state = format!(
+            "quiesce: failed to converge (phase {:?}, commit {}, head {}, {} in flight)",
+            pr.phase,
+            pr.commit,
+            pr.head,
+            self.flight.len()
+        );
+        self.violation(state);
+        false
+    }
+}
+
+fn describe(m: &Msg) -> String {
+    let (p, a) = (m.proposer, m.acceptor);
+    match &m.body {
+        Body::Req(r) => match r {
+            Req::Vote { term } => format!("vote-req p{p}->a{a} term {term}"),
+            Req::Elected { term, .. } => format!("elected p{p}->a{a} term {term}"),
+            Req::Append { term, entry } => {
+                format!("append p{p}->a{a} term {term} [{},{})", entry.start, entry.end)
+            }
+            Req::Fetch { from } => format!("fetch p{p}->a{a} from {from}"),
+        },
+        Body::Resp(r) => format!("{} a{a}->p{p}", describe_resp(r)),
+    }
+}
+
+fn describe_resp(r: &Resp) -> String {
+    match r {
+        Resp::Vote(v) => format!(
+            "vote-resp granted={} term {} flush {} llt {}",
+            v.granted, v.term, v.flush, v.last_log_term
+        ),
+        Resp::Elected(e) => {
+            format!("elected-resp accepted={} term {} flush {}", e.accepted, e.term, e.flush)
+        }
+        Resp::Append { verdict, flush, .. } => format!("append-resp {verdict:?} flush {flush}"),
+        Resp::Fetch { entries, .. } => format!("fetch-resp {} entries", entries.len()),
+    }
+}
+
+/// Run one simulation to completion.
+pub fn run_sim(seed: u64, cfg: SimConfig) -> SimReport {
+    Sim::new(seed, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_clean(r: &SimReport) {
+        assert!(
+            r.violations.is_empty(),
+            "seed {} violated invariants:\n{}",
+            r.seed,
+            r.violations.join("\n")
+        );
+        assert!(r.quiesce_converged, "seed {} did not converge in quiesce", r.seed);
+    }
+
+    #[test]
+    fn fixed_seeds_run_clean() {
+        let steps = if cfg!(miri) { 60 } else { 400 };
+        for seed in [1, 2, 3] {
+            let r = run_sim(seed, SimConfig::small(steps));
+            assert_clean(&r);
+            assert!(r.elections >= 1, "seed {seed} never elected a proposer");
+        }
+    }
+
+    #[test]
+    fn chaotic_seeds_still_commit_something() {
+        // Longer schedules on a couple of seeds: progress (commits) is
+        // schedule-dependent, but quiesce must always converge.
+        let steps = if cfg!(miri) { 80 } else { 1000 };
+        for seed in [11, 29] {
+            let r = run_sim(seed, SimConfig::small(steps));
+            assert_clean(&r);
+            assert!(r.commits >= 1, "seed {seed} committed nothing even after quiesce");
+        }
+    }
+
+    #[test]
+    fn five_acceptor_shape_runs_clean() {
+        let steps = if cfg!(miri) { 60 } else { 500 };
+        let r = run_sim(7, SimConfig::five(steps));
+        assert_clean(&r);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        let a = run_sim(42, SimConfig::small(if cfg!(miri) { 40 } else { 200 }));
+        let b = run_sim(42, SimConfig::small(if cfg!(miri) { 40 } else { 200 }));
+        assert_eq!(a.trace, b.trace, "simulator must be deterministic");
+        assert_eq!(a.watermark, b.watermark);
+    }
+}

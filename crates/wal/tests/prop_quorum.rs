@@ -1,0 +1,117 @@
+//! Property tests for the quorum WAL acceptance protocol, driven through
+//! the deterministic simulator (`socrates_wal::quorum::sim`).
+//!
+//! Each case runs a full randomized schedule — appends, acks, message
+//! drops and duplication, acceptor crashes/restarts, partitions, and
+//! competing proposers — and the simulator checks the three safety
+//! invariants after **every** step:
+//!
+//! 1. the committed watermark never regresses (elections included);
+//! 2. no two proposers commit conflicting records for the same LSN range;
+//! 3. every committed LSN stays flushed on at least a write quorum of
+//!    acceptors (counting crashed-but-durable nodes).
+//!
+//! On failure the shrunken seed's full step trace is written under
+//! `target/quorum-sim/` so the schedule can be replayed exactly
+//! (`run_sim` is a pure function of the seed and config).
+//!
+//! Runs under Miri with reduced case counts, like
+//! `common/tests/ring_invariants.rs`: the simulator is single-threaded
+//! and clock-free, so Miri checks it at full fidelity, just slower.
+
+use proptest::prelude::*;
+use socrates_wal::quorum::sim::{run_sim, SimConfig, SimReport};
+
+/// Case/step scale: Miri is ~two orders of magnitude slower than native.
+const fn cases() -> u32 {
+    if cfg!(miri) {
+        4
+    } else {
+        64
+    }
+}
+
+const fn max_steps() -> usize {
+    if cfg!(miri) {
+        60
+    } else {
+        600
+    }
+}
+
+/// Fail with a replay artifact when a run reports violations.
+fn assert_clean(report: &SimReport) {
+    if report.violations.is_empty() && report.quiesce_converged {
+        return;
+    }
+    let dir = std::path::Path::new("target").join("quorum-sim");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("prop-seed-{}.trace", report.seed));
+    let _ = std::fs::write(&path, report.render());
+    panic!(
+        "seed {} violated the protocol (converged={}): {:?} — replay trace at {}",
+        report.seed,
+        report.quiesce_converged,
+        report.violations,
+        path.display()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: cases(),
+        .. ProptestConfig::default()
+    })]
+
+    /// The canonical 3-acceptor, majority-commit shape over arbitrary
+    /// seeds and schedule lengths.
+    #[test]
+    fn three_acceptor_schedules_hold_invariants(
+        seed in any::<u64>(),
+        steps in 20usize..max_steps(),
+    ) {
+        let report = run_sim(seed, SimConfig::small(steps));
+        assert_clean(&report);
+    }
+
+    /// The 5-acceptor shape (tolerates two losses) with larger entries,
+    /// so commit points land mid-stream more often.
+    #[test]
+    fn five_acceptor_schedules_hold_invariants(
+        seed in any::<u64>(),
+        steps in 20usize..max_steps(),
+        max_entry in 1u64..256,
+    ) {
+        let cfg = SimConfig { max_entry_len: max_entry, ..SimConfig::five(steps) };
+        let report = run_sim(seed, cfg);
+        assert_clean(&report);
+    }
+
+    /// Determinism: the trace (and therefore every decision) is a pure
+    /// function of the seed — the foundation of seed-based replay.
+    #[test]
+    fn schedules_replay_identically(seed in any::<u64>()) {
+        let steps = if cfg!(miri) { 40 } else { 200 };
+        let a = run_sim(seed, SimConfig::small(steps));
+        let b = run_sim(seed, SimConfig::small(steps));
+        prop_assert_eq!(a.trace, b.trace);
+        prop_assert_eq!(a.watermark, b.watermark);
+        prop_assert_eq!(a.violations, b.violations);
+    }
+}
+
+/// The three CI seeds, pinned outside proptest so the `quorum-sim` job
+/// exercises the exact same schedules on every run.
+#[test]
+fn ci_pinned_seeds_run_clean() {
+    for seed in [0xC0FFEE, 0x5EED, 0xD15C] {
+        for cfg in [SimConfig::small(max_steps()), SimConfig::five(max_steps())] {
+            let report = run_sim(seed, cfg);
+            assert!(
+                report.violations.is_empty() && report.quiesce_converged,
+                "pinned seed {seed:#x} violated: {:?}",
+                report.violations
+            );
+        }
+    }
+}

@@ -165,7 +165,7 @@ mod tests {
         ));
         let xstore = Arc::new(XStore::new(XStoreConfig::instant()));
         let svc = XLogService::new(
-            Arc::clone(&lz),
+            Arc::clone(&lz) as Arc<dyn socrates_wal::LogStore>,
             Arc::new(MemFcb::new("ssd")) as Arc<dyn Fcb>,
             xstore,
             XLogConfig::default(),
@@ -230,7 +230,7 @@ mod tests {
         ));
         let xstore = Arc::new(XStore::new(XStoreConfig::instant()));
         let svc = XLogService::new(
-            Arc::clone(&lz),
+            Arc::clone(&lz) as Arc<dyn socrates_wal::LogStore>,
             Arc::new(MemFcb::new("ssd")) as Arc<dyn Fcb>,
             xstore,
             XLogConfig::default(),

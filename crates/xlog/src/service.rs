@@ -7,6 +7,7 @@ use socrates_common::{BlobId, Error, Lsn, PartitionId, Result};
 use socrates_storage::Fcb;
 use socrates_wal::block::{LogBlock, BLOCK_HEADER};
 use socrates_wal::landing_zone::{LandingZone, LandingZoneConfig};
+use socrates_wal::store::LogStore;
 use socrates_xstore::XStore;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -94,7 +95,7 @@ struct Lease {
 
 /// The XLOG service. One per deployment.
 pub struct XLogService {
-    lz: Arc<LandingZone>,
+    lz: Arc<dyn LogStore>,
     xstore: Arc<XStore>,
     lt_blob: BlobId,
     lt_base: Lsn,
@@ -110,12 +111,13 @@ pub struct XLogService {
 }
 
 impl XLogService {
-    /// Create the service: `lz` is the primary's landing zone (for gap
-    /// fills and tier-3 reads), `ssd` the local SSD device for the block
-    /// cache, `xstore` the home of the long-term archive. `start` is the
-    /// LSN the log begins at (zero for a fresh database).
+    /// Create the service: `lz` is the primary's durable log store — the
+    /// landing zone or the quorum tier — (for gap fills and tier-3
+    /// reads), `ssd` the local SSD device for the block cache, `xstore`
+    /// the home of the long-term archive. `start` is the LSN the log
+    /// begins at (zero for a fresh database).
     pub fn new(
-        lz: Arc<LandingZone>,
+        lz: Arc<dyn LogStore>,
         ssd: Arc<dyn Fcb>,
         xstore: Arc<XStore>,
         config: XLogConfig,
@@ -604,7 +606,7 @@ mod tests {
         ));
         let xstore = Arc::new(XStore::new(XStoreConfig::instant()));
         let svc = XLogService::new(
-            Arc::clone(&lz),
+            Arc::clone(&lz) as Arc<dyn LogStore>,
             Arc::new(MemFcb::new("xlog-ssd")) as Arc<dyn Fcb>,
             Arc::clone(&xstore),
             config,

@@ -53,7 +53,7 @@ proptest! {
         ));
         let xstore = Arc::new(XStore::new(XStoreConfig::instant()));
         let svc = XLogService::new(
-            Arc::clone(&lz),
+            Arc::clone(&lz) as Arc<dyn socrates_wal::LogStore>,
             Arc::new(MemFcb::new("ssd")) as Arc<dyn Fcb>,
             xstore,
             XLogConfig::default(),
@@ -119,7 +119,7 @@ proptest! {
         ));
         let xstore = Arc::new(XStore::new(XStoreConfig::instant()));
         let svc = XLogService::new(
-            Arc::clone(&lz),
+            Arc::clone(&lz) as Arc<dyn socrates_wal::LogStore>,
             Arc::new(MemFcb::new("ssd")) as Arc<dyn Fcb>,
             xstore,
             XLogConfig::default(),
