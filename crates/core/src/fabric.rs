@@ -664,6 +664,10 @@ impl Fabric {
     /// is consulted — the image is served only if no write to this page
     /// exists in `(watermark, min_lsn]`. Used by [`RemotePageSource`] when
     /// every replica of a partition is down or unreachable.
+    // soclint-allow: lock-order-transitive the partition_blobs read guard is a
+    // statement-scoped temporary (`.read().get().copied()`), already dropped
+    // when partition() is called; no blobs->partitions nesting actually occurs,
+    // and the write-side order everywhere else is partitions->partition_blobs.
     pub fn read_page_degraded(&self, id: PageId, min_lsn: Lsn) -> Result<Page> {
         let partition = self.partition_of(id);
         let durable =
@@ -992,9 +996,8 @@ impl RemotePageSource {
     /// that started at `start` (ring timebase).
     fn record_net_span(&self, ctx: TraceCtx, start: u64) {
         let ring = &self.fabric.spans;
-        ring.record_child(ctx, SpanKind::RbioNet, self.node, start, {
-            ring.now_ns().saturating_sub(start)
-        });
+        let dur = ring.now_ns().saturating_sub(start);
+        ring.record_child(ctx, SpanKind::RbioNet, self.node, start, dur);
     }
 
     /// The minting single-page fetch body: `ctx` is the GetPage root

@@ -203,6 +203,11 @@ impl BTree {
         Ok((outcome.old, outcome.lsn))
     }
 
+    // soclint-allow: lock-order-transitive every per-page latch shares the
+    // lexical key `page_ref`, so the root->leaf descent reads as a self-cycle;
+    // the latches are distinct per page, each read guard is a statement-scoped
+    // temporary dropped before the recursive call, and descent order is
+    // root->leaf by construction.
     fn insert_rec(
         &self,
         io: &dyn PageMutator,

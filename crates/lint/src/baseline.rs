@@ -1,0 +1,120 @@
+//! Accepted-debt baselines.
+//!
+//! A baseline file is a JSON array of `{rule, file, message}` keys. A
+//! finding matching a key is still reported (tagged `(baseline)`) but
+//! does not fail the gate — the mechanism that lets a new rule land in
+//! CI before every historical finding is paid down, without allow
+//! comments scattered through code nobody is touching. Keys carry no
+//! line number on purpose: unrelated edits shift lines constantly, and
+//! a baseline that rots on every rebase is worse than none.
+
+use crate::json;
+use crate::report::Report;
+use std::collections::BTreeSet;
+
+/// A loaded baseline: the set of accepted (rule, file, message) keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: BTreeSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Parse a baseline document. Returns `None` on malformed input —
+    /// callers must treat that as an error, not an empty baseline, or a
+    /// truncated file would silently un-gate everything it used to hold.
+    pub fn parse(text: &str) -> Option<Baseline> {
+        let v = json::parse(text)?;
+        let mut keys = BTreeSet::new();
+        for item in v.as_arr()? {
+            keys.insert((
+                item.str_field("rule")?,
+                item.str_field("file")?,
+                item.str_field("message")?,
+            ));
+        }
+        Some(Baseline { keys })
+    }
+
+    /// Number of accepted keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Mark matching findings as baselined. Suppressed findings are left
+    /// alone (the allow comment is the stronger, in-code statement).
+    pub fn apply(&self, report: &mut Report) {
+        for f in &mut report.findings {
+            if !f.suppressed
+                && self.keys.contains(&(f.rule.id().to_string(), f.file.clone(), f.message.clone()))
+            {
+                f.baselined = true;
+            }
+        }
+    }
+}
+
+/// Serialize the report's gate-failing findings as a baseline document
+/// (`--write-baseline`).
+pub fn render(report: &Report) -> String {
+    let mut out = String::from("[\n");
+    let failing: Vec<_> =
+        report.findings.iter().filter(|f| !f.suppressed && !f.baselined).collect();
+    for (i, f) in failing.iter().enumerate() {
+        let sep = if i + 1 == failing.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"file\": \"{}\", \"message\": \"{}\"}}{}\n",
+            f.rule.id(),
+            json::escape(&f.file),
+            json::escape(&f.message),
+            sep
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Finding, Rule};
+
+    fn finding(rule: Rule, file: &str, message: &str, suppressed: bool) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            message: message.into(),
+            suppressed,
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_and_gates() {
+        let mut report = Report::default();
+        report.findings.push(finding(Rule::SpanPairing, "a.rs", "old debt", false));
+        report.findings.push(finding(Rule::SpanPairing, "a.rs", "new bug", false));
+        report.findings.push(finding(Rule::HotPath, "b.rs", "allowed \"thing\"", true));
+        let mut accepted = Report::default();
+        accepted.findings.push(finding(Rule::SpanPairing, "a.rs", "old debt", false));
+        let text = render(&accepted);
+        let baseline = Baseline::parse(&text).expect("parses");
+        assert_eq!(baseline.len(), 1);
+        baseline.apply(&mut report);
+        assert_eq!(report.failing_count(), 1, "only the new bug fails");
+        assert!(report.findings.iter().any(|f| f.baselined && f.message == "old debt"));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error_not_empty() {
+        assert!(Baseline::parse("[{\"rule\": \"x\"").is_none());
+        assert!(Baseline::parse("{}").is_none(), "object, not array");
+        let empty = Baseline::parse("[]").expect("empty array is a valid baseline");
+        assert!(empty.is_empty());
+    }
+}

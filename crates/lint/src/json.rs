@@ -1,0 +1,286 @@
+//! A minimal JSON reader/writer for the facts table and baseline files.
+//!
+//! soclint has no crates.io access, so like the rest of the workspace it
+//! carries its own small JSON layer. The writer produces deterministic
+//! output (callers control key order, arrays are emitted in the order
+//! given); the reader is a plain recursive-descent parser covering the
+//! full JSON grammar minus exotic number forms — every document soclint
+//! reads is one soclint itself wrote.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as u64 (truncating).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: `get(key)` then `as_str`, owned.
+    pub fn str_field(&self, key: &str) -> Option<String> {
+        self.get(key)?.as_str().map(str::to_string)
+    }
+
+    /// Convenience: `get(key)` then `as_u64`.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.get(key)?.as_u64()
+    }
+}
+
+/// Parse a JSON document. Returns `None` on any syntax error — callers
+/// treat an unreadable document as absent and regenerate it.
+pub fn parse(text: &str) -> Option<Json> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos == chars.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Option<Json> {
+    skip_ws(chars, pos);
+    match chars.get(*pos)? {
+        '{' => parse_obj(chars, pos),
+        '[' => parse_arr(chars, pos),
+        '"' => parse_str(chars, pos).map(Json::Str),
+        't' => parse_lit(chars, pos, "true", Json::Bool(true)),
+        'f' => parse_lit(chars, pos, "false", Json::Bool(false)),
+        'n' => parse_lit(chars, pos, "null", Json::Null),
+        _ => parse_num(chars, pos),
+    }
+}
+
+fn parse_lit(chars: &[char], pos: &mut usize, lit: &str, v: Json) -> Option<Json> {
+    for (i, c) in lit.chars().enumerate() {
+        if chars.get(*pos + i) != Some(&c) {
+            return None;
+        }
+    }
+    *pos += lit.len();
+    Some(v)
+}
+
+fn parse_num(chars: &[char], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    if chars.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    while chars.get(*pos).is_some_and(|c| {
+        c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '+' || *c == '-'
+    }) {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    let s: String = chars[start..*pos].iter().collect();
+    s.parse::<f64>().ok().map(Json::Num)
+}
+
+fn parse_str(chars: &[char], pos: &mut usize) -> Option<String> {
+    if chars.get(*pos) != Some(&'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let c = *chars.get(*pos)?;
+        *pos += 1;
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                let e = *chars.get(*pos)?;
+                *pos += 1;
+                match e {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let h = *chars.get(*pos)?;
+                            *pos += 1;
+                            v = v * 16 + h.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+}
+
+fn parse_arr(chars: &[char], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '['
+    let mut out = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Some(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos)? {
+            ',' => *pos += 1,
+            ']' => {
+                *pos += 1;
+                return Some(Json::Arr(out));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_obj(chars: &[char], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '{'
+    let mut out = BTreeMap::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Some(Json::Obj(out));
+    }
+    loop {
+        skip_ws(chars, pos);
+        let key = parse_str(chars, pos)?;
+        skip_ws(chars, pos);
+        if chars.get(*pos) != Some(&':') {
+            return None;
+        }
+        *pos += 1;
+        out.insert(key, parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos)? {
+            ',' => *pos += 1,
+            '}' => {
+                *pos += 1;
+                return Some(Json::Obj(out));
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Escape a string for embedding in JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emit a string array on one line: `["a","b"]`.
+pub fn str_arr(items: impl IntoIterator<Item = impl AsRef<str>>) -> String {
+    let body: Vec<String> =
+        items.into_iter().map(|s| format!("\"{}\"", escape(s.as_ref()))).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Emit a usize array on one line: `[1,2,3]`.
+pub fn num_arr(items: impl IntoIterator<Item = usize>) -> String {
+    let body: Vec<String> = items.into_iter().map(|n| n.to_string()).collect();
+    format!("[{}]", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_document() {
+        let doc = r#"{"a": [1, 2.5, -3], "b": {"c": "x\n\"y\"", "d": true}, "e": null}"#;
+        let v = parse(doc).expect("parses");
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().str_field("c").unwrap(), "x\n\"y\"");
+        assert_eq!(v.get("b").unwrap().get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("e"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse("{\"a\": 1} x").is_none());
+        assert!(parse("{\"a\": }").is_none());
+        assert!(parse("[1,]").is_none());
+    }
+
+    #[test]
+    fn escape_and_emit_helpers() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(str_arr(["x", "y"]), "[\"x\",\"y\"]");
+        assert_eq!(num_arr([1, 2]), "[1,2]");
+    }
+}

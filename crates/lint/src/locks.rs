@@ -40,16 +40,146 @@ pub struct Edge {
     pub outer: Acquire,
     /// The lock acquired under it.
     pub inner: Acquire,
-    /// Workspace-relative file of the inner acquisition.
+    /// Workspace-relative file of the inner acquisition (for a transitive
+    /// edge: the file of the call site that starts the chain).
     pub file: String,
     /// Function containing the nesting.
     pub func: String,
+    /// For transitive edges: the call chain from the holding function to
+    /// the acquiring function, outermost call first. Empty for direct
+    /// (same-function) edges.
+    pub chain: Vec<String>,
+}
+
+/// How a call site names its callee — drives resolution in the call
+/// graph pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallQual {
+    /// `self.foo()` or `Self::foo()` — resolve within the caller's impl.
+    SelfRecv,
+    /// `path::foo()` / `Type::foo()` — resolve by crate or impl type.
+    Qualified(String),
+    /// `foo()` — resolve same-file, then same-crate, then unique global.
+    Bare,
+    /// `recv.foo()` on a non-self receiver — resolve only when the name
+    /// uniquely identifies one workspace method.
+    Method,
+}
+
+impl CallQual {
+    /// Serialized form for the facts table.
+    pub fn encode(&self) -> String {
+        match self {
+            CallQual::SelfRecv => "self".into(),
+            CallQual::Qualified(q) => format!("q:{q}"),
+            CallQual::Bare => "bare".into(),
+            CallQual::Method => "method".into(),
+        }
+    }
+
+    /// Inverse of [`CallQual::encode`].
+    pub fn decode(s: &str) -> CallQual {
+        match s {
+            "self" => CallQual::SelfRecv,
+            "bare" => CallQual::Bare,
+            "method" => CallQual::Method,
+            q => CallQual::Qualified(q.strip_prefix("q:").unwrap_or(q).to_string()),
+        }
+    }
+}
+
+/// A call site observed during the guard-liveness walk, with the locks
+/// held at the moment of the call.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee identifier as written (last path segment).
+    pub callee: String,
+    /// How the callee was named.
+    pub qual: CallQual,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Guards live at the call, deduplicated by lock key.
+    pub held: Vec<Acquire>,
+}
+
+/// Keywords and std-ish names that look like `ident(` but are never
+/// workspace function calls worth graphing.
+const CALL_KEYWORDS: [&str; 28] = [
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "in", "as", "move",
+    "ref", "mut", "unsafe", "where", "impl", "trait", "use", "pub", "mod", "struct", "enum",
+    "type", "const", "static", "dyn", "await",
+];
+
+/// Everything the guard-liveness walk learns about one file.
+#[derive(Default)]
+pub struct FileWalk {
+    /// Direct lock-nesting edges.
+    pub edges: Vec<Edge>,
+    /// Every call site with its held-lock set.
+    pub calls: Vec<CallSite>,
+    /// Every lock-acquisition site (nested or not).
+    pub acquires: Vec<Acquire>,
 }
 
 /// Extract nesting edges from one file. `tokens` must come from
 /// [`SourceFile::scan`]. Test regions are skipped.
 pub fn extract_edges(file: &SourceFile) -> Vec<Edge> {
+    analyze_file(file).edges
+}
+
+/// Classify the token at `i` as a call site, if it is one.
+fn call_at(toks: &[Token], i: usize) -> Option<(String, CallQual)> {
+    let t = &toks[i];
+    if !ident_like(t) {
+        return None;
+    }
+    let c0 = t.text.chars().next()?;
+    // Uppercase idents are tuple-struct/variant constructors or types;
+    // workspace fn names are snake_case.
+    if c0.is_ascii_digit() || c0.is_ascii_uppercase() {
+        return None;
+    }
+    if CALL_KEYWORDS.contains(&t.text.as_str()) || t.text == "drop" {
+        return None;
+    }
+    if toks.get(i + 1).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    if i > 0 && toks[i - 1].text == "fn" {
+        return None; // definition, not a call
+    }
+    if i >= 2 && toks[i - 1].text == "[" && toks[i - 2].text == "#" {
+        return None; // attribute like #[inline(always)]
+    }
+    let qual = if i >= 1 && toks[i - 1].text == "." {
+        if i >= 2 && toks[i - 2].text == "self" && (i < 3 || toks[i - 3].text != ".") {
+            CallQual::SelfRecv
+        } else {
+            CallQual::Method
+        }
+    } else if i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":" {
+        if i >= 3 && ident_like(&toks[i - 3]) {
+            let q = toks[i - 3].text.clone();
+            if q == "Self" || q == "self" {
+                CallQual::SelfRecv
+            } else {
+                CallQual::Qualified(q)
+            }
+        } else {
+            CallQual::Bare
+        }
+    } else {
+        CallQual::Bare
+    };
+    Some((t.text.clone(), qual))
+}
+
+/// Walk one file: lock-nesting edges plus every call site with its
+/// held-lock set. Test regions are skipped.
+pub fn analyze_file(file: &SourceFile) -> FileWalk {
     let mut edges = Vec::new();
+    let mut calls: Vec<CallSite> = Vec::new();
+    let mut acquires: Vec<Acquire> = Vec::new();
     let toks = &file.tokens;
     struct Guard {
         acq: Acquire,
@@ -105,6 +235,7 @@ pub fn extract_edges(file: &SourceFile) -> Vec<Edge> {
                 if is_call {
                     if let Some(lock) = receiver_key(file, toks, i - 1) {
                         let acq = Acquire { lock, method: t.text.clone(), line: t.line };
+                        acquires.push(acq.clone());
                         for g in &live {
                             if g.acq.lock != acq.lock
                                 || !(g.acq.method == "read" && acq.method == "read")
@@ -117,6 +248,7 @@ pub fn extract_edges(file: &SourceFile) -> Vec<Edge> {
                                         .enclosing_fn(t.line)
                                         .map(|f| f.name.clone())
                                         .unwrap_or_else(|| "<top>".into()),
+                                    chain: Vec::new(),
                                 });
                             }
                         }
@@ -132,9 +264,18 @@ pub fn extract_edges(file: &SourceFile) -> Vec<Edge> {
             }
             _ => {}
         }
+        if let Some((callee, qual)) = call_at(toks, i) {
+            let mut held: Vec<Acquire> = Vec::new();
+            for g in &live {
+                if !held.iter().any(|h| h.lock == g.acq.lock) {
+                    held.push(g.acq.clone());
+                }
+            }
+            calls.push(CallSite { callee, qual, line: t.line, held });
+        }
         i += 1;
     }
-    edges
+    FileWalk { edges, calls, acquires }
 }
 
 /// Walk backwards from the `.` before the method to build the receiver
@@ -389,6 +530,32 @@ mod tests {
         let e = extract_edges(&f);
         assert_eq!(e.len(), 1);
         assert_eq!(e[0].outer.lock, "t::S.alpha");
+    }
+
+    #[test]
+    fn call_sites_carry_held_locks() {
+        let f = scan(
+            "impl S { fn f(&self) {\n let a = self.alpha.lock();\n self.helper();\n other::go();\n drop(a);\n free();\n} }\n",
+        );
+        let calls = analyze_file(&f).calls;
+        let helper = calls.iter().find(|c| c.callee == "helper").expect("helper call");
+        assert_eq!(helper.qual, CallQual::SelfRecv);
+        assert_eq!(helper.held.len(), 1);
+        assert_eq!(helper.held[0].lock, "t::S.alpha");
+        let go = calls.iter().find(|c| c.callee == "go").expect("go call");
+        assert_eq!(go.qual, CallQual::Qualified("other".into()));
+        let free = calls.iter().find(|c| c.callee == "free").expect("free call");
+        assert_eq!(free.qual, CallQual::Bare);
+        assert!(free.held.is_empty(), "drop(a) released the guard");
+    }
+
+    #[test]
+    fn macros_and_definitions_are_not_calls() {
+        let f = scan("fn f() {\n println!(\"x\");\n #[inline(always)]\n fn g() {}\n g();\n}\n");
+        let calls = analyze_file(&f).calls;
+        assert!(calls.iter().all(|c| c.callee != "println"));
+        assert!(calls.iter().all(|c| c.callee != "inline"));
+        assert_eq!(calls.iter().filter(|c| c.callee == "g").count(), 1);
     }
 
     #[test]

@@ -1,14 +1,23 @@
 //! `soclint` — the workspace concurrency-invariant gate.
 //!
 //! ```text
-//! soclint [--root DIR] [--json PATH] [--quiet]
+//! soclint [--root DIR] [--json PATH] [--edges] [--quiet]
+//!         [--facts-out PATH] [--facts-in PATH]
+//!         [--baseline PATH] [--write-baseline PATH] [--rules]
 //! ```
 //!
-//! Exits 0 when every finding is suppressed (or there are none), 1 when
-//! unsuppressed findings remain, 2 on usage/IO errors. `--json` writes
-//! the machine-readable report (the CI artifact) regardless of outcome.
+//! Exits 0 when every finding is suppressed or baselined (or there are
+//! none), 1 when gate-failing findings remain, 2 on usage/IO errors.
+//! `--json` writes the machine-readable report (the CI artifact)
+//! regardless of outcome. `--facts-out` serializes the pass-1 facts
+//! table; `--facts-in` reuses a cached table when its fingerprint still
+//! matches the tree (otherwise re-extracts). `--baseline` accepts a
+//! debt file so historical findings report without failing the gate;
+//! `--write-baseline` emits the current failing findings in that format.
+//! `--rules` lists the rule catalog, one id per line, and exits.
 
-use socrates_lint::{run, Config};
+use socrates_lint::report::Rule;
+use socrates_lint::{analyze, baseline::Baseline, gather_facts, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,21 +26,48 @@ fn main() -> ExitCode {
     let mut json: Option<PathBuf> = None;
     let mut quiet = false;
     let mut edges = false;
+    let mut facts_out: Option<PathBuf> = None;
+    let mut facts_in: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
+    let mut missing: Option<&str> = None;
     while let Some(a) = args.next() {
+        let mut path_arg = |flag: &'static str, slot: &mut Option<PathBuf>| match args.next() {
+            Some(v) => *slot = Some(PathBuf::from(v)),
+            None => missing = Some(flag),
+        };
         match a.as_str() {
-            "--root" => root = args.next().map(PathBuf::from),
-            "--json" => json = args.next().map(PathBuf::from),
+            "--root" => path_arg("--root", &mut root),
+            "--json" => path_arg("--json", &mut json),
+            "--facts-out" => path_arg("--facts-out", &mut facts_out),
+            "--facts-in" => path_arg("--facts-in", &mut facts_in),
+            "--baseline" => path_arg("--baseline", &mut baseline_path),
+            "--write-baseline" => path_arg("--write-baseline", &mut write_baseline),
             "--quiet" | "-q" => quiet = true,
             "--edges" => edges = true,
+            "--rules" => {
+                for r in Rule::ALL {
+                    println!("{}", r.id());
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
-                println!("usage: soclint [--root DIR] [--json PATH] [--edges] [--quiet]");
+                println!(
+                    "usage: soclint [--root DIR] [--json PATH] [--edges] [--quiet]\n\
+                     \x20              [--facts-out PATH] [--facts-in PATH]\n\
+                     \x20              [--baseline PATH] [--write-baseline PATH] [--rules]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
                 eprintln!("soclint: unknown argument `{other}`");
                 return ExitCode::from(2);
             }
+        }
+        if let Some(flag) = missing {
+            eprintln!("soclint: {flag} requires a path argument");
+            return ExitCode::from(2);
         }
     }
     let root = match root.or_else(find_workspace_root) {
@@ -42,13 +78,44 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match run(&Config::workspace(&root)) {
-        Ok(r) => r,
+    let mut cfg = Config::workspace(&root);
+    cfg.facts_in = facts_in;
+    let ws = match gather_facts(&cfg) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("soclint: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = facts_out {
+        if let Err(e) = std::fs::write(&path, ws.render()) {
+            eprintln!("soclint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let mut report = analyze(&ws);
+
+    if let Some(path) = &baseline_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("soclint: reading baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let Some(b) = Baseline::parse(&text) else {
+            eprintln!("soclint: malformed baseline {}", path.display());
+            return ExitCode::from(2);
+        };
+        b.apply(&mut report);
+    }
+    if let Some(path) = write_baseline {
+        if let Err(e) = std::fs::write(&path, socrates_lint::baseline::render(&report)) {
+            eprintln!("soclint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     if let Some(path) = json {
         if let Err(e) = std::fs::write(&path, report.render_json()) {
             eprintln!("soclint: writing {}: {e}", path.display());
@@ -59,11 +126,14 @@ fn main() -> ExitCode {
         for e in &report.edges {
             println!("{e}");
         }
+        for e in &report.call_edges {
+            println!("{e}");
+        }
     }
-    if !quiet || report.unsuppressed_count() > 0 {
+    if !quiet || report.failing_count() > 0 {
         print!("{}", report.render_text());
     }
-    if report.unsuppressed_count() > 0 {
+    if report.failing_count() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -21,11 +21,30 @@ pub enum Rule {
     MetricName,
     /// `std::sync` lock primitive outside the parking_lot shim.
     StdSync,
+    /// Lock-acquisition cycle that only the call graph can see: at least
+    /// one edge comes from a lock acquired *inside a callee* while the
+    /// caller already holds another lock.
+    LockOrderTransitive,
+    /// A `soclint:hot` function *reaches* (through any call chain) a
+    /// function that panics, allocates, reads the clock, or acquires a
+    /// lock — even though the hot function is lexically clean.
+    HotPathTransitive,
+    /// A span begin (`now_ns()` start capture) escapes the function on a
+    /// `return`/`?` path before any `record_root`/`record_child` call.
+    SpanPairing,
+    /// Fault-site ↔ chaos-spec conformance: a cataloged site no chaos
+    /// spec ever injects, or a spec naming a site that does not exist.
+    FaultContract,
+    /// Metric-string conformance: an SLO spec or by-name metric lookup
+    /// that resolves to no registered metric.
+    MetricContract,
+    /// A `SocratesConfig` field not documented in README.md or DESIGN.md.
+    ConfigDoc,
 }
 
 impl Rule {
     /// Every rule, report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 13] = [
         Rule::OrderingComment,
         Rule::SeqCstDefault,
         Rule::LockOrder,
@@ -33,6 +52,12 @@ impl Rule {
         Rule::FaultSite,
         Rule::MetricName,
         Rule::StdSync,
+        Rule::LockOrderTransitive,
+        Rule::HotPathTransitive,
+        Rule::SpanPairing,
+        Rule::FaultContract,
+        Rule::MetricContract,
+        Rule::ConfigDoc,
     ];
 
     /// Stable kebab-case identifier (used in reports and allow comments).
@@ -45,6 +70,12 @@ impl Rule {
             Rule::FaultSite => "fault-site",
             Rule::MetricName => "metric-name",
             Rule::StdSync => "std-sync",
+            Rule::LockOrderTransitive => "lock-order-transitive",
+            Rule::HotPathTransitive => "hot-path-transitive",
+            Rule::SpanPairing => "span-pairing",
+            Rule::FaultContract => "fault-contract",
+            Rule::MetricContract => "metric-contract",
+            Rule::ConfigDoc => "config-doc",
         }
     }
 
@@ -74,6 +105,9 @@ pub struct Finding {
     /// Suppressed by a `// soclint-allow:` comment (still reported in the
     /// JSON artifact, but does not fail the gate).
     pub suppressed: bool,
+    /// Present in the `--baseline` file (accepted debt): reported, but
+    /// does not fail the gate.
+    pub baselined: bool,
 }
 
 /// The full analysis result.
@@ -81,15 +115,25 @@ pub struct Finding {
 pub struct Report {
     /// Every finding, suppressed or not, sorted by (file, line, rule).
     pub findings: Vec<Finding>,
-    /// Number of files scanned.
+    /// Number of files scanned (production sources; aux files excluded).
     pub files_scanned: usize,
     /// Number of `Ordering::` sites inspected (test code excluded).
     pub ordering_sites: usize,
-    /// Number of lock-acquisition edges in the cross-crate graph.
+    /// Number of lock-acquisition edges in the cross-crate graph
+    /// (direct + transitive).
     pub lock_edges: usize,
     /// Rendered acquisition edges (`outer -> inner (file:line in fn)`),
     /// for `--edges` and the JSON artifact.
     pub edges: Vec<String>,
+    /// Number of functions indexed by the call-graph pass.
+    pub fns_indexed: usize,
+    /// Call sites resolved to a workspace function.
+    pub calls_resolved: usize,
+    /// Call sites dropped as unresolvable or ambiguous.
+    pub calls_ambiguous: usize,
+    /// Rendered call-graph edges (`caller -> callee (file:line)`), for
+    /// the JSON artifact.
+    pub call_edges: Vec<String>,
 }
 
 impl Report {
@@ -98,23 +142,40 @@ impl Report {
         self.findings.iter().filter(|f| !f.suppressed)
     }
 
-    /// Number of gate-failing findings.
+    /// Number of unsuppressed findings (ignores the baseline).
     pub fn unsuppressed_count(&self) -> usize {
         self.unsuppressed().count()
     }
 
-    /// Sort findings into the stable report order.
+    /// Number of gate-failing findings: neither suppressed nor accepted
+    /// by the baseline.
+    pub fn failing_count(&self) -> usize {
+        self.findings.iter().filter(|f| !f.suppressed && !f.baselined).count()
+    }
+
+    /// Sort findings into the stable report order, and the edge lists
+    /// into lexical order so artifact diffs are stable across runs.
     pub fn finalize(&mut self) {
         self.findings.sort_by(|a, b| {
             (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
         });
+        self.edges.sort();
+        self.edges.dedup();
+        self.call_edges.sort();
+        self.call_edges.dedup();
     }
 
     /// Render the human-readable report.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
-            let tag = if f.suppressed { " (suppressed)" } else { "" };
+            let tag = if f.suppressed {
+                " (suppressed)"
+            } else if f.baselined {
+                " (baseline)"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "{}:{}: [{}]{} {}\n",
                 f.file,
@@ -125,14 +186,19 @@ impl Report {
             ));
         }
         let suppressed = self.findings.len() - self.unsuppressed_count();
+        let baselined = self.unsuppressed_count() - self.failing_count();
         out.push_str(&format!(
-            "soclint: {} file(s), {} ordering site(s), {} lock edge(s); {} finding(s), {} suppressed, {} failing\n",
+            "soclint: {} file(s), {} fn(s), {} call edge(s), {} ordering site(s), {} lock edge(s); \
+             {} finding(s), {} suppressed, {} baselined, {} failing\n",
             self.files_scanned,
+            self.fns_indexed,
+            self.call_edges.len(),
             self.ordering_sites,
             self.lock_edges,
             self.findings.len(),
             suppressed,
-            self.unsuppressed_count()
+            baselined,
+            self.failing_count()
         ));
         out
     }
@@ -143,16 +209,20 @@ impl Report {
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"ordering_sites\": {},\n", self.ordering_sites));
         out.push_str(&format!("  \"lock_edges\": {},\n", self.lock_edges));
-        out.push_str(&format!("  \"failing\": {},\n", self.unsuppressed_count()));
+        out.push_str(&format!("  \"fns_indexed\": {},\n", self.fns_indexed));
+        out.push_str(&format!("  \"calls_resolved\": {},\n", self.calls_resolved));
+        out.push_str(&format!("  \"calls_ambiguous\": {},\n", self.calls_ambiguous));
+        out.push_str(&format!("  \"failing\": {},\n", self.failing_count()));
         out.push_str("  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
             let sep = if i + 1 == self.findings.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"suppressed\": {}, \"message\": \"{}\"}}{}\n",
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"suppressed\": {}, \"baselined\": {}, \"message\": \"{}\"}}{}\n",
                 f.rule.id(),
                 json_escape(&f.file),
                 f.line,
                 f.suppressed,
+                f.baselined,
                 json_escape(&f.message),
                 sep
             ));
@@ -160,6 +230,11 @@ impl Report {
         out.push_str("  ],\n  \"lock_graph\": [\n");
         for (i, e) in self.edges.iter().enumerate() {
             let sep = if i + 1 == self.edges.len() { "" } else { "," };
+            out.push_str(&format!("    \"{}\"{}\n", json_escape(e), sep));
+        }
+        out.push_str("  ],\n  \"call_graph\": [\n");
+        for (i, e) in self.call_edges.iter().enumerate() {
+            let sep = if i + 1 == self.call_edges.len() { "" } else { "," };
             out.push_str(&format!("    \"{}\"{}\n", json_escape(e), sep));
         }
         out.push_str("  ]\n}\n");
@@ -203,6 +278,7 @@ mod tests {
             line: 2,
             message: "msg \"quoted\"".into(),
             suppressed: true,
+            baselined: false,
         });
         r.findings.push(Finding {
             rule: Rule::HotPath,
@@ -210,6 +286,7 @@ mod tests {
             line: 1,
             message: "m".into(),
             suppressed: false,
+            baselined: false,
         });
         r.finalize();
         assert_eq!(r.findings[0].file, "a.rs");
@@ -217,5 +294,31 @@ mod tests {
         let json = r.render_json();
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"failing\": 1"));
+    }
+
+    #[test]
+    fn baselined_findings_do_not_fail_the_gate() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: Rule::SpanPairing,
+            file: "a.rs".into(),
+            line: 3,
+            message: "m".into(),
+            suppressed: false,
+            baselined: true,
+        });
+        assert_eq!(r.unsuppressed_count(), 1);
+        assert_eq!(r.failing_count(), 0);
+        assert!(r.render_text().contains("(baseline)"));
+    }
+
+    #[test]
+    fn finalize_sorts_and_dedupes_edges() {
+        let mut r = Report::default();
+        r.edges = vec!["b -> c".into(), "a -> b".into(), "a -> b".into()];
+        r.call_edges = vec!["z -> y".into(), "x -> y".into()];
+        r.finalize();
+        assert_eq!(r.edges, vec!["a -> b".to_string(), "b -> c".to_string()]);
+        assert_eq!(r.call_edges, vec!["x -> y".to_string(), "z -> y".to_string()]);
     }
 }

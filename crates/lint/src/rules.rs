@@ -9,7 +9,7 @@ const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst
 
 /// Tokens that betray panics, clocks, or allocation on a hot path.
 /// (`debug_assert!` is exempt: it vanishes in release builds.)
-const HOT_FORBIDDEN: [&str; 17] = [
+pub const HOT_FORBIDDEN: [&str; 17] = [
     ".unwrap()",
     ".expect(",
     "Instant::now()",
@@ -36,9 +36,10 @@ pub struct Allows {
 }
 
 impl Allows {
-    /// Collect `// soclint-allow: <rule> <reason>` comments. An allow on
-    /// line L covers L and L+1; if a `fn` header starts on a covered
-    /// line, the whole function body is covered for that rule.
+    /// Collect `// soclint-allow: <rule> <reason>` comments. The reason may
+    /// wrap onto following pure-comment lines; the allow covers the whole
+    /// comment block plus the line after it. If a `fn` header starts on a
+    /// covered line, the whole function body is covered for that rule.
     pub fn collect(file: &SourceFile) -> Allows {
         let mut allows = Allows::default();
         for (idx, c) in file.comment.iter().enumerate() {
@@ -46,12 +47,24 @@ impl Allows {
             let rest = &c[pos + "soclint-allow:".len()..];
             let mut words = rest.split_whitespace();
             let Some(rule) = words.next().and_then(Rule::from_id) else { continue };
-            let line = idx + 1;
+            // Wrapped reasons: the block ends at the last consecutive line
+            // that is comment-only (no code), so a trailing allow on a code
+            // line still covers only itself plus the next line.
+            let mut last = idx;
+            while last + 1 < file.comment.len()
+                && !file.comment[last + 1].is_empty()
+                && file.code[last + 1].trim().is_empty()
+            {
+                last += 1;
+            }
+            let first_line = idx + 1;
+            let next_line = last + 2; // first line after the comment block
             let set = allows.covered.entry(rule).or_default();
-            set.insert(line);
-            set.insert(line + 1);
+            for l in first_line..=next_line {
+                set.insert(l);
+            }
             for f in &file.fns {
-                if f.header_line == line || f.header_line == line + 1 {
+                if f.header_line >= first_line && f.header_line <= next_line {
                     for l in f.header_line..=f.end_line {
                         set.insert(l);
                     }
@@ -64,6 +77,25 @@ impl Allows {
     /// Whether `rule` findings on `line` are suppressed.
     pub fn covers(&self, rule: Rule, line: usize) -> bool {
         self.covered.get(&rule).is_some_and(|s| s.contains(&line))
+    }
+
+    /// Serialize to the facts-table shape (rule id → covered lines).
+    pub fn to_map(&self) -> BTreeMap<String, Vec<usize>> {
+        self.covered
+            .iter()
+            .map(|(r, lines)| (r.id().to_string(), lines.iter().copied().collect()))
+            .collect()
+    }
+
+    /// Rebuild from the facts-table shape. Unknown rule ids are dropped.
+    pub fn from_map(map: &BTreeMap<String, Vec<usize>>) -> Allows {
+        let mut allows = Allows::default();
+        for (id, lines) in map {
+            if let Some(rule) = Rule::from_id(id) {
+                allows.covered.entry(rule).or_default().extend(lines.iter().copied());
+            }
+        }
+        allows
     }
 }
 
@@ -102,6 +134,7 @@ pub fn check_orderings(file: &SourceFile, allows: &Allows, out: &mut Vec<Finding
                         "Ordering::{variant} without an adjacent `// ordering:` justification"
                     ),
                     suppressed: allows.covers(Rule::OrderingComment, line),
+                    baselined: false,
                 });
             }
             if *variant == "SeqCst" && !comments.to_lowercase().contains("seqcst") {
@@ -114,6 +147,7 @@ pub fn check_orderings(file: &SourceFile, allows: &Allows, out: &mut Vec<Finding
                               correct, or say why sequential consistency is required"
                         .into(),
                     suppressed: allows.covers(Rule::SeqCstDefault, line),
+                    baselined: false,
                 });
             }
         }
@@ -150,6 +184,7 @@ pub fn check_hot_path(file: &SourceFile, allows: &Allows, out: &mut Vec<Finding>
                         pat.trim_matches(|c| c == '(' || c == '[')
                     ),
                     suppressed: allows.covers(Rule::HotPath, line),
+                    baselined: false,
                 });
             }
         }
@@ -175,6 +210,7 @@ pub fn check_std_sync(file: &SourceFile, allows: &Allows, out: &mut Vec<Finding>
                          tracker cannot see this lock; use the shimmed type"
                     ),
                     suppressed: allows.covers(Rule::StdSync, line),
+                    baselined: false,
                 });
             };
             let t = &toks[i + 3];
@@ -263,6 +299,7 @@ pub fn parse_site_catalog(
                         lit.value
                     ),
                     suppressed: allows.covers(Rule::FaultSite, line),
+                    baselined: false,
                 });
             } else {
                 seen_values.insert(lit.value.clone(), line);
@@ -311,6 +348,7 @@ pub fn check_site_catalog(
                 line: *line,
                 message: format!("fault site {name} (\"{value}\") is not listed in sites::ALL"),
                 suppressed: false,
+                baselined: false,
             });
         }
         if !references.contains(name) {
@@ -320,6 +358,7 @@ pub fn check_site_catalog(
                 line: *line,
                 message: format!("fault site {name} (\"{value}\") is declared but never consulted"),
                 suppressed: false,
+                baselined: false,
             });
         }
     }
@@ -339,64 +378,31 @@ pub fn collect_site_refs(file: &SourceFile, refs: &mut BTreeSet<String>) {
     }
 }
 
-/// Literal site strings passed straight to `check` / `check_at` must be
-/// declared in the catalog (tests are exempt — they may invent private
-/// sites).
-pub fn check_site_literals(
-    file: &SourceFile,
-    catalog: &SiteCatalog,
-    allows: &Allows,
-    out: &mut Vec<Finding>,
-) {
-    if !catalog.found || file.rel.ends_with("fault.rs") {
-        return;
-    }
-    let declared: BTreeSet<&str> = catalog.consts.values().map(|(v, _, _)| v.as_str()).collect();
-    let toks = &file.tokens;
-    for i in 0..toks.len() {
-        if !matches!(toks[i].text.as_str(), "check" | "check_at") {
-            continue;
-        }
-        if toks.get(i + 1).map(|t| t.text.as_str()) != Some("(") {
-            continue;
-        }
-        let line = toks[i].line;
-        if file.is_test.get(line - 1).copied().unwrap_or(false) {
-            continue;
-        }
-        // A literal argument shows up as a string literal on the same line
-        // that looks like a site path (dotted lowercase).
-        for lit in file.strings.iter().filter(|s| s.line == line) {
-            let site_shaped = lit.value.contains('.')
-                && lit.value.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_');
-            if site_shaped && !declared.contains(lit.value.as_str()) {
-                out.push(Finding {
-                    rule: Rule::FaultSite,
-                    file: file.rel.clone(),
-                    line,
-                    message: format!(
-                        "fault-site literal \"{}\" is not declared in common::fault::sites",
-                        lit.value
-                    ),
-                    suppressed: allows.covers(Rule::FaultSite, line),
-                });
-            }
-        }
-    }
+/// Whether a string literal looks like a fault-site path (dotted
+/// lowercase, the catalog's naming shape).
+pub fn site_shaped(value: &str) -> bool {
+    value.contains('.')
+        && !value.is_empty()
+        && value
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
 }
+
+/// The hub registration methods whose first literal argument is a metric
+/// name.
+pub const REGISTER: [&str; 6] = [
+    "register_counter",
+    "register_gauge",
+    "register_histogram",
+    "register_counter_fn",
+    "register_gauge_fn",
+    "register_histogram_fn",
+];
 
 /// Rule `metric-name`: literal names registered into the hub must be
 /// lowercase dotted snake_case (`tier.index.` is prefixed by the hub from
 /// the NodeId; the registered name supplies the trailing segments).
 pub fn check_metric_names(file: &SourceFile, allows: &Allows, out: &mut Vec<Finding>) {
-    const REGISTER: [&str; 6] = [
-        "register_counter",
-        "register_gauge",
-        "register_histogram",
-        "register_counter_fn",
-        "register_gauge_fn",
-        "register_histogram_fn",
-    ];
     let toks = &file.tokens;
     for i in 0..toks.len() {
         if !REGISTER.contains(&toks[i].text.as_str()) {
@@ -434,7 +440,97 @@ pub fn check_metric_names(file: &SourceFile, allows: &Allows, out: &mut Vec<Find
                     lit.value
                 ),
                 suppressed: allows.covers(Rule::MetricName, line),
+                baselined: false,
             });
+        }
+    }
+}
+
+/// Rule `span-pairing`. The workspace's span idiom is not begin/end but
+/// capture/record: a function captures a start timestamp
+/// (`ring.now_ns()`, usually behind `span_sink(..).map(..)`) and later
+/// feeds it to `record_root`/`record_child`. A `return` or `?` between
+/// the capture and the record silently drops the span — the exact
+/// error-path blind spot the observability story cannot afford. This
+/// rule walks each function's lexical exits and flags captures that can
+/// escape unrecorded. Functions that capture but never record anywhere
+/// are begin-helpers (they hand the timestamp to their caller) and are
+/// skipped.
+pub fn check_span_pairing(file: &SourceFile, allows: &Allows, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    // Event streams: span begins, record calls, lexical exits.
+    let mut begins: Vec<usize> = Vec::new();
+    let mut records: Vec<usize> = Vec::new();
+    let mut exits: Vec<usize> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if file.is_test.get(t.line - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        match t.text.as_str() {
+            "now_ns" => {
+                let is_call = toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+                    && toks.get(i + 2).map(|t| t.text.as_str()) == Some(")");
+                let is_def = i > 0 && toks[i - 1].text == "fn";
+                if is_call && !is_def {
+                    begins.push(t.line);
+                }
+            }
+            "record_root" | "record_child" => {
+                if toks.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
+                    records.push(t.line);
+                }
+            }
+            "return" | "?" => exits.push(t.line),
+            _ => {}
+        }
+    }
+    if begins.is_empty() {
+        return;
+    }
+    for f in &file.fns {
+        // Attribute events to their innermost function.
+        let innermost =
+            |line: usize| file.enclosing_fn(line).is_some_and(|e| e.header_line == f.header_line);
+        let fn_records: Vec<usize> = records.iter().copied().filter(|&l| innermost(l)).collect();
+        if fn_records.is_empty() {
+            continue; // begin-helper: the caller records
+        }
+        let fn_begins: Vec<usize> = begins.iter().copied().filter(|&l| innermost(l)).collect();
+        for &b in &fn_begins {
+            // An exit strictly after the begin is covered when some
+            // record sits between the begin and the exit. The implicit
+            // end-of-function exit is covered by any record after the
+            // begin.
+            let mut uncovered: Vec<usize> = exits
+                .iter()
+                .copied()
+                .filter(|&e| innermost(e) && e > b)
+                .filter(|&e| !fn_records.iter().any(|&r| b < r && r <= e))
+                .collect();
+            if !fn_records.iter().any(|&r| r > b) {
+                uncovered.push(f.end_line);
+            }
+            uncovered.sort_unstable();
+            uncovered.dedup();
+            if let Some(&first) = uncovered.first() {
+                let suppressed =
+                    allows.covers(Rule::SpanPairing, first) || allows.covers(Rule::SpanPairing, b);
+                out.push(Finding {
+                    rule: Rule::SpanPairing,
+                    file: file.rel.clone(),
+                    line: first,
+                    message: format!(
+                        "span started on line {b} in `{}` can escape on {} return path(s) \
+                         (first at line {first}) before record_root/record_child — record the \
+                         span on every exit or drop the capture",
+                        f.name,
+                        uncovered.len()
+                    ),
+                    suppressed,
+                    baselined: false,
+                });
+            }
         }
     }
 }
@@ -549,20 +645,53 @@ mod tests {
     }
 
     #[test]
-    fn undeclared_literal_site_flagged() {
-        let src =
-            "pub mod sites {\n pub const A: &str = \"a.b\";\n pub const ALL: &[&str] = &[A];\n}\n";
-        let cat_file = scan("crates/common/src/fault.rs", src);
-        let mut catalog = SiteCatalog::default();
+    fn site_shaped_matches_catalog_naming() {
+        assert!(site_shaped("rbio.transport.recv"));
+        assert!(site_shaped("lz.quorum_ack"));
+        assert!(!site_shaped("plainword"));
+        assert!(!site_shaped("Not.Lower"));
+        assert!(!site_shaped(""));
+    }
+
+    #[test]
+    fn span_capture_escaping_on_error_path_is_flagged() {
+        let src = "fn serve(&self) -> Result<u64, E> {\n let t0 = ring.now_ns();\n let n = self.len()?;\n ring.record_child(t0);\n Ok(n)\n}\n";
+        let f = scan("a.rs", src);
         let mut out = Vec::new();
-        parse_site_catalog(&cat_file, &Allows::collect(&cat_file), &mut catalog, &mut out);
-        assert!(out.is_empty());
-        let user = scan(
-            "crates/x/src/lib.rs",
-            "fn f(r: &Reg) {\n r.check(\"not.declared\");\n r.check(\"a.b\");\n}\n",
-        );
-        check_site_literals(&user, &catalog, &Allows::collect(&user), &mut out);
-        assert_eq!(out.len(), 1);
-        assert!(out[0].message.contains("not.declared"));
+        check_span_pairing(&f, &Allows::collect(&f), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, Rule::SpanPairing);
+        assert_eq!(out[0].line, 3, "the `?` exit before the record");
+    }
+
+    #[test]
+    fn span_recorded_on_all_paths_is_clean() {
+        let src = "fn serve(&self) -> Result<u64, E> {\n let t0 = ring.now_ns();\n let n = compute();\n ring.record_child(t0);\n Ok(n)\n}\n";
+        let f = scan("a.rs", src);
+        let mut out = Vec::new();
+        check_span_pairing(&f, &Allows::collect(&f), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn span_begin_helper_is_skipped() {
+        // Captures the timestamp and returns it — the caller records.
+        let src = "fn start(&self) -> u64 {\n ring.now_ns()\n}\n";
+        let f = scan("a.rs", src);
+        let mut out = Vec::new();
+        check_span_pairing(&f, &Allows::collect(&f), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn span_never_recorded_flags_the_implicit_exit() {
+        let src = "fn serve(&self) {\n let t0 = ring.now_ns();\n if t0 > 0 {\n ring.record_child(t0);\n }\n}\nfn other(&self) {\n let t1 = ring.now_ns();\n work(t1);\n ring.record_root(t1);\n let t2 = ring.now_ns();\n work(t2);\n}\n";
+        let f = scan("a.rs", src);
+        let mut out = Vec::new();
+        check_span_pairing(&f, &Allows::collect(&f), &mut out);
+        // `serve` records on its only path; `other`'s second capture
+        // reaches the end of the function unrecorded.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`other`"));
     }
 }

@@ -1,0 +1,24 @@
+//! The second fixture crate: a relay that crate A calls through.
+//!
+//! Nothing in this file is a violation on its own. It exists so the
+//! selftest can prove the interprocedural rules see through a crate
+//! boundary: `helper` forwards a call made under a lock back into
+//! crate A, and `spicy` panics when a hot function in crate A reaches
+//! it transitively.
+
+/// Implemented in crate A; `helper` only sees the trait.
+pub trait Relay {
+    fn leaf(&self);
+}
+
+/// Forwards to the trait impl. Callers in crate A invoke this while
+/// holding a lock, and the impl acquires another one.
+pub fn helper(r: &dyn Relay) {
+    r.leaf();
+}
+
+/// Panics on `None`. Fine here — this crate is not hot — but a hot
+/// function in crate A calls it.
+pub fn spicy(v: Option<u64>) -> u64 {
+    v.unwrap()
+}

@@ -1,4 +1,5 @@
-//! Hot-module fixture: marked `soclint:hot`, then panics anyway.
+//! Hot-module fixture: marked `soclint:hot`, then panics anyway —
+//! once lexically, once only through the call graph.
 
 #![doc = "soclint:hot"]
 
@@ -7,4 +8,10 @@ use std::collections::HashMap;
 /// planted violation: `.unwrap()` can panic on the hot path.
 pub fn lookup(map: &HashMap<u64, u64>, key: u64) -> u64 {
     *map.get(&key).unwrap()
+}
+
+/// planted violation: lexically clean, but the callee in crate B
+/// panics — only the interprocedural rule can see it.
+pub fn relay_lookup(v: Option<u64>) -> u64 {
+    soclint_fixture_b::spicy(v)
 }

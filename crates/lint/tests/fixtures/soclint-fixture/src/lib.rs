@@ -1,13 +1,16 @@
 //! soclint self-test fixture.
 //!
-//! Each file in this crate plants exactly one rule violation; the
-//! selftest asserts soclint reports each of them and nothing else.
-//! This file plants four: a bare atomic ordering, a defaulted SeqCst,
-//! a `std::sync` lock, and a malformed metric name.
+//! Each file in this crate plants rule violations the selftest asserts
+//! soclint reports — each exactly once, and nothing else. This file
+//! plants six: a bare atomic ordering, a defaulted SeqCst, a
+//! `std::sync` lock, a malformed metric name, an SLO naming a metric
+//! nobody registers, and an undocumented config knob.
 
 pub mod hot;
 pub mod locks;
+pub mod relay;
 pub mod sites_catalog;
+pub mod span;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -29,6 +32,8 @@ impl Counters {
     }
 
     pub fn miss(&self) {
+        // planted violation: the note below never argues why sequential
+        // consistency is required.
         // ordering: counter increment
         self.misses.fetch_add(1, Ordering::SeqCst);
     }
@@ -57,4 +62,14 @@ impl Hub {
 pub fn export(hub: &Hub) {
     // planted violation: uppercase segment in a registered metric name.
     hub.register_counter("commit.Latency_MS", 0);
+}
+
+/// planted violation: an SLO threshold over a metric no registration
+/// anywhere in the fixture declares.
+pub const GHOST_SLO: &str = "fx.0.ghost_metric.p99 < 5 over 1m";
+
+/// planted violation: a public config knob that no README or DESIGN
+/// section documents (the fixture root deliberately has neither).
+pub struct SocratesConfig {
+    pub ghost_knob: u64,
 }

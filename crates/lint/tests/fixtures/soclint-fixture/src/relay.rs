@@ -1,0 +1,40 @@
+//! Transitive lock-order fixture: the deadlock cycle only exists in
+//! the call graph. `entry` holds `gamma` across a call into crate B,
+//! which calls back into `leaf` here, which takes `delta`; `reverse`
+//! nests the same pair directly the other way. No single function —
+//! and no single crate — shows both acquisitions.
+
+use crate::locks::FixMutex;
+use soclint_fixture_b::{helper, Relay};
+
+pub struct Pair2 {
+    gamma: FixMutex<u64>,
+    delta: FixMutex<u64>,
+}
+
+impl Pair2 {
+    pub fn with(g: u64, d: u64) -> Pair2 {
+        Pair2 { gamma: FixMutex::with(g), delta: FixMutex::with(d) }
+    }
+
+    /// planted violation: holds `gamma` across a call that — two crates
+    /// later — acquires `delta`, closing a cycle with `reverse`.
+    pub fn entry(&self) -> u64 {
+        let g = self.gamma.lock();
+        helper(self);
+        *g
+    }
+
+    pub fn reverse(&self) -> u64 {
+        let d = self.delta.lock();
+        let g = self.gamma.lock();
+        *d - *g
+    }
+}
+
+impl Relay for Pair2 {
+    fn leaf(&self) {
+        let d = self.delta.lock();
+        let _ = *d;
+    }
+}

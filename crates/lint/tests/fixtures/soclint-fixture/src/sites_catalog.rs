@@ -1,17 +1,25 @@
-//! Fault-site catalog fixture: two constants share one site string.
+//! Fault-site catalog fixture: two constants share one site string,
+//! and a third is declared but never exercised by any chaos spec.
 
 pub mod sites {
     /// The primary injection point.
     pub const PRIMARY: &str = "fx.probe";
     /// planted violation: duplicate of PRIMARY's site string.
     pub const ECHO: &str = "fx.probe";
+    /// planted violation: declared and consulted, but no chaos spec
+    /// anywhere in the fixture exercises this site.
+    pub const ORPHAN: &str = "fx.orphan";
 
     /// Catalog listing, mirroring `common::fault::sites::ALL`.
-    pub const ALL: &[&str] = &[PRIMARY, ECHO];
+    pub const ALL: &[&str] = &[PRIMARY, ECHO, ORPHAN];
 }
 
-/// Both sites are "consulted" here so the declared-but-never-consulted
-/// check stays quiet; the duplicate string is the only planted finding.
-pub fn consult_all() -> (&'static str, &'static str) {
-    (sites::PRIMARY, sites::ECHO)
+/// The chaos spec that covers `fx.probe`, so the duplicate pair stays
+/// a pure duplicate finding and only ORPHAN goes spec-less.
+pub const PROBE_SPEC: &str = "fx.probe@always=drop";
+
+/// All sites are "consulted" here so the declared-but-never-consulted
+/// check stays quiet.
+pub fn consult_all() -> (&'static str, &'static str, &'static str) {
+    (sites::PRIMARY, sites::ECHO, sites::ORPHAN)
 }

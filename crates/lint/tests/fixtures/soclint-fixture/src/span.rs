@@ -1,0 +1,28 @@
+//! Span-pairing fixture: a timestamp capture whose early-return path
+//! never records.
+
+/// Minimal ring stand-in; soclint's span rule is lexical and keys on
+/// the `now_ns()` / `record_child(` call shapes below.
+pub struct FixRing {
+    pub clock: u64,
+}
+
+impl FixRing {
+    pub fn now_ns(&self) -> u64 {
+        self.clock
+    }
+
+    pub fn record_child(&self, _t0: u64) {}
+}
+
+/// planted violation: the `return None` path drops the captured span
+/// without recording it.
+pub fn serve(ring: &FixRing, n: Option<u64>) -> Option<u64> {
+    let t0 = ring.now_ns();
+    if n.is_none() {
+        return None;
+    }
+    let v = n?;
+    ring.record_child(t0);
+    Some(v)
+}

@@ -1,21 +1,35 @@
-//! soclint self-test: run the analyzer over the planted-violation
-//! fixture crate and assert it finds exactly one violation per rule —
-//! and nothing else. This is the end-to-end guard that keeps the rules
-//! honest: a regression that stops a rule from firing shows up here as
-//! a missing finding, and an over-eager rule shows up as an extra one.
+//! soclint self-test: run the full two-pass analyzer over the fixture
+//! crates (`tests/fixtures/soclint-fixture` + `soclint-fixture-b`) and
+//! assert every rule in the catalog fires exactly once, on the planted
+//! file — and that nothing fires spuriously.
+//!
+//! The fixture is two crates on purpose: the transitive lock cycle and
+//! the hot→panic chain each cross the crate boundary, so these tests
+//! prove the call graph actually links crates rather than resolving
+//! within one symbol table.
 
-use socrates_lint::report::Rule;
-use socrates_lint::{run, Config};
+use socrates_lint::report::{Report, Rule};
+use socrates_lint::{analyze, baseline, extract, run, Config};
 use std::path::PathBuf;
 
 fn fixture_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/soclint-fixture")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
 
-fn fixture_report() -> socrates_lint::report::Report {
+fn fixture_config() -> Config {
     let root = fixture_root();
-    let cfg = Config { root: root.clone(), scan_override: Some(vec![root.join("src")]) };
-    run(&cfg).expect("fixture scan")
+    Config {
+        scan_override: Some(vec![
+            root.join("soclint-fixture/src"),
+            root.join("soclint-fixture-b/src"),
+        ]),
+        root,
+        facts_in: None,
+    }
+}
+
+fn fixture_report() -> Report {
+    run(&fixture_config()).expect("fixture scan")
 }
 
 #[test]
@@ -26,51 +40,150 @@ fn every_rule_fires_exactly_once_on_the_fixture() {
         assert_eq!(
             hits.len(),
             1,
-            "rule {rule} should fire exactly once on the fixture, got {}: {:#?}",
-            hits.len(),
+            "rule `{}` should fire exactly once on the fixture, got {:#?}",
+            rule.id(),
             hits
         );
     }
-    assert_eq!(report.findings.len(), Rule::ALL.len(), "no findings beyond the planted ones");
-    assert_eq!(report.unsuppressed_count(), Rule::ALL.len(), "no plant is suppressed");
+    assert_eq!(
+        report.findings.len(),
+        Rule::ALL.len(),
+        "no spurious findings: {:#?}",
+        report.findings
+    );
 }
 
 #[test]
 fn findings_land_on_the_planted_files() {
     let report = fixture_report();
-    let file_of = |rule: Rule| -> &str {
-        &report.findings.iter().find(|f| f.rule == rule).expect("fires").file
-    };
-    assert_eq!(file_of(Rule::OrderingComment), "src/lib.rs");
-    assert_eq!(file_of(Rule::SeqCstDefault), "src/lib.rs");
-    assert_eq!(file_of(Rule::StdSync), "src/lib.rs");
-    assert_eq!(file_of(Rule::MetricName), "src/lib.rs");
-    assert_eq!(file_of(Rule::HotPath), "src/hot.rs");
-    assert_eq!(file_of(Rule::LockOrder), "src/locks.rs");
-    assert_eq!(file_of(Rule::FaultSite), "src/sites_catalog.rs");
+    let planted = [
+        (Rule::OrderingComment, "soclint-fixture/src/lib.rs"),
+        (Rule::SeqCstDefault, "soclint-fixture/src/lib.rs"),
+        (Rule::StdSync, "soclint-fixture/src/lib.rs"),
+        (Rule::MetricName, "soclint-fixture/src/lib.rs"),
+        (Rule::MetricContract, "soclint-fixture/src/lib.rs"),
+        (Rule::ConfigDoc, "soclint-fixture/src/lib.rs"),
+        (Rule::HotPath, "soclint-fixture/src/hot.rs"),
+        (Rule::HotPathTransitive, "soclint-fixture/src/hot.rs"),
+        (Rule::LockOrder, "soclint-fixture/src/locks.rs"),
+        (Rule::LockOrderTransitive, "soclint-fixture/src/relay.rs"),
+        (Rule::SpanPairing, "soclint-fixture/src/span.rs"),
+        (Rule::FaultSite, "soclint-fixture/src/sites_catalog.rs"),
+        (Rule::FaultContract, "soclint-fixture/src/sites_catalog.rs"),
+    ];
+    assert_eq!(planted.len(), Rule::ALL.len(), "one planted file per rule");
+    for (rule, file) in planted {
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.rule == rule)
+            .unwrap_or_else(|| panic!("rule `{}` missing", rule.id()));
+        assert_eq!(f.file, file, "rule `{}` landed on the wrong file", rule.id());
+    }
+}
+
+#[test]
+fn interprocedural_findings_carry_witness_chains() {
+    let report = fixture_report();
+    let lock = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::LockOrderTransitive)
+        .expect("transitive lock cycle");
+    assert!(lock.message.contains(" via "), "no witness chain: {}", lock.message);
+    assert!(
+        lock.message.contains("leaf@"),
+        "chain should name the cross-crate acquirer: {}",
+        lock.message
+    );
+    let hot = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::HotPathTransitive)
+        .expect("hot-path escape");
+    assert!(
+        hot.message.contains("spicy@") && hot.message.contains(".unwrap()"),
+        "witness should name the panicking callee: {}",
+        hot.message
+    );
 }
 
 #[test]
 fn fixture_scan_counts_are_stable() {
     let report = fixture_report();
-    assert_eq!(report.files_scanned, 4);
-    assert_eq!(report.ordering_sites, 2, "the Relaxed and SeqCst plants");
-    assert_eq!(report.lock_edges, 2, "alpha->beta and beta->alpha");
+    assert_eq!(report.files_scanned, 7, "fixture source files");
+    assert_eq!(report.ordering_sites, 2, "atomic sites in lib.rs");
+    assert_eq!(
+        report.lock_edges, 4,
+        "alpha->beta, beta->alpha, delta->gamma, and the transitive gamma->delta: {:#?}",
+        report.edges
+    );
+    assert!(report.fns_indexed >= 20, "fns_indexed={}", report.fns_indexed);
+    assert!(report.calls_resolved >= 5, "calls_resolved={}", report.calls_resolved);
+}
+
+#[test]
+fn edge_listings_are_deterministically_ordered() {
+    let report = fixture_report();
+    assert!(!report.edges.is_empty() && !report.call_edges.is_empty());
+    assert!(
+        report.edges.windows(2).all(|w| w[0] < w[1]),
+        "lock edges must be sorted and deduped: {:#?}",
+        report.edges
+    );
+    assert!(
+        report.call_edges.windows(2).all(|w| w[0] < w[1]),
+        "call edges must be sorted and deduped: {:#?}",
+        report.call_edges
+    );
+    let cross: Vec<_> = report
+        .call_edges
+        .iter()
+        .filter(|e| e.contains("soclint-fixture::") && e.contains("soclint-fixture-b::"))
+        .collect();
+    assert!(!cross.is_empty(), "cross-crate call edges resolved: {:#?}", report.call_edges);
+}
+
+#[test]
+fn facts_table_replays_identically() {
+    let cfg = fixture_config();
+    let ws = extract(&cfg).expect("extract");
+    let text = ws.render();
+    let replayed = socrates_lint::facts::WorkspaceFacts::parse(&text)
+        .expect("serialized facts table parses back");
+    assert_eq!(ws.fingerprint, replayed.fingerprint);
+    let direct = analyze(&ws);
+    let cached = analyze(&replayed);
+    assert_eq!(
+        direct.render_json(),
+        cached.render_json(),
+        "pass 2 must be a pure function of the facts table"
+    );
+}
+
+#[test]
+fn baseline_accepts_every_fixture_finding() {
+    let mut report = fixture_report();
+    assert!(report.failing_count() > 0);
+    let accepted = baseline::render(&report);
+    let b = baseline::Baseline::parse(&accepted).expect("generated baseline parses");
+    assert_eq!(b.len(), Rule::ALL.len());
+    b.apply(&mut report);
+    assert_eq!(report.failing_count(), 0, "baselined findings must not gate");
 }
 
 #[test]
 fn scans_never_pick_up_fixture_files() {
-    // The real workspace run must never trip over the planted
-    // violations: any path containing /fixtures/ is dropped. Point a
-    // scan at the tests tree (which contains the fixture) and check
-    // nothing under fixtures/ survives the filter.
-    let crate_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let tests_dir = crate_root.join("tests");
-    let cfg = Config { root: crate_root, scan_override: Some(vec![tests_dir]) };
-    let report = run(&cfg).expect("tests tree scan");
+    // Run over the real workspace root and make sure the fixture crates
+    // (which plant violations on purpose) are filtered out of the scan.
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let ws = extract(&Config::workspace(workspace)).expect("workspace scan");
     assert!(
-        report.findings.iter().all(|f| !f.file.contains("fixtures")),
-        "fixture files leaked into a scan: {:#?}",
-        report.findings
+        ws.files.iter().all(|f| !f.rel.contains("fixtures")),
+        "fixture files leaked into the workspace scan"
     );
 }

@@ -678,6 +678,9 @@ impl PageServer {
 
     /// The background checkpointer: runs on its own thread so slow XStore
     /// writes never stall log apply (which would stall GetPage@LSN).
+    // soclint-allow: lock-order-transitive the dirty guard below is a
+    // statement-scoped temporary (`.lock().len()`), already dropped when
+    // checkpoint() runs; no dirty->checkpoint_lock nesting actually occurs.
     fn checkpoint_loop(self: Arc<Self>) {
         // ordering: relaxed — shutdown poll; a late observation costs one iteration
         while !self.stop.load(Ordering::Relaxed) {
@@ -701,6 +704,9 @@ impl PageServer {
         for block in &pull.blocks {
             let span = self
                 .span_sink(block.ctx())
+                // soclint-allow: span-pairing a records()/apply error abandons
+                // the whole pull; the per-block span is deliberately dropped
+                // with it and the retried pull re-samples.
                 .map(|(ring, node)| (Arc::clone(ring), *node, ring.now_ns()));
             for rec in block.records()? {
                 if let LogPayload::PageWrite { page_id, op } = &rec.record.payload {
@@ -711,13 +717,8 @@ impl PageServer {
                 }
             }
             if let Some((ring, node, start)) = span {
-                ring.record_child(
-                    block.ctx(),
-                    SpanKind::PsApply,
-                    node,
-                    start,
-                    ring.now_ns().saturating_sub(start),
-                );
+                let dur = ring.now_ns().saturating_sub(start);
+                ring.record_child(block.ctx(), SpanKind::PsApply, node, start, dur);
             }
         }
         if pull.next_lsn > cursor {
@@ -1124,6 +1125,8 @@ impl PageServer {
         // Checkpoints are trace roots of their own: they are not caused by
         // any one commit, so they self-sample at the ring's rate.
         let ckpt_span = self.spans.get().and_then(|(ring, node)| {
+            // soclint-allow: span-pairing a materialize/write_batch error
+            // abandons the checkpoint; its root span is deliberately dropped.
             ring.try_sample().map(|ctx| (Arc::clone(ring), *node, ctx, ring.now_ns()))
         });
         // Aggregate the dirty pages into large batched writes (§4.6).
@@ -1151,16 +1154,13 @@ impl PageServer {
             }
             let writes: Vec<(u64, &[u8])> =
                 images.iter().map(|(off, img)| (*off, img.as_slice())).collect();
+            // soclint-allow: span-pairing a write_batch failure aborts the
+            // checkpoint; the in-flight put child is dropped with it.
             let put_start = ckpt_span.as_ref().map(|(ring, ..)| ring.now_ns());
             self.xstore.write_batch(self.data_blob, &writes)?;
             if let (Some((ring, _, ctx, _)), Some(start)) = (&ckpt_span, put_start) {
-                ring.record_child(
-                    *ctx,
-                    SpanKind::XstorePut,
-                    NodeId::XSTORE,
-                    start,
-                    ring.now_ns().saturating_sub(start),
-                );
+                let dur = ring.now_ns().saturating_sub(start);
+                ring.record_child(*ctx, SpanKind::XstorePut, NodeId::XSTORE, start, dur);
             }
             self.metrics.pages_checkpointed.add(writes.len() as u64);
         }
@@ -1188,13 +1188,8 @@ impl PageServer {
         }
         self.write_checkpoint_meta(at)?;
         if let Some((ring, node, ctx, start)) = ckpt_span {
-            ring.record_root(
-                ctx,
-                SpanKind::PsCheckpoint,
-                node,
-                start,
-                ring.now_ns().saturating_sub(start),
-            );
+            let dur = ring.now_ns().saturating_sub(start);
+            ring.record_root(ctx, SpanKind::PsCheckpoint, node, start, dur);
         }
         Ok(at)
     }
@@ -1220,22 +1215,20 @@ impl PageServer {
 
     fn read_page_from_xstore_ctx(&self, page_id: PageId, ctx: TraceCtx) -> Result<Option<Page>> {
         let off = (page_id.raw() - self.spec.base_page) * PAGE_SIZE as u64;
-        let span = self.span_sink(ctx).map(|(ring, _)| (Arc::clone(ring), ring.now_ns()));
         let len = self.xstore.blob_len(self.data_blob)?;
         if off + PAGE_SIZE as u64 > len {
             return Ok(None);
         }
-        let bytes = self.xstore.read_at(self.data_blob, off, PAGE_SIZE)?;
+        let span = self.span_sink(ctx).map(|(ring, _)| (Arc::clone(ring), ring.now_ns()));
+        let res = self.xstore.read_at(self.data_blob, off, PAGE_SIZE);
         if let Some((ring, start)) = span {
             // Attributed to the XStore tier: the blob service did the work.
-            ring.record_child(
-                ctx,
-                SpanKind::XstoreRead,
-                NodeId::XSTORE,
-                start,
-                ring.now_ns().saturating_sub(start),
-            );
+            // Recorded even when the read fails — failed fallback reads are
+            // exactly what an outage trace needs to show.
+            let dur = ring.now_ns().saturating_sub(start);
+            ring.record_child(ctx, SpanKind::XstoreRead, NodeId::XSTORE, start, dur);
         }
+        let bytes = res?;
         if bytes.iter().all(|&b| b == 0) {
             return Ok(None); // never-written hole
         }
@@ -1317,6 +1310,9 @@ impl PageServer {
         // Compactions are trace roots of their own (like checkpoints):
         // not caused by any one commit, so they self-sample.
         let span = self.spans.get().and_then(|(ring, node)| {
+            // soclint-allow: span-pairing a create/materialize/put error
+            // abandons the compaction pass; its root span is deliberately
+            // dropped with it.
             ring.try_sample().map(|ctx| (Arc::clone(ring), *node, ctx, ring.now_ns()))
         });
         let cutoff = input.iter().map(|(l, cap)| l.end().min(*cap)).max().unwrap_or(Lsn::ZERO);
@@ -1338,13 +1334,8 @@ impl PageServer {
         self.layers.apply_compaction(&input, merged, image);
         self.metrics.compactions_run.incr();
         if let Some((ring, node, ctx, start)) = span {
-            ring.record_root(
-                ctx,
-                SpanKind::PsCompact,
-                node,
-                start,
-                ring.now_ns().saturating_sub(start),
-            );
+            let dur = ring.now_ns().saturating_sub(start);
+            ring.record_root(ctx, SpanKind::PsCompact, node, start, dur);
         }
         Ok(true)
     }
@@ -1468,13 +1459,8 @@ impl RbioHandler for PageServerHandler {
             self.ps.span_sink(ctx).map(|(ring, node)| (Arc::clone(ring), *node, ring.now_ns()));
         let record_serve = |resp: &Result<RbioResponse>| {
             if let (Some((ring, node, start)), Ok(_)) = (&span, resp) {
-                ring.record_child(
-                    ctx,
-                    SpanKind::PsServe,
-                    *node,
-                    *start,
-                    ring.now_ns().saturating_sub(*start),
-                );
+                let dur = ring.now_ns().saturating_sub(*start);
+                ring.record_child(ctx, SpanKind::PsServe, *node, *start, dur);
             }
         };
         match req {

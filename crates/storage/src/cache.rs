@@ -214,6 +214,7 @@ impl TieredCache {
     /// Build a cache whose remote misses go through an [`IoScheduler`]
     /// over `source` (which must speak ranges). The scheduler's prefetch
     /// completions are installed back into the returned cache.
+    // soclint-allow: hot-path one-time construction wiring, not the serve path
     pub fn with_scheduler(
         mem_capacity: usize,
         rbpex: Option<Arc<Rbpex>>,
@@ -295,6 +296,9 @@ impl TieredCache {
 
     /// [`TieredCache::fetch_remote`], plus the fetch's latency attribution
     /// (the traced miss path).
+    // soclint-allow: hot-path-transitive the traced miss path reads the clock
+    // by design — latency attribution of the remote fetch is its entire job,
+    // and the fetch itself is already microsecond-scale I/O
     pub fn fetch_remote_traced(&self, id: PageId, min_lsn: Lsn) -> Result<(Page, FetchMeta)> {
         match &self.sched {
             Some(s) => s.fetch_traced(id, min_lsn),

@@ -91,6 +91,8 @@ impl Page {
     }
 
     /// LSN of the last log record applied to this page.
+    // soclint-allow: hot-path the unwrap is an infallible fixed-width header
+    // slice decode — the range is 8 bytes by construction
     pub fn page_lsn(&self) -> Lsn {
         Lsn::new(u64::from_le_bytes(self.bytes[OFF_PAGE_LSN..OFF_PAGE_LSN + 8].try_into().unwrap()))
     }

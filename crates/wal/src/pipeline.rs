@@ -313,13 +313,8 @@ impl LogPipeline {
                 Ok(()) => {
                     self.metrics.harden_latency.record_duration(t0.elapsed());
                     if let (Some((ring, node)), Some(start)) = (&span_sink, span_start) {
-                        ring.record_child(
-                            block.ctx(),
-                            SpanKind::WalHarden,
-                            *node,
-                            start,
-                            ring.now_ns().saturating_sub(start),
-                        );
+                        let dur = ring.now_ns().saturating_sub(start);
+                        ring.record_child(block.ctx(), SpanKind::WalHarden, *node, start, dur);
                     }
                     self.metrics.bytes_hardened.add(block.len() as u64);
                     self.metrics.blocks_hardened.incr();

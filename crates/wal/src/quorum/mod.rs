@@ -998,8 +998,14 @@ mod tests {
         assert_eq!(q.commit_lsn(), b2.end_lsn());
         assert_eq!(QuorumLog::read_block(&q, Lsn::ZERO).unwrap(), b1);
         assert_eq!(QuorumLog::read_block(&q, b1.end_lsn()).unwrap(), b2);
-        // All three acceptors converge (no faults in play).
+        // All three acceptors converge (no faults in play). The write
+        // returns at quorum — two acks — so the third acceptor's worker
+        // may still be flushing; give it a bounded moment.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         for acc in q.acceptors() {
+            while acc.flush_lsn() < b2.end_lsn() && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
             assert_eq!(acc.flush_lsn(), b2.end_lsn());
         }
     }

@@ -81,12 +81,13 @@ impl XLogFeed {
                             let ctx = block.ctx();
                             svc.offer_block(block);
                             if let (Some(ring), Some(start)) = (&spans, span_start) {
+                                let dur = ring.now_ns().saturating_sub(start);
                                 ring.record_child(
                                     ctx,
                                     SpanKind::XlogFeed,
                                     NodeId::XLOG,
                                     start,
-                                    ring.now_ns().saturating_sub(start),
+                                    dur,
                                 );
                             }
                         }

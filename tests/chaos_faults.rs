@@ -108,6 +108,48 @@ fn same_seed_gives_identical_fault_schedule() {
     assert_eq!(a.len(), c.len(), "nth-call schedules are count-deterministic across seeds");
 }
 
+/// The response leg mirrors the send leg: the server already replied,
+/// the client loses the reply. Every retry re-issues the request, so
+/// reads stay correct and the fired log shows the recv site.
+#[test]
+fn recv_leg_faults_are_retried_like_send_faults() {
+    let config = SocratesConfig::fast_test()
+        .with_cache(24, 0)
+        .with_scheduler(false)
+        .with_fault_spec(3, "rbio.transport.recv@every:7=error:unavailable");
+    let sys = Socrates::launch(config).unwrap();
+    let p = sys.primary().unwrap();
+    let db = p.db();
+    db.create_table("t", schema()).unwrap();
+    for batch in 0..20i64 {
+        let h = db.begin();
+        for i in 0..100 {
+            db.insert(&h, "t", &wide_row(batch * 100 + i)).unwrap();
+        }
+        db.commit(h).unwrap();
+    }
+    let h = db.begin();
+    let mut rng = socrates_common::rng::Rng::new(11);
+    for _ in 0..200 {
+        let id = rng.gen_range(2000) as i64;
+        assert_eq!(
+            db.get(&h, "t", &[Value::Int(id)]).unwrap(),
+            Some(wide_row(id)),
+            "read of committed row {id} failed under recv faults"
+        );
+    }
+    assert!(
+        p.io().cache().stats().fetches.get() > 0,
+        "the cache held everything; no remote traffic to fault"
+    );
+    assert!(
+        sys.fabric().faults.fired_count(sites::RBIO_RECV) > 0,
+        "the recv fault schedule never fired"
+    );
+    assert_hub_matches_registry(&sys, sites::RBIO_RECV);
+    sys.shutdown();
+}
+
 #[test]
 fn lz_write_faults_are_absorbed_and_commits_stay_durable() {
     let config =

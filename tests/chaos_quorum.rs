@@ -245,6 +245,68 @@ fn seeded_acceptor_loss_schedule_commits_cleanly() {
     sys.shutdown();
 }
 
+/// The two quorum message legs the seeded schedule above never opens:
+/// an `lz.quorum.ack` drop loses the append ack *after* the acceptor
+/// flushed (the proposer counts the remaining majority), and an
+/// `lz.quorum.vote` error during a failover campaign makes one ballot
+/// leg go dark (the new term still wins on the surviving votes).
+#[test]
+fn ack_loss_and_vote_faults_never_surface_to_commits() {
+    let config = SocratesConfig::fast_test().with_quorum(3, 0).with_fault_spec(9, "");
+    let sys = Socrates::launch(config).unwrap();
+    sys.primary().unwrap().db().create_table("t", schema()).unwrap();
+    let quorum = sys.fabric().quorum.as_ref().expect("quorum tier mounted").clone();
+    let fabric = sys.fabric();
+    let mut committed: i64 = 0;
+    let write_batch = |committed: &mut i64| {
+        let p = sys.primary().unwrap();
+        let db = p.db();
+        let h = db.begin();
+        for i in 0..BATCH {
+            db.insert(&h, "t", &row(*committed + i)).unwrap();
+        }
+        db.commit(h).unwrap();
+        *committed += BATCH;
+    };
+    use socrates_common::fault::sites;
+
+    // Drop every third ack: the proposer stops draining once quorum (2
+    // of 3) assembles, so a single write sees only two ack checks —
+    // several batches through the window guarantee the schedule fires,
+    // and at most one ack per write is ever lost.
+    fabric.faults.install_spec("lz.quorum.ack@every:3=drop").unwrap();
+    let before = quorum.commit_lsn();
+    for _ in 0..3 {
+        write_batch(&mut committed);
+    }
+    assert!(quorum.commit_lsn() > before, "the ack window stalled the watermark");
+    assert!(fabric.faults.fired_count(sites::LZ_QUORUM_ACK) > 0, "the ack window never fired");
+    fabric.faults.clear();
+
+    // One vote leg in each ballot round errors out; the campaign still
+    // reaches two grants.
+    let term_before = quorum.term();
+    fabric.faults.install_spec("lz.quorum.vote@every:2=error:unavailable").unwrap();
+    sys.kill_primary();
+    sys.failover().unwrap();
+    assert!(quorum.term() > term_before, "failover must bump the proposer term");
+    assert!(fabric.faults.fired_count(sites::LZ_QUORUM_VOTE) > 0, "the vote fault never fired");
+    fabric.faults.clear();
+    write_batch(&mut committed);
+
+    // Every acknowledged row survives both windows and the election.
+    let p = sys.primary().unwrap();
+    let r = p.db().begin();
+    for id in 0..committed {
+        assert_eq!(
+            p.db().get(&r, "t", &[Value::Int(id)]).unwrap(),
+            Some(row(id)),
+            "committed row {id} lost across ack/vote fault windows"
+        );
+    }
+    sys.shutdown();
+}
+
 #[test]
 fn quorum_schedules_differ_across_seeds() {
     let a = derive_schedule(1);
